@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and result publication.
+
+Every experiment bench regenerates one paper artifact at full size,
+benchmarks its dominant operation, and publishes the reproduced
+rows/series to ``results/<artifact>.txt`` (and stdout), so
+``pytest benchmarks/ --benchmark-only`` leaves the full evaluation on
+disk alongside the timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Write an artifact's rendered output to results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def publish_result(name: str, result: object) -> None:
+    """Also publish the raw result object as JSON for downstream tooling."""
+    from repro.analysis.export import to_json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    to_json(result, RESULTS_DIR / f"{name}.json")
+
+
+@pytest.fixture(scope="session")
+def full_network_recording():
+    """The full-size network-benchmark recording (recorded once)."""
+    from repro.experiments.common import network_recording
+
+    return network_recording(seed=0, quick=False)

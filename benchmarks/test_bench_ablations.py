@@ -1,0 +1,30 @@
+"""Bench for the ablations: scheduling, solver gap, gradient rule, staleness."""
+
+from conftest import publish, publish_result
+
+from repro.experiments import ablations
+from repro.experiments.common import experiment_params
+from repro.core.solver import solve_kkt
+
+
+def test_bench_kkt_solver(benchmark):
+    """Centralized KKT solve on a 100-tag instance."""
+    params = experiment_params()
+    keys = [("netflow", i) for i in range(1, 51)] + [
+        ("file", i) for i in range(1, 51)
+    ]
+    result = benchmark(solve_kkt, keys, params)
+    assert len(result.n) == 100
+
+
+def test_ablations_artifact(benchmark):
+    result = benchmark.pedantic(ablations.run, kwargs=dict(quick=False), rounds=1, iterations=1)
+    publish("ablations", ablations.render(result))
+    publish_result("ablations", result)
+    assert result.greedy_gap.relative_gap < 0.05
+    assert (
+        result.gradient_rule.published_total_copies
+        < result.gradient_rule.exact_total_copies
+    )
+    agreements = [row.oracle_agreement for row in result.staleness]
+    assert all(0.0 <= a <= 1.0 for a in agreements)

@@ -1,0 +1,50 @@
+"""Benches for the analysis layer: lineage graphs and tag lifetimes."""
+
+import pytest
+
+from conftest import publish
+
+from repro.analysis.lifetime import LifetimeMonitor
+from repro.analysis.lineage import LineageGraph
+from repro.core.policy import PropagateAllPolicy
+from repro.dift.shadow import mem
+from repro.dift.tracker import DIFTTracker
+from repro.experiments.common import experiment_params
+from repro.workloads.attack import InMemoryAttack
+
+
+@pytest.fixture(scope="module")
+def attack_recording():
+    return InMemoryAttack(variant="reverse_https", seed=0).record()
+
+
+def test_bench_lineage_construction(benchmark, attack_recording):
+    graph = benchmark.pedantic(
+        LineageGraph.from_recording, args=(attack_recording,),
+        rounds=3, iterations=1,
+    )
+    assert graph.node_count > 0
+
+
+def test_bench_lineage_query(benchmark, attack_recording):
+    graph = LineageGraph.from_recording(attack_recording)
+    target = mem(0x4800)  # the victim region's first IAT slot
+    hits = benchmark(graph.sources_of, target)
+    assert any(hit.tag.type == "netflow" for hit in hits)
+
+
+def test_bench_lifetime_monitoring(benchmark, attack_recording):
+    params = experiment_params(tau=1.0)
+
+    def run_monitored():
+        tracker = DIFTTracker(params, PropagateAllPolicy())
+        monitor = LifetimeMonitor(tracker)
+        tracker.process_many(list(attack_recording))
+        return monitor
+
+    monitor = benchmark.pedantic(run_monitored, rounds=2, iterations=1)
+    publish(
+        "tag_lifetimes",
+        monitor.render(monitor.tracker.stats.ticks),
+    )
+    assert monitor.births() > 0

@@ -1,0 +1,19 @@
+"""Bench for Fig. 3: cost-function series generation.
+
+Regenerates both panels at full resolution and benchmarks the series
+computation (the per-decision cost arithmetic underlying everything).
+"""
+
+from conftest import publish, publish_result
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark(fig3.run, quick=False)
+    publish("fig3", fig3.render(result))
+    publish_result("fig3", result)
+    for alpha in fig3.FIG3A_ALPHAS:
+        assert result.under_is_decreasing(alpha)
+    for beta in fig3.FIG3B_BETAS:
+        assert result.over_is_increasing(beta)

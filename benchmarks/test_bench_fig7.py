@@ -1,0 +1,34 @@
+"""Bench for Fig. 7: the tau sweep over the network benchmark.
+
+Benchmarks a single full replay under MITOS at tau = 1 (the per-event
+tracking cost), then regenerates the full three-tau figure and checks the
+paper's shape: higher tau blocks more indirect flows.
+"""
+
+from conftest import publish, publish_result
+
+from repro.experiments import fig7
+from repro.experiments.common import experiment_params
+from repro.faros import FarosSystem, mitos_config
+
+
+def test_bench_fig7_replay(benchmark, full_network_recording):
+    params = experiment_params(tau=1.0)
+
+    def replay_once():
+        system = FarosSystem(mitos_config(params, log_timeline=True))
+        return system.replay(full_network_recording)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.tracker_stats["inserts"] > 0
+
+
+def test_fig7_artifact(benchmark):
+    result = benchmark.pedantic(fig7.run, kwargs=dict(quick=False), rounds=1, iterations=1)
+    publish("fig7", fig7.render(result))
+    publish_result("fig7", result)
+    assert result.rate_increases_as_tau_drops()
+    assert result.runs[1.0].blocked > 0
+    assert (
+        result.runs[0.01].propagation_rate > result.runs[1.0].propagation_rate
+    )

@@ -1,0 +1,30 @@
+"""Bench for Fig. 8: the alpha/fairness sweep.
+
+Benchmarks one replay at high alpha (the heavily-blocking regime), then
+regenerates the six-alpha figure and checks tag balancing improves.
+"""
+
+from conftest import publish, publish_result
+
+from repro.experiments import fig8
+from repro.experiments.common import experiment_params
+from repro.faros import FarosSystem, mitos_config
+
+
+def test_bench_fig8_replay(benchmark, full_network_recording):
+    params = experiment_params(alpha=4.0)
+
+    def replay_once():
+        system = FarosSystem(mitos_config(params))
+        return system.replay(full_network_recording)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.tracker_stats["inserts"] > 0
+
+
+def test_fig8_artifact(benchmark):
+    result = benchmark.pedantic(fig8.run, kwargs=dict(quick=False), rounds=1, iterations=1)
+    publish("fig8", fig8.render(result))
+    publish_result("fig8", result)
+    assert result.broadly_improves_with_alpha()
+    assert result.balancing_improvement() >= 2.0  # paper: "up to 2x"

@@ -1,0 +1,29 @@
+"""Bench for Fig. 9: the u_netflow tag-importance sweep."""
+
+from conftest import publish, publish_result
+
+from repro.dift.tags import TagTypes
+from repro.experiments import fig9
+from repro.experiments.common import experiment_params
+from repro.faros import FarosSystem, mitos_config
+
+
+def test_bench_fig9_replay(benchmark, full_network_recording):
+    params = experiment_params(u={TagTypes.NETFLOW: 100.0})
+
+    def replay_once():
+        system = FarosSystem(mitos_config(params))
+        return system.replay(full_network_recording)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.tracker_stats["inserts"] > 0
+
+
+def test_fig9_artifact(benchmark):
+    result = benchmark.pedantic(fig9.run, kwargs=dict(quick=False), rounds=1, iterations=1)
+    publish("fig9", fig9.render(result))
+    publish_result("fig9", result)
+    assert result.netflow_monotone_nondecreasing()
+    assert result.others_never_boosted()
+    series = [result.runs[w].netflow_entries for w in sorted(result.runs)]
+    assert series[-1] > series[0]

@@ -1,0 +1,62 @@
+"""Benches for the hardware MITOS model (Section VI sketch).
+
+Measures the modeled SoC's end-to-end event cost and the cycle profile of
+the commit-stage decision path under warm vs. thrashing tag caches.
+"""
+
+import pytest
+
+from conftest import publish
+
+from repro.analysis.reporting import format_mapping
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.experiments.common import experiment_params
+from repro.hardware import CycleModel, MitosHardware, SegmentedTagMemory, TagCache
+
+
+def make_hardware(**kwargs) -> MitosHardware:
+    return MitosHardware.configure(experiment_params(), **kwargs)
+
+
+def test_bench_hardware_event_processing(benchmark):
+    tag = Tag("netflow", 1)
+    events = [flows.insert(reg("r1"), tag, tick=0)]
+    events += [
+        flows.address_dep(reg("r1"), mem(i % 64), tick=1 + i) for i in range(256)
+    ]
+
+    def run_events():
+        hw = make_hardware()
+        hw.process_many(events)
+        return hw
+
+    hw = benchmark(run_events)
+    assert hw.report.decisions > 0
+
+
+def test_bench_hardware_cycle_profile(benchmark):
+    tag = Tag("netflow", 1)
+
+    def profile():
+        warm = make_hardware(cache=TagCache(sets=64, ways=4))
+        for tick in range(512):
+            warm.process(flows.insert(mem(tick % 32), tag, tick=tick))
+        thrash = make_hardware(
+            cache=TagCache(sets=2, ways=1),
+            tag_memory=SegmentedTagMemory(resident_pages=1),
+        )
+        for tick in range(512):
+            thrash.process(flows.insert(mem(tick * 64), tag, tick=tick))
+        return warm, thrash
+
+    warm, thrash = benchmark.pedantic(profile, rounds=2, iterations=1)
+    publish(
+        "hardware_cycles",
+        format_mapping("warm cache", warm.report.as_dict())
+        + "\n\n"
+        + format_mapping("thrashing cache + 1-page segment", thrash.report.as_dict()),
+    )
+    assert warm.report.total_cycles < thrash.report.total_cycles
+    assert thrash.report.swaps > warm.report.swaps

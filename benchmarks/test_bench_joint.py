@@ -1,0 +1,79 @@
+"""Bench for the joint scenario the paper's PANDA setup could not run.
+
+Section VI: record-size limits "prevented us from running complex
+evaluation scenarios, e.g., run multiple attacks of benchmark scenarios
+jointly".  We interleave two attacks and the network benchmark into one
+trace, benchmark the joint replay, and verify detection survives the
+noise under MITOS while stock FAROS stays blind to the encoded shells.
+"""
+
+import pytest
+
+from conftest import publish
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import experiment_params
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.workloads.attack import InMemoryAttack
+from repro.workloads.composite import interleave
+from repro.workloads.network import NetworkBenchmark
+
+
+@pytest.fixture(scope="module")
+def joint_recording():
+    first = InMemoryAttack(variant="reverse_https", seed=0).record()
+    second = InMemoryAttack(variant="reverse_tcp_rc4_dns", seed=1).record()
+    noise = NetworkBenchmark(seed=2, rounds=2).record()
+    return interleave(
+        [first, second, noise],
+        chunk_size=1024,
+        location_offsets=[0, 0x10000, 0x20000],
+    )
+
+
+def test_bench_joint_replay(benchmark, joint_recording):
+    params = experiment_params(tau=1.0)
+
+    def replay_once():
+        return FarosSystem(mitos_config(params, all_flows=True)).replay(
+            joint_recording
+        )
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.tracker_stats["inserts"] > 0
+
+
+def test_joint_artifact(benchmark, joint_recording):
+    params = experiment_params(tau=1.0)
+
+    def run_both():
+        faros = FarosSystem(stock_faros_config(params)).replay(joint_recording)
+        mitos = FarosSystem(mitos_config(params, all_flows=True)).replay(
+            joint_recording
+        )
+        return faros, mitos
+
+    faros, mitos = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            res.metrics.propagation_ops,
+            res.metrics.detected_bytes,
+        ]
+        for label, res in (("faros", faros), ("mitos-all", mitos))
+    ]
+    publish(
+        "joint_scenario",
+        format_table(
+            ["system", "ops", "detected bytes"],
+            rows,
+            title=(
+                "== Joint scenario (2 attacks + network benchmark, "
+                f"{len(joint_recording)} events) =="
+            ),
+        ),
+    )
+    # both shells are table/rc4+table encoded: stock FAROS is blind
+    assert faros.metrics.detected_bytes == 0
+    assert mitos.metrics.detected_bytes > 0
+    assert mitos.metrics.propagation_ops < faros.metrics.propagation_ops

@@ -1,0 +1,89 @@
+"""Microbenchmarks backing the paper's complexity claims.
+
+Section IV-B property 2 claims O(1) decision time ("every time MITOS needs
+to make an IFP decision it only needs to sum two real numbers") and
+property 3 claims scalability ("its complexity doesn't change on the
+number of tags in the system").  These benches measure exactly that:
+
+* the single-tag Algorithm 1 decision,
+* Algorithm 2 over a fixed candidate set while the *system-wide* tag
+  population varies (must be flat),
+* shadow-memory add throughput and end-to-end replay throughput.
+"""
+
+import pytest
+
+from conftest import publish
+
+from repro.analysis.reporting import format_table
+from repro.core.decision import TagCandidate, decide_multi, decide_single
+from repro.dift.shadow import ShadowMemory, mem
+from repro.dift.tags import Tag
+from repro.experiments.common import experiment_params
+from repro.faros import FarosSystem, mitos_config
+
+
+def test_bench_algorithm1_decision(benchmark):
+    params = experiment_params()
+    candidate = TagCandidate(key="t", tag_type="netflow", copies=100)
+    decision = benchmark(decide_single, candidate, 5000.0, params)
+    assert decision.marginal is not None
+
+
+@pytest.mark.parametrize("candidates", [1, 4, 10])
+def test_bench_algorithm2_by_candidates(benchmark, candidates):
+    """Cost scales with the *candidate list* (source operand tags) only."""
+    params = experiment_params()
+    cands = [
+        TagCandidate(key=i, tag_type="netflow", copies=10 + i)
+        for i in range(candidates)
+    ]
+    outcome = benchmark(decide_multi, cands, 10, 5000.0, params)
+    assert len(outcome.decisions) == candidates
+
+
+@pytest.mark.parametrize("live_tags", [100, 10_000, 1_000_000])
+def test_bench_algorithm2_flat_in_system_size(benchmark, live_tags):
+    """The O(1) claim: decision cost is independent of the total number of
+    tags in the system (only the pollution scalar changes)."""
+    params = experiment_params()
+    cands = [
+        TagCandidate(key=i, tag_type="netflow", copies=50) for i in range(4)
+    ]
+    pollution = float(live_tags)  # the only system-size-dependent input
+    outcome = benchmark(decide_multi, cands, 4, pollution, params)
+    assert len(outcome.decisions) == 4
+
+
+def test_bench_shadow_memory_adds(benchmark):
+    tags = [Tag("netflow", i + 1) for i in range(8)]
+
+    def add_many():
+        shadow = ShadowMemory(m_prov=10)
+        for address in range(1000):
+            shadow.add_tag(mem(address), tags[address % len(tags)])
+        return shadow
+
+    shadow = benchmark(add_many)
+    assert shadow.total_entries() == 1000
+
+
+def test_bench_replay_throughput(benchmark, full_network_recording):
+    params = experiment_params()
+
+    def replay_once():
+        return FarosSystem(mitos_config(params)).replay(full_network_recording)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    events = len(full_network_recording)
+    seconds = result.metrics.wall_seconds
+    rows = [
+        ["events", events],
+        ["seconds", seconds],
+        ["events/sec", events / seconds if seconds else 0.0],
+    ]
+    publish(
+        "replay_throughput",
+        format_table(["metric", "value"], rows, title="== Replay throughput =="),
+    )
+    assert seconds >= 0

@@ -1,0 +1,22 @@
+"""Bench for the omitted cross-workload sensitivity result.
+
+"We also ran CPU and file-system benchmarks, and we noticed similar
+behaviors.  We skip the results for those benchmarks due to space
+limitations."  -- Section V-B.  Regenerated here in full.
+"""
+
+from conftest import publish, publish_result
+
+from repro.experiments import workload_sensitivity
+
+
+def test_sensitivity_artifact(benchmark):
+    result = benchmark.pedantic(
+        workload_sensitivity.run, kwargs=dict(quick=False), rounds=1, iterations=1
+    )
+    publish("sensitivity", workload_sensitivity.render(result))
+    publish_result("sensitivity", result)
+    assert result.all_workloads_behave_similarly()
+    # the network workload must actually exercise both regimes at full size
+    network = result.sweeps["network"]
+    assert network.rates[1.0] < network.rates[0.01]

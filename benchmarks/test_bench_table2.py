@@ -1,0 +1,52 @@
+"""Bench for Table II: FAROS vs MITOS on the in-memory attack.
+
+Benchmarks one full attack replay under each system, then regenerates the
+averaged six-shell table and checks the paper's headline: simultaneous
+improvement in time, space, and detected bytes.
+"""
+
+import pytest
+
+from conftest import publish, publish_result
+
+from repro.experiments import table2
+from repro.experiments.common import experiment_params
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.workloads.attack import InMemoryAttack
+
+
+@pytest.fixture(scope="module")
+def attack_recording():
+    return InMemoryAttack(variant="reverse_https", seed=0).record()
+
+
+def test_bench_table2_faros_replay(benchmark, attack_recording):
+    params = experiment_params(tau=1.0)
+
+    def replay_once():
+        return FarosSystem(stock_faros_config(params)).replay(attack_recording)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.tracker_stats["inserts"] > 0
+
+
+def test_bench_table2_mitos_replay(benchmark, attack_recording):
+    params = experiment_params(tau=1.0)
+
+    def replay_once():
+        return FarosSystem(mitos_config(params, all_flows=True)).replay(
+            attack_recording
+        )
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.tracker_stats["inserts"] > 0
+
+
+def test_table2_artifact(benchmark):
+    result = benchmark.pedantic(table2.run, kwargs=dict(quick=False), rounds=1, iterations=1)
+    publish("table2", table2.render(result))
+    publish_result("table2", result)
+    assert result.simultaneous_improvement()
+    assert result.detection_improvement > 1.5
+    assert result.time_improvement > 1.0
+    assert result.space_improvement > 1.0

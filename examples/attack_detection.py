@@ -1,0 +1,75 @@
+"""Detecting an in-memory-only attack: FAROS vs MITOS (the Table II story).
+
+Records one Metasploit-style reflective-DLL-injection session per shell
+variant and replays it under:
+
+* stock FAROS (all direct flows, no indirect flows),
+* MITOS handling all flows through Algorithm 2.
+
+Prints per-variant detected bytes plus the three headline metrics.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.workloads.attack import ATTACK_VARIANTS, InMemoryAttack
+from repro.workloads.calibration import benchmark_params
+
+
+def main() -> None:
+    params = benchmark_params(tau=1.0)
+    rows = []
+    totals = {"faros": [0, 0, 0], "mitos": [0, 0, 0]}
+    for variant in ATTACK_VARIANTS:
+        recording = InMemoryAttack(variant=variant, seed=0).record()
+        cells = [variant]
+        for label, config in (
+            ("faros", stock_faros_config(params)),
+            ("mitos", mitos_config(params, all_flows=True)),
+        ):
+            metrics = FarosSystem(config).replay(recording).metrics
+            cells.append(metrics.detected_bytes)
+            totals[label][0] += metrics.propagation_ops
+            totals[label][1] += metrics.footprint_bytes
+            totals[label][2] += metrics.detected_bytes
+        rows.append(cells)
+    print(
+        format_table(
+            ["shell variant", "FAROS detected", "MITOS detected"],
+            rows,
+            title="Detected bytes per Metasploit shell variant",
+        )
+    )
+    print()
+    n = len(ATTACK_VARIANTS)
+    summary = [
+        [
+            label,
+            totals[label][0] / n,
+            totals[label][1] / n,
+            totals[label][2] / n,
+        ]
+        for label in ("faros", "mitos")
+    ]
+    print(
+        format_table(
+            ["system", "avg ops (time proxy)", "avg space B", "avg detected"],
+            summary,
+            title="Averages over all variants (Table II shape)",
+        )
+    )
+    faros_ops, mitos_ops = totals["faros"][0], totals["mitos"][0]
+    faros_det, mitos_det = totals["faros"][2], totals["mitos"][2]
+    print()
+    print(
+        f"MITOS does {faros_ops / mitos_ops:.1f}x less propagation work and "
+        f"detects {mitos_det / faros_det:.1f}x more attack bytes --\n"
+        "the table-decoded stagers (https / rc4+dns) are invisible to a\n"
+        "DFP-only tracker because their decode loops move information\n"
+        "exclusively through address dependencies."
+    )
+
+
+if __name__ == "__main__":
+    main()

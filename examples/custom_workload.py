@@ -1,0 +1,99 @@
+"""Bring your own program: assemble, record, replay under any policy.
+
+Shows the full substrate API end to end: write an assembly program with a
+tainted branch (control dependency), record its execution against a
+network device, save/load the recording, and replay it under stock FAROS
+and MITOS.
+
+Run:  python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.dift.tags import TagAllocator
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.isa.assembler import assemble
+from repro.isa.devices import NetworkDevice
+from repro.isa.machine import Machine
+from repro.replay.record import Recording, record_machine
+from repro.workloads.calibration import benchmark_params
+
+# A password-check-like routine: download N secret bytes, then set a flag
+# byte per position depending on whether it matches a hardcoded value --
+# pure control dependency, the paper's `if (b == 1) a = 1` pattern.
+SOURCE = """
+        movi r0, 0x400      ; flag buffer
+        movi r2, 16         ; bytes to check
+        movi r8, 1
+        movi r9, 0x41       ; the value we compare against ('A')
+loop:   beq  r2, r7, done
+        in   r4, 0          ; tainted secret byte from the network
+        movi r5, 0          ; flag = 0
+        bne  r4, r9, store  ; tainted comparison
+        movi r5, 1          ; flag = 1  (control-dependent write)
+store:  sb   r5, r0, 0
+        addi r0, r0, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    allocator = TagAllocator()
+    device = NetworkDevice(b"ABBA" * 4, allocator, origin=("198.51.100.7", 22))
+    machine = Machine(program, devices={0: device})
+    recording = record_machine(machine, meta={"scenario": "password-check"})
+    print(
+        f"recorded {len(recording)} flow events "
+        f"({recording.kind_counts()})"
+    )
+
+    # recordings serialize to JSONL and reload bit-exactly
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "session.jsonl"
+        recording.save(path)
+        recording = Recording.load(path)
+        print(f"round-tripped through {path.name}: {len(recording)} events")
+
+    params = benchmark_params(
+        crossover_copies=150.0, pollution_fraction=0.0015
+    )
+    rows = []
+    for config in (stock_faros_config(params), mitos_config(params)):
+        system = FarosSystem(config)
+        metrics = system.replay(recording).metrics
+        flag_bytes_tainted = sum(
+            1
+            for location in system.tracker.shadow.tainted_locations()
+            if location[0] == "mem" and 0x400 <= location[1] < 0x410
+        )
+        rows.append(
+            [
+                config.label,
+                flag_bytes_tainted,
+                metrics.ifp_propagated,
+                metrics.propagation_ops,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "flag bytes tainted", "IFP propagated", "ops"],
+            rows,
+            title="Who sees that the flags leak the secret?",
+        )
+    )
+    print()
+    print(
+        "The flag bytes carry information about the secret purely through\n"
+        "the tainted branch; only a tracker that handles control\n"
+        "dependencies (MITOS) ties them back to the network source."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""MITOS across subsystems: gossiped pollution, stale-estimate decisions.
+
+Shards the network-benchmark trace across four subsystem nodes.  Each
+node's MITOS engine reads the global pollution (Eq. 8's shared term) from
+its gossiped *belief* rather than ground truth.  We sweep the gossip
+interval and report how decision quality degrades with staleness -- the
+paper's scalability argument, measured.
+
+Run:  python examples/distributed_tracking.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.distributed.cluster import Cluster
+from repro.experiments.common import network_recording
+from repro.workloads.calibration import benchmark_params
+
+
+def main() -> None:
+    recording = network_recording(seed=0, quick=True)
+    params = benchmark_params(
+        crossover_copies=150.0, pollution_fraction=0.0015
+    )
+    rows = []
+    for interval in (25, 100, 500, 2500):
+        cluster = Cluster(
+            params, n_nodes=4, gossip_interval=interval, fanout=2, seed=0
+        )
+        result = cluster.run(recording)
+        rows.append(
+            [
+                interval,
+                result.gossip_messages,
+                round(result.mean_estimate_error, 2),
+                round(result.max_estimate_error, 2),
+                f"{result.oracle_agreement:.4f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "gossip every N events",
+                "messages",
+                "mean belief error",
+                "max belief error",
+                "oracle agreement",
+            ],
+            rows,
+            title="4-node cluster, network benchmark sharded by destination",
+        )
+    )
+    print()
+    print(
+        "MITOS decisions need only a pollution *estimate*: even with rare\n"
+        "gossip the per-candidate decisions agree with an exact-pollution\n"
+        "oracle almost always, because the marginal-cost rule is flat far\n"
+        "from the decision boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Forensics: follow Ariadne's thread back from a flagged byte.
+
+The paper motivates DIFT for "real-time forensics analysis"; MITOS is
+named for the thread that led Theseus out of the labyrinth.  This example
+plays incident responder: an in-memory attack fires the confluence
+detector, and we
+
+1. ask the lineage graph *which sources* reach the flagged byte and
+   *through which chain of events* (the thread, walked backwards),
+2. compare what a DFP-only tracker could ever have reconstructed,
+3. report tag lifetimes -- how long the attack's traces stay live.
+
+Run:  python examples/forensics.py
+"""
+
+from repro.analysis.lifetime import LifetimeMonitor
+from repro.analysis.lineage import LineageGraph
+from repro.faros import FarosSystem, mitos_config
+from repro.workloads.attack import InMemoryAttack
+from repro.workloads.calibration import benchmark_params
+
+
+def main() -> None:
+    recording = InMemoryAttack(variant="reverse_https", seed=7).record()
+    params = benchmark_params(tau=1.0)
+    system = FarosSystem(mitos_config(params, all_flows=True))
+    monitor = LifetimeMonitor(system.tracker)
+    # FarosSystem.replay resets the tracker (fresh counter): re-hook
+    system.pipeline.reset_on_begin = False
+    system.reset()
+    monitor.reattach()
+    result = system.replay(recording)
+
+    detector = system.detector
+    assert detector is not None
+    print(
+        f"replayed {len(recording)} events; detector flagged "
+        f"{detector.detected_bytes} bytes"
+    )
+    if not detector.alerts:
+        print("no alerts -- nothing to investigate")
+        return
+    alert = detector.alerts[0]
+    print(f"first alert: {alert.location} at tick {alert.tick}")
+    print()
+
+    lineage = LineageGraph.from_recording(recording)
+    print("ground-truth sources reaching the flagged byte:")
+    for hit in lineage.sources_of(alert.location):
+        print(
+            f"  {hit.tag.type}#{hit.tag.index}: inserted at tick "
+            f"{hit.insert_tick}, {hit.hops} dataflow hops away"
+        )
+    netflow_hits = [
+        hit
+        for hit in lineage.sources_of(alert.location)
+        if hit.tag.type == "netflow"
+    ]
+    if netflow_hits:
+        tag = netflow_hits[0].tag
+        path = lineage.explain(alert.location, tag)
+        print()
+        print(f"the thread: {tag.type}#{tag.index} -> flagged byte "
+              f"({len(path)} versions)")
+        for location, version in path[:6]:
+            print(f"  {location} (v{version})")
+        if len(path) > 6:
+            print(f"  ... {len(path) - 6} more steps")
+    print()
+
+    dfp_only = LineageGraph.from_recording(recording, include_indirect=False)
+    dfp_sources = {h.tag.type for h in dfp_only.sources_of(alert.location)}
+    full_sources = {h.tag.type for h in lineage.sources_of(alert.location)}
+    print(
+        f"a DFP-only reconstruction sees source types {sorted(dfp_sources)}; "
+        f"the full flow graph sees {sorted(full_sources)} -- the difference\n"
+        "is the indirect-flow evidence MITOS preserves."
+    )
+    print()
+    print(monitor.render(system.tracker.stats.ticks))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Record, inspect, store and jointly replay whole-system traces.
+
+Demonstrates the record/replay tooling around the tracker: record an
+attack session and a benchmark, inspect their flow mix, interleave them
+into the joint scenario the paper's PANDA setup could not run, compress
+the result to disk, and verify the attack is still caught amid the noise.
+
+Run:  python examples/inspect_recording.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.trace_stats import format_trace_summary, summarize_recording
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.replay.record import Recording
+from repro.workloads.attack import InMemoryAttack
+from repro.workloads.calibration import benchmark_params
+from repro.workloads.composite import interleave
+from repro.workloads.network import NetworkBenchmark
+
+
+def main() -> None:
+    attack = InMemoryAttack(variant="reverse_tcp_rc4_dns", seed=3).record()
+    benchmark = NetworkBenchmark(
+        seed=4, connections=3, bytes_per_connection=128, rounds=1,
+        heavy_hitter=False,
+    ).record()
+
+    print("== attack session ==")
+    print(format_trace_summary(summarize_recording(attack)))
+    print()
+
+    joint = interleave(
+        [attack, benchmark], chunk_size=1024, location_offsets=[0, 0x10000]
+    )
+    print(
+        f"== joint trace: {len(joint)} events from "
+        f"{len(joint.meta['components'])} scenarios =="
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "joint.jsonl.gz"
+        joint.save(path)
+        size_kib = path.stat().st_size / 1024
+        joint = Recording.load(path)
+        print(f"stored compressed at {size_kib:.0f} KiB, reloaded bit-exactly")
+    print()
+
+    params = benchmark_params(tau=1.0)
+    for config in (
+        stock_faros_config(params),
+        mitos_config(params, all_flows=True),
+    ):
+        system = FarosSystem(config)
+        metrics = system.replay(joint).metrics
+        print(
+            f"{config.label:>9}: detected {metrics.detected_bytes:4d} bytes, "
+            f"{metrics.propagation_ops} propagation ops, "
+            f"{metrics.footprint_bytes} B shadow"
+        )
+    print()
+    print(
+        "The rc4+dns-encoded payload hides from the DFP-only tracker even\n"
+        "without the extra load; MITOS keeps the fingerprint through the\n"
+        "joint noise while doing a fraction of the propagation work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: the indirect-flow dilemma on the paper's Fig. 1 example.
+
+Runs the classic lookup-table format conversion (``output[i] =
+table[input[i]]``) with a tainted input string under three policies:
+
+* block all indirect flows (classic DIFT / stock FAROS) -> undertainting,
+* propagate all indirect flows -> overtainting pressure,
+* MITOS (Algorithm 2) -> propagates while the marginal cost is negative.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.params import MitosParams
+from repro.core.policy import (
+    MitosPolicy,
+    PropagateAllPolicy,
+    PropagateNonePolicy,
+)
+from repro.dift import DIFTTracker, TagAllocator, TagTypes, flows
+from repro.dift.shadow import mem
+from repro.isa.machine import Machine
+from repro.isa.programs import lookup_table_translate
+
+INPUT, TABLE, OUTPUT = 0x100, 0x200, 0x400
+MESSAGE = b"This string is tainted"
+
+
+def run_with(policy, label: str) -> None:
+    params = MitosParams(R=1 << 16, M_prov=10, tau_scale=1.0)
+    tracker = DIFTTracker(params, policy)
+
+    # taint the input bytes as if they arrived from the network
+    allocator = TagAllocator()
+    tag = allocator.fresh(TagTypes.NETFLOW, origin=("10.245.44.43", 443))
+    for i in range(len(MESSAGE)):
+        tracker.process(flows.insert(mem(INPUT + i), tag, context="net.recv"))
+
+    # run the Fig. 1 program, streaming its flow events into the tracker
+    program = lookup_table_translate(INPUT, TABLE, OUTPUT, len(MESSAGE))
+    machine = Machine(program, event_sink=tracker.process)
+    machine.memory.write_bytes(INPUT, MESSAGE)
+    machine.memory.write_bytes(TABLE, bytes((i + 1) % 256 for i in range(256)))
+    machine.run()
+
+    tainted = sum(
+        1
+        for i in range(len(MESSAGE))
+        if tracker.shadow.is_tainted(mem(OUTPUT + i))
+    )
+    stats = tracker.stats
+    print(
+        f"{label:>16}: output bytes tainted {tainted:2d}/{len(MESSAGE)}  "
+        f"(IFP seen {stats.ifp_total}, propagated {stats.ifp_propagated}, "
+        f"ops {stats.propagation_ops})"
+    )
+
+
+def main() -> None:
+    print("Fig. 1 address-dependency example:", MESSAGE.decode())
+    print()
+    run_with(PropagateNonePolicy(), "block all IFP")
+    run_with(PropagateAllPolicy(), "propagate all")
+    params = MitosParams(R=1 << 16, M_prov=10, tau_scale=1.0)
+    run_with(MitosPolicy(params), "MITOS (Alg. 2)")
+    print()
+    print(
+        "Blocking all indirect flows loses the information flow entirely\n"
+        "(undertainting); MITOS propagates while the Eq. 8 marginal cost\n"
+        "is negative, recovering the flow without unconditional tainting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Tag balancing and alpha-fairness (the Fig. 8 property, hands on).
+
+Sweeps the fairness degree alpha over the network benchmark and shows how
+tag copy counts tighten as alpha grows, then cross-checks the online
+greedy dynamics against the centralized KKT solution of the relaxed
+convex problem (Section IV-B).
+
+Run:  python examples/tag_balancing.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.fairness import copy_count_mse, jain_index, shannon_entropy
+from repro.core.solver import greedy_dynamics, solve_kkt
+from repro.core.params import MitosParams
+from repro.experiments.common import network_recording
+from repro.faros import FarosSystem, mitos_config
+from repro.workloads.calibration import benchmark_params
+
+
+def fairness_sweep() -> None:
+    recording = network_recording(seed=0, quick=True)
+    rows = []
+    for alpha in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0):
+        params = benchmark_params(
+            alpha=alpha, crossover_copies=150.0, pollution_fraction=0.0015
+        )
+        system = FarosSystem(mitos_config(params))
+        system.replay(recording)
+        copies = list(system.tracker.counter.snapshot().values())
+        rows.append(
+            [
+                alpha,
+                max(copies) if copies else 0,
+                round(copy_count_mse(copies), 1),
+                round(jain_index(copies), 3),
+                round(shannon_entropy(copies), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["alpha", "max copies", "MSE", "Jain", "entropy (bits)"],
+            rows,
+            title="alpha vs tag balancing (network benchmark)",
+        )
+    )
+
+
+def solver_check() -> None:
+    params = MitosParams(R=1 << 20, M_prov=10, tau_scale=1e6)
+    keys = [("netflow", i) for i in range(1, 5)] + [("file", 1), ("process", 1)]
+    kkt = solve_kkt(keys, params)
+    greedy, _, converged = greedy_dynamics(keys, params, max_steps=100_000)
+    rows = [
+        [f"{t}#{i}", round(kkt.n[(t, i)], 1), greedy[(t, i)]]
+        for (t, i) in keys
+    ]
+    print()
+    print(
+        format_table(
+            ["tag", "KKT optimum", "greedy fixed point"],
+            rows,
+            title=f"centralized vs distributed (converged={converged})",
+        )
+    )
+
+
+def main() -> None:
+    fairness_sweep()
+    solver_check()
+    print()
+    print(
+        "Higher alpha caps over-propagated tags harder (max-min fairness in\n"
+        "the limit); the distributed greedy lands on the centralized KKT\n"
+        "optimum without ever needing the global copy-count vector."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""MITOS reproduction: optimal decisioning for indirect flow propagation in DIFT.
+
+This package reproduces *MITOS: Optimal Decisioning for the Indirect Flow
+Propagation Dilemma in Dynamic Information Flow Tracking Systems* (ICDCS
+2020).  It contains:
+
+* :mod:`repro.core` -- the paper's contribution: the alpha-fair/beta-steep
+  cost model, the marginal-cost propagation rule (Eq. 8), Algorithms 1 and 2,
+  centralized solvers for the relaxed convex problem, and fairness metrics.
+* :mod:`repro.dift` -- a FAROS-like DIFT substrate: tags, bounded provenance
+  lists, shadow memory, direct/indirect flow rules and a confluence detector.
+* :mod:`repro.isa` -- a small RISC-like machine whose execution traces stand
+  in for QEMU/PANDA instruction streams, including CFG/post-dominator
+  analysis used for control-dependency scoping.
+* :mod:`repro.replay` -- PANDA-like record/replay of execution traces.
+* :mod:`repro.faros` -- the whole-system pipeline of Fig. 6.
+* :mod:`repro.workloads` -- PassMark-like benchmarks and the in-memory-only
+  attack scenarios used in the paper's evaluation.
+* :mod:`repro.distributed` -- multi-subsystem tracking with gossiped
+  pollution estimates (the "large distributed systems" angle).
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.core.params import MitosParams
+from repro.core.decision import MitosEngine, TagCandidate, decide_multi, decide_single
+from repro.core.policy import (
+    MitosPolicy,
+    PropagateAllPolicy,
+    PropagateNonePolicy,
+    PropagationPolicy,
+    ThresholdPolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MitosParams",
+    "MitosEngine",
+    "TagCandidate",
+    "decide_single",
+    "decide_multi",
+    "PropagationPolicy",
+    "MitosPolicy",
+    "PropagateAllPolicy",
+    "PropagateNonePolicy",
+    "ThresholdPolicy",
+    "__version__",
+]

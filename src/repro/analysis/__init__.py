@@ -1,0 +1,44 @@
+"""Metrics, timelines, lineage, lifetimes, sweeps, plots, and reporting."""
+
+from repro.analysis.timeline import DecisionPoint, DecisionTimeline
+from repro.analysis.metrics import RunMetrics, collect_run_metrics
+from repro.analysis.reporting import format_mapping, format_series, format_table
+from repro.analysis.lineage import LineageGraph, SourceHit, undertainting_of
+from repro.analysis.lifetime import LifetimeMonitor
+from repro.analysis.trace_stats import (
+    TraceSummary,
+    format_trace_summary,
+    summarize_recording,
+)
+from repro.analysis.sweep import ParameterSweep, SweepResult
+from repro.analysis.stats import Summary, repeat_over_seeds, summarize
+from repro.analysis.export import rows_to_csv, series_to_csv, to_json
+from repro.analysis.plot import ascii_plot, decision_stripe, multi_series_plot
+
+__all__ = [
+    "DecisionPoint",
+    "DecisionTimeline",
+    "RunMetrics",
+    "collect_run_metrics",
+    "format_table",
+    "format_series",
+    "format_mapping",
+    "LineageGraph",
+    "SourceHit",
+    "undertainting_of",
+    "LifetimeMonitor",
+    "TraceSummary",
+    "summarize_recording",
+    "format_trace_summary",
+    "ParameterSweep",
+    "SweepResult",
+    "Summary",
+    "summarize",
+    "repeat_over_seeds",
+    "to_json",
+    "rows_to_csv",
+    "series_to_csv",
+    "ascii_plot",
+    "multi_series_plot",
+    "decision_stripe",
+]

@@ -1,0 +1,77 @@
+"""Machine-readable experiment exports (CSV / JSON).
+
+The text renderers in :mod:`repro.analysis.reporting` target humans; these
+helpers serialize the same results for downstream tooling (plotting
+scripts, regression dashboards).  Dataclasses export transparently.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of experiment results to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float):
+        if value != value:  # NaN has no JSON spelling
+            return None
+        if value in (float("inf"), float("-inf")):
+            return str(value)
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    return repr(value)
+
+
+def to_json(result: object, path: PathLike, indent: int = 2) -> Path:
+    """Serialize any experiment result (dataclasses welcome) to JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(_jsonable(result), indent=indent) + "\n")
+    return target
+
+
+def rows_to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    path: PathLike,
+) -> Path:
+    """Write a headers+rows table as CSV."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return target
+
+
+def series_to_csv(
+    xs: Sequence[object],
+    ys: Sequence[object],
+    path: PathLike,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> Path:
+    """Write an (x, y) series as a two-column CSV."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    return rows_to_csv([x_label, y_label], zip(xs, ys), path)

@@ -1,0 +1,144 @@
+"""Tag lifetimes: TaintBochs-style data-lifetime analysis.
+
+TaintBochs (cited in the paper's related work) studied *how long*
+sensitive data lives in a system.  The same question applies to tags:
+when is each tag born (first copy), when does it die (last copy
+evicted/cleared), and how does the propagation policy change those
+lifetimes?  Over-propagation makes tags effectively immortal (the
+overtainting pathology); aggressive blocking plus small provenance lists
+kills history early (undertainting).
+
+:class:`LifetimeMonitor` hooks a tracker's copy counter and timestamps
+every birth and death against the tracker's tick clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import Summary, summarize
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+
+TagKey = Tuple[str, int]
+
+
+@dataclass
+class LifeSpan:
+    """One contiguous alive interval of a tag."""
+
+    born_tick: int
+    died_tick: Optional[int] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.died_tick is None
+
+    def length(self, now_tick: int) -> int:
+        end = self.died_tick if self.died_tick is not None else now_tick
+        return max(0, end - self.born_tick)
+
+
+class LifetimeMonitor:
+    """Observes a tracker's tag births and deaths.
+
+    A tag can die and be reborn (cleared everywhere, then reinserted);
+    every interval is kept.  Attach before processing events::
+
+        monitor = LifetimeMonitor(tracker)
+        tracker.process_many(events)
+        print(monitor.render(tracker.stats.ticks))
+    """
+
+    def __init__(self, tracker: DIFTTracker):
+        self.tracker = tracker
+        self.spans: Dict[TagKey, List[LifeSpan]] = {}
+        self._attach()
+
+    def _attach(self) -> None:
+        counter = self.tracker.counter
+        counter.on_birth = self._on_birth
+        counter.on_death = self._on_death
+
+    def reattach(self) -> None:
+        """Re-hook after a tracker reset (which swaps the counter)."""
+        self._attach()
+
+    def _now(self) -> int:
+        return self.tracker.stats.ticks
+
+    def _on_birth(self, tag: Tag) -> None:
+        self.spans.setdefault(tag.key, []).append(LifeSpan(born_tick=self._now()))
+
+    def _on_death(self, tag: Tag) -> None:
+        spans = self.spans.get(tag.key)
+        if spans and spans[-1].alive:
+            spans[-1].died_tick = self._now()
+
+    # -- queries -------------------------------------------------------------
+
+    def births(self) -> int:
+        return sum(len(spans) for spans in self.spans.values())
+
+    def deaths(self) -> int:
+        return sum(
+            1
+            for spans in self.spans.values()
+            for span in spans
+            if not span.alive
+        )
+
+    def alive_tags(self) -> List[TagKey]:
+        return [
+            key
+            for key, spans in self.spans.items()
+            if spans and spans[-1].alive
+        ]
+
+    def lifetimes(self, now_tick: Optional[int] = None) -> Dict[TagKey, int]:
+        """Total alive ticks per tag (open spans measured to ``now``)."""
+        now = now_tick if now_tick is not None else self._now()
+        return {
+            key: sum(span.length(now) for span in spans)
+            for key, spans in self.spans.items()
+        }
+
+    def summary(self, now_tick: Optional[int] = None) -> Summary:
+        values = [float(v) for v in self.lifetimes(now_tick).values()]
+        if not values:
+            return Summary(n=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+        return summarize(values)
+
+    def by_type(self, now_tick: Optional[int] = None) -> Dict[str, Summary]:
+        """Lifetime summaries grouped by tag type."""
+        buckets: Dict[str, List[float]] = {}
+        for (tag_type, _index), lifetime in self.lifetimes(now_tick).items():
+            buckets.setdefault(tag_type, []).append(float(lifetime))
+        return {
+            tag_type: summarize(values) for tag_type, values in buckets.items()
+        }
+
+    def render(self, now_tick: Optional[int] = None) -> str:
+        rows = []
+        for tag_type, summary in sorted(self.by_type(now_tick).items()):
+            rows.append(
+                [
+                    tag_type,
+                    summary.n,
+                    summary.mean,
+                    summary.minimum,
+                    summary.maximum,
+                ]
+            )
+        table = format_table(
+            ["tag type", "tags", "mean lifetime", "min", "max"],
+            rows,
+            title="tag lifetimes (ticks)",
+        )
+        footer = (
+            f"births {self.births()}, deaths {self.deaths()}, "
+            f"still alive {len(self.alive_tags())}"
+        )
+        return f"{table}\n{footer}"

@@ -1,0 +1,216 @@
+"""Flow lineage: Ariadne's thread through a recording.
+
+MITOS is named for the thread that led Theseus back out of the labyrinth;
+this module is that thread made queryable.  Replaying a recording, it
+builds a versioned dataflow graph -- one node per (location, version),
+with an edge from every source version to the destination version an
+event created -- so that any byte's taint can be *explained*:
+
+* :meth:`LineageGraph.sources_of` -- which taint-source events
+  ultimately reach a location (and through how many hops),
+* :meth:`LineageGraph.explain` -- a concrete event path from a source
+  insertion to the queried location,
+* :meth:`LineageGraph.influence_of` -- the forward set: every location a
+  given source insertion ever influenced.
+
+The graph is *value-flow over events*, independent of any policy: it
+answers what a perfect (propagate-everything) tracker would know, which
+is exactly the ground truth undertainting is measured against.  Pass
+``include_indirect=False`` to see what a DFP-only tracker could ever
+know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.shadow import Location
+from repro.dift.tags import Tag
+from repro.replay.record import Recording
+
+#: graph node: (location, version)
+Node = Tuple[Location, int]
+
+
+@dataclass(frozen=True)
+class SourceHit:
+    """One taint source reaching a queried location."""
+
+    tag: Tag
+    insert_tick: int
+    hops: int
+
+
+class LineageGraph:
+    """Versioned dataflow graph over one recording."""
+
+    def __init__(self, include_indirect: bool = True):
+        self.include_indirect = include_indirect
+        self.graph = nx.DiGraph()
+        #: current version per location (bumped on every write)
+        self._versions: Dict[Location, int] = {}
+        #: nodes at which a tag was inserted
+        self._insertions: Dict[Node, Tuple[Tag, int]] = {}
+        self.events_applied = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def _current(self, location: Location) -> Optional[Node]:
+        version = self._versions.get(location)
+        if version is None:
+            return None
+        return (location, version)
+
+    def _new_version(self, location: Location, tick: int) -> Node:
+        version = self._versions.get(location, -1) + 1
+        self._versions[location] = version
+        node = (location, version)
+        self.graph.add_node(node, tick=tick)
+        return node
+
+    def apply(self, event: FlowEvent) -> None:
+        """Fold one event into the graph."""
+        self.events_applied += 1
+        kind = event.kind
+        if kind is FlowKind.CLEAR:
+            # a constant write severs history: fresh version, no edges
+            self._new_version(event.destination, event.tick)
+            return
+        if kind is FlowKind.INSERT:
+            previous = self._current(event.destination)
+            node = self._new_version(event.destination, event.tick)
+            assert event.tag is not None
+            self._insertions[node] = (event.tag, event.tick)
+            if previous is not None:
+                # insertion adds to the provenance list; prior history stays
+                self.graph.add_edge(previous, node, kind="carry")
+            return
+        if kind.is_indirect and not self.include_indirect:
+            return
+        previous = self._current(event.destination)
+        node = self._new_version(event.destination, event.tick)
+        for source in event.sources:
+            source_node = self._current(source)
+            if source_node is not None:
+                self.graph.add_edge(source_node, node, kind=kind.value)
+        if kind.is_indirect and previous is not None:
+            # indirect flows add tags on top of the existing contents
+            self.graph.add_edge(previous, node, kind="carry")
+        if kind is FlowKind.COMPUTE and previous is not None:
+            # computation results union with prior history in our tracker
+            self.graph.add_edge(previous, node, kind="carry")
+
+    @classmethod
+    def from_recording(
+        cls, recording: Recording, include_indirect: bool = True
+    ) -> "LineageGraph":
+        lineage = cls(include_indirect=include_indirect)
+        for event in recording:
+            lineage.apply(event)
+        return lineage
+
+    # -- queries ---------------------------------------------------------------
+
+    def latest(self, location: Location) -> Optional[Node]:
+        """The current version node of a location (None if never written)."""
+        return self._current(location)
+
+    def sources_of(self, location: Location) -> List[SourceHit]:
+        """Every taint source tag reaching the location's current version.
+
+        One hit per distinct tag: its closest-reaching insertion (min
+        hops; earliest tick on ties), sorted nearest-first.
+        """
+        target = self._current(location)
+        if target is None:
+            return []
+        ancestors = nx.ancestors(self.graph, target) | {target}
+        # distances measured on the reversed graph from the target
+        reverse = self.graph.reverse(copy=False)
+        lengths = nx.single_source_shortest_path_length(reverse, target)
+        best: Dict[Tag, SourceHit] = {}
+        for node in ancestors:
+            if node not in self._insertions:
+                continue
+            tag, tick = self._insertions[node]
+            hit = SourceHit(tag=tag, insert_tick=tick, hops=lengths[node])
+            current = best.get(tag)
+            if current is None or (hit.hops, hit.insert_tick) < (
+                current.hops,
+                current.insert_tick,
+            ):
+                best[tag] = hit
+        hits = sorted(best.values(), key=lambda h: (h.hops, h.insert_tick))
+        return hits
+
+    def explain(self, location: Location, tag: Tag) -> List[Node]:
+        """A shortest event path from ``tag``'s insertion to ``location``.
+
+        Returns the node path (insertion first), or an empty list when
+        the tag never reaches the location.
+        """
+        target = self._current(location)
+        if target is None:
+            return []
+        candidates = [
+            node
+            for node, (node_tag, _tick) in self._insertions.items()
+            if node_tag == tag
+        ]
+        best: List[Node] = []
+        for start in candidates:
+            try:
+                path = nx.shortest_path(self.graph, start, target)
+            except nx.NetworkXNoPath:
+                continue
+            if not best or len(path) < len(best):
+                best = path
+        return best
+
+    def influence_of(self, tag: Tag) -> Set[Location]:
+        """All locations any insertion of ``tag`` ever influenced."""
+        influenced: Set[Location] = set()
+        for node, (node_tag, _tick) in self._insertions.items():
+            if node_tag != tag:
+                continue
+            influenced.add(node[0])
+            for descendant in nx.descendants(self.graph, node):
+                influenced.add(descendant[0])
+        return influenced
+
+    def taint_ground_truth(self, location: Location) -> Set[Tag]:
+        """The tags a perfect tracker would report on the location."""
+        return {hit.tag for hit in self.sources_of(location)}
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+
+def undertainting_of(
+    recording: Recording,
+    tracker_shadow,
+    locations: List[Location],
+) -> Dict[Location, Set[Tag]]:
+    """Ground-truth-missing tags per location: what the tracker lost.
+
+    Compares a replayed tracker's shadow against the lineage ground truth
+    (propagate-everything semantics) over the given locations.
+    """
+    lineage = LineageGraph.from_recording(recording)
+    missing: Dict[Location, Set[Tag]] = {}
+    for location in locations:
+        truth = lineage.taint_ground_truth(location)
+        held = set(tracker_shadow.tags_at(location))
+        lost = truth - held
+        if lost:
+            missing[location] = lost
+    return missing

@@ -1,0 +1,103 @@
+"""Run-level metrics: the quantities the paper's tables and figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.fairness import (
+    copy_count_mse,
+    jain_index,
+    normalized_entropy,
+    shannon_entropy,
+)
+from repro.dift.tracker import DIFTTracker
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured after one tracked run.
+
+    ``wall_seconds`` is real measured time; ``propagation_ops`` is the
+    hardware-independent work proxy for the paper's replay-time metric.
+    ``footprint_bytes`` is the live shadow-memory size (Table II's space).
+    """
+
+    wall_seconds: float = 0.0
+    propagation_ops: int = 0
+    footprint_bytes: int = 0
+    total_entries: int = 0
+    tainted_locations: int = 0
+    live_tags: int = 0
+    detected_bytes: int = 0
+    alerts: int = 0
+    ifp_candidates: int = 0
+    ifp_propagated: int = 0
+    ifp_blocked: int = 0
+    copy_mse: float = 0.0
+    copy_jain: float = 1.0
+    copy_entropy_bits: float = 0.0
+    copy_entropy_normalized: float = 1.0
+    per_type_entries: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ifp_propagation_rate(self) -> float:
+        if self.ifp_candidates == 0:
+            return 0.0
+        return self.ifp_propagated / self.ifp_candidates
+
+    def as_dict(self) -> Dict[str, float]:
+        payload = {
+            "wall_seconds": self.wall_seconds,
+            "propagation_ops": self.propagation_ops,
+            "footprint_bytes": self.footprint_bytes,
+            "total_entries": self.total_entries,
+            "tainted_locations": self.tainted_locations,
+            "live_tags": self.live_tags,
+            "detected_bytes": self.detected_bytes,
+            "alerts": self.alerts,
+            "ifp_candidates": self.ifp_candidates,
+            "ifp_propagated": self.ifp_propagated,
+            "ifp_blocked": self.ifp_blocked,
+            "ifp_propagation_rate": self.ifp_propagation_rate,
+            "copy_mse": self.copy_mse,
+            "copy_jain": self.copy_jain,
+            "copy_entropy_bits": self.copy_entropy_bits,
+            "copy_entropy_normalized": self.copy_entropy_normalized,
+        }
+        return payload
+
+
+def collect_run_metrics(
+    tracker: DIFTTracker,
+    wall_seconds: float = 0.0,
+    detected_bytes: Optional[int] = None,
+) -> RunMetrics:
+    """Snapshot a tracker (and optional detector result) into metrics."""
+    copies = list(tracker.counter.snapshot().values())
+    stats = tracker.stats
+    detector = tracker.detector
+    if detected_bytes is None:
+        detected_bytes = detector.detected_bytes if detector is not None else 0
+    per_type = {
+        tag_type: sum(counts.values())
+        for tag_type, counts in tracker.counter.per_type_counts().items()
+    }
+    return RunMetrics(
+        wall_seconds=wall_seconds,
+        propagation_ops=stats.propagation_ops,
+        footprint_bytes=tracker.shadow.footprint_bytes(),
+        total_entries=tracker.shadow.total_entries(),
+        tainted_locations=tracker.shadow.tainted_count(),
+        live_tags=tracker.counter.live_tags(),
+        detected_bytes=detected_bytes,
+        alerts=stats.alerts,
+        ifp_candidates=stats.ifp_candidates,
+        ifp_propagated=stats.ifp_propagated,
+        ifp_blocked=stats.ifp_blocked,
+        copy_mse=copy_count_mse(copies),
+        copy_jain=jain_index(copies),
+        copy_entropy_bits=shannon_entropy(copies),
+        copy_entropy_normalized=normalized_entropy(copies),
+        per_type_entries=per_type,
+    )

@@ -1,0 +1,175 @@
+"""Terminal plots: render the paper's figures as ASCII charts.
+
+Dependency-free scatter/line plots good enough to *see* the shapes the
+experiments assert: the Fig. 3 cost curves, Fig. 7's +1/-1 decision
+stripes, Fig. 8's falling MSE, Fig. 9's saturating boost.  Each plot is a
+character grid with labeled y-extremes and an x-range footer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+Number = float
+
+
+def _finite(values: Sequence[Number]) -> List[float]:
+    return [float(v) for v in values if math.isfinite(v)]
+
+
+def _scale(
+    value: float, low: float, high: float, cells: int
+) -> int:
+    if high == low:
+        return cells // 2
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(position * (cells - 1) + 0.5)))
+
+
+def ascii_plot(
+    xs: Sequence[Number],
+    ys: Sequence[Number],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    marker: str = "*",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Scatter plot of one series on a ``width x height`` character grid."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    points = [
+        (float(x), float(y))
+        for x, y in zip(xs, ys)
+        if math.isfinite(float(x)) and math.isfinite(float(y))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no finite points)")
+        return "\n".join(lines)
+    x_values = [p[0] for p in points]
+    y_values = [p[1] for p in points]
+    x_low, x_high = min(x_values), max(x_values)
+    y_low, y_high = min(y_values), max(y_values)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = marker
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(gutter)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    footer = f"{' ' * gutter}+{'-' * width}"
+    lines.append(footer)
+    x_range = f"{x_low:.4g} .. {x_high:.4g}"
+    if x_label:
+        x_range += f"  ({x_label})"
+    lines.append(f"{' ' * (gutter + 1)}{x_range}")
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def multi_series_plot(
+    series: Sequence[Tuple[str, Sequence[Number], Sequence[Number]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    markers: str = "*o+x#@%&",
+) -> str:
+    """Overlay several (label, xs, ys) series with distinct markers."""
+    all_points: List[Tuple[float, float, str]] = []
+    legend: List[str] = []
+    for index, (label, xs, ys) in enumerate(series):
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: length mismatch")
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {label}")
+        for x, y in zip(xs, ys):
+            if math.isfinite(float(x)) and math.isfinite(float(y)):
+                all_points.append((float(x), float(y), marker))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not all_points:
+        lines.append("(no finite points)")
+        return "\n".join(lines)
+    x_values = [p[0] for p in all_points]
+    y_values = [p[1] for p in all_points]
+    x_low, x_high = min(x_values), max(x_values)
+    y_low, y_high = min(y_values), max(y_values)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in all_points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = marker
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(gutter)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(f"{' ' * gutter}+{'-' * width}")
+    lines.append(f"{' ' * (gutter + 1)}{x_low:.4g} .. {x_high:.4g}")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def decision_stripe(
+    ticks: Sequence[int],
+    decisions: Sequence[int],
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Fig. 7(b)-(d) style stripe: time binned left-to-right, each bin
+    showing the propagate/block mix (``^`` mostly +1, ``v`` mostly -1,
+    ``~`` mixed, `` `` empty)."""
+    if len(ticks) != len(decisions):
+        raise ValueError("ticks and decisions must align")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not ticks:
+        lines.append("(no decisions)")
+        return "\n".join(lines)
+    low, high = min(ticks), max(ticks)
+    spans: List[List[int]] = [[] for _ in range(width)]
+    for tick, decision in zip(ticks, decisions):
+        spans[_scale(float(tick), float(low), float(high), width)].append(
+            decision
+        )
+    cells = []
+    for bucket in spans:
+        if not bucket:
+            cells.append(" ")
+            continue
+        positive = sum(1 for d in bucket if d > 0)
+        ratio = positive / len(bucket)
+        if ratio >= 0.9:
+            cells.append("^")
+        elif ratio <= 0.1:
+            cells.append("v")
+        else:
+            cells.append("~")
+    lines.append("".join(cells))
+    lines.append(f"ticks {low} .. {high}   ^=propagated  v=blocked  ~=mixed")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Plain-text renderers for experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-4):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Number],
+    ys: Sequence[Number],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 4,
+    max_points: int = 25,
+) -> str:
+    """Render an (x, y) series, downsampling long ones evenly."""
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"series length mismatch: {len(xs)} xs vs {len(ys)} ys"
+        )
+    n = len(xs)
+    if n > max_points:
+        step = n / max_points
+        indices = [int(i * step) for i in range(max_points)]
+        if indices[-1] != n - 1:
+            indices.append(n - 1)
+    else:
+        indices = list(range(n))
+    rows = [[xs[i], ys[i]] for i in indices]
+    table = format_table([x_label, y_label], rows, precision=precision)
+    return f"{name} ({n} points)\n{table}"
+
+
+def format_mapping(
+    name: str, mapping: Mapping[str, object], precision: int = 3
+) -> str:
+    """Render a {key: value} mapping as a two-column table."""
+    rows = [[key, value] for key, value in mapping.items()]
+    return format_table(
+        ["metric", "value"], rows, precision=precision, title=name
+    )

@@ -1,0 +1,87 @@
+"""Multi-seed summary statistics for experiment robustness.
+
+The paper averages its case study over six shell runs; this module
+provides the general machinery: run any seeded experiment over several
+seeds and summarize each metric with mean, standard deviation, and a
+normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+#: z-value for the 95% two-sided normal interval
+Z_95 = 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of one metric across repetitions."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the 95% CI for the mean (normal approximation)."""
+        if self.n <= 1:
+            return 0.0
+        return Z_95 * self.std / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> tuple:
+        half = self.ci95_half_width
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample (sample standard deviation)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        n=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def summarize_metrics(
+    samples: Sequence[Mapping[str, float]]
+) -> Dict[str, Summary]:
+    """Per-metric summaries over repeated runs' metric dicts.
+
+    Metrics missing from some repetitions are summarized over the
+    repetitions that do report them.
+    """
+    by_metric: Dict[str, List[float]] = {}
+    for sample in samples:
+        for metric, value in sample.items():
+            by_metric.setdefault(metric, []).append(float(value))
+    return {metric: summarize(values) for metric, values in by_metric.items()}
+
+
+def repeat_over_seeds(
+    run: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, Summary]:
+    """Run a seeded experiment per seed and summarize every metric.
+
+    ``run`` maps a seed to a flat ``{metric: value}`` dict (e.g.
+    ``lambda seed: system_metrics(seed).as_dict()``).
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    return summarize_metrics([dict(run(seed)) for seed in seeds])

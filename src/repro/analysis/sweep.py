@@ -1,0 +1,100 @@
+"""Generic parameter-sweep harness over recordings.
+
+The experiments in :mod:`repro.experiments` are hand-shaped to the paper's
+figures; :class:`ParameterSweep` is the general tool for exploring any
+MITOS input over any recording: give it a base config factory, a parameter
+grid, and a metric extractor, and it replays once per grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.metrics import RunMetrics
+from repro.core.params import MitosParams
+from repro.replay.record import Recording
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle with faros)
+    from repro.faros import FarosConfig
+
+
+@dataclass
+class SweepPoint:
+    """One grid point's outcome."""
+
+    value: object
+    metrics: RunMetrics
+    label: str = ""
+
+
+@dataclass
+class SweepResult:
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[tuple]:
+        """(value, metric) pairs, in grid order."""
+        return [
+            (point.value, getattr(point.metrics, metric))
+            for point in self.points
+        ]
+
+    def values(self) -> List[object]:
+        return [point.value for point in self.points]
+
+
+class ParameterSweep:
+    """Replays one recording across a grid of MITOS parameter points."""
+
+    def __init__(
+        self,
+        recording: Recording,
+        config_factory: "Callable[[MitosParams], FarosConfig] | None" = None,
+    ):
+        if config_factory is None:
+            from repro.faros import mitos_config
+
+            config_factory = mitos_config
+        self.recording = recording
+        self.config_factory = config_factory
+
+    def run(
+        self,
+        parameter: str,
+        values: Sequence[object],
+        base_params: MitosParams,
+    ) -> SweepResult:
+        """Sweep one :class:`MitosParams` field across ``values``.
+
+        ``parameter`` must be a field name of :class:`MitosParams`
+        (e.g. ``"tau"``, ``"alpha"``); each value produces one replay.
+        """
+        from repro.faros import FarosSystem
+
+        result = SweepResult(parameter=parameter)
+        for value in values:
+            params = base_params.with_updates(**{parameter: value})
+            system = FarosSystem(self.config_factory(params))
+            run_result = system.replay(self.recording)
+            result.points.append(
+                SweepPoint(
+                    value=value,
+                    metrics=run_result.metrics,
+                    label=f"{parameter}={value}",
+                )
+            )
+        return result
+
+    def run_grid(
+        self,
+        grid: Dict[str, Sequence[object]],
+        base_params: MitosParams,
+    ) -> Dict[str, SweepResult]:
+        """Independent one-dimensional sweeps for several parameters."""
+        return {
+            parameter: self.run(parameter, values, base_params)
+            for parameter, values in grid.items()
+        }

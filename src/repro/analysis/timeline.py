@@ -1,0 +1,154 @@
+"""Decision timelines: the raw material of Fig. 7.
+
+Fig. 7(a) plots the two submarginal costs of Eq. 8 for every indirect-flow
+decision over time; Fig. 7(b)-(d) plot the corresponding binary decisions.
+:class:`DecisionTimeline` is a tracker observer that captures exactly that:
+one :class:`DecisionPoint` per candidate tag per indirect flow.
+
+Decision encoding: ``+1`` propagated, ``-1`` blocked.  (The paper's prose
+and figure caption disagree on the sign convention; we fix propagated =
++1 and note it in EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.decision import MultiDecision, TagCandidate
+from repro.dift.flows import FlowEvent
+from repro.dift.tags import Tag
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """One per-tag IFP decision with its submarginal breakdown."""
+
+    tick: int
+    tag_type: str
+    tag_index: int
+    copies: int
+    under_marginal: float
+    over_marginal: float
+    marginal: float
+    propagated: bool
+    flow_kind: str
+
+    @property
+    def decision_value(self) -> int:
+        """+1 propagated, -1 blocked (Fig. 7(b)-(d) y-axis)."""
+        return 1 if self.propagated else -1
+
+
+class DecisionTimeline:
+    """Tracker observer accumulating per-decision points.
+
+    Pass :attr:`observer` as the tracker's ``ifp_observer``.  When the
+    policy exposes marginal details (MITOS), the submarginals are recorded;
+    for detail-less baselines only the binary outcome is kept.
+    """
+
+    def __init__(self) -> None:
+        self.points: List[DecisionPoint] = []
+
+    def observer(
+        self,
+        event: FlowEvent,
+        candidates: Sequence[TagCandidate],
+        details: Optional[MultiDecision],
+        selected: Sequence[Tag],
+        pollution: float,
+    ) -> None:
+        selected_keys = {tag for tag in selected}
+        if details is not None:
+            for decision in details.decisions:
+                candidate = decision.candidate
+                self.points.append(
+                    DecisionPoint(
+                        tick=event.tick,
+                        tag_type=candidate.tag_type,
+                        tag_index=self._index_of(candidate),
+                        copies=candidate.copies,
+                        under_marginal=decision.under_marginal,
+                        over_marginal=decision.over_marginal,
+                        marginal=decision.marginal,
+                        propagated=decision.propagate,
+                        flow_kind=event.kind.value,
+                    )
+                )
+        else:
+            for candidate in candidates:
+                self.points.append(
+                    DecisionPoint(
+                        tick=event.tick,
+                        tag_type=candidate.tag_type,
+                        tag_index=self._index_of(candidate),
+                        copies=candidate.copies,
+                        under_marginal=0.0,
+                        over_marginal=0.0,
+                        marginal=0.0,
+                        propagated=candidate.key in selected_keys,
+                        flow_kind=event.kind.value,
+                    )
+                )
+
+    @staticmethod
+    def _index_of(candidate: TagCandidate) -> int:
+        key = candidate.key
+        if isinstance(key, Tag):
+            return key.index
+        return 0
+
+    # -- series extraction ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def decision_series(self) -> Tuple[List[int], List[int]]:
+        """(ticks, +1/-1 decisions) -- Fig. 7(b)-(d)."""
+        return (
+            [p.tick for p in self.points],
+            [p.decision_value for p in self.points],
+        )
+
+    def marginal_series(self) -> Tuple[List[int], List[float], List[float]]:
+        """(ticks, undertainting submarginals, overtainting submarginals).
+
+        Fig. 7(a): the under series varies per tag (local information),
+        the over series is the global pollution signal.
+        """
+        return (
+            [p.tick for p in self.points],
+            [p.under_marginal for p in self.points],
+            [p.over_marginal for p in self.points],
+        )
+
+    @property
+    def propagated_count(self) -> int:
+        return sum(1 for p in self.points if p.propagated)
+
+    @property
+    def blocked_count(self) -> int:
+        return sum(1 for p in self.points if not p.propagated)
+
+    @property
+    def propagation_rate(self) -> float:
+        if not self.points:
+            return 0.0
+        return self.propagated_count / len(self.points)
+
+    def rate_by_type(self) -> dict:
+        """Per-tag-type propagation rates (Fig. 9 raw data)."""
+        totals: dict = {}
+        propagated: dict = {}
+        for point in self.points:
+            totals[point.tag_type] = totals.get(point.tag_type, 0) + 1
+            if point.propagated:
+                propagated[point.tag_type] = propagated.get(point.tag_type, 0) + 1
+        return {
+            tag_type: propagated.get(tag_type, 0) / count
+            for tag_type, count in totals.items()
+        }
+
+    def reset(self) -> None:
+        self.points.clear()

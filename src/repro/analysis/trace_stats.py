@@ -1,0 +1,117 @@
+"""Recording-level statistics: what is in a trace before tracking it.
+
+A :class:`TraceSummary` answers the questions one asks of a PANDA record
+before paying for an analysis pass: how long is it, what flow classes
+does it contain, which instructions produced them, where do taint
+sources come from, and which destinations are hottest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.dift.flows import FlowKind
+from repro.replay.record import Recording
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of one recording."""
+
+    events: int = 0
+    duration_ticks: int = 0
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    context_counts: Dict[str, int] = field(default_factory=dict)
+    tag_births_by_type: Dict[str, int] = field(default_factory=dict)
+    distinct_tags: int = 0
+    distinct_destinations: int = 0
+    hottest_destinations: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def indirect_fraction(self) -> float:
+        """Share of flow events that are indirect (the IFP pressure)."""
+        indirect = self.kind_counts.get("address_dep", 0) + self.kind_counts.get(
+            "control_dep", 0
+        )
+        flow_total = sum(
+            count
+            for kind, count in self.kind_counts.items()
+            if kind not in ("insert", "clear")
+        )
+        if flow_total == 0:
+            return 0.0
+        return indirect / flow_total
+
+
+def summarize_recording(recording: Recording, top_k: int = 5) -> TraceSummary:
+    """One pass over the recording collecting the summary."""
+    if top_k < 0:
+        raise ValueError(f"top_k must be >= 0, got {top_k}")
+    summary = TraceSummary(
+        events=len(recording), duration_ticks=recording.duration_ticks
+    )
+    destination_counts: Dict[str, int] = {}
+    seen_tags = set()
+    for event in recording:
+        summary.kind_counts[event.kind.value] = (
+            summary.kind_counts.get(event.kind.value, 0) + 1
+        )
+        if event.context:
+            summary.context_counts[event.context] = (
+                summary.context_counts.get(event.context, 0) + 1
+            )
+        if event.kind is FlowKind.INSERT and event.tag is not None:
+            if event.tag not in seen_tags:
+                seen_tags.add(event.tag)
+                summary.tag_births_by_type[event.tag.type] = (
+                    summary.tag_births_by_type.get(event.tag.type, 0) + 1
+                )
+        key = repr(event.destination)
+        destination_counts[key] = destination_counts.get(key, 0) + 1
+    summary.distinct_tags = len(seen_tags)
+    summary.distinct_destinations = len(destination_counts)
+    summary.hottest_destinations = sorted(
+        destination_counts.items(), key=lambda item: -item[1]
+    )[:top_k]
+    return summary
+
+
+def format_trace_summary(summary: TraceSummary) -> str:
+    """Human-readable rendering of a summary."""
+    blocks = [
+        format_table(
+            ["metric", "value"],
+            [
+                ["events", summary.events],
+                ["duration (ticks)", summary.duration_ticks],
+                ["distinct tags", summary.distinct_tags],
+                ["distinct destinations", summary.distinct_destinations],
+                ["indirect-flow fraction", summary.indirect_fraction],
+            ],
+            title="trace summary",
+        ),
+        format_table(
+            ["flow kind", "events"],
+            sorted(summary.kind_counts.items()),
+            title="flow mix",
+        ),
+    ]
+    if summary.tag_births_by_type:
+        blocks.append(
+            format_table(
+                ["tag type", "tags born"],
+                sorted(summary.tag_births_by_type.items()),
+                title="taint sources",
+            )
+        )
+    if summary.hottest_destinations:
+        blocks.append(
+            format_table(
+                ["destination", "writes"],
+                summary.hottest_destinations,
+                title="hottest destinations",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,274 @@
+"""Command-line driver for the MITOS reproduction.
+
+Two families of commands:
+
+* **experiments** -- regenerate a paper artifact::
+
+      mitos-repro fig3|fig7|fig8|fig9|table2|ablations|all [--quick] [--seed N]
+
+* **trace tools** -- record, inspect, and replay whole-system traces::
+
+      mitos-repro record network --out trace.jsonl.gz --seed 3
+      mitos-repro record attack --variant reverse_https --out atk.jsonl.gz
+      mitos-repro inspect trace.jsonl.gz
+      mitos-repro replay trace.jsonl.gz --policy mitos --tau 0.1
+      mitos-repro lineage atk.jsonl.gz --location mem:0x4800
+
+Recordings are JSON-lines (gzip if the path ends in ``.gz``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import (
+    ablations,
+    fig3,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    workload_sensitivity,
+)
+
+#: experiment name -> (run, render)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "fig3": (fig3.run, fig3.render),
+    "fig7": (fig7.run, fig7.render),
+    "fig8": (fig8.run, fig8.render),
+    "fig9": (fig9.run, fig9.render),
+    "table2": (table2.run, table2.render),
+    "ablations": (ablations.run, ablations.render),
+    "sensitivity": (workload_sensitivity.run, workload_sensitivity.render),
+}
+
+#: workload name -> factory(seed, quick, variant) (variant used by attack)
+def _make_workload(name: str, seed: int, quick: bool, variant: Optional[str]):
+    from repro.workloads.attack import InMemoryAttack
+    from repro.workloads.cpu import CpuBenchmark
+    from repro.workloads.filesystem import FileSystemBenchmark
+    from repro.workloads.network import NetworkBenchmark
+
+    if name == "network":
+        if quick:
+            return NetworkBenchmark(
+                seed=seed, connections=3, bytes_per_connection=96, rounds=1,
+                config_files=1, bytes_per_file=48, heavy_hitter=False,
+            )
+        return NetworkBenchmark(seed=seed)
+    if name == "cpu":
+        return CpuBenchmark(seed=seed, rounds=1 if quick else 3)
+    if name == "filesystem":
+        return FileSystemBenchmark(seed=seed, rounds=1 if quick else 2)
+    if name == "attack":
+        kwargs = (
+            dict(payload_bytes=96, imports=12, noise_bytes=192, noise_rounds=4)
+            if quick
+            else {}
+        )
+        return InMemoryAttack(
+            variant=variant or "reverse_tcp", seed=seed, **kwargs
+        )
+    raise ValueError(f"unknown workload {name!r}")
+
+
+WORKLOAD_NAMES = ("network", "cpu", "filesystem", "attack")
+
+
+def _parse_location(text: str):
+    """Parse ``mem:0x4800`` / ``reg:r3`` into a shadow location."""
+    from repro.dift.shadow import mem, reg
+
+    kind, _, value = text.partition(":")
+    if kind == "mem":
+        return mem(int(value, 0))
+    if kind == "reg":
+        return reg(value)
+    raise argparse.ArgumentTypeError(
+        f"location must look like mem:0x4800 or reg:r3, got {text!r}"
+    )
+
+
+def _parse_tag(text: str):
+    """Parse ``netflow:1`` into a Tag."""
+    from repro.dift.tags import Tag
+
+    tag_type, _, index = text.partition(":")
+    try:
+        return Tag(tag_type, int(index))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"tag must look like netflow:1, got {text!r}"
+        ) from error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mitos-repro",
+        description="Reproduce and explore MITOS (ICDCS 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        sub = subparsers.add_parser(
+            name, help=f"regenerate paper artifact {name}"
+        )
+        sub.add_argument("--quick", action="store_true")
+        sub.add_argument("--seed", type=int, default=0)
+
+    record = subparsers.add_parser("record", help="record a workload trace")
+    record.add_argument("workload", choices=WORKLOAD_NAMES)
+    record.add_argument("--out", required=True, help="output path (.gz ok)")
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--quick", action="store_true")
+    record.add_argument(
+        "--variant", default=None, help="attack shell variant (attack only)"
+    )
+
+    from repro.faros.config import POLICY_NAMES
+
+    replay = subparsers.add_parser("replay", help="replay a trace file")
+    replay.add_argument("trace", help="recording path")
+    replay.add_argument("--policy", default="mitos", choices=POLICY_NAMES)
+    replay.add_argument("--all-flows", action="store_true",
+                        help="route direct flows through the policy too")
+    replay.add_argument("--tau", type=float, default=1.0)
+    replay.add_argument("--alpha", type=float, default=1.5)
+    replay.add_argument("--quick-calibration", action="store_true",
+                        help="use the quick-scale decision boundary")
+
+    inspect = subparsers.add_parser("inspect", help="summarize a trace file")
+    inspect.add_argument("trace", help="recording path")
+    inspect.add_argument("--top", type=int, default=5)
+
+    lineage = subparsers.add_parser(
+        "lineage", help="trace a location's taint back to its sources"
+    )
+    lineage.add_argument("trace", help="recording path")
+    lineage.add_argument(
+        "--location", type=_parse_location, required=True,
+        help="mem:0x4800 or reg:r3",
+    )
+    lineage.add_argument(
+        "--tag", type=_parse_tag, default=None,
+        help="explain one tag's path (netflow:1)",
+    )
+    lineage.add_argument(
+        "--direct-only", action="store_true",
+        help="what a DFP-only tracker could know",
+    )
+    return parser
+
+
+def run_one(name: str, quick: bool, seed: int) -> str:
+    run, render = EXPERIMENTS[name]
+    started = time.perf_counter()
+    result = run(quick=quick, seed=seed)
+    elapsed = time.perf_counter() - started
+    body = render(result)
+    return f"{body}\n[{name} completed in {elapsed:.1f}s]"
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    workload = _make_workload(args.workload, args.seed, args.quick, args.variant)
+    recording = workload.record()
+    recording.save(args.out)
+    print(
+        f"recorded {len(recording)} events "
+        f"({recording.kind_counts()}) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_mapping
+    from repro.experiments.common import experiment_params
+    from repro.faros import FarosConfig, FarosSystem
+    from repro.replay.record import Recording
+
+    recording = Recording.load(args.trace)
+    params = experiment_params(
+        quick=args.quick_calibration, tau=args.tau, alpha=args.alpha
+    )
+    config = FarosConfig(
+        params=params,
+        policy=args.policy,
+        direct_via_policy=args.all_flows,
+        label=args.policy,
+    )
+    system = FarosSystem(config)
+    result = system.replay(recording)
+    print(
+        format_mapping(
+            f"replay of {args.trace} under {args.policy}"
+            + (" (all flows)" if args.all_flows else ""),
+            result.metrics.as_dict(),
+        )
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_stats import (
+        format_trace_summary,
+        summarize_recording,
+    )
+    from repro.replay.record import Recording
+
+    recording = Recording.load(args.trace)
+    print(format_trace_summary(summarize_recording(recording, top_k=args.top)))
+    return 0
+
+
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    from repro.analysis.lineage import LineageGraph
+    from repro.replay.record import Recording
+
+    recording = Recording.load(args.trace)
+    lineage = LineageGraph.from_recording(
+        recording, include_indirect=not args.direct_only
+    )
+    hits = lineage.sources_of(args.location)
+    if not hits:
+        print(f"{args.location}: no taint sources reach this location")
+        return 0
+    print(f"{args.location}: reached by {len(hits)} source(s)")
+    for hit in hits:
+        print(
+            f"  {hit.tag.type}#{hit.tag.index}  "
+            f"inserted at tick {hit.insert_tick}, {hit.hops} hops away"
+        )
+    if args.tag is not None:
+        path = lineage.explain(args.location, args.tag)
+        if not path:
+            print(f"{args.tag} never reaches {args.location}")
+        else:
+            print(f"path of {args.tag}:")
+            for location, version in path:
+                print(f"  {location} (v{version})")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command in EXPERIMENTS or command == "all":
+        names = sorted(EXPERIMENTS) if command == "all" else [command]
+        for name in names:
+            print(run_one(name, args.quick, args.seed))
+            print()
+        return 0
+    handlers = {
+        "record": _cmd_record,
+        "replay": _cmd_replay,
+        "inspect": _cmd_inspect,
+        "lineage": _cmd_lineage,
+    }
+    return handlers[command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""MITOS core: cost model, decision rule, solvers and fairness metrics."""
+
+from repro.core.params import MitosParams
+from repro.core.costs import (
+    marginal_cost,
+    over_cost,
+    total_cost,
+    under_cost,
+    under_cost_term,
+)
+from repro.core.decision import MitosEngine, TagCandidate, decide_multi, decide_single
+from repro.core.fairness import copy_count_mse, jain_index, shannon_entropy
+
+__all__ = [
+    "MitosParams",
+    "under_cost_term",
+    "under_cost",
+    "over_cost",
+    "total_cost",
+    "marginal_cost",
+    "TagCandidate",
+    "decide_single",
+    "decide_multi",
+    "MitosEngine",
+    "copy_count_mse",
+    "jain_index",
+    "shannon_entropy",
+]

@@ -1,0 +1,123 @@
+"""Run-context-adaptive tag-type weights (tag confluence, Section IV-B1).
+
+The paper notes that "one could even consider a *tag confluence* (when
+two or more tags come together) to control the tag propagation of the
+involved tags based on a certain run context".  This module makes that
+concrete:
+
+* :class:`AdaptiveWeights` -- mutable per-type multipliers on top of the
+  static ``u_t`` weights, with multiplicative boosts and exponential
+  decay back toward 1, so a burst of suspicion accelerates the involved
+  types for a while and then fades;
+* :class:`AdaptiveMitosPolicy` -- a MITOS policy whose every decision
+  uses the *effective* (static x adaptive) weights.
+
+The DIFT-side trigger -- boosting the types involved in a detector alert
+-- lives in :mod:`repro.dift.confluence`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decision import MultiDecision, TagCandidate, decide_multi
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy
+
+
+class AdaptiveWeights:
+    """Per-tag-type multipliers with boost and exponential decay.
+
+    A type's effective undertainting weight is ``u_t * multiplier(t)``.
+    Multipliers start at 1, are raised by :meth:`boost`, and relax toward
+    1 by a factor ``decay`` per :meth:`tick` (one tick per decision by
+    default, wired by the policy).
+    """
+
+    def __init__(self, decay: float = 0.999, max_multiplier: float = 1e4):
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if max_multiplier < 1:
+            raise ValueError(
+                f"max_multiplier must be >= 1, got {max_multiplier}"
+            )
+        self.decay = decay
+        self.max_multiplier = max_multiplier
+        self._multipliers: Dict[str, float] = {}
+
+    def multiplier(self, tag_type: str) -> float:
+        return self._multipliers.get(tag_type, 1.0)
+
+    def boost(self, tag_type: str, factor: float) -> None:
+        """Multiply a type's weight (clamped at ``max_multiplier``)."""
+        if factor <= 0:
+            raise ValueError(f"boost factor must be positive, got {factor}")
+        current = self._multipliers.get(tag_type, 1.0)
+        self._multipliers[tag_type] = min(
+            current * factor, self.max_multiplier
+        )
+
+    def tick(self) -> None:
+        """One decay step: every multiplier relaxes toward 1."""
+        expired: List[str] = []
+        for tag_type, value in self._multipliers.items():
+            relaxed = 1.0 + (value - 1.0) * self.decay
+            if abs(relaxed - 1.0) < 1e-6:
+                expired.append(tag_type)
+            else:
+                self._multipliers[tag_type] = relaxed
+        for tag_type in expired:
+            del self._multipliers[tag_type]
+
+    def apply(self, params: MitosParams) -> MitosParams:
+        """Parameters with effective (static x adaptive) ``u`` weights."""
+        if not self._multipliers:
+            return params
+        merged = dict(params.u)
+        for tag_type, multiplier in self._multipliers.items():
+            merged[tag_type] = params.u_of(tag_type) * multiplier
+        return params.with_updates(u=merged)
+
+    def active_types(self) -> Dict[str, float]:
+        """Currently boosted types and their multipliers (copy)."""
+        return dict(self._multipliers)
+
+    def reset(self) -> None:
+        self._multipliers.clear()
+
+
+class AdaptiveMitosPolicy(MitosPolicy):
+    """MITOS whose decisions see confluence-boosted tag-type weights."""
+
+    name = "mitos-adaptive"
+
+    def __init__(
+        self,
+        params: MitosParams,
+        weights: Optional[AdaptiveWeights] = None,
+        pollution_source: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(params, pollution_source)
+        self.weights = weights if weights is not None else AdaptiveWeights()
+
+    def select_with_details(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> Tuple[List[TagCandidate], Optional[MultiDecision]]:
+        effective = self.weights.apply(self.engine.params)
+        outcome = decide_multi(
+            candidates, free_slots, self.engine.current_pollution(), effective
+        )
+        for decision in outcome.decisions:
+            self.engine.stats.observe(decision)
+        self.weights.tick()
+        return outcome.propagated, outcome
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        selected, _ = self.select_with_details(candidates, free_slots)
+        return selected
+
+    def reset(self) -> None:
+        super().reset()
+        self.weights.reset()

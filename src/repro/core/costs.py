@@ -1,0 +1,206 @@
+"""MITOS cost model: Eq. (2)-(5) and the marginal cost of Eq. (8).
+
+The model weighs two antagonistic costs over the copy-count vector ``n``:
+
+* the *alpha-fair undertainting cost* (Eq. 3)::
+
+      c_under(n) = sum_t u_t * sum_i n[t,i]**(1 - alpha) / (alpha - 1)
+
+  which is monotonically decreasing in every ``n[t,i]`` (more copies of a
+  tag means less undertainting for it), and
+
+* the *beta-steep overtainting cost* (Eq. 4)::
+
+      c_over(n) = (sum_t o_t * sum_i n[t,i] / N_R) ** beta
+
+  which is monotonically increasing in every ``n[t,i]`` (more provenance
+  entries means more memory pollution).
+
+Total cost (Eq. 2): ``c(n) = c_under(n) + tau_eff * c_over(n)`` where
+``tau_eff = tau * tau_scale`` (see :mod:`repro.core.params`).
+
+``alpha = 1`` limit
+-------------------
+Eq. 3 is undefined at ``alpha = 1``.  The paper substitutes a logarithmic
+form there.  The analytic limit of ``n**(1-alpha)/(alpha-1)`` as
+``alpha -> 1`` is ``-log(n)`` (up to an additive constant that does not
+affect any gradient), which is the classic proportional-fairness utility
+and keeps the marginal cost of Eq. 8 continuous in ``alpha``: at
+``alpha = 1`` the derivative ``-u * n**-alpha`` equals ``-u / n``, exactly
+``d/dn (-u log n)``.  We therefore implement ``alpha = 1`` as ``-log(n)``.
+
+Eq. (8) as published vs. the exact gradient
+-------------------------------------------
+Differentiating Eq. 4 exactly gives an extra factor ``o_T / N_R`` on the
+overtainting side::
+
+    exact:      -u_T * n**-alpha + tau_eff * beta * (P/N_R)**(beta-1) * o_T / N_R
+    published:  -u_T * n**-alpha + tau_eff * beta * (P/N_R)**(beta-1)
+
+The paper's Eq. 8 folds ``o_T / N_R`` into the tau normalization ("values
+normalized up to the power of 10^6").  :func:`marginal_cost` implements the
+published form by default and exposes ``exact=True`` for the centralized
+solver and the gradient-consistency ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence, Tuple
+
+from repro.core.params import MitosParams
+
+#: Alias for the sparse copy-count vector n: {(tag_type, index): copies}.
+CopyVector = Mapping[Tuple[str, int], float]
+
+
+def under_cost_term(copies: float, alpha: float) -> float:
+    """Single-tag undertainting term ``copies**(1-alpha) / (alpha-1)``.
+
+    Returns ``+inf`` for a tag with zero copies when ``alpha >= 1`` (a live
+    tag that is nowhere is infinitely undertainted) and ``0.0`` when
+    ``alpha < 1`` (the term vanishes at the origin).
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if copies < 0:
+        raise ValueError(f"copies must be non-negative, got {copies}")
+    if copies == 0:
+        return math.inf if alpha >= 1 else 0.0
+    if alpha == 1:
+        return -math.log(copies)
+    return copies ** (1.0 - alpha) / (alpha - 1.0)
+
+
+def under_cost(n: CopyVector, params: MitosParams) -> float:
+    """Eq. (3): alpha-fair undertainting cost of the full copy vector."""
+    return sum(
+        params.u_of(tag_type) * under_cost_term(copies, params.alpha)
+        for (tag_type, _index), copies in n.items()
+    )
+
+
+def pollution(n: CopyVector, params: MitosParams) -> float:
+    """Weighted memory pollution ``sum_t o_t sum_i n[t,i]`` (Eq. 4 numerator)."""
+    return sum(
+        params.o_of(tag_type) * copies for (tag_type, _index), copies in n.items()
+    )
+
+
+def over_cost(n: CopyVector, params: MitosParams) -> float:
+    """Eq. (4): beta-steep overtainting cost of the full copy vector."""
+    return over_cost_from_pollution(pollution(n, params), params)
+
+
+def over_cost_from_pollution(pollution_value: float, params: MitosParams) -> float:
+    """Eq. (4) evaluated from a precomputed (possibly estimated) pollution."""
+    if pollution_value < 0:
+        raise ValueError(f"pollution must be non-negative, got {pollution_value}")
+    return (pollution_value / params.N_R) ** params.beta
+
+
+def total_cost(n: CopyVector, params: MitosParams) -> float:
+    """Eq. (2)/(5): ``c_under(n) + tau_eff * c_over(n)``."""
+    return under_cost(n, params) + params.effective_tau * over_cost(n, params)
+
+
+def under_marginal(copies: float, tag_type: str, params: MitosParams) -> float:
+    """Undertainting submarginal ``-u_T * copies**-alpha`` (left of Eq. 8).
+
+    ``-inf`` at zero copies: propagating the first copy of a tag is always
+    worthwhile from the undertainting perspective.
+    """
+    if copies < 0:
+        raise ValueError(f"copies must be non-negative, got {copies}")
+    if copies == 0:
+        return -math.inf
+    return -params.u_of(tag_type) * copies ** (-params.alpha)
+
+
+def over_marginal(
+    pollution_value: float,
+    params: MitosParams,
+    tag_type: str = "",
+    exact: bool = False,
+) -> float:
+    """Overtainting submarginal (right of Eq. 8).
+
+    The published form is ``tau_eff * beta * (P / N_R)**(beta - 1)``; with
+    ``exact=True`` the true derivative factor ``o_T / N_R`` is included.
+    This quantity is identical for all tags (published form) and is the
+    globally shared "memory pollution" signal of the distributed algorithm.
+    """
+    if pollution_value < 0:
+        raise ValueError(f"pollution must be non-negative, got {pollution_value}")
+    base = (
+        params.effective_tau
+        * params.beta
+        * (pollution_value / params.N_R) ** (params.beta - 1.0)
+    )
+    if exact:
+        return base * params.o_of(tag_type) / params.N_R
+    return base
+
+
+def marginal_cost(
+    copies: float,
+    pollution_value: float,
+    tag_type: str,
+    params: MitosParams,
+    exact: bool = False,
+) -> float:
+    """Eq. (8): marginal cost of propagating tag ``{T, I}`` to one more byte.
+
+    Negative marginal cost means propagation improves the objective
+    (Lemma 2: propagate iff ``marginal <= 0``).
+    """
+    return under_marginal(copies, tag_type, params) + over_marginal(
+        pollution_value, params, tag_type=tag_type, exact=exact
+    )
+
+
+def gradient(n: CopyVector, params: MitosParams, exact: bool = True) -> dict:
+    """Full gradient of Eq. (5) at ``n`` (exact by default, for solvers)."""
+    pollution_value = pollution(n, params)
+    return {
+        key: marginal_cost(copies, pollution_value, key[0], params, exact=exact)
+        for key, copies in n.items()
+    }
+
+
+def finite_difference(
+    n: CopyVector,
+    key: Tuple[str, int],
+    params: MitosParams,
+    step: float = 1e-5,
+) -> float:
+    """Central finite difference of the total cost along one coordinate.
+
+    Used by the test suite to validate the analytic gradient.
+    """
+    lower = dict(n)
+    upper = dict(n)
+    lower[key] = n[key] - step
+    upper[key] = n[key] + step
+    return (total_cost(upper, params) - total_cost(lower, params)) / (2 * step)
+
+
+def cost_series(
+    copies_grid: Sequence[float],
+    alpha: float,
+) -> list:
+    """Undertainting-term series over a copies grid (Fig. 3(a) data)."""
+    return [under_cost_term(c, alpha) for c in copies_grid]
+
+
+def over_cost_series(
+    pollution_fractions: Iterable[float],
+    beta: float,
+) -> list:
+    """Overtainting series over pollution fractions P/N_R (Fig. 3(b) data)."""
+    result = []
+    for fraction in pollution_fractions:
+        if fraction < 0:
+            raise ValueError(f"pollution fraction must be >= 0, got {fraction}")
+        result.append(fraction**beta)
+    return result

@@ -1,0 +1,265 @@
+"""MITOS decisioning: Algorithm 1 and Algorithm 2 of the paper.
+
+Both algorithms answer the indirect-flow question at a single instruction:
+*which of the source operand's tags should be copied into the destination's
+provenance list?*
+
+* **Algorithm 1** (IFP Scenario 1): a single candidate tag and at least one
+  free slot at the destination.  Propagate iff the marginal cost of Eq. 8 is
+  non-positive (Lemma 2).
+* **Algorithm 2** (IFP Scenario 2): multiple candidate tags and ``A`` free
+  slots.  Sort candidates by marginal cost ascending and greedily propagate
+  while slots remain and the current marginal is non-positive, recomputing
+  the (pollution-dependent) marginal after every propagation.
+
+Note on the paper's loop guard: Alg. 2 line 5 reads ``while (#props <= A)``,
+which as written would admit ``A + 1`` propagations.  The prose ("which, at
+maximum two, tags ... should the DIFT system propagate?" for ``A = 2``)
+makes the intent clear, so we implement the guard as ``#props < A`` and the
+property tests pin "never exceeds the free space".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.core.costs import marginal_cost, over_marginal, under_marginal
+from repro.core.params import MitosParams
+
+
+@dataclass(frozen=True)
+class TagCandidate:
+    """A tag considered for indirect-flow propagation.
+
+    Attributes
+    ----------
+    key:
+        Opaque identity of the tag ``{T, I}`` (hashable; typically a
+        :class:`repro.dift.tags.Tag`).
+    tag_type:
+        The tag's type ``T`` (selects the ``u_t`` / ``o_t`` weights).
+    copies:
+        Current number of copies ``n[T,I]`` (bytes whose provenance list
+        holds this tag).
+    """
+
+    key: Hashable
+    tag_type: str
+    copies: int
+
+    def __post_init__(self) -> None:
+        if self.copies < 0:
+            raise ValueError(f"copies must be non-negative, got {self.copies}")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one propagation decision for one tag."""
+
+    candidate: TagCandidate
+    marginal: float
+    propagate: bool
+    #: submarginal breakdown, useful for Fig. 7(a)-style timelines
+    under_marginal: float = 0.0
+    over_marginal: float = 0.0
+
+
+@dataclass
+class MultiDecision:
+    """Outcome of Algorithm 2 over a full candidate set."""
+
+    decisions: List[Decision] = field(default_factory=list)
+    free_slots: int = 0
+
+    @property
+    def propagated(self) -> List[TagCandidate]:
+        return [d.candidate for d in self.decisions if d.propagate]
+
+    @property
+    def blocked(self) -> List[TagCandidate]:
+        return [d.candidate for d in self.decisions if not d.propagate]
+
+    @property
+    def propagated_count(self) -> int:
+        return len(self.propagated)
+
+
+def decide_single(
+    candidate: TagCandidate,
+    pollution: float,
+    params: MitosParams,
+) -> Decision:
+    """Algorithm 1: single-tag IFP decision with a free destination slot.
+
+    Parameters
+    ----------
+    candidate:
+        The tag under consideration with its current copy count.
+    pollution:
+        Current (possibly locally estimated) weighted memory pollution
+        ``sum_t o_t sum_i n[t,i]``.
+    params:
+        The MITOS inputs.
+
+    Returns
+    -------
+    Decision
+        ``propagate`` is True iff the Eq. 8 marginal is ``<= 0``.
+    """
+    under = under_marginal(candidate.copies, candidate.tag_type, params)
+    over = over_marginal(pollution, params, tag_type=candidate.tag_type)
+    marginal = under + over
+    return Decision(
+        candidate=candidate,
+        marginal=marginal,
+        propagate=marginal <= 0,
+        under_marginal=under,
+        over_marginal=over,
+    )
+
+
+def decide_multi(
+    candidates: Sequence[TagCandidate],
+    free_slots: int,
+    pollution: float,
+    params: MitosParams,
+) -> MultiDecision:
+    """Algorithm 2: multi-tag IFP decision with ``free_slots`` available.
+
+    Tags are ranked by marginal cost ascending and propagated greedily while
+    (i) fewer than ``free_slots`` tags have been propagated and (ii) the
+    current tag's marginal cost is non-positive.  After each propagation the
+    pollution estimate grows by the propagated tag's ``o_t`` weight and the
+    next tag's marginal is recomputed (Alg. 2 line 9), which is exactly a
+    distributed gradient-descent step on the relaxed convex problem.
+
+    Candidates whose decision was never reached (loop exited early) are
+    reported as blocked with their final recomputed marginal.
+    """
+    if free_slots < 0:
+        raise ValueError(f"free_slots must be non-negative, got {free_slots}")
+    ranked = sorted(
+        candidates,
+        key=lambda c: marginal_cost(c.copies, pollution, c.tag_type, params),
+    )
+    result = MultiDecision(free_slots=free_slots)
+    current_pollution = pollution
+    props = 0
+    for candidate in ranked:
+        under = under_marginal(candidate.copies, candidate.tag_type, params)
+        over = over_marginal(current_pollution, params, tag_type=candidate.tag_type)
+        marginal = under + over
+        should_propagate = props < free_slots and marginal <= 0
+        result.decisions.append(
+            Decision(
+                candidate=candidate,
+                marginal=marginal,
+                propagate=should_propagate,
+                under_marginal=under,
+                over_marginal=over,
+            )
+        )
+        if should_propagate:
+            props += 1
+            # One more provenance-list entry of this type now exists; the
+            # overtainting side of every later marginal must see it.
+            current_pollution += params.o_of(candidate.tag_type)
+    return result
+
+
+class PollutionSource:
+    """Callable protocol-ish adapter: anything returning the current pollution.
+
+    The distributed algorithm only needs *an estimate* of the global
+    pollution; locally-stale estimates are fine (see
+    :mod:`repro.distributed.gossip`).
+    """
+
+    def __init__(self, fn: Callable[[], float]):
+        self._fn = fn
+
+    def __call__(self) -> float:
+        return self._fn()
+
+
+class MitosEngine:
+    """Stateful decision engine binding parameters to a pollution source.
+
+    This is the object a DIFT tracker embeds: at every indirect flow it
+    calls :meth:`choose` with the source operand's tags and the free space
+    of the destination's provenance list.
+
+    The engine also keeps a bounded in-memory log of decisions so
+    experiments can reconstruct Fig. 7-style timelines without re-plumbing
+    the tracker.
+    """
+
+    def __init__(
+        self,
+        params: MitosParams,
+        pollution_source: Optional[Callable[[], float]] = None,
+        log_decisions: bool = False,
+        log_capacity: int = 1_000_000,
+    ):
+        self.params = params
+        self._pollution_source = pollution_source or (lambda: 0.0)
+        self._log_decisions = log_decisions
+        self._log_capacity = log_capacity
+        self.decision_log: List[Decision] = []
+        self.stats = EngineStats()
+
+    def current_pollution(self) -> float:
+        return float(self._pollution_source())
+
+    def decide(self, candidate: TagCandidate) -> Decision:
+        """Algorithm 1 against the live pollution estimate."""
+        decision = decide_single(candidate, self.current_pollution(), self.params)
+        self._record([decision])
+        return decision
+
+    def choose(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> MultiDecision:
+        """Algorithm 2 against the live pollution estimate."""
+        outcome = decide_multi(
+            candidates, free_slots, self.current_pollution(), self.params
+        )
+        self._record(outcome.decisions)
+        return outcome
+
+    def _record(self, decisions: Sequence[Decision]) -> None:
+        for decision in decisions:
+            self.stats.observe(decision)
+        if not self._log_decisions:
+            return
+        space = self._log_capacity - len(self.decision_log)
+        if space > 0:
+            self.decision_log.extend(decisions[:space])
+
+
+@dataclass
+class EngineStats:
+    """Running counters over every decision an engine has made."""
+
+    considered: int = 0
+    propagated: int = 0
+    blocked: int = 0
+    marginal_sum: float = 0.0
+
+    def observe(self, decision: Decision) -> None:
+        self.considered += 1
+        if decision.propagate:
+            self.propagated += 1
+        else:
+            self.blocked += 1
+        if math.isfinite(decision.marginal):
+            self.marginal_sum += decision.marginal
+
+    @property
+    def propagation_rate(self) -> float:
+        """Fraction of considered tags that were propagated."""
+        if self.considered == 0:
+            return 0.0
+        return self.propagated / self.considered

@@ -1,0 +1,99 @@
+"""Fairness and tag-balancing metrics (Section IV contribution #3, Fig. 8).
+
+The paper measures "fairness degree, or taint-balancing efficiency, based on
+the mean square error difference between the number of copies of different
+tags" and argues from information theory that balanced tag populations carry
+more information (the fair-coin analogy).  We provide:
+
+* :func:`copy_count_mse` -- the paper's Fig. 8 metric (lower is fairer),
+* :func:`jain_index` -- the classic [1/k, 1] fairness index,
+* :func:`shannon_entropy` / :func:`normalized_entropy` -- the
+  information-theoretic view,
+* :func:`max_min_ratio` -- the max-min balancing view that alpha -> inf
+  optimizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def _as_list(copies: Iterable[float]) -> List[float]:
+    values = [float(c) for c in copies]
+    for v in values:
+        if v < 0:
+            raise ValueError(f"copy counts must be non-negative, got {v}")
+    return values
+
+
+def copy_count_mse(copies: Iterable[float]) -> float:
+    """Mean squared deviation of copy counts from their mean (Fig. 8 metric).
+
+    Zero when every tag has the same number of copies (perfect balance).
+    """
+    values = _as_list(copies)
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def jain_index(copies: Iterable[float]) -> float:
+    """Jain's fairness index: 1 for perfect balance, 1/k for one-hot."""
+    values = _as_list(copies)
+    if not values:
+        return 1.0
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    return total * total / (len(values) * square_sum)
+
+
+def shannon_entropy(copies: Iterable[float]) -> float:
+    """Shannon entropy (bits) of the copy-count distribution.
+
+    Treats copy counts as an unnormalized distribution over tags; the
+    fair-coin analogy of the paper: a balanced tag population maximizes
+    the information carried per tagged byte.
+    """
+    values = [v for v in _as_list(copies) if v > 0]
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    return -sum((v / total) * math.log2(v / total) for v in values)
+
+
+def normalized_entropy(copies: Iterable[float]) -> float:
+    """Entropy normalized to [0, 1] by the log of the support size."""
+    values = [v for v in _as_list(copies) if v > 0]
+    if len(values) <= 1:
+        return 1.0
+    return shannon_entropy(values) / math.log2(len(values))
+
+
+def max_min_ratio(copies: Iterable[float]) -> float:
+    """max(copies) / min(copies): 1 is perfect balance, inf if any is zero."""
+    values = _as_list(copies)
+    if not values:
+        return 1.0
+    low = min(values)
+    high = max(values)
+    if low == 0:
+        return math.inf if high > 0 else 1.0
+    return high / low
+
+
+def balancing_improvement(
+    baseline_copies: Sequence[float], improved_copies: Sequence[float]
+) -> float:
+    """Fig. 8 headline number: baseline MSE / improved MSE (>= 1 is better).
+
+    The paper reports tag balancing improving "up to 2x" as alpha grows.
+    """
+    base = copy_count_mse(baseline_copies)
+    improved = copy_count_mse(improved_copies)
+    if improved == 0:
+        return math.inf if base > 0 else 1.0
+    return base / improved

@@ -1,0 +1,134 @@
+"""MITOS model parameters (Table I of the paper).
+
+The paper's inputs, marked with ``*`` in Table I, are:
+
+* ``alpha`` -- fairness degree of the undertainting cost (Eq. 3),
+* ``beta``  -- steepness of the overtainting cost (Eq. 4), kept ``>= 2``,
+* ``tau``   -- weight of the under/over-tainting tradeoff (Eq. 2),
+* ``u_t``   -- per-tag-type importance weights in the undertainting cost,
+* ``o_t``   -- per-tag-type pollution weights in the overtainting cost.
+
+System-level constants:
+
+* ``R``       -- taintable capacity of the system in bytes (main memory +
+  register bank + NIC memory in the paper),
+* ``M_prov``  -- maximum provenance-list length per byte,
+* ``N_R = R * M_prov`` -- the total tag space across all provenance lists.
+
+The paper notes that "all tau values are normalized up to the power of
+10^6".  The two submarginal costs of Eq. 8 live on very different scales:
+the undertainting side ``-u * n**-alpha`` is O(1) for small copy counts,
+while the raw pollution ratio ``pollution / N_R`` is microscopic on a
+multi-gigabyte machine.  We expose that normalization explicitly as
+``tau_scale`` (default ``1e6``): the effective tradeoff weight used by the
+cost model is ``tau * tau_scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+#: Default per-type weight when a tag type has no explicit entry in u/o.
+DEFAULT_WEIGHT = 1.0
+
+#: Paper defaults (Section V): alpha=1.5, beta=2, tau=1, u_t=o_t=1.
+PAPER_ALPHA = 1.5
+PAPER_BETA = 2.0
+PAPER_TAU = 1.0
+PAPER_TAU_SCALE = 1e6
+PAPER_M_PROV = 10
+
+
+@dataclass(frozen=True)
+class MitosParams:
+    """Immutable bundle of every input of the MITOS optimization model.
+
+    Instances are cheap value objects; use :meth:`with_updates` to derive
+    variants during parameter sweeps.
+
+    Parameters
+    ----------
+    alpha:
+        Fairness degree (``alpha > 0``).  ``alpha -> inf`` approaches
+        max-min fairness (tag balancing); ``alpha = 1`` is proportional
+        fairness, implemented as the analytic ``-log`` limit of Eq. 3.
+    beta:
+        Steepness of the overtainting penalty.  The paper keeps
+        ``beta >= 2`` so the penalty is at least quadratic and twice
+        differentiable.
+    tau:
+        Under/over-tainting tradeoff weight.  ``tau = 0`` disables the
+        overtainting cost entirely (all tags propagate).
+    tau_scale:
+        Normalization constant applied multiplicatively to ``tau`` (the
+        paper's "normalized up to the power of 10^6").
+    R:
+        Taintable capacity in bytes.
+    M_prov:
+        Maximum number of tags a single byte's provenance list can hold.
+    u:
+        Per-tag-type undertainting weights; missing types use
+        :data:`DEFAULT_WEIGHT`.
+    o:
+        Per-tag-type pollution weights; missing types use
+        :data:`DEFAULT_WEIGHT`.
+    """
+
+    alpha: float = PAPER_ALPHA
+    beta: float = PAPER_BETA
+    tau: float = PAPER_TAU
+    tau_scale: float = PAPER_TAU_SCALE
+    R: int = 1 << 20
+    M_prov: int = PAPER_M_PROV
+    u: Mapping[str, float] = field(default_factory=dict)
+    o: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.beta < 1:
+            raise ValueError(f"beta must be >= 1, got {self.beta}")
+        if self.tau < 0:
+            raise ValueError(f"tau must be non-negative, got {self.tau}")
+        if self.tau_scale <= 0:
+            raise ValueError(f"tau_scale must be positive, got {self.tau_scale}")
+        if self.R <= 0:
+            raise ValueError(f"R must be positive, got {self.R}")
+        if self.M_prov <= 0:
+            raise ValueError(f"M_prov must be positive, got {self.M_prov}")
+        for name, weights in (("u", self.u), ("o", self.o)):
+            for tag_type, weight in weights.items():
+                if weight < 0:
+                    raise ValueError(
+                        f"{name}[{tag_type!r}] must be non-negative, got {weight}"
+                    )
+
+    @property
+    def N_R(self) -> int:
+        """Total tag space across all provenance lists (``R * M_prov``)."""
+        return self.R * self.M_prov
+
+    @property
+    def effective_tau(self) -> float:
+        """The tradeoff weight actually applied to the overtainting cost."""
+        return self.tau * self.tau_scale
+
+    def u_of(self, tag_type: str) -> float:
+        """Undertainting weight for ``tag_type`` (default 1)."""
+        return self.u.get(tag_type, DEFAULT_WEIGHT)
+
+    def o_of(self, tag_type: str) -> float:
+        """Pollution weight for ``tag_type`` (default 1)."""
+        return self.o.get(tag_type, DEFAULT_WEIGHT)
+
+    def with_updates(self, **changes: object) -> "MitosParams":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def paper_defaults(R: int = 1 << 20, M_prov: int = PAPER_M_PROV) -> MitosParams:
+    """The parameter point used throughout Section V unless swept."""
+    return MitosParams(
+        alpha=PAPER_ALPHA, beta=PAPER_BETA, tau=PAPER_TAU, R=R, M_prov=M_prov
+    )

@@ -1,0 +1,224 @@
+"""Propagation policies: MITOS and the baselines it is evaluated against.
+
+A :class:`PropagationPolicy` answers, for one indirect flow, *which of the
+candidate tags enter the destination's provenance list*, given the free
+space there.  The DIFT tracker is policy-agnostic; the evaluation plugs in:
+
+* :class:`MitosPolicy` -- Algorithm 2 (the paper's contribution),
+* :class:`PropagateAllPolicy` -- propagate every candidate (bounded only by
+  free space): the overtainting extreme, and what "MITOS with tau=0"
+  degenerates to,
+* :class:`PropagateNonePolicy` -- block all indirect flows: classic
+  DFP-only DIFT, i.e. stock FAROS behaviour,
+* :class:`ThresholdPolicy` -- a static copy-count-threshold heuristic used
+  as an ablation strawman,
+* :class:`RandomPolicy` -- seeded coin-flip baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.decision import MitosEngine, MultiDecision, TagCandidate
+from repro.core.params import MitosParams
+
+
+class PropagationPolicy(abc.ABC):
+    """Decides which candidate tags of an indirect flow to propagate."""
+
+    #: human-readable identifier used in experiment reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        """Return the subset of ``candidates`` to propagate.
+
+        Implementations must never return more than ``free_slots`` tags and
+        must only return members of ``candidates``.
+        """
+
+    def select_with_details(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> "tuple[List[TagCandidate], Optional[MultiDecision]]":
+        """Like :meth:`select` but also return per-tag decision details.
+
+        Policies without marginal-cost internals return ``None`` details;
+        :class:`MitosPolicy` returns the full :class:`MultiDecision` so
+        experiment timelines (Fig. 7) can read the submarginal costs.
+        """
+        return self.select(candidates, free_slots), None
+
+    def handles(self, flow_kind: str) -> bool:
+        """Whether this policy considers flows of ``flow_kind`` at all.
+
+        ``flow_kind`` is the :class:`~repro.dift.flows.FlowKind` value
+        string (``"address_dep"``, ``"control_dep"``, ...).  The tracker
+        blocks unhandled kinds without consulting :meth:`select` --
+        how systems like Minos hard-wire per-dependency-class choices.
+        """
+        return True
+
+    def reset(self) -> None:
+        """Clear any per-run state (decision logs, RNG position)."""
+
+
+class MitosPolicy(PropagationPolicy):
+    """The paper's policy: Algorithm 2 driven by the Eq. 8 marginal cost."""
+
+    name = "mitos"
+
+    def __init__(
+        self,
+        params: MitosParams,
+        pollution_source: Optional[Callable[[], float]] = None,
+        log_decisions: bool = False,
+    ):
+        self.engine = MitosEngine(
+            params, pollution_source, log_decisions=log_decisions
+        )
+
+    @property
+    def params(self) -> MitosParams:
+        return self.engine.params
+
+    def bind_pollution_source(self, source: Callable[[], float]) -> None:
+        """Late-bind the pollution estimate (the tracker owns the counter)."""
+        self.engine._pollution_source = source
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        outcome: MultiDecision = self.engine.choose(candidates, free_slots)
+        return outcome.propagated
+
+    def select_with_details(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> "tuple[List[TagCandidate], Optional[MultiDecision]]":
+        outcome: MultiDecision = self.engine.choose(candidates, free_slots)
+        return outcome.propagated, outcome
+
+    def reset(self) -> None:
+        self.engine.decision_log.clear()
+        self.engine.stats = type(self.engine.stats)()
+
+
+class PropagateAllPolicy(PropagationPolicy):
+    """Propagate every candidate, bounded only by the destination's space."""
+
+    name = "propagate-all"
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        return list(candidates[:free_slots])
+
+
+class PropagateNonePolicy(PropagationPolicy):
+    """Block every indirect flow (classic DFP-only DIFT / stock FAROS)."""
+
+    name = "propagate-none"
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        return []
+
+
+class ThresholdPolicy(PropagationPolicy):
+    """Propagate tags whose copy count is below a static threshold.
+
+    A natural "poor man's fairness" heuristic: it chases tag balancing but
+    is blind to global pollution, so it cannot trade under- against
+    over-tainting the way the marginal-cost rule does.
+    """
+
+    name = "threshold"
+
+    def __init__(self, max_copies: int):
+        if max_copies < 0:
+            raise ValueError(f"max_copies must be non-negative, got {max_copies}")
+        self.max_copies = max_copies
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        eligible = [c for c in candidates if c.copies < self.max_copies]
+        eligible.sort(key=lambda c: c.copies)
+        return eligible[:free_slots]
+
+
+class KindFilteredPolicy(PropagationPolicy):
+    """Restrict an inner policy to a fixed set of flow kinds.
+
+    Real DIFT systems hard-wire per-dependency-class choices -- e.g.
+    Minos propagated (some) address dependencies but no control
+    dependencies.  ``KindFilteredPolicy(PropagateAllPolicy(),
+    allowed_kinds={"address_dep"})`` reproduces that family of baselines
+    on our tracker; any inner policy composes, including MITOS.
+    """
+
+    def __init__(
+        self,
+        inner: PropagationPolicy,
+        allowed_kinds: "frozenset[str] | set[str]" = frozenset({"address_dep"}),
+    ):
+        if not allowed_kinds:
+            raise ValueError("allowed_kinds must not be empty")
+        self.inner = inner
+        self.allowed_kinds = frozenset(allowed_kinds)
+        self.name = f"{inner.name}[{'+'.join(sorted(self.allowed_kinds))}]"
+
+    def handles(self, flow_kind: str) -> bool:
+        return flow_kind in self.allowed_kinds
+
+    def bind_pollution_source(self, source: Callable[[], float]) -> None:
+        """Forward the tracker's pollution source to a wrapped MITOS."""
+        inner_bind = getattr(self.inner, "bind_pollution_source", None)
+        if inner_bind is not None:
+            inner_bind(source)
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        return self.inner.select(candidates, free_slots)
+
+    def select_with_details(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> "tuple[List[TagCandidate], Optional[MultiDecision]]":
+        return self.inner.select_with_details(candidates, free_slots)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+class RandomPolicy(PropagationPolicy):
+    """Seeded coin-flip per candidate; a sanity-check baseline."""
+
+    name = "random"
+
+    def __init__(self, propagate_probability: float = 0.5, seed: int = 0):
+        if not 0 <= propagate_probability <= 1:
+            raise ValueError(
+                "propagate_probability must be in [0, 1], got "
+                f"{propagate_probability}"
+            )
+        self.propagate_probability = propagate_probability
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def select(
+        self, candidates: Sequence[TagCandidate], free_slots: int
+    ) -> List[TagCandidate]:
+        chosen = [
+            c
+            for c in candidates
+            if self._rng.random() < self.propagate_probability
+        ]
+        return chosen[:free_slots]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,295 @@
+"""Centralized solvers for the relaxed MITOS problem (Section IV-B).
+
+The paper notes that the continuous relaxation of Problem 1 is convex
+(Lemma 1) and can be solved centrally with Lagrange multipliers / KKT
+conditions, but that a centralized solution does not scale -- which is why
+the deployed rule is the distributed greedy of Algorithms 1/2.  This module
+provides the centralized solutions anyway, because they are the yardstick:
+
+* :func:`solve_kkt` -- closed-form KKT waterfilling via a scalar
+  fixed-point on the pollution ``P = sum_k o_k n_k`` (unique by
+  monotonicity) plus an outer multiplier for the total-space constraint,
+* :func:`solve_scipy` -- SLSQP on the exact objective/gradient, as an
+  independent cross-check,
+* :func:`solve_integer_bruteforce` -- exhaustive search on tiny integer
+  instances, demonstrating what the NP-hard unrelaxed problem asks for,
+* :func:`greedy_dynamics` -- the online distributed dynamics (repeated
+  Algorithm 1 steps with the *exact* gradient), whose fixed point should
+  approach the relaxed optimum; used by the convergence ablation.
+
+All solvers work on a flat tag specification: a sequence of
+``(tag_type, index)`` keys plus the :class:`~repro.core.params.MitosParams`
+weights.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.costs import marginal_cost, total_cost
+from repro.core.params import MitosParams
+
+TagKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Solution of one solver run."""
+
+    n: Dict[TagKey, float]
+    cost: float
+    pollution: float
+    iterations: int = 0
+    converged: bool = True
+
+    def as_array(self, keys: Sequence[TagKey]) -> np.ndarray:
+        return np.array([self.n[key] for key in keys], dtype=float)
+
+
+def _weights(keys: Sequence[TagKey], params: MitosParams) -> Tuple[np.ndarray, np.ndarray]:
+    u = np.array([params.u_of(t) for t, _ in keys], dtype=float)
+    o = np.array([params.o_of(t) for t, _ in keys], dtype=float)
+    return u, o
+
+
+def _vector_cost(x: np.ndarray, keys: Sequence[TagKey], params: MitosParams) -> float:
+    return total_cost({key: float(v) for key, v in zip(keys, x)}, params)
+
+
+def _vector_grad(x: np.ndarray, keys: Sequence[TagKey], params: MitosParams) -> np.ndarray:
+    pollution = float(
+        sum(params.o_of(t) * v for (t, _), v in zip(keys, x))
+    )
+    return np.array(
+        [
+            marginal_cost(float(v), pollution, t, params, exact=True)
+            for (t, _), v in zip(keys, x)
+        ]
+    )
+
+
+def _stationary_point(
+    keys: Sequence[TagKey],
+    params: MitosParams,
+    extra_multiplier: float,
+    n_min: float,
+    n_max: float,
+) -> Tuple[np.ndarray, float]:
+    """Solve the per-tag stationarity at a given total-space multiplier.
+
+    At an interior optimum, for every tag k::
+
+        u_k * n_k**-alpha = tau_eff * beta * (P/N_R)**(beta-1) * o_k / N_R
+                            + lam * 1            (total-space multiplier)
+
+    For a fixed pollution ``P`` the right side is a constant ``rhs_k``, so
+    ``n_k = (u_k / rhs_k)**(1/alpha)`` clipped to ``[n_min, n_max]``.  The
+    implied pollution ``sum o_k n_k`` is strictly decreasing in ``P``, so a
+    bisection finds the unique fixed point.
+    """
+    u, o = _weights(keys, params)
+    alpha = params.alpha
+    tau_eff = params.effective_tau
+    beta = params.beta
+    N_R = params.N_R
+
+    def n_of(pollution: float) -> np.ndarray:
+        rhs = (
+            tau_eff * beta * (pollution / N_R) ** (beta - 1.0) * o / N_R
+            + extra_multiplier * o
+        )
+        with np.errstate(divide="ignore", over="ignore"):
+            raw = np.where(rhs > 0, (u / np.maximum(rhs, 1e-300)) ** (1.0 / alpha), n_max)
+        return np.clip(raw, n_min, n_max)
+
+    lo, hi = 1e-12, float(np.dot(o, np.full(len(keys), n_max))) + 1.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        implied = float(np.dot(o, n_of(mid)))
+        if implied > mid:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-9 * max(1.0, hi):
+            break
+    pollution = 0.5 * (lo + hi)
+    return n_of(pollution), pollution
+
+
+def solve_kkt(
+    keys: Sequence[TagKey],
+    params: MitosParams,
+    n_min: float = 1.0,
+    n_max: float | None = None,
+) -> SolverResult:
+    """Closed-form KKT solution of the relaxed Problem 1.
+
+    ``n_min`` defaults to 1 copy: every live tag exists somewhere, which
+    also keeps the alpha-fair term finite.  ``n_max`` defaults to ``R``
+    (constraint Eq. 7).  The total-space constraint Eq. 6 is activated via
+    an outer bisection on its multiplier when violated.
+    """
+    if not keys:
+        return SolverResult(n={}, cost=0.0, pollution=0.0)
+    if n_max is None:
+        n_max = float(params.R)
+    x, pollution = _stationary_point(keys, params, 0.0, n_min, n_max)
+    iterations = 1
+    if float(np.sum(x)) > params.N_R:
+        # Eq. 6 is active: bisect the multiplier lam >= 0 until sum(n) = N_R.
+        lam_lo, lam_hi = 0.0, 1.0
+        while True:
+            x, pollution = _stationary_point(keys, params, lam_hi, n_min, n_max)
+            iterations += 1
+            if float(np.sum(x)) <= params.N_R or lam_hi > 1e18:
+                break
+            lam_hi *= 10.0
+        for _ in range(200):
+            lam = 0.5 * (lam_lo + lam_hi)
+            x, pollution = _stationary_point(keys, params, lam, n_min, n_max)
+            iterations += 1
+            if float(np.sum(x)) > params.N_R:
+                lam_lo = lam
+            else:
+                lam_hi = lam
+            if lam_hi - lam_lo <= 1e-12 * max(1.0, lam_hi):
+                break
+    n = {key: float(v) for key, v in zip(keys, x)}
+    return SolverResult(
+        n=n,
+        cost=_vector_cost(x, keys, params),
+        pollution=pollution,
+        iterations=iterations,
+    )
+
+
+def solve_scipy(
+    keys: Sequence[TagKey],
+    params: MitosParams,
+    n_min: float = 1.0,
+    n_max: float | None = None,
+    x0: Sequence[float] | None = None,
+) -> SolverResult:
+    """SLSQP solution of the relaxed Problem 1 (independent cross-check)."""
+    if not keys:
+        return SolverResult(n={}, cost=0.0, pollution=0.0)
+    if n_max is None:
+        n_max = float(params.R)
+    k = len(keys)
+    start = np.array(x0, dtype=float) if x0 is not None else np.full(k, max(n_min, 10.0))
+    bounds = [(n_min, n_max)] * k
+    constraints = [
+        {
+            "type": "ineq",
+            "fun": lambda x: params.N_R - float(np.sum(x)),
+            "jac": lambda x: -np.ones_like(x),
+        }
+    ]
+    result = optimize.minimize(
+        lambda x: _vector_cost(x, keys, params),
+        start,
+        jac=lambda x: _vector_grad(x, keys, params),
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    x = np.clip(result.x, n_min, n_max)
+    _, o = _weights(keys, params)
+    return SolverResult(
+        n={key: float(v) for key, v in zip(keys, x)},
+        cost=_vector_cost(x, keys, params),
+        pollution=float(np.dot(o, x)),
+        iterations=int(result.nit),
+        converged=bool(result.success),
+    )
+
+
+def solve_integer_bruteforce(
+    keys: Sequence[TagKey],
+    params: MitosParams,
+    max_copies: int,
+    min_copies: int = 1,
+) -> SolverResult:
+    """Exhaustive integer search (the NP-hard original Problem 1).
+
+    Only feasible for toy instances -- the search space is
+    ``(max_copies - min_copies + 1) ** len(keys)``; a guard refuses more
+    than ~2e6 points.
+    """
+    if not keys:
+        return SolverResult(n={}, cost=0.0, pollution=0.0)
+    span = max_copies - min_copies + 1
+    points = span ** len(keys)
+    if points > 2_000_000:
+        raise ValueError(
+            f"brute force over {points} points refused; shrink the instance"
+        )
+    _, o = _weights(keys, params)
+    best_x: Tuple[int, ...] | None = None
+    best_cost = math.inf
+    evaluated = 0
+    for x in itertools.product(range(min_copies, max_copies + 1), repeat=len(keys)):
+        evaluated += 1
+        if sum(x) > params.N_R:
+            continue
+        cost = _vector_cost(np.array(x, dtype=float), keys, params)
+        if cost < best_cost:
+            best_cost = cost
+            best_x = x
+    if best_x is None:
+        raise ValueError("no feasible integer point (N_R too small)")
+    return SolverResult(
+        n={key: float(v) for key, v in zip(keys, best_x)},
+        cost=best_cost,
+        pollution=float(np.dot(o, np.array(best_x, dtype=float))),
+        iterations=evaluated,
+    )
+
+
+def greedy_dynamics(
+    keys: Sequence[TagKey],
+    params: MitosParams,
+    max_steps: int = 100_000,
+    record_every: int = 0,
+    exact: bool = True,
+) -> Tuple[Dict[TagKey, int], List[Dict[TagKey, int]], bool]:
+    """Run the distributed greedy to a fixed point.
+
+    Starting from one copy per tag, repeatedly sweep the tags and increment
+    any tag whose Eq. 8 marginal (exact gradient by default) is
+    non-positive -- the Algorithm 1 step applied as an opportunity stream.
+    Stops when a full sweep makes no increment (fixed point) or after
+    ``max_steps`` increments.
+
+    Returns ``(final_counts, snapshots, converged)``.
+    """
+    counts: Dict[TagKey, int] = {key: 1 for key in keys}
+    snapshots: List[Dict[TagKey, int]] = []
+    steps = 0
+    while steps < max_steps:
+        moved = False
+        for key in keys:
+            pollution = sum(
+                params.o_of(t) * c for (t, _), c in counts.items()
+            )
+            marginal = marginal_cost(
+                counts[key], pollution, key[0], params, exact=exact
+            )
+            if marginal <= 0 and counts[key] < params.R:
+                counts[key] += 1
+                steps += 1
+                moved = True
+                if record_every and steps % record_every == 0:
+                    snapshots.append(dict(counts))
+                if steps >= max_steps:
+                    break
+        if not moved:
+            return counts, snapshots, True
+    return counts, snapshots, False

@@ -1,0 +1,48 @@
+"""FAROS-like DIFT substrate: tags, provenance lists, shadow memory, tracker."""
+
+from repro.dift.tags import Tag, TagAllocator, TagTypes
+from repro.dift.provenance import ProvenanceList, SchedulingPolicy
+from repro.dift.shadow import Location, ShadowMemory, mem, reg
+from repro.dift.stats import TagCopyCounter, TrackerStats
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.tracker import DIFTTracker
+from repro.dift.detector import Alert, ConfluenceDetector
+from repro.dift.detectors import (
+    AggregationDetector,
+    DetectorSuite,
+    SequenceDetector,
+)
+from repro.dift.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    restore_tracker,
+    save_snapshot,
+    snapshot_tracker,
+)
+
+__all__ = [
+    "Tag",
+    "TagAllocator",
+    "TagTypes",
+    "ProvenanceList",
+    "SchedulingPolicy",
+    "ShadowMemory",
+    "Location",
+    "mem",
+    "reg",
+    "TagCopyCounter",
+    "TrackerStats",
+    "FlowEvent",
+    "FlowKind",
+    "DIFTTracker",
+    "ConfluenceDetector",
+    "Alert",
+    "SequenceDetector",
+    "AggregationDetector",
+    "DetectorSuite",
+    "snapshot_tracker",
+    "restore_tracker",
+    "save_snapshot",
+    "load_snapshot",
+    "SnapshotError",
+]

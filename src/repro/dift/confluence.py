@@ -1,0 +1,72 @@
+"""Confluence-triggered weight boosting: close the detect -> track loop.
+
+When the confluence detector flags a byte (e.g. netflow + export-table
+coming together), that run context is evidence that the involved tag
+types matter *right now* -- so their undertainting weights should rise,
+accelerating their propagation and sharpening the attack fingerprint
+while the suspicion lasts.
+
+:class:`ConfluenceResponder` watches a tracker's detector for new alerts
+and boosts the involved types on an :class:`~repro.core.adaptive.AdaptiveWeights`;
+:class:`ConfluenceResponsePlugin` runs it inside a replayer chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adaptive import AdaptiveWeights
+from repro.dift.flows import FlowEvent
+from repro.dift.tracker import DIFTTracker
+from repro.replay.record import Recording
+from repro.replay.replayer import Plugin
+
+
+class ConfluenceResponder:
+    """Boost the tag types involved in each new detector alert."""
+
+    def __init__(
+        self,
+        tracker: DIFTTracker,
+        weights: AdaptiveWeights,
+        boost_factor: float = 10.0,
+    ):
+        if tracker.detector is None:
+            raise ValueError("tracker has no confluence detector attached")
+        if boost_factor <= 0:
+            raise ValueError(f"boost_factor must be positive, got {boost_factor}")
+        self.tracker = tracker
+        self.weights = weights
+        self.boost_factor = boost_factor
+        self._seen_alerts = 0
+        self.boosts_applied = 0
+
+    def poll(self) -> int:
+        """Process alerts raised since the last poll; returns new alerts."""
+        alerts = self.tracker.detector.alerts  # type: ignore[union-attr]
+        fresh = alerts[self._seen_alerts :]
+        for alert in fresh:
+            for tag in alert.tags:
+                self.weights.boost(tag.type, self.boost_factor)
+                self.boosts_applied += 1
+        self._seen_alerts = len(alerts)
+        return len(fresh)
+
+    def reset(self) -> None:
+        self._seen_alerts = 0
+        self.boosts_applied = 0
+
+
+class ConfluenceResponsePlugin(Plugin):
+    """Replayer plugin polling the responder after every event."""
+
+    name = "confluence-response"
+
+    def __init__(self, responder: ConfluenceResponder):
+        self.responder = responder
+
+    def on_begin(self, recording: Recording) -> None:
+        self.responder.reset()
+
+    def on_event(self, event: FlowEvent) -> None:
+        self.responder.poll()

@@ -1,0 +1,83 @@
+"""Tag-confluence attack detection (Section V-C).
+
+FAROS flags an in-memory-only attack when a *netflow* tag and an
+*export-table* tag land on the same byte: payload bytes arrived from the
+network and were then touched by linking/loading machinery.  The detector
+generalizes this to any required set of tag types and counts distinct
+flagged bytes -- the paper's "detected bytes" metric of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.dift.shadow import Location, ShadowMemory
+from repro.dift.tags import Tag, TagTypes
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One confluence alert on one location."""
+
+    location: Location
+    tick: int
+    tags: Tuple[Tag, ...]
+
+
+class ConfluenceDetector:
+    """Fires when a location's provenance list covers all required types.
+
+    Each location alerts at most once (the set of flagged bytes is what
+    Table II counts); :meth:`reset` re-arms everything for a new run.
+    """
+
+    def __init__(
+        self,
+        required_types: FrozenSet[str] = frozenset(
+            {TagTypes.NETFLOW, TagTypes.EXPORT_TABLE}
+        ),
+    ):
+        if not required_types:
+            raise ValueError("required_types must not be empty")
+        self.required_types = frozenset(required_types)
+        self.alerts: List[Alert] = []
+        self._flagged: Set[Location] = set()
+
+    def check(
+        self, shadow: ShadowMemory, location: Location, tick: int = 0
+    ) -> Optional[Alert]:
+        """Check one location after a mutation; return a new alert if fired."""
+        if location in self._flagged:
+            return None
+        tags = shadow.tags_at(location)
+        present_types = {tag.type for tag in tags}
+        if not self.required_types <= present_types:
+            return None
+        alert = Alert(location=location, tick=tick, tags=tags)
+        self.alerts.append(alert)
+        self._flagged.add(location)
+        return alert
+
+    def scan(self, shadow: ShadowMemory, tick: int = 0) -> List[Alert]:
+        """Sweep every tainted location (post-mortem detection)."""
+        fired = []
+        for location in shadow.tainted_locations():
+            alert = self.check(shadow, location, tick)
+            if alert is not None:
+                fired.append(alert)
+        return fired
+
+    @property
+    def detected_bytes(self) -> int:
+        """Distinct flagged memory bytes (Table II's detection metric)."""
+        return sum(1 for loc in self._flagged if loc[0] == "mem")
+
+    @property
+    def detected_locations(self) -> int:
+        """Distinct flagged locations of any kind."""
+        return len(self._flagged)
+
+    def reset(self) -> None:
+        self.alerts.clear()
+        self._flagged.clear()

@@ -1,0 +1,180 @@
+"""Detector suite beyond simple confluence.
+
+The paper's FAROS detector fires on a *set* of tag types meeting on one
+byte.  Real investigations also care about order and volume, so this
+module adds two more detector shapes on the same check/scan interface as
+:class:`~repro.dift.detector.ConfluenceDetector`:
+
+* :class:`SequenceDetector` -- the required types must arrive in a given
+  order (e.g. *netflow first, export-table second*: payload downloaded,
+  then touched by the loader -- the reverse order is benign linking),
+* :class:`AggregationDetector` -- a byte accumulating at least ``k``
+  distinct tags of one type (e.g. many netflow connections mixing into
+  one buffer: staging for exfiltration),
+* :class:`DetectorSuite` -- fan-out to several detectors behind the one
+  interface the tracker knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dift.detector import Alert
+from repro.dift.shadow import Location, ShadowMemory
+from repro.dift.tags import Tag
+
+
+class SequenceDetector:
+    """Fires when required tag types land on a byte in a given order.
+
+    Order is judged by *first arrival per type on that location*, tracked
+    incrementally across :meth:`check` calls (the shadow itself does not
+    retain arrival order across evictions).
+    """
+
+    def __init__(self, ordered_types: Sequence[str]):
+        if len(ordered_types) < 2:
+            raise ValueError("a sequence needs at least two tag types")
+        if len(set(ordered_types)) != len(ordered_types):
+            raise ValueError("ordered_types must be distinct")
+        self.ordered_types = tuple(ordered_types)
+        self.alerts: List[Alert] = []
+        self._flagged: Set[Location] = set()
+        #: first-arrival order of watched types per location
+        self._arrivals: Dict[Location, List[str]] = {}
+
+    def check(
+        self, shadow: ShadowMemory, location: Location, tick: int = 0
+    ) -> Optional[Alert]:
+        tags = shadow.tags_at(location)
+        present = {tag.type for tag in tags}
+        arrivals = self._arrivals.setdefault(location, [])
+        for tag_type in self.ordered_types:
+            if tag_type in present and tag_type not in arrivals:
+                arrivals.append(tag_type)
+        if location in self._flagged:
+            return None
+        # all required types present, and their first arrivals in order
+        if not all(t in arrivals for t in self.ordered_types):
+            return None
+        positions = [arrivals.index(t) for t in self.ordered_types]
+        if positions != sorted(positions):
+            return None
+        if not set(self.ordered_types) <= present:
+            return None
+        alert = Alert(location=location, tick=tick, tags=tags)
+        self.alerts.append(alert)
+        self._flagged.add(location)
+        return alert
+
+    def scan(self, shadow: ShadowMemory, tick: int = 0) -> List[Alert]:
+        return [
+            alert
+            for location in shadow.tainted_locations()
+            if (alert := self.check(shadow, location, tick)) is not None
+        ]
+
+    @property
+    def detected_bytes(self) -> int:
+        return sum(1 for loc in self._flagged if loc[0] == "mem")
+
+    @property
+    def detected_locations(self) -> int:
+        return len(self._flagged)
+
+    def reset(self) -> None:
+        self.alerts.clear()
+        self._flagged.clear()
+        self._arrivals.clear()
+
+
+class AggregationDetector:
+    """Fires when >= k distinct tags of one type sit on one byte."""
+
+    def __init__(self, tag_type: str, threshold: int):
+        if threshold < 2:
+            raise ValueError(f"threshold must be >= 2, got {threshold}")
+        self.tag_type = tag_type
+        self.threshold = threshold
+        self.alerts: List[Alert] = []
+        self._flagged: Set[Location] = set()
+
+    def check(
+        self, shadow: ShadowMemory, location: Location, tick: int = 0
+    ) -> Optional[Alert]:
+        if location in self._flagged:
+            return None
+        tags = shadow.tags_at(location)
+        matching = [tag for tag in tags if tag.type == self.tag_type]
+        if len(set(matching)) < self.threshold:
+            return None
+        alert = Alert(location=location, tick=tick, tags=tags)
+        self.alerts.append(alert)
+        self._flagged.add(location)
+        return alert
+
+    def scan(self, shadow: ShadowMemory, tick: int = 0) -> List[Alert]:
+        return [
+            alert
+            for location in shadow.tainted_locations()
+            if (alert := self.check(shadow, location, tick)) is not None
+        ]
+
+    @property
+    def detected_bytes(self) -> int:
+        return sum(1 for loc in self._flagged if loc[0] == "mem")
+
+    @property
+    def detected_locations(self) -> int:
+        return len(self._flagged)
+
+    def reset(self) -> None:
+        self.alerts.clear()
+        self._flagged.clear()
+
+
+class DetectorSuite:
+    """Several detectors behind the tracker's single detector slot."""
+
+    def __init__(self, detectors: Sequence[object]):
+        if not detectors:
+            raise ValueError("suite needs at least one detector")
+        self.detectors = list(detectors)
+
+    def check(
+        self, shadow: ShadowMemory, location: Location, tick: int = 0
+    ) -> Optional[Alert]:
+        """First new alert from any member (all members are polled)."""
+        first: Optional[Alert] = None
+        for detector in self.detectors:
+            alert = detector.check(shadow, location, tick)
+            if alert is not None and first is None:
+                first = alert
+        return first
+
+    def scan(self, shadow: ShadowMemory, tick: int = 0) -> List[Alert]:
+        fired: List[Alert] = []
+        for detector in self.detectors:
+            fired.extend(detector.scan(shadow, tick))
+        return fired
+
+    @property
+    def alerts(self) -> List[Alert]:
+        combined: List[Alert] = []
+        for detector in self.detectors:
+            combined.extend(detector.alerts)
+        combined.sort(key=lambda alert: alert.tick)
+        return combined
+
+    @property
+    def detected_bytes(self) -> int:
+        return sum(d.detected_bytes for d in self.detectors)
+
+    @property
+    def detected_locations(self) -> int:
+        return sum(d.detected_locations for d in self.detectors)
+
+    def reset(self) -> None:
+        for detector in self.detectors:
+            detector.reset()

@@ -1,0 +1,150 @@
+"""Flow events: the taint-relevant abstraction of an instruction stream.
+
+The replayer reduces every instruction it sees to zero or more
+:class:`FlowEvent` objects -- the only interface between the execution
+substrate (ISA machine, synthetic workloads) and the DIFT tracker:
+
+* ``INSERT``      -- taint source: a fresh/known tag lands on a location
+  (network receive, file read, process memory read, ...),
+* ``COPY``        -- direct flow, copy dependency (mov/load/store data),
+* ``COMPUTE``     -- direct flow, computation dependency (alu ops),
+* ``ADDRESS_DEP`` -- indirect flow: tainted address register on load/store,
+* ``CONTROL_DEP`` -- indirect flow: write inside a tainted branch's scope,
+* ``CLEAR``       -- untaint (constant write over a location).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.dift.shadow import Location
+from repro.dift.tags import Tag
+
+
+class FlowKind(enum.Enum):
+    """Taxonomy of taint-relevant events (Section II of the paper)."""
+
+    INSERT = "insert"
+    COPY = "copy"
+    COMPUTE = "compute"
+    ADDRESS_DEP = "address_dep"
+    CONTROL_DEP = "control_dep"
+    CLEAR = "clear"
+
+    @property
+    def is_direct(self) -> bool:
+        return self in (FlowKind.COPY, FlowKind.COMPUTE)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self in (FlowKind.ADDRESS_DEP, FlowKind.CONTROL_DEP)
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One taint-relevant event at one destination location.
+
+    Attributes
+    ----------
+    kind:
+        The flow taxonomy entry.
+    destination:
+        The location written.
+    sources:
+        The locations whose tags flow (data operands for direct flows; the
+        address register or branch-condition registers for indirect flows).
+    tick:
+        Monotonic event time (instruction index in the recording).
+    tag:
+        For ``INSERT`` only: the tag being placed.
+    context:
+        Free-form description of the originating instruction/syscall, used
+        for per-context statistics (e.g. ``"sw"``, ``"net.recv"``).
+    meta:
+        Optional extra annotations (pc, process id, ...).
+    """
+
+    kind: FlowKind
+    destination: Location
+    sources: Tuple[Location, ...] = ()
+    tick: int = 0
+    tag: Optional[Tag] = None
+    context: str = ""
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind is FlowKind.INSERT and self.tag is None:
+            raise ValueError("INSERT events require a tag")
+        if self.kind is not FlowKind.INSERT and self.tag is not None:
+            raise ValueError(f"{self.kind.value} events must not carry a tag")
+        if self.kind in (FlowKind.COPY, FlowKind.COMPUTE) and not self.sources:
+            raise ValueError(f"{self.kind.value} events require sources")
+
+
+def insert(
+    destination: Location, tag: Tag, tick: int = 0, context: str = ""
+) -> FlowEvent:
+    """Convenience constructor for a taint-source event."""
+    return FlowEvent(
+        FlowKind.INSERT, destination, tick=tick, tag=tag, context=context
+    )
+
+
+def copy(
+    source: Location, destination: Location, tick: int = 0, context: str = ""
+) -> FlowEvent:
+    """Convenience constructor for a copy-dependency event."""
+    return FlowEvent(
+        FlowKind.COPY, destination, sources=(source,), tick=tick, context=context
+    )
+
+
+def compute(
+    sources: Tuple[Location, ...],
+    destination: Location,
+    tick: int = 0,
+    context: str = "",
+) -> FlowEvent:
+    """Convenience constructor for a computation-dependency event."""
+    return FlowEvent(
+        FlowKind.COMPUTE, destination, sources=sources, tick=tick, context=context
+    )
+
+
+def address_dep(
+    address_source: Location,
+    destination: Location,
+    tick: int = 0,
+    context: str = "",
+) -> FlowEvent:
+    """Convenience constructor for an address-dependency event."""
+    return FlowEvent(
+        FlowKind.ADDRESS_DEP,
+        destination,
+        sources=(address_source,),
+        tick=tick,
+        context=context,
+    )
+
+
+def control_dep(
+    condition_sources: Tuple[Location, ...],
+    destination: Location,
+    tick: int = 0,
+    context: str = "",
+) -> FlowEvent:
+    """Convenience constructor for a control-dependency event."""
+    return FlowEvent(
+        FlowKind.CONTROL_DEP,
+        destination,
+        sources=condition_sources,
+        tick=tick,
+        context=context,
+    )
+
+
+def clear(destination: Location, tick: int = 0, context: str = "") -> FlowEvent:
+    """Convenience constructor for an untaint event."""
+    return FlowEvent(FlowKind.CLEAR, destination, tick=tick, context=context)

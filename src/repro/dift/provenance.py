@@ -1,0 +1,158 @@
+"""Bounded provenance lists (Section III, "Provenance list").
+
+Each taintable byte keeps an ordered list of up to ``M_prov`` tags -- its
+information-flow history (Fig. 2 of the paper).  The paper's evaluation
+follows FAROS and treats the list as a FIFO queue: when a tag arrives at a
+full list, the head (oldest tag) is dropped.  The discussion section defers
+smarter scheduling to future work; we expose an LRU variant so the
+scheduling ablation can quantify the difference.
+
+A list never holds two copies of the same tag (constraint Eq. 7: no byte
+may hold more than one copy of any tag).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.dift.tags import Tag
+
+
+class SchedulingPolicy(enum.Enum):
+    """What to do when a tag arrives at a full provenance list."""
+
+    #: drop the oldest entry (paper / FAROS behaviour)
+    FIFO = "fifo"
+    #: drop the least-recently *touched* entry (future-work ablation)
+    LRU = "lru"
+    #: refuse the newcomer
+    REJECT = "reject"
+    #: value-based admission (Section VI future work, Matzakos-style):
+    #: admit the newcomer only if its retention value exceeds the least
+    #: valuable resident tag, which is then dropped.  Requires a
+    #: ``value_fn``; a tag's natural value is its undertainting marginal
+    #: magnitude ``u_t * n**-alpha`` (rare/important tags are retained).
+    VALUE = "value"
+
+
+@dataclass(frozen=True)
+class AddOutcome:
+    """Result of attempting to add one tag to a provenance list."""
+
+    #: the tag now resides in the list (it may have been present already)
+    present: bool
+    #: the tag was newly inserted by this call
+    added: bool
+    #: a pre-existing tag evicted to make room, if any
+    dropped: Optional[Tag] = None
+
+
+class ProvenanceList:
+    """Ordered, bounded, duplicate-free tag list for one byte/register.
+
+    Pure data structure: it reports what was added/evicted and leaves
+    copy-count bookkeeping to :class:`repro.dift.shadow.ShadowMemory`.
+    """
+
+    __slots__ = ("_capacity", "_scheduling", "_tags", "_value_fn")
+
+    def __init__(
+        self,
+        capacity: int,
+        scheduling: SchedulingPolicy = SchedulingPolicy.FIFO,
+        value_fn: Optional[Callable[[Tag], float]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if scheduling is SchedulingPolicy.VALUE and value_fn is None:
+            raise ValueError("VALUE scheduling requires a value_fn")
+        self._capacity = capacity
+        self._scheduling = scheduling
+        self._value_fn = value_fn
+        self._tags: List[Tag] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def scheduling(self) -> SchedulingPolicy:
+        return self._scheduling
+
+    @property
+    def free_slots(self) -> int:
+        return self._capacity - len(self._tags)
+
+    @property
+    def full(self) -> bool:
+        return len(self._tags) >= self._capacity
+
+    def tags(self) -> Tuple[Tag, ...]:
+        """Current contents, oldest first."""
+        return tuple(self._tags)
+
+    def add(self, tag: Tag) -> AddOutcome:
+        """Insert ``tag``, applying the eviction policy if the list is full.
+
+        Re-adding a tag that is already present is a no-op under FIFO and
+        REJECT; under LRU it refreshes the tag's recency.
+        """
+        if tag in self._tags:
+            if self._scheduling is SchedulingPolicy.LRU:
+                self._tags.remove(tag)
+                self._tags.append(tag)
+            return AddOutcome(present=True, added=False)
+        dropped: Optional[Tag] = None
+        if self.full:
+            if self._scheduling is SchedulingPolicy.REJECT:
+                return AddOutcome(present=False, added=False)
+            if self._scheduling is SchedulingPolicy.VALUE:
+                assert self._value_fn is not None
+                victim = min(self._tags, key=self._value_fn)
+                if self._value_fn(tag) <= self._value_fn(victim):
+                    # the newcomer is worth no more than the cheapest
+                    # resident: admission refused
+                    return AddOutcome(present=False, added=False)
+                self._tags.remove(victim)
+                dropped = victim
+            else:
+                # FIFO and LRU both evict the head: under FIFO the head is
+                # the oldest insertion; under LRU the least recently touched.
+                dropped = self._tags.pop(0)
+        self._tags.append(tag)
+        return AddOutcome(present=True, added=True, dropped=dropped)
+
+    def remove(self, tag: Tag) -> bool:
+        """Remove ``tag`` if present; returns whether it was there."""
+        try:
+            self._tags.remove(tag)
+        except ValueError:
+            return False
+        return True
+
+    def clear(self) -> Tuple[Tag, ...]:
+        """Empty the list, returning what was dropped."""
+        dropped = tuple(self._tags)
+        self._tags.clear()
+        return dropped
+
+    def touch(self, tag: Tag) -> None:
+        """Refresh recency for LRU scheduling (no-op when absent or FIFO)."""
+        if self._scheduling is SchedulingPolicy.LRU and tag in self._tags:
+            self._tags.remove(tag)
+            self._tags.append(tag)
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in self._tags
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(self._tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        inner = ", ".join(str(t) for t in self._tags)
+        return f"ProvenanceList([{inner}], cap={self._capacity})"

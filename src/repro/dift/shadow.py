@@ -1,0 +1,181 @@
+"""Shadow memory: the location -> provenance-list map (Section III).
+
+The paper stores each byte's provenance list in a shadow memory whose
+implementation is DIFT-specific ("e.g., hashmap or duplicated memory"); we
+use a sparse hashmap so only tainted locations consume space, which is also
+how the *space* metric of Table II is measured (entries actually in use).
+
+Locations are ``(kind, id)`` pairs: ``("mem", address)`` for memory bytes,
+``("reg", name)`` for registers, ``("nic", offset)`` for NIC buffer bytes.
+The :func:`mem` / :func:`reg` / :func:`nic` helpers build them.
+
+Every mutation keeps a :class:`~repro.dift.stats.TagCopyCounter` exactly in
+sync, so the MITOS copy-count vector ``n`` is always available in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dift.provenance import AddOutcome, ProvenanceList, SchedulingPolicy
+from repro.dift.stats import TagCopyCounter
+from repro.dift.tags import Tag
+
+Location = Tuple[str, object]
+
+#: shadow-memory bookkeeping cost per provenance-list entry, in bytes
+#: (tag id 4B + type 2B + list linkage 2B) -- used for the space metric.
+ENTRY_SIZE_BYTES = 8
+
+#: fixed per-tainted-location overhead (hashmap slot + list header).
+LOCATION_OVERHEAD_BYTES = 16
+
+
+def mem(address: int) -> Location:
+    """Location of a main-memory byte."""
+    return ("mem", address)
+
+
+def reg(name: str) -> Location:
+    """Location of a register (registers are tag-tracked as single units)."""
+    return ("reg", name)
+
+
+def nic(offset: int) -> Location:
+    """Location of an Ethernet-card buffer byte."""
+    return ("nic", offset)
+
+
+class ShadowMemory:
+    """Sparse map from locations to bounded provenance lists."""
+
+    def __init__(
+        self,
+        m_prov: int,
+        counter: Optional[TagCopyCounter] = None,
+        scheduling: SchedulingPolicy = SchedulingPolicy.FIFO,
+        value_fn: Optional[Callable[[Tag], float]] = None,
+    ):
+        if m_prov < 1:
+            raise ValueError(f"m_prov must be >= 1, got {m_prov}")
+        if scheduling is SchedulingPolicy.VALUE and value_fn is None:
+            raise ValueError("VALUE scheduling requires a value_fn")
+        self.m_prov = m_prov
+        self.scheduling = scheduling
+        self.value_fn = value_fn
+        self.counter = counter if counter is not None else TagCopyCounter()
+        self._lists: Dict[Location, ProvenanceList] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    def tags_at(self, location: Location) -> Tuple[Tag, ...]:
+        """Tags currently on ``location`` (empty tuple if untainted)."""
+        plist = self._lists.get(location)
+        return plist.tags() if plist is not None else ()
+
+    def is_tainted(self, location: Location) -> bool:
+        return bool(self._lists.get(location))
+
+    def free_slots(self, location: Location) -> int:
+        plist = self._lists.get(location)
+        return plist.free_slots if plist is not None else self.m_prov
+
+    def tainted_locations(self) -> List[Location]:
+        """All locations with at least one tag."""
+        return [loc for loc, plist in self._lists.items() if len(plist) > 0]
+
+    def tainted_count(self) -> int:
+        return sum(1 for plist in self._lists.values() if len(plist) > 0)
+
+    def total_entries(self) -> int:
+        """Total provenance-list entries in use (unweighted pollution)."""
+        return sum(len(plist) for plist in self._lists.values())
+
+    def footprint_bytes(self) -> int:
+        """Space metric: bytes of shadow state actually in use."""
+        entries = self.total_entries()
+        locations = self.tainted_count()
+        return entries * ENTRY_SIZE_BYTES + locations * LOCATION_OVERHEAD_BYTES
+
+    # -- mutations -------------------------------------------------------
+
+    def _list_for(self, location: Location) -> ProvenanceList:
+        plist = self._lists.get(location)
+        if plist is None:
+            plist = ProvenanceList(self.m_prov, self.scheduling, self.value_fn)
+            self._lists[location] = plist
+        return plist
+
+    def add_tag(self, location: Location, tag: Tag) -> AddOutcome:
+        """Add one tag to a location, keeping the copy counter in sync."""
+        outcome = self._list_for(location).add(tag)
+        if outcome.added:
+            self.counter.increment(tag)
+        if outcome.dropped is not None:
+            self.counter.decrement(outcome.dropped)
+        return outcome
+
+    def remove_tag(self, location: Location, tag: Tag) -> bool:
+        plist = self._lists.get(location)
+        if plist is None:
+            return False
+        removed = plist.remove(tag)
+        if removed:
+            self.counter.decrement(tag)
+            if len(plist) == 0:
+                del self._lists[location]
+        return removed
+
+    def clear_location(self, location: Location) -> Tuple[Tag, ...]:
+        """Untaint a location entirely (e.g., constant overwrite)."""
+        plist = self._lists.pop(location, None)
+        if plist is None:
+            return ()
+        dropped = plist.clear()
+        for tag in dropped:
+            self.counter.decrement(tag)
+        return dropped
+
+    def replace_tags(
+        self, location: Location, tags: Sequence[Tag]
+    ) -> Tuple[int, int]:
+        """Set a location's list to ``tags`` (copy-dependency semantics).
+
+        Returns ``(added, dropped)`` mutation counts for the work metric.
+        Tags beyond capacity follow the list's eviction policy, so the
+        final list holds at most ``m_prov`` of the given tags.
+        """
+        dropped = len(self.clear_location(location))
+        added = 0
+        for tag in tags:
+            outcome = self.add_tag(location, tag)
+            if outcome.added:
+                added += 1
+            if outcome.dropped is not None:
+                dropped += 1
+        return added, dropped
+
+    def union_into(
+        self, sources: Iterable[Location], destination: Location
+    ) -> Tuple[int, int]:
+        """Merge all source tags into the destination (computation deps).
+
+        The union is taken in source order with duplicates skipped; the
+        destination's existing tags are kept (a computation result carries
+        its prior history plus both operands' tags).
+        """
+        added = 0
+        dropped = 0
+        seen = set(self.tags_at(destination))
+        for source in sources:
+            for tag in self.tags_at(source):
+                if tag in seen:
+                    continue
+                seen.add(tag)
+                outcome = self.add_tag(destination, tag)
+                if outcome.added:
+                    added += 1
+                if outcome.dropped is not None:
+                    dropped += 1
+                    seen.discard(outcome.dropped)
+        return added, dropped

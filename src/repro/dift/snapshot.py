@@ -1,0 +1,131 @@
+"""Tracker checkpoints: snapshot and restore shadow state.
+
+Long replays (the paper's one-minute records already strained PANDA's
+memory) benefit from checkpointing: replay a prefix once, snapshot, and
+explore many configurations or suffixes from the checkpoint.  A snapshot
+captures exactly the replayable taint state: every location's provenance
+list *in order* (so FIFO eviction behaviour is preserved), plus the
+tracker's counters.
+
+Snapshots serialize to JSON (gzip when the path ends ``.gz``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+
+#: snapshot format version (bump on incompatible changes)
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """Malformed or incompatible snapshot data."""
+
+
+def _location_to_json(location) -> list:
+    def encode(value):
+        if isinstance(value, tuple):
+            return {"t": [encode(v) for v in value]}
+        return value
+
+    return [encode(part) for part in location]
+
+
+def _location_from_json(payload) -> tuple:
+    def decode(value):
+        if isinstance(value, dict) and set(value) == {"t"}:
+            return tuple(decode(v) for v in value["t"])
+        return value
+
+    return tuple(decode(part) for part in payload)
+
+
+def snapshot_tracker(tracker: DIFTTracker) -> Dict[str, object]:
+    """Capture a tracker's replayable taint state."""
+    locations: List[dict] = []
+    for location in tracker.shadow.tainted_locations():
+        locations.append(
+            {
+                "loc": _location_to_json(location),
+                "tags": [list(tag.key) for tag in tracker.shadow.tags_at(location)],
+            }
+        )
+    return {
+        "version": SNAPSHOT_VERSION,
+        "m_prov": tracker.shadow.m_prov,
+        "scheduling": tracker.shadow.scheduling.value,
+        "stats": tracker.stats.as_dict(),
+        "ticks": tracker.stats.ticks,
+        "locations": locations,
+    }
+
+
+def restore_tracker(tracker: DIFTTracker, snapshot: Dict[str, object]) -> None:
+    """Load a snapshot into a (configuration-compatible) tracker.
+
+    The tracker is reset first; provenance lists are rebuilt in recorded
+    order so subsequent FIFO evictions behave as if the prefix had been
+    replayed live.  Statistics counters other than ``ticks`` are *not*
+    restored (they describe the work of the original run, which this
+    tracker did not perform).
+    """
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    if snapshot.get("m_prov") != tracker.shadow.m_prov:
+        raise SnapshotError(
+            f"snapshot M_prov {snapshot.get('m_prov')} does not match "
+            f"tracker M_prov {tracker.shadow.m_prov}"
+        )
+    if snapshot.get("scheduling") != tracker.shadow.scheduling.value:
+        raise SnapshotError(
+            f"snapshot scheduling {snapshot.get('scheduling')!r} does not "
+            f"match tracker {tracker.shadow.scheduling.value!r}"
+        )
+    tracker.reset()
+    try:
+        for entry in snapshot["locations"]:  # type: ignore[index]
+            location = _location_from_json(entry["loc"])
+            for tag_type, index in entry["tags"]:
+                tracker.shadow.add_tag(location, Tag(tag_type, int(index)))
+        tracker.stats.ticks = int(snapshot.get("ticks", 0))  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as error:
+        raise SnapshotError(f"malformed snapshot: {error}") from error
+
+
+def save_snapshot(
+    tracker: DIFTTracker, path: Union[str, Path]
+) -> Path:
+    """Snapshot a tracker to a JSON (optionally gzip) file."""
+    target = Path(path)
+    text = json.dumps(snapshot_tracker(tracker))
+    if target.suffix == ".gz":
+        with gzip.open(target, "wt") as handle:
+            handle.write(text)
+    else:
+        target.write_text(text)
+    return target
+
+
+def load_snapshot(
+    tracker: DIFTTracker, path: Union[str, Path]
+) -> None:
+    """Restore a tracker from a snapshot file."""
+    source = Path(path)
+    if source.suffix == ".gz":
+        with gzip.open(source, "rt") as handle:
+            text = handle.read()
+    else:
+        text = source.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SnapshotError(f"snapshot is not valid JSON: {error}") from error
+    restore_tracker(tracker, payload)

@@ -1,0 +1,151 @@
+"""Copy-count bookkeeping and tracker statistics.
+
+:class:`TagCopyCounter` maintains the live copy-count vector ``n`` of the
+MITOS model: ``n[t,i]`` = number of locations (bytes/registers) whose
+provenance list currently holds tag ``{t,i}``.  It also maintains per-type
+totals so the weighted memory pollution ``sum_t o_t sum_i n[t,i]`` -- the
+globally shared quantity of Eq. 8 -- is O(#types) to compute, matching the
+paper's O(1)-space "single estimation of the memory pollution" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.dift.tags import Tag
+
+TagKey = Tuple[str, int]
+
+
+class TagCopyCounter:
+    """Live copy-count vector ``n`` plus per-type pollution aggregates.
+
+    Optional ``on_birth`` / ``on_death`` callbacks fire when a tag's copy
+    count transitions 0 -> 1 and 1 -> 0 respectively, enabling
+    TaintBochs-style data-lifetime analysis without scanning.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[TagKey, int] = {}
+        self._type_totals: Dict[str, int] = {}
+        self.on_birth: "Callable[[Tag], None] | None" = None
+        self.on_death: "Callable[[Tag], None] | None" = None
+
+    def increment(self, tag: Tag) -> None:
+        """One more location now holds ``tag``."""
+        previous = self._counts.get(tag.key, 0)
+        self._counts[tag.key] = previous + 1
+        self._type_totals[tag.type] = self._type_totals.get(tag.type, 0) + 1
+        if previous == 0 and self.on_birth is not None:
+            self.on_birth(tag)
+
+    def decrement(self, tag: Tag) -> None:
+        """One fewer location holds ``tag``."""
+        current = self._counts.get(tag.key, 0)
+        if current <= 0:
+            raise ValueError(f"decrement below zero for tag {tag}")
+        if current == 1:
+            del self._counts[tag.key]
+        else:
+            self._counts[tag.key] = current - 1
+        self._type_totals[tag.type] -= 1
+        if self._type_totals[tag.type] == 0:
+            del self._type_totals[tag.type]
+        if current == 1 and self.on_death is not None:
+            self.on_death(tag)
+
+    def copies(self, tag: Tag) -> int:
+        """``n[t,i]`` for this tag (0 if nowhere)."""
+        return self._counts.get(tag.key, 0)
+
+    def copies_by_key(self, key: TagKey) -> int:
+        return self._counts.get(key, 0)
+
+    def total_entries(self) -> int:
+        """Unweighted pollution: total provenance-list entries in use."""
+        return sum(self._type_totals.values())
+
+    def type_total(self, tag_type: str) -> int:
+        """Total entries across all tags of one type."""
+        return self._type_totals.get(tag_type, 0)
+
+    def weighted_pollution(
+        self, o: Mapping[str, float], default_weight: float = 1.0
+    ) -> float:
+        """``sum_t o_t sum_i n[t,i]`` -- the Eq. 8 global signal."""
+        return sum(
+            o.get(tag_type, default_weight) * total
+            for tag_type, total in self._type_totals.items()
+        )
+
+    def snapshot(self) -> Dict[TagKey, int]:
+        """Copy of the full copy-count vector (for solvers/metrics)."""
+        return dict(self._counts)
+
+    def live_tags(self) -> int:
+        """Number of distinct tags with at least one copy."""
+        return len(self._counts)
+
+    def per_type_counts(self) -> Dict[str, Dict[TagKey, int]]:
+        """Copy counts grouped by tag type."""
+        grouped: Dict[str, Dict[TagKey, int]] = {}
+        for key, count in self._counts.items():
+            grouped.setdefault(key[0], {})[key] = count
+        return grouped
+
+
+@dataclass
+class TrackerStats:
+    """Work and event counters for one DIFT run.
+
+    ``propagation_ops`` counts every provenance-list mutation (adds, drops,
+    clears); it is the hardware-independent proxy for the paper's replay
+    *time* metric, since tag-propagation work dominates FAROS replay time.
+    """
+
+    ticks: int = 0
+    inserts: int = 0
+    dfp_copy: int = 0
+    dfp_compute: int = 0
+    ifp_address: int = 0
+    ifp_control: int = 0
+    ifp_candidates: int = 0
+    ifp_propagated: int = 0
+    ifp_blocked: int = 0
+    propagation_ops: int = 0
+    drops: int = 0
+    clears: int = 0
+    alerts: int = 0
+    by_context: Dict[str, int] = field(default_factory=dict)
+
+    def note_context(self, context: str) -> None:
+        self.by_context[context] = self.by_context.get(context, 0) + 1
+
+    @property
+    def ifp_total(self) -> int:
+        return self.ifp_address + self.ifp_control
+
+    @property
+    def ifp_propagation_rate(self) -> float:
+        if self.ifp_candidates == 0:
+            return 0.0
+        return self.ifp_propagated / self.ifp_candidates
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for reporting tables."""
+        return {
+            "ticks": self.ticks,
+            "inserts": self.inserts,
+            "dfp_copy": self.dfp_copy,
+            "dfp_compute": self.dfp_compute,
+            "ifp_address": self.ifp_address,
+            "ifp_control": self.ifp_control,
+            "ifp_candidates": self.ifp_candidates,
+            "ifp_propagated": self.ifp_propagated,
+            "ifp_blocked": self.ifp_blocked,
+            "propagation_ops": self.propagation_ops,
+            "drops": self.drops,
+            "clears": self.clears,
+            "alerts": self.alerts,
+        }

@@ -1,0 +1,232 @@
+"""The DIFT tracker: applies flow events to the shadow memory.
+
+This is the FAROS propagation engine of Fig. 6, reduced to its taint
+semantics:
+
+* direct flows are propagated unconditionally (copy replaces the
+  destination list, computation unions the operand lists),
+* indirect flows are routed to the pluggable
+  :class:`~repro.core.policy.PropagationPolicy`, which is where MITOS and
+  its baselines differ,
+* optionally, *all* flows are routed through the policy
+  (``direct_via_policy=True``) -- the generalized mode of Section V-C's
+  case study, where ``is_IFP`` is replaced by ``is_DFP_or_IFP`` and MITOS
+  weighs every propagation.
+
+The tracker keeps the copy-count vector and pollution live via the
+:class:`~repro.dift.stats.TagCopyCounter`, and can host a
+:class:`~repro.dift.detector.ConfluenceDetector` that is checked after
+every mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.decision import MultiDecision, TagCandidate
+from repro.core.params import MitosParams
+from repro.core.policy import PropagationPolicy
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.provenance import SchedulingPolicy
+from repro.dift.shadow import Location, ShadowMemory
+from repro.dift.stats import TagCopyCounter, TrackerStats
+from repro.dift.tags import Tag
+
+#: observer signature: (event, candidates, decision-details-or-None,
+#: selected tags, pollution at decision time)
+IfpObserver = Callable[
+    [FlowEvent, Sequence[TagCandidate], Optional[MultiDecision], Sequence[Tag], float],
+    None,
+]
+
+
+class DIFTTracker:
+    """Whole-system taint tracker with pluggable indirect-flow policy."""
+
+    def __init__(
+        self,
+        params: MitosParams,
+        policy: PropagationPolicy,
+        scheduling: SchedulingPolicy = SchedulingPolicy.FIFO,
+        detector: Optional[ConfluenceDetector] = None,
+        direct_via_policy: bool = False,
+        ifp_observer: Optional[IfpObserver] = None,
+    ):
+        self.params = params
+        self.policy = policy
+        self.counter = TagCopyCounter()
+        self.shadow = ShadowMemory(
+            params.M_prov,
+            self.counter,
+            scheduling,
+            value_fn=(
+                self.tag_retention_value
+                if scheduling is SchedulingPolicy.VALUE
+                else None
+            ),
+        )
+        self.stats = TrackerStats()
+        self.detector = detector
+        self.direct_via_policy = direct_via_policy
+        self.ifp_observer = ifp_observer
+        self._bind_policy_pollution()
+
+    def _bind_policy_pollution(self) -> None:
+        """Give pollution-aware policies (MITOS, wrappers) the live signal."""
+        binder = getattr(self.policy, "bind_pollution_source", None)
+        if binder is not None:
+            binder(self.pollution)
+
+    # -- pollution: the globally shared Eq. 8 signal ----------------------
+
+    def pollution(self) -> float:
+        """Weighted memory pollution ``sum_t o_t sum_i n[t,i]``."""
+        return self.counter.weighted_pollution(self.params.o)
+
+    def tag_retention_value(self, tag: Tag) -> float:
+        """Retention value under VALUE scheduling (Section VI future work).
+
+        A tag's value in a provenance list is the magnitude of its
+        undertainting submarginal, ``u_t * n**-alpha``: dropping one copy
+        of a rare or important tag costs much more information flow than
+        dropping a copy of a saturated one.
+        """
+        copies = max(self.counter.copies(tag), 1)
+        return self.params.u_of(tag.type) * copies ** (-self.params.alpha)
+
+    # -- event processing --------------------------------------------------
+
+    def process(self, event: FlowEvent) -> None:
+        """Apply one flow event to the shadow state."""
+        self.stats.ticks = max(self.stats.ticks, event.tick + 1)
+        if event.context:
+            self.stats.note_context(event.context)
+        kind = event.kind
+        if kind is FlowKind.INSERT:
+            self._apply_insert(event)
+        elif kind is FlowKind.CLEAR:
+            self._apply_clear(event)
+        elif kind.is_direct and not self.direct_via_policy:
+            self._apply_direct(event)
+        else:
+            self._apply_via_policy(event)
+        if self.detector is not None:
+            alert = self.detector.check(self.shadow, event.destination, event.tick)
+            if alert is not None:
+                self.stats.alerts += 1
+
+    def process_many(self, events: Sequence[FlowEvent]) -> None:
+        for event in events:
+            self.process(event)
+
+    # -- handlers ----------------------------------------------------------
+
+    def _apply_insert(self, event: FlowEvent) -> None:
+        assert event.tag is not None  # validated by FlowEvent
+        outcome = self.shadow.add_tag(event.destination, event.tag)
+        self.stats.inserts += 1
+        if outcome.added:
+            self.stats.propagation_ops += 1
+        if outcome.dropped is not None:
+            self.stats.drops += 1
+            self.stats.propagation_ops += 1
+
+    def _apply_clear(self, event: FlowEvent) -> None:
+        dropped = self.shadow.clear_location(event.destination)
+        self.stats.clears += 1
+        self.stats.propagation_ops += len(dropped)
+
+    def _apply_direct(self, event: FlowEvent) -> None:
+        if event.kind is FlowKind.COPY:
+            source_tags = self.shadow.tags_at(event.sources[0])
+            added, dropped = self.shadow.replace_tags(
+                event.destination, source_tags
+            )
+            self.stats.dfp_copy += 1
+        else:  # COMPUTE
+            added, dropped = self.shadow.union_into(
+                event.sources, event.destination
+            )
+            self.stats.dfp_compute += 1
+        self.stats.propagation_ops += added + dropped
+        self.stats.drops += dropped
+
+    def _candidates_for(self, event: FlowEvent) -> List[TagCandidate]:
+        """Unique source tags not already present at the destination."""
+        present = set(self.shadow.tags_at(event.destination))
+        seen = set()
+        candidates: List[TagCandidate] = []
+        for source in event.sources:
+            for tag in self.shadow.tags_at(source):
+                if tag in present or tag in seen:
+                    continue
+                seen.add(tag)
+                candidates.append(
+                    TagCandidate(
+                        key=tag, tag_type=tag.type, copies=self.counter.copies(tag)
+                    )
+                )
+        return candidates
+
+    def _apply_via_policy(self, event: FlowEvent) -> None:
+        if event.kind is FlowKind.ADDRESS_DEP:
+            self.stats.ifp_address += 1
+        elif event.kind is FlowKind.CONTROL_DEP:
+            self.stats.ifp_control += 1
+        elif event.kind is FlowKind.COPY:
+            self.stats.dfp_copy += 1
+        else:
+            self.stats.dfp_compute += 1
+        candidates = self._candidates_for(event)
+        if event.kind.is_indirect:
+            self.stats.ifp_candidates += len(candidates)
+        if not candidates:
+            return
+        if not self.policy.handles(event.kind.value):
+            # hard-wired per-dependency-class block (Minos-style)
+            if event.kind.is_indirect:
+                self.stats.ifp_blocked += len(candidates)
+            if self.ifp_observer is not None:
+                self.ifp_observer(
+                    event, candidates, None, [], self.pollution()
+                )
+            return
+        pollution_now = self.pollution()
+        free = self.shadow.free_slots(event.destination)
+        selected, details = self.policy.select_with_details(candidates, free)
+        chosen_tags: List[Tag] = [c.key for c in selected]  # type: ignore[misc]
+        for tag in chosen_tags:
+            outcome = self.shadow.add_tag(event.destination, tag)
+            if outcome.added:
+                self.stats.propagation_ops += 1
+            if outcome.dropped is not None:
+                self.stats.drops += 1
+                self.stats.propagation_ops += 1
+        if event.kind.is_indirect:
+            self.stats.ifp_propagated += len(chosen_tags)
+            self.stats.ifp_blocked += len(candidates) - len(chosen_tags)
+        if self.ifp_observer is not None:
+            self.ifp_observer(event, candidates, details, chosen_tags, pollution_now)
+
+    # -- run-level helpers ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Fresh shadow state for a new replay, keeping configuration."""
+        scheduling = self.shadow.scheduling
+        self.counter = TagCopyCounter()
+        self.shadow = ShadowMemory(
+            self.params.M_prov,
+            self.counter,
+            scheduling,
+            value_fn=(
+                self.tag_retention_value
+                if scheduling is SchedulingPolicy.VALUE
+                else None
+            ),
+        )
+        self.stats = TrackerStats()
+        self.policy.reset()
+        if self.detector is not None:
+            self.detector.reset()
+        self._bind_policy_pollution()

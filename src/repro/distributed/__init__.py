@@ -1,0 +1,13 @@
+"""Multi-subsystem DIFT: gossiped pollution estimates (Section IV-B scalability)."""
+
+from repro.distributed.gossip import GossipState, PollutionGossip
+from repro.distributed.node import SubsystemNode
+from repro.distributed.cluster import Cluster, ClusterResult
+
+__all__ = [
+    "SubsystemNode",
+    "PollutionGossip",
+    "GossipState",
+    "Cluster",
+    "ClusterResult",
+]

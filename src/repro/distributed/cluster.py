@@ -1,0 +1,171 @@
+"""Cluster simulation: a recording sharded across subsystem nodes.
+
+Events are routed to nodes by destination location (a stable hash), so
+each node tracks its own shard of the address space -- the "different
+(sub)systems" of the paper's tag-differentiation assumption.  Between
+every ``gossip_interval`` events a gossip round spreads local pollution
+values; MITOS decisions on each node use the (stale) believed global
+pollution.
+
+:meth:`Cluster.run` reports decision agreement against an oracle that
+always sees the exact global pollution, quantifying how much staleness
+costs -- the paper's scalability claim made measurable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.costs import marginal_cost
+from repro.core.params import MitosParams
+from repro.distributed.gossip import PollutionGossip
+from repro.distributed.node import SubsystemNode
+from repro.dift.flows import FlowEvent
+from repro.replay.record import Recording
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one sharded replay."""
+
+    nodes: int
+    events: int
+    gossip_rounds: int
+    gossip_messages: int
+    mean_estimate_error: float
+    max_estimate_error: float
+    #: fraction of per-candidate IFP decisions matching the exact-pollution oracle
+    oracle_agreement: float
+    per_node_events: Dict[int, int] = field(default_factory=dict)
+    propagated: int = 0
+    blocked: int = 0
+
+
+class Cluster:
+    """N subsystem nodes + gossip, replaying one recording."""
+
+    def __init__(
+        self,
+        params: MitosParams,
+        n_nodes: int = 4,
+        gossip_interval: int = 200,
+        fanout: int = 2,
+        seed: int = 0,
+        direct_via_policy: bool = False,
+        node_params: Optional[Sequence[MitosParams]] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if gossip_interval < 1:
+            raise ValueError(f"gossip_interval must be >= 1, got {gossip_interval}")
+        if node_params is not None and len(node_params) != n_nodes:
+            raise ValueError(
+                f"node_params must supply one MitosParams per node "
+                f"({n_nodes}), got {len(node_params)}"
+            )
+        self.params = params
+        self.node_params = (
+            list(node_params) if node_params is not None else [params] * n_nodes
+        )
+        self.nodes = [
+            SubsystemNode(
+                i, self.node_params[i], direct_via_policy=direct_via_policy
+            )
+            for i in range(n_nodes)
+        ]
+        self.gossip = PollutionGossip(self.nodes, fanout=fanout, seed=seed)
+        self.gossip_interval = gossip_interval
+        #: how often belief errors are sampled -- independent of gossip, so
+        #: "never gossips" measures as large error rather than no error
+        self.error_sample_interval = max(1, min(50, gossip_interval))
+
+    def route(self, event: FlowEvent) -> SubsystemNode:
+        """Stable destination-hash sharding.
+
+        Uses CRC32 of the location repr rather than ``hash()``: Python
+        salts string hashes per process, which would make the sharding --
+        and therefore the whole run -- non-reproducible.
+        """
+        digest = zlib.crc32(repr(event.destination).encode())
+        return self.nodes[digest % len(self.nodes)]
+
+    def run(self, recording: Recording) -> ClusterResult:
+        """Replay the recording across the cluster with periodic gossip."""
+        agreement_hits = 0
+        agreement_total = 0
+        propagated = 0
+        blocked = 0
+
+        def watch(node: SubsystemNode):
+            def observer(event, candidates, details, selected, pollution):
+                nonlocal agreement_hits, agreement_total, propagated, blocked
+                exact = self.gossip.true_global_pollution()
+                selected_keys = {tag for tag in selected}
+                for candidate in candidates:
+                    oracle = (
+                        marginal_cost(
+                            candidate.copies, exact, candidate.tag_type, node.params
+                        )
+                        <= 0
+                    )
+                    actual = candidate.key in selected_keys
+                    agreement_total += 1
+                    if oracle == actual:
+                        agreement_hits += 1
+                    if actual:
+                        propagated += 1
+                    else:
+                        blocked += 1
+
+            return observer
+
+        for node in self.nodes:
+            node.tracker.ifp_observer = watch(node)
+
+        errors_seen: List[float] = []
+        for index, event in enumerate(recording):
+            if index > 0 and index % self.gossip_interval == 0:
+                self.gossip.round()
+            if index > 0 and index % self.error_sample_interval == 0:
+                errors_seen.extend(self.gossip.record_errors())
+            self.route(event).process(event)
+
+        mean_error = (
+            sum(errors_seen) / len(errors_seen) if errors_seen else 0.0
+        )
+        max_error = max(errors_seen) if errors_seen else 0.0
+        return ClusterResult(
+            nodes=len(self.nodes),
+            events=len(recording),
+            gossip_rounds=self.gossip.state.rounds,
+            gossip_messages=self.gossip.state.messages_sent,
+            mean_estimate_error=mean_error,
+            max_estimate_error=max_error,
+            oracle_agreement=(
+                agreement_hits / agreement_total if agreement_total else 1.0
+            ),
+            per_node_events={n.node_id: n.events_processed for n in self.nodes},
+            propagated=propagated,
+            blocked=blocked,
+        )
+
+
+def run_sharded(
+    recording: Recording,
+    params: MitosParams,
+    n_nodes: int,
+    gossip_interval: int,
+    seed: int = 0,
+    direct_via_policy: bool = False,
+) -> ClusterResult:
+    """Convenience wrapper used by the ablation bench."""
+    cluster = Cluster(
+        params,
+        n_nodes=n_nodes,
+        gossip_interval=gossip_interval,
+        seed=seed,
+        direct_via_policy=direct_via_policy,
+    )
+    return cluster.run(recording)

@@ -1,0 +1,27 @@
+"""One module per paper artifact: Fig. 3, Fig. 7, Fig. 8, Fig. 9, Table II.
+
+Every module exposes ``run(quick=False, seed=0) -> <Result>`` and
+``render(result) -> str``; the benchmark harness under ``benchmarks/``
+wraps these, and ``python -m repro.cli <experiment>`` drives them from the
+command line.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig3,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    workload_sensitivity,
+)
+
+__all__ = [
+    "fig3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "ablations",
+    "workload_sensitivity",
+]

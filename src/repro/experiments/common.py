@@ -1,0 +1,57 @@
+"""Shared experiment plumbing: cached workload recordings and run helpers."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.params import MitosParams
+from repro.faros import FarosConfig, FarosSystem
+from repro.replay.record import Recording
+from repro.workloads.calibration import benchmark_params
+from repro.workloads.network import NetworkBenchmark
+
+#: quick-mode calibration: the scaled-down workloads reach lower copy
+#: counts and pollution, so the decision boundary must scale with them
+QUICK_CROSSOVER_COPIES = 150.0
+QUICK_POLLUTION_FRACTION = 0.0015
+
+
+def experiment_params(quick: bool = False, **kwargs: object) -> MitosParams:
+    """Benchmark parameters with quick-mode-aware calibration.
+
+    Full-size experiments use the reference calibration of
+    :mod:`repro.workloads.calibration`; quick (test-sized) runs anchor the
+    decision boundary to the smaller copy counts / pollution they produce,
+    so the same propagate/block regimes are exercised.
+    """
+    if quick:
+        kwargs.setdefault("crossover_copies", QUICK_CROSSOVER_COPIES)
+        kwargs.setdefault("pollution_fraction", QUICK_POLLUTION_FRACTION)
+    return benchmark_params(**kwargs)  # type: ignore[arg-type]
+
+
+@lru_cache(maxsize=8)
+def network_recording(seed: int = 0, quick: bool = False) -> Recording:
+    """The one-minute network-benchmark recording (recorded once, replayed
+    many times, exactly like the paper's PANDA record)."""
+    if quick:
+        workload = NetworkBenchmark(
+            seed=seed,
+            connections=3,
+            bytes_per_connection=96,
+            rounds=1,
+            config_files=1,
+            bytes_per_file=48,
+            heavy_hitter=False,
+        )
+    else:
+        workload = NetworkBenchmark(seed=seed)
+    return workload.record()
+
+
+def replay_config(config: FarosConfig, recording: Recording) -> FarosSystem:
+    """Build a system for ``config``, replay the recording, return the system
+    (whose tracker/timeline hold the post-run state)."""
+    system = FarosSystem(config)
+    system.replay(recording)
+    return system

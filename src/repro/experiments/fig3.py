@@ -1,0 +1,112 @@
+"""Fig. 3: the shapes of the under- and over-tainting cost functions.
+
+Fig. 3(a) plots the alpha-fair undertainting term ``n**(1-alpha)/(alpha-1)``
+for several alpha values over the copy count ``n``; Fig. 3(b) plots the
+beta-steep overtainting penalty ``(P/N_R)**beta`` over the pollution
+fraction.  Both are analytic -- no workload involved -- so the
+reproduction regenerates the exact series and checks the properties the
+paper states: (a) is monotonically decreasing with negative gradient and
+increasing steepness in alpha; (b) is monotonically increasing, convex,
+and steeper for larger beta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.reporting import format_series
+from repro.core.costs import cost_series, over_cost_series
+
+#: alpha values plotted in Fig. 3(a)
+FIG3A_ALPHAS = (0.5, 1.0, 1.5, 2.0, 4.0)
+#: beta values plotted in Fig. 3(b)
+FIG3B_BETAS = (2.0, 3.0, 4.0)
+
+
+@dataclass
+class Fig3Result:
+    """Regenerated series for both panels."""
+
+    copies_grid: List[float] = field(default_factory=list)
+    under_series: Dict[float, List[float]] = field(default_factory=dict)
+    fraction_grid: List[float] = field(default_factory=list)
+    over_series: Dict[float, List[float]] = field(default_factory=dict)
+
+    def under_is_decreasing(self, alpha: float) -> bool:
+        series = self.under_series[alpha]
+        return all(a >= b for a, b in zip(series, series[1:]))
+
+    def over_is_increasing(self, beta: float) -> bool:
+        series = self.over_series[beta]
+        return all(a <= b for a, b in zip(series, series[1:]))
+
+
+def run(quick: bool = False, seed: int = 0) -> Fig3Result:
+    """Regenerate both panels (``quick`` shrinks the grids)."""
+    points = 20 if quick else 100
+    copies_grid = [1.0 + i for i in range(points)]
+    fraction_grid = [i / points for i in range(points + 1)]
+    result = Fig3Result(copies_grid=copies_grid, fraction_grid=fraction_grid)
+    for alpha in FIG3A_ALPHAS:
+        result.under_series[alpha] = cost_series(copies_grid, alpha)
+    for beta in FIG3B_BETAS:
+        result.over_series[beta] = over_cost_series(fraction_grid, beta)
+    return result
+
+
+def render(result: Fig3Result) -> str:
+    """The printable form of both panels, with ASCII curve overlays."""
+    from repro.analysis.plot import multi_series_plot
+
+    blocks = ["== Fig. 3(a): alpha-fair undertainting cost =="]
+    blocks.append(
+        multi_series_plot(
+            [
+                (f"alpha={alpha}", result.copies_grid, result.under_series[alpha])
+                for alpha in FIG3A_ALPHAS
+            ],
+            title="cost term vs copies n",
+        )
+    )
+    for alpha in FIG3A_ALPHAS:
+        blocks.append(
+            format_series(
+                f"alpha={alpha}",
+                result.copies_grid,
+                result.under_series[alpha],
+                x_label="n (copies)",
+                y_label="cost term",
+                max_points=8,
+            )
+        )
+    blocks.append("== Fig. 3(b): beta-steep overtainting cost ==")
+    blocks.append(
+        multi_series_plot(
+            [
+                (f"beta={beta}", result.fraction_grid, result.over_series[beta])
+                for beta in FIG3B_BETAS
+            ],
+            title="cost vs pollution fraction P/N_R",
+        )
+    )
+    for beta in FIG3B_BETAS:
+        blocks.append(
+            format_series(
+                f"beta={beta}",
+                result.fraction_grid,
+                result.over_series[beta],
+                x_label="P/N_R",
+                y_label="cost",
+                max_points=8,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

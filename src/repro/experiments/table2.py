@@ -1,0 +1,195 @@
+"""Table II: FAROS vs MITOS on the in-memory-only attack.
+
+Six Metasploit-style shells are recorded and replayed under two systems:
+
+* **FAROS** -- "propagating aggressively all direct flows and no indirect
+  flows",
+* **MITOS** -- "propagating all flows (direct and indirect) at the MITOS
+  level" (the generalized Section V-C mode).
+
+Reported, averaged over the six shells, with the paper's values alongside:
+
+* time  -- the paper reports replay seconds (837 vs 509, 1.65x); we report
+  both measured wall seconds and propagation operations (the
+  hardware-independent work proxy),
+* space -- shadow-memory footprint (2.21 vs 1.99 MB, 1.11x),
+* detected bytes -- bytes flagged by the netflow+export-table confluence
+  (543 vs 1449, 2.67x).
+
+Expected shape: MITOS improves *all three simultaneously*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.experiments.common import experiment_params
+from repro.workloads.attack import ATTACK_VARIANTS, InMemoryAttack
+
+#: the paper's Table II numbers, for side-by-side reporting
+PAPER_TABLE2 = {
+    "faros": {"time_s": 837.0, "space_mb": 2.21, "detected_bytes": 543},
+    "mitos": {"time_s": 509.0, "space_mb": 1.99, "detected_bytes": 1449},
+}
+
+
+@dataclass
+class Table2Row:
+    """Averaged measurements for one system."""
+
+    label: str
+    wall_seconds: float
+    propagation_ops: float
+    footprint_bytes: float
+    detected_bytes: float
+    per_variant_detected: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Table2Result:
+    faros: Table2Row
+    mitos: Table2Row
+
+    @property
+    def time_improvement(self) -> float:
+        """Work-proxy improvement factor (paper: 1.65x)."""
+        if self.mitos.propagation_ops == 0:
+            return float("inf")
+        return self.faros.propagation_ops / self.mitos.propagation_ops
+
+    @property
+    def space_improvement(self) -> float:
+        """Footprint improvement factor (paper: 1.11x)."""
+        if self.mitos.footprint_bytes == 0:
+            return float("inf")
+        return self.faros.footprint_bytes / self.mitos.footprint_bytes
+
+    @property
+    def detection_improvement(self) -> float:
+        """Detected-bytes improvement factor (paper: 2.67x)."""
+        if self.faros.detected_bytes == 0:
+            return float("inf")
+        return self.mitos.detected_bytes / self.faros.detected_bytes
+
+    def simultaneous_improvement(self) -> bool:
+        """The headline claim: all three metrics improve at once."""
+        return (
+            self.time_improvement > 1.0
+            and self.space_improvement > 1.0
+            and self.detection_improvement > 1.0
+        )
+
+
+def _attack_kwargs(quick: bool) -> dict:
+    if quick:
+        return dict(
+            payload_bytes=96, imports=12, noise_bytes=192, noise_rounds=4
+        )
+    return {}
+
+
+def run(quick: bool = False, seed: int = 0) -> Table2Result:
+    # quick mode shrinks the attack, so the decision boundary is anchored
+    # between the quick payload copy count (~250) and the quick noise
+    # saturation (~1000)
+    params = (
+        experiment_params(
+            quick=True, crossover_copies=400.0, pollution_fraction=0.003
+        )
+        if quick
+        else experiment_params(tau=1.0)
+    )
+    configs = {
+        "faros": lambda: stock_faros_config(params),
+        "mitos": lambda: mitos_config(params, all_flows=True),
+    }
+    sums = {
+        label: {"wall": 0.0, "ops": 0.0, "bytes": 0.0, "detected": 0.0}
+        for label in configs
+    }
+    per_variant: Dict[str, Dict[str, int]] = {label: {} for label in configs}
+    for variant in ATTACK_VARIANTS:
+        recording = InMemoryAttack(
+            variant=variant, seed=seed, **_attack_kwargs(quick)
+        ).record()
+        for label, make_config in configs.items():
+            system = FarosSystem(make_config())
+            run_metrics = system.replay(recording).metrics
+            sums[label]["wall"] += run_metrics.wall_seconds
+            sums[label]["ops"] += run_metrics.propagation_ops
+            sums[label]["bytes"] += run_metrics.footprint_bytes
+            sums[label]["detected"] += run_metrics.detected_bytes
+            per_variant[label][variant] = run_metrics.detected_bytes
+    n = len(ATTACK_VARIANTS)
+    rows = {
+        label: Table2Row(
+            label=label,
+            wall_seconds=values["wall"] / n,
+            propagation_ops=values["ops"] / n,
+            footprint_bytes=values["bytes"] / n,
+            detected_bytes=values["detected"] / n,
+            per_variant_detected=per_variant[label],
+        )
+        for label, values in sums.items()
+    }
+    return Table2Result(faros=rows["faros"], mitos=rows["mitos"])
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for row, paper in (
+        (result.faros, PAPER_TABLE2["faros"]),
+        (result.mitos, PAPER_TABLE2["mitos"]),
+    ):
+        rows.append(
+            [
+                row.label,
+                row.propagation_ops,
+                row.footprint_bytes,
+                row.detected_bytes,
+                paper["time_s"],
+                paper["space_mb"],
+                paper["detected_bytes"],
+            ]
+        )
+    table = format_table(
+        [
+            "system",
+            "ops (ours)",
+            "space B (ours)",
+            "detected (ours)",
+            "paper time s",
+            "paper space MB",
+            "paper detected",
+        ],
+        rows,
+        title="== Table II: in-memory attack, averaged over 6 shells ==",
+    )
+    factors = format_table(
+        ["metric", "ours", "paper"],
+        [
+            ["time improvement", f"{result.time_improvement:.2f}x", "1.65x"],
+            ["space improvement", f"{result.space_improvement:.2f}x", "1.11x"],
+            [
+                "detection improvement",
+                f"{result.detection_improvement:.2f}x",
+                "2.67x",
+            ],
+        ],
+    )
+    simultaneous = (
+        "simultaneous improvement: "
+        + ("YES" if result.simultaneous_improvement() else "NO")
+    )
+    return f"{table}\n\n{factors}\n{simultaneous}"
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,17 @@
+"""The whole-system DIFT of Fig. 6: FAROS with MITOS as its IFP extension."""
+
+from repro.faros.config import FarosConfig, mitos_config, stock_faros_config
+from repro.faros.pipeline import FarosPipeline, is_dfp, is_dfp_or_ifp, is_ifp
+from repro.faros.system import FarosRunResult, FarosSystem
+
+__all__ = [
+    "FarosConfig",
+    "stock_faros_config",
+    "mitos_config",
+    "FarosPipeline",
+    "is_dfp",
+    "is_ifp",
+    "is_dfp_or_ifp",
+    "FarosSystem",
+    "FarosRunResult",
+]

@@ -1,0 +1,128 @@
+"""FAROS/MITOS system configuration.
+
+Two canonical configurations cover the paper's Table II comparison:
+
+* :func:`stock_faros_config` -- "propagating aggressively all direct flows
+  and no indirect flows, as suggested in various DIFT systems including
+  FAROS",
+* :func:`mitos_config` -- MITOS deciding indirect flows via Algorithm 2;
+  with ``all_flows=True`` it is the generalized Section V-C mode where
+  direct flows are weighed too (``is_IFP`` replaced by
+  ``is_DFP_or_IFP``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.core.params import MitosParams
+from repro.core.policy import (
+    KindFilteredPolicy,
+    MitosPolicy,
+    PropagateAllPolicy,
+    PropagateNonePolicy,
+    PropagationPolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+from repro.dift.provenance import SchedulingPolicy
+from repro.dift.tags import TagTypes
+
+#: registry of policy names accepted by FarosConfig.policy
+POLICY_NAMES = (
+    "mitos",
+    "propagate-all",
+    "propagate-none",
+    "threshold",
+    "random",
+    "address-only",
+    "control-only",
+    "mitos-address-only",
+)
+
+
+@dataclass
+class FarosConfig:
+    """Declarative configuration for one FAROS/MITOS system instance."""
+
+    params: MitosParams = field(default_factory=MitosParams)
+    #: one of POLICY_NAMES
+    policy: str = "mitos"
+    #: Section V-C generalized mode: route direct flows through the policy
+    direct_via_policy: bool = False
+    scheduling: SchedulingPolicy = SchedulingPolicy.FIFO
+    #: tag types whose confluence raises an alert; None disables detection
+    detector_types: Optional[FrozenSet[str]] = frozenset(
+        {TagTypes.NETFLOW, TagTypes.EXPORT_TABLE}
+    )
+    #: capture a per-decision timeline (Fig. 7 data; costs memory)
+    log_timeline: bool = False
+    #: threshold for policy="threshold"
+    threshold_max_copies: int = 100
+    #: probability/seed for policy="random"
+    random_probability: float = 0.5
+    random_seed: int = 0
+    #: label used in experiment reports
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICY_NAMES}"
+            )
+        if not self.label:
+            self.label = self.policy
+
+    def build_policy(self) -> PropagationPolicy:
+        """Instantiate the configured propagation policy."""
+        if self.policy == "mitos":
+            return MitosPolicy(self.params)
+        if self.policy == "propagate-all":
+            return PropagateAllPolicy()
+        if self.policy == "propagate-none":
+            return PropagateNonePolicy()
+        if self.policy == "threshold":
+            return ThresholdPolicy(self.threshold_max_copies)
+        if self.policy == "address-only":
+            # Minos-style: handle address dependencies, never control
+            return KindFilteredPolicy(
+                PropagateAllPolicy(), allowed_kinds={"address_dep"}
+            )
+        if self.policy == "control-only":
+            return KindFilteredPolicy(
+                PropagateAllPolicy(), allowed_kinds={"control_dep"}
+            )
+        if self.policy == "mitos-address-only":
+            return KindFilteredPolicy(
+                MitosPolicy(self.params), allowed_kinds={"address_dep"}
+            )
+        return RandomPolicy(self.random_probability, self.random_seed)
+
+
+def stock_faros_config(
+    params: Optional[MitosParams] = None, **overrides: object
+) -> FarosConfig:
+    """Stock FAROS: all direct flows, no indirect flows."""
+    return FarosConfig(
+        params=params or MitosParams(),
+        policy="propagate-none",
+        direct_via_policy=False,
+        label="faros",
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def mitos_config(
+    params: Optional[MitosParams] = None,
+    all_flows: bool = False,
+    **overrides: object,
+) -> FarosConfig:
+    """MITOS on FAROS; ``all_flows=True`` is the Section V-C case-study mode."""
+    return FarosConfig(
+        params=params or MitosParams(),
+        policy="mitos",
+        direct_via_policy=all_flows,
+        label="mitos-all" if all_flows else "mitos",
+        **overrides,  # type: ignore[arg-type]
+    )

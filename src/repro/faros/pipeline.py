@@ -1,0 +1,73 @@
+"""Fig. 6 pipeline stages: the is_DFP / is_IFP filters.
+
+The paper's architecture routes every replayed instruction through two
+filters: ``is_DFP`` selects direct-flow instructions (handled by FAROS's
+unconditional propagation), ``is_IFP`` selects address/control
+dependencies (handled by MITOS's Algorithm 2).  The generalized case study
+replaces ``is_IFP`` with ``is_DFP_or_IFP`` so MITOS weighs everything.
+
+:class:`FarosPipeline` is the replayer plugin realizing those stages,
+keeping per-stage counters so experiments can report how much work each
+stage saw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.tracker import DIFTTracker
+from repro.replay.record import Recording
+from repro.replay.replayer import Plugin
+
+
+def is_dfp(event: FlowEvent) -> bool:
+    """Direct flow propagation: copy or computation dependency."""
+    return event.kind.is_direct
+
+
+def is_ifp(event: FlowEvent) -> bool:
+    """Indirect flow propagation: address or control dependency."""
+    return event.kind.is_indirect
+
+
+def is_dfp_or_ifp(event: FlowEvent) -> bool:
+    """Section V-C filter: any propagating flow (direct or indirect)."""
+    return event.kind.is_direct or event.kind.is_indirect
+
+
+class FarosPipeline(Plugin):
+    """Replayer plugin wiring the Fig. 6 stages to a DIFT tracker.
+
+    Stage counters mirror the figure: (3) is_DFP hits, (4) is_IFP hits,
+    plus the insert/clear plumbing that tag sources generate.
+    """
+
+    name = "faros-pipeline"
+
+    def __init__(self, tracker: DIFTTracker, reset_on_begin: bool = True):
+        self.tracker = tracker
+        self.reset_on_begin = reset_on_begin
+        self.stage_counts: Dict[str, int] = {
+            "is_dfp": 0,
+            "is_ifp": 0,
+            "insert": 0,
+            "clear": 0,
+        }
+
+    def on_begin(self, recording: Recording) -> None:
+        if self.reset_on_begin:
+            self.tracker.reset()
+            for key in self.stage_counts:
+                self.stage_counts[key] = 0
+
+    def on_event(self, event: FlowEvent) -> None:
+        if is_dfp(event):
+            self.stage_counts["is_dfp"] += 1
+        elif is_ifp(event):
+            self.stage_counts["is_ifp"] += 1
+        elif event.kind is FlowKind.INSERT:
+            self.stage_counts["insert"] += 1
+        else:
+            self.stage_counts["clear"] += 1
+        self.tracker.process(event)

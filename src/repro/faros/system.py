@@ -1,0 +1,103 @@
+"""FarosSystem: one configured DIFT stack, end to end.
+
+Wires together (per :class:`~repro.faros.config.FarosConfig`):
+
+* the propagation policy (MITOS or a baseline),
+* the DIFT tracker with its shadow memory and copy counters,
+* the confluence detector (Section V-C's netflow+export-table rule),
+* the optional per-decision timeline (Fig. 7 data),
+* the replayer pipeline of Fig. 6,
+
+and exposes two entry points: :meth:`replay` for recordings and
+:meth:`run_live` for machines streaming events directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.metrics import RunMetrics, collect_run_metrics
+from repro.analysis.timeline import DecisionTimeline
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.tracker import DIFTTracker
+from repro.faros.config import FarosConfig
+from repro.faros.pipeline import FarosPipeline
+from repro.replay.record import Recording
+from repro.replay.replayer import Replayer
+
+
+@dataclass
+class FarosRunResult:
+    """Outcome of one system run over one recording/workload."""
+
+    label: str
+    metrics: RunMetrics
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+    tracker_stats: Dict[str, float] = field(default_factory=dict)
+
+
+class FarosSystem:
+    """A fully wired FAROS/MITOS instance."""
+
+    def __init__(self, config: FarosConfig):
+        self.config = config
+        self.policy = config.build_policy()
+        self.detector = (
+            ConfluenceDetector(config.detector_types)
+            if config.detector_types
+            else None
+        )
+        self.timeline = DecisionTimeline() if config.log_timeline else None
+        self.tracker = DIFTTracker(
+            params=config.params,
+            policy=self.policy,
+            scheduling=config.scheduling,
+            detector=self.detector,
+            direct_via_policy=config.direct_via_policy,
+            ifp_observer=(
+                self.timeline.observer if self.timeline is not None else None
+            ),
+        )
+        self.pipeline = FarosPipeline(self.tracker)
+        self.replayer = Replayer([self.pipeline])
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    def reset(self) -> None:
+        """Fresh taint state; configuration unchanged."""
+        self.tracker.reset()
+        if self.timeline is not None:
+            self.timeline.reset()
+
+    def replay(self, recording: Recording) -> FarosRunResult:
+        """Replay a recording through the pipeline (state is reset first)."""
+        started = time.perf_counter()
+        self.replayer.replay(recording)
+        elapsed = time.perf_counter() - started
+        return self._result(elapsed)
+
+    def run_live(self, machine, max_steps: Optional[int] = None) -> FarosRunResult:
+        """Attach to a machine and execute it live (no recording pass).
+
+        The machine must have been constructed with
+        ``event_sink=system.tracker.process`` (or have its sink reassigned
+        before calling).
+        """
+        self.reset()
+        machine._sink = self.tracker.process
+        started = time.perf_counter()
+        machine.run(max_steps=max_steps)
+        elapsed = time.perf_counter() - started
+        return self._result(elapsed)
+
+    def _result(self, elapsed: float) -> FarosRunResult:
+        return FarosRunResult(
+            label=self.label,
+            metrics=collect_run_metrics(self.tracker, wall_seconds=elapsed),
+            stage_counts=dict(self.pipeline.stage_counts),
+            tracker_stats=self.tracker.stats.as_dict(),
+        )

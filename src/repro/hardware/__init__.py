@@ -1,0 +1,36 @@
+"""Hardware MITOS: the Section VI SoC design sketch, made executable.
+
+The paper sketches moving MITOS into hardware: configuration in
+model-specific registers set up by a trusted loader, tag state in a
+segmented portion of main memory reserved at platform init (like the SGX
+enclave page cache), a MITOS-specialized cache masking tag-memory
+latency, decisions taken at the commit stage of the core, and swapped-out
+tag pages encrypted and signed because the OS is untrusted.
+
+This package is a cycle-level *model* of that design -- enough to answer
+the questions the sketch raises (what does a decision cost with a warm
+vs. cold tag cache? what does swapping cost? what can a tampering OS
+do?), not an RTL implementation.
+"""
+
+from repro.hardware.msr import MitosMsrFile, MsrLockedError
+from repro.hardware.tag_memory import (
+    SegmentedTagMemory,
+    SwapError,
+    TagPage,
+)
+from repro.hardware.tag_cache import TagCache
+from repro.hardware.commit import CycleModel, CycleReport
+from repro.hardware.soc import MitosHardware
+
+__all__ = [
+    "MitosMsrFile",
+    "MsrLockedError",
+    "SegmentedTagMemory",
+    "TagPage",
+    "SwapError",
+    "TagCache",
+    "CycleModel",
+    "CycleReport",
+    "MitosHardware",
+]

@@ -1,0 +1,78 @@
+"""Commit-stage decision latency model.
+
+"For out of order cores, we look at the commit stage in the CPU, as to
+capture the proper architectural state ...  The decision on whether to
+propagate tag information is then performed by hardware."  (Section VI)
+
+:class:`CycleModel` prices each hardware action; :class:`CycleReport`
+accumulates what a run cost.  The decision itself is a two-term sum and
+a comparison (the paper's O(1) claim), so its price is a small constant;
+the variable costs are the tag-state accesses behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Latency (cycles) of each modeled hardware action.
+
+    Defaults are loosely scaled to a contemporary core: L1-like tag-cache
+    hit, LLC/DRAM-like miss, the Eq. 8 arithmetic as a short fixed-point
+    pipeline, and a swap as a page-sized DMA plus crypto.
+    """
+
+    decision_cycles: int = 4
+    cache_hit_cycles: int = 2
+    cache_miss_cycles: int = 40
+    propagate_cycles: int = 3
+    swap_cycles: int = 5_000
+
+    def __post_init__(self) -> None:
+        for name in (
+            "decision_cycles",
+            "cache_hit_cycles",
+            "cache_miss_cycles",
+            "propagate_cycles",
+            "swap_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class CycleReport:
+    """Accumulated cycle cost of one hardware run."""
+
+    decisions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    propagations: int = 0
+    swaps: int = 0
+    total_cycles: int = 0
+    by_action: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, action: str, count: int, cycles_each: int) -> None:
+        cost = count * cycles_each
+        self.total_cycles += cost
+        self.by_action[action] = self.by_action.get(action, 0) + cost
+
+    @property
+    def cycles_per_decision(self) -> float:
+        if self.decisions == 0:
+            return 0.0
+        return self.total_cycles / self.decisions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "decisions": self.decisions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "propagations": self.propagations,
+            "swaps": self.swaps,
+            "total_cycles": self.total_cycles,
+            "cycles_per_decision": self.cycles_per_decision,
+        }

@@ -1,0 +1,150 @@
+"""Model-specific registers holding the MITOS configuration.
+
+"Configuration parameters for the MITOS algorithm can be saved in newly
+added model specific registers, allowing an interface to a trusted OS
+module or platform loader to set up the interfaces."  (Section VI)
+
+Registers hold fixed-point encodings of the real-valued inputs (hardware
+has no floats in config space); the trusted loader writes them during
+platform init and then *locks* the file -- post-lock writes fault, which
+is what keeps a compromised OS from re-weighting the cost function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.core.params import MitosParams
+
+#: fixed-point scale: 16 fractional bits
+FIXED_POINT_SHIFT = 16
+FIXED_POINT_ONE = 1 << FIXED_POINT_SHIFT
+
+#: register addresses (model-specific register numbers)
+MSR_ALPHA = 0x4D0
+MSR_BETA = 0x4D1
+MSR_TAU = 0x4D2
+MSR_TAU_SCALE = 0x4D3
+MSR_R = 0x4D4
+MSR_M_PROV = 0x4D5
+MSR_LOCK = 0x4DF
+
+#: base address of the per-tag-type weight banks (u then o)
+MSR_U_BANK = 0x4E0
+MSR_O_BANK = 0x4F0
+WEIGHT_BANK_SIZE = 16
+
+
+class MsrLockedError(Exception):
+    """Write to a locked MSR file (the trusted-loader protection)."""
+
+
+def to_fixed(value: float) -> int:
+    """Encode a non-negative real as Q*.16 fixed point."""
+    if value < 0:
+        raise ValueError(f"fixed-point encoding is unsigned, got {value}")
+    return round(value * FIXED_POINT_ONE)
+
+
+def from_fixed(raw: int) -> float:
+    """Decode a Q*.16 fixed-point register value."""
+    return raw / FIXED_POINT_ONE
+
+
+class MitosMsrFile:
+    """The MITOS register file with trusted-loader locking.
+
+    Tag types are mapped to weight-bank slots on first use (hardware
+    indexes banks by small integers, not strings); the mapping itself is
+    part of the locked configuration.
+    """
+
+    def __init__(self) -> None:
+        self._registers: Dict[int, int] = {}
+        self._type_slots: Dict[str, int] = {}
+        self._locked = False
+
+    # -- raw register access ------------------------------------------------
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def read(self, address: int) -> int:
+        return self._registers.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        if self._locked:
+            raise MsrLockedError(
+                f"MSR {address:#x} written after lock (untrusted writer?)"
+            )
+        if value < 0:
+            raise ValueError(f"MSR values are unsigned, got {value}")
+        self._registers[address] = value
+
+    def lock(self) -> None:
+        """End of trusted platform init: configuration becomes immutable."""
+        self._registers[MSR_LOCK] = 1
+        self._locked = True
+
+    # -- typed configuration --------------------------------------------------
+
+    def slot_for(self, tag_type: str) -> int:
+        """Weight-bank slot of a tag type, allocating before lock."""
+        if tag_type in self._type_slots:
+            return self._type_slots[tag_type]
+        if self._locked:
+            raise MsrLockedError(
+                f"tag type {tag_type!r} not configured before lock"
+            )
+        slot = len(self._type_slots)
+        if slot >= WEIGHT_BANK_SIZE:
+            raise ValueError(
+                f"weight banks hold {WEIGHT_BANK_SIZE} tag types"
+            )
+        self._type_slots[tag_type] = slot
+        return slot
+
+    def load_params(self, params: MitosParams) -> None:
+        """Trusted-loader path: encode a full parameter set."""
+        self.write(MSR_ALPHA, to_fixed(params.alpha))
+        self.write(MSR_BETA, to_fixed(params.beta))
+        self.write(MSR_TAU, to_fixed(params.tau))
+        self.write(MSR_TAU_SCALE, to_fixed(params.tau_scale))
+        self.write(MSR_R, params.R)
+        self.write(MSR_M_PROV, params.M_prov)
+        for tag_type, weight in params.u.items():
+            self.write(MSR_U_BANK + self.slot_for(tag_type), to_fixed(weight))
+        for tag_type, weight in params.o.items():
+            self.write(MSR_O_BANK + self.slot_for(tag_type), to_fixed(weight))
+
+    def to_params(self) -> MitosParams:
+        """Decode the register file back into model parameters.
+
+        Quantization note: real-valued inputs round-trip with <= 2^-17
+        absolute error -- the fidelity cost of a hardware register file.
+        """
+        u = {
+            tag_type: from_fixed(self.read(MSR_U_BANK + slot))
+            for tag_type, slot in self._type_slots.items()
+            if MSR_U_BANK + slot in self._registers
+        }
+        o = {
+            tag_type: from_fixed(self.read(MSR_O_BANK + slot))
+            for tag_type, slot in self._type_slots.items()
+            if MSR_O_BANK + slot in self._registers
+        }
+        return MitosParams(
+            alpha=from_fixed(self.read(MSR_ALPHA)),
+            beta=from_fixed(self.read(MSR_BETA)),
+            tau=from_fixed(self.read(MSR_TAU)),
+            tau_scale=from_fixed(self.read(MSR_TAU_SCALE)),
+            R=self.read(MSR_R),
+            M_prov=self.read(MSR_M_PROV),
+            u=u,
+            o=o,
+        )
+
+    def dump(self) -> Iterator[Tuple[int, int]]:
+        """(address, value) pairs in address order (debug/attestation)."""
+        return iter(sorted(self._registers.items()))

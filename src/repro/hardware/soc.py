@@ -1,0 +1,158 @@
+"""The assembled hardware MITOS component.
+
+:class:`MitosHardware` composes the MSR file, tag cache, segmented tag
+memory and cycle model around a software-identical DIFT tracker: taint
+semantics are exactly those of :class:`~repro.dift.tracker.DIFTTracker`
+(so hardware and software agree bit-for-bit on every decision), while the
+hardware layers account for what the SoC sketch would *cost*:
+
+* every event's operand locations go through the tag cache,
+* location state is homed on pages of the segmented memory; page
+  pressure causes sealed swaps,
+* every indirect-flow decision and every propagation is charged to the
+  cycle model.
+
+Usage::
+
+    hw = MitosHardware.configure(params)          # trusted loader path
+    for event in recording:
+        hw.process(event)
+    print(hw.report.cycles_per_decision)
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence
+
+from repro.core.decision import MultiDecision, TagCandidate
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy
+from repro.dift.flows import FlowEvent
+from repro.dift.shadow import Location
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.hardware.commit import CycleModel, CycleReport
+from repro.hardware.msr import MitosMsrFile
+from repro.hardware.tag_cache import TagCache
+from repro.hardware.tag_memory import SegmentedTagMemory
+
+#: locations per tag page (the dictionary-structure granularity)
+LOCATIONS_PER_PAGE = 64
+
+
+def location_key(location: Location) -> str:
+    """Canonical string key of a location (cache/page addressing)."""
+    return repr(location)
+
+
+def page_of(location: Location) -> int:
+    """Stable location -> page mapping."""
+    return zlib.crc32(location_key(location).encode()) // LOCATIONS_PER_PAGE % (1 << 16)
+
+
+class MitosHardware:
+    """Cycle-modeled hardware MITOS wrapping a software-identical tracker."""
+
+    def __init__(
+        self,
+        msr: MitosMsrFile,
+        cache: Optional[TagCache] = None,
+        tag_memory: Optional[SegmentedTagMemory] = None,
+        cycle_model: Optional[CycleModel] = None,
+    ):
+        if not msr.locked:
+            raise ValueError(
+                "MSR file must be locked by the trusted loader before use"
+            )
+        self.msr = msr
+        self.params: MitosParams = msr.to_params()
+        self.cache = cache if cache is not None else TagCache()
+        self.tag_memory = (
+            tag_memory if tag_memory is not None else SegmentedTagMemory()
+        )
+        self.cycle_model = cycle_model if cycle_model is not None else CycleModel()
+        self.report = CycleReport()
+        self.policy = MitosPolicy(self.params)
+        self.tracker = DIFTTracker(
+            params=self.params,
+            policy=self.policy,
+            ifp_observer=self._on_decision,
+            direct_via_policy=False,
+        )
+
+    @classmethod
+    def configure(
+        cls,
+        params: MitosParams,
+        cache: Optional[TagCache] = None,
+        tag_memory: Optional[SegmentedTagMemory] = None,
+        cycle_model: Optional[CycleModel] = None,
+    ) -> "MitosHardware":
+        """The trusted-loader path: encode params into MSRs and lock."""
+        msr = MitosMsrFile()
+        msr.load_params(params)
+        msr.lock()
+        return cls(msr, cache=cache, tag_memory=tag_memory, cycle_model=cycle_model)
+
+    # -- cost accounting -----------------------------------------------------
+
+    def _touch(self, location: Location) -> None:
+        """One tag-state access: cache, then (on miss) the segmented memory."""
+        key = location_key(location)
+        if self.cache.access(key):
+            self.report.cache_hits += 1
+            self.report.charge("cache_hit", 1, self.cycle_model.cache_hit_cycles)
+            return
+        self.report.cache_misses += 1
+        self.report.charge("cache_miss", 1, self.cycle_model.cache_miss_cycles)
+        swap_outs_before = self.tag_memory.swap_outs
+        swap_ins_before = self.tag_memory.swap_ins
+        page = self.tag_memory.page(page_of(location))
+        page.put(key, list(self.tracker.shadow.tags_at(location)))
+        swaps = (
+            self.tag_memory.swap_outs - swap_outs_before
+            + self.tag_memory.swap_ins - swap_ins_before
+        )
+        if swaps:
+            self.report.swaps += swaps
+            self.report.charge("swap", swaps, self.cycle_model.swap_cycles)
+
+    def _on_decision(
+        self,
+        event: FlowEvent,
+        candidates: Sequence[TagCandidate],
+        details: Optional[MultiDecision],
+        selected: Sequence[Tag],
+        pollution: float,
+    ) -> None:
+        decisions = len(candidates)
+        self.report.decisions += decisions
+        self.report.charge(
+            "decision", decisions, self.cycle_model.decision_cycles
+        )
+        self.report.propagations += len(selected)
+        self.report.charge(
+            "propagate", len(selected), self.cycle_model.propagate_cycles
+        )
+
+    # -- the commit-stage entry point ------------------------------------------
+
+    def process(self, event: FlowEvent) -> None:
+        """Commit one instruction's taint effect through the hardware."""
+        for source in event.sources:
+            self._touch(source)
+        self._touch(event.destination)
+        self.tracker.process(event)
+
+    def process_many(self, events: Sequence[FlowEvent]) -> None:
+        for event in events:
+            self.process(event)
+
+    # -- verification hook ---------------------------------------------------
+
+    def agrees_with_software(self, software: DIFTTracker) -> bool:
+        """Bit-exact agreement of taint state with a software tracker."""
+        return (
+            self.tracker.counter.snapshot() == software.counter.snapshot()
+        )

@@ -1,0 +1,88 @@
+"""The MITOS-specialized tag cache.
+
+"Recently accessed information can be stored in a MITOS-specialized
+series of caches to mask memory latency."  (Section VI)
+
+A classic set-associative cache over *locations* (the keys of the tag
+state), modeled at the level the cycle model needs: hit/miss accounting
+with LRU replacement per set.  Contents are just presence -- the
+authoritative tag state lives in the tracker/segmented memory; the cache
+decides whether an access pays the hit or miss latency.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class TagCache:
+    """Set-associative, LRU-per-set presence cache over location keys."""
+
+    def __init__(self, sets: int = 64, ways: int = 4):
+        if sets < 1 or ways < 1:
+            raise ValueError(f"sets and ways must be >= 1, got {sets}x{ways}")
+        self.sets = sets
+        self.ways = ways
+        #: per-set LRU list of location keys (last = most recent)
+        self._lines: List[List[str]] = [[] for _ in range(sets)]
+        self.stats = CacheStats()
+
+    def _set_of(self, location_key: str) -> int:
+        return zlib.crc32(location_key.encode()) % self.sets
+
+    def access(self, location_key: str) -> bool:
+        """Touch a location; returns True on hit, False on miss (fills)."""
+        lines = self._lines[self._set_of(location_key)]
+        if location_key in lines:
+            lines.remove(location_key)
+            lines.append(location_key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(lines) >= self.ways:
+            lines.pop(0)
+        lines.append(location_key)
+        return False
+
+    def contains(self, location_key: str) -> bool:
+        """Presence check without statistics or LRU effects."""
+        return location_key in self._lines[self._set_of(location_key)]
+
+    def invalidate(self, location_key: str) -> bool:
+        lines = self._lines[self._set_of(location_key)]
+        if location_key in lines:
+            lines.remove(location_key)
+            return True
+        return False
+
+    def flush(self) -> None:
+        self._lines = [[] for _ in range(self.sets)]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(lines) for lines in self._lines)
+
+    def utilization(self) -> Dict[str, float]:
+        return {
+            "occupancy": self.occupancy,
+            "capacity": self.sets * self.ways,
+            "hit_rate": self.stats.hit_rate,
+        }

@@ -1,0 +1,185 @@
+"""Segmented tag memory with authenticated swap.
+
+"Tag information can be stored in dictionary-like structures that reside
+in a segmented portion of main memory ... Because the segmented portion
+of memory is limited in size, it may need to be swapped.  We can perform
+this action by relying on the OS to swap the information for us, in
+which case it must be stored encrypted and cryptographically signed."
+(Section VI)
+
+The model: tag state lives in fixed-size :class:`TagPage` objects inside
+a bounded resident set.  When the set is full, the least-recently-used
+page is *sealed* (keystream-encrypted and MACed with a device key) and
+handed to the untrusted OS; touching it later unseals and verifies.  A
+tampering OS is detected, not obeyed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dift.tags import Tag
+
+
+class SwapError(Exception):
+    """Swapped page failed authentication or was lost by the OS."""
+
+
+@dataclass
+class TagPage:
+    """One page of tag state: a bounded map of location -> tag keys."""
+
+    page_id: int
+    entries: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+
+    def put(self, location_key: str, tags: List[Tag]) -> None:
+        self.entries[location_key] = [tag.key for tag in tags]
+
+    def get(self, location_key: str) -> Optional[List[Tuple[str, int]]]:
+        return self.entries.get(location_key)
+
+    def serialize(self) -> bytes:
+        payload = {
+            "page_id": self.page_id,
+            "entries": {k: v for k, v in sorted(self.entries.items())},
+        }
+        return json.dumps(payload, sort_keys=True).encode()
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "TagPage":
+        payload = json.loads(blob.decode())
+        entries = {
+            key: [tuple(item) for item in value]
+            for key, value in payload["entries"].items()
+        }
+        return cls(page_id=payload["page_id"], entries=entries)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA256-counter keystream (a stand-in for the device's AES-CTR)."""
+    stream = bytearray()
+    counter = 0
+    while len(stream) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "little"))
+        stream.extend(block.digest())
+        counter += 1
+    return bytes(stream[:length])
+
+
+@dataclass(frozen=True)
+class SealedPage:
+    """What the untrusted OS holds: ciphertext + MAC + nonce."""
+
+    page_id: int
+    nonce: bytes
+    ciphertext: bytes
+    mac: bytes
+
+
+class SegmentedTagMemory:
+    """Bounded resident set of tag pages with seal/unseal swap."""
+
+    def __init__(self, resident_pages: int = 8, device_key: bytes = b"mitos-dev-key"):
+        if resident_pages < 1:
+            raise ValueError(f"resident_pages must be >= 1, got {resident_pages}")
+        self.resident_limit = resident_pages
+        self._device_key = device_key
+        #: resident pages in LRU order (last = most recent)
+        self._resident: Dict[int, TagPage] = {}
+        #: pages held by the "OS" after swap-out
+        self._swapped: Dict[int, SealedPage] = {}
+        self._nonce_counter = 0
+        self.swap_outs = 0
+        self.swap_ins = 0
+
+    # -- sealing -----------------------------------------------------------
+
+    def _seal(self, page: TagPage) -> SealedPage:
+        self._nonce_counter += 1
+        nonce = self._nonce_counter.to_bytes(8, "little")
+        plaintext = page.serialize()
+        stream = _keystream(self._device_key, nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        mac = hmac.new(
+            self._device_key, nonce + ciphertext, hashlib.sha256
+        ).digest()
+        return SealedPage(
+            page_id=page.page_id, nonce=nonce, ciphertext=ciphertext, mac=mac
+        )
+
+    def _unseal(self, sealed: SealedPage) -> TagPage:
+        expected = hmac.new(
+            self._device_key, sealed.nonce + sealed.ciphertext, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected, sealed.mac):
+            raise SwapError(
+                f"page {sealed.page_id} failed authentication (OS tampering?)"
+            )
+        stream = _keystream(
+            self._device_key, sealed.nonce, len(sealed.ciphertext)
+        )
+        plaintext = bytes(c ^ s for c, s in zip(sealed.ciphertext, stream))
+        return TagPage.deserialize(plaintext)
+
+    # -- page access -----------------------------------------------------------
+
+    def page(self, page_id: int) -> TagPage:
+        """Fetch a page, swapping in (and evicting) as needed."""
+        if page_id in self._resident:
+            page = self._resident.pop(page_id)
+            self._resident[page_id] = page  # refresh LRU position
+            return page
+        if page_id in self._swapped:
+            page = self._unseal(self._swapped.pop(page_id))
+            self.swap_ins += 1
+        else:
+            page = TagPage(page_id=page_id)
+        self._make_room()
+        self._resident[page_id] = page
+        return page
+
+    def _make_room(self) -> None:
+        while len(self._resident) >= self.resident_limit:
+            victim_id = next(iter(self._resident))
+            victim = self._resident.pop(victim_id)
+            self._swapped[victim_id] = self._seal(victim)
+            self.swap_outs += 1
+
+    def is_resident(self, page_id: int) -> bool:
+        return page_id in self._resident
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    @property
+    def swapped_count(self) -> int:
+        return len(self._swapped)
+
+    # -- adversarial OS hooks (for the security tests) ---------------------------
+
+    def os_view(self, page_id: int) -> Optional[SealedPage]:
+        """What the OS can see of a swapped page (ciphertext only)."""
+        return self._swapped.get(page_id)
+
+    def os_tamper(self, page_id: int, flip_byte: int = 0) -> None:
+        """Model a malicious OS flipping a ciphertext byte."""
+        sealed = self._swapped.get(page_id)
+        if sealed is None:
+            raise KeyError(f"page {page_id} is not swapped out")
+        mutated = bytearray(sealed.ciphertext)
+        mutated[flip_byte % len(mutated)] ^= 0xFF
+        self._swapped[page_id] = SealedPage(
+            page_id=sealed.page_id,
+            nonce=sealed.nonce,
+            ciphertext=bytes(mutated),
+            mac=sealed.mac,
+        )
+
+    def os_drop(self, page_id: int) -> None:
+        """Model a malicious OS discarding a swapped page."""
+        self._swapped.pop(page_id, None)

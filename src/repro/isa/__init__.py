@@ -1,0 +1,44 @@
+"""A small RISC-like machine standing in for QEMU/PANDA instruction streams.
+
+The MITOS evaluation consumes instruction-level traces produced by PANDA's
+whole-system record/replay.  This package provides the equivalent substrate
+at laptop scale: a byte-addressable register machine
+(:class:`~repro.isa.machine.Machine`) with a text assembler, devices that
+model taint sources (network, files, process memory), and CFG /
+post-dominator analysis used to scope control dependencies the standard
+(DYTAN-style) way.
+
+The machine's sole output contract is a stream of
+:class:`~repro.dift.flows.FlowEvent` objects -- exactly what the DIFT layer
+consumes -- so any workload expressible as a program exercises the same
+propagation code paths the paper's stack did.
+"""
+
+from repro.isa.errors import (
+    AssemblerError,
+    InvalidInstructionError,
+    MachineFault,
+    SegmentationFault,
+)
+from repro.isa.memory import Memory
+from repro.isa.instructions import Instruction, Op, Program
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.isa.devices import FileDevice, NetworkDevice, NullDevice, OutputDevice
+
+__all__ = [
+    "MachineFault",
+    "SegmentationFault",
+    "InvalidInstructionError",
+    "AssemblerError",
+    "Memory",
+    "Instruction",
+    "Op",
+    "Program",
+    "assemble",
+    "Machine",
+    "NetworkDevice",
+    "FileDevice",
+    "NullDevice",
+    "OutputDevice",
+]

@@ -1,0 +1,201 @@
+"""Two-pass text assembler for the ISA.
+
+Syntax, one statement per line::
+
+    ; comment
+    label:
+        movi r0, 0x100      ; registers r0..r15, decimal or 0x hex imms
+        lb   r1, r0, 0      ; rd, base, offset
+        beq  r1, r2, done   ; branch targets are labels
+    done:
+        halt
+
+Directives::
+
+    .org  ADDRESS           ; set the data cursor
+    .byte V1, V2, ...       ; emit raw bytes at the cursor
+    .ascii "text"           ; emit ASCII bytes at the cursor
+    .zero N                 ; emit N zero bytes
+
+Directives build the program's initial data image (``Program.data``);
+instructions build its text.  Labels may prefix an instruction on the same
+line (``loop: addi r1, r1, 1``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    OPERAND_COUNTS,
+    REGISTER_NAMES,
+    Instruction,
+    Op,
+    Program,
+)
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: operand slots that hold a branch target label, per opcode
+_LABEL_SLOTS = {op: (2,) for op in CONDITIONAL_BRANCHES}
+_LABEL_SLOTS[Op.JMP] = (0,)
+
+#: operand slots that must hold registers, per opcode
+_REGISTER_SLOTS: Dict[Op, Tuple[int, ...]] = {
+    Op.MOVI: (0,),
+    Op.MOV: (0, 1),
+    Op.ADDI: (0, 1),
+    Op.LB: (0, 1),
+    Op.SB: (0, 1),
+    Op.BEQ: (0, 1),
+    Op.BNE: (0, 1),
+    Op.BLT: (0, 1),
+    Op.BGE: (0, 1),
+    Op.IN: (0,),
+    Op.OUT: (0,),
+    Op.JMP: (),
+    Op.NOP: (),
+    Op.HALT: (),
+}
+for _alu in (Op.ADD, Op.SUB, Op.MUL, Op.XOR, Op.AND, Op.OR, Op.SHL, Op.SHR):
+    _REGISTER_SLOTS[_alu] = (0, 1, 2)
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"':
+            in_string = not in_string
+        elif ch == ";" and not in_string:
+            return line[:i]
+    return line
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"expected integer, got {token!r}", line_number)
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",")] if text.strip() else []
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises :class:`AssemblerError` with the offending line number on any
+    syntax problem, unknown opcode, bad register, duplicate label, or
+    unresolved branch target.
+    """
+    instructions: List[Tuple[Op, List[object], int]] = []
+    labels: Dict[str, int] = {}
+    data: Dict[int, bytes] = {}
+    cursor = 0
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        # leading labels (possibly several, possibly alone on the line)
+        while ":" in line:
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not _LABEL_RE.match(head):
+                break
+            if head in labels:
+                raise AssemblerError(f"duplicate label {head!r}", line_number)
+            labels[head] = len(instructions)
+            line = rest.strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            cursor = _assemble_directive(line, data, cursor, line_number)
+            continue
+        mnemonic, _, operand_text = line.partition(" ")
+        try:
+            op = Op(mnemonic.lower())
+        except ValueError:
+            raise AssemblerError(f"unknown opcode {mnemonic!r}", line_number)
+        operands = _split_operands(operand_text)
+        if len(operands) != OPERAND_COUNTS[op]:
+            raise AssemblerError(
+                f"{op.value} expects {OPERAND_COUNTS[op]} operands, "
+                f"got {len(operands)}",
+                line_number,
+            )
+        parsed: List[object] = []
+        for slot, token in enumerate(operands):
+            if slot in _REGISTER_SLOTS.get(op, ()):
+                if token not in REGISTER_NAMES:
+                    raise AssemblerError(
+                        f"operand {slot} of {op.value} must be a register, "
+                        f"got {token!r}",
+                        line_number,
+                    )
+                parsed.append(token)
+            elif slot in _LABEL_SLOTS.get(op, ()):
+                parsed.append(token)  # resolved in the second pass
+            else:
+                parsed.append(_parse_int(token, line_number))
+        instructions.append((op, parsed, line_number))
+
+    # second pass: resolve branch labels to instruction indices
+    resolved: List[Instruction] = []
+    for op, operands, line_number in instructions:
+        final: List[object] = []
+        for slot, value in enumerate(operands):
+            if slot in _LABEL_SLOTS.get(op, ()):
+                assert isinstance(value, str)
+                if value not in labels:
+                    raise AssemblerError(
+                        f"undefined label {value!r}", line_number
+                    )
+                final.append(labels[value])
+            else:
+                final.append(value)
+        resolved.append(Instruction(op, tuple(final)))
+
+    return Program(
+        instructions=tuple(resolved), labels=labels, data=data, source=source
+    )
+
+
+def _assemble_directive(
+    line: str, data: Dict[int, bytes], cursor: int, line_number: int
+) -> int:
+    """Process one directive line, returning the new data cursor."""
+    name, _, arg_text = line.partition(" ")
+    name = name.lower()
+    if name == ".org":
+        return _parse_int(arg_text.strip(), line_number)
+    if name == ".byte":
+        values = [
+            _parse_int(tok, line_number) for tok in _split_operands(arg_text)
+        ]
+        if not values:
+            raise AssemblerError(".byte needs at least one value", line_number)
+        for value in values:
+            if not 0 <= value <= 255:
+                raise AssemblerError(
+                    f".byte value {value} out of range", line_number
+                )
+        blob = bytes(values)
+    elif name == ".ascii":
+        text = arg_text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AssemblerError('.ascii needs a "quoted" string', line_number)
+        blob = text[1:-1].encode("ascii")
+    elif name == ".zero":
+        count = _parse_int(arg_text.strip(), line_number)
+        if count < 0:
+            raise AssemblerError(".zero count must be >= 0", line_number)
+        blob = bytes(count)
+    else:
+        raise AssemblerError(f"unknown directive {name!r}", line_number)
+    data[cursor] = data.get(cursor, b"") + blob if cursor in data else blob
+    return cursor + len(blob)

@@ -1,0 +1,124 @@
+"""Control-flow graph and post-dominator analysis for control-dep scoping.
+
+A control dependency exists between a conditional branch and every
+instruction executed *before control re-converges* -- i.e. before the
+branch's immediate post-dominator.  This is the standard scoping used by
+DYTAN-style implementations of control-flow taint: within the scope, every
+write is influenced by the branch condition.
+
+We build the CFG over instruction indices, add a virtual exit node, and use
+:func:`networkx.immediate_dominators` on the reversed graph (post-dominance
+is dominance in the reverse CFG).  :meth:`ControlFlowGraph.control_scope`
+returns, per branch, the set of instructions strictly between the branch
+and its immediate post-dominator on any path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from repro.isa.instructions import Instruction, Op, Program
+
+#: virtual exit node id (program instruction indices are >= 0)
+EXIT = -1
+
+
+def successors(index: int, instruction: Instruction, length: int) -> List[int]:
+    """Static successor indices of an instruction (EXIT for program end)."""
+    op = instruction.op
+    if op is Op.HALT:
+        return [EXIT]
+    if op is Op.JMP:
+        target = int(instruction.operands[0])  # type: ignore[arg-type]
+        return [target if target < length else EXIT]
+    nxt = index + 1 if index + 1 < length else EXIT
+    if instruction.is_branch:
+        target = int(instruction.operands[2])  # type: ignore[arg-type]
+        taken = target if target < length else EXIT
+        return sorted({taken, nxt}, key=lambda n: (n == EXIT, n))
+    return [nxt]
+
+
+class ControlFlowGraph:
+    """CFG + immediate post-dominators for one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.graph = nx.DiGraph()
+        length = len(program.instructions)
+        self.graph.add_node(EXIT)
+        for index, instruction in enumerate(program.instructions):
+            self.graph.add_node(index)
+            for succ in successors(index, instruction, length):
+                self.graph.add_edge(index, succ)
+        self._ipostdom = self._compute_ipostdom()
+        self._scopes: Dict[int, FrozenSet[int]] = {}
+
+    def _compute_ipostdom(self) -> Dict[int, int]:
+        """Immediate post-dominators = immediate dominators of the reverse CFG."""
+        reverse = self.graph.reverse(copy=True)
+        # nodes unreachable from EXIT in reverse (infinite loops) have no
+        # post-dominator; restrict to the reachable subgraph
+        reachable = nx.descendants(reverse, EXIT) | {EXIT}
+        sub = reverse.subgraph(reachable)
+        idom = nx.immediate_dominators(sub, EXIT)
+        return {node: dom for node, dom in idom.items() if node != EXIT}
+
+    def ipostdom(self, index: int) -> int:
+        """Immediate post-dominator of instruction ``index`` (EXIT possible).
+
+        Raises ``KeyError`` for instructions that never reach program exit
+        (e.g. inside an infinite loop) -- such branches get whole-rest-of-
+        program scope via :meth:`control_scope`.
+        """
+        return self._ipostdom[index]
+
+    def control_scope(self, branch_index: int) -> FrozenSet[int]:
+        """Instruction indices control-dependent on the branch at ``branch_index``.
+
+        The scope is every instruction reachable from the branch without
+        passing through its immediate post-dominator, excluding the branch
+        itself and the post-dominator.  Cached per branch.
+        """
+        if branch_index in self._scopes:
+            return self._scopes[branch_index]
+        instruction = self.program.instructions[branch_index]
+        if not instruction.is_branch:
+            scope: FrozenSet[int] = frozenset()
+            self._scopes[branch_index] = scope
+            return scope
+        join = self._ipostdom.get(branch_index)
+        visited: Set[int] = set()
+        stack = [
+            succ
+            for succ in self.graph.successors(branch_index)
+            if succ != join and succ != EXIT
+        ]
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            for succ in self.graph.successors(node):
+                if succ != join and succ != EXIT and succ not in visited:
+                    stack.append(succ)
+        scope = frozenset(visited)
+        self._scopes[branch_index] = scope
+        return scope
+
+    def scope_join(self, branch_index: int) -> int:
+        """The convergence point ending the branch's control scope."""
+        return self._ipostdom.get(branch_index, EXIT)
+
+    def branches(self) -> List[int]:
+        """Indices of all conditional branches in the program."""
+        return [
+            index
+            for index, instruction in enumerate(self.program.instructions)
+            if instruction.is_branch
+        ]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return list(self.graph.edges())

@@ -1,0 +1,132 @@
+"""I/O devices: the machine's taint sources and sinks.
+
+Devices model the paper's tag-insertion points (Section III): bytes read
+from the network carry *netflow* tags, bytes read from files carry *file*
+tags, and so on.  A device's :meth:`~Device.read` returns ``(value, tag)``
+-- the tag (or ``None`` for untainted data) is what the machine turns into
+an ``INSERT`` flow event.  :meth:`~Device.write` consumes a byte and may
+return a sink location so the machine can emit the outgoing copy flow
+(e.g. bytes written to a file remain trackable).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, List, Optional, Tuple
+
+from repro.dift.shadow import Location
+from repro.dift.tags import Tag, TagAllocator, TagTypes
+
+
+class Device(abc.ABC):
+    """One port-mapped I/O endpoint."""
+
+    name: str = "device"
+
+    def read(self) -> Tuple[int, Optional[Tag]]:
+        """Return ``(byte, tag-or-None)``; EOF reads return ``(0, None)``."""
+        return 0, None
+
+    def write(self, value: int) -> Optional[Location]:
+        """Consume a byte; return the sink location, if trackable."""
+        return None
+
+
+class NullDevice(Device):
+    """Reads zeros, discards writes."""
+
+    name = "null"
+
+
+class NetworkDevice(Device):
+    """A network connection delivering a payload of tainted bytes.
+
+    All bytes of one connection share one *netflow* tag (a DIFT tags per
+    connection, not per packet).  Bytes written back are recorded as the
+    outbound stream.
+    """
+
+    name = "network"
+
+    def __init__(
+        self,
+        payload: bytes,
+        allocator: TagAllocator,
+        origin: Hashable = ("10.245.44.43", 443),
+        tag_type: str = TagTypes.NETFLOW,
+    ):
+        self.payload = payload
+        self.tag = allocator.fresh(tag_type, origin=origin)
+        self.origin = origin
+        self._cursor = 0
+        self.sent: List[int] = []
+        self._out_offset = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.payload)
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self._cursor
+
+    def read(self) -> Tuple[int, Optional[Tag]]:
+        if self.exhausted:
+            return 0, None
+        value = self.payload[self._cursor]
+        self._cursor += 1
+        return value, self.tag
+
+    def write(self, value: int) -> Optional[Location]:
+        self.sent.append(value & 0xFF)
+        location: Location = ("net_out", (self.origin, self._out_offset))
+        self._out_offset += 1
+        return location
+
+
+class FileDevice(Device):
+    """A file readable and writable byte-by-byte, tagging reads by file id."""
+
+    name = "file"
+
+    def __init__(
+        self,
+        file_id: int,
+        data: bytes,
+        allocator: TagAllocator,
+        tag_type: str = TagTypes.FILE,
+    ):
+        self.file_id = file_id
+        self.data = data
+        self.tag = allocator.fresh(tag_type, origin=("file", file_id))
+        self._cursor = 0
+        self.written = bytearray()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.data)
+
+    def read(self) -> Tuple[int, Optional[Tag]]:
+        if self.exhausted:
+            return 0, None
+        value = self.data[self._cursor]
+        self._cursor += 1
+        return value, self.tag
+
+    def write(self, value: int) -> Optional[Location]:
+        offset = len(self.written)
+        self.written.append(value & 0xFF)
+        return ("file", (self.file_id, offset))
+
+
+class OutputDevice(Device):
+    """Write-only sink that keeps everything it receives (e.g. a console)."""
+
+    def __init__(self, name: str = "out"):
+        self.name = name
+        self.received: List[int] = []
+
+    def write(self, value: int) -> Optional[Location]:
+        offset = len(self.received)
+        self.received.append(value & 0xFF)
+        return ("dev", (self.name, offset))

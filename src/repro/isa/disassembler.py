@@ -1,0 +1,65 @@
+"""Disassembler: programs back to assembly text.
+
+Round-trips with :mod:`repro.isa.assembler`: ``assemble(disassemble(p))``
+reproduces ``p``'s instructions exactly (labels are regenerated as
+``L<index>``; data images are re-emitted as ``.org``/``.byte``
+directives).  Used for trace debugging and by the round-trip property
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.isa.instructions import CONDITIONAL_BRANCHES, Instruction, Op, Program
+
+#: operand slots that hold an instruction-index target, per opcode
+_TARGET_SLOTS = {op: 2 for op in CONDITIONAL_BRANCHES}
+_TARGET_SLOTS[Op.JMP] = 0
+
+
+def _branch_targets(program: Program) -> Set[int]:
+    targets: Set[int] = set()
+    for instruction in program.instructions:
+        slot = _TARGET_SLOTS.get(instruction.op)
+        if slot is not None:
+            targets.add(int(instruction.operands[slot]))  # type: ignore[arg-type]
+    return targets
+
+
+def disassemble(program: Program) -> str:
+    """Render a program as assemblable text."""
+    lines: List[str] = []
+    for address in sorted(program.data):
+        lines.append(f".org {address}")
+        blob = program.data[address]
+        for start in range(0, len(blob), 8):
+            chunk = blob[start : start + 8]
+            values = ", ".join(str(b) for b in chunk)
+            lines.append(f".byte {values}")
+    labels: Dict[int, str] = {
+        index: f"L{index}" for index in _branch_targets(program)
+    }
+    for index, instruction in enumerate(program.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append("    " + _render(instruction, labels))
+    # a target just past the last instruction (loop exits) is a trailing
+    # label; the assembler resolves it to index == len(instructions)
+    end = len(program.instructions)
+    if end in labels:
+        lines.append(f"{labels[end]}:")
+    return "\n".join(lines) + "\n"
+
+
+def _render(instruction: Instruction, labels: Dict[int, str]) -> str:
+    slot = _TARGET_SLOTS.get(instruction.op)
+    parts: List[str] = []
+    for position, operand in enumerate(instruction.operands):
+        if slot is not None and position == slot:
+            parts.append(labels[int(operand)])  # type: ignore[arg-type]
+        else:
+            parts.append(str(operand))
+    if not parts:
+        return instruction.op.value
+    return f"{instruction.op.value} " + ", ".join(parts)

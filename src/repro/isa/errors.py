@@ -1,0 +1,33 @@
+"""Faults raised by the ISA substrate."""
+
+from __future__ import annotations
+
+
+class MachineFault(Exception):
+    """Base class for everything the machine or assembler can raise."""
+
+
+class SegmentationFault(MachineFault):
+    """Memory access outside the address space."""
+
+    def __init__(self, address: int, size: int):
+        super().__init__(f"address {address:#x} outside memory of {size} bytes")
+        self.address = address
+        self.size = size
+
+
+class InvalidInstructionError(MachineFault):
+    """Malformed instruction or operand at execution time."""
+
+
+class AssemblerError(MachineFault):
+    """Syntax or semantic error in assembly text."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+class ExecutionLimitExceeded(MachineFault):
+    """The machine ran past its step budget (runaway program guard)."""

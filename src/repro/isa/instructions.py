@@ -1,0 +1,132 @@
+"""Instruction set of the trace-producing machine.
+
+A deliberately small RISC-style ISA that still exhibits every flow class
+the paper cares about:
+
+* register/immediate moves (copy dependencies / untainting constants),
+* ALU ops (computation dependencies),
+* loads/stores with register-indirect addressing (address dependencies),
+* compare-and-branch (control dependencies, scoped via post-dominators),
+* port I/O against devices (taint sources and sinks),
+* HALT/NOP/JMP plumbing.
+
+Sixteen general-purpose registers ``r0`` .. ``r15``.  Branch targets are
+labels resolved by the assembler to instruction indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+REGISTER_COUNT = 16
+REGISTER_NAMES = tuple(f"r{i}" for i in range(REGISTER_COUNT))
+
+
+class Op(enum.Enum):
+    """Opcodes, with their operand shapes documented inline."""
+
+    MOVI = "movi"  # MOVI rd, imm        rd := imm (untaints rd)
+    MOV = "mov"    # MOV rd, rs          rd := rs (copy dep)
+    ADD = "add"    # ADD rd, rs1, rs2    computation dep
+    SUB = "sub"
+    MUL = "mul"
+    XOR = "xor"
+    AND = "and"
+    OR = "or"
+    SHL = "shl"
+    SHR = "shr"
+    ADDI = "addi"  # ADDI rd, rs, imm    computation dep (single source)
+    LB = "lb"      # LB rd, rs, imm      rd := mem[rs + imm] (copy + address dep)
+    SB = "sb"      # SB rs, ra, imm      mem[ra + imm] := rs (copy + address dep)
+    BEQ = "beq"    # BEQ rs1, rs2, label control dep on (rs1, rs2)
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"    # JMP label           unconditional
+    IN = "in"      # IN rd, port         read byte from device (taint source)
+    OUT = "out"    # OUT rs, port        write byte to device (taint sink)
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: conditional branches (the control-dependency sources)
+CONDITIONAL_BRANCHES = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+
+#: three-register ALU operations
+ALU_OPS = frozenset({Op.ADD, Op.SUB, Op.MUL, Op.XOR, Op.AND, Op.OR, Op.SHL, Op.SHR})
+
+#: expected operand counts per opcode
+OPERAND_COUNTS: Dict[Op, int] = {
+    Op.MOVI: 2,
+    Op.MOV: 2,
+    Op.ADD: 3,
+    Op.SUB: 3,
+    Op.MUL: 3,
+    Op.XOR: 3,
+    Op.AND: 3,
+    Op.OR: 3,
+    Op.SHL: 3,
+    Op.SHR: 3,
+    Op.ADDI: 3,
+    Op.LB: 3,
+    Op.SB: 3,
+    Op.BEQ: 3,
+    Op.BNE: 3,
+    Op.BLT: 3,
+    Op.BGE: 3,
+    Op.JMP: 1,
+    Op.IN: 2,
+    Op.OUT: 2,
+    Op.NOP: 0,
+    Op.HALT: 0,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``operands`` are register names (``"r3"``), integers (immediates,
+    ports, resolved branch targets), matching the shapes documented on
+    :class:`Op`.
+    """
+
+    op: Op
+    operands: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        expected = OPERAND_COUNTS[self.op]
+        if len(self.operands) != expected:
+            raise ValueError(
+                f"{self.op.value} expects {expected} operands, "
+                f"got {len(self.operands)}"
+            )
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in CONDITIONAL_BRANCHES
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        args = ", ".join(str(o) for o in self.operands)
+        return f"{self.op.value} {args}".strip()
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions, labels, and initial data image."""
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: initial memory contents: {address: bytes}
+    data: Dict[int, bytes] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_at(self, name: str) -> int:
+        if name not in self.labels:
+            raise KeyError(f"unknown label {name!r}")
+        return self.labels[name]

@@ -1,0 +1,288 @@
+"""The trace-producing register machine.
+
+Executes a :class:`~repro.isa.instructions.Program` and emits one
+:class:`~repro.dift.flows.FlowEvent` per taint-relevant effect -- the same
+contract PANDA's instrumented replay gives FAROS:
+
+* ``MOVI``                -> ``CLEAR`` of the destination register,
+* ``MOV``                 -> ``COPY`` register-to-register,
+* ALU ops                 -> ``COMPUTE`` of the operand registers,
+* ``LB``/``SB``           -> data ``COPY`` plus an ``ADDRESS_DEP`` from the
+  address register (the paper's Fig. 4/5 scenario),
+* conditional branches    -> a control scope: every write executed before
+  the branch's immediate post-dominator additionally emits a
+  ``CONTROL_DEP`` from the branch's condition registers,
+* ``IN``                  -> ``CLEAR`` + (if the device says so) ``INSERT``
+  of the source tag,
+* ``OUT``                 -> ``COPY`` to the device's sink location.
+
+Event ordering per instruction is: direct flows, then address deps, then
+control deps -- so indirect tags are layered on top of the freshly written
+value's taint rather than being clobbered by it.
+
+32-bit wrapping arithmetic.  The machine never inspects taint; all policy
+lives in the DIFT layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.dift import flows
+from repro.dift.flows import FlowEvent
+from repro.dift.shadow import Location, mem, reg
+from repro.isa.cfg import EXIT, ControlFlowGraph
+from repro.isa.devices import Device, NullDevice
+from repro.isa.errors import ExecutionLimitExceeded, InvalidInstructionError
+from repro.isa.instructions import ALU_OPS, Instruction, Op, Program
+from repro.isa.memory import Memory
+
+_MASK32 = 0xFFFFFFFF
+
+EventSink = Callable[[FlowEvent], None]
+
+_ALU_FUNCS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.SHL: lambda a, b: a << (b & 31),
+    Op.SHR: lambda a, b: a >> (b & 31),
+}
+
+_BRANCH_FUNCS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+
+class Machine:
+    """Executes programs and streams flow events to a sink."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory_size: int = 1 << 16,
+        devices: Optional[Mapping[int, Device]] = None,
+        event_sink: Optional[EventSink] = None,
+        max_steps: int = 1_000_000,
+        emit_address_deps: bool = True,
+        emit_control_deps: bool = True,
+        start_tick: int = 0,
+        memory: Optional[Memory] = None,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else Memory(memory_size)
+        for address, blob in program.data.items():
+            self.memory.write_bytes(address, blob)
+        self.devices: Dict[int, Device] = dict(devices or {})
+        self.registers: Dict[str, int] = {f"r{i}": 0 for i in range(16)}
+        self.pc = 0
+        self.tick = start_tick
+        self.halted = False
+        self.steps = 0
+        self.max_steps = max_steps
+        self.emit_address_deps = emit_address_deps
+        self.emit_control_deps = emit_control_deps
+        self.cfg = ControlFlowGraph(program)
+        #: active control scopes: list of (join_index, condition_registers)
+        self._control_stack: List[Tuple[int, Tuple[str, ...]]] = []
+        self.trace: List[FlowEvent] = []
+        self._sink: EventSink = event_sink or self.trace.append
+
+    # -- event plumbing -----------------------------------------------------
+
+    def _emit(self, event: FlowEvent) -> None:
+        self._sink(event)
+
+    def _emit_control_deps(self, destination: Location, context: str) -> None:
+        if not self.emit_control_deps or not self._control_stack:
+            return
+        sources: List[Location] = []
+        seen = set()
+        for _join, condition_registers in self._control_stack:
+            for name in condition_registers:
+                if name not in seen:
+                    seen.add(name)
+                    sources.append(reg(name))
+        self._emit(
+            flows.control_dep(
+                tuple(sources), destination, tick=self.tick, context=context
+            )
+        )
+
+    # -- device access -------------------------------------------------------
+
+    def device(self, port: int) -> Device:
+        if port not in self.devices:
+            self.devices[port] = NullDevice()
+        return self.devices[port]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """Run until HALT or the step budget; returns steps executed."""
+        budget = max_steps if max_steps is not None else self.max_steps
+        executed = 0
+        while not self.halted:
+            if executed >= budget:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {budget} steps at pc={self.pc}"
+                )
+            self.step()
+            executed += 1
+        return executed
+
+    def step(self) -> None:
+        """Execute exactly one instruction."""
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.program.instructions):
+            self.halted = True
+            self._control_stack.clear()
+            return
+        # leaving control scopes: pop every frame whose join point we reached
+        while self._control_stack and self._control_stack[-1][0] == self.pc:
+            self._control_stack.pop()
+        instruction = self.program.instructions[self.pc]
+        self._execute(instruction)
+        self.tick += 1
+        self.steps += 1
+
+    def _reg_value(self, name: object) -> int:
+        return self.registers[str(name)]
+
+    def _set_reg(self, name: object, value: int) -> None:
+        self.registers[str(name)] = value & _MASK32
+
+    def _execute(self, instruction: Instruction) -> None:
+        op = instruction.op
+        ops = instruction.operands
+        next_pc = self.pc + 1
+        context = op.value
+
+        if op is Op.HALT:
+            self.halted = True
+            self._control_stack.clear()
+            return
+        if op is Op.NOP:
+            pass
+        elif op is Op.MOVI:
+            rd, imm = ops
+            self._set_reg(rd, int(imm))  # type: ignore[arg-type]
+            self._emit(flows.clear(reg(str(rd)), tick=self.tick, context=context))
+            self._emit_control_deps(reg(str(rd)), context)
+        elif op is Op.MOV:
+            rd, rs = ops
+            self._set_reg(rd, self._reg_value(rs))
+            self._emit(
+                flows.copy(reg(str(rs)), reg(str(rd)), tick=self.tick, context=context)
+            )
+            self._emit_control_deps(reg(str(rd)), context)
+        elif op in ALU_OPS:
+            rd, rs1, rs2 = ops
+            value = _ALU_FUNCS[op](self._reg_value(rs1), self._reg_value(rs2))
+            self._set_reg(rd, value)
+            self._emit(
+                flows.compute(
+                    (reg(str(rs1)), reg(str(rs2))),
+                    reg(str(rd)),
+                    tick=self.tick,
+                    context=context,
+                )
+            )
+            self._emit_control_deps(reg(str(rd)), context)
+        elif op is Op.ADDI:
+            rd, rs, imm = ops
+            self._set_reg(rd, self._reg_value(rs) + int(imm))  # type: ignore[arg-type]
+            self._emit(
+                flows.compute(
+                    (reg(str(rs)),), reg(str(rd)), tick=self.tick, context=context
+                )
+            )
+            self._emit_control_deps(reg(str(rd)), context)
+        elif op is Op.LB:
+            rd, rs, imm = ops
+            address = (self._reg_value(rs) + int(imm)) & _MASK32  # type: ignore[arg-type]
+            self._set_reg(rd, self.memory.read_byte(address))
+            self._emit(
+                flows.copy(mem(address), reg(str(rd)), tick=self.tick, context=context)
+            )
+            if self.emit_address_deps:
+                self._emit(
+                    flows.address_dep(
+                        reg(str(rs)), reg(str(rd)), tick=self.tick, context=context
+                    )
+                )
+            self._emit_control_deps(reg(str(rd)), context)
+        elif op is Op.SB:
+            rs, ra, imm = ops
+            address = (self._reg_value(ra) + int(imm)) & _MASK32  # type: ignore[arg-type]
+            self.memory.write_byte(address, self._reg_value(rs))
+            self._emit(
+                flows.copy(reg(str(rs)), mem(address), tick=self.tick, context=context)
+            )
+            if self.emit_address_deps:
+                self._emit(
+                    flows.address_dep(
+                        reg(str(ra)), mem(address), tick=self.tick, context=context
+                    )
+                )
+            self._emit_control_deps(mem(address), context)
+        elif op in _BRANCH_FUNCS:
+            rs1, rs2, target = ops
+            taken = _BRANCH_FUNCS[op](self._reg_value(rs1), self._reg_value(rs2))
+            branch_index = self.pc
+            if taken:
+                next_pc = int(target)  # type: ignore[arg-type]
+            if self.emit_control_deps:
+                scope = self.cfg.control_scope(branch_index)
+                if scope:
+                    join = self.cfg.scope_join(branch_index)
+                    frame = (join, (str(rs1), str(rs2)))
+                    # loops re-execute their own branch every iteration;
+                    # avoid stacking identical frames
+                    if join != EXIT and (
+                        not self._control_stack
+                        or self._control_stack[-1] != frame
+                    ):
+                        self._control_stack.append(frame)
+        elif op is Op.JMP:
+            next_pc = int(ops[0])  # type: ignore[arg-type]
+        elif op is Op.IN:
+            rd, port = ops
+            value, tag = self.device(int(port)).read()  # type: ignore[arg-type]
+            self._set_reg(rd, value)
+            self._emit(flows.clear(reg(str(rd)), tick=self.tick, context="in"))
+            if tag is not None:
+                self._emit(
+                    flows.insert(reg(str(rd)), tag, tick=self.tick, context="in")
+                )
+            self._emit_control_deps(reg(str(rd)), "in")
+        elif op is Op.OUT:
+            rs, port = ops
+            sink = self.device(int(port)).write(self._reg_value(rs))  # type: ignore[arg-type]
+            if sink is not None:
+                self._emit(
+                    flows.copy(reg(str(rs)), sink, tick=self.tick, context="out")
+                )
+        else:  # pragma: no cover - enum is exhaustive
+            raise InvalidInstructionError(f"unimplemented opcode {op}")
+
+        if next_pc >= len(self.program.instructions):
+            self.halted = True
+            self._control_stack.clear()
+        else:
+            self.pc = next_pc
+
+    # -- inspection -----------------------------------------------------------
+
+    def register_dump(self) -> Dict[str, int]:
+        return dict(self.registers)
+
+    def memory_bytes(self, address: int, length: int) -> bytes:
+        return self.memory.read_bytes(address, length)

@@ -1,0 +1,55 @@
+"""Byte-addressable memory for the ISA machine."""
+
+from __future__ import annotations
+
+from repro.isa.errors import SegmentationFault
+
+
+class Memory:
+    """A flat byte-addressable address space with bounds checking."""
+
+    def __init__(self, size: int = 1 << 16):
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self._size = size
+        self._bytes = bytearray(size)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _check(self, address: int, length: int = 1) -> None:
+        if address < 0 or address + length > self._size:
+            raise SegmentationFault(address, self._size)
+
+    def read_byte(self, address: int) -> int:
+        self._check(address)
+        return self._bytes[address]
+
+    def write_byte(self, address: int, value: int) -> None:
+        self._check(address)
+        self._bytes[address] = value & 0xFF
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        return bytes(self._bytes[address : address + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self._bytes[address : address + len(data)] = data
+
+    def read_word(self, address: int) -> int:
+        """Little-endian 32-bit read."""
+        self._check(address, 4)
+        return int.from_bytes(self._bytes[address : address + 4], "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        """Little-endian 32-bit write."""
+        self._check(address, 4)
+        self._bytes[address : address + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little"
+        )
+
+    def fill(self, address: int, length: int, value: int = 0) -> None:
+        self._check(address, length)
+        self._bytes[address : address + length] = bytes([value & 0xFF]) * length

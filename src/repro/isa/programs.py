@@ -1,0 +1,296 @@
+"""Canonical programs exercising each flow class.
+
+These are the micro-kernels the paper's discussion revolves around:
+
+* :func:`lookup_table_translate` -- Fig. 1's address-dependency example
+  (format conversion through a lookup table),
+* :func:`rc4_like_decode` -- a data-keyed table-lookup decode loop, the
+  indirect-flow-heavy shape of RC4/encoding stages in the Metasploit
+  payloads of Section V-C,
+* :func:`tainted_branch_copy` -- the classic control-dependency example
+  ``a = 0; if (b == 1) { a = 1; }`` from the introduction,
+* :func:`memcpy_program` / :func:`checksum_program` -- pure direct-flow
+  kernels (copy / computation dependencies),
+* :func:`network_download` / :func:`file_copy` -- device-driven taint
+  insertion loops.
+
+Each builder returns an assembled :class:`~repro.isa.instructions.Program`;
+the register conventions are internal to each program.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Program
+
+
+def lookup_table_translate(
+    input_addr: int, table_addr: int, output_addr: int, length: int
+) -> Program:
+    """Fig. 1: ``output[i] = table[input[i]]`` over ``length`` bytes.
+
+    The inner load's address is data-dependent on the (tainted) input
+    byte, so every output byte is reached only through an address
+    dependency -- the exact blindspot motivating MITOS.
+    """
+    return assemble(
+        f"""
+        ; Fig. 1 address-dependency example
+        movi r0, {input_addr}
+        movi r1, {output_addr}
+        movi r2, {length}
+        movi r3, {table_addr}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0      ; tainted input byte
+        add  r5, r3, r4     ; table base + byte: r5 inherits the taint
+        lb   r6, r5, 0      ; address dep: r5 -> loaded byte
+        sb   r6, r1, 0
+        addi r0, r0, 1
+        addi r1, r1, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def rc4_like_decode(
+    src_addr: int, dst_addr: int, length: int, sbox_addr: int
+) -> Program:
+    """Data-keyed keystream decode: ``dst[i] = src[i] ^ sbox[j]``, ``j += src[i]``.
+
+    The keystream index depends on the ciphertext, so the decode output is
+    only fully taintable through address dependencies -- the shape of the
+    RC4-encoded Metasploit stagers in the paper's case study.
+    """
+    return assemble(
+        f"""
+        ; RC4-like decode loop (address-dependency heavy)
+        movi r0, {src_addr}
+        movi r1, {dst_addr}
+        movi r2, {length}
+        movi r3, {sbox_addr}
+        movi r8, 1
+        movi r9, 0          ; j
+        movi r10, 255
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0      ; ciphertext byte
+        add  r9, r9, r4     ; j += byte (j now tainted)
+        and  r9, r9, r10
+        add  r5, r3, r9     ; sbox + j
+        lb   r6, r5, 0      ; keystream byte via tainted address
+        xor  r4, r4, r6     ; plaintext
+        sb   r4, r1, 0
+        addi r0, r0, 1
+        addi r1, r1, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def tainted_branch_copy(src_addr: int, dst_addr: int, length: int) -> Program:
+    """Control-dependency kernel: ``dst[i] = (src[i] != 0) ? 1 : 0``.
+
+    The stored value is written by a constant move whose execution is
+    decided by the tainted byte -- information flows only through the
+    control dependency, the paper's introductory example.
+    """
+    return assemble(
+        f"""
+        ; control-dependency copy: a = 0; if (b != 0) a = 1
+        movi r0, {src_addr}
+        movi r1, {dst_addr}
+        movi r2, {length}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0      ; tainted byte b
+        movi r5, 0          ; a = 0
+        bne  r4, r7, set1   ; tainted condition
+        jmp  store
+set1:   movi r5, 1          ; a = 1 (control-dependent write)
+store:  sb   r5, r1, 0
+        addi r0, r0, 1
+        addi r1, r1, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def memcpy_program(src_addr: int, dst_addr: int, length: int) -> Program:
+    """Plain byte copy loop -- direct copy dependencies only."""
+    return assemble(
+        f"""
+        ; memcpy: direct flows only
+        movi r0, {src_addr}
+        movi r1, {dst_addr}
+        movi r2, {length}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0
+        sb   r4, r1, 0
+        addi r0, r0, 1
+        addi r1, r1, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def checksum_program(src_addr: int, length: int) -> Program:
+    """Sum all bytes into r5 -- computation dependencies only."""
+    return assemble(
+        f"""
+        ; checksum: computation dependencies
+        movi r0, {src_addr}
+        movi r2, {length}
+        movi r5, 0
+        movi r8, 1
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0
+        add  r5, r5, r4
+        addi r0, r0, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def network_download(buffer_addr: int, length: int, port: int = 0) -> Program:
+    """Read ``length`` bytes from a network device into a buffer."""
+    return assemble(
+        f"""
+        ; download loop: taint insertion from the network device
+        movi r0, {buffer_addr}
+        movi r2, {length}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        in   r4, {port}
+        sb   r4, r0, 0
+        addi r0, r0, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def rle_decode(src_addr: int, dst_addr: int, pairs: int) -> Program:
+    """Run-length decoding: ``(count, value)`` pairs expand to runs.
+
+    The paper lists compression/decompression among the operations where
+    "indirect flows are expected to be the rule rather than the
+    exception": here the *value* flows directly, but each run's *length*
+    -- and therefore which output bytes exist at all -- flows only
+    through the tainted loop condition (control dependencies).
+    """
+    return assemble(
+        f"""
+        ; RLE decode: per-pair inner loop guarded by a tainted count
+        movi r0, {src_addr}
+        movi r1, {dst_addr}
+        movi r2, {pairs}
+        movi r8, 1
+pair:   beq  r2, r7, done
+        lb   r3, r0, 0      ; run length (tainted)
+        lb   r4, r0, 1      ; run value (tainted)
+        addi r0, r0, 2
+emit:   beq  r3, r7, next   ; tainted loop condition
+        sb   r4, r1, 0
+        addi r1, r1, 1
+        sub  r3, r3, r8
+        jmp  emit
+next:   sub  r2, r2, r8
+        jmp  pair
+done:   halt
+        """
+    )
+
+
+def header_parse(src_addr: int, dst_addr: int) -> Program:
+    """A protocol-header switch: per-type handlers fill an output field.
+
+    The "switch statements" shape from Section II: the tainted type byte
+    decides which handler runs, so the parsed field carries control
+    dependencies from the header even when the handler stores a constant.
+    """
+    return assemble(
+        f"""
+        ; switch (header.type) {{ case 1: ...; case 2: ...; default: ... }}
+        movi r0, {src_addr}
+        movi r1, {dst_addr}
+        movi r9, 1
+        movi r10, 2
+        lb   r4, r0, 0      ; type byte (tainted)
+        beq  r4, r9, t1
+        beq  r4, r10, t2
+        movi r5, 0xEE       ; default: unknown-type marker
+        jmp  store
+t1:     lb   r5, r0, 1      ; type 1: field A
+        jmp  store
+t2:     lb   r5, r0, 2      ; type 2: field B
+store:  sb   r5, r1, 0
+        halt
+        """
+    )
+
+
+def stack_churn(
+    src_addr: int, stack_base: int, iterations: int
+) -> Program:
+    """The stack-pointer-tainting scenario (Section IV-B1 / Slowinska-Bos).
+
+    A tainted byte (e.g. a variable-sized array's length) flows into the
+    stack pointer; every subsequent push/pop then carries an address
+    dependency from the tainted pointer, so an
+    unconditionally-propagating DIFT taints *everything on the stack* --
+    "the stack is heavily accessed" -- and system entropy collapses.
+    MITOS caps the pointer tag's propagation once its marginal cost turns
+    positive.
+    """
+    return assemble(
+        f"""
+        ; stack-pointer tainting: sp += tainted length byte
+        movi r0, {src_addr}
+        movi r10, {stack_base}
+        movi r12, 15
+        lb   r4, r0, 0      ; tainted length byte
+        and  r4, r4, r12    ; bound the offset
+        add  r10, r10, r4   ; the stack pointer is now tainted
+        movi r2, {iterations}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        movi r5, 0          ; the pushed value itself is clean...
+        sb   r5, r10, 0     ; ...so the push taints only via the sp addr dep
+        lb   r6, r10, 0     ; pop/peek: address dep again
+        addi r10, r10, 1    ; sp keeps its taint through the arithmetic
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def file_copy(
+    length: int, in_port: int = 1, out_port: int = 2
+) -> Program:
+    """Stream ``length`` bytes from one file device to another."""
+    return assemble(
+        f"""
+        ; file-to-file copy through registers
+        movi r2, {length}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        in   r4, {in_port}
+        out  r4, {out_port}
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )

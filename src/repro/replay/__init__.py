@@ -1,0 +1,14 @@
+"""PANDA-like record/replay of flow-event traces."""
+
+from repro.replay.record import Recording, RecordError, record_machine
+from repro.replay.replayer import Plugin, Replayer, ReplayResult, TrackerPlugin
+
+__all__ = [
+    "Recording",
+    "RecordError",
+    "record_machine",
+    "Replayer",
+    "ReplayResult",
+    "Plugin",
+    "TrackerPlugin",
+]

@@ -1,0 +1,193 @@
+"""Recordings: serialized flow-event traces.
+
+PANDA records a system run once and replays it many times with different
+analyses attached; the paper replays its one-minute PassMark recording
+under many MITOS parameter points.  A :class:`Recording` is our
+equivalent: an ordered list of :class:`~repro.dift.flows.FlowEvent`
+objects plus free-form metadata, serializable to JSON-lines so recordings
+can be stored and reloaded bit-exactly.
+
+The JSONL format is one header line (``{"meta": {...}}``) followed by one
+line per event.  Locations and tags survive the round trip exactly
+(tuples are restored from JSON arrays recursively).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.tags import Tag
+
+
+class RecordError(Exception):
+    """Malformed recording data."""
+
+
+def _encode_structure(value: object) -> object:
+    """Tuples -> tagged JSON so decoding can restore them exactly."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_structure(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_structure(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode_structure(v) for k, v in value.items()}
+    return value
+
+
+def _decode_structure(value: object) -> object:
+    if isinstance(value, dict):
+        if set(value.keys()) == {"__tuple__"}:
+            return tuple(_decode_structure(v) for v in value["__tuple__"])
+        return {k: _decode_structure(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_structure(v) for v in value]
+    return value
+
+
+def event_to_dict(event: FlowEvent) -> Dict[str, object]:
+    """JSON-serializable form of one event."""
+    payload: Dict[str, object] = {
+        "kind": event.kind.value,
+        "dest": _encode_structure(event.destination),
+        "tick": event.tick,
+    }
+    if event.sources:
+        payload["sources"] = [_encode_structure(s) for s in event.sources]
+    if event.tag is not None:
+        payload["tag"] = [event.tag.type, event.tag.index]
+    if event.context:
+        payload["context"] = event.context
+    if event.meta:
+        payload["meta"] = _encode_structure(dict(event.meta))
+    return payload
+
+
+def event_from_dict(payload: Dict[str, object]) -> FlowEvent:
+    """Inverse of :func:`event_to_dict`; raises :class:`RecordError`."""
+    try:
+        kind = FlowKind(payload["kind"])
+        destination = _decode_structure(payload["dest"])
+        sources = tuple(
+            _decode_structure(s) for s in payload.get("sources", [])
+        )
+        tag_payload = payload.get("tag")
+        tag = (
+            Tag(str(tag_payload[0]), int(tag_payload[1]))  # type: ignore[index]
+            if tag_payload is not None
+            else None
+        )
+        return FlowEvent(
+            kind=kind,
+            destination=destination,  # type: ignore[arg-type]
+            sources=sources,  # type: ignore[arg-type]
+            tick=int(payload.get("tick", 0)),  # type: ignore[arg-type]
+            tag=tag,
+            context=str(payload.get("context", "")),
+            meta=_decode_structure(payload.get("meta", {})),  # type: ignore[arg-type]
+        )
+    except RecordError:
+        raise
+    except Exception as exc:
+        raise RecordError(f"malformed event payload: {payload!r}") from exc
+
+
+@dataclass
+class Recording:
+    """An ordered, replayable flow-event trace."""
+
+    events: List[FlowEvent] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, event: FlowEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable[FlowEvent]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FlowEvent]:
+        return iter(self.events)
+
+    @property
+    def duration_ticks(self) -> int:
+        """Last tick + 1, or 0 for an empty recording."""
+        if not self.events:
+            return 0
+        return max(event.tick for event in self.events) + 1
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Event counts by flow kind (for recording summaries)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        header = json.dumps({"meta": _encode_structure(self.meta)})
+        lines = [header]
+        lines.extend(json.dumps(event_to_dict(e)) for e in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Recording":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return cls()
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise RecordError("malformed recording header") from exc
+        if not isinstance(header, dict) or "meta" not in header:
+            raise RecordError("recording header missing 'meta'")
+        recording = cls(meta=_decode_structure(header["meta"]))  # type: ignore[arg-type]
+        for line in lines[1:]:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RecordError(f"malformed event line: {line!r}") from exc
+            recording.append(event_from_dict(payload))
+        return recording
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write JSONL, gzip-compressed when the path ends in ``.gz``."""
+        target = Path(path)
+        if target.suffix == ".gz":
+            with gzip.open(target, "wt") as handle:
+                handle.write(self.to_jsonl())
+        else:
+            target.write_text(self.to_jsonl())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Recording":
+        """Read JSONL, transparently decompressing ``.gz`` files."""
+        source = Path(path)
+        if source.suffix == ".gz":
+            with gzip.open(source, "rt") as handle:
+                return cls.from_jsonl(handle.read())
+        return cls.from_jsonl(source.read_text())
+
+
+def record_machine(
+    machine,
+    meta: Optional[Dict[str, object]] = None,
+    max_steps: Optional[int] = None,
+) -> Recording:
+    """Run a machine to completion, capturing its event stream.
+
+    The machine must have been constructed *without* an ``event_sink`` (its
+    trace list is consumed) or with a sink that this function temporarily
+    replaces.
+    """
+    recording = Recording(meta=dict(meta or {}))
+    machine._sink = recording.append
+    machine.run(max_steps=max_steps)
+    return recording

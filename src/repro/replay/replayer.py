@@ -1,0 +1,112 @@
+"""The replayer: feeds recorded events through a plugin chain.
+
+Mirrors PANDA's plugin architecture (Fig. 6, steps 1-2): the replayer
+iterates a :class:`~repro.replay.record.Recording` and hands every event to
+each registered :class:`Plugin` in order.  FAROS/MITOS attach as plugins
+(see :class:`TrackerPlugin` and :mod:`repro.faros.pipeline`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dift.flows import FlowEvent
+from repro.dift.tracker import DIFTTracker
+from repro.replay.record import Recording
+
+
+class Plugin:
+    """Base plugin: override any subset of the hooks."""
+
+    name: str = "plugin"
+
+    def on_begin(self, recording: Recording) -> None:
+        """Called once before the first event."""
+
+    def on_event(self, event: FlowEvent) -> None:
+        """Called for every event in order."""
+
+    def on_end(self) -> None:
+        """Called once after the last event."""
+
+
+class TrackerPlugin(Plugin):
+    """Adapts a :class:`~repro.dift.tracker.DIFTTracker` to the plugin API."""
+
+    name = "dift-tracker"
+
+    def __init__(self, tracker: DIFTTracker, reset_on_begin: bool = True):
+        self.tracker = tracker
+        self.reset_on_begin = reset_on_begin
+
+    def on_begin(self, recording: Recording) -> None:
+        if self.reset_on_begin:
+            self.tracker.reset()
+
+    def on_event(self, event: FlowEvent) -> None:
+        self.tracker.process(event)
+
+
+class CallbackPlugin(Plugin):
+    """Wraps a bare callable as a plugin (quick instrumentation)."""
+
+    name = "callback"
+
+    def __init__(self, fn: Callable[[FlowEvent], None]):
+        self._fn = fn
+
+    def on_event(self, event: FlowEvent) -> None:
+        self._fn(event)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay pass."""
+
+    events_processed: int
+    duration_seconds: float
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return float("inf") if self.events_processed else 0.0
+        return self.events_processed / self.duration_seconds
+
+
+class Replayer:
+    """Replays recordings through an ordered plugin chain."""
+
+    def __init__(self, plugins: Optional[Sequence[Plugin]] = None):
+        self.plugins: List[Plugin] = list(plugins or [])
+
+    def add_plugin(self, plugin: Plugin) -> "Replayer":
+        self.plugins.append(plugin)
+        return self
+
+    def replay(
+        self,
+        recording: Recording,
+        limit: Optional[int] = None,
+    ) -> ReplayResult:
+        """Feed every event (or the first ``limit``) through all plugins."""
+        started = time.perf_counter()
+        for plugin in self.plugins:
+            plugin.on_begin(recording)
+        processed = 0
+        for event in recording:
+            if limit is not None and processed >= limit:
+                break
+            for plugin in self.plugins:
+                plugin.on_event(event)
+            processed += 1
+        for plugin in self.plugins:
+            plugin.on_end()
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            events_processed=processed,
+            duration_seconds=elapsed,
+            meta=dict(recording.meta),
+        )

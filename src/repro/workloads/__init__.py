@@ -1,0 +1,26 @@
+"""Workload generators: PassMark-like benchmarks, attacks, joint scenarios."""
+
+from repro.workloads.base import RecordingBuilder, Workload
+from repro.workloads.calibration import benchmark_params, calibrated_tau_scale
+from repro.workloads.network import NetworkBenchmark
+from repro.workloads.cpu import CpuBenchmark
+from repro.workloads.filesystem import FileSystemBenchmark
+from repro.workloads.attack import ATTACK_VARIANTS, InMemoryAttack
+from repro.workloads.composite import interleave, relocate_memory, remap_tags
+from repro.workloads.iot import IotFleet
+
+__all__ = [
+    "Workload",
+    "RecordingBuilder",
+    "benchmark_params",
+    "calibrated_tau_scale",
+    "NetworkBenchmark",
+    "CpuBenchmark",
+    "FileSystemBenchmark",
+    "InMemoryAttack",
+    "ATTACK_VARIANTS",
+    "interleave",
+    "remap_tags",
+    "relocate_memory",
+    "IotFleet",
+]

@@ -1,0 +1,283 @@
+"""The in-memory-only attack scenarios (Section V-C).
+
+The paper implements Metasploit Meterpreter reverse shells and performs a
+remote reflective DLL injection into ``calculator.exe``, then compares
+stock FAROS against MITOS-handling-all-flows.  The attack hallmark is a
+tag confluence: payload bytes arrive from the Internet (*netflow* tag) and
+are then touched by linking/loading machinery (*export-table* tag); FAROS
+"flags the attack when these two tags come together on a byte".
+
+Our simulation reproduces the exact flow structure:
+
+1. **Loader metadata** -- export-table regions are pre-tagged with
+   *export_table* tags (one per module), as FAROS tags the kernel
+   linking/loading area.
+2. **Background activity** -- benign downloads copied around repeatedly,
+   giving benign tags large copy counts.  This is what stock FAROS
+   "aggressively propagates" and what MITOS learns to block.
+3. **Stager download** -- the encoded payload arrives over a network
+   device (*netflow* tag, attacker origin).
+4. **Decode stage** -- per shell variant: plain copy, constant-XOR,
+   table decode (https), XOR+table (https proxy), RC4-like (rc4), or
+   RC4+table (rc4 dns).  Table/RC4 decodes move information *only through
+   address dependencies*: DFP-only DIFT loses the netflow taint here.
+5. **Reflective injection** -- the decoded payload is copied into the
+   victim process region and its import table is patched: each IAT slot
+   receives ``export_entry + payload_offset``, a computation combining an
+   export-table-tagged byte with a payload byte.  Bytes holding both tags
+   are exactly what the detector counts.
+
+Six variants, as in the paper's Table II run ("we ran six Metasploit
+shells and show the average performance").
+"""
+
+from __future__ import annotations
+
+from repro.dift.shadow import mem
+from repro.dift.tags import TagTypes
+from repro.isa.assembler import assemble
+from repro.isa.devices import NetworkDevice
+from repro.isa.instructions import Program
+from repro.isa.programs import (
+    lookup_table_translate,
+    memcpy_program,
+    network_download,
+    rc4_like_decode,
+)
+from repro.replay.record import Recording
+from repro.workloads.base import RecordingBuilder, Workload
+from repro.workloads.calibration import MACHINE_MEMORY
+
+#: the six Meterpreter shell variants
+ATTACK_VARIANTS = (
+    "reverse_tcp",
+    "reverse_http",
+    "reverse_https",
+    "reverse_https_proxy",
+    "reverse_tcp_rc4",
+    "reverse_tcp_rc4_dns",
+)
+
+#: attack address-space map
+EXPORTS_ADDR = 0x0200     # loader export tables (pre-tagged export_table)
+DECODE_TABLE = 0x0300     # charset/sbox table used by encoded stagers
+DOWNLOAD_BUF = 0x1000     # raw stager bytes off the wire
+STAGE_BUF = 0x2000        # intermediate decode buffer
+DECODED_BUF = 0x3000      # plaintext payload
+VICTIM_REGION = 0x4800    # victim process address space (calculator.exe)
+NOISE_BUF = 0x7000        # benign background traffic buffers
+
+#: IAT patching stride: one import slot every 8 payload bytes
+IMPORT_STRIDE = 8
+
+
+def xor_decode(src_addr: int, dst_addr: int, length: int, key: int) -> Program:
+    """Constant-key XOR decode: information flows via computation deps."""
+    return assemble(
+        f"""
+        ; constant-xor decode (direct flows only)
+        movi r0, {src_addr}
+        movi r1, {dst_addr}
+        movi r2, {length}
+        movi r8, 1
+        movi r9, {key}
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0
+        xor  r4, r4, r9
+        sb   r4, r1, 0
+        addi r0, r0, 1
+        addi r1, r1, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+def iat_patch(
+    payload_addr: int,
+    victim_addr: int,
+    exports_addr: int,
+    imports: int,
+    stride: int = IMPORT_STRIDE,
+) -> Program:
+    """Reflective-loader import resolution.
+
+    For every import slot, read an offset byte from the payload, look up
+    the export entry it indexes (tainted-address load against the export
+    table), compute the resolved address ``entry + offset``, and write it
+    into the victim's IAT slot.  The stored byte carries the export-table
+    tag (via the entry) and -- when the decode stage preserved it -- the
+    payload's netflow tag (via the offset), producing the confluence the
+    detector fires on.
+    """
+    return assemble(
+        f"""
+        ; reflective DLL injection: IAT patching
+        movi r0, {payload_addr}
+        movi r1, {victim_addr}
+        movi r2, {imports}
+        movi r3, {exports_addr}
+        movi r8, 1
+        movi r10, {stride}
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0      ; import-name offset byte (payload)
+        add  r5, r3, r4     ; export table + offset
+        lb   r6, r5, 0      ; export entry (export_table tag; addr dep)
+        add  r6, r6, r4     ; resolved address = entry + offset
+        sb   r6, r1, 0      ; patch the IAT slot in the victim
+        add  r0, r0, r10
+        add  r1, r1, r10
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )
+
+
+class InMemoryAttack(Workload):
+    """One recorded attack session for one shell variant."""
+
+    name = "in-memory-attack"
+
+    def __init__(
+        self,
+        variant: str = "reverse_tcp",
+        seed: int = 0,
+        payload_bytes: int = 192,
+        imports: int = 24,
+        noise_bytes: int = 512,
+        noise_rounds: int = 10,
+        export_modules: int = 4,
+        export_bytes_per_module: int = 64,
+    ):
+        super().__init__(seed)
+        if variant not in ATTACK_VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r}; expected one of {ATTACK_VARIANTS}"
+            )
+        if imports * IMPORT_STRIDE > payload_bytes:
+            raise ValueError(
+                f"{imports} imports at stride {IMPORT_STRIDE} exceed "
+                f"payload of {payload_bytes} bytes"
+            )
+        self.variant = variant
+        self.payload_bytes = payload_bytes
+        self.imports = imports
+        self.noise_bytes = noise_bytes
+        self.noise_rounds = noise_rounds
+        self.export_modules = export_modules
+        self.export_bytes_per_module = export_bytes_per_module
+
+    def record(self) -> Recording:
+        builder = RecordingBuilder(
+            meta=self._meta(
+                variant=self.variant,
+                payload_bytes=self.payload_bytes,
+                imports=self.imports,
+            ),
+            memory_size=MACHINE_MEMORY,
+            share_memory=True,
+        )
+        assert builder.memory is not None
+        self._setup_loader_metadata(builder)
+        self._background_noise(builder)
+        self._stager_download(builder)
+        self._decode(builder)
+        self._inject(builder)
+        return builder.build()
+
+    # -- stages ---------------------------------------------------------------
+
+    def _setup_loader_metadata(self, builder: RecordingBuilder) -> None:
+        """Export tables in the linking/loading area, pre-tagged per module."""
+        assert builder.memory is not None
+        span = self.export_bytes_per_module
+        for module in range(self.export_modules):
+            tag = builder.allocator.fresh(
+                TagTypes.EXPORT_TABLE, origin=("module", module)
+            )
+            base = EXPORTS_ADDR + module * span
+            builder.memory.write_bytes(base, self._payload(span))
+            for offset in range(span):
+                builder.insert_tag(mem(base + offset), tag, context="loader.map")
+        # decode table (sbox / charset) used by the encoded stagers
+        builder.memory.write_bytes(
+            DECODE_TABLE, bytes((i * 17 + 11) % 256 for i in range(256))
+        )
+
+    def _background_noise(self, builder: RecordingBuilder) -> None:
+        """Benign traffic whose tags saturate; FAROS keeps copying them."""
+        device = NetworkDevice(
+            self._payload(self.noise_bytes),
+            builder.allocator,
+            origin=("172.16.0.9", 80),
+        )
+        builder.run_program(
+            network_download(NOISE_BUF, self.noise_bytes), devices={0: device}
+        )
+        for round_index in range(self.noise_rounds):
+            destination = NOISE_BUF + 0x800 * (1 + round_index % 5)
+            builder.run_program(
+                memcpy_program(NOISE_BUF, destination, self.noise_bytes)
+            )
+
+    def _stager_download(self, builder: RecordingBuilder) -> None:
+        device = NetworkDevice(
+            self._payload(self.payload_bytes),
+            builder.allocator,
+            origin=("203.0.113.66", 4444),  # the attacker's C2
+        )
+        builder.run_program(
+            network_download(DOWNLOAD_BUF, self.payload_bytes),
+            devices={0: device},
+        )
+
+    def _decode(self, builder: RecordingBuilder) -> None:
+        n = self.payload_bytes
+        if self.variant == "reverse_tcp":
+            builder.run_program(memcpy_program(DOWNLOAD_BUF, DECODED_BUF, n))
+        elif self.variant == "reverse_http":
+            builder.run_program(xor_decode(DOWNLOAD_BUF, DECODED_BUF, n, 0x5A))
+        elif self.variant == "reverse_https":
+            builder.run_program(
+                lookup_table_translate(DOWNLOAD_BUF, DECODE_TABLE, DECODED_BUF, n)
+            )
+        elif self.variant == "reverse_https_proxy":
+            builder.run_program(xor_decode(DOWNLOAD_BUF, STAGE_BUF, n, 0x3C))
+            builder.run_program(
+                lookup_table_translate(STAGE_BUF, DECODE_TABLE, DECODED_BUF, n)
+            )
+        elif self.variant == "reverse_tcp_rc4":
+            builder.run_program(
+                rc4_like_decode(DOWNLOAD_BUF, DECODED_BUF, n, DECODE_TABLE)
+            )
+        else:  # reverse_tcp_rc4_dns
+            builder.run_program(
+                rc4_like_decode(DOWNLOAD_BUF, STAGE_BUF, n, DECODE_TABLE)
+            )
+            builder.run_program(
+                lookup_table_translate(STAGE_BUF, DECODE_TABLE, DECODED_BUF, n)
+            )
+
+    def _inject(self, builder: RecordingBuilder) -> None:
+        n = self.payload_bytes
+        # copy the decoded payload into the victim's address space
+        builder.run_program(memcpy_program(DECODED_BUF, VICTIM_REGION, n))
+        # resolve imports against the loader's export tables
+        builder.run_program(
+            iat_patch(
+                DECODED_BUF,
+                VICTIM_REGION,
+                EXPORTS_ADDR,
+                self.imports,
+            )
+        )
+
+
+def record_all_variants(seed: int = 0, **kwargs) -> dict:
+    """One recording per shell variant (Table II averages over these)."""
+    return {
+        variant: InMemoryAttack(variant=variant, seed=seed, **kwargs).record()
+        for variant in ATTACK_VARIANTS
+    }

@@ -1,0 +1,121 @@
+"""Workload framework: seeded generators that produce replayable recordings.
+
+The paper records each workload once (a one-minute PassMark run, a
+Metasploit attack session) and replays it many times under different MITOS
+parameter points.  A :class:`Workload` here does the same: :meth:`record`
+runs seeded ISA programs against taint-source devices and captures a
+:class:`~repro.replay.record.Recording` that every configuration then
+replays bit-identically.
+
+:class:`RecordingBuilder` handles the mechanics: monotonically advancing
+ticks across program runs, an optionally shared memory image for
+multi-stage scenarios, and direct tag-insertion events for pre-tagged
+regions (e.g. loader metadata carrying export-table tags).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.dift import flows
+from repro.dift.shadow import Location
+from repro.dift.tags import Tag, TagAllocator
+from repro.isa.devices import Device
+from repro.isa.instructions import Program
+from repro.isa.machine import Machine
+from repro.isa.memory import Memory
+from repro.replay.record import Recording
+
+
+class RecordingBuilder:
+    """Accumulates flow events from programs and manual insertions."""
+
+    def __init__(
+        self,
+        meta: Optional[Dict[str, object]] = None,
+        memory_size: int = 1 << 16,
+        share_memory: bool = False,
+    ):
+        self.recording = Recording(meta=dict(meta or {}))
+        self.allocator = TagAllocator()
+        self._tick = 0
+        self._memory_size = memory_size
+        self._shared_memory: Optional[Memory] = (
+            Memory(memory_size) if share_memory else None
+        )
+
+    @property
+    def tick(self) -> int:
+        return self._tick
+
+    @property
+    def memory(self) -> Optional[Memory]:
+        """The shared memory image, when ``share_memory=True``."""
+        return self._shared_memory
+
+    def insert_tag(
+        self, location: Location, tag: Tag, context: str = "pretag"
+    ) -> None:
+        """Emit a direct tag-insertion event (pre-tagged regions)."""
+        self.recording.append(
+            flows.insert(location, tag, tick=self._tick, context=context)
+        )
+        self._tick += 1
+
+    def run_program(
+        self,
+        program: Program,
+        devices: Optional[Mapping[int, Device]] = None,
+        memory_setup: Optional[Callable[[Machine], None]] = None,
+        max_steps: int = 2_000_000,
+    ) -> Machine:
+        """Execute a program, appending its events to the recording.
+
+        With ``share_memory=True`` every program sees (and mutates) the
+        same address space, so multi-stage scenarios compose naturally.
+        Note that ``program.data`` images are written into the shared
+        memory at machine construction.
+        """
+        machine = Machine(
+            program,
+            memory_size=self._memory_size,
+            devices=dict(devices or {}),
+            event_sink=self.recording.append,
+            max_steps=max_steps,
+            start_tick=self._tick,
+            memory=self._shared_memory,
+        )
+        if memory_setup is not None:
+            memory_setup(machine)
+        machine.run()
+        self._tick = machine.tick
+        return machine
+
+    def build(self) -> Recording:
+        self.recording.meta.setdefault("duration_ticks", self._tick)
+        return self.recording
+
+
+class Workload(abc.ABC):
+    """A seeded, reproducible scenario that records to a flow-event trace."""
+
+    name: str = "workload"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def record(self) -> Recording:
+        """Generate the recording (deterministic for a given seed)."""
+
+    def _payload(self, length: int) -> bytes:
+        """Seeded pseudo-random payload bytes."""
+        return bytes(self.rng.randrange(256) for _ in range(length))
+
+    def _meta(self, **extra: object) -> Dict[str, object]:
+        payload: Dict[str, object] = {"workload": self.name, "seed": self.seed}
+        payload.update(extra)
+        return payload

@@ -1,0 +1,106 @@
+"""Tau normalization for simulator-scale systems.
+
+The paper evaluates on a 4 GB guest (``N_R ~ 4e10`` provenance slots) and
+notes that "all tau values are normalized up to the power of 10^6".  That
+constant is tied to their machine scale: the published Eq. 8 overtainting
+submarginal ``tau_eff * beta * (P/N_R)**(beta-1)`` only bites when
+``tau_eff`` compensates for the tiny pollution fraction ``P/N_R``.
+
+Our substrate runs with kilobyte-scale memories, so the equivalent
+normalization must be recomputed.  :func:`calibrated_tau_scale` makes the
+choice explicit: pick the copy count ``n*`` at which a unit-weight tag's
+marginal cost crosses zero at a reference pollution fraction ``f`` --
+i.e. solve ``u * n***-alpha = tau * scale * beta * f**(beta-1)`` for
+``scale``.  Tags rarer than ``n*`` keep propagating; tags more common than
+``n*`` are blocked.  Sweeping ``tau`` then moves the crossover exactly as
+Fig. 7 describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import MitosParams
+
+
+def calibrated_tau_scale(
+    crossover_copies: float,
+    pollution_fraction: float,
+    alpha: float = 1.5,
+    beta: float = 2.0,
+    tau: float = 1.0,
+    u: float = 1.0,
+) -> float:
+    """The ``tau_scale`` putting the decision boundary at ``crossover_copies``.
+
+    Parameters
+    ----------
+    crossover_copies:
+        Copy count ``n*`` at which the marginal cost is exactly zero (for
+        ``tau``, at the reference pollution).  Rarer tags propagate.
+    pollution_fraction:
+        Reference ``P / N_R`` at which to calibrate (a mid-run value for
+        the intended workload).
+    """
+    if crossover_copies <= 0:
+        raise ValueError(f"crossover_copies must be positive, got {crossover_copies}")
+    if not 0 < pollution_fraction <= 1:
+        raise ValueError(
+            f"pollution_fraction must be in (0, 1], got {pollution_fraction}"
+        )
+    if tau <= 0:
+        raise ValueError(f"tau must be positive for calibration, got {tau}")
+    under_magnitude = u * crossover_copies ** (-alpha)
+    over_unit = beta * pollution_fraction ** (beta - 1.0)
+    return under_magnitude / (tau * over_unit)
+
+
+#: memory size shared by the benchmark machines (one 64 KiB address space)
+MACHINE_MEMORY = 1 << 16
+
+#: reference pollution fraction used to calibrate benchmark parameter sets;
+#: mid-run pollution of the network benchmark is a few thousand entries out
+#: of N_R = 655,360.
+REFERENCE_POLLUTION_FRACTION = 0.005
+
+#: default decision boundary: tags with fewer copies keep propagating at
+#: tau = 1.  Attack tags (hundreds of copies) stay below it; saturated
+#: background tags (thousands of copies) sit above it.
+REFERENCE_CROSSOVER_COPIES = 1200.0
+
+
+def benchmark_params(
+    tau: float = 1.0,
+    alpha: float = 1.5,
+    beta: float = 2.0,
+    crossover_copies: float = REFERENCE_CROSSOVER_COPIES,
+    pollution_fraction: float = REFERENCE_POLLUTION_FRACTION,
+    M_prov: int = 10,
+    calibration_alpha: float = 1.5,
+    **extra: object,
+) -> MitosParams:
+    """Paper-default parameters calibrated to the simulator scale.
+
+    The calibration is performed once at ``tau = 1`` and at the *reference*
+    ``calibration_alpha`` (the paper default 1.5) rather than at the swept
+    ``alpha``: this mirrors the paper, whose "normalized up to the power of
+    10^6" constant stays fixed while alpha/tau are swept.  Sweeping ``tau``
+    therefore moves the decision boundary (Fig. 7) and sweeping ``alpha``
+    changes the fairness curvature (Fig. 8) instead of being cancelled by
+    recalibration.  ``beta`` *is* used in calibration so that steeper
+    penalties stay in the operating regime.
+    """
+    scale = calibrated_tau_scale(
+        crossover_copies,
+        pollution_fraction,
+        alpha=calibration_alpha,
+        beta=beta,
+        tau=1.0,
+    )
+    return MitosParams(
+        alpha=alpha,
+        beta=beta,
+        tau=tau,
+        tau_scale=scale,
+        R=MACHINE_MEMORY,
+        M_prov=M_prov,
+        **extra,  # type: ignore[arg-type]
+    )

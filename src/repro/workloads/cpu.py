@@ -1,0 +1,80 @@
+"""The CPU benchmark (Section V-B: "we also ran CPU ... benchmarks").
+
+Arithmetic-heavy kernels over process-memory inputs: checksums, xor
+mixing, and small table-driven transforms.  Taint enters as *process*
+tags (bytes read from another process's address space), flows dominated
+by computation dependencies with a minority of address dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.dift.shadow import mem
+from repro.dift.tags import TagTypes
+from repro.isa.programs import (
+    checksum_program,
+    lookup_table_translate,
+    rc4_like_decode,
+)
+from repro.replay.record import Recording
+from repro.workloads.base import RecordingBuilder, Workload
+from repro.workloads.calibration import MACHINE_MEMORY
+
+TABLE_ADDR = 0x0100
+INPUT_BUF = 0x2000
+WORK_BUF = 0x4000
+
+
+class CpuBenchmark(Workload):
+    """Arithmetic kernel mix over process-tagged inputs."""
+
+    name = "cpu-benchmark"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        processes: int = 4,
+        bytes_per_process: int = 192,
+        rounds: int = 3,
+    ):
+        super().__init__(seed)
+        self.processes = processes
+        self.bytes_per_process = bytes_per_process
+        self.rounds = rounds
+
+    def record(self) -> Recording:
+        builder = RecordingBuilder(
+            meta=self._meta(processes=self.processes, rounds=self.rounds),
+            memory_size=MACHINE_MEMORY,
+            share_memory=True,
+        )
+        assert builder.memory is not None
+        builder.memory.write_bytes(
+            TABLE_ADDR, bytes((i * 13 + 5) % 256 for i in range(256))
+        )
+        n = self.bytes_per_process
+        for pid_index in range(self.processes):
+            # bytes mapped in from another process: tag insertion + data
+            tag = builder.allocator.fresh(
+                TagTypes.PROCESS, origin=("pid", 3000 + pid_index)
+            )
+            data = self._payload(n)
+            builder.memory.write_bytes(INPUT_BUF + pid_index * n, data)
+            for offset in range(n):
+                builder.insert_tag(
+                    mem(INPUT_BUF + pid_index * n + offset), tag, context="proc.map"
+                )
+        for round_index in range(self.rounds):
+            for pid_index in range(self.processes):
+                src = INPUT_BUF + pid_index * n
+                # per-round output slots: long-lived results accumulate, so
+                # hot process tags build up the copy counts the decision
+                # boundary discriminates on
+                slot = WORK_BUF + ((round_index * self.processes + pid_index) % 16) * n
+                builder.run_program(checksum_program(src, n))
+                builder.run_program(
+                    lookup_table_translate(src, TABLE_ADDR, slot, n)
+                )
+                builder.run_program(
+                    rc4_like_decode(slot, slot + 0x2000, n, TABLE_ADDR)
+                )
+        return builder.build()

@@ -1,0 +1,103 @@
+"""The file-system benchmark (Section V-B: "... and file-system benchmarks").
+
+Read/transform/write churn across several files: each round streams a file
+into memory (file tags), branches on its content (control dependencies --
+a grep-like scan), transforms it, and writes it back out through another
+file device.  File tags dominate, with control dependencies providing the
+indirect-flow pressure.
+"""
+
+from __future__ import annotations
+
+from repro.isa.devices import FileDevice, NetworkDevice
+from repro.isa.programs import (
+    memcpy_program,
+    network_download,
+    tainted_branch_copy,
+)
+from repro.replay.record import Recording
+from repro.workloads.base import RecordingBuilder, Workload
+from repro.workloads.calibration import MACHINE_MEMORY
+
+READ_BUF = 0x2000
+FLAG_BUF = 0x4000
+WRITE_BUF = 0x6000
+
+
+class FileSystemBenchmark(Workload):
+    """File read/scan/write churn with control-dependency pressure."""
+
+    name = "filesystem-benchmark"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        files: int = 5,
+        bytes_per_file: int = 160,
+        rounds: int = 4,
+    ):
+        super().__init__(seed)
+        self.files = files
+        self.bytes_per_file = bytes_per_file
+        self.rounds = rounds
+
+    def record(self) -> Recording:
+        builder = RecordingBuilder(
+            meta=self._meta(files=self.files, rounds=self.rounds),
+            memory_size=MACHINE_MEMORY,
+            share_memory=True,
+        )
+        n = self.bytes_per_file
+        for round_index in range(self.rounds):
+            for file_index in range(self.files):
+                device = FileDevice(
+                    file_index + 1, self._payload(n), builder.allocator
+                )
+                # stream the file into memory (file-tag insertion); the
+                # allocator dedups by file id, so re-reads of the same
+                # file accumulate copies of one long-lived tag
+                builder.run_program(
+                    network_download(READ_BUF, n, port=1), devices={1: device}
+                )
+                # per-(round, file) staging slots: results accumulate
+                slot = ((round_index * self.files + file_index) % 12) * n
+                # grep-like scan: branch per byte (control dependencies)
+                builder.run_program(
+                    tainted_branch_copy(READ_BUF, FLAG_BUF + slot, n)
+                )
+                # copy into the write-back staging area
+                builder.run_program(
+                    memcpy_program(READ_BUF, WRITE_BUF + slot, n)
+                )
+                # write out through a destination file device
+                sink = FileDevice(
+                    100 + round_index * self.files + file_index,
+                    b"",
+                    builder.allocator,
+                )
+                builder.run_program(
+                    _file_writeback(WRITE_BUF + slot, n, port=2),
+                    devices={2: sink},
+                )
+        return builder.build()
+
+
+def _file_writeback(src_addr: int, length: int, port: int):
+    """Stream ``length`` bytes from memory out through a file device."""
+    from repro.isa.assembler import assemble
+
+    return assemble(
+        f"""
+        ; write-back loop: memory -> file device
+        movi r0, {src_addr}
+        movi r2, {length}
+        movi r8, 1
+loop:   beq  r2, r7, done
+        lb   r4, r0, 0
+        out  r4, {port}
+        addi r0, r0, 1
+        sub  r2, r2, r8
+        jmp  loop
+done:   halt
+        """
+    )

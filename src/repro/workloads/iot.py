@@ -1,0 +1,90 @@
+"""IoT fleet workload: many tiny tainted flows (the DDIFT scenario).
+
+The paper's introduction points at DIFT for "various IoT platforms", and
+the authors' DDIFT workshop paper (cited as [39]) considers decentralized
+tag propagation for IoT privacy.  The traffic shape is the opposite of
+the PassMark download: *many* short-lived netflow tags (one per sensor
+report) funneling through a gateway that aggregates readings -- lots of
+tag births, small copy counts, heavy tag-confluence on the aggregation
+buffers.  This is the regime where tag-balancing matters most (no single
+tag ever dominates) and where the distributed cluster sharding is
+natural (one node per gateway).
+"""
+
+from __future__ import annotations
+
+from repro.isa.devices import NetworkDevice
+from repro.isa.programs import checksum_program, memcpy_program, network_download
+from repro.replay.record import Recording
+from repro.workloads.base import RecordingBuilder, Workload
+from repro.workloads.calibration import MACHINE_MEMORY
+
+REPORT_BUF = 0x1000
+AGGREGATE_BUF = 0x3000
+ARCHIVE_BUF = 0x5000
+
+
+class IotFleet(Workload):
+    """Sensor fleet reporting through aggregating gateways."""
+
+    name = "iot-fleet"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        sensors: int = 24,
+        reports_per_sensor: int = 2,
+        bytes_per_report: int = 16,
+        gateways: int = 3,
+    ):
+        super().__init__(seed)
+        if sensors < 1 or gateways < 1:
+            raise ValueError("sensors and gateways must be >= 1")
+        if bytes_per_report < 1:
+            raise ValueError("bytes_per_report must be >= 1")
+        self.sensors = sensors
+        self.reports_per_sensor = reports_per_sensor
+        self.bytes_per_report = bytes_per_report
+        self.gateways = gateways
+
+    def record(self) -> Recording:
+        builder = RecordingBuilder(
+            meta=self._meta(
+                sensors=self.sensors,
+                reports_per_sensor=self.reports_per_sensor,
+                gateways=self.gateways,
+            ),
+            memory_size=MACHINE_MEMORY,
+            share_memory=True,
+        )
+        n = self.bytes_per_report
+        for report_round in range(self.reports_per_sensor):
+            for sensor in range(self.sensors):
+                gateway = sensor % self.gateways
+                # each sensor connection gets its own netflow tag
+                device = NetworkDevice(
+                    self._payload(n),
+                    builder.allocator,
+                    origin=(f"sensor-{sensor}", 5683),
+                )
+                builder.run_program(
+                    network_download(REPORT_BUF, n), devices={0: device}
+                )
+                # the gateway appends the report to its aggregation buffer;
+                # aggregation slots rotate, so reports from many sensors
+                # meet on the same bytes over time (tag confluence)
+                slot = AGGREGATE_BUF + gateway * 0x400 + (
+                    (report_round * 7 + sensor) % 8
+                ) * n
+                builder.run_program(memcpy_program(REPORT_BUF, slot, n))
+                builder.run_program(checksum_program(slot, n))
+            # end of round: each gateway archives its newest aggregate page
+            for gateway in range(self.gateways):
+                builder.run_program(
+                    memcpy_program(
+                        AGGREGATE_BUF + gateway * 0x400,
+                        ARCHIVE_BUF + gateway * 0x400,
+                        8 * n,
+                    )
+                )
+        return builder.build()

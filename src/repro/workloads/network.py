@@ -1,0 +1,133 @@
+"""The network benchmark (Section V-B's one-minute PassMark download).
+
+"The guest acts as a client and downloaded several megabytes of data from
+a remote server."  Scaled to the simulator: several connections each
+download a payload, decode it through a lookup table (charset/format
+conversion -- Fig. 1's address-dependency shape), checksum it
+(computation deps), and copy it into a shared cache region (copy deps).
+A sprinkle of configuration-file reads adds *file* tags so tag types
+compete, and repeated cache copies give long-lived tags large copy counts
+-- the raw material of the fairness and tag-importance sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.isa.devices import FileDevice, NetworkDevice
+from repro.isa.programs import (
+    checksum_program,
+    lookup_table_translate,
+    memcpy_program,
+    network_download,
+)
+from repro.replay.record import Recording
+from repro.workloads.base import RecordingBuilder, Workload
+from repro.workloads.calibration import MACHINE_MEMORY
+
+#: memory map of the benchmark address space
+TABLE_ADDR = 0x0100
+DOWNLOAD_BUF = 0x1000
+DECODED_BUF = 0x3000
+CACHE_REGION = 0x5000
+FILE_BUF = 0x8000
+
+
+class NetworkBenchmark(Workload):
+    """PassMark-like network client workload."""
+
+    name = "network-benchmark"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        connections: int = 6,
+        bytes_per_connection: int = 256,
+        rounds: int = 3,
+        config_files: int = 2,
+        bytes_per_file: int = 96,
+        heavy_hitter: bool = True,
+    ):
+        super().__init__(seed)
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        if bytes_per_connection < 1 or bytes_per_connection > 0x1000:
+            raise ValueError("bytes_per_connection must be in [1, 4096]")
+        self.connections = connections
+        self.bytes_per_connection = bytes_per_connection
+        self.rounds = rounds
+        self.config_files = config_files
+        self.bytes_per_file = bytes_per_file
+        #: a persistent CDN-like connection whose single tag accumulates
+        #: thousands of copies across rounds -- the "over-propagated tag"
+        #: population that the tau/alpha sweeps discriminate against
+        self.heavy_hitter = heavy_hitter
+
+    def record(self) -> Recording:
+        builder = RecordingBuilder(
+            meta=self._meta(
+                connections=self.connections,
+                bytes_per_connection=self.bytes_per_connection,
+                rounds=self.rounds,
+            ),
+            memory_size=MACHINE_MEMORY,
+            share_memory=True,
+        )
+        table = bytes((i * 31 + 7) % 256 for i in range(256))
+        assert builder.memory is not None
+        builder.memory.write_bytes(TABLE_ADDR, table)
+
+        for round_index in range(self.rounds):
+            if self.heavy_hitter:
+                self._heavy_hitter_round(builder, round_index)
+            for conn in range(self.connections):
+                self._one_connection(builder, round_index, conn)
+            for file_index in range(self.config_files):
+                self._one_config_file(builder, file_index)
+        return builder.build()
+
+    def _heavy_hitter_round(
+        self, builder: RecordingBuilder, round_index: int
+    ) -> None:
+        """One round of the persistent connection: same tag every round
+        (the allocator dedups by origin), fanned out by table decode to
+        several cache slots.  The decode moves information only through
+        address dependencies, so the tag's multi-thousand-copy fan-out is
+        entirely under the IFP policy's control -- the over-propagated
+        population the tau/alpha sweeps discriminate against."""
+        n = self.bytes_per_connection
+        device = NetworkDevice(
+            self._payload(n), builder.allocator, origin=("203.0.113.10", 443)
+        )
+        builder.run_program(network_download(DOWNLOAD_BUF, n), devices={0: device})
+        for slot in range(4):
+            destination = CACHE_REGION + 0x1800 + (round_index * 4 + slot) % 8 * n
+            builder.run_program(
+                lookup_table_translate(DOWNLOAD_BUF, TABLE_ADDR, destination, n)
+            )
+
+    def _one_connection(
+        self, builder: RecordingBuilder, round_index: int, conn: int
+    ) -> None:
+        n = self.bytes_per_connection
+        origin = (f"10.0.{round_index}.{conn + 1}", 443)
+        device = NetworkDevice(self._payload(n), builder.allocator, origin=origin)
+        builder.run_program(network_download(DOWNLOAD_BUF, n), devices={0: device})
+        builder.run_program(
+            lookup_table_translate(DOWNLOAD_BUF, TABLE_ADDR, DECODED_BUF, n)
+        )
+        builder.run_program(checksum_program(DECODED_BUF, n))
+        # the decoded content lands in the cache at a connection-specific
+        # offset; later rounds overwrite earlier cache entries
+        cache_offset = CACHE_REGION + (conn % 4) * n
+        builder.run_program(memcpy_program(DECODED_BUF, cache_offset, n))
+
+    def _one_config_file(self, builder: RecordingBuilder, file_index: int) -> None:
+        n = self.bytes_per_file
+        device = FileDevice(
+            file_index + 10, self._payload(n), builder.allocator
+        )
+        builder.run_program(
+            network_download(FILE_BUF, n, port=1), devices={1: device}
+        )
+        builder.run_program(
+            memcpy_program(FILE_BUF, CACHE_REGION + 0x1000 + file_index * n, n)
+        )

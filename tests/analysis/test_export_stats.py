@@ -1,0 +1,155 @@
+"""Tests for repro.analysis.export and repro.analysis.stats."""
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.export import rows_to_csv, series_to_csv, to_json
+from repro.analysis.stats import (
+    Summary,
+    repeat_over_seeds,
+    summarize,
+    summarize_metrics,
+)
+
+
+@dataclass
+class Inner:
+    name: str
+    value: float
+
+
+@dataclass
+class Outer:
+    items: List[Inner] = field(default_factory=list)
+    table: Dict[str, int] = field(default_factory=dict)
+    odd: float = float("nan")
+
+
+class TestJsonExport:
+    def test_dataclass_tree(self, tmp_path):
+        result = Outer(items=[Inner("a", 1.5)], table={"x": 2})
+        path = to_json(result, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload["items"][0] == {"name": "a", "value": 1.5}
+        assert payload["table"] == {"x": 2}
+        assert payload["odd"] is None  # NaN has no JSON spelling
+
+    def test_infinity_stringified(self, tmp_path):
+        path = to_json({"v": float("inf")}, tmp_path / "inf.json")
+        assert json.loads(path.read_text())["v"] == "inf"
+
+    def test_tuples_and_sets(self, tmp_path):
+        path = to_json({"t": (1, 2), "s": {3}}, tmp_path / "seq.json")
+        payload = json.loads(path.read_text())
+        assert payload["t"] == [1, 2]
+        assert payload["s"] == [3]
+
+    def test_bytes_hex(self, tmp_path):
+        path = to_json({"b": b"\x01\xff"}, tmp_path / "b.json")
+        assert json.loads(path.read_text())["b"] == "01ff"
+
+    def test_parent_dirs_created(self, tmp_path):
+        path = to_json({"x": 1}, tmp_path / "deep" / "dir" / "x.json")
+        assert path.exists()
+
+
+class TestCsvExport:
+    def test_rows(self, tmp_path):
+        path = rows_to_csv(["a", "b"], [[1, 2], [3, 4]], tmp_path / "t.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_series(self, tmp_path):
+        path = series_to_csv(
+            [0, 1], [5.0, 6.0], tmp_path / "s.csv", x_label="tau", y_label="rate"
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["tau", "rate"]
+        assert len(rows) == 3
+
+    def test_series_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            series_to_csv([1], [1, 2], tmp_path / "bad.csv")
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.mean == 4.0
+        assert summary.std == pytest.approx(2.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+        assert summary.n == 3
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.ci95_half_width == 0.0
+
+    def test_ci_shrinks_with_n(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0])
+        assert narrow.ci95_half_width < wide.ci95_half_width
+
+    def test_ci_brackets_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        low, high = summary.ci95
+        assert low <= summary.mean <= high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRepeatOverSeeds:
+    def test_per_metric_summaries(self):
+        def run(seed: int):
+            return {"detected": float(seed), "ops": 10.0 * seed}
+
+        summaries = repeat_over_seeds(run, [1, 2, 3])
+        assert summaries["detected"].mean == 2.0
+        assert summaries["ops"].mean == 20.0
+
+    def test_missing_metrics_tolerated(self):
+        samples = [{"a": 1.0, "b": 2.0}, {"a": 3.0}]
+        summaries = summarize_metrics(samples)
+        assert summaries["a"].n == 2
+        assert summaries["b"].n == 1
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            repeat_over_seeds(lambda seed: {}, [])
+
+    def test_real_experiment_stability(self):
+        """Quick attack detection is seed-stable in direction."""
+        from repro.faros import FarosSystem, mitos_config, stock_faros_config
+        from repro.workloads.attack import InMemoryAttack
+        from repro.workloads.calibration import benchmark_params
+
+        params = benchmark_params(
+            crossover_copies=400.0, pollution_fraction=0.003
+        )
+
+        def run(seed: int):
+            recording = InMemoryAttack(
+                variant="reverse_https", seed=seed, payload_bytes=96,
+                imports=12, noise_bytes=192, noise_rounds=4,
+            ).record()
+            faros = FarosSystem(stock_faros_config(params))
+            mitos = FarosSystem(mitos_config(params, all_flows=True))
+            return {
+                "faros_detected": faros.replay(recording).metrics.detected_bytes,
+                "mitos_detected": mitos.replay(recording).metrics.detected_bytes,
+            }
+
+        summaries = repeat_over_seeds(run, [0, 1, 2])
+        assert summaries["mitos_detected"].minimum > summaries[
+            "faros_detected"
+        ].maximum

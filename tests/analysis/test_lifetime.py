@@ -1,0 +1,121 @@
+"""Tests for TaintBochs-style tag-lifetime analysis."""
+
+import pytest
+
+from repro.analysis.lifetime import LifetimeMonitor
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy, PropagateNonePolicy
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+
+NET = Tag("netflow", 1)
+FILE = Tag("file", 1)
+
+
+def make_tracker(m_prov: int = 2) -> DIFTTracker:
+    params = MitosParams(R=1 << 16, M_prov=m_prov, tau_scale=1.0)
+    return DIFTTracker(params, PropagateAllPolicy())
+
+
+class TestBirthDeathHooks:
+    def test_birth_on_first_copy_only(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=5))
+        tracker.process(flows.insert(mem(1), NET, tick=6))
+        assert monitor.births() == 1
+
+    def test_death_on_last_copy(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        tracker.process(flows.insert(mem(1), NET, tick=1))
+        tracker.process(flows.clear(mem(0), tick=2))
+        assert monitor.deaths() == 0  # one copy still alive
+        tracker.process(flows.clear(mem(1), tick=3))
+        assert monitor.deaths() == 1
+
+    def test_rebirth_opens_new_span(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        tracker.process(flows.clear(mem(0), tick=1))
+        tracker.process(flows.insert(mem(0), NET, tick=10))
+        assert monitor.births() == 2
+        assert monitor.deaths() == 1
+        assert NET.key in monitor.alive_tags()
+
+    def test_eviction_counts_as_death(self):
+        tracker = make_tracker(m_prov=1)
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        tracker.process(flows.insert(mem(0), FILE, tick=1))  # evicts NET
+        assert monitor.deaths() == 1
+        assert NET.key not in monitor.alive_tags()
+
+
+class TestLifetimes:
+    def test_lifetime_lengths(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        tracker.process(flows.clear(mem(0), tick=9))
+        lifetimes = monitor.lifetimes()
+        assert lifetimes[NET.key] == 9
+
+    def test_open_span_measured_to_now(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        # timestamps use the tracker's elapsed-ticks clock (event tick + 1)
+        assert monitor.lifetimes(now_tick=50)[NET.key] == 49
+
+    def test_summary_and_by_type(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        tracker.process(flows.insert(mem(1), FILE, tick=0))
+        summary = monitor.summary(now_tick=10)
+        assert summary.n == 2
+        by_type = monitor.by_type(now_tick=10)
+        assert set(by_type) == {"netflow", "file"}
+
+    def test_empty_summary(self):
+        monitor = LifetimeMonitor(make_tracker())
+        assert monitor.summary().n == 0
+
+    def test_render(self):
+        tracker = make_tracker()
+        monitor = LifetimeMonitor(tracker)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        text = monitor.render(now_tick=5)
+        assert "tag lifetimes" in text
+        assert "netflow" in text
+        assert "still alive 1" in text
+
+
+class TestPolicyEffectOnLifetimes:
+    def test_blocking_policies_shorten_history_reach(self):
+        """Without IFP the netflow tag gains no copies beyond the source;
+        with IFP its copy population (and survival odds under churn) grow."""
+        params = MitosParams(R=1 << 16, M_prov=1, tau_scale=1.0)
+        events = [flows.insert(mem(0), NET, tick=0)]
+        events.append(flows.address_dep(mem(0), mem(1), tick=1))
+        events.append(flows.address_dep(mem(0), mem(2), tick=2))
+        # churn: overwrite the original source byte
+        events.append(flows.insert(mem(0), FILE, tick=3))
+
+        with_ifp = DIFTTracker(params, PropagateAllPolicy())
+        monitor_with = LifetimeMonitor(with_ifp)
+        with_ifp.process_many(events)
+
+        without = DIFTTracker(params, PropagateNonePolicy())
+        monitor_without = LifetimeMonitor(without)
+        without.process_many(events)
+
+        # DFP-only: the single netflow copy was evicted -> tag is dead
+        assert NET.key not in monitor_without.alive_tags()
+        # with IFP the propagated copies outlive the source byte
+        assert NET.key in monitor_with.alive_tags()

@@ -1,0 +1,205 @@
+"""Tests for repro.analysis.lineage."""
+
+import pytest
+
+from repro.analysis.lineage import LineageGraph, undertainting_of
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.replay.record import Recording
+
+NET = Tag("netflow", 1)
+FILE = Tag("file", 1)
+
+
+def rec(*events) -> Recording:
+    return Recording(events=list(events))
+
+
+class TestDirectLineage:
+    def test_copy_chain(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.copy(mem(0), reg("r1"), tick=1),
+            flows.copy(reg("r1"), mem(5), tick=2),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        hits = lineage.sources_of(mem(5))
+        assert [hit.tag for hit in hits] == [NET]
+        assert hits[0].hops == 2
+
+    def test_copy_severs_old_history(self):
+        recording = rec(
+            flows.insert(mem(5), FILE, tick=0),
+            flows.insert(mem(0), NET, tick=1),
+            flows.copy(mem(0), mem(5), tick=2),  # replaces FILE history
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.taint_ground_truth(mem(5)) == {NET}
+
+    def test_compute_unions_operands_and_history(self):
+        recording = rec(
+            flows.insert(reg("r1"), NET, tick=0),
+            flows.insert(reg("r2"), FILE, tick=1),
+            flows.compute((reg("r1"), reg("r2")), reg("r3"), tick=2),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.taint_ground_truth(reg("r3")) == {NET, FILE}
+
+    def test_clear_severs_history(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.clear(mem(0), tick=1),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.taint_ground_truth(mem(0)) == set()
+
+    def test_insert_keeps_prior_history(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.insert(mem(0), FILE, tick=1),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.taint_ground_truth(mem(0)) == {NET, FILE}
+
+
+class TestIndirectLineage:
+    def address_dep_recording(self) -> Recording:
+        return rec(
+            flows.insert(reg("r1"), NET, tick=0),
+            flows.insert(mem(8), FILE, tick=1),
+            flows.address_dep(reg("r1"), mem(8), tick=2),
+        )
+
+    def test_indirect_included_by_default(self):
+        lineage = LineageGraph.from_recording(self.address_dep_recording())
+        assert lineage.taint_ground_truth(mem(8)) == {NET, FILE}
+
+    def test_indirect_excluded_shows_dfp_only_view(self):
+        lineage = LineageGraph.from_recording(
+            self.address_dep_recording(), include_indirect=False
+        )
+        assert lineage.taint_ground_truth(mem(8)) == {FILE}
+
+    def test_indirect_carries_existing_history(self):
+        recording = rec(
+            flows.insert(mem(8), FILE, tick=0),
+            flows.insert(reg("r1"), NET, tick=1),
+            flows.address_dep(reg("r1"), mem(8), tick=2),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.taint_ground_truth(mem(8)) == {FILE, NET}
+
+
+class TestQueries:
+    def test_explain_returns_path(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.copy(mem(0), reg("r1"), tick=1),
+            flows.copy(reg("r1"), mem(5), tick=2),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        path = lineage.explain(mem(5), NET)
+        assert len(path) == 3
+        assert path[0][0] == mem(0)
+        assert path[-1][0] == mem(5)
+
+    def test_explain_unreachable_is_empty(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.insert(mem(1), FILE, tick=1),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.explain(mem(1), NET) == []
+        assert lineage.explain(mem(99), NET) == []
+
+    def test_influence_of(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.copy(mem(0), reg("r1"), tick=1),
+            flows.copy(reg("r1"), mem(5), tick=2),
+            flows.insert(mem(9), FILE, tick=3),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.influence_of(NET) == {mem(0), reg("r1"), mem(5)}
+        assert lineage.influence_of(FILE) == {mem(9)}
+
+    def test_sources_of_untouched_location(self):
+        lineage = LineageGraph.from_recording(rec())
+        assert lineage.sources_of(mem(0)) == []
+
+    def test_counts(self):
+        recording = rec(
+            flows.insert(mem(0), NET, tick=0),
+            flows.copy(mem(0), mem(1), tick=1),
+        )
+        lineage = LineageGraph.from_recording(recording)
+        assert lineage.node_count == 2
+        assert lineage.edge_count == 1
+        assert lineage.events_applied == 2
+
+
+class TestUndertainting:
+    def test_dfp_only_tracker_misses_indirect_flows(self):
+        from repro.core.params import MitosParams
+        from repro.core.policy import PropagateNonePolicy
+        from repro.dift.tracker import DIFTTracker
+
+        recording = rec(
+            flows.insert(reg("r1"), NET, tick=0),
+            flows.address_dep(reg("r1"), mem(8), tick=1),
+        )
+        tracker = DIFTTracker(
+            MitosParams(R=1 << 16, M_prov=4, tau_scale=1.0),
+            PropagateNonePolicy(),
+        )
+        tracker.process_many(list(recording))
+        missing = undertainting_of(recording, tracker.shadow, [mem(8)])
+        assert missing == {mem(8): {NET}}
+
+    def test_propagate_all_tracker_matches_ground_truth(self):
+        from repro.core.params import MitosParams
+        from repro.core.policy import PropagateAllPolicy
+        from repro.dift.tracker import DIFTTracker
+
+        recording = rec(
+            flows.insert(reg("r1"), NET, tick=0),
+            flows.address_dep(reg("r1"), mem(8), tick=1),
+            flows.copy(mem(8), mem(9), tick=2),
+        )
+        tracker = DIFTTracker(
+            MitosParams(R=1 << 16, M_prov=4, tau_scale=1.0),
+            PropagateAllPolicy(),
+        )
+        tracker.process_many(list(recording))
+        missing = undertainting_of(
+            recording, tracker.shadow, [mem(8), mem(9)]
+        )
+        assert missing == {}
+
+    def test_full_program_ground_truth(self):
+        """Lineage agrees with propagate-all on the Fig. 1 kernel."""
+        from repro.core.params import MitosParams
+        from repro.core.policy import PropagateAllPolicy
+        from repro.dift.tracker import DIFTTracker
+        from repro.isa.machine import Machine
+        from repro.isa.programs import lookup_table_translate
+        from repro.replay.record import record_machine
+
+        recording = Recording()
+        recording.append(flows.insert(mem(0x100), NET, tick=0))
+        machine = Machine(
+            lookup_table_translate(0x100, 0x200, 0x400, 1), start_tick=1
+        )
+        program_events = record_machine(machine)
+        recording.extend(program_events.events)
+
+        tracker = DIFTTracker(
+            MitosParams(R=1 << 16, M_prov=10, tau_scale=1.0),
+            PropagateAllPolicy(),
+        )
+        tracker.process_many(list(recording))
+        lineage = LineageGraph.from_recording(recording)
+        truth = lineage.taint_ground_truth(mem(0x400))
+        held = set(tracker.shadow.tags_at(mem(0x400)))
+        assert truth == held == {NET}

@@ -1,0 +1,93 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.plot import ascii_plot, decision_stripe, multi_series_plot
+
+
+class TestAsciiPlot:
+    def test_contains_marker_and_labels(self):
+        text = ascii_plot([0, 1, 2], [0.0, 5.0, 10.0], title="T")
+        assert text.startswith("T")
+        assert "*" in text
+        assert "10" in text  # y max label
+        assert "0 .. 2" in text  # x range footer
+
+    def test_extremes_placed_at_edges(self):
+        text = ascii_plot([0, 1], [0.0, 1.0], width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "*" in rows[0]  # max in the top row
+        assert "*" in rows[-1]  # min in the bottom row
+
+    def test_constant_series(self):
+        text = ascii_plot([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "*" in text
+
+    def test_non_finite_points_dropped(self):
+        text = ascii_plot([0, 1, 2], [1.0, math.inf, float("nan")])
+        assert "*" in text
+
+    def test_all_non_finite(self):
+        assert "(no finite points)" in ascii_plot([0], [math.nan])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], [1, 2])
+
+    def test_too_small_grid(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], [1], width=5)
+
+    def test_axis_labels(self):
+        text = ascii_plot([0, 1], [0, 1], y_label="cost", x_label="n")
+        assert "[y: cost]" in text
+        assert "(n)" in text
+
+
+class TestMultiSeries:
+    def test_distinct_markers_and_legend(self):
+        text = multi_series_plot(
+            [
+                ("alpha=1", [0, 1, 2], [3, 2, 1]),
+                ("alpha=2", [0, 1, 2], [5, 3, 0]),
+            ]
+        )
+        assert "* = alpha=1" in text
+        assert "o = alpha=2" in text
+        assert "o" in text and "*" in text
+
+    def test_empty(self):
+        assert "(no finite points)" in multi_series_plot([("s", [], [])])
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multi_series_plot([("s", [1], [1, 2])])
+
+
+class TestDecisionStripe:
+    def test_pure_regions(self):
+        ticks = list(range(100))
+        decisions = [1] * 50 + [-1] * 50
+        text = decision_stripe(ticks, decisions, width=20)
+        stripe = text.splitlines()[0]
+        assert "^" in stripe[:10]
+        assert "v" in stripe[10:]
+
+    def test_mixed_region(self):
+        ticks = [0, 0, 0, 0]
+        decisions = [1, -1, 1, -1]
+        text = decision_stripe(ticks, decisions, width=10)
+        assert "~" in text
+
+    def test_empty(self):
+        assert "(no decisions)" in decision_stripe([], [])
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            decision_stripe([1], [])
+
+    def test_legend_line(self):
+        text = decision_stripe([0, 1], [1, 1])
+        assert "^=propagated" in text

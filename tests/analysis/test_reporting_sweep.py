@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.reporting and repro.analysis.sweep."""
+
+import pytest
+
+from repro.analysis.reporting import format_mapping, format_series, format_table
+from repro.analysis.sweep import ParameterSweep
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.faros import mitos_config
+from repro.replay.record import Recording
+from repro.workloads.calibration import benchmark_params
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["bb", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "a" in lines[3]
+        assert "2.500" in lines[4]
+
+    def test_float_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["x"], [[1e9], [1e-7]])
+        assert "e+" in text or "E+" in text
+        assert "e-" in text or "E-" in text
+
+    def test_nan_rendered(self):
+        assert "nan" in format_table(["x"], [[float("nan")]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_short_series_full(self):
+        text = format_series("s", [1, 2, 3], [4, 5, 6])
+        assert "(3 points)" in text
+
+    def test_long_series_downsampled(self):
+        xs = list(range(100))
+        text = format_series("s", xs, xs, max_points=10)
+        assert "(100 points)" in text
+        # far fewer rendered rows than input points
+        assert len(text.splitlines()) < 20
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_mapping(self):
+        text = format_mapping("m", {"k": 1.0})
+        assert "k" in text and "m" in text
+
+
+class TestParameterSweep:
+    def recording(self) -> Recording:
+        tag = Tag("netflow", 1)
+        events = [flows.insert(mem(i), tag, tick=i) for i in range(5)]
+        events.append(flows.copy(mem(0), reg("r0"), tick=5))
+        events.append(flows.address_dep(reg("r0"), mem(9), tick=6))
+        return Recording(events=events)
+
+    def test_sweep_tau(self):
+        sweep = ParameterSweep(self.recording(), mitos_config)
+        result = sweep.run("tau", [0.0, 1.0], benchmark_params())
+        assert result.parameter == "tau"
+        assert result.values() == [0.0, 1.0]
+        series = result.series("total_entries")
+        assert len(series) == 2
+        assert all(entries > 0 for _, entries in series)
+
+    def test_grid_runs_each_parameter(self):
+        sweep = ParameterSweep(self.recording(), mitos_config)
+        grid = {"tau": [0.5], "alpha": [1.0, 2.0]}
+        results = sweep.run_grid(grid, benchmark_params())
+        assert set(results) == {"tau", "alpha"}
+        assert len(results["alpha"].points) == 2
+
+    def test_invalid_parameter_raises(self):
+        sweep = ParameterSweep(self.recording(), mitos_config)
+        with pytest.raises(TypeError):
+            sweep.run("bogus_param", [1], benchmark_params())

@@ -1,0 +1,119 @@
+"""Tests for repro.analysis.timeline and repro.analysis.metrics."""
+
+import pytest
+
+from repro.analysis.metrics import collect_run_metrics
+from repro.analysis.timeline import DecisionTimeline
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy, PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag, TagTypes
+from repro.dift.tracker import DIFTTracker
+
+NET = Tag(TagTypes.NETFLOW, 1)
+FILE = Tag(TagTypes.FILE, 1)
+EXPORT = Tag(TagTypes.EXPORT_TABLE, 1)
+
+
+def params(**kw) -> MitosParams:
+    defaults = dict(R=1 << 16, M_prov=4, tau_scale=1.0)
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+class TestDecisionTimeline:
+    def tracked(self, policy):
+        timeline = DecisionTimeline()
+        tracker = DIFTTracker(
+            params(), policy, ifp_observer=timeline.observer
+        )
+        return timeline, tracker
+
+    def test_records_mitos_details(self):
+        p = params()
+        timeline, tracker = self.tracked(MitosPolicy(p))
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.address_dep(reg("r1"), mem(5), tick=1))
+        assert len(timeline) == 1
+        point = timeline.points[0]
+        assert point.tag_type == TagTypes.NETFLOW
+        assert point.under_marginal < 0
+        assert point.marginal == pytest.approx(
+            point.under_marginal + point.over_marginal
+        )
+        assert point.propagated
+        assert point.decision_value == 1
+
+    def test_records_baseline_without_details(self):
+        timeline, tracker = self.tracked(PropagateAllPolicy())
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.address_dep(reg("r1"), mem(5), tick=1))
+        point = timeline.points[0]
+        assert point.under_marginal == 0.0
+        assert point.propagated
+
+    def test_series_shapes(self):
+        p = params()
+        timeline, tracker = self.tracked(MitosPolicy(p))
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.insert(reg("r2"), FILE, tick=1))
+        tracker.process(
+            flows.control_dep((reg("r1"), reg("r2")), mem(3), tick=2)
+        )
+        ticks, decisions = timeline.decision_series()
+        assert len(ticks) == len(decisions) == 2
+        assert set(decisions) <= {1, -1}
+        m_ticks, unders, overs = timeline.marginal_series()
+        assert len(m_ticks) == len(unders) == len(overs) == 2
+
+    def test_rate_by_type(self):
+        p = params()
+        timeline, tracker = self.tracked(MitosPolicy(p))
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.address_dep(reg("r1"), mem(1), tick=1))
+        rates = timeline.rate_by_type()
+        assert rates == {TagTypes.NETFLOW: 1.0}
+
+    def test_counts_and_reset(self):
+        p = params()
+        timeline, tracker = self.tracked(MitosPolicy(p))
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.address_dep(reg("r1"), mem(1), tick=1))
+        assert timeline.propagated_count + timeline.blocked_count == 1
+        timeline.reset()
+        assert len(timeline) == 0
+        assert timeline.propagation_rate == 0.0
+
+
+class TestCollectRunMetrics:
+    def test_metrics_reflect_tracker_state(self):
+        detector = ConfluenceDetector()
+        tracker = DIFTTracker(params(), PropagateAllPolicy(), detector=detector)
+        tracker.process(flows.insert(mem(0), NET, tick=0))
+        tracker.process(flows.insert(mem(0), EXPORT, tick=1))
+        tracker.process(flows.insert(mem(1), NET, tick=2))
+        metrics = collect_run_metrics(tracker, wall_seconds=1.5)
+        assert metrics.wall_seconds == 1.5
+        assert metrics.total_entries == 3
+        assert metrics.tainted_locations == 2
+        assert metrics.live_tags == 2
+        assert metrics.detected_bytes == 1
+        assert metrics.per_type_entries == {
+            TagTypes.NETFLOW: 2, TagTypes.EXPORT_TABLE: 1,
+        }
+        assert metrics.footprint_bytes > 0
+        assert 0 <= metrics.copy_jain <= 1
+
+    def test_detected_bytes_override(self):
+        tracker = DIFTTracker(params(), PropagateAllPolicy())
+        metrics = collect_run_metrics(tracker, detected_bytes=42)
+        assert metrics.detected_bytes == 42
+
+    def test_as_dict_complete(self):
+        tracker = DIFTTracker(params(), PropagateAllPolicy())
+        payload = collect_run_metrics(tracker).as_dict()
+        assert "propagation_ops" in payload
+        assert "copy_mse" in payload
+        assert payload["ifp_propagation_rate"] == 0.0

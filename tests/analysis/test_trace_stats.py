@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.trace_stats."""
+
+import pytest
+
+from repro.analysis.trace_stats import (
+    TraceSummary,
+    format_trace_summary,
+    summarize_recording,
+)
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.replay.record import Recording
+
+
+def build_recording() -> Recording:
+    net = Tag("netflow", 1)
+    file_tag = Tag("file", 1)
+    events = [
+        flows.insert(mem(0), net, tick=0, context="in"),
+        flows.insert(mem(0), net, tick=1, context="in"),  # same tag again
+        flows.insert(mem(1), file_tag, tick=2, context="in"),
+        flows.copy(mem(0), reg("r1"), tick=3, context="lb"),
+        flows.copy(mem(0), reg("r1"), tick=4, context="lb"),
+        flows.address_dep(reg("r1"), mem(2), tick=5, context="sw"),
+        flows.control_dep((reg("r1"),), mem(3), tick=6),
+        flows.clear(reg("r1"), tick=7, context="movi"),
+    ]
+    return Recording(events=events)
+
+
+class TestSummarize:
+    def test_counts(self):
+        summary = summarize_recording(build_recording())
+        assert summary.events == 8
+        assert summary.duration_ticks == 8
+        assert summary.kind_counts["insert"] == 3
+        assert summary.kind_counts["copy"] == 2
+        assert summary.context_counts["lb"] == 2
+
+    def test_distinct_tags_counts_births_once(self):
+        summary = summarize_recording(build_recording())
+        assert summary.distinct_tags == 2
+        assert summary.tag_births_by_type == {"netflow": 1, "file": 1}
+
+    def test_indirect_fraction(self):
+        summary = summarize_recording(build_recording())
+        # flows: 2 copies + 1 address + 1 control = 4; indirect = 2
+        assert summary.indirect_fraction == pytest.approx(0.5)
+
+    def test_indirect_fraction_empty(self):
+        assert TraceSummary().indirect_fraction == 0.0
+
+    def test_hottest_destinations(self):
+        summary = summarize_recording(build_recording(), top_k=2)
+        assert len(summary.hottest_destinations) == 2
+        (top_location, top_count) = summary.hottest_destinations[0]
+        assert top_count == 3  # reg r1: two copies + one clear
+        assert "r1" in top_location
+
+    def test_top_k_zero(self):
+        summary = summarize_recording(build_recording(), top_k=0)
+        assert summary.hottest_destinations == []
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_recording(build_recording(), top_k=-1)
+
+    def test_empty_recording(self):
+        summary = summarize_recording(Recording())
+        assert summary.events == 0
+        assert summary.distinct_destinations == 0
+
+
+class TestFormat:
+    def test_render_contains_sections(self):
+        text = format_trace_summary(summarize_recording(build_recording()))
+        assert "trace summary" in text
+        assert "flow mix" in text
+        assert "taint sources" in text
+        assert "hottest destinations" in text
+
+    def test_render_empty(self):
+        text = format_trace_summary(summarize_recording(Recording()))
+        assert "trace summary" in text
+        assert "taint sources" not in text

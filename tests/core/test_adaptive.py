@@ -1,0 +1,194 @@
+"""Tests for adaptive (confluence-driven) tag-type weights."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMitosPolicy, AdaptiveWeights
+from repro.core.decision import TagCandidate
+from repro.core.params import MitosParams
+
+
+def params(**kw) -> MitosParams:
+    defaults = dict(R=1 << 16, M_prov=10, tau_scale=1.0)
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+class TestAdaptiveWeights:
+    def test_default_multiplier_is_one(self):
+        assert AdaptiveWeights().multiplier("netflow") == 1.0
+
+    def test_boost_compounds(self):
+        weights = AdaptiveWeights()
+        weights.boost("netflow", 2.0)
+        weights.boost("netflow", 3.0)
+        assert weights.multiplier("netflow") == 6.0
+
+    def test_boost_clamped(self):
+        weights = AdaptiveWeights(max_multiplier=10.0)
+        weights.boost("netflow", 1e9)
+        assert weights.multiplier("netflow") == 10.0
+
+    def test_tick_decays_toward_one(self):
+        weights = AdaptiveWeights(decay=0.5)
+        weights.boost("netflow", 9.0)
+        weights.tick()
+        assert weights.multiplier("netflow") == pytest.approx(5.0)
+        weights.tick()
+        assert weights.multiplier("netflow") == pytest.approx(3.0)
+
+    def test_fully_decayed_entries_removed(self):
+        weights = AdaptiveWeights(decay=0.01)
+        weights.boost("netflow", 1.001)
+        for _ in range(10):
+            weights.tick()
+        assert weights.active_types() == {}
+
+    def test_apply_merges_with_static_u(self):
+        weights = AdaptiveWeights()
+        weights.boost("netflow", 4.0)
+        base = params(u={"netflow": 2.0, "file": 3.0})
+        effective = weights.apply(base)
+        assert effective.u_of("netflow") == 8.0
+        assert effective.u_of("file") == 3.0
+
+    def test_apply_without_boosts_returns_same_object(self):
+        base = params()
+        assert AdaptiveWeights().apply(base) is base
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AdaptiveWeights(decay=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveWeights(max_multiplier=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveWeights().boost("t", 0.0)
+
+    def test_reset(self):
+        weights = AdaptiveWeights()
+        weights.boost("netflow", 5.0)
+        weights.reset()
+        assert weights.multiplier("netflow") == 1.0
+
+
+class TestAdaptiveMitosPolicy:
+    def setup_policy(self, pollution: float):
+        p = params()
+        policy = AdaptiveMitosPolicy(p, pollution_source=lambda: pollution)
+        return policy
+
+    def test_boost_flips_a_blocked_decision(self):
+        # choose a pollution making a 100-copy tag marginally blocked
+        p = params()
+        from repro.core.costs import marginal_cost
+
+        pollution = 1.05 * 100 ** -1.5 * p.N_R / (p.effective_tau * p.beta)
+        policy = AdaptiveMitosPolicy(p, pollution_source=lambda: pollution)
+        candidate = TagCandidate(key="x", tag_type="netflow", copies=100)
+        assert marginal_cost(100, pollution, "netflow", p) > 0
+        assert policy.select([candidate], 1) == []
+        policy.weights.boost("netflow", 10.0)
+        assert policy.select([candidate], 1) == [candidate]
+
+    def test_decay_restores_blocking(self):
+        p = params()
+        pollution = 1.05 * 100 ** -1.5 * p.N_R / (p.effective_tau * p.beta)
+        policy = AdaptiveMitosPolicy(
+            p,
+            weights=AdaptiveWeights(decay=0.1),
+            pollution_source=lambda: pollution,
+        )
+        candidate = TagCandidate(key="x", tag_type="netflow", copies=100)
+        policy.weights.boost("netflow", 1.5)
+        assert policy.select([candidate], 1) == [candidate]
+        for _ in range(20):
+            policy.weights.tick()
+        assert policy.select([candidate], 1) == []
+
+    def test_stats_observed(self):
+        policy = self.setup_policy(pollution=0.0)
+        policy.select([TagCandidate(key="x", tag_type="netflow", copies=1)], 1)
+        assert policy.engine.stats.considered == 1
+
+    def test_reset_clears_weights(self):
+        policy = self.setup_policy(pollution=0.0)
+        policy.weights.boost("netflow", 5.0)
+        policy.reset()
+        assert policy.weights.active_types() == {}
+
+    def test_details_returned(self):
+        policy = self.setup_policy(pollution=0.0)
+        selected, details = policy.select_with_details(
+            [TagCandidate(key="x", tag_type="netflow", copies=1)], 1
+        )
+        assert details is not None
+        assert details.propagated == selected
+
+
+class TestConfluenceResponder:
+    def test_alert_boosts_involved_types(self):
+        from repro.core.adaptive import AdaptiveWeights
+        from repro.dift import flows
+        from repro.dift.confluence import ConfluenceResponder
+        from repro.dift.detector import ConfluenceDetector
+        from repro.dift.shadow import mem
+        from repro.dift.tags import Tag, TagTypes
+        from repro.dift.tracker import DIFTTracker
+        from repro.core.policy import PropagateAllPolicy
+
+        tracker = DIFTTracker(
+            params(), PropagateAllPolicy(), detector=ConfluenceDetector()
+        )
+        weights = AdaptiveWeights()
+        responder = ConfluenceResponder(tracker, weights, boost_factor=7.0)
+        tracker.process(flows.insert(mem(0), Tag(TagTypes.NETFLOW, 1), tick=0))
+        assert responder.poll() == 0
+        tracker.process(
+            flows.insert(mem(0), Tag(TagTypes.EXPORT_TABLE, 1), tick=1)
+        )
+        assert responder.poll() == 1
+        assert weights.multiplier(TagTypes.NETFLOW) == 7.0
+        assert weights.multiplier(TagTypes.EXPORT_TABLE) == 7.0
+        # idempotent: no new alerts, no new boosts
+        assert responder.poll() == 0
+        assert responder.boosts_applied == 2
+
+    def test_requires_detector(self):
+        from repro.core.policy import PropagateAllPolicy
+        from repro.dift.confluence import ConfluenceResponder
+        from repro.dift.tracker import DIFTTracker
+
+        tracker = DIFTTracker(params(), PropagateAllPolicy())
+        with pytest.raises(ValueError, match="detector"):
+            ConfluenceResponder(tracker, AdaptiveWeights())
+
+    def test_plugin_polls_during_replay(self):
+        from repro.core.policy import PropagateAllPolicy
+        from repro.dift import flows
+        from repro.dift.confluence import (
+            ConfluenceResponder,
+            ConfluenceResponsePlugin,
+        )
+        from repro.dift.detector import ConfluenceDetector
+        from repro.dift.shadow import mem
+        from repro.dift.tags import Tag, TagTypes
+        from repro.dift.tracker import DIFTTracker
+        from repro.replay.record import Recording
+        from repro.replay.replayer import Replayer, TrackerPlugin
+
+        tracker = DIFTTracker(
+            params(), PropagateAllPolicy(), detector=ConfluenceDetector()
+        )
+        weights = AdaptiveWeights()
+        responder = ConfluenceResponder(tracker, weights)
+        recording = Recording(
+            events=[
+                flows.insert(mem(0), Tag(TagTypes.NETFLOW, 1), tick=0),
+                flows.insert(mem(0), Tag(TagTypes.EXPORT_TABLE, 1), tick=1),
+            ]
+        )
+        replayer = Replayer(
+            [TrackerPlugin(tracker, reset_on_begin=False),
+             ConfluenceResponsePlugin(responder)]
+        )
+        replayer.replay(recording)
+        assert weights.multiplier(TagTypes.NETFLOW) > 1.0

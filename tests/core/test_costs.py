@@ -1,0 +1,167 @@
+"""Tests for repro.core.costs (Eq. 2-5 and Eq. 8)."""
+
+import math
+
+import pytest
+
+from repro.core.costs import (
+    cost_series,
+    finite_difference,
+    gradient,
+    marginal_cost,
+    over_cost,
+    over_cost_from_pollution,
+    over_cost_series,
+    over_marginal,
+    pollution,
+    total_cost,
+    under_cost,
+    under_cost_term,
+    under_marginal,
+)
+from repro.core.params import MitosParams
+
+
+def params(**kwargs) -> MitosParams:
+    defaults = dict(R=1_000, M_prov=10)
+    defaults.update(kwargs)
+    return MitosParams(**defaults)
+
+
+class TestUnderCostTerm:
+    def test_alpha_2_closed_form(self):
+        # n^(1-2)/(2-1) = 1/n
+        assert under_cost_term(4.0, alpha=2.0) == pytest.approx(0.25)
+
+    def test_alpha_half_closed_form(self):
+        # n^0.5 / (-0.5) = -2 sqrt(n)
+        assert under_cost_term(9.0, alpha=0.5) == pytest.approx(-6.0)
+
+    def test_alpha_1_is_log_limit(self):
+        assert under_cost_term(math.e, alpha=1.0) == pytest.approx(-1.0)
+
+    def test_alpha_near_1_approaches_log_up_to_constant(self):
+        # the alpha->1 limit equals -log(n) + 1/(alpha-1); differences of
+        # the term at two points must converge to the log difference
+        for alpha in (1.0001, 0.9999):
+            diff = under_cost_term(8.0, alpha) - under_cost_term(2.0, alpha)
+            assert diff == pytest.approx(-math.log(4.0), rel=1e-3)
+
+    def test_zero_copies_alpha_above_1_is_infinite(self):
+        assert under_cost_term(0.0, alpha=1.5) == math.inf
+
+    def test_zero_copies_alpha_below_1_is_zero(self):
+        assert under_cost_term(0.0, alpha=0.5) == 0.0
+
+    def test_monotonically_decreasing_in_copies(self):
+        for alpha in (0.5, 1.0, 1.5, 2.0, 4.0):
+            values = [under_cost_term(n, alpha) for n in (1, 2, 5, 10, 100)]
+            assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            under_cost_term(1.0, alpha=0.0)
+        with pytest.raises(ValueError):
+            under_cost_term(-1.0, alpha=2.0)
+
+
+class TestVectorCosts:
+    def test_under_cost_sums_weighted_terms(self):
+        p = params(alpha=2.0, u={"netflow": 2.0})
+        n = {("netflow", 1): 4.0, ("file", 1): 2.0}
+        expected = 2.0 * 0.25 + 1.0 * 0.5
+        assert under_cost(n, p) == pytest.approx(expected)
+
+    def test_pollution_weighted(self):
+        p = params(o={"netflow": 3.0})
+        n = {("netflow", 1): 2.0, ("file", 1): 5.0}
+        assert pollution(n, p) == pytest.approx(3.0 * 2.0 + 5.0)
+
+    def test_over_cost_matches_pollution_form(self):
+        p = params(beta=2.0)
+        n = {("netflow", 1): 10.0}
+        assert over_cost(n, p) == pytest.approx(
+            over_cost_from_pollution(10.0, p)
+        )
+        assert over_cost(n, p) == pytest.approx((10.0 / p.N_R) ** 2)
+
+    def test_total_cost_combines_with_effective_tau(self):
+        p = params(tau=2.0, tau_scale=10.0)
+        n = {("netflow", 1): 5.0}
+        assert total_cost(n, p) == pytest.approx(
+            under_cost(n, p) + 20.0 * over_cost(n, p)
+        )
+
+    def test_tau_zero_disables_overtainting(self):
+        p = params(tau=0.0)
+        n = {("netflow", 1): 5.0}
+        assert total_cost(n, p) == pytest.approx(under_cost(n, p))
+
+    def test_negative_pollution_rejected(self):
+        with pytest.raises(ValueError):
+            over_cost_from_pollution(-1.0, params())
+
+
+class TestMarginals:
+    def test_under_marginal_sign_and_magnitude(self):
+        p = params(alpha=2.0, u={"netflow": 3.0})
+        assert under_marginal(2.0, "netflow", p) == pytest.approx(-3.0 / 4.0)
+
+    def test_under_marginal_zero_copies_is_minus_inf(self):
+        assert under_marginal(0.0, "netflow", params()) == -math.inf
+
+    def test_over_marginal_published_form(self):
+        p = params(beta=2.0, tau=1.0, tau_scale=1.0)
+        # tau_eff * beta * (P/N_R)^(beta-1) = 1 * 2 * (100/10000)
+        assert over_marginal(100.0, p) == pytest.approx(0.02)
+
+    def test_over_marginal_exact_includes_o_over_nr(self):
+        p = params(beta=2.0, tau=1.0, tau_scale=1.0, o={"file": 5.0})
+        published = over_marginal(100.0, p, tag_type="file")
+        exact = over_marginal(100.0, p, tag_type="file", exact=True)
+        assert exact == pytest.approx(published * 5.0 / p.N_R)
+
+    def test_marginal_is_sum_of_submarginals(self):
+        p = params()
+        expected = under_marginal(3.0, "netflow", p) + over_marginal(
+            50.0, p, tag_type="netflow"
+        )
+        assert marginal_cost(3.0, 50.0, "netflow", p) == pytest.approx(expected)
+
+
+class TestGradientConsistency:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 1.5, 2.0, 3.0])
+    @pytest.mark.parametrize("beta", [2.0, 3.0])
+    def test_exact_gradient_matches_finite_difference(self, alpha, beta):
+        p = params(alpha=alpha, beta=beta, u={"netflow": 2.0}, o={"file": 1.5})
+        n = {("netflow", 1): 7.0, ("file", 1): 3.0, ("file", 2): 12.0}
+        grad = gradient(n, p, exact=True)
+        for key in n:
+            fd = finite_difference(n, key, p, step=1e-4)
+            assert grad[key] == pytest.approx(fd, rel=1e-4, abs=1e-9)
+
+    def test_published_gradient_differs_from_exact(self):
+        p = params()
+        n = {("netflow", 1): 7.0}
+        published = gradient(n, p, exact=False)[("netflow", 1)]
+        exact = gradient(n, p, exact=True)[("netflow", 1)]
+        assert published != pytest.approx(exact)
+
+
+class TestSeries:
+    def test_cost_series_shapes(self):
+        grid = [1.0, 2.0, 4.0, 8.0]
+        series = cost_series(grid, alpha=1.5)
+        assert len(series) == len(grid)
+        assert series == sorted(series, reverse=True)
+
+    def test_over_cost_series_convex_increasing(self):
+        fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+        series = over_cost_series(fractions, beta=2.0)
+        assert series == sorted(series)
+        # convexity: midpoint below chord
+        assert series[2] <= (series[0] + series[4]) / 2
+
+    def test_over_cost_series_rejects_negative(self):
+        with pytest.raises(ValueError):
+            over_cost_series([-0.1], beta=2.0)

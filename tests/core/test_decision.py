@@ -1,0 +1,171 @@
+"""Tests for repro.core.decision (Algorithms 1 and 2)."""
+
+import math
+
+import pytest
+
+from repro.core.decision import (
+    MitosEngine,
+    TagCandidate,
+    decide_multi,
+    decide_single,
+)
+from repro.core.params import MitosParams
+
+
+def params(**kwargs) -> MitosParams:
+    defaults = dict(R=10_000, M_prov=10, tau_scale=1.0)
+    defaults.update(kwargs)
+    return MitosParams(**defaults)
+
+
+def cand(name: str, copies: int, tag_type: str = "netflow") -> TagCandidate:
+    return TagCandidate(key=name, tag_type=tag_type, copies=copies)
+
+
+class TestAlgorithm1:
+    def test_propagates_when_undertainting_dominates(self):
+        # few copies, negligible pollution -> negative marginal -> propagate
+        decision = decide_single(cand("a", 1), pollution=0.0, params=params())
+        assert decision.propagate
+        assert decision.marginal <= 0
+
+    def test_blocks_when_overtainting_dominates(self):
+        p = params(tau=1.0, tau_scale=1e9)
+        decision = decide_single(cand("a", 1000), pollution=50_000.0, params=p)
+        assert not decision.propagate
+        assert decision.marginal > 0
+
+    def test_tau_zero_always_propagates(self):
+        p = params(tau=0.0)
+        for copies in (1, 10, 10_000):
+            decision = decide_single(cand("a", copies), 10**9, p)
+            assert decision.propagate
+
+    def test_zero_copies_always_propagates(self):
+        # first copy has -inf undertainting marginal
+        p = params(tau=1.0, tau_scale=1e12)
+        decision = decide_single(cand("a", 0), pollution=10**6, params=p)
+        assert decision.propagate
+        assert decision.marginal == -math.inf
+
+    def test_submarginal_breakdown_sums_to_marginal(self):
+        decision = decide_single(cand("a", 5), pollution=100.0, params=params())
+        assert decision.marginal == pytest.approx(
+            decision.under_marginal + decision.over_marginal
+        )
+
+    def test_boundary_zero_marginal_propagates(self):
+        # Lemma 2: propagate iff marginal <= 0 (inclusive)
+        p = params(alpha=1.0, beta=2.0, tau=1.0, tau_scale=1.0)
+        # under = -1/n; over = 2*P/N_R; choose P so they cancel at n=2
+        pollution = p.N_R / 4.0  # over = 2*(P/N_R) = 0.5 = 1/2 = -under(n=2)
+        decision = decide_single(cand("a", 2), pollution, p)
+        assert decision.marginal == pytest.approx(0.0, abs=1e-12)
+        assert decision.propagate
+
+
+class TestAlgorithm2:
+    def test_never_exceeds_free_slots(self):
+        candidates = [cand(str(i), 1) for i in range(10)]
+        outcome = decide_multi(candidates, free_slots=3, pollution=0.0, params=params())
+        assert outcome.propagated_count == 3
+
+    def test_zero_free_slots_propagates_nothing(self):
+        outcome = decide_multi([cand("a", 1)], 0, 0.0, params())
+        assert outcome.propagated_count == 0
+        assert len(outcome.blocked) == 1
+
+    def test_empty_candidates(self):
+        outcome = decide_multi([], 5, 0.0, params())
+        assert outcome.propagated_count == 0
+        assert outcome.decisions == []
+
+    def test_prefers_lowest_marginal_cost(self):
+        # rarer tags have lower (more negative) marginal -> chosen first
+        candidates = [cand("common", 1000), cand("rare", 1), cand("mid", 30)]
+        outcome = decide_multi(candidates, 1, 0.0, params())
+        assert [c.key for c in outcome.propagated] == ["rare"]
+
+    def test_decisions_sorted_by_marginal(self):
+        candidates = [cand("a", 100), cand("b", 1), cand("c", 10)]
+        outcome = decide_multi(candidates, 3, 0.0, params())
+        marginals = [d.marginal for d in outcome.decisions]
+        # ties aside, the visit order is ascending *initial* marginal; with
+        # zero pollution growth dominated by copies this stays sorted
+        assert [d.candidate.key for d in outcome.decisions] == ["b", "c", "a"]
+        assert marginals == sorted(marginals)
+
+    def test_pollution_recalculated_between_propagations(self):
+        # Make the pollution penalty grow so fast that after the first
+        # propagation the second candidate's marginal flips positive.
+        p = params(alpha=2.0, beta=2.0, tau=1.0, tau_scale=1.0, R=10)
+        # N_R = 100. under(n=2) = -1/4. over(P) = 2*P/100 = P/50.
+        # At P=12: over=0.24 < 0.25 -> first propagates; P becomes 13:
+        # over=0.26 > 0.25 -> second (equal copies) blocks.
+        candidates = [cand("x", 2), cand("y", 2)]
+        outcome = decide_multi(candidates, 2, pollution=12.0, params=p)
+        assert outcome.propagated_count == 1
+        blocked = outcome.blocked[0]
+        assert blocked.copies == 2
+
+    def test_stops_at_first_positive_marginal_even_with_slots(self):
+        p = params(tau=1.0, tau_scale=1e9)
+        candidates = [cand("a", 10_000), cand("b", 10_000)]
+        outcome = decide_multi(candidates, 5, pollution=10_000.0, params=p)
+        assert outcome.propagated_count == 0
+
+    def test_negative_free_slots_rejected(self):
+        with pytest.raises(ValueError):
+            decide_multi([cand("a", 1)], -1, 0.0, params())
+
+    def test_pollution_growth_uses_o_weight(self):
+        # o weight of the propagated type controls the pollution bump
+        p = params(
+            alpha=2.0, beta=2.0, tau=1.0, tau_scale=1.0, R=10,
+            o={"heavy": 30.0},
+        )
+        # N_R=100; under(n=2)=-0.25; start P=11 -> over=0.22: heavy tag
+        # propagates; P jumps to 41 -> over=0.82: next blocks decisively.
+        candidates = [cand("h1", 2, "heavy"), cand("h2", 2, "heavy")]
+        outcome = decide_multi(candidates, 2, pollution=11.0, params=p)
+        assert outcome.propagated_count == 1
+
+
+class TestMitosEngine:
+    def test_engine_uses_pollution_source(self):
+        pollution = {"value": 0.0}
+        p = params(tau=1.0, tau_scale=1e9)
+        engine = MitosEngine(p, pollution_source=lambda: pollution["value"])
+        assert engine.decide(cand("a", 1)).propagate
+        pollution["value"] = 10_000.0
+        assert not engine.decide(cand("a", 1000)).propagate
+
+    def test_engine_stats_track_decisions(self):
+        engine = MitosEngine(params())
+        engine.choose([cand("a", 1), cand("b", 1)], free_slots=1)
+        assert engine.stats.considered == 2
+        assert engine.stats.propagated == 1
+        assert engine.stats.blocked == 1
+        assert engine.stats.propagation_rate == pytest.approx(0.5)
+
+    def test_propagation_rate_empty(self):
+        engine = MitosEngine(params())
+        assert engine.stats.propagation_rate == 0.0
+
+    def test_decision_log_capacity(self):
+        engine = MitosEngine(params(), log_decisions=True, log_capacity=3)
+        for i in range(10):
+            engine.decide(cand(str(i), 1))
+        assert len(engine.decision_log) == 3
+
+    def test_log_disabled_by_default(self):
+        engine = MitosEngine(params())
+        engine.decide(cand("a", 1))
+        assert engine.decision_log == []
+
+
+class TestTagCandidate:
+    def test_negative_copies_rejected(self):
+        with pytest.raises(ValueError):
+            TagCandidate(key="a", tag_type="netflow", copies=-1)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.fairness."""
+
+import math
+
+import pytest
+
+from repro.core.fairness import (
+    balancing_improvement,
+    copy_count_mse,
+    jain_index,
+    max_min_ratio,
+    normalized_entropy,
+    shannon_entropy,
+)
+
+
+class TestMse:
+    def test_balanced_is_zero(self):
+        assert copy_count_mse([5, 5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # mean 2, deviations (-1, 1) -> mse 1
+        assert copy_count_mse([1, 3]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert copy_count_mse([]) == 0.0
+
+    def test_scales_quadratically(self):
+        assert copy_count_mse([2, 6]) == pytest.approx(4 * copy_count_mse([1, 3]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            copy_count_mse([1, -2])
+
+
+class TestJain:
+    def test_balanced_is_one(self):
+        assert jain_index([7, 7, 7]) == pytest.approx(1.0)
+
+    def test_one_hot_is_one_over_k(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        values = [1, 5, 9, 2, 7]
+        j = jain_index(values)
+        assert 1 / len(values) <= j <= 1.0
+
+    def test_all_zero(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_empty(self):
+        assert jain_index([]) == 1.0
+
+
+class TestEntropy:
+    def test_uniform_maximizes(self):
+        assert shannon_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_one_hot_is_zero(self):
+        assert shannon_entropy([5, 0, 0]) == 0.0
+
+    def test_fair_coin_beats_biased_coin(self):
+        # the paper's information-theoretic motivation
+        assert shannon_entropy([50, 50]) > shannon_entropy([90, 10])
+
+    def test_normalized_in_unit_interval(self):
+        assert 0 <= normalized_entropy([3, 9, 1]) <= 1
+
+    def test_normalized_uniform_is_one(self):
+        assert normalized_entropy([4, 4, 4]) == pytest.approx(1.0)
+
+    def test_normalized_degenerate(self):
+        assert normalized_entropy([7]) == 1.0
+        assert normalized_entropy([]) == 1.0
+
+
+class TestMaxMin:
+    def test_balanced(self):
+        assert max_min_ratio([3, 3]) == 1.0
+
+    def test_known_value(self):
+        assert max_min_ratio([2, 8]) == 4.0
+
+    def test_zero_min_is_inf(self):
+        assert max_min_ratio([0, 5]) == math.inf
+
+    def test_all_zero(self):
+        assert max_min_ratio([0, 0]) == 1.0
+
+
+class TestBalancingImprovement:
+    def test_improvement_ratio(self):
+        base = [1, 9]  # mse 16
+        better = [3, 7]  # mse 4
+        assert balancing_improvement(base, better) == pytest.approx(4.0)
+
+    def test_perfect_improvement_is_inf(self):
+        assert balancing_improvement([1, 9], [5, 5]) == math.inf
+
+    def test_no_change(self):
+        assert balancing_improvement([5, 5], [6, 6]) == 1.0

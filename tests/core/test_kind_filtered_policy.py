@@ -1,0 +1,124 @@
+"""Tests for KindFilteredPolicy (Minos-style per-dependency-class choices)."""
+
+import pytest
+
+from repro.core.decision import TagCandidate
+from repro.core.params import MitosParams
+from repro.core.policy import (
+    KindFilteredPolicy,
+    MitosPolicy,
+    PropagateAllPolicy,
+)
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag, TagTypes
+from repro.dift.tracker import DIFTTracker
+
+
+def params(**kw) -> MitosParams:
+    defaults = dict(R=1 << 16, M_prov=4, tau_scale=1.0)
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+NET = Tag(TagTypes.NETFLOW, 1)
+
+
+class TestPolicyWrapper:
+    def test_handles_only_allowed_kinds(self):
+        policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds={"address_dep"}
+        )
+        assert policy.handles("address_dep")
+        assert not policy.handles("control_dep")
+
+    def test_name_reflects_composition(self):
+        policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds={"address_dep", "control_dep"}
+        )
+        assert "propagate-all" in policy.name
+        assert "address_dep" in policy.name
+
+    def test_selection_delegates_to_inner(self):
+        inner = PropagateAllPolicy()
+        policy = KindFilteredPolicy(inner)
+        candidates = [TagCandidate(key="a", tag_type="netflow", copies=1)]
+        assert policy.select(candidates, 1) == candidates
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            KindFilteredPolicy(PropagateAllPolicy(), allowed_kinds=set())
+
+    def test_reset_propagates(self):
+        inner = MitosPolicy(params(), pollution_source=lambda: 0.0)
+        policy = KindFilteredPolicy(inner)
+        inner.select([TagCandidate(key="a", tag_type="netflow", copies=1)], 1)
+        policy.reset()
+        assert inner.engine.stats.considered == 0
+
+    def test_default_policies_handle_everything(self):
+        assert PropagateAllPolicy().handles("address_dep")
+        assert PropagateAllPolicy().handles("control_dep")
+
+
+class TestTrackerIntegration:
+    def make_tracker(self, allowed):
+        policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds=allowed
+        )
+        return DIFTTracker(params(), policy)
+
+    def test_address_only_baseline(self):
+        tracker = self.make_tracker({"address_dep"})
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.address_dep(reg("r1"), mem(5), tick=1))
+        tracker.process(flows.control_dep((reg("r1"),), mem(6), tick=2))
+        assert tracker.shadow.is_tainted(mem(5))
+        assert not tracker.shadow.is_tainted(mem(6))
+        assert tracker.stats.ifp_blocked == 1
+        assert tracker.stats.ifp_propagated == 1
+
+    def test_control_only_baseline(self):
+        tracker = self.make_tracker({"control_dep"})
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.address_dep(reg("r1"), mem(5), tick=1))
+        tracker.process(flows.control_dep((reg("r1"),), mem(6), tick=2))
+        assert not tracker.shadow.is_tainted(mem(5))
+        assert tracker.shadow.is_tainted(mem(6))
+
+    def test_observer_sees_hardwired_blocks(self):
+        seen = []
+        policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds={"address_dep"}
+        )
+        tracker = DIFTTracker(
+            params(), policy,
+            ifp_observer=lambda e, c, d, s, p: seen.append((e.kind.value, len(s))),
+        )
+        tracker.process(flows.insert(reg("r1"), NET, tick=0))
+        tracker.process(flows.control_dep((reg("r1"),), mem(6), tick=1))
+        assert seen == [("control_dep", 0)]
+
+    def test_address_only_detects_table_decode_attack(self):
+        """Minos-style address-dep handling suffices for the https shell
+        (its decode is pure address dependencies) -- but full MITOS does
+        the same with far less overtainting risk elsewhere."""
+        from repro.faros import FarosSystem, stock_faros_config
+        from repro.workloads.attack import InMemoryAttack
+        from repro.workloads.calibration import benchmark_params
+
+        recording = InMemoryAttack(
+            variant="reverse_https", seed=0, payload_bytes=96, imports=12,
+            noise_bytes=192, noise_rounds=4,
+        ).record()
+        config = stock_faros_config(
+            benchmark_params(crossover_copies=400.0, pollution_fraction=0.003)
+        )
+        system = FarosSystem(config)
+        # swap in the address-only wrapper
+        system.tracker.policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds={"address_dep"}
+        )
+        system.replay(recording)
+        assert system.detector is not None
+        assert system.detector.detected_bytes > 0

@@ -1,0 +1,83 @@
+"""Tests for repro.core.params."""
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_WEIGHT,
+    PAPER_ALPHA,
+    PAPER_BETA,
+    PAPER_TAU,
+    MitosParams,
+    paper_defaults,
+)
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        params = MitosParams()
+        assert params.alpha == PAPER_ALPHA == 1.5
+        assert params.beta == PAPER_BETA == 2.0
+        assert params.tau == PAPER_TAU == 1.0
+        assert params.M_prov == 10
+
+    def test_n_r_is_r_times_m_prov(self):
+        params = MitosParams(R=4_000, M_prov=10)
+        assert params.N_R == 40_000
+
+    def test_effective_tau_applies_scale(self):
+        params = MitosParams(tau=0.5, tau_scale=100.0)
+        assert params.effective_tau == 50.0
+
+    def test_paper_defaults_factory(self):
+        params = paper_defaults(R=1234, M_prov=7)
+        assert params.R == 1234
+        assert params.M_prov == 7
+        assert params.alpha == 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": -1.0},
+            {"beta": 0.5},
+            {"tau": -0.1},
+            {"tau_scale": 0.0},
+            {"R": 0},
+            {"M_prov": 0},
+            {"u": {"netflow": -1.0}},
+            {"o": {"file": -2.0}},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MitosParams(**kwargs)
+
+
+class TestWeights:
+    def test_missing_type_uses_default_weight(self):
+        params = MitosParams(u={"netflow": 3.0})
+        assert params.u_of("netflow") == 3.0
+        assert params.u_of("file") == DEFAULT_WEIGHT
+        assert params.o_of("anything") == DEFAULT_WEIGHT
+
+    def test_zero_weight_is_allowed(self):
+        params = MitosParams(u={"noise": 0.0})
+        assert params.u_of("noise") == 0.0
+
+
+class TestWithUpdates:
+    def test_with_updates_returns_new_instance(self):
+        base = MitosParams()
+        swept = base.with_updates(tau=0.01)
+        assert swept.tau == 0.01
+        assert base.tau == 1.0
+        assert swept.alpha == base.alpha
+
+    def test_with_updates_validates(self):
+        with pytest.raises(ValueError):
+            MitosParams().with_updates(alpha=-2.0)
+
+    def test_frozen(self):
+        params = MitosParams()
+        with pytest.raises(AttributeError):
+            params.alpha = 3.0  # type: ignore[misc]

@@ -1,0 +1,125 @@
+"""Tests for repro.core.policy."""
+
+import pytest
+
+from repro.core.decision import TagCandidate
+from repro.core.params import MitosParams
+from repro.core.policy import (
+    MitosPolicy,
+    PropagateAllPolicy,
+    PropagateNonePolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+
+
+def cands(*copies: int) -> list:
+    return [
+        TagCandidate(key=f"t{i}", tag_type="netflow", copies=c)
+        for i, c in enumerate(copies)
+    ]
+
+
+class TestPropagateAll:
+    def test_takes_everything_within_space(self):
+        policy = PropagateAllPolicy()
+        candidates = cands(1, 5, 9)
+        assert policy.select(candidates, 10) == candidates
+
+    def test_bounded_by_free_slots(self):
+        policy = PropagateAllPolicy()
+        assert len(policy.select(cands(1, 2, 3, 4), 2)) == 2
+
+
+class TestPropagateNone:
+    def test_always_empty(self):
+        policy = PropagateNonePolicy()
+        assert policy.select(cands(1, 2, 3), 10) == []
+
+    def test_details_are_none(self):
+        selected, details = PropagateNonePolicy().select_with_details(cands(1), 5)
+        assert selected == []
+        assert details is None
+
+
+class TestThreshold:
+    def test_only_below_threshold(self):
+        policy = ThresholdPolicy(max_copies=5)
+        selected = policy.select(cands(1, 5, 10), 10)
+        assert [c.copies for c in selected] == [1]
+
+    def test_rarest_first_when_space_limited(self):
+        policy = ThresholdPolicy(max_copies=100)
+        selected = policy.select(cands(30, 2, 7), 2)
+        assert [c.copies for c in selected] == [2, 7]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(max_copies=-1)
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(0.5, seed=42)
+        b = RandomPolicy(0.5, seed=42)
+        candidates = cands(*range(50))
+        assert a.select(candidates, 50) == b.select(candidates, 50)
+
+    def test_reset_rewinds_rng(self):
+        policy = RandomPolicy(0.5, seed=7)
+        candidates = cands(*range(30))
+        first = policy.select(candidates, 30)
+        policy.reset()
+        assert policy.select(candidates, 30) == first
+
+    def test_probability_extremes(self):
+        candidates = cands(1, 2, 3)
+        assert RandomPolicy(0.0).select(candidates, 3) == []
+        assert RandomPolicy(1.0).select(candidates, 3) == candidates
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(1.5)
+
+
+class TestMitosPolicy:
+    def params(self) -> MitosParams:
+        return MitosParams(R=10_000, M_prov=10, tau_scale=1.0)
+
+    def test_select_returns_propagated_subset(self):
+        policy = MitosPolicy(self.params(), pollution_source=lambda: 0.0)
+        candidates = cands(1, 1, 1)
+        selected = policy.select(candidates, 2)
+        assert len(selected) == 2
+        assert all(c in candidates for c in selected)
+
+    def test_details_expose_marginals(self):
+        policy = MitosPolicy(self.params(), pollution_source=lambda: 0.0)
+        selected, details = policy.select_with_details(cands(1, 100), 2)
+        assert details is not None
+        assert len(details.decisions) == 2
+        assert details.propagated == selected
+
+    def test_reset_clears_stats(self):
+        policy = MitosPolicy(self.params(), pollution_source=lambda: 0.0)
+        policy.select(cands(1), 1)
+        assert policy.engine.stats.considered == 1
+        policy.reset()
+        assert policy.engine.stats.considered == 0
+
+    def test_late_bound_pollution_source(self):
+        p = self.params().with_updates(tau_scale=1e9)
+        policy = MitosPolicy(p)
+        policy.bind_pollution_source(lambda: 1e6)
+        # huge pollution: everything with existing copies blocks
+        assert policy.select(cands(1000), 1) == []
+
+    def test_policy_names_unique(self):
+        names = {
+            MitosPolicy(self.params()).name,
+            PropagateAllPolicy().name,
+            PropagateNonePolicy().name,
+            ThresholdPolicy(1).name,
+            RandomPolicy().name,
+        }
+        assert len(names) == 5

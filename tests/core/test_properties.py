@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the MITOS cost model and algorithms."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import (
+    finite_difference,
+    gradient,
+    marginal_cost,
+    over_cost_from_pollution,
+    total_cost,
+    under_cost_term,
+)
+from repro.core.decision import TagCandidate, decide_multi
+from repro.core.params import MitosParams
+
+alphas = st.sampled_from([0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0])
+betas = st.sampled_from([2.0, 2.5, 3.0, 4.0])
+copies = st.integers(min_value=1, max_value=10_000)
+
+
+def make_params(alpha: float = 1.5, beta: float = 2.0, **kw) -> MitosParams:
+    defaults = dict(alpha=alpha, beta=beta, R=1 << 20, M_prov=10, tau_scale=1.0)
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+class TestUnderCostProperties:
+    @given(alpha=alphas, a=copies, b=copies)
+    def test_monotonically_decreasing(self, alpha, a, b):
+        low, high = sorted((a, b))
+        if low == high:
+            return
+        assert under_cost_term(high, alpha) <= under_cost_term(low, alpha)
+
+    @given(alpha=alphas, n=copies)
+    def test_convexity_on_integer_grid(self, alpha, n):
+        # discrete convexity: f(n+1) - f(n) >= f(n) - f(n-1) would be for
+        # convex f; under_cost_term is convex decreasing, so second
+        # difference must be non-negative
+        f = lambda x: under_cost_term(x, alpha)
+        second_difference = f(n + 2) - 2 * f(n + 1) + f(n)
+        assert second_difference >= -1e-12
+
+
+class TestOverCostProperties:
+    @given(beta=betas, a=st.floats(0, 1e6), b=st.floats(0, 1e6))
+    def test_monotonically_increasing(self, beta, a, b):
+        params = make_params(beta=beta)
+        low, high = sorted((a, b))
+        assert over_cost_from_pollution(low, params) <= over_cost_from_pollution(
+            high, params
+        )
+
+    @given(beta=betas, p=st.floats(0, 1e6))
+    def test_midpoint_convexity(self, beta, p):
+        params = make_params(beta=beta)
+        mid = over_cost_from_pollution(p / 2, params)
+        chord = (
+            over_cost_from_pollution(0.0, params)
+            + over_cost_from_pollution(p, params)
+        ) / 2
+        assert mid <= chord + 1e-12
+
+
+class TestMarginalProperties:
+    @given(
+        alpha=alphas,
+        beta=betas,
+        n1=st.integers(2, 500),
+        n2=st.integers(2, 500),
+        n3=st.integers(2, 500),
+    )
+    @settings(max_examples=50)
+    def test_exact_gradient_matches_finite_difference(self, alpha, beta, n1, n2, n3):
+        params = make_params(alpha=alpha, beta=beta)
+        n = {("netflow", 1): float(n1), ("file", 1): float(n2), ("proc", 1): float(n3)}
+        grad = gradient(n, params, exact=True)
+        for key in n:
+            fd = finite_difference(n, key, params, step=1e-4)
+            assert math.isclose(grad[key], fd, rel_tol=1e-3, abs_tol=1e-8)
+
+    @given(n=copies, p=st.floats(0, 1e7))
+    def test_marginal_increasing_in_pollution(self, n, p):
+        params = make_params()
+        low = marginal_cost(n, p, "netflow", params)
+        high = marginal_cost(n, p + 1000.0, "netflow", params)
+        assert low <= high
+
+    @given(a=copies, b=copies, p=st.floats(0, 1e7))
+    def test_marginal_increasing_in_copies(self, a, b, p):
+        params = make_params()
+        low_copies, high_copies = sorted((a, b))
+        assert marginal_cost(low_copies, p, "t", params) <= marginal_cost(
+            high_copies, p, "t", params
+        )
+
+
+class TestAlgorithm2Properties:
+    @given(
+        copy_counts=st.lists(st.integers(0, 5_000), min_size=0, max_size=20),
+        free_slots=st.integers(0, 15),
+        pollution=st.floats(0, 1e7),
+        alpha=alphas,
+        beta=betas,
+        tau=st.floats(0, 10),
+    )
+    @settings(max_examples=200)
+    def test_invariants(self, copy_counts, free_slots, pollution, alpha, beta, tau):
+        params = make_params(alpha=alpha, beta=beta, tau=tau)
+        candidates = [
+            TagCandidate(key=i, tag_type="netflow", copies=c)
+            for i, c in enumerate(copy_counts)
+        ]
+        outcome = decide_multi(candidates, free_slots, pollution, params)
+        # never exceeds the available space
+        assert outcome.propagated_count <= free_slots
+        # every candidate gets exactly one decision
+        assert len(outcome.decisions) == len(candidates)
+        # propagated + blocked partition the candidates
+        keys = sorted(d.candidate.key for d in outcome.decisions)
+        assert keys == sorted(c.key for c in candidates)
+        # all propagated decisions carried non-positive marginals
+        for decision in outcome.decisions:
+            if decision.propagate:
+                assert decision.marginal <= 0
+
+    @given(
+        copy_counts=st.lists(st.integers(1, 5_000), min_size=2, max_size=10),
+        pollution=st.floats(0, 1e6),
+    )
+    @settings(max_examples=100)
+    def test_propagated_set_is_min_marginal_prefix(self, copy_counts, pollution):
+        """With one slot, the chosen tag has the (joint-)lowest copy count."""
+        params = make_params()
+        candidates = [
+            TagCandidate(key=i, tag_type="netflow", copies=c)
+            for i, c in enumerate(copy_counts)
+        ]
+        outcome = decide_multi(candidates, 1, pollution, params)
+        if outcome.propagated_count == 1:
+            chosen = outcome.propagated[0]
+            assert chosen.copies == min(copy_counts)
+
+
+class TestTotalCostProperties:
+    @given(
+        n1=st.integers(1, 1000),
+        n2=st.integers(1, 1000),
+        tau=st.floats(0.0, 100.0),
+    )
+    def test_cost_finite_and_real(self, n1, n2, tau):
+        params = make_params(tau=tau)
+        n = {("a", 1): float(n1), ("b", 1): float(n2)}
+        cost = total_cost(n, params)
+        assert math.isfinite(cost)

@@ -1,0 +1,149 @@
+"""Tests for repro.core.solver: KKT vs SLSQP vs brute force vs greedy."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import total_cost
+from repro.core.params import MitosParams
+from repro.core.solver import (
+    greedy_dynamics,
+    solve_integer_bruteforce,
+    solve_kkt,
+    solve_scipy,
+)
+
+
+def params(**kwargs) -> MitosParams:
+    defaults = dict(R=1 << 20, M_prov=10)
+    defaults.update(kwargs)
+    return MitosParams(**defaults)
+
+
+KEYS = [("netflow", 1), ("netflow", 2), ("file", 1)]
+
+
+class TestKktSolver:
+    def test_empty_instance(self):
+        result = solve_kkt([], params())
+        assert result.n == {}
+        assert result.cost == 0.0
+
+    def test_symmetric_instance_is_balanced(self):
+        result = solve_kkt(KEYS, params())
+        values = list(result.n.values())
+        assert max(values) - min(values) < 1e-3 * max(values)
+
+    def test_heavier_u_gets_more_copies(self):
+        p = params(u={"netflow": 8.0})
+        result = solve_kkt(KEYS, p)
+        assert result.n[("netflow", 1)] > result.n[("file", 1)]
+
+    def test_heavier_o_gets_fewer_copies(self):
+        p = params(o={"netflow": 8.0})
+        result = solve_kkt(KEYS, p)
+        assert result.n[("netflow", 1)] < result.n[("file", 1)]
+
+    def test_respects_per_tag_cap(self):
+        p = params(R=50, M_prov=100, tau=1e-9)
+        result = solve_kkt(KEYS, p)
+        assert all(v <= 50 + 1e-9 for v in result.n.values())
+
+    def test_respects_total_space(self):
+        p = params(R=1000, M_prov=1, tau=1e-12, tau_scale=1.0)
+        # with negligible overtainting each tag wants R copies; Eq. 6 binds
+        result = solve_kkt(KEYS, p)
+        assert sum(result.n.values()) <= p.N_R * (1 + 1e-6)
+
+    def test_matches_scipy(self):
+        p = params(u={"netflow": 2.0}, o={"file": 1.5})
+        kkt = solve_kkt(KEYS, p)
+        slsqp = solve_scipy(KEYS, p, x0=[kkt.n[k] * 0.5 for k in KEYS])
+        assert slsqp.converged
+        assert kkt.cost == pytest.approx(slsqp.cost, rel=1e-4)
+        for key in KEYS:
+            assert kkt.n[key] == pytest.approx(slsqp.n[key], rel=1e-2)
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 1.5, 3.0])
+    def test_alpha_sweep_agrees_with_scipy_cost(self, alpha):
+        p = params(alpha=alpha)
+        kkt = solve_kkt(KEYS, p)
+        slsqp = solve_scipy(KEYS, p, x0=[max(1.0, kkt.n[k]) for k in KEYS])
+        assert kkt.cost == pytest.approx(slsqp.cost, rel=1e-3)
+
+
+class TestBruteForce:
+    def small_params(self) -> MitosParams:
+        return params(R=30, M_prov=2, tau_scale=1.0, tau=1.0)
+
+    def test_relaxed_optimum_near_integer_optimum(self):
+        p = self.small_params()
+        keys = [("netflow", 1), ("file", 1)]
+        brute = solve_integer_bruteforce(keys, p, max_copies=30)
+        relaxed = solve_kkt(keys, p)
+        # rounding the relaxed solution must be near-optimal
+        rounded = {k: round(v) for k, v in relaxed.n.items()}
+        rounded_cost = total_cost({k: float(v) for k, v in rounded.items()}, p)
+        assert rounded_cost <= brute.cost * 1.05 + 1e-9
+
+    def test_brute_force_respects_space(self):
+        p = params(R=4, M_prov=1, tau_scale=1.0)
+        keys = [("a", 1), ("b", 1)]
+        result = solve_integer_bruteforce(keys, p, max_copies=4)
+        assert sum(result.n.values()) <= p.N_R
+
+    def test_refuses_huge_instances(self):
+        with pytest.raises(ValueError):
+            solve_integer_bruteforce(
+                [("t", i) for i in range(1, 9)], params(), max_copies=30
+            )
+
+    def test_infeasible_instance(self):
+        p = params(R=1, M_prov=1, tau_scale=1.0)  # N_R = 1 < 2 tags
+        with pytest.raises(ValueError):
+            solve_integer_bruteforce([("a", 1), ("b", 1)], p, max_copies=1)
+
+
+class TestGreedyDynamics:
+    def test_converges_to_relaxed_optimum(self):
+        p = params()
+        final, _, converged = greedy_dynamics(KEYS, p, max_steps=50_000)
+        assert converged
+        relaxed = solve_kkt(KEYS, p)
+        for key in KEYS:
+            assert final[key] == pytest.approx(relaxed.n[key], abs=2.0)
+
+    def test_greedy_cost_close_to_optimal(self):
+        p = params(u={"netflow": 3.0})
+        final, _, converged = greedy_dynamics(KEYS, p, max_steps=50_000)
+        assert converged
+        greedy_cost = total_cost({k: float(v) for k, v in final.items()}, p)
+        optimal = solve_kkt(KEYS, p).cost
+        assert greedy_cost <= optimal * 1.01 + 1e-9
+
+    def test_snapshots_recorded(self):
+        _, snapshots, _ = greedy_dynamics(
+            KEYS, params(), max_steps=500, record_every=100
+        )
+        assert len(snapshots) == 5
+
+    def test_max_steps_bound(self):
+        final, _, converged = greedy_dynamics(KEYS, params(), max_steps=10)
+        assert not converged
+        assert sum(final.values()) == len(KEYS) + 10
+
+    def test_published_rule_more_conservative_than_exact(self):
+        # the published Eq. 8 (no /N_R damping) saturates far earlier
+        p = params(tau_scale=1e6)
+        exact_final, _, _ = greedy_dynamics(KEYS, p, max_steps=20_000, exact=True)
+        published_final, _, _ = greedy_dynamics(
+            KEYS, p, max_steps=20_000, exact=False
+        )
+        assert sum(published_final.values()) < sum(exact_final.values())
+
+
+class TestSolverResult:
+    def test_as_array_preserves_order(self):
+        result = solve_kkt(KEYS, params())
+        arr = result.as_array(KEYS)
+        assert isinstance(arr, np.ndarray)
+        assert list(arr) == [result.n[k] for k in KEYS]

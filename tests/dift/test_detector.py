@@ -1,0 +1,86 @@
+"""Tests for repro.dift.detector."""
+
+import pytest
+
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.shadow import ShadowMemory, mem, reg
+from repro.dift.tags import Tag, TagTypes
+
+
+NET = Tag(TagTypes.NETFLOW, 1)
+EXPORT = Tag(TagTypes.EXPORT_TABLE, 1)
+FILE = Tag(TagTypes.FILE, 1)
+
+
+class TestCheck:
+    def test_fires_on_required_confluence(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector()
+        shadow.add_tag(mem(0), NET)
+        assert detector.check(shadow, mem(0)) is None
+        shadow.add_tag(mem(0), EXPORT)
+        alert = detector.check(shadow, mem(0), tick=9)
+        assert alert is not None
+        assert alert.tick == 9
+        assert set(alert.tags) == {NET, EXPORT}
+
+    def test_each_location_alerts_once(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector()
+        shadow.add_tag(mem(0), NET)
+        shadow.add_tag(mem(0), EXPORT)
+        assert detector.check(shadow, mem(0)) is not None
+        assert detector.check(shadow, mem(0)) is None
+        assert len(detector.alerts) == 1
+
+    def test_extra_types_do_not_block(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector()
+        shadow.add_tag(mem(0), FILE)
+        shadow.add_tag(mem(0), NET)
+        shadow.add_tag(mem(0), EXPORT)
+        assert detector.check(shadow, mem(0)) is not None
+
+    def test_custom_required_types(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector(frozenset({TagTypes.FILE}))
+        shadow.add_tag(mem(0), FILE)
+        assert detector.check(shadow, mem(0)) is not None
+
+    def test_empty_required_types_rejected(self):
+        with pytest.raises(ValueError):
+            ConfluenceDetector(frozenset())
+
+
+class TestScanAndMetrics:
+    def test_scan_sweeps_all_locations(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector()
+        for address in range(3):
+            shadow.add_tag(mem(address), NET)
+            shadow.add_tag(mem(address), EXPORT)
+        shadow.add_tag(mem(99), NET)  # netflow only: no alert
+        fired = detector.scan(shadow)
+        assert len(fired) == 3
+        assert detector.detected_bytes == 3
+
+    def test_detected_bytes_counts_memory_only(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector()
+        shadow.add_tag(reg("r1"), NET)
+        shadow.add_tag(reg("r1"), EXPORT)
+        detector.check(shadow, reg("r1"))
+        assert detector.detected_locations == 1
+        assert detector.detected_bytes == 0
+
+    def test_reset(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = ConfluenceDetector()
+        shadow.add_tag(mem(0), NET)
+        shadow.add_tag(mem(0), EXPORT)
+        detector.check(shadow, mem(0))
+        detector.reset()
+        assert detector.alerts == []
+        assert detector.detected_bytes == 0
+        # location can alert again after reset
+        assert detector.check(shadow, mem(0)) is not None

@@ -1,0 +1,147 @@
+"""Tests for the extended detector suite."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.detectors import (
+    AggregationDetector,
+    DetectorSuite,
+    SequenceDetector,
+)
+from repro.dift.shadow import ShadowMemory, mem, reg
+from repro.dift.tags import Tag, TagTypes
+from repro.dift.tracker import DIFTTracker
+
+NET1 = Tag(TagTypes.NETFLOW, 1)
+NET2 = Tag(TagTypes.NETFLOW, 2)
+NET3 = Tag(TagTypes.NETFLOW, 3)
+EXPORT = Tag(TagTypes.EXPORT_TABLE, 1)
+
+
+class TestSequenceDetector:
+    def detector(self):
+        return SequenceDetector([TagTypes.NETFLOW, TagTypes.EXPORT_TABLE])
+
+    def test_fires_in_order(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = self.detector()
+        shadow.add_tag(mem(0), NET1)
+        assert detector.check(shadow, mem(0), tick=1) is None
+        shadow.add_tag(mem(0), EXPORT)
+        alert = detector.check(shadow, mem(0), tick=2)
+        assert alert is not None
+        assert detector.detected_bytes == 1
+
+    def test_blocks_out_of_order(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = self.detector()
+        shadow.add_tag(mem(0), EXPORT)
+        detector.check(shadow, mem(0), tick=1)  # export arrives first
+        shadow.add_tag(mem(0), NET1)
+        assert detector.check(shadow, mem(0), tick=2) is None
+
+    def test_alerts_once_per_location(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = self.detector()
+        shadow.add_tag(mem(0), NET1)
+        detector.check(shadow, mem(0), tick=0)
+        shadow.add_tag(mem(0), EXPORT)
+        assert detector.check(shadow, mem(0), tick=1) is not None
+        assert detector.check(shadow, mem(0), tick=2) is None
+
+    def test_reset(self):
+        shadow = ShadowMemory(m_prov=4)
+        detector = self.detector()
+        shadow.add_tag(mem(0), NET1)
+        detector.check(shadow, mem(0), tick=0)
+        shadow.add_tag(mem(0), EXPORT)
+        detector.check(shadow, mem(0), tick=1)
+        detector.reset()
+        assert detector.alerts == []
+        # after reset, both types are already present: arrival order is
+        # re-learned from the current contents in one call (both "arrive"
+        # together in required order)
+        assert detector.check(shadow, mem(0), tick=2) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceDetector(["netflow"])
+        with pytest.raises(ValueError):
+            SequenceDetector(["a", "a"])
+
+
+class TestAggregationDetector:
+    def test_fires_at_threshold(self):
+        shadow = ShadowMemory(m_prov=8)
+        detector = AggregationDetector(TagTypes.NETFLOW, threshold=3)
+        shadow.add_tag(mem(0), NET1)
+        shadow.add_tag(mem(0), NET2)
+        assert detector.check(shadow, mem(0)) is None
+        shadow.add_tag(mem(0), NET3)
+        assert detector.check(shadow, mem(0)) is not None
+
+    def test_other_types_do_not_count(self):
+        shadow = ShadowMemory(m_prov=8)
+        detector = AggregationDetector(TagTypes.NETFLOW, threshold=2)
+        shadow.add_tag(mem(0), NET1)
+        shadow.add_tag(mem(0), EXPORT)
+        assert detector.check(shadow, mem(0)) is None
+
+    def test_scan(self):
+        shadow = ShadowMemory(m_prov=8)
+        detector = AggregationDetector(TagTypes.NETFLOW, threshold=2)
+        for address in (0, 1):
+            shadow.add_tag(mem(address), NET1)
+            shadow.add_tag(mem(address), NET2)
+        assert len(detector.scan(shadow)) == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AggregationDetector("netflow", threshold=1)
+
+
+class TestDetectorSuite:
+    def suite(self):
+        return DetectorSuite(
+            [
+                ConfluenceDetector(),
+                AggregationDetector(TagTypes.NETFLOW, threshold=2),
+            ]
+        )
+
+    def test_members_all_polled(self):
+        shadow = ShadowMemory(m_prov=8)
+        suite = self.suite()
+        shadow.add_tag(mem(0), NET1)
+        shadow.add_tag(mem(0), NET2)
+        shadow.add_tag(mem(0), EXPORT)
+        suite.check(shadow, mem(0), tick=5)
+        # confluence AND aggregation both fired on the same location
+        assert suite.detected_locations == 2
+        assert len(suite.alerts) == 2
+
+    def test_tracker_integration(self):
+        params = MitosParams(R=1 << 16, M_prov=8, tau_scale=1.0)
+        tracker = DIFTTracker(
+            params, PropagateAllPolicy(), detector=self.suite()
+        )
+        tracker.process(flows.insert(mem(0), NET1, tick=0))
+        tracker.process(flows.insert(mem(0), NET2, tick=1))
+        assert tracker.detector.detected_bytes == 1  # aggregation fired
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorSuite([])
+
+    def test_reset_clears_all(self):
+        shadow = ShadowMemory(m_prov=8)
+        suite = self.suite()
+        shadow.add_tag(mem(0), NET1)
+        shadow.add_tag(mem(0), NET2)
+        suite.check(shadow, mem(0))
+        suite.reset()
+        assert suite.alerts == []
+        assert suite.detected_locations == 0

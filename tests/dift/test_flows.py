@@ -1,0 +1,70 @@
+"""Tests for repro.dift.flows."""
+
+import pytest
+
+from repro.dift import flows
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+
+
+class TestFlowKind:
+    def test_direct_indirect_partition(self):
+        assert FlowKind.COPY.is_direct
+        assert FlowKind.COMPUTE.is_direct
+        assert FlowKind.ADDRESS_DEP.is_indirect
+        assert FlowKind.CONTROL_DEP.is_indirect
+        assert not FlowKind.INSERT.is_direct
+        assert not FlowKind.INSERT.is_indirect
+        assert not FlowKind.CLEAR.is_indirect
+
+
+class TestValidation:
+    def test_insert_requires_tag(self):
+        with pytest.raises(ValueError):
+            FlowEvent(FlowKind.INSERT, mem(0))
+
+    def test_non_insert_rejects_tag(self):
+        with pytest.raises(ValueError):
+            FlowEvent(FlowKind.COPY, mem(0), sources=(mem(1),), tag=Tag("t", 1))
+
+    def test_direct_flows_require_sources(self):
+        with pytest.raises(ValueError):
+            FlowEvent(FlowKind.COPY, mem(0))
+        with pytest.raises(ValueError):
+            FlowEvent(FlowKind.COMPUTE, mem(0))
+
+
+class TestConstructors:
+    def test_insert(self):
+        tag = Tag("netflow", 1)
+        event = flows.insert(mem(5), tag, tick=7, context="net.recv")
+        assert event.kind is FlowKind.INSERT
+        assert event.tag == tag
+        assert event.tick == 7
+        assert event.context == "net.recv"
+
+    def test_copy(self):
+        event = flows.copy(reg("r1"), mem(5), tick=1)
+        assert event.kind is FlowKind.COPY
+        assert event.sources == (reg("r1"),)
+        assert event.destination == mem(5)
+
+    def test_compute(self):
+        event = flows.compute((reg("r1"), reg("r2")), reg("r3"))
+        assert event.kind is FlowKind.COMPUTE
+        assert len(event.sources) == 2
+
+    def test_address_dep(self):
+        event = flows.address_dep(reg("t3"), mem(0x7FFFFFF8), context="sw")
+        assert event.kind is FlowKind.ADDRESS_DEP
+        assert event.sources == (reg("t3"),)
+
+    def test_control_dep(self):
+        event = flows.control_dep((reg("r1"),), mem(0))
+        assert event.kind is FlowKind.CONTROL_DEP
+
+    def test_clear(self):
+        event = flows.clear(mem(0))
+        assert event.kind is FlowKind.CLEAR
+        assert event.sources == ()

@@ -1,0 +1,129 @@
+"""Tests for repro.dift.provenance."""
+
+import pytest
+
+from repro.dift.provenance import ProvenanceList, SchedulingPolicy
+from repro.dift.tags import Tag
+
+
+def tags(n: int, tag_type: str = "netflow") -> list:
+    return [Tag(tag_type, i + 1) for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_list(self):
+        plist = ProvenanceList(3)
+        assert len(plist) == 0
+        assert plist.free_slots == 3
+        assert not plist.full
+        assert plist.tags() == ()
+
+    def test_add_and_membership(self):
+        plist = ProvenanceList(3)
+        tag = Tag("netflow", 1)
+        outcome = plist.add(tag)
+        assert outcome.added and outcome.present and outcome.dropped is None
+        assert tag in plist
+        assert list(plist) == [tag]
+
+    def test_duplicate_add_is_noop(self):
+        plist = ProvenanceList(3)
+        tag = Tag("netflow", 1)
+        plist.add(tag)
+        outcome = plist.add(tag)
+        assert outcome.present and not outcome.added
+        assert len(plist) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ProvenanceList(0)
+
+    def test_remove(self):
+        plist = ProvenanceList(3)
+        tag = Tag("file", 1)
+        plist.add(tag)
+        assert plist.remove(tag)
+        assert not plist.remove(tag)
+        assert len(plist) == 0
+
+    def test_clear_returns_dropped(self):
+        plist = ProvenanceList(5)
+        for tag in tags(3):
+            plist.add(tag)
+        dropped = plist.clear()
+        assert len(dropped) == 3
+        assert len(plist) == 0
+
+
+class TestFifoEviction:
+    def test_drop_head_when_full(self):
+        plist = ProvenanceList(2, SchedulingPolicy.FIFO)
+        t1, t2, t3 = tags(3)
+        plist.add(t1)
+        plist.add(t2)
+        outcome = plist.add(t3)
+        assert outcome.added
+        assert outcome.dropped == t1
+        assert plist.tags() == (t2, t3)
+
+    def test_order_is_insertion_order(self):
+        plist = ProvenanceList(10)
+        expected = tags(5)
+        for tag in expected:
+            plist.add(tag)
+        assert list(plist.tags()) == expected
+
+    def test_fifo_readd_does_not_refresh(self):
+        plist = ProvenanceList(2, SchedulingPolicy.FIFO)
+        t1, t2, t3 = tags(3)
+        plist.add(t1)
+        plist.add(t2)
+        plist.add(t1)  # no-op under FIFO
+        outcome = plist.add(t3)
+        assert outcome.dropped == t1
+
+
+class TestLruEviction:
+    def test_touch_refreshes_recency(self):
+        plist = ProvenanceList(2, SchedulingPolicy.LRU)
+        t1, t2, t3 = tags(3)
+        plist.add(t1)
+        plist.add(t2)
+        plist.touch(t1)  # t2 is now least recently used
+        outcome = plist.add(t3)
+        assert outcome.dropped == t2
+        assert t1 in plist
+
+    def test_readd_refreshes_recency(self):
+        plist = ProvenanceList(2, SchedulingPolicy.LRU)
+        t1, t2, t3 = tags(3)
+        plist.add(t1)
+        plist.add(t2)
+        plist.add(t1)  # refresh under LRU
+        outcome = plist.add(t3)
+        assert outcome.dropped == t2
+
+    def test_touch_noop_under_fifo(self):
+        plist = ProvenanceList(2, SchedulingPolicy.FIFO)
+        t1, t2 = tags(2)
+        plist.add(t1)
+        plist.add(t2)
+        plist.touch(t1)
+        assert plist.tags() == (t1, t2)
+
+
+class TestRejectPolicy:
+    def test_full_list_rejects_newcomer(self):
+        plist = ProvenanceList(1, SchedulingPolicy.REJECT)
+        t1, t2 = tags(2)
+        plist.add(t1)
+        outcome = plist.add(t2)
+        assert not outcome.present and not outcome.added
+        assert plist.tags() == (t1,)
+
+    def test_existing_tag_still_present(self):
+        plist = ProvenanceList(1, SchedulingPolicy.REJECT)
+        t1 = Tag("netflow", 1)
+        plist.add(t1)
+        outcome = plist.add(t1)
+        assert outcome.present and not outcome.added

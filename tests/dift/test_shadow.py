@@ -1,0 +1,172 @@
+"""Tests for repro.dift.shadow."""
+
+import pytest
+
+from repro.dift.provenance import SchedulingPolicy
+from repro.dift.shadow import (
+    ENTRY_SIZE_BYTES,
+    LOCATION_OVERHEAD_BYTES,
+    ShadowMemory,
+    mem,
+    nic,
+    reg,
+)
+from repro.dift.tags import Tag
+
+
+def tags(n: int, tag_type: str = "netflow") -> list:
+    return [Tag(tag_type, i + 1) for i in range(n)]
+
+
+class TestLocations:
+    def test_location_constructors(self):
+        assert mem(0x7FFFFFF8) == ("mem", 0x7FFFFFF8)
+        assert reg("t0") == ("reg", "t0")
+        assert nic(12) == ("nic", 12)
+
+
+class TestQueries:
+    def test_untainted_location(self):
+        shadow = ShadowMemory(m_prov=3)
+        assert shadow.tags_at(mem(0)) == ()
+        assert not shadow.is_tainted(mem(0))
+        assert shadow.free_slots(mem(0)) == 3
+
+    def test_add_and_query(self):
+        shadow = ShadowMemory(m_prov=3)
+        tag = Tag("netflow", 1)
+        shadow.add_tag(mem(0), tag)
+        assert shadow.tags_at(mem(0)) == (tag,)
+        assert shadow.is_tainted(mem(0))
+        assert shadow.free_slots(mem(0)) == 2
+
+    def test_invalid_m_prov(self):
+        with pytest.raises(ValueError):
+            ShadowMemory(m_prov=0)
+
+
+class TestCounterSync:
+    def test_add_increments_counter(self):
+        shadow = ShadowMemory(m_prov=3)
+        tag = Tag("netflow", 1)
+        shadow.add_tag(mem(0), tag)
+        shadow.add_tag(mem(1), tag)
+        assert shadow.counter.copies(tag) == 2
+
+    def test_duplicate_add_does_not_double_count(self):
+        shadow = ShadowMemory(m_prov=3)
+        tag = Tag("netflow", 1)
+        shadow.add_tag(mem(0), tag)
+        shadow.add_tag(mem(0), tag)
+        assert shadow.counter.copies(tag) == 1
+
+    def test_eviction_decrements_counter(self):
+        shadow = ShadowMemory(m_prov=1)
+        t1, t2 = tags(2)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(0), t2)  # evicts t1
+        assert shadow.counter.copies(t1) == 0
+        assert shadow.counter.copies(t2) == 1
+
+    def test_remove_and_clear_decrement(self):
+        shadow = ShadowMemory(m_prov=3)
+        t1, t2 = tags(2)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(0), t2)
+        shadow.remove_tag(mem(0), t1)
+        assert shadow.counter.copies(t1) == 0
+        shadow.clear_location(mem(0))
+        assert shadow.counter.copies(t2) == 0
+        assert shadow.total_entries() == 0
+
+    def test_counter_matches_scan(self):
+        """n[t,i] must equal the number of locations holding {t,i}."""
+        shadow = ShadowMemory(m_prov=2)
+        all_tags = tags(4)
+        shadow.add_tag(mem(0), all_tags[0])
+        shadow.add_tag(mem(0), all_tags[1])
+        shadow.add_tag(mem(0), all_tags[2])  # evicts all_tags[0]
+        shadow.add_tag(mem(1), all_tags[0])
+        shadow.add_tag(reg("r1"), all_tags[3])
+        for tag in all_tags:
+            ground_truth = sum(
+                1
+                for loc in shadow.tainted_locations()
+                if tag in shadow.tags_at(loc)
+            )
+            assert shadow.counter.copies(tag) == ground_truth
+
+
+class TestReplaceAndUnion:
+    def test_replace_tags_copy_semantics(self):
+        shadow = ShadowMemory(m_prov=3)
+        t1, t2, t3 = tags(3)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(1), t2)
+        shadow.add_tag(mem(1), t3)
+        added, dropped = shadow.replace_tags(mem(1), shadow.tags_at(mem(0)))
+        assert shadow.tags_at(mem(1)) == (t1,)
+        assert added == 1
+        assert dropped == 2
+
+    def test_replace_with_empty_untaints(self):
+        shadow = ShadowMemory(m_prov=3)
+        shadow.add_tag(mem(0), Tag("file", 1))
+        shadow.replace_tags(mem(0), ())
+        assert not shadow.is_tainted(mem(0))
+
+    def test_union_into_merges_without_duplicates(self):
+        shadow = ShadowMemory(m_prov=5)
+        t1, t2, t3 = tags(3)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(0), t2)
+        shadow.add_tag(mem(1), t2)
+        shadow.add_tag(mem(1), t3)
+        shadow.add_tag(mem(2), t3)  # destination already has t3
+        added, _ = shadow.union_into([mem(0), mem(1)], mem(2))
+        assert set(shadow.tags_at(mem(2))) == {t1, t2, t3}
+        assert added == 2
+
+    def test_union_respects_capacity(self):
+        shadow = ShadowMemory(m_prov=2)
+        source_tags = tags(4)
+        for i, tag in enumerate(source_tags):
+            shadow.add_tag(mem(i), tag)
+        shadow.union_into([mem(i) for i in range(4)], mem(99))
+        assert len(shadow.tags_at(mem(99))) == 2
+
+
+class TestFootprint:
+    def test_empty_footprint_zero(self):
+        assert ShadowMemory(m_prov=3).footprint_bytes() == 0
+
+    def test_footprint_formula(self):
+        shadow = ShadowMemory(m_prov=3)
+        t1, t2 = tags(2)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(0), t2)
+        shadow.add_tag(mem(1), t1)
+        assert shadow.footprint_bytes() == (
+            3 * ENTRY_SIZE_BYTES + 2 * LOCATION_OVERHEAD_BYTES
+        )
+
+    def test_tainted_count_and_entries(self):
+        shadow = ShadowMemory(m_prov=3)
+        t1, t2 = tags(2)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(0), t2)
+        shadow.add_tag(reg("r0"), t1)
+        assert shadow.tainted_count() == 2
+        assert shadow.total_entries() == 3
+
+
+class TestScheduling:
+    def test_lru_shadow_uses_lru_lists(self):
+        shadow = ShadowMemory(m_prov=2, scheduling=SchedulingPolicy.LRU)
+        t1, t2, t3 = tags(3)
+        shadow.add_tag(mem(0), t1)
+        shadow.add_tag(mem(0), t2)
+        shadow.add_tag(mem(0), t1)  # refresh t1
+        shadow.add_tag(mem(0), t3)  # should evict t2
+        assert t1 in shadow.tags_at(mem(0))
+        assert t2 not in shadow.tags_at(mem(0))

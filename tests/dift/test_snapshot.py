@@ -1,0 +1,135 @@
+"""Tests for tracker snapshot/restore (checkpointing)."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.provenance import SchedulingPolicy
+from repro.dift.shadow import mem, reg
+from repro.dift.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    restore_tracker,
+    save_snapshot,
+    snapshot_tracker,
+)
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.workloads.attack import InMemoryAttack
+from repro.workloads.calibration import benchmark_params
+
+
+def make_tracker(m_prov: int = 4) -> DIFTTracker:
+    params = MitosParams(R=1 << 16, M_prov=m_prov, tau_scale=1.0)
+    return DIFTTracker(params, PropagateAllPolicy())
+
+
+NET = Tag("netflow", 1)
+FILE = Tag("file", 1)
+
+
+class TestSnapshotRoundTrip:
+    def test_state_restored_exactly(self):
+        source = make_tracker()
+        source.process(flows.insert(mem(0), NET, tick=0))
+        source.process(flows.insert(mem(0), FILE, tick=1))
+        source.process(flows.insert(reg("r1"), NET, tick=2))
+        source.process(flows.copy(mem(0), ("file", (3, 7)), tick=3))
+
+        target = make_tracker()
+        restore_tracker(target, snapshot_tracker(source))
+        assert target.counter.snapshot() == source.counter.snapshot()
+        for location in source.shadow.tainted_locations():
+            assert target.shadow.tags_at(location) == source.shadow.tags_at(
+                location
+            )
+        assert target.stats.ticks == source.stats.ticks
+
+    def test_provenance_order_preserved(self):
+        """FIFO behaviour after restore must match the live run."""
+        source = make_tracker(m_prov=2)
+        tags = [Tag("netflow", i) for i in (1, 2)]
+        for tag in tags:
+            source.process(flows.insert(mem(0), tag, tick=0))
+        target = make_tracker(m_prov=2)
+        restore_tracker(target, snapshot_tracker(source))
+        # adding a third tag must evict netflow#1 (the FIFO head) in both
+        third = Tag("netflow", 3)
+        source.process(flows.insert(mem(0), third, tick=5))
+        target.process(flows.insert(mem(0), third, tick=5))
+        assert source.shadow.tags_at(mem(0)) == target.shadow.tags_at(mem(0))
+
+    def test_checkpointed_replay_equals_full_replay(self):
+        """Replay prefix -> snapshot -> restore -> suffix == full replay."""
+        recording = InMemoryAttack(
+            variant="reverse_tcp", seed=0, payload_bytes=64, imports=8,
+            noise_bytes=96, noise_rounds=2,
+        ).record()
+        events = list(recording)
+        split = len(events) // 2
+        params = benchmark_params(
+            crossover_copies=400.0, pollution_fraction=0.003
+        )
+        full = DIFTTracker(params, PropagateAllPolicy())
+        full.process_many(events)
+
+        prefix = DIFTTracker(params, PropagateAllPolicy())
+        prefix.process_many(events[:split])
+        resumed = DIFTTracker(params, PropagateAllPolicy())
+        restore_tracker(resumed, snapshot_tracker(prefix))
+        resumed.process_many(events[split:])
+        assert resumed.counter.snapshot() == full.counter.snapshot()
+
+    def test_file_round_trip(self, tmp_path):
+        source = make_tracker()
+        source.process(flows.insert(mem(9), NET, tick=0))
+        path = save_snapshot(source, tmp_path / "ckpt.json.gz")
+        target = make_tracker()
+        load_snapshot(target, path)
+        assert target.shadow.tags_at(mem(9)) == (NET,)
+
+    def test_plain_json_file(self, tmp_path):
+        source = make_tracker()
+        source.process(flows.insert(mem(9), NET, tick=0))
+        path = save_snapshot(source, tmp_path / "ckpt.json")
+        assert path.read_text().startswith("{")
+        target = make_tracker()
+        load_snapshot(target, path)
+        assert target.counter.copies(NET) == 1
+
+
+class TestSnapshotValidation:
+    def test_m_prov_mismatch_rejected(self):
+        source = make_tracker(m_prov=4)
+        snapshot = snapshot_tracker(source)
+        with pytest.raises(SnapshotError, match="M_prov"):
+            restore_tracker(make_tracker(m_prov=8), snapshot)
+
+    def test_scheduling_mismatch_rejected(self):
+        source = make_tracker()
+        snapshot = snapshot_tracker(source)
+        params = MitosParams(R=1 << 16, M_prov=4, tau_scale=1.0)
+        other = DIFTTracker(
+            params, PropagateAllPolicy(), scheduling=SchedulingPolicy.LRU
+        )
+        with pytest.raises(SnapshotError, match="scheduling"):
+            restore_tracker(other, snapshot)
+
+    def test_version_mismatch_rejected(self):
+        snapshot = snapshot_tracker(make_tracker())
+        snapshot["version"] = 99
+        with pytest.raises(SnapshotError, match="version"):
+            restore_tracker(make_tracker(), snapshot)
+
+    def test_malformed_locations_rejected(self):
+        snapshot = snapshot_tracker(make_tracker())
+        snapshot["locations"] = [{"bogus": 1}]
+        with pytest.raises(SnapshotError, match="malformed"):
+            restore_tracker(make_tracker(), snapshot)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("not json{{")
+        with pytest.raises(SnapshotError, match="JSON"):
+            load_snapshot(make_tracker(), path)

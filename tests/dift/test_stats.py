@@ -1,0 +1,93 @@
+"""Tests for repro.dift.stats."""
+
+import pytest
+
+from repro.dift.stats import TagCopyCounter, TrackerStats
+from repro.dift.tags import Tag
+
+
+class TestTagCopyCounter:
+    def test_increment_decrement(self):
+        counter = TagCopyCounter()
+        tag = Tag("netflow", 1)
+        counter.increment(tag)
+        counter.increment(tag)
+        assert counter.copies(tag) == 2
+        counter.decrement(tag)
+        assert counter.copies(tag) == 1
+
+    def test_decrement_below_zero_raises(self):
+        counter = TagCopyCounter()
+        with pytest.raises(ValueError):
+            counter.decrement(Tag("netflow", 1))
+
+    def test_zero_count_removed_from_snapshot(self):
+        counter = TagCopyCounter()
+        tag = Tag("file", 1)
+        counter.increment(tag)
+        counter.decrement(tag)
+        assert counter.snapshot() == {}
+        assert counter.live_tags() == 0
+
+    def test_total_entries(self):
+        counter = TagCopyCounter()
+        counter.increment(Tag("netflow", 1))
+        counter.increment(Tag("netflow", 2))
+        counter.increment(Tag("file", 1))
+        assert counter.total_entries() == 3
+        assert counter.type_total("netflow") == 2
+        assert counter.type_total("process") == 0
+
+    def test_weighted_pollution(self):
+        counter = TagCopyCounter()
+        for _ in range(3):
+            counter.increment(Tag("netflow", 1))
+        counter.increment(Tag("file", 1))
+        pollution = counter.weighted_pollution({"netflow": 2.0})
+        assert pollution == pytest.approx(2.0 * 3 + 1.0 * 1)
+
+    def test_weighted_pollution_default_weight(self):
+        counter = TagCopyCounter()
+        counter.increment(Tag("exotic", 1))
+        assert counter.weighted_pollution({}, default_weight=5.0) == 5.0
+
+    def test_per_type_counts(self):
+        counter = TagCopyCounter()
+        counter.increment(Tag("netflow", 1))
+        counter.increment(Tag("netflow", 2))
+        counter.increment(Tag("file", 1))
+        grouped = counter.per_type_counts()
+        assert set(grouped) == {"netflow", "file"}
+        assert grouped["netflow"] == {("netflow", 1): 1, ("netflow", 2): 1}
+
+    def test_copies_by_key(self):
+        counter = TagCopyCounter()
+        counter.increment(Tag("netflow", 7))
+        assert counter.copies_by_key(("netflow", 7)) == 1
+        assert counter.copies_by_key(("netflow", 8)) == 0
+
+
+class TestTrackerStats:
+    def test_ifp_total(self):
+        stats = TrackerStats(ifp_address=3, ifp_control=4)
+        assert stats.ifp_total == 7
+
+    def test_ifp_propagation_rate(self):
+        stats = TrackerStats(ifp_candidates=10, ifp_propagated=4)
+        assert stats.ifp_propagation_rate == pytest.approx(0.4)
+
+    def test_ifp_propagation_rate_empty(self):
+        assert TrackerStats().ifp_propagation_rate == 0.0
+
+    def test_context_notes(self):
+        stats = TrackerStats()
+        stats.note_context("sw")
+        stats.note_context("sw")
+        stats.note_context("lw")
+        assert stats.by_context == {"sw": 2, "lw": 1}
+
+    def test_as_dict_keys(self):
+        payload = TrackerStats().as_dict()
+        assert "propagation_ops" in payload
+        assert "ifp_candidates" in payload
+        assert all(isinstance(v, (int, float)) for v in payload.values())

@@ -1,0 +1,64 @@
+"""Tests for repro.dift.tags."""
+
+import pytest
+
+from repro.dift.tags import Tag, TagAllocator, TagTypes
+
+
+class TestTag:
+    def test_key(self):
+        assert Tag("netflow", 3).key == ("netflow", 3)
+
+    def test_equality_and_hash(self):
+        assert Tag("file", 1) == Tag("file", 1)
+        assert hash(Tag("file", 1)) == hash(Tag("file", 1))
+        assert Tag("file", 1) != Tag("file", 2)
+        assert Tag("file", 1) != Tag("netflow", 1)
+
+    def test_ordering(self):
+        assert Tag("a", 1) < Tag("a", 2) < Tag("b", 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Tag("", 1)
+        with pytest.raises(ValueError):
+            Tag("netflow", 0)
+
+
+class TestAllocator:
+    def test_indices_increment_per_type(self):
+        alloc = TagAllocator()
+        assert alloc.fresh("netflow").index == 1
+        assert alloc.fresh("netflow").index == 2
+        assert alloc.fresh("file").index == 1
+
+    def test_origin_dedup(self):
+        alloc = TagAllocator()
+        a = alloc.fresh(TagTypes.NETFLOW, origin=("10.0.0.1", 443))
+        b = alloc.fresh(TagTypes.NETFLOW, origin=("10.0.0.1", 443))
+        c = alloc.fresh(TagTypes.NETFLOW, origin=("10.0.0.2", 443))
+        assert a is b
+        assert a != c
+
+    def test_same_origin_different_types_distinct(self):
+        alloc = TagAllocator()
+        a = alloc.fresh(TagTypes.NETFLOW, origin="x")
+        b = alloc.fresh(TagTypes.FILE, origin="x")
+        assert a != b
+        assert a.index == 1 and b.index == 1
+
+    def test_origin_recorded(self):
+        alloc = TagAllocator()
+        tag = alloc.fresh(TagTypes.FILE, origin=14)
+        assert alloc.origin_of(tag) == 14
+        anonymous = alloc.fresh(TagTypes.FILE)
+        assert alloc.origin_of(anonymous) is None
+
+    def test_minted_counts(self):
+        alloc = TagAllocator()
+        alloc.fresh("netflow")
+        alloc.fresh("netflow")
+        alloc.fresh("file")
+        assert alloc.minted("netflow") == 2
+        assert alloc.minted("process") == 0
+        assert alloc.all_minted() == {"netflow": 2, "file": 1}

@@ -1,0 +1,213 @@
+"""Tests for repro.dift.tracker."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import (
+    MitosPolicy,
+    PropagateAllPolicy,
+    PropagateNonePolicy,
+)
+from repro.dift import flows
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag, TagTypes
+from repro.dift.tracker import DIFTTracker
+
+
+def params(**kwargs) -> MitosParams:
+    defaults = dict(R=1 << 20, M_prov=4, tau_scale=1.0)
+    defaults.update(kwargs)
+    return MitosParams(**defaults)
+
+
+def make_tracker(policy=None, **tracker_kwargs) -> DIFTTracker:
+    p = params()
+    return DIFTTracker(p, policy or PropagateAllPolicy(), **tracker_kwargs)
+
+
+NET1 = Tag(TagTypes.NETFLOW, 1)
+NET2 = Tag(TagTypes.NETFLOW, 2)
+FILE1 = Tag(TagTypes.FILE, 1)
+EXPORT1 = Tag(TagTypes.EXPORT_TABLE, 1)
+
+
+class TestInsertAndClear:
+    def test_insert_places_tag(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(mem(0), NET1))
+        assert tracker.shadow.tags_at(mem(0)) == (NET1,)
+        assert tracker.stats.inserts == 1
+        assert tracker.counter.copies(NET1) == 1
+
+    def test_clear_untaints(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.clear(mem(0)))
+        assert not tracker.shadow.is_tainted(mem(0))
+        assert tracker.stats.clears == 1
+
+    def test_tick_tracked(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(mem(0), NET1, tick=41))
+        assert tracker.stats.ticks == 42
+
+
+class TestDirectFlows:
+    def test_copy_replaces_destination(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.insert(mem(1), FILE1))
+        tracker.process(flows.copy(mem(0), mem(1)))
+        assert tracker.shadow.tags_at(mem(1)) == (NET1,)
+        assert tracker.stats.dfp_copy == 1
+
+    def test_copy_from_untainted_untaints(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(mem(1), FILE1))
+        tracker.process(flows.copy(mem(0), mem(1)))
+        assert not tracker.shadow.is_tainted(mem(1))
+
+    def test_compute_unions_operands(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(reg("r1"), NET1))
+        tracker.process(flows.insert(reg("r2"), FILE1))
+        tracker.process(flows.compute((reg("r1"), reg("r2")), reg("r3")))
+        assert set(tracker.shadow.tags_at(reg("r3"))) == {NET1, FILE1}
+        assert tracker.stats.dfp_compute == 1
+
+    def test_direct_flows_bypass_policy(self):
+        tracker = make_tracker(policy=PropagateNonePolicy())
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.copy(mem(0), mem(1)))
+        assert tracker.shadow.tags_at(mem(1)) == (NET1,)
+
+
+class TestIndirectFlows:
+    def test_address_dep_respects_none_policy(self):
+        tracker = make_tracker(policy=PropagateNonePolicy())
+        tracker.process(flows.insert(reg("t3"), NET1))
+        tracker.process(flows.address_dep(reg("t3"), mem(8)))
+        assert not tracker.shadow.is_tainted(mem(8))
+        assert tracker.stats.ifp_address == 1
+        assert tracker.stats.ifp_blocked == 1
+
+    def test_address_dep_with_all_policy(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(reg("t3"), NET1))
+        tracker.process(flows.address_dep(reg("t3"), mem(8)))
+        assert tracker.shadow.tags_at(mem(8)) == (NET1,)
+        assert tracker.stats.ifp_propagated == 1
+
+    def test_control_dep_counted_separately(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(reg("r1"), NET1))
+        tracker.process(flows.control_dep((reg("r1"),), mem(4)))
+        assert tracker.stats.ifp_control == 1
+        assert tracker.stats.ifp_address == 0
+
+    def test_candidates_exclude_tags_already_present(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(reg("t3"), NET1))
+        tracker.process(flows.insert(mem(8), NET1))
+        tracker.process(flows.address_dep(reg("t3"), mem(8)))
+        # NET1 already on destination: no candidates, nothing counted
+        assert tracker.stats.ifp_candidates == 0
+
+    def test_candidates_deduplicated_across_sources(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(reg("r1"), NET1))
+        tracker.process(flows.insert(reg("r2"), NET1))
+        tracker.process(flows.control_dep((reg("r1"), reg("r2")), mem(0)))
+        assert tracker.stats.ifp_candidates == 1
+
+    def test_mitos_policy_blocks_under_pressure(self):
+        p = params(tau=1.0, tau_scale=1e9)
+        policy = MitosPolicy(p)
+        tracker = DIFTTracker(p, policy)
+        # build up copies so the undertainting marginal is weak
+        for i in range(50):
+            tracker.process(flows.insert(mem(i), NET1))
+        tracker.process(flows.insert(reg("t3"), NET1))
+        tracker.process(flows.address_dep(reg("t3"), mem(1000)))
+        assert not tracker.shadow.is_tainted(mem(1000))
+
+    def test_mitos_policy_pollution_is_live(self):
+        p = params()
+        policy = MitosPolicy(p)
+        tracker = DIFTTracker(p, policy)
+        tracker.process(flows.insert(mem(0), NET1))
+        assert policy.engine.current_pollution() == tracker.pollution() == 1.0
+
+
+class TestDirectViaPolicy:
+    def test_direct_flows_also_filtered(self):
+        """Section V-C mode: is_DFP_or_IFP routes everything to Alg. 2."""
+        tracker = make_tracker(
+            policy=PropagateNonePolicy(), direct_via_policy=True
+        )
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.copy(mem(0), mem(1)))
+        assert not tracker.shadow.is_tainted(mem(1))
+        assert tracker.stats.dfp_copy == 1
+
+    def test_copy_does_not_clear_destination_in_policy_mode(self):
+        tracker = make_tracker(direct_via_policy=True)
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.insert(mem(1), FILE1))
+        tracker.process(flows.copy(mem(0), mem(1)))
+        assert set(tracker.shadow.tags_at(mem(1))) == {NET1, FILE1}
+
+
+class TestDetectorIntegration:
+    def test_alert_on_confluence(self):
+        detector = ConfluenceDetector()
+        tracker = make_tracker(detector=detector)
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.insert(mem(0), EXPORT1))
+        assert tracker.stats.alerts == 1
+        assert detector.detected_bytes == 1
+
+    def test_no_alert_single_type(self):
+        detector = ConfluenceDetector()
+        tracker = make_tracker(detector=detector)
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.insert(mem(0), NET2))
+        assert tracker.stats.alerts == 0
+
+
+class TestObserver:
+    def test_observer_called_on_ifp(self):
+        seen = []
+        tracker = make_tracker(
+            ifp_observer=lambda e, c, d, s, p: seen.append((e.kind, len(c), len(s), p))
+        )
+        tracker.process(flows.insert(reg("t3"), NET1))
+        tracker.process(flows.address_dep(reg("t3"), mem(8)))
+        assert len(seen) == 1
+        kind, n_cands, n_selected, pollution = seen[0]
+        assert n_cands == 1 and n_selected == 1
+        assert pollution == 1.0
+
+    def test_observer_not_called_without_candidates(self):
+        seen = []
+        tracker = make_tracker(ifp_observer=lambda *a: seen.append(a))
+        tracker.process(flows.address_dep(reg("t3"), mem(8)))
+        assert seen == []
+
+
+class TestReset:
+    def test_reset_restores_clean_state(self):
+        detector = ConfluenceDetector()
+        p = params()
+        policy = MitosPolicy(p)
+        tracker = DIFTTracker(p, policy, detector=detector)
+        tracker.process(flows.insert(mem(0), NET1))
+        tracker.process(flows.insert(mem(0), EXPORT1))
+        tracker.reset()
+        assert tracker.pollution() == 0.0
+        assert tracker.stats.inserts == 0
+        assert detector.detected_bytes == 0
+        # pollution source must be rebound to the fresh counter
+        tracker.process(flows.insert(mem(1), NET1))
+        assert policy.engine.current_pollution() == 1.0

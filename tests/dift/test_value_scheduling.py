@@ -1,0 +1,116 @@
+"""Tests for VALUE provenance scheduling (Section VI future work)."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.provenance import ProvenanceList, SchedulingPolicy
+from repro.dift.shadow import ShadowMemory, mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+
+
+def value_by_index(tag: Tag) -> float:
+    """Toy value function: higher index = more valuable."""
+    return float(tag.index)
+
+
+class TestValueList:
+    def test_requires_value_fn(self):
+        with pytest.raises(ValueError, match="value_fn"):
+            ProvenanceList(2, SchedulingPolicy.VALUE)
+
+    def test_evicts_least_valuable(self):
+        plist = ProvenanceList(2, SchedulingPolicy.VALUE, value_by_index)
+        plist.add(Tag("t", 5))
+        plist.add(Tag("t", 3))
+        outcome = plist.add(Tag("t", 9))
+        assert outcome.added
+        assert outcome.dropped == Tag("t", 3)
+        assert set(plist.tags()) == {Tag("t", 5), Tag("t", 9)}
+
+    def test_rejects_newcomer_worth_less_than_cheapest(self):
+        plist = ProvenanceList(2, SchedulingPolicy.VALUE, value_by_index)
+        plist.add(Tag("t", 5))
+        plist.add(Tag("t", 7))
+        outcome = plist.add(Tag("t", 2))
+        assert not outcome.present
+        assert set(plist.tags()) == {Tag("t", 5), Tag("t", 7)}
+
+    def test_equal_value_newcomer_rejected(self):
+        plist = ProvenanceList(1, SchedulingPolicy.VALUE, value_by_index)
+        plist.add(Tag("t", 4))
+        outcome = plist.add(Tag("u", 4))
+        assert not outcome.present
+
+    def test_duplicate_still_noop(self):
+        plist = ProvenanceList(1, SchedulingPolicy.VALUE, value_by_index)
+        tag = Tag("t", 4)
+        plist.add(tag)
+        outcome = plist.add(tag)
+        assert outcome.present and not outcome.added
+
+
+class TestValueShadow:
+    def test_shadow_requires_value_fn(self):
+        with pytest.raises(ValueError):
+            ShadowMemory(m_prov=2, scheduling=SchedulingPolicy.VALUE)
+
+    def test_counter_stays_consistent_under_value_eviction(self):
+        shadow = ShadowMemory(
+            m_prov=2,
+            scheduling=SchedulingPolicy.VALUE,
+            value_fn=value_by_index,
+        )
+        tags = [Tag("t", i) for i in (3, 1, 7, 2, 9)]
+        for tag in tags:
+            shadow.add_tag(mem(0), tag)
+        ground_truth = {
+            tag.key: 1 for tag in shadow.tags_at(mem(0))
+        }
+        assert shadow.counter.snapshot() == ground_truth
+
+
+class TestValueTracker:
+    def make_tracker(self) -> DIFTTracker:
+        params = MitosParams(R=1 << 16, M_prov=2, tau_scale=1.0)
+        return DIFTTracker(
+            params, PropagateAllPolicy(), scheduling=SchedulingPolicy.VALUE
+        )
+
+    def test_rare_tag_displaces_saturated_tag(self):
+        tracker = self.make_tracker()
+        common = Tag("netflow", 1)
+        filler = Tag("file", 1)
+        rare = Tag("process", 1)
+        # make `common` saturated (many copies) and `filler` mid-range
+        for i in range(50):
+            tracker.process(flows.insert(mem(100 + i), common, tick=i))
+        for i in range(10):
+            tracker.process(flows.insert(mem(200 + i), filler, tick=100 + i))
+        # fill one byte's list with both, then offer the rare tag
+        tracker.process(flows.insert(mem(0), common, tick=200))
+        tracker.process(flows.insert(mem(0), filler, tick=201))
+        tracker.process(flows.insert(mem(0), rare, tick=202))
+        kept = set(tracker.shadow.tags_at(mem(0)))
+        assert rare in kept
+        assert common not in kept  # the saturated tag was the cheapest
+
+    def test_retention_value_decreases_with_copies(self):
+        tracker = self.make_tracker()
+        tag = Tag("netflow", 1)
+        tracker.process(flows.insert(mem(0), tag, tick=0))
+        value_rare = tracker.tag_retention_value(tag)
+        for i in range(1, 30):
+            tracker.process(flows.insert(mem(i), tag, tick=i))
+        assert tracker.tag_retention_value(tag) < value_rare
+
+    def test_reset_preserves_value_scheduling(self):
+        tracker = self.make_tracker()
+        tracker.reset()
+        assert tracker.shadow.scheduling is SchedulingPolicy.VALUE
+        assert tracker.shadow.value_fn is not None
+        # and the fresh shadow still evicts by value
+        tracker.process(flows.insert(mem(0), Tag("a", 1), tick=0))
+        assert tracker.shadow.is_tainted(mem(0))

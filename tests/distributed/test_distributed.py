@@ -1,0 +1,196 @@
+"""Tests for repro.distributed: nodes, gossip, cluster."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.distributed.cluster import Cluster, run_sharded
+from repro.distributed.gossip import PollutionGossip
+from repro.distributed.node import SubsystemNode
+from repro.replay.record import Recording
+
+
+def params(**kw) -> MitosParams:
+    defaults = dict(R=1 << 16, M_prov=4, tau_scale=1.0)
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+def make_nodes(n: int):
+    return [SubsystemNode(i, params()) for i in range(n)]
+
+
+NET = Tag("netflow", 1)
+
+
+class TestSubsystemNode:
+    def test_local_pollution_tracks_tracker(self):
+        node = SubsystemNode(0, params())
+        node.process(flows.insert(mem(1), NET, tick=0))
+        assert node.local_pollution() == 1.0
+        assert node.events_processed == 1
+
+    def test_belief_includes_peers(self):
+        node = SubsystemNode(0, params())
+        node.process(flows.insert(mem(1), NET, tick=0))
+        node.receive_gossip(1, 10.0)
+        node.receive_gossip(2, 5.0)
+        assert node.believed_pollution() == 16.0
+
+    def test_self_gossip_ignored(self):
+        node = SubsystemNode(0, params())
+        node.receive_gossip(0, 100.0)
+        assert node.believed_pollution() == 0.0
+
+    def test_estimate_error(self):
+        node = SubsystemNode(0, params())
+        node.receive_gossip(1, 10.0)
+        assert node.estimate_error(12.0) == 2.0
+
+    def test_policy_uses_belief(self):
+        # huge believed pollution blocks propagation of a common tag
+        node = SubsystemNode(0, params(tau_scale=1e3))
+        node.receive_gossip(1, 1e6)
+        for i in range(10):
+            node.process(flows.insert(mem(i), NET, tick=i))
+        node.process(flows.insert(reg("r1"), NET, tick=20))
+        node.process(flows.address_dep(reg("r1"), mem(99), tick=21))
+        assert not node.tracker.shadow.is_tainted(mem(99))
+
+
+class TestGossip:
+    def test_round_spreads_values(self):
+        nodes = make_nodes(4)
+        nodes[0].process(flows.insert(mem(0), NET, tick=0))
+        gossip = PollutionGossip(nodes, fanout=3, seed=1)
+        gossip.round()
+        # with fanout 3 of 3 possible peers, everyone heard node 0
+        for node in nodes[1:]:
+            assert node.peer_pollution.get(0) == 1.0
+
+    def test_broadcast_exact(self):
+        nodes = make_nodes(3)
+        for i, node in enumerate(nodes):
+            for j in range(i + 1):
+                node.process(flows.insert(mem(j), NET, tick=j))
+        gossip = PollutionGossip(nodes, seed=0)
+        gossip.broadcast()
+        truth = gossip.true_global_pollution()
+        for node in nodes:
+            assert node.believed_pollution() == truth
+
+    def test_errors_shrink_after_broadcast(self):
+        nodes = make_nodes(3)
+        nodes[0].process(flows.insert(mem(0), NET, tick=0))
+        gossip = PollutionGossip(nodes, seed=0)
+        before = gossip.max_error()
+        gossip.broadcast()
+        after = gossip.max_error()
+        assert after <= before
+
+    def test_message_counting(self):
+        nodes = make_nodes(4)
+        gossip = PollutionGossip(nodes, fanout=2, seed=0)
+        gossip.round()
+        assert gossip.state.messages_sent == 8
+        assert gossip.state.rounds == 1
+
+    def test_single_node_cluster(self):
+        gossip = PollutionGossip(make_nodes(1), fanout=2, seed=0)
+        gossip.round()  # no peers: no messages, no crash
+        assert gossip.state.messages_sent == 0
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            PollutionGossip(make_nodes(2), fanout=0)
+
+
+class TestCluster:
+    def recording(self, n: int = 40) -> Recording:
+        events = []
+        for i in range(n):
+            events.append(flows.insert(mem(i), Tag("netflow", 1 + i % 3), tick=2 * i))
+            events.append(flows.address_dep(mem(i), mem(100 + i), tick=2 * i + 1))
+        return Recording(events=events)
+
+    def test_routing_is_deterministic_and_total(self):
+        cluster = Cluster(params(), n_nodes=3, seed=0)
+        recording = self.recording()
+        first = [cluster.route(e).node_id for e in recording]
+        second = [cluster.route(e).node_id for e in recording]
+        assert first == second
+
+    def test_run_processes_every_event(self):
+        result = run_sharded(self.recording(), params(), n_nodes=3, gossip_interval=10)
+        assert sum(result.per_node_events.values()) == result.events
+
+    def test_oracle_agreement_bounds(self):
+        result = run_sharded(self.recording(), params(), n_nodes=3, gossip_interval=10)
+        assert 0.0 <= result.oracle_agreement <= 1.0
+
+    def test_frequent_gossip_not_worse(self):
+        recording = self.recording(80)
+        frequent = run_sharded(recording, params(), n_nodes=4, gossip_interval=5)
+        rare = run_sharded(recording, params(), n_nodes=4, gossip_interval=1000)
+        assert frequent.mean_estimate_error <= rare.mean_estimate_error + 1e-9
+        assert frequent.gossip_messages >= rare.gossip_messages
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Cluster(params(), n_nodes=0)
+        with pytest.raises(ValueError):
+            Cluster(params(), gossip_interval=0)
+
+    def test_single_node_matches_oracle(self):
+        result = run_sharded(
+            self.recording(), params(), n_nodes=1, gossip_interval=10
+        )
+        assert result.oracle_agreement == 1.0
+
+
+class TestHeterogeneousCluster:
+    """Per-subsystem security needs: each node gets its own MITOS inputs."""
+
+    def recording(self, n: int = 60) -> Recording:
+        events = []
+        tag = Tag("netflow", 1)
+        for i in range(n):
+            events.append(flows.insert(mem(i), tag, tick=3 * i))
+            events.append(flows.insert(mem(1000 + i), tag, tick=3 * i + 1))
+            events.append(
+                flows.address_dep(mem(i), mem(2000 + i), tick=3 * i + 2)
+            )
+        return Recording(events=events)
+
+    def test_node_params_validated(self):
+        with pytest.raises(ValueError, match="node_params"):
+            Cluster(params(), n_nodes=3, node_params=[params()])
+
+    def test_heterogeneous_nodes_keep_own_params(self):
+        strict = params(tau=10.0, tau_scale=1e6)
+        lax = params(tau=0.0)
+        cluster = Cluster(
+            params(), n_nodes=2, node_params=[strict, lax], seed=0
+        )
+        assert cluster.nodes[0].params.tau == 10.0
+        assert cluster.nodes[1].params.tau == 0.0
+
+    def test_strict_node_blocks_lax_node_propagates(self):
+        strict = params(tau=10.0, tau_scale=1e9)
+        lax = params(tau=0.0)
+        cluster = Cluster(
+            params(), n_nodes=2, node_params=[strict, lax],
+            gossip_interval=5, seed=0,
+        )
+        result = cluster.run(self.recording())
+        # nodes disagree on policy but each agrees with its own oracle
+        assert result.oracle_agreement == 1.0
+        strict_stats = cluster.nodes[0].tracker.stats
+        lax_stats = cluster.nodes[1].tracker.stats
+        if strict_stats.ifp_candidates and lax_stats.ifp_candidates:
+            assert (
+                strict_stats.ifp_propagation_rate
+                <= lax_stats.ifp_propagation_rate
+            )

@@ -1,0 +1,106 @@
+"""Tests for repro.faros.config."""
+
+import pytest
+
+from repro.core.policy import (
+    KindFilteredPolicy,
+    MitosPolicy,
+    PropagateAllPolicy,
+    PropagateNonePolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+from repro.dift.tags import TagTypes
+from repro.faros import FarosSystem
+from repro.faros.config import FarosConfig, mitos_config, stock_faros_config
+
+
+class TestFarosConfig:
+    def test_default_policy_is_mitos(self):
+        config = FarosConfig()
+        assert isinstance(config.build_policy(), MitosPolicy)
+        assert config.label == "mitos"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            FarosConfig(policy="nonsense")
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("mitos", MitosPolicy),
+            ("propagate-all", PropagateAllPolicy),
+            ("propagate-none", PropagateNonePolicy),
+            ("threshold", ThresholdPolicy),
+            ("random", RandomPolicy),
+            ("address-only", KindFilteredPolicy),
+            ("control-only", KindFilteredPolicy),
+            ("mitos-address-only", KindFilteredPolicy),
+        ],
+    )
+    def test_policy_registry(self, name, cls):
+        assert isinstance(FarosConfig(policy=name).build_policy(), cls)
+
+    def test_kind_filtered_variants_wired_correctly(self):
+        address_only = FarosConfig(policy="address-only").build_policy()
+        assert address_only.handles("address_dep")
+        assert not address_only.handles("control_dep")
+        control_only = FarosConfig(policy="control-only").build_policy()
+        assert control_only.handles("control_dep")
+        assert not control_only.handles("address_dep")
+        mitos_address = FarosConfig(policy="mitos-address-only").build_policy()
+        assert isinstance(mitos_address.inner, MitosPolicy)
+
+    def test_wrapped_mitos_gets_live_pollution(self):
+        """The pollution source must reach MITOS through the wrapper."""
+        from repro.dift import flows
+        from repro.dift.shadow import mem
+        from repro.dift.tags import Tag
+
+        system = FarosSystem(FarosConfig(policy="mitos-address-only"))
+        system.tracker.process(flows.insert(mem(0), Tag("netflow", 1), tick=0))
+        inner = system.tracker.policy.inner
+        assert inner.engine.current_pollution() == 1.0
+
+    def test_threshold_knob_plumbed(self):
+        config = FarosConfig(policy="threshold", threshold_max_copies=7)
+        assert config.build_policy().max_copies == 7
+
+    def test_random_knobs_plumbed(self):
+        config = FarosConfig(
+            policy="random", random_probability=0.25, random_seed=9
+        )
+        policy = config.build_policy()
+        assert policy.propagate_probability == 0.25
+
+    def test_explicit_label_kept(self):
+        assert FarosConfig(label="custom").label == "custom"
+
+    def test_default_detector_types(self):
+        config = FarosConfig()
+        assert config.detector_types == frozenset(
+            {TagTypes.NETFLOW, TagTypes.EXPORT_TABLE}
+        )
+
+
+class TestFactories:
+    def test_stock_faros(self):
+        config = stock_faros_config()
+        assert config.policy == "propagate-none"
+        assert not config.direct_via_policy
+        assert config.label == "faros"
+
+    def test_mitos_default(self):
+        config = mitos_config()
+        assert config.policy == "mitos"
+        assert not config.direct_via_policy
+        assert config.label == "mitos"
+
+    def test_mitos_all_flows(self):
+        config = mitos_config(all_flows=True)
+        assert config.direct_via_policy
+        assert config.label == "mitos-all"
+
+    def test_overrides_pass_through(self):
+        config = mitos_config(log_timeline=True)
+        assert config.log_timeline

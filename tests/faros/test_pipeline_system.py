@@ -1,0 +1,137 @@
+"""Tests for repro.faros.pipeline and repro.faros.system."""
+
+import pytest
+
+from repro.dift import flows
+from repro.dift.flows import FlowKind
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag, TagTypes
+from repro.faros import (
+    FarosSystem,
+    is_dfp,
+    is_dfp_or_ifp,
+    is_ifp,
+    mitos_config,
+    stock_faros_config,
+)
+from repro.replay.record import Recording
+from repro.workloads.calibration import benchmark_params
+
+NET = Tag(TagTypes.NETFLOW, 1)
+EXPORT = Tag(TagTypes.EXPORT_TABLE, 1)
+
+
+def small_recording() -> Recording:
+    events = [
+        flows.insert(mem(0), NET, tick=0),
+        flows.insert(mem(1), EXPORT, tick=1),
+        flows.copy(mem(0), reg("r1"), tick=2),
+        flows.compute((reg("r1"),), reg("r2"), tick=3),
+        flows.address_dep(reg("r1"), mem(5), tick=4),
+        flows.control_dep((reg("r2"),), mem(6), tick=5),
+        flows.clear(reg("r2"), tick=6),
+    ]
+    return Recording(events=events, meta={"name": "small"})
+
+
+class TestFilters:
+    def test_is_dfp(self):
+        events = list(small_recording())
+        assert [is_dfp(e) for e in events] == [
+            False, False, True, True, False, False, False,
+        ]
+
+    def test_is_ifp(self):
+        events = list(small_recording())
+        assert [is_ifp(e) for e in events] == [
+            False, False, False, False, True, True, False,
+        ]
+
+    def test_is_dfp_or_ifp_is_union(self):
+        for event in small_recording():
+            assert is_dfp_or_ifp(event) == (is_dfp(event) or is_ifp(event))
+
+
+class TestFarosSystem:
+    def params(self):
+        return benchmark_params()
+
+    def test_replay_counts_stages(self):
+        system = FarosSystem(stock_faros_config(self.params()))
+        system.replay(small_recording())
+        assert system.pipeline.stage_counts == {
+            "is_dfp": 2,
+            "is_ifp": 2,
+            "insert": 2,
+            "clear": 1,
+        }
+
+    def test_stock_faros_blocks_indirect(self):
+        system = FarosSystem(stock_faros_config(self.params()))
+        system.replay(small_recording())
+        assert not system.tracker.shadow.is_tainted(mem(5))
+        assert system.tracker.shadow.is_tainted(reg("r1"))
+
+    def test_mitos_propagates_rare_tags(self):
+        system = FarosSystem(mitos_config(self.params()))
+        system.replay(small_recording())
+        # one-copy netflow tag: strongly negative marginal -> propagated
+        assert system.tracker.shadow.is_tainted(mem(5))
+
+    def test_replay_resets_state(self):
+        system = FarosSystem(stock_faros_config(self.params()))
+        system.replay(small_recording())
+        first_entries = system.tracker.shadow.total_entries()
+        system.replay(small_recording())
+        assert system.tracker.shadow.total_entries() == first_entries
+
+    def test_timeline_attached_when_configured(self):
+        system = FarosSystem(mitos_config(self.params(), log_timeline=True))
+        system.replay(small_recording())
+        assert system.timeline is not None
+        assert len(system.timeline) >= 1
+
+    def test_timeline_absent_by_default(self):
+        system = FarosSystem(mitos_config(self.params()))
+        assert system.timeline is None
+
+    def test_detector_fires_on_confluence(self):
+        system = FarosSystem(stock_faros_config(self.params()))
+        recording = Recording(
+            events=[
+                flows.insert(mem(0), NET, tick=0),
+                flows.insert(mem(0), EXPORT, tick=1),
+            ]
+        )
+        result = system.replay(recording)
+        assert result.metrics.detected_bytes == 1
+
+    def test_detector_disabled(self):
+        config = stock_faros_config(self.params(), detector_types=None)
+        system = FarosSystem(config)
+        recording = Recording(
+            events=[
+                flows.insert(mem(0), NET, tick=0),
+                flows.insert(mem(0), EXPORT, tick=1),
+            ]
+        )
+        result = system.replay(recording)
+        assert system.detector is None
+        assert result.metrics.detected_bytes == 0
+
+    def test_run_result_shape(self):
+        system = FarosSystem(stock_faros_config(self.params()))
+        result = system.replay(small_recording())
+        assert result.label == "faros"
+        assert result.metrics.wall_seconds >= 0
+        assert result.tracker_stats["inserts"] == 2
+
+    def test_run_live_attaches_machine(self):
+        from repro.isa.machine import Machine
+        from repro.isa.programs import memcpy_program
+
+        system = FarosSystem(stock_faros_config(self.params()))
+        machine = Machine(memcpy_program(0x100, 0x200, 4))
+        result = system.run_live(machine)
+        assert result.metrics.wall_seconds >= 0
+        assert machine.halted

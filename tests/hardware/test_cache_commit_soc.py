@@ -1,0 +1,147 @@
+"""Tests for the tag cache, cycle model, and assembled SoC component."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.hardware.commit import CycleModel, CycleReport
+from repro.hardware.msr import MitosMsrFile
+from repro.hardware.soc import MitosHardware, location_key, page_of
+from repro.hardware.tag_cache import TagCache
+from repro.hardware.tag_memory import SegmentedTagMemory
+
+
+def params(**kw) -> MitosParams:
+    defaults = dict(R=1 << 16, M_prov=4, tau_scale=1.0)
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+class TestTagCache:
+    def test_first_access_misses_then_hits(self):
+        cache = TagCache(sets=4, ways=2)
+        assert not cache.access("x")
+        assert cache.access("x")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_within_set(self):
+        cache = TagCache(sets=1, ways=2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a; b is LRU
+        cache.access("c")  # evicts b
+        assert cache.contains("a")
+        assert not cache.contains("b")
+
+    def test_sequential_locality_beats_random(self):
+        import random
+
+        rng = random.Random(0)
+        sequential = TagCache(sets=16, ways=4)
+        for _ in range(4):
+            for i in range(32):
+                sequential.access(f"loc{i}")
+        random_cache = TagCache(sets=16, ways=4)
+        for _ in range(128):
+            random_cache.access(f"loc{rng.randrange(10_000)}")
+        assert sequential.stats.hit_rate > random_cache.stats.hit_rate
+
+    def test_invalidate_and_flush(self):
+        cache = TagCache(sets=2, ways=2)
+        cache.access("x")
+        assert cache.invalidate("x")
+        assert not cache.invalidate("x")
+        cache.access("y")
+        cache.flush()
+        assert cache.occupancy == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            TagCache(sets=0)
+
+
+class TestCycleModel:
+    def test_charge_accumulates(self):
+        report = CycleReport()
+        report.charge("decision", 3, 4)
+        report.charge("decision", 1, 4)
+        assert report.total_cycles == 16
+        assert report.by_action["decision"] == 16
+
+    def test_cycles_per_decision(self):
+        report = CycleReport(decisions=4, total_cycles=40)
+        assert report.cycles_per_decision == 10.0
+        assert CycleReport().cycles_per_decision == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CycleModel(decision_cycles=-1)
+
+
+class TestMitosHardware:
+    def test_requires_locked_msr(self):
+        msr = MitosMsrFile()
+        msr.load_params(params())
+        with pytest.raises(ValueError, match="locked"):
+            MitosHardware(msr)
+
+    def test_configure_locks(self):
+        hw = MitosHardware.configure(params())
+        assert hw.msr.locked
+
+    def test_agrees_with_software_tracker(self):
+        """Hardware and software reach identical taint state."""
+        p = params()
+        hw = MitosHardware.configure(p)
+        software = DIFTTracker(p, MitosPolicy(p))
+        tag = Tag("netflow", 1)
+        events = [flows.insert(mem(0), tag, tick=0)]
+        events.append(flows.copy(mem(0), reg("r1"), tick=1))
+        events.append(flows.address_dep(reg("r1"), mem(8), tick=2))
+        events.append(flows.compute((reg("r1"),), reg("r2"), tick=3))
+        for event in events:
+            hw.process(event)
+            software.process(event)
+        assert hw.agrees_with_software(software)
+
+    def test_decisions_charged(self):
+        hw = MitosHardware.configure(params())
+        hw.process(flows.insert(reg("r1"), Tag("netflow", 1), tick=0))
+        hw.process(flows.address_dep(reg("r1"), mem(8), tick=1))
+        assert hw.report.decisions == 1
+        assert hw.report.propagations == 1
+        assert hw.report.total_cycles > 0
+        assert hw.report.by_action.get("decision", 0) > 0
+
+    def test_cache_warms_up(self):
+        hw = MitosHardware.configure(params())
+        tag = Tag("netflow", 1)
+        for tick in range(8):
+            hw.process(flows.insert(mem(5), tag, tick=tick))
+        # the same location repeatedly: first touch misses, rest hit
+        assert hw.report.cache_hits >= 6
+        assert hw.report.cache_misses >= 1
+
+    def test_swaps_charged_under_page_pressure(self):
+        hw = MitosHardware.configure(
+            params(),
+            tag_memory=SegmentedTagMemory(resident_pages=1),
+            cache=TagCache(sets=1, ways=1),
+        )
+        tag = Tag("netflow", 1)
+        # touch many distinct locations: pages thrash through the
+        # single-resident-page segment
+        for tick, address in enumerate(range(0, 4096, 8)):
+            hw.process(flows.insert(mem(address), tag, tick=tick))
+        assert hw.report.swaps > 0
+        assert hw.report.by_action.get("swap", 0) > 0
+
+    def test_location_key_and_page_stable(self):
+        assert location_key(mem(5)) == location_key(mem(5))
+        assert page_of(mem(5)) == page_of(mem(5))

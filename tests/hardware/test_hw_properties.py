@@ -1,0 +1,73 @@
+"""Property test: hardware MITOS agrees bit-exactly with software MITOS."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.hardware import MitosHardware
+
+tag_strategy = st.builds(
+    Tag,
+    type=st.sampled_from(["netflow", "file", "export_table"]),
+    index=st.integers(1, 4),
+)
+
+event_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "copy", "address", "control", "clear"]),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        tag_strategy,
+    ),
+    max_size=50,
+)
+
+
+def build_events(specs):
+    events = []
+    for tick, (op, src, dst, tag) in enumerate(specs):
+        if op == "insert":
+            events.append(flows.insert(mem(dst), tag, tick=tick))
+        elif op == "copy":
+            events.append(flows.copy(mem(src), reg(f"r{dst % 8}"), tick=tick))
+        elif op == "address":
+            events.append(
+                flows.address_dep(reg(f"r{src % 8}"), mem(dst), tick=tick)
+            )
+        elif op == "control":
+            events.append(
+                flows.control_dep((reg(f"r{src % 8}"),), mem(dst), tick=tick)
+            )
+        else:
+            events.append(flows.clear(mem(dst), tick=tick))
+    return events
+
+
+class TestHardwareSoftwareEquivalence:
+    @given(specs=event_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_identical_taint_state(self, specs):
+        params = MitosParams(R=1 << 16, M_prov=4, tau_scale=1.0)
+        events = build_events(specs)
+        hardware = MitosHardware.configure(params)
+        software = DIFTTracker(params, MitosPolicy(params))
+        for event in events:
+            hardware.process(event)
+            software.process(event)
+        assert hardware.agrees_with_software(software)
+
+    @given(specs=event_specs)
+    @settings(max_examples=20, deadline=None)
+    def test_cycle_accounting_monotone(self, specs):
+        params = MitosParams(R=1 << 16, M_prov=4, tau_scale=1.0)
+        hardware = MitosHardware.configure(params)
+        last = 0
+        for event in build_events(specs):
+            hardware.process(event)
+            assert hardware.report.total_cycles >= last
+            last = hardware.report.total_cycles

@@ -1,0 +1,95 @@
+"""Tests for the MITOS model-specific register file."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.hardware.msr import (
+    FIXED_POINT_ONE,
+    MSR_ALPHA,
+    MSR_U_BANK,
+    WEIGHT_BANK_SIZE,
+    MitosMsrFile,
+    MsrLockedError,
+    from_fixed,
+    to_fixed,
+)
+
+
+class TestFixedPoint:
+    def test_round_trip_exact_for_dyadic(self):
+        assert from_fixed(to_fixed(1.5)) == 1.5
+        assert from_fixed(to_fixed(0.25)) == 0.25
+
+    def test_round_trip_error_bound(self):
+        for value in (1.3, 2.7, 0.001, 123.456):
+            assert abs(from_fixed(to_fixed(value)) - value) <= 2 ** -16
+
+    def test_one(self):
+        assert to_fixed(1.0) == FIXED_POINT_ONE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            to_fixed(-0.5)
+
+
+class TestMsrFile:
+    def params(self) -> MitosParams:
+        return MitosParams(
+            alpha=1.5, beta=2.0, tau=0.25, tau_scale=64.0,
+            R=1 << 16, M_prov=10,
+            u={"netflow": 2.0, "file": 0.5}, o={"netflow": 1.5},
+        )
+
+    def test_params_round_trip(self):
+        msr = MitosMsrFile()
+        original = self.params()
+        msr.load_params(original)
+        decoded = msr.to_params()
+        assert decoded.alpha == original.alpha
+        assert decoded.tau == original.tau
+        assert decoded.R == original.R
+        assert decoded.M_prov == original.M_prov
+        assert decoded.u == original.u
+        assert decoded.o == {"netflow": 1.5}
+
+    def test_lock_blocks_writes(self):
+        msr = MitosMsrFile()
+        msr.load_params(self.params())
+        msr.lock()
+        assert msr.locked
+        with pytest.raises(MsrLockedError):
+            msr.write(MSR_ALPHA, 123)
+
+    def test_lock_blocks_new_tag_types(self):
+        msr = MitosMsrFile()
+        msr.load_params(self.params())
+        msr.lock()
+        with pytest.raises(MsrLockedError):
+            msr.slot_for("brand_new_type")
+
+    def test_known_types_resolvable_after_lock(self):
+        msr = MitosMsrFile()
+        msr.load_params(self.params())
+        slot = msr.slot_for("netflow")
+        msr.lock()
+        assert msr.slot_for("netflow") == slot
+
+    def test_weight_bank_capacity(self):
+        msr = MitosMsrFile()
+        for i in range(WEIGHT_BANK_SIZE):
+            msr.slot_for(f"type{i}")
+        with pytest.raises(ValueError):
+            msr.slot_for("one-too-many")
+
+    def test_reads_default_to_zero(self):
+        assert MitosMsrFile().read(0x999) == 0
+
+    def test_unsigned_writes_only(self):
+        with pytest.raises(ValueError):
+            MitosMsrFile().write(MSR_U_BANK, -1)
+
+    def test_dump_sorted(self):
+        msr = MitosMsrFile()
+        msr.load_params(self.params())
+        addresses = [address for address, _ in msr.dump()]
+        assert addresses == sorted(addresses)

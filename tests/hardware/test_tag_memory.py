@@ -1,0 +1,108 @@
+"""Tests for the segmented tag memory and authenticated swap."""
+
+import pytest
+
+from repro.dift.tags import Tag
+from repro.hardware.tag_memory import SegmentedTagMemory, SwapError, TagPage
+
+
+class TestTagPage:
+    def test_put_get(self):
+        page = TagPage(page_id=3)
+        page.put("('mem', 5)", [Tag("netflow", 1), Tag("file", 2)])
+        assert page.get("('mem', 5)") == [("netflow", 1), ("file", 2)]
+        assert page.get("absent") is None
+
+    def test_serialize_round_trip(self):
+        page = TagPage(page_id=7)
+        page.put("a", [Tag("netflow", 1)])
+        page.put("b", [Tag("file", 3), Tag("process", 2)])
+        restored = TagPage.deserialize(page.serialize())
+        assert restored.page_id == 7
+        assert restored.entries == page.entries
+
+    def test_serialization_is_deterministic(self):
+        a = TagPage(page_id=1)
+        a.put("x", [Tag("t", 1)])
+        a.put("y", [Tag("t", 2)])
+        b = TagPage(page_id=1)
+        b.put("y", [Tag("t", 2)])
+        b.put("x", [Tag("t", 1)])
+        assert a.serialize() == b.serialize()
+
+
+class TestSwap:
+    def test_pages_created_on_demand(self):
+        memory = SegmentedTagMemory(resident_pages=2)
+        page = memory.page(5)
+        assert page.page_id == 5
+        assert memory.is_resident(5)
+
+    def test_eviction_seals_lru_page(self):
+        memory = SegmentedTagMemory(resident_pages=2)
+        memory.page(1)
+        memory.page(2)
+        memory.page(3)  # evicts page 1
+        assert not memory.is_resident(1)
+        assert memory.swapped_count == 1
+        assert memory.swap_outs == 1
+
+    def test_lru_refresh_on_access(self):
+        memory = SegmentedTagMemory(resident_pages=2)
+        memory.page(1)
+        memory.page(2)
+        memory.page(1)  # refresh: 2 is now LRU
+        memory.page(3)
+        assert memory.is_resident(1)
+        assert not memory.is_resident(2)
+
+    def test_swap_in_restores_contents(self):
+        memory = SegmentedTagMemory(resident_pages=1)
+        page = memory.page(1)
+        page.put("loc", [Tag("netflow", 9)])
+        memory.page(2)  # swap out 1
+        restored = memory.page(1)  # swap back in
+        assert restored.get("loc") == [("netflow", 9)]
+        assert memory.swap_ins == 1
+
+    def test_os_sees_only_ciphertext(self):
+        memory = SegmentedTagMemory(resident_pages=1)
+        page = memory.page(1)
+        page.put("secret-location", [Tag("netflow", 1)])
+        memory.page(2)
+        sealed = memory.os_view(1)
+        assert sealed is not None
+        assert b"secret-location" not in sealed.ciphertext
+
+    def test_tampered_page_detected(self):
+        memory = SegmentedTagMemory(resident_pages=1)
+        memory.page(1).put("loc", [Tag("netflow", 1)])
+        memory.page(2)
+        memory.os_tamper(1)
+        with pytest.raises(SwapError, match="authentication"):
+            memory.page(1)
+
+    def test_dropped_page_comes_back_empty(self):
+        # an OS that discards a page loses data but cannot forge it; the
+        # hardware treats the page as fresh
+        memory = SegmentedTagMemory(resident_pages=1)
+        memory.page(1).put("loc", [Tag("netflow", 1)])
+        memory.page(2)
+        memory.os_drop(1)
+        assert memory.page(1).entries == {}
+
+    def test_distinct_nonces_give_distinct_ciphertexts(self):
+        memory = SegmentedTagMemory(resident_pages=1)
+        memory.page(1).put("loc", [Tag("netflow", 1)])
+        memory.page(2)  # seal 1
+        first = memory.os_view(1)
+        memory.page(1)  # swap in
+        memory.page(3)  # seal 1 again
+        second = memory.os_view(1)
+        assert first is not None and second is not None
+        assert first.nonce != second.nonce
+        assert first.ciphertext != second.ciphertext
+
+    def test_invalid_resident_limit(self):
+        with pytest.raises(ValueError):
+            SegmentedTagMemory(resident_pages=0)

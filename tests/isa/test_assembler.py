@@ -1,0 +1,158 @@
+"""Tests for repro.isa.assembler."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import Instruction, Op
+
+
+class TestBasicParsing:
+    def test_simple_program(self):
+        program = assemble("movi r0, 5\nhalt")
+        assert program.instructions == (
+            Instruction(Op.MOVI, ("r0", 5)),
+            Instruction(Op.HALT, ()),
+        )
+
+    def test_hex_immediates(self):
+        program = assemble("movi r1, 0xFF\nhalt")
+        assert program.instructions[0].operands == ("r1", 255)
+
+    def test_negative_immediates(self):
+        program = assemble("addi r1, r1, -1\nhalt")
+        assert program.instructions[0].operands == ("r1", "r1", -1)
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            """
+            ; leading comment
+            movi r0, 1   ; trailing comment
+
+            halt
+            """
+        )
+        assert len(program) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("MOVI r0, 1\nHALT")
+        assert program.instructions[0].op is Op.MOVI
+
+
+class TestLabels:
+    def test_label_resolution(self):
+        program = assemble(
+            """
+            movi r0, 0
+    loop:   addi r0, r0, 1
+            bne r0, r1, loop
+            halt
+            """
+        )
+        assert program.labels == {"loop": 1}
+        branch = program.instructions[2]
+        assert branch.operands == ("r0", "r1", 1)
+
+    def test_label_alone_on_line(self):
+        program = assemble(
+            """
+            jmp end
+    end:
+            halt
+            """
+        )
+        assert program.labels["end"] == 1
+        assert program.instructions[0].operands == (1,)
+
+    def test_forward_and_backward_references(self):
+        program = assemble(
+            """
+    top:    beq r0, r1, bottom
+            jmp top
+    bottom: halt
+            """
+        )
+        assert program.instructions[0].operands == ("r0", "r1", 2)
+        assert program.instructions[1].operands == (0,)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: halt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("jmp nowhere\nhalt")
+
+    def test_label_at_helper(self):
+        program = assemble("x: halt")
+        assert program.label_at("x") == 0
+        with pytest.raises(KeyError):
+            program.label_at("missing")
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            assemble("frobnicate r0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("movi r0")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble("movi r99, 1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError, match="integer"):
+            assemble("movi r0, banana")
+
+    def test_error_reports_line_number(self):
+        try:
+            assemble("nop\nnop\nbogus r1")
+        except AssemblerError as error:
+            assert error.line_number == 3
+
+
+class TestDirectives:
+    def test_org_and_byte(self):
+        program = assemble(
+            """
+            .org 0x100
+            .byte 1, 2, 3
+            halt
+            """
+        )
+        assert program.data == {0x100: b"\x01\x02\x03"}
+
+    def test_ascii(self):
+        program = assemble('.org 32\n.ascii "hi"\nhalt')
+        assert program.data == {32: b"hi"}
+
+    def test_zero(self):
+        program = assemble(".org 8\n.zero 4\nhalt")
+        assert program.data == {8: b"\x00" * 4}
+
+    def test_consecutive_directives_concatenate(self):
+        program = assemble('.org 0\n.byte 1\n.byte 2\nhalt')
+        # cursor advances; the two blobs land at addresses 0 and 1
+        blob = b"".join(
+            program.data[addr] for addr in sorted(program.data)
+        )
+        assert blob == b"\x01\x02"
+
+    def test_byte_range_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble(".byte 300")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="directive"):
+            assemble(".wat 1")
+
+    def test_ascii_requires_quotes(self):
+        with pytest.raises(AssemblerError):
+            assemble(".ascii hi")
+
+    def test_semicolon_inside_string_kept(self):
+        program = assemble('.org 0\n.ascii "a;b"\nhalt')
+        assert program.data[0] == b"a;b"

@@ -1,0 +1,115 @@
+"""Tests for repro.isa.cfg (post-dominators and control scopes)."""
+
+from repro.isa.assembler import assemble
+from repro.isa.cfg import EXIT, ControlFlowGraph
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    return ControlFlowGraph(assemble(source))
+
+
+class TestDiamond:
+    SOURCE = """
+            beq r0, r1, right   ; 0
+            movi r2, 1          ; 1 (left arm)
+            jmp join            ; 2
+    right:  movi r2, 2          ; 3 (right arm)
+    join:   halt                ; 4
+    """
+
+    def test_ipostdom_is_join(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.ipostdom(0) == 4
+
+    def test_scope_is_both_arms(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.control_scope(0) == frozenset({1, 2, 3})
+
+    def test_scope_join(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.scope_join(0) == 4
+
+    def test_non_branch_scope_empty(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.control_scope(1) == frozenset()
+
+    def test_branches_listed(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.branches() == [0]
+
+
+class TestIfWithoutElse:
+    SOURCE = """
+            bne r0, r1, skip    ; 0
+            movi r2, 1          ; 1 (guarded write)
+    skip:   halt                ; 2
+    """
+
+    def test_scope_is_guarded_body(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.control_scope(0) == frozenset({1})
+        assert cfg.scope_join(0) == 2
+
+
+class TestLoop:
+    SOURCE = """
+            movi r0, 0          ; 0
+    loop:   addi r0, r0, 1      ; 1
+            blt r0, r1, loop    ; 2
+            halt                ; 3
+    """
+
+    def test_loop_branch_scope_is_body(self):
+        cfg = cfg_of(self.SOURCE)
+        # back edge: scope covers the loop body (including the branch via
+        # the cycle) but not the exit instruction
+        scope = cfg.control_scope(2)
+        assert 1 in scope
+        assert 3 not in scope
+        assert cfg.scope_join(2) == 3
+
+
+class TestNestedBranches:
+    SOURCE = """
+            beq r0, r1, outer_join   ; 0
+            bne r2, r3, inner_skip   ; 1
+            movi r4, 1               ; 2
+    inner_skip:
+            movi r5, 2               ; 3
+    outer_join:
+            halt                     ; 4
+    """
+
+    def test_outer_scope_contains_inner(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.control_scope(0) == frozenset({1, 2, 3})
+
+    def test_inner_scope_is_inner_body_only(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.control_scope(1) == frozenset({2})
+        assert cfg.scope_join(1) == 3
+
+
+class TestDegenerate:
+    def test_branch_to_next_instruction_has_empty_scope(self):
+        cfg = cfg_of(
+            """
+            beq r0, r1, next    ; 0
+    next:   halt                ; 1
+            """
+        )
+        assert cfg.control_scope(0) == frozenset()
+
+    def test_straightline_program(self):
+        cfg = cfg_of("movi r0, 1\nmovi r1, 2\nhalt")
+        assert cfg.branches() == []
+        assert cfg.ipostdom(0) == 1
+        assert cfg.ipostdom(2) == EXIT
+
+    def test_program_falling_off_end(self):
+        cfg = cfg_of("movi r0, 1\nnop")
+        assert cfg.ipostdom(1) == EXIT
+
+    def test_exit_edges_present(self):
+        cfg = cfg_of("halt")
+        assert (0, EXIT) in cfg.edges()

@@ -1,0 +1,118 @@
+"""Tests for repro.isa.disassembler, including round-trip properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.instructions import Instruction, Op, Program
+from repro.isa.memory import Memory
+from repro.isa.programs import (
+    lookup_table_translate,
+    memcpy_program,
+    rc4_like_decode,
+    stack_churn,
+    tainted_branch_copy,
+)
+
+
+def round_trip(program: Program) -> Program:
+    return assemble(disassemble(program))
+
+
+class TestRoundTripCanonical:
+    def test_all_canonical_programs(self):
+        programs = [
+            lookup_table_translate(0x100, 0x200, 0x400, 8),
+            memcpy_program(0x100, 0x200, 8),
+            rc4_like_decode(0x100, 0x400, 8, 0x200),
+            tainted_branch_copy(0x100, 0x400, 8),
+            stack_churn(0x100, 0x4000, 8),
+        ]
+        for program in programs:
+            assert round_trip(program).instructions == program.instructions
+
+    def test_data_image_preserved(self):
+        program = assemble(
+            '.org 0x20\n.byte 1, 2, 3\n.org 0x100\n.ascii "hello world"\nmovi r0, 1\nhalt'
+        )
+        restored = round_trip(program)
+        # chunking may differ; the memory images must match
+        original_memory = Memory(0x200)
+        for address, blob in program.data.items():
+            original_memory.write_bytes(address, blob)
+        restored_memory = Memory(0x200)
+        for address, blob in restored.data.items():
+            restored_memory.write_bytes(address, blob)
+        assert original_memory.read_bytes(0, 0x200) == restored_memory.read_bytes(
+            0, 0x200
+        )
+
+    def test_trailing_branch_target(self):
+        # a loop whose exit label is one past the last instruction
+        program = assemble(
+            """
+    top:    addi r0, r0, 1
+            blt r0, r1, top
+            beq r0, r1, end
+            nop
+    end:
+            """
+        )
+        assert round_trip(program).instructions == program.instructions
+
+    def test_negative_immediates_survive(self):
+        program = assemble("addi r1, r1, -7\nhalt")
+        assert round_trip(program).instructions == program.instructions
+
+
+_register = st.sampled_from([f"r{i}" for i in range(16)])
+_imm = st.integers(-1000, 1000)
+
+
+@st.composite
+def random_programs(draw):
+    """Random straight-line + branch programs with valid targets."""
+    body_len = draw(st.integers(1, 12))
+    instructions = []
+    for _ in range(body_len):
+        choice = draw(st.integers(0, 5))
+        if choice == 0:
+            instructions.append(
+                Instruction(Op.MOVI, (draw(_register), draw(_imm)))
+            )
+        elif choice == 1:
+            instructions.append(
+                Instruction(Op.MOV, (draw(_register), draw(_register)))
+            )
+        elif choice == 2:
+            instructions.append(
+                Instruction(
+                    Op.ADD,
+                    (draw(_register), draw(_register), draw(_register)),
+                )
+            )
+        elif choice == 3:
+            instructions.append(
+                Instruction(
+                    Op.LB, (draw(_register), draw(_register), draw(_imm))
+                )
+            )
+        elif choice == 4:
+            instructions.append(Instruction(Op.NOP, ()))
+        else:
+            target = draw(st.integers(0, body_len))
+            instructions.append(
+                Instruction(
+                    Op.BEQ, (draw(_register), draw(_register), target)
+                )
+            )
+    instructions.append(Instruction(Op.HALT, ()))
+    return Program(instructions=tuple(instructions))
+
+
+class TestRoundTripProperty:
+    @given(program=random_programs())
+    @settings(max_examples=100)
+    def test_instructions_survive_round_trip(self, program):
+        assert round_trip(program).instructions == program.instructions

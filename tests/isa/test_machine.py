@@ -1,0 +1,334 @@
+"""Tests for repro.isa.machine: semantics and emitted flow events."""
+
+import pytest
+
+from repro.dift.flows import FlowKind
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import TagAllocator
+from repro.isa.assembler import assemble
+from repro.isa.devices import FileDevice, NetworkDevice, OutputDevice
+from repro.isa.errors import ExecutionLimitExceeded, SegmentationFault
+from repro.isa.machine import Machine
+
+
+def run(source: str, **kwargs) -> Machine:
+    machine = Machine(assemble(source), **kwargs)
+    machine.run()
+    return machine
+
+
+def events_of(machine: Machine, kind: FlowKind) -> list:
+    return [e for e in machine.trace if e.kind is kind]
+
+
+class TestArithmetic:
+    def test_movi_and_mov(self):
+        machine = run("movi r0, 7\nmov r1, r0\nhalt")
+        assert machine.registers["r0"] == 7
+        assert machine.registers["r1"] == 7
+
+    def test_alu_ops(self):
+        machine = run(
+            """
+            movi r1, 12
+            movi r2, 5
+            add r3, r1, r2
+            sub r4, r1, r2
+            mul r5, r1, r2
+            xor r6, r1, r2
+            and r7, r1, r2
+            or  r8, r1, r2
+            shl r9, r1, r2
+            shr r10, r1, r2
+            halt
+            """
+        )
+        assert machine.registers["r3"] == 17
+        assert machine.registers["r4"] == 7
+        assert machine.registers["r5"] == 60
+        assert machine.registers["r6"] == 9
+        assert machine.registers["r7"] == 4
+        assert machine.registers["r8"] == 13
+        assert machine.registers["r9"] == 12 << 5
+        assert machine.registers["r10"] == 0
+
+    def test_32bit_wraparound(self):
+        machine = run(
+            """
+            movi r1, 0xFFFFFFFF
+            addi r1, r1, 1
+            halt
+            """
+        )
+        assert machine.registers["r1"] == 0
+
+    def test_sub_wraps_negative(self):
+        machine = run("movi r1, 0\nmovi r2, 1\nsub r3, r1, r2\nhalt")
+        assert machine.registers["r3"] == 0xFFFFFFFF
+
+    def test_addi(self):
+        machine = run("movi r0, 10\naddi r0, r0, -3\nhalt")
+        assert machine.registers["r0"] == 7
+
+
+class TestMemoryOps:
+    def test_load_store_round_trip(self):
+        machine = run(
+            """
+            movi r0, 0x40
+            movi r1, 0xAB
+            sb r1, r0, 0
+            lb r2, r0, 0
+            halt
+            """
+        )
+        assert machine.registers["r2"] == 0xAB
+
+    def test_offset_addressing(self):
+        machine = run(
+            """
+            movi r0, 0x40
+            movi r1, 9
+            sb r1, r0, 5
+            lb r2, r0, 5
+            halt
+            """
+        )
+        assert machine.memory.read_byte(0x45) == 9
+        assert machine.registers["r2"] == 9
+
+    def test_data_image_loaded(self):
+        machine = Machine(assemble('.org 0x10\n.ascii "ok"\nhalt'))
+        assert machine.memory_bytes(0x10, 2) == b"ok"
+
+    def test_segfault_propagates(self):
+        with pytest.raises(SegmentationFault):
+            run("movi r0, 0xFFFFF\nlb r1, r0, 0\nhalt", memory_size=256)
+
+
+class TestControlFlow:
+    def test_taken_branch(self):
+        machine = run(
+            """
+            movi r0, 1
+            movi r1, 1
+            beq r0, r1, skip
+            movi r2, 99
+    skip:   halt
+            """
+        )
+        assert machine.registers["r2"] == 0
+
+    def test_not_taken_branch(self):
+        machine = run(
+            """
+            movi r0, 1
+            beq r0, r1, skip
+            movi r2, 99
+    skip:   halt
+            """
+        )
+        assert machine.registers["r2"] == 99
+
+    def test_loop_terminates(self):
+        machine = run(
+            """
+            movi r0, 0
+            movi r1, 10
+    loop:   addi r0, r0, 1
+            blt r0, r1, loop
+            halt
+            """
+        )
+        assert machine.registers["r0"] == 10
+
+    def test_falling_off_end_halts(self):
+        machine = run("movi r0, 1\nnop")
+        assert machine.halted
+
+    def test_infinite_loop_hits_step_budget(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("loop: jmp loop", max_steps=100)
+
+    def test_step_after_halt_is_noop(self):
+        machine = run("halt")
+        before = machine.steps
+        machine.step()
+        assert machine.steps == before
+
+
+class TestEmittedEvents:
+    def test_movi_emits_clear(self):
+        machine = run("movi r0, 1\nhalt")
+        clears = events_of(machine, FlowKind.CLEAR)
+        assert len(clears) == 1
+        assert clears[0].destination == reg("r0")
+
+    def test_mov_emits_copy(self):
+        machine = run("movi r0, 1\nmov r1, r0\nhalt")
+        copies = events_of(machine, FlowKind.COPY)
+        assert copies[0].sources == (reg("r0"),)
+        assert copies[0].destination == reg("r1")
+
+    def test_alu_emits_compute(self):
+        machine = run("add r2, r0, r1\nhalt")
+        computes = events_of(machine, FlowKind.COMPUTE)
+        assert computes[0].sources == (reg("r0"), reg("r1"))
+
+    def test_load_emits_copy_and_address_dep(self):
+        machine = run("movi r0, 0x40\nlb r1, r0, 0\nhalt")
+        copies = events_of(machine, FlowKind.COPY)
+        deps = events_of(machine, FlowKind.ADDRESS_DEP)
+        assert copies[0].sources == (mem(0x40),)
+        assert deps[0].sources == (reg("r0"),)
+        assert deps[0].destination == reg("r1")
+
+    def test_store_emits_copy_and_address_dep(self):
+        machine = run("movi r0, 0x40\nmovi r1, 7\nsb r1, r0, 0\nhalt")
+        deps = events_of(machine, FlowKind.ADDRESS_DEP)
+        assert deps[0].sources == (reg("r0"),)
+        assert deps[0].destination == mem(0x40)
+
+    def test_address_deps_suppressible(self):
+        machine = run(
+            "movi r0, 0x40\nlb r1, r0, 0\nhalt", emit_address_deps=False
+        )
+        assert events_of(machine, FlowKind.ADDRESS_DEP) == []
+
+    def test_control_dep_inside_branch_scope(self):
+        machine = run(
+            """
+            movi r0, 1
+            beq r0, r1, skip
+            movi r2, 5
+    skip:   halt
+            """
+        )
+        control = events_of(machine, FlowKind.CONTROL_DEP)
+        assert len(control) == 1
+        assert control[0].destination == reg("r2")
+        assert set(control[0].sources) == {reg("r0"), reg("r1")}
+
+    def test_no_control_dep_after_join(self):
+        machine = run(
+            """
+            beq r0, r1, join
+            nop
+    join:   movi r2, 5
+            halt
+            """
+        )
+        control = events_of(machine, FlowKind.CONTROL_DEP)
+        assert all(e.destination != reg("r2") for e in control)
+
+    def test_taken_branch_skips_scope_writes(self):
+        machine = run(
+            """
+            movi r0, 1
+            movi r1, 1
+            beq r0, r1, skip
+            movi r2, 5
+    skip:   movi r3, 6
+            halt
+            """
+        )
+        control = events_of(machine, FlowKind.CONTROL_DEP)
+        # the guarded write never executed and r3 is at the join
+        assert control == []
+
+    def test_control_deps_suppressible(self):
+        machine = run(
+            """
+            beq r0, r1, skip
+            movi r2, 5
+    skip:   halt
+            """,
+            emit_control_deps=False,
+        )
+        assert events_of(machine, FlowKind.CONTROL_DEP) == []
+
+    def test_nested_scopes_union_conditions(self):
+        machine = run(
+            """
+            movi r0, 1
+            beq r0, r9, outer    ; not taken: enter scope
+            bne r0, r8, inner    ; taken: enter scope
+    inner:  movi r2, 5
+    outer:  halt
+            """
+        )
+        control = [
+            e
+            for e in events_of(machine, FlowKind.CONTROL_DEP)
+            if e.destination == reg("r2")
+        ]
+        assert len(control) == 1
+        assert set(control[0].sources) >= {reg("r0"), reg("r9")}
+
+    def test_loop_does_not_stack_frames(self):
+        machine = Machine(
+            assemble(
+                """
+                movi r0, 0
+                movi r1, 50
+        loop:   addi r0, r0, 1
+                blt r0, r1, loop
+                halt
+                """
+            )
+        )
+        machine.run()
+        assert len(machine._control_stack) == 0
+
+    def test_events_carry_monotonic_ticks(self):
+        machine = run("movi r0, 1\nmov r1, r0\nmov r2, r1\nhalt")
+        ticks = [e.tick for e in machine.trace]
+        assert ticks == sorted(ticks)
+
+
+class TestDevices:
+    def test_in_reads_and_taints(self):
+        alloc = TagAllocator()
+        device = NetworkDevice(b"AB", alloc)
+        machine = run("in r0, 0\nin r1, 0\nhalt", devices={0: device})
+        assert machine.registers["r0"] == ord("A")
+        assert machine.registers["r1"] == ord("B")
+        inserts = events_of(machine, FlowKind.INSERT)
+        assert len(inserts) == 2
+        assert inserts[0].tag == device.tag
+
+    def test_exhausted_device_reads_zero_untainted(self):
+        alloc = TagAllocator()
+        device = NetworkDevice(b"A", alloc)
+        machine = run("in r0, 0\nin r1, 0\nhalt", devices={0: device})
+        assert machine.registers["r1"] == 0
+        assert len(events_of(machine, FlowKind.INSERT)) == 1
+
+    def test_out_writes_to_device(self):
+        sink = OutputDevice("console")
+        machine = run(
+            "movi r0, 65\nout r0, 3\nhalt", devices={3: sink}
+        )
+        assert sink.received == [65]
+        copies = events_of(machine, FlowKind.COPY)
+        assert copies[0].destination == ("dev", ("console", 0))
+
+    def test_file_device_round_trip(self):
+        alloc = TagAllocator()
+        source = FileDevice(1, b"xy", alloc)
+        dest = FileDevice(2, b"", alloc)
+        machine = run(
+            """
+            in r0, 1
+            out r0, 2
+            in r0, 1
+            out r0, 2
+            halt
+            """,
+            devices={1: source, 2: dest},
+        )
+        assert bytes(dest.written) == b"xy"
+
+    def test_unmapped_port_is_null_device(self):
+        machine = run("in r0, 9\nhalt")
+        assert machine.registers["r0"] == 0

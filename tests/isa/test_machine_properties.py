@@ -1,0 +1,143 @@
+"""Property-based tests for machine semantics and trace determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy, PropagateNonePolicy
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.isa.errors import ExecutionLimitExceeded, SegmentationFault
+from repro.isa.machine import Machine
+from repro.isa.programs import (
+    checksum_program,
+    lookup_table_translate,
+    memcpy_program,
+)
+
+SRC, TABLE, DST = 0x100, 0x200, 0x400
+
+payloads = st.binary(min_size=1, max_size=48)
+
+
+def tracked_machine(program, policy):
+    params = MitosParams(R=1 << 16, M_prov=10, tau_scale=1.0)
+    tracker = DIFTTracker(params, policy)
+    machine = Machine(program, event_sink=tracker.process)
+    return machine, tracker
+
+
+class TestValueSemantics:
+    @given(payload=payloads)
+    @settings(max_examples=30)
+    def test_memcpy_copies_exactly(self, payload):
+        machine = Machine(memcpy_program(SRC, DST, len(payload)))
+        machine.memory.write_bytes(SRC, payload)
+        machine.run()
+        assert machine.memory_bytes(DST, len(payload)) == payload
+
+    @given(payload=payloads)
+    @settings(max_examples=30)
+    def test_checksum_is_sum_mod_2_32(self, payload):
+        machine = Machine(checksum_program(SRC, len(payload)))
+        machine.memory.write_bytes(SRC, payload)
+        machine.run()
+        assert machine.registers["r5"] == sum(payload) & 0xFFFFFFFF
+
+    @given(payload=payloads, table=st.binary(min_size=256, max_size=256))
+    @settings(max_examples=30)
+    def test_lookup_translate_applies_table(self, payload, table):
+        machine = Machine(lookup_table_translate(SRC, TABLE, DST, len(payload)))
+        machine.memory.write_bytes(SRC, payload)
+        machine.memory.write_bytes(TABLE, table)
+        machine.run()
+        expected = bytes(table[b] for b in payload)
+        assert machine.memory_bytes(DST, len(payload)) == expected
+
+
+class TestTaintSoundness:
+    @given(payload=payloads)
+    @settings(max_examples=20)
+    def test_translate_output_fully_tainted_under_propagate_all(self, payload):
+        """Ground truth: every output byte depends on its input byte."""
+        program = lookup_table_translate(SRC, TABLE, DST, len(payload))
+        machine, tracker = tracked_machine(program, PropagateAllPolicy())
+        machine.memory.write_bytes(SRC, payload)
+        machine.memory.write_bytes(TABLE, bytes(range(256)))
+        tag = Tag("netflow", 1)
+        for i in range(len(payload)):
+            tracker.process(flows.insert(mem(SRC + i), tag))
+        machine.run()
+        assert all(
+            tracker.shadow.is_tainted(mem(DST + i))
+            for i in range(len(payload))
+        )
+
+    @given(payload=payloads)
+    @settings(max_examples=20)
+    def test_translate_output_untainted_without_ifp(self, payload):
+        """The undertainting blindspot is total for the lookup kernel."""
+        program = lookup_table_translate(SRC, TABLE, DST, len(payload))
+        machine, tracker = tracked_machine(program, PropagateNonePolicy())
+        machine.memory.write_bytes(SRC, payload)
+        machine.memory.write_bytes(TABLE, bytes(range(256)))
+        tag = Tag("netflow", 1)
+        for i in range(len(payload)):
+            tracker.process(flows.insert(mem(SRC + i), tag))
+        machine.run()
+        assert not any(
+            tracker.shadow.is_tainted(mem(DST + i))
+            for i in range(len(payload))
+        )
+
+    @given(payload=payloads)
+    @settings(max_examples=20)
+    def test_memcpy_preserves_taint_exactly(self, payload):
+        program = memcpy_program(SRC, DST, len(payload))
+        machine, tracker = tracked_machine(program, PropagateNonePolicy())
+        machine.memory.write_bytes(SRC, payload)
+        tag = Tag("netflow", 1)
+        # taint only even offsets; the copy must mirror that pattern
+        for i in range(0, len(payload), 2):
+            tracker.process(flows.insert(mem(SRC + i), tag))
+        machine.run()
+        for i in range(len(payload)):
+            assert tracker.shadow.is_tainted(mem(DST + i)) == (i % 2 == 0)
+
+
+class TestDeterminism:
+    @given(payload=payloads, seed=st.integers(0, 3))
+    @settings(max_examples=20)
+    def test_same_program_same_trace(self, payload, seed):
+        def run_once():
+            machine = Machine(memcpy_program(SRC, DST, len(payload)))
+            machine.memory.write_bytes(SRC, payload)
+            machine.run()
+            return machine.trace, dict(machine.registers)
+
+        first_trace, first_regs = run_once()
+        second_trace, second_regs = run_once()
+        assert first_trace == second_trace
+        assert first_regs == second_regs
+
+    @given(
+        ops=st.lists(
+            st.sampled_from(
+                ["movi r0, 5", "mov r1, r0", "add r2, r0, r1", "nop"]
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30)
+    def test_straightline_programs_always_halt(self, ops):
+        from repro.isa.assembler import assemble
+
+        machine = Machine(assemble("\n".join(ops + ["halt"])))
+        try:
+            machine.run(max_steps=100)
+        except (ExecutionLimitExceeded, SegmentationFault):
+            raise AssertionError("straight-line program failed to halt")
+        assert machine.halted

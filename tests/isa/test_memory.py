@@ -1,0 +1,79 @@
+"""Tests for repro.isa.memory."""
+
+import pytest
+
+from repro.isa.errors import SegmentationFault
+from repro.isa.memory import Memory
+
+
+class TestBytes:
+    def test_read_write_byte(self):
+        memory = Memory(64)
+        memory.write_byte(10, 0xAB)
+        assert memory.read_byte(10) == 0xAB
+
+    def test_byte_masking(self):
+        memory = Memory(64)
+        memory.write_byte(0, 0x1FF)
+        assert memory.read_byte(0) == 0xFF
+
+    def test_zero_initialized(self):
+        memory = Memory(16)
+        assert all(memory.read_byte(i) == 0 for i in range(16))
+
+    def test_bulk_read_write(self):
+        memory = Memory(64)
+        memory.write_bytes(5, b"hello")
+        assert memory.read_bytes(5, 5) == b"hello"
+
+    def test_fill(self):
+        memory = Memory(64)
+        memory.fill(8, 4, 0x7)
+        assert memory.read_bytes(8, 4) == b"\x07\x07\x07\x07"
+
+
+class TestWords:
+    def test_word_round_trip(self):
+        memory = Memory(64)
+        memory.write_word(12, 0xDEADBEEF)
+        assert memory.read_word(12) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        memory = Memory(64)
+        memory.write_word(0, 0x01020304)
+        assert memory.read_byte(0) == 0x04
+        assert memory.read_byte(3) == 0x01
+
+    def test_word_masking(self):
+        memory = Memory(64)
+        memory.write_word(0, 0x1_0000_0001)
+        assert memory.read_word(0) == 1
+
+
+class TestBounds:
+    def test_negative_address(self):
+        with pytest.raises(SegmentationFault):
+            Memory(16).read_byte(-1)
+
+    def test_past_end(self):
+        with pytest.raises(SegmentationFault):
+            Memory(16).read_byte(16)
+
+    def test_word_straddling_end(self):
+        with pytest.raises(SegmentationFault):
+            Memory(16).read_word(14)
+
+    def test_bulk_past_end(self):
+        with pytest.raises(SegmentationFault):
+            Memory(16).write_bytes(14, b"abcd")
+
+    def test_fault_carries_details(self):
+        try:
+            Memory(16).read_byte(99)
+        except SegmentationFault as fault:
+            assert fault.address == 99
+            assert fault.size == 16
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Memory(0)

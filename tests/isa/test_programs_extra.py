@@ -1,0 +1,99 @@
+"""Tests for the RLE-decode and header-parse kernels."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy, PropagateNonePolicy
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.isa.machine import Machine
+from repro.isa.programs import header_parse, rle_decode
+
+SRC, DST = 0x100, 0x400
+NET = Tag("netflow", 1)
+
+
+def tracked(program, policy):
+    params = MitosParams(R=1 << 16, M_prov=10, tau_scale=1.0)
+    tracker = DIFTTracker(params, policy)
+    machine = Machine(program, event_sink=tracker.process)
+    return machine, tracker
+
+
+def taint(tracker, start, length):
+    for i in range(length):
+        tracker.process(flows.insert(mem(start + i), NET))
+
+
+class TestRleDecode:
+    def run_rle(self, pairs_bytes, policy=None):
+        pairs = len(pairs_bytes) // 2
+        machine, tracker = tracked(
+            rle_decode(SRC, DST, pairs), policy or PropagateAllPolicy()
+        )
+        machine.memory.write_bytes(SRC, bytes(pairs_bytes))
+        taint(tracker, SRC, len(pairs_bytes))
+        machine.run()
+        return machine, tracker
+
+    def test_expansion_values(self):
+        machine, _ = self.run_rle([3, ord("a"), 2, ord("b")])
+        assert machine.memory_bytes(DST, 5) == b"aaabb"
+
+    def test_zero_length_run(self):
+        machine, _ = self.run_rle([0, ord("x"), 2, ord("y")])
+        assert machine.memory_bytes(DST, 2) == b"yy"
+
+    def test_output_values_tainted_directly(self):
+        _, tracker = self.run_rle([2, 7], PropagateNonePolicy())
+        # the run value flows via a plain copy: tainted even DFP-only
+        assert tracker.shadow.is_tainted(mem(DST))
+        assert tracker.shadow.is_tainted(mem(DST + 1))
+
+    def test_run_length_influences_via_control_deps_only(self):
+        """The count byte reaches the output only through the tainted
+        loop condition -- visible with IFP, invisible without."""
+        _, with_ifp = self.run_rle([2, 7], PropagateAllPolicy())
+        _, without = self.run_rle([2, 7], PropagateNonePolicy())
+        assert with_ifp.stats.ifp_control > 0
+        # with IFP the emitted bytes carry strictly more history
+        with_tags = with_ifp.shadow.tags_at(mem(DST))
+        without_tags = without.shadow.tags_at(mem(DST))
+        assert set(without_tags) <= set(with_tags)
+
+
+class TestHeaderParse:
+    def run_parse(self, header, policy=None):
+        machine, tracker = tracked(
+            header_parse(SRC, DST), policy or PropagateAllPolicy()
+        )
+        machine.memory.write_bytes(SRC, bytes(header))
+        taint(tracker, SRC, len(header))
+        machine.run()
+        return machine, tracker
+
+    def test_type1_selects_field_a(self):
+        machine, _ = self.run_parse([1, 0xAA, 0xBB])
+        assert machine.memory.read_byte(DST) == 0xAA
+
+    def test_type2_selects_field_b(self):
+        machine, _ = self.run_parse([2, 0xAA, 0xBB])
+        assert machine.memory.read_byte(DST) == 0xBB
+
+    def test_unknown_type_marker(self):
+        machine, _ = self.run_parse([9, 0xAA, 0xBB])
+        assert machine.memory.read_byte(DST) == 0xEE
+
+    def test_field_carries_direct_taint(self):
+        _, tracker = self.run_parse([1, 0xAA, 0xBB], PropagateNonePolicy())
+        assert tracker.shadow.is_tainted(mem(DST))
+
+    def test_default_case_taint_is_control_only(self):
+        """The 0xEE marker is a constant: its dependence on the header is
+        purely a control dependency."""
+        _, without = self.run_parse([9, 0xAA, 0xBB], PropagateNonePolicy())
+        assert not without.shadow.is_tainted(mem(DST))
+        _, with_ifp = self.run_parse([9, 0xAA, 0xBB], PropagateAllPolicy())
+        assert with_ifp.shadow.is_tainted(mem(DST))

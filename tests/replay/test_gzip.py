@@ -1,0 +1,45 @@
+"""Tests for gzip-compressed recordings."""
+
+import gzip
+
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.replay.record import Recording
+
+
+def sample_recording(n: int = 50) -> Recording:
+    tag = Tag("netflow", 1)
+    return Recording(
+        events=[flows.insert(mem(i), tag, tick=i) for i in range(n)],
+        meta={"workload": "gz-test"},
+    )
+
+
+class TestGzipRecordings:
+    def test_gz_round_trip(self, tmp_path):
+        recording = sample_recording()
+        path = tmp_path / "trace.jsonl.gz"
+        recording.save(path)
+        restored = Recording.load(path)
+        assert restored.events == recording.events
+        assert restored.meta == recording.meta
+
+    def test_gz_file_is_actually_compressed(self, tmp_path):
+        recording = sample_recording(500)
+        plain = tmp_path / "trace.jsonl"
+        compressed = tmp_path / "trace.jsonl.gz"
+        recording.save(plain)
+        recording.save(compressed)
+        assert compressed.stat().st_size < plain.stat().st_size
+        # and it is real gzip: decompressing yields the plain text
+        assert gzip.decompress(compressed.read_bytes()).decode() == (
+            plain.read_text()
+        )
+
+    def test_plain_path_unaffected(self, tmp_path):
+        recording = sample_recording(5)
+        path = tmp_path / "trace.jsonl"
+        recording.save(path)
+        assert path.read_text().startswith("{")
+        assert Recording.load(path).events == recording.events

@@ -1,0 +1,130 @@
+"""Tests for repro.replay.record: serialization round trips and corruption."""
+
+import pytest
+
+from repro.dift import flows
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.replay.record import (
+    RecordError,
+    Recording,
+    event_from_dict,
+    event_to_dict,
+    record_machine,
+)
+
+
+def sample_events():
+    return [
+        flows.insert(mem(5), Tag("netflow", 1), tick=0, context="in"),
+        flows.copy(mem(5), reg("r1"), tick=1, context="lb"),
+        flows.compute((reg("r1"), reg("r2")), reg("r3"), tick=2),
+        flows.address_dep(reg("r1"), mem(9), tick=3, context="sw"),
+        flows.control_dep((reg("r4"), reg("r5")), mem(10), tick=4),
+        flows.clear(reg("r1"), tick=5),
+        FlowEvent(
+            FlowKind.COPY,
+            ("file", (3, 7)),
+            sources=(("net_out", (("10.0.0.1", 443), 0)),),
+            tick=6,
+            meta={"pc": 12},
+        ),
+    ]
+
+
+class TestEventSerialization:
+    @pytest.mark.parametrize("event", sample_events())
+    def test_round_trip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_nested_tuple_locations_restored_exactly(self):
+        event = sample_events()[-1]
+        restored = event_from_dict(event_to_dict(event))
+        assert restored.destination == ("file", (3, 7))
+        assert isinstance(restored.destination[1], tuple)
+        assert restored.sources[0][1][0] == ("10.0.0.1", 443)
+
+    def test_malformed_payload(self):
+        with pytest.raises(RecordError):
+            event_from_dict({"kind": "no-such-kind", "dest": ["mem", 1]})
+        with pytest.raises(RecordError):
+            event_from_dict({"dest": ["mem", 1]})
+
+
+class TestRecording:
+    def test_append_extend_len_iter(self):
+        recording = Recording()
+        events = sample_events()
+        recording.append(events[0])
+        recording.extend(events[1:])
+        assert len(recording) == len(events)
+        assert list(recording) == events
+
+    def test_duration_ticks(self):
+        recording = Recording(events=sample_events())
+        assert recording.duration_ticks == 7
+        assert Recording().duration_ticks == 0
+
+    def test_kind_counts(self):
+        recording = Recording(events=sample_events())
+        counts = recording.kind_counts()
+        assert counts["copy"] == 2
+        assert counts["insert"] == 1
+
+    def test_jsonl_round_trip(self):
+        recording = Recording(
+            events=sample_events(), meta={"workload": "test", "seed": 3}
+        )
+        restored = Recording.from_jsonl(recording.to_jsonl())
+        assert restored.meta == recording.meta
+        assert restored.events == recording.events
+
+    def test_file_round_trip(self, tmp_path):
+        recording = Recording(events=sample_events(), meta={"x": 1})
+        path = tmp_path / "trace.jsonl"
+        recording.save(path)
+        restored = Recording.load(path)
+        assert restored.events == recording.events
+
+    def test_empty_text(self):
+        assert len(Recording.from_jsonl("")) == 0
+
+    def test_corrupt_header(self):
+        with pytest.raises(RecordError):
+            Recording.from_jsonl("not json\n")
+        with pytest.raises(RecordError):
+            Recording.from_jsonl('{"no_meta": 1}\n')
+
+    def test_corrupt_event_line(self):
+        good = Recording(events=sample_events()[:1], meta={})
+        text = good.to_jsonl() + "garbage{{{\n"
+        with pytest.raises(RecordError):
+            Recording.from_jsonl(text)
+
+    def test_meta_with_tuples_survives(self):
+        recording = Recording(meta={"origin": ("10.0.0.1", 443)})
+        restored = Recording.from_jsonl(recording.to_jsonl())
+        assert restored.meta["origin"] == ("10.0.0.1", 443)
+
+
+class TestRecordMachine:
+    def test_captures_machine_events(self):
+        from repro.isa.assembler import assemble
+        from repro.isa.machine import Machine
+
+        machine = Machine(assemble("movi r0, 1\nmov r1, r0\nhalt"))
+        recording = record_machine(machine, meta={"prog": "tiny"})
+        assert len(recording) == 2
+        assert recording.meta["prog"] == "tiny"
+
+    def test_replay_equals_rerecord(self):
+        """Determinism: recording the same program twice is identical."""
+        from repro.isa.assembler import assemble
+        from repro.isa.machine import Machine
+        from repro.isa.programs import memcpy_program
+
+        program = memcpy_program(0x100, 0x200, 16)
+        first = record_machine(Machine(program))
+        second = record_machine(Machine(program))
+        assert first.events == second.events

@@ -1,0 +1,109 @@
+"""Property-based serialization tests for recordings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.tags import Tag
+from repro.replay.record import Recording
+
+locations = st.one_of(
+    st.tuples(st.just("mem"), st.integers(0, 1 << 20)),
+    st.tuples(st.just("reg"), st.sampled_from([f"r{i}" for i in range(16)])),
+    st.tuples(
+        st.just("file"),
+        st.tuples(st.integers(0, 9), st.integers(0, 99)),
+    ),
+)
+
+tags = st.builds(
+    Tag,
+    type=st.sampled_from(["netflow", "file", "process", "export_table"]),
+    index=st.integers(1, 99),
+)
+
+
+@st.composite
+def events(draw):
+    kind = draw(st.sampled_from(list(FlowKind)))
+    destination = draw(locations)
+    tick = draw(st.integers(0, 10_000))
+    context = draw(st.sampled_from(["", "sw", "lb", "net.recv"]))
+    if kind is FlowKind.INSERT:
+        return FlowEvent(
+            kind, destination, tick=tick, tag=draw(tags), context=context
+        )
+    if kind in (FlowKind.COPY, FlowKind.COMPUTE):
+        sources = tuple(
+            draw(st.lists(locations, min_size=1, max_size=3))
+        )
+        return FlowEvent(
+            kind, destination, sources=sources, tick=tick, context=context
+        )
+    if kind in (FlowKind.ADDRESS_DEP, FlowKind.CONTROL_DEP):
+        sources = tuple(
+            draw(st.lists(locations, min_size=0, max_size=3))
+        )
+        return FlowEvent(
+            kind, destination, sources=sources, tick=tick, context=context
+        )
+    return FlowEvent(kind, destination, tick=tick, context=context)
+
+
+class TestRecordingProperties:
+    @given(event_list=st.lists(events(), max_size=40))
+    @settings(max_examples=100)
+    def test_jsonl_round_trip_identity(self, event_list):
+        recording = Recording(events=event_list, meta={"k": "v"})
+        restored = Recording.from_jsonl(recording.to_jsonl())
+        assert restored.events == recording.events
+        assert restored.meta == recording.meta
+
+    @given(event_list=st.lists(events(), max_size=25))
+    @settings(max_examples=30)
+    def test_double_round_trip_stable(self, event_list):
+        recording = Recording(events=event_list)
+        once = Recording.from_jsonl(recording.to_jsonl())
+        twice = Recording.from_jsonl(once.to_jsonl())
+        assert once.events == twice.events
+
+    @given(event_list=st.lists(events(), max_size=25))
+    @settings(max_examples=30)
+    def test_kind_counts_total(self, event_list):
+        recording = Recording(events=event_list)
+        assert sum(recording.kind_counts().values()) == len(recording)
+
+
+class TestInterleaveProperties:
+    @given(
+        lists=st.lists(st.lists(events(), max_size=15), min_size=1, max_size=3),
+        chunk=st.integers(1, 7),
+    )
+    @settings(max_examples=50)
+    def test_interleave_preserves_event_count_and_tick_order(
+        self, lists, chunk
+    ):
+        from repro.workloads.composite import interleave
+
+        recordings = [Recording(events=event_list) for event_list in lists]
+        merged = interleave(recordings, chunk_size=chunk)
+        assert len(merged) == sum(len(r) for r in recordings)
+        ticks = [e.tick for e in merged]
+        assert ticks == sorted(ticks)
+
+    @given(
+        lists=st.lists(st.lists(events(), max_size=15), min_size=2, max_size=3)
+    )
+    @settings(max_examples=30)
+    def test_interleave_never_shares_tag_identities(self, lists):
+        from repro.dift.flows import FlowKind
+        from repro.workloads.composite import interleave
+
+        recordings = [Recording(events=event_list) for event_list in lists]
+        merged = interleave(recordings, chunk_size=3)
+        origin = merged.meta["tag_origin"]
+        # every insert tag in the merged trace has exactly one origin
+        for event in merged:
+            if event.kind is FlowKind.INSERT and event.tag is not None:
+                key = f"{event.tag.type}#{event.tag.index}"
+                assert key in origin

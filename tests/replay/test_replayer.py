@@ -1,0 +1,101 @@
+"""Tests for repro.replay.replayer."""
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.replay.record import Recording
+from repro.replay.replayer import (
+    CallbackPlugin,
+    Plugin,
+    Replayer,
+    TrackerPlugin,
+)
+
+
+def recording_of(n: int = 5) -> Recording:
+    tag = Tag("netflow", 1)
+    events = [flows.insert(mem(i), tag, tick=i) for i in range(n)]
+    return Recording(events=events, meta={"n": n})
+
+
+class RecordingHooksPlugin(Plugin):
+    def __init__(self):
+        self.begun = 0
+        self.events = 0
+        self.ended = 0
+
+    def on_begin(self, recording):
+        self.begun += 1
+
+    def on_event(self, event):
+        self.events += 1
+
+    def on_end(self):
+        self.ended += 1
+
+
+class TestReplayer:
+    def test_hooks_called_in_order(self):
+        plugin = RecordingHooksPlugin()
+        result = Replayer([plugin]).replay(recording_of(4))
+        assert (plugin.begun, plugin.events, plugin.ended) == (1, 4, 1)
+        assert result.events_processed == 4
+
+    def test_limit(self):
+        plugin = RecordingHooksPlugin()
+        result = Replayer([plugin]).replay(recording_of(10), limit=3)
+        assert plugin.events == 3
+        assert result.events_processed == 3
+
+    def test_multiple_plugins_all_see_events(self):
+        a, b = RecordingHooksPlugin(), RecordingHooksPlugin()
+        Replayer([a]).add_plugin(b).replay(recording_of(2))
+        assert a.events == b.events == 2
+
+    def test_meta_propagated_to_result(self):
+        result = Replayer().replay(recording_of(3))
+        assert result.meta == {"n": 3}
+
+    def test_events_per_second_positive(self):
+        result = Replayer([RecordingHooksPlugin()]).replay(recording_of(5))
+        assert result.events_per_second > 0
+
+    def test_empty_recording(self):
+        result = Replayer([RecordingHooksPlugin()]).replay(Recording())
+        assert result.events_processed == 0
+
+
+class TestTrackerPlugin:
+    def make_tracker(self) -> DIFTTracker:
+        params = MitosParams(R=1 << 16, M_prov=4, tau_scale=1.0)
+        return DIFTTracker(params, PropagateAllPolicy())
+
+    def test_tracker_processes_events(self):
+        tracker = self.make_tracker()
+        Replayer([TrackerPlugin(tracker)]).replay(recording_of(5))
+        assert tracker.stats.inserts == 5
+
+    def test_reset_on_begin(self):
+        tracker = self.make_tracker()
+        replayer = Replayer([TrackerPlugin(tracker)])
+        replayer.replay(recording_of(5))
+        replayer.replay(recording_of(5))
+        # state was reset between replays: counts are per-replay
+        assert tracker.stats.inserts == 5
+
+    def test_no_reset_accumulates(self):
+        tracker = self.make_tracker()
+        replayer = Replayer([TrackerPlugin(tracker, reset_on_begin=False)])
+        replayer.replay(recording_of(5))
+        replayer.replay(recording_of(5))
+        assert tracker.stats.inserts == 10
+
+
+class TestCallbackPlugin:
+    def test_callable_wrapped(self):
+        seen = []
+        Replayer([CallbackPlugin(seen.append)]).replay(recording_of(3))
+        assert len(seen) == 3

@@ -1,0 +1,156 @@
+"""Tests for the CLI driver (experiments + trace tools)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_one
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3"])
+        assert args.command == "fig3"
+        assert not args.quick
+        assert args.seed == 0
+
+    def test_quick_and_seed(self):
+        args = build_parser().parse_args(["table2", "--quick", "--seed", "7"])
+        assert args.quick and args.seed == 7
+
+    def test_invalid_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig7", "fig8", "fig9", "table2", "ablations",
+            "sensitivity",
+        }
+
+    def test_replay_accepts_kind_filtered_policies(self):
+        args = build_parser().parse_args(
+            ["replay", "t.jsonl", "--policy", "address-only"]
+        )
+        assert args.policy == "address-only"
+
+    def test_record_args(self):
+        args = build_parser().parse_args(
+            ["record", "attack", "--out", "x.gz", "--variant", "reverse_tcp"]
+        )
+        assert args.workload == "attack"
+        assert args.variant == "reverse_tcp"
+
+    def test_replay_args(self):
+        args = build_parser().parse_args(
+            ["replay", "t.jsonl", "--policy", "propagate-none", "--tau", "0.1"]
+        )
+        assert args.policy == "propagate-none"
+        assert args.tau == 0.1
+
+    def test_lineage_location_parsing(self):
+        args = build_parser().parse_args(
+            ["lineage", "t.jsonl", "--location", "mem:0x10"]
+        )
+        assert args.location == ("mem", 16)
+        args = build_parser().parse_args(
+            ["lineage", "t.jsonl", "--location", "reg:r3", "--tag", "netflow:1"]
+        )
+        assert args.location == ("reg", "r3")
+        assert args.tag.key == ("netflow", 1)
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["lineage", "t.jsonl", "--location", "bogus"]
+            )
+
+
+class TestExperimentExecution:
+    def test_run_one_fig3(self):
+        text = run_one("fig3", quick=True, seed=0)
+        assert "Fig. 3" in text
+        assert "completed in" in text
+
+    def test_main_prints(self, capsys):
+        exit_code = main(["fig3", "--quick"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3(a)" in out
+
+
+class TestTraceTools:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        return str(tmp_path / "trace.jsonl.gz")
+
+    def record(self, trace_path, capsys) -> str:
+        code = main(
+            [
+                "record", "attack", "--quick", "--seed", "1",
+                "--variant", "reverse_https", "--out", trace_path,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_record_writes_file(self, trace_path, capsys, tmp_path):
+        out = self.record(trace_path, capsys)
+        assert "recorded" in out
+        assert (tmp_path / "trace.jsonl.gz").exists()
+
+    def test_inspect(self, trace_path, capsys):
+        self.record(trace_path, capsys)
+        assert main(["inspect", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "flow mix" in out
+
+    def test_replay(self, trace_path, capsys):
+        self.record(trace_path, capsys)
+        code = main(
+            [
+                "replay", trace_path, "--policy", "mitos", "--all-flows",
+                "--quick-calibration",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "propagation_ops" in out
+
+    def test_lineage(self, trace_path, capsys):
+        self.record(trace_path, capsys)
+        code = main(["lineage", trace_path, "--location", "mem:0x4800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reached by" in out
+        assert "netflow" in out
+
+    def test_lineage_untouched_location(self, trace_path, capsys):
+        self.record(trace_path, capsys)
+        assert main(["lineage", trace_path, "--location", "mem:0xFFFF"]) == 0
+        out = capsys.readouterr().out
+        assert "no taint sources" in out
+
+    def test_lineage_with_tag_path(self, trace_path, capsys):
+        self.record(trace_path, capsys)
+        code = main(
+            [
+                "lineage", trace_path, "--location", "mem:0x4800",
+                "--tag", "netflow:2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "path of" in out or "never reaches" in out
+
+    def test_lineage_direct_only_sees_less(self, trace_path, capsys):
+        self.record(trace_path, capsys)
+        main(["lineage", trace_path, "--location", "mem:0x4800"])
+        full = capsys.readouterr().out
+        main(
+            ["lineage", trace_path, "--location", "mem:0x4800", "--direct-only"]
+        )
+        direct = capsys.readouterr().out
+        # the https stager moves netflow only through address deps
+        assert "netflow" in full
+        assert "netflow" not in direct

@@ -1,0 +1,73 @@
+"""The documented public API is importable from the package roots."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_exports(self):
+        assert repro.MitosParams
+        assert repro.MitosEngine
+        assert repro.decide_single and repro.decide_multi
+        assert repro.MitosPolicy and repro.PropagateNonePolicy
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.adaptive",
+            "repro.dift",
+            "repro.dift.confluence",
+            "repro.isa",
+            "repro.isa.disassembler",
+            "repro.replay",
+            "repro.faros",
+            "repro.workloads",
+            "repro.distributed",
+            "repro.hardware",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_module_imports(self, module):
+        assert importlib.import_module(module)
+
+    def test_all_lists_resolve(self):
+        for module_name in (
+            "repro",
+            "repro.core",
+            "repro.dift",
+            "repro.isa",
+            "repro.replay",
+            "repro.faros",
+            "repro.workloads",
+            "repro.distributed",
+            "repro.hardware",
+            "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_readme_quickstart_snippet_runs(self):
+        from repro.core.params import MitosParams
+        from repro.core.policy import MitosPolicy
+        from repro.dift import DIFTTracker, TagAllocator, TagTypes, flows
+        from repro.dift.shadow import mem, reg
+
+        params = MitosParams(
+            alpha=1.5, beta=2.0, tau=1.0, R=1 << 16, M_prov=10
+        )
+        tracker = DIFTTracker(params, MitosPolicy(params))
+        tag = TagAllocator().fresh(TagTypes.NETFLOW, origin=("10.0.0.1", 443))
+        tracker.process(flows.insert(mem(0x100), tag))
+        tracker.process(flows.copy(mem(0x100), reg("r1")))
+        tracker.process(flows.address_dep(reg("r1"), mem(0x200)))
+        assert isinstance(tracker.shadow.tags_at(mem(0x200)), tuple)

@@ -1,0 +1,81 @@
+"""Tests for the in-memory attack scenarios (the Table II workload)."""
+
+import pytest
+
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.workloads.attack import (
+    ATTACK_VARIANTS,
+    InMemoryAttack,
+    record_all_variants,
+)
+from repro.workloads.calibration import benchmark_params
+
+QUICK = dict(payload_bytes=96, imports=12, noise_bytes=192, noise_rounds=4)
+
+
+def quick_params():
+    return benchmark_params(crossover_copies=400.0, pollution_fraction=0.003)
+
+
+def detected_under(config, recording) -> int:
+    system = FarosSystem(config)
+    return system.replay(recording).metrics.detected_bytes
+
+
+class TestConstruction:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            InMemoryAttack(variant="reverse_carrier_pigeon")
+
+    def test_imports_must_fit_payload(self):
+        with pytest.raises(ValueError, match="exceed"):
+            InMemoryAttack(payload_bytes=32, imports=10)
+
+    def test_deterministic_per_seed(self):
+        a = InMemoryAttack(variant="reverse_https", seed=4, **QUICK).record()
+        b = InMemoryAttack(variant="reverse_https", seed=4, **QUICK).record()
+        assert a.events == b.events
+
+    def test_meta_carries_variant(self):
+        recording = InMemoryAttack(variant="reverse_tcp", **QUICK).record()
+        assert recording.meta["variant"] == "reverse_tcp"
+
+    def test_record_all_variants(self):
+        recordings = record_all_variants(seed=1, **QUICK)
+        assert set(recordings) == set(ATTACK_VARIANTS)
+
+
+class TestDetectionSemantics:
+    def test_plain_variant_detected_by_both(self):
+        recording = InMemoryAttack(variant="reverse_tcp", **QUICK).record()
+        params = quick_params()
+        faros = detected_under(stock_faros_config(params), recording)
+        mitos = detected_under(mitos_config(params, all_flows=True), recording)
+        assert faros > 0
+        assert mitos > 0
+
+    def test_table_encoded_variant_evades_dfp_only(self):
+        """The table decode severs direct flows: stock FAROS goes blind."""
+        recording = InMemoryAttack(variant="reverse_https", **QUICK).record()
+        params = quick_params()
+        faros = detected_under(stock_faros_config(params), recording)
+        mitos = detected_under(mitos_config(params, all_flows=True), recording)
+        assert faros == 0
+        assert mitos > 0
+
+    @pytest.mark.parametrize("variant", ATTACK_VARIANTS)
+    def test_mitos_never_detects_less(self, variant):
+        recording = InMemoryAttack(variant=variant, **QUICK).record()
+        params = quick_params()
+        faros = detected_under(stock_faros_config(params), recording)
+        mitos = detected_under(mitos_config(params, all_flows=True), recording)
+        assert mitos >= faros
+
+    def test_mitos_does_less_work(self):
+        recording = InMemoryAttack(variant="reverse_https", **QUICK).record()
+        params = quick_params()
+        faros_sys = FarosSystem(stock_faros_config(params))
+        mitos_sys = FarosSystem(mitos_config(params, all_flows=True))
+        faros_ops = faros_sys.replay(recording).metrics.propagation_ops
+        mitos_ops = mitos_sys.replay(recording).metrics.propagation_ops
+        assert mitos_ops < faros_ops

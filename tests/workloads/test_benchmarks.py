@@ -1,0 +1,145 @@
+"""Tests for the benchmark workload generators."""
+
+import pytest
+
+from repro.dift.flows import FlowKind
+from repro.workloads.calibration import (
+    benchmark_params,
+    calibrated_tau_scale,
+)
+from repro.workloads.cpu import CpuBenchmark
+from repro.workloads.filesystem import FileSystemBenchmark
+from repro.workloads.network import NetworkBenchmark
+
+
+def quick_network() -> NetworkBenchmark:
+    return NetworkBenchmark(
+        seed=7, connections=2, bytes_per_connection=64, rounds=1,
+        config_files=1, bytes_per_file=32,
+    )
+
+
+class TestCalibration:
+    def test_boundary_at_crossover(self):
+        """At the calibrated point, the marginal cost is exactly zero."""
+        from repro.core.costs import marginal_cost
+
+        params = benchmark_params()
+        crossover = 1200.0
+        pollution = 0.005 * params.N_R
+        marginal = marginal_cost(crossover, pollution, "netflow", params)
+        assert marginal == pytest.approx(0.0, abs=1e-9)
+
+    def test_rarer_tags_propagate_commoner_block(self):
+        from repro.core.costs import marginal_cost
+
+        params = benchmark_params()
+        pollution = 0.005 * params.N_R
+        assert marginal_cost(100, pollution, "netflow", params) < 0
+        assert marginal_cost(10_000, pollution, "netflow", params) > 0
+
+    def test_invalid_calibration_inputs(self):
+        with pytest.raises(ValueError):
+            calibrated_tau_scale(0, 0.01)
+        with pytest.raises(ValueError):
+            calibrated_tau_scale(100, 0)
+        with pytest.raises(ValueError):
+            calibrated_tau_scale(100, 0.01, tau=0)
+
+    def test_calibration_alpha_is_reference(self):
+        """Sweeping alpha must not move tau_scale (Fig. 8 needs this)."""
+        scales = {
+            alpha: benchmark_params(alpha=alpha).tau_scale
+            for alpha in (0.5, 1.5, 4.0)
+        }
+        assert len(set(scales.values())) == 1
+
+
+class TestNetworkBenchmark:
+    def test_deterministic_given_seed(self):
+        first = quick_network().record()
+        second = quick_network().record()
+        assert first.events == second.events
+
+    def test_different_seeds_differ(self):
+        a = NetworkBenchmark(seed=1, connections=2, bytes_per_connection=64,
+                             rounds=1, config_files=0).record()
+        b = NetworkBenchmark(seed=2, connections=2, bytes_per_connection=64,
+                             rounds=1, config_files=0).record()
+        assert a.events != b.events
+
+    def test_contains_all_flow_classes(self):
+        counts = quick_network().record().kind_counts()
+        for kind in ("insert", "copy", "compute", "address_dep", "control_dep"):
+            assert counts.get(kind, 0) > 0, f"missing {kind}"
+
+    def test_tag_types_mixed(self):
+        recording = quick_network().record()
+        types = {
+            event.tag.type
+            for event in recording
+            if event.kind is FlowKind.INSERT and event.tag is not None
+        }
+        assert "netflow" in types
+        assert "file" in types
+
+    def test_meta_recorded(self):
+        recording = quick_network().record()
+        assert recording.meta["workload"] == "network-benchmark"
+        assert recording.meta["seed"] == 7
+        # meta duration counts executed instructions, which is never less
+        # than the last event tick (branches/jumps emit no events)
+        assert recording.meta["duration_ticks"] >= recording.duration_ticks
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkBenchmark(connections=0)
+        with pytest.raises(ValueError):
+            NetworkBenchmark(bytes_per_connection=0)
+
+
+class TestCpuBenchmark:
+    def test_process_tags_inserted(self):
+        recording = CpuBenchmark(
+            seed=3, processes=2, bytes_per_process=48, rounds=1
+        ).record()
+        types = {
+            e.tag.type for e in recording if e.kind is FlowKind.INSERT and e.tag
+        }
+        assert types == {"process"}
+
+    def test_compute_heavy(self):
+        counts = CpuBenchmark(
+            seed=3, processes=2, bytes_per_process=48, rounds=1
+        ).record().kind_counts()
+        assert counts["compute"] > counts["insert"]
+
+    def test_deterministic(self):
+        kwargs = dict(seed=5, processes=2, bytes_per_process=32, rounds=1)
+        assert CpuBenchmark(**kwargs).record().events == CpuBenchmark(
+            **kwargs
+        ).record().events
+
+
+class TestFileSystemBenchmark:
+    def test_file_tags_and_control_deps(self):
+        recording = FileSystemBenchmark(
+            seed=2, files=2, bytes_per_file=48, rounds=1
+        ).record()
+        counts = recording.kind_counts()
+        assert counts.get("control_dep", 0) > 0
+        types = {
+            e.tag.type for e in recording if e.kind is FlowKind.INSERT and e.tag
+        }
+        assert types == {"file"}
+
+    def test_writeback_reaches_file_sink(self):
+        recording = FileSystemBenchmark(
+            seed=2, files=1, bytes_per_file=16, rounds=1
+        ).record()
+        sinks = {
+            e.destination[0]
+            for e in recording
+            if e.kind is FlowKind.COPY
+        }
+        assert "file" in sinks

@@ -1,0 +1,132 @@
+"""Tests for composite (joint) workloads."""
+
+import pytest
+
+from repro.dift import flows
+from repro.dift.flows import FlowKind
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.replay.record import Recording
+from repro.workloads.attack import InMemoryAttack
+from repro.workloads.calibration import benchmark_params
+from repro.workloads.composite import interleave, relocate_memory, remap_tags
+from repro.workloads.network import NetworkBenchmark
+
+QUICK_ATTACK = dict(payload_bytes=96, imports=12, noise_bytes=192, noise_rounds=4)
+
+
+def tiny_recording(tag_index: int, base: int) -> Recording:
+    tag = Tag("netflow", tag_index)
+    events = [
+        flows.insert(mem(base), tag, tick=0),
+        flows.copy(mem(base), reg("r1"), tick=1),
+    ]
+    return Recording(events=events, meta={"base": base})
+
+
+class TestRemapAndRelocate:
+    def test_remap_rewrites_inserts(self):
+        recording = tiny_recording(1, 0)
+        remapped = remap_tags(recording, {("netflow", 1): Tag("netflow", 9)})
+        inserts = [e for e in remapped if e.kind is FlowKind.INSERT]
+        assert inserts[0].tag == Tag("netflow", 9)
+        # original untouched (pure function)
+        assert list(recording)[0].tag == Tag("netflow", 1)
+
+    def test_relocate_shifts_memory_only(self):
+        recording = tiny_recording(1, 0x100)
+        moved = relocate_memory(recording, 0x1000)
+        assert list(moved)[0].destination == mem(0x1100)
+        assert list(moved)[1].destination == reg("r1")
+
+    def test_relocate_zero_is_identity(self):
+        recording = tiny_recording(1, 0x100)
+        assert relocate_memory(recording, 0) is recording
+
+
+class TestInterleave:
+    def test_empty(self):
+        assert len(interleave([])) == 0
+
+    def test_tags_deduplicated_across_components(self):
+        a = tiny_recording(1, 0)
+        b = tiny_recording(1, 8)  # same tag id, different logical tag
+        merged = interleave([a, b])
+        insert_tags = {e.tag for e in merged if e.kind is FlowKind.INSERT}
+        assert len(insert_tags) == 2
+
+    def test_ticks_monotonic(self):
+        merged = interleave(
+            [tiny_recording(1, 0), tiny_recording(1, 8)], chunk_size=1
+        )
+        ticks = [e.tick for e in merged]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == len(ticks)
+
+    def test_all_events_present(self):
+        a = tiny_recording(1, 0)
+        b = tiny_recording(2, 8)
+        merged = interleave([a, b], chunk_size=1)
+        assert len(merged) == len(a) + len(b)
+
+    def test_round_robin_order(self):
+        a = tiny_recording(1, 0)
+        b = tiny_recording(2, 8)
+        merged = interleave([a, b], chunk_size=1)
+        destinations = [e.destination for e in merged]
+        assert destinations[0] == mem(0)
+        assert destinations[1] == mem(8)
+
+    def test_location_offsets_applied(self):
+        a = tiny_recording(1, 0)
+        b = tiny_recording(2, 0)
+        merged = interleave([a, b], location_offsets=[0, 0x1000])
+        inserts = [e for e in merged if e.kind is FlowKind.INSERT]
+        assert {e.destination for e in inserts} == {mem(0), mem(0x1000)}
+
+    def test_tag_origin_metadata(self):
+        merged = interleave([tiny_recording(1, 0), tiny_recording(1, 8)])
+        origin = merged.meta["tag_origin"]
+        assert set(origin.values()) == {0, 1}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            interleave([tiny_recording(1, 0)], chunk_size=0)
+        with pytest.raises(ValueError):
+            interleave([tiny_recording(1, 0)], location_offsets=[1, 2])
+
+
+class TestJointScenario:
+    """The experiment the paper could not run: attack amid benchmark noise."""
+
+    @pytest.fixture(scope="class")
+    def joint_recording(self):
+        attack = InMemoryAttack(variant="reverse_https", seed=0, **QUICK_ATTACK)
+        noise = NetworkBenchmark(
+            seed=1, connections=2, bytes_per_connection=64, rounds=1,
+            config_files=1, bytes_per_file=32, heavy_hitter=False,
+        )
+        return interleave(
+            [attack.record(), noise.record()],
+            chunk_size=512,
+            location_offsets=[0, 0x10000],
+        )
+
+    def test_attack_still_detected_under_joint_load(self, joint_recording):
+        params = benchmark_params(
+            crossover_copies=400.0, pollution_fraction=0.003
+        )
+        mitos = FarosSystem(mitos_config(params, all_flows=True))
+        detected = mitos.replay(joint_recording).metrics.detected_bytes
+        assert detected > 0
+
+    def test_faros_still_blind_under_joint_load(self, joint_recording):
+        params = benchmark_params(
+            crossover_copies=400.0, pollution_fraction=0.003
+        )
+        faros = FarosSystem(stock_faros_config(params))
+        assert faros.replay(joint_recording).metrics.detected_bytes == 0
+
+    def test_joint_trace_is_bigger_than_parts(self, joint_recording):
+        assert len(joint_recording) > 10_000
