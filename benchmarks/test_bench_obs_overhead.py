@@ -1,0 +1,164 @@
+"""Observability overhead: the disabled path must cost (almost) nothing.
+
+The obs layer's contract is that an un-instrumented replay pays only
+``None`` attribute checks on the hot path.  This bench replays the same
+recording through
+
+* a *seed replica* pipeline -- the pre-observability ``FarosPipeline``
+  ``on_event`` body, reproduced verbatim, driven by the plain replayer
+  loop shape,
+* the current stack with observability disabled (``observability=None``),
+* the current stack with the full bundle enabled (tracer + metrics +
+  in-memory decision trace + sampling),
+
+and asserts the disabled path stays within 5% of the seed replica.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+
+from repro.dift.flows import FlowEvent
+from repro.dift.tracker import DIFTTracker
+from repro.faros import FarosSystem, mitos_config
+from repro.obs import Observability
+from repro.replay.record import Recording
+from repro.replay.replayer import Plugin, Replayer
+from repro.workloads.calibration import benchmark_params
+from repro.workloads.network import NetworkBenchmark
+
+#: fractional overhead budget for the disabled path vs the seed replica
+DISABLED_OVERHEAD_BUDGET = 0.05
+#: absolute slack (seconds) so sub-ms timer jitter cannot fail the gate
+ABSOLUTE_SLACK_SECONDS = 0.005
+
+
+class SeedPipeline(Plugin):
+    """The seed's FarosPipeline.on_event, byte-for-byte behavior."""
+
+    name = "seed-pipeline"
+
+    def __init__(self, tracker: DIFTTracker):
+        self.tracker = tracker
+        self.stage_counts = {
+            "is_dfp": 0,
+            "is_ifp": 0,
+            "insert": 0,
+            "clear": 0,
+        }
+
+    def on_begin(self, recording: Recording) -> None:
+        self.tracker.reset()
+        for key in self.stage_counts:
+            self.stage_counts[key] = 0
+
+    def on_event(self, event: FlowEvent) -> None:
+        if event.kind.is_direct:
+            self.stage_counts["is_dfp"] += 1
+        elif event.kind.is_indirect:
+            self.stage_counts["is_ifp"] += 1
+        elif event.kind.value == "insert":
+            self.stage_counts["insert"] += 1
+        else:
+            self.stage_counts["clear"] += 1
+        self.tracker.process(event)
+
+
+def bench_recording() -> Recording:
+    return NetworkBenchmark(
+        seed=0, connections=4, bytes_per_connection=128, rounds=2,
+        config_files=2, bytes_per_file=64, heavy_hitter=False,
+    ).record()
+
+
+def _seed_replay_seconds(recording: Recording) -> float:
+    # mirror FarosSystem's default wiring (policy + confluence detector)
+    from repro.dift.detector import ConfluenceDetector
+
+    config = mitos_config(benchmark_params())
+    tracker = DIFTTracker(
+        config.params,
+        config.build_policy(),
+        detector=ConfluenceDetector(config.detector_types),
+    )
+    replayer = Replayer([SeedPipeline(tracker)])
+    started = time.perf_counter()
+    replayer.replay(recording)
+    return time.perf_counter() - started
+
+
+def _system_replay_seconds(recording: Recording, obs) -> float:
+    system = FarosSystem(mitos_config(benchmark_params()), observability=obs)
+    started = time.perf_counter()
+    system.replay(recording)
+    return time.perf_counter() - started
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def test_bench_obs_disabled_overhead_vs_seed():
+    recording = bench_recording()
+    # warm up allocators / code paths once before timing
+    _seed_replay_seconds(recording)
+    _system_replay_seconds(recording, None)
+
+    # timer noise can exceed 5% on fast runs: allow a few attempts, each a
+    # best-of-5, and require any one attempt to meet the budget
+    attempts = []
+    for _ in range(3):
+        seed_s = _best_of(lambda: _seed_replay_seconds(recording))
+        disabled_s = _best_of(lambda: _system_replay_seconds(recording, None))
+        attempts.append((seed_s, disabled_s))
+        budget = seed_s * (1 + DISABLED_OVERHEAD_BUDGET) + ABSOLUTE_SLACK_SECONDS
+        if disabled_s <= budget:
+            break
+    else:
+        seed_s, disabled_s = attempts[-1]
+        pytest.fail(
+            f"disabled-path overhead exceeds {DISABLED_OVERHEAD_BUDGET:.0%}: "
+            f"seed {seed_s * 1e3:.2f} ms vs disabled {disabled_s * 1e3:.2f} ms "
+            f"(attempts: {attempts})"
+        )
+
+    enabled_obs = lambda: Observability.create(sample_every=100)  # noqa: E731
+    enabled_s = _best_of(lambda: _system_replay_seconds(recording, enabled_obs()))
+    events = len(recording)
+    publish(
+        "obs_overhead",
+        "\n".join(
+            [
+                "observability overhead (best-of-5, same recording)",
+                f"  events:          {events}",
+                f"  seed replica:    {seed_s * 1e3:8.2f} ms "
+                f"({events / seed_s:,.0f} ev/s)",
+                f"  obs disabled:    {disabled_s * 1e3:8.2f} ms "
+                f"({events / disabled_s:,.0f} ev/s)",
+                f"  obs enabled:     {enabled_s * 1e3:8.2f} ms "
+                f"({events / enabled_s:,.0f} ev/s)",
+                f"  disabled delta:  {(disabled_s / seed_s - 1) * 100:+.1f}%",
+                f"  enabled delta:   {(enabled_s / seed_s - 1) * 100:+.1f}%",
+            ]
+        ),
+    )
+
+
+def test_bench_replay_disabled_path(benchmark):
+    """Throughput of the un-instrumented stack (pytest-benchmark timing)."""
+    recording = bench_recording()
+    system = FarosSystem(mitos_config(benchmark_params()))
+    result = benchmark(system.replay, recording)
+    assert result.metrics.propagation_ops > 0
+
+
+def test_bench_replay_enabled_path(benchmark):
+    """Throughput with tracer + metrics + decisions + sampling all on."""
+    recording = bench_recording()
+    obs = Observability.create(sample_every=100)
+    system = FarosSystem(mitos_config(benchmark_params()), observability=obs)
+    result = benchmark(system.replay, recording)
+    assert result.metrics.propagation_ops > 0
+    assert obs.tracer.get("tracker.process").count > 0

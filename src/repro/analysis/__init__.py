@@ -10,6 +10,12 @@ from repro.analysis.trace_stats import (
     format_trace_summary,
     summarize_recording,
 )
+from repro.analysis.decision_trace import (
+    DecisionTraceSummary,
+    format_decision_trace_summary,
+    summarize_decision_trace,
+    summarize_decision_trace_file,
+)
 from repro.analysis.sweep import ParameterSweep, SweepResult
 from repro.analysis.stats import Summary, repeat_over_seeds, summarize
 from repro.analysis.export import rows_to_csv, series_to_csv, to_json
@@ -30,6 +36,10 @@ __all__ = [
     "TraceSummary",
     "summarize_recording",
     "format_trace_summary",
+    "DecisionTraceSummary",
+    "summarize_decision_trace",
+    "summarize_decision_trace_file",
+    "format_decision_trace_summary",
     "ParameterSweep",
     "SweepResult",
     "Summary",

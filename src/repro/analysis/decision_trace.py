@@ -1,0 +1,193 @@
+"""Summarize an IFP decision trace (``mitos-repro tracelog``).
+
+Consumes the JSONL records written by
+:class:`repro.obs.decisions.DecisionTraceRecorder` and reduces them to the
+run-level story: how the propagation rate evolved over time, which tag
+types were blocked most, and how pollution trended across the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.reporting import format_table
+from repro.obs.decisions import read_decision_trace
+
+
+@dataclass
+class WindowStats:
+    """Aggregates over one tick window of the trace."""
+
+    start_tick: int
+    end_tick: int
+    events: int = 0
+    candidates: int = 0
+    propagated: int = 0
+    pollution_sum: float = 0.0
+
+    @property
+    def propagation_rate(self) -> float:
+        if self.candidates == 0:
+            return 0.0
+        return self.propagated / self.candidates
+
+    @property
+    def mean_pollution(self) -> float:
+        return self.pollution_sum / self.events if self.events else 0.0
+
+
+@dataclass
+class DecisionTraceSummary:
+    """Everything ``tracelog`` reports about one decision trace."""
+
+    events: int = 0
+    candidates: int = 0
+    propagated: int = 0
+    blocked: int = 0
+    first_tick: int = 0
+    last_tick: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    blocked_by_type: Dict[str, int] = field(default_factory=dict)
+    propagated_by_type: Dict[str, int] = field(default_factory=dict)
+    windows: List[WindowStats] = field(default_factory=list)
+    pollution_first: float = 0.0
+    pollution_last: float = 0.0
+    pollution_min: float = 0.0
+    pollution_max: float = 0.0
+
+    @property
+    def propagation_rate(self) -> float:
+        if self.candidates == 0:
+            return 0.0
+        return self.propagated / self.candidates
+
+    def top_blocked_types(self, top_k: int = 5) -> List[Tuple[str, int]]:
+        return sorted(
+            self.blocked_by_type.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top_k]
+
+
+def summarize_decision_trace(
+    records: Iterable[Dict[str, object]], windows: int = 10
+) -> DecisionTraceSummary:
+    """Reduce decision records to a :class:`DecisionTraceSummary`.
+
+    ``windows`` is the number of equal tick buckets the rate-over-time and
+    pollution trajectories are split into.
+    """
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    rows = list(records)
+    summary = DecisionTraceSummary()
+    if not rows:
+        return summary
+    summary.events = len(rows)
+    ticks = [int(row["tick"]) for row in rows]  # type: ignore[arg-type]
+    pollutions = [float(row["pollution"]) for row in rows]  # type: ignore[arg-type]
+    summary.first_tick = min(ticks)
+    summary.last_tick = max(ticks)
+    summary.pollution_first = pollutions[0]
+    summary.pollution_last = pollutions[-1]
+    summary.pollution_min = min(pollutions)
+    summary.pollution_max = max(pollutions)
+
+    span = summary.last_tick - summary.first_tick + 1
+    width = max(1, -(-span // windows))  # ceil division
+    window_list = [
+        WindowStats(
+            start_tick=summary.first_tick + i * width,
+            end_tick=min(summary.first_tick + (i + 1) * width - 1, summary.last_tick),
+        )
+        for i in range(-(-span // width))
+    ]
+
+    for row, tick, pollution in zip(rows, ticks, pollutions):
+        kind = str(row.get("kind", "?"))
+        summary.by_kind[kind] = summary.by_kind.get(kind, 0) + 1
+        window = window_list[(tick - summary.first_tick) // width]
+        window.events += 1
+        window.pollution_sum += pollution
+        for candidate in row.get("candidates", []):  # type: ignore[union-attr]
+            tag_type = str(candidate.get("type", "?"))
+            summary.candidates += 1
+            window.candidates += 1
+            if candidate.get("propagated"):
+                summary.propagated += 1
+                window.propagated += 1
+                summary.propagated_by_type[tag_type] = (
+                    summary.propagated_by_type.get(tag_type, 0) + 1
+                )
+            else:
+                summary.blocked += 1
+                summary.blocked_by_type[tag_type] = (
+                    summary.blocked_by_type.get(tag_type, 0) + 1
+                )
+    summary.windows = window_list
+    return summary
+
+
+def summarize_decision_trace_file(
+    path: Union[str, Path], windows: int = 10
+) -> DecisionTraceSummary:
+    """Summarize a decision-trace JSONL file (gzip-transparent)."""
+    return summarize_decision_trace(read_decision_trace(path), windows=windows)
+
+
+def format_decision_trace_summary(
+    summary: DecisionTraceSummary, title: str = "decision trace", top_k: int = 5
+) -> str:
+    """Render the ``tracelog`` report."""
+    if summary.events == 0:
+        return f"{title}: no decision records"
+    lines: List[str] = [
+        f"{title}: {summary.events} IFP events over ticks "
+        f"[{summary.first_tick}, {summary.last_tick}]",
+        f"  candidates {summary.candidates}  propagated {summary.propagated}"
+        f"  blocked {summary.blocked}"
+        f"  rate {summary.propagation_rate:.3f}",
+        "  events by kind: "
+        + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(summary.by_kind.items())
+        ),
+        "",
+        format_table(
+            ["ticks", "events", "candidates", "rate", "mean pollution"],
+            [
+                [
+                    f"{w.start_tick}-{w.end_tick}",
+                    w.events,
+                    w.candidates,
+                    w.propagation_rate,
+                    w.mean_pollution,
+                ]
+                for w in summary.windows
+            ],
+            title="propagation rate / pollution over time",
+        ),
+    ]
+    top_blocked = summary.top_blocked_types(top_k)
+    if top_blocked:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["tag type", "blocked", "propagated"],
+                [
+                    [
+                        tag_type,
+                        blocked,
+                        summary.propagated_by_type.get(tag_type, 0),
+                    ]
+                    for tag_type, blocked in top_blocked
+                ],
+                title=f"top blocked tag types (top {len(top_blocked)})",
+            )
+        )
+    lines.append("")
+    lines.append(
+        "pollution trajectory: "
+        f"first {summary.pollution_first:.3f}  last {summary.pollution_last:.3f}"
+        f"  min {summary.pollution_min:.3f}  max {summary.pollution_max:.3f}"
+    )
+    return "\n".join(lines)

@@ -14,7 +14,17 @@ Two families of commands:
       mitos-repro replay trace.jsonl.gz --policy mitos --tau 0.1
       mitos-repro lineage atk.jsonl.gz --location mem:0x4800
 
-Recordings are JSON-lines (gzip if the path ends in ``.gz``).
+* **observability** -- watch a replay from the inside (see
+  docs/OBSERVABILITY.md)::
+
+      mitos-repro replay trace.jsonl.gz --policy mitos \\
+          --trace-out decisions.jsonl --metrics-out metrics.json \\
+          --sample-every 100
+      mitos-repro tracelog decisions.jsonl
+
+Recordings and decision traces are JSON-lines (gzip if the path ends in
+``.gz``).  ``--verbose`` anywhere before the subcommand turns on DEBUG
+logging through the shared structured formatter.
 """
 
 from __future__ import annotations
@@ -110,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mitos-repro",
         description="Reproduce and explore MITOS (ICDCS 2020).",
     )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="DEBUG logging via the shared structured formatter",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     for name in sorted(EXPERIMENTS) + ["all"]:
@@ -139,6 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--alpha", type=float, default=1.5)
     replay.add_argument("--quick-calibration", action="store_true",
                         help="use the quick-scale decision boundary")
+    replay.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write one JSONL record per IFP decision (.gz ok)",
+    )
+    replay.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write metrics + span timings + time series as JSON",
+    )
+    replay.add_argument(
+        "--sample-every", type=int, default=None, metavar="N",
+        help="sample pollution/footprint every N ticks",
+    )
+
+    tracelog = subparsers.add_parser(
+        "tracelog", help="summarize an IFP decision trace (--trace-out output)"
+    )
+    tracelog.add_argument("trace", help="decision-trace JSONL path (.gz ok)")
+    tracelog.add_argument(
+        "--windows", type=int, default=10,
+        help="tick buckets for the rate/pollution trajectory",
+    )
+    tracelog.add_argument(
+        "--top", type=int, default=5, help="top blocked tag types to show"
+    )
 
     inspect = subparsers.add_parser("inspect", help="summarize a trace file")
     inspect.add_argument("trace", help="recording path")
@@ -184,11 +222,13 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.analysis.reporting import format_mapping
+    from repro.analysis.reporting import format_mapping, format_table
     from repro.experiments.common import experiment_params
     from repro.faros import FarosConfig, FarosSystem
+    from repro.obs import Observability, get_logger
     from repro.replay.record import Recording
 
+    logger = get_logger("repro.cli")
     recording = Recording.load(args.trace)
     params = experiment_params(
         quick=args.quick_calibration, tau=args.tau, alpha=args.alpha
@@ -199,13 +239,64 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         direct_via_policy=args.all_flows,
         label=args.policy,
     )
-    system = FarosSystem(config)
+    want_obs = (
+        args.trace_out is not None
+        or args.metrics_out is not None
+        or args.sample_every is not None
+    )
+    obs = (
+        Observability.create(
+            trace_out=args.trace_out, sample_every=args.sample_every
+        )
+        if want_obs
+        else None
+    )
+    system = FarosSystem(config, observability=obs)
+    logger.debug(
+        "replay starting",
+        extra={"trace": args.trace, "events": len(recording)},
+    )
     result = system.replay(recording)
     print(
         format_mapping(
             f"replay of {args.trace} under {args.policy}"
             + (" (all flows)" if args.all_flows else ""),
             result.metrics.as_dict(),
+        )
+    )
+    if obs is not None:
+        obs.close()
+        breakdown = obs.tracer.breakdown()
+        if breakdown:
+            print()
+            print(
+                format_table(
+                    ["span", "total_ms", "exclusive_ms"],
+                    breakdown,
+                    title="span timings",
+                )
+            )
+        if args.trace_out is not None:
+            print(
+                f"\ndecision trace: {obs.decisions.records_written} records "
+                f"-> {args.trace_out}"
+            )
+        if args.metrics_out is not None:
+            obs.write_metrics(args.metrics_out)
+            print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def _cmd_tracelog(args: argparse.Namespace) -> int:
+    from repro.analysis.decision_trace import (
+        format_decision_trace_summary,
+        summarize_decision_trace_file,
+    )
+
+    summary = summarize_decision_trace_file(args.trace, windows=args.windows)
+    print(
+        format_decision_trace_summary(
+            summary, title=f"decision trace {args.trace}", top_k=args.top
         )
     )
     return 0
@@ -254,6 +345,9 @@ def _cmd_lineage(args: argparse.Namespace) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    configure_logging(verbose=args.verbose)
     command = args.command
     if command in EXPERIMENTS or command == "all":
         names = sorted(EXPERIMENTS) if command == "all" else [command]
@@ -266,6 +360,7 @@ def main(argv=None) -> int:
         "replay": _cmd_replay,
         "inspect": _cmd_inspect,
         "lineage": _cmd_lineage,
+        "tracelog": _cmd_tracelog,
     }
     return handlers[command](args)
 

@@ -21,7 +21,8 @@ every mutation.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.core.decision import MultiDecision, TagCandidate
 from repro.core.params import MitosParams
@@ -32,6 +33,9 @@ from repro.dift.provenance import SchedulingPolicy
 from repro.dift.shadow import Location, ShadowMemory
 from repro.dift.stats import TagCopyCounter, TrackerStats
 from repro.dift.tags import Tag
+
+if TYPE_CHECKING:  # avoid a dift <-> obs import cycle; duck-typed at runtime
+    from repro.obs.tracing import SpanTracer
 
 #: observer signature: (event, candidates, decision-details-or-None,
 #: selected tags, pollution at decision time)
@@ -52,6 +56,7 @@ class DIFTTracker:
         detector: Optional[ConfluenceDetector] = None,
         direct_via_policy: bool = False,
         ifp_observer: Optional[IfpObserver] = None,
+        tracer: Optional["SpanTracer"] = None,
     ):
         self.params = params
         self.policy = policy
@@ -70,6 +75,7 @@ class DIFTTracker:
         self.detector = detector
         self.direct_via_policy = direct_via_policy
         self.ifp_observer = ifp_observer
+        self.tracer = tracer
         self._bind_policy_pollution()
 
     def _bind_policy_pollution(self) -> None:
@@ -99,6 +105,9 @@ class DIFTTracker:
 
     def process(self, event: FlowEvent) -> None:
         """Apply one flow event to the shadow state."""
+        # tracer is None on the un-instrumented path: one attribute check.
+        tracer = self.tracer
+        started = time.perf_counter_ns() if tracer is not None else 0
         self.stats.ticks = max(self.stats.ticks, event.tick + 1)
         if event.context:
             self.stats.note_context(event.context)
@@ -115,6 +124,8 @@ class DIFTTracker:
             alert = self.detector.check(self.shadow, event.destination, event.tick)
             if alert is not None:
                 self.stats.alerts += 1
+        if tracer is not None:
+            tracer.end("tracker.process", started)
 
     def process_many(self, events: Sequence[FlowEvent]) -> None:
         for event in events:
@@ -194,7 +205,13 @@ class DIFTTracker:
             return
         pollution_now = self.pollution()
         free = self.shadow.free_slots(event.destination)
-        selected, details = self.policy.select_with_details(candidates, free)
+        tracer = self.tracer
+        if tracer is not None:
+            span_start = time.perf_counter_ns()
+            selected, details = self.policy.select_with_details(candidates, free)
+            tracer.end("policy.select", span_start)
+        else:
+            selected, details = self.policy.select_with_details(candidates, free)
         chosen_tags: List[Tag] = [c.key for c in selected]  # type: ignore[misc]
         for tag in chosen_tags:
             outcome = self.shadow.add_tag(event.destination, tag)

@@ -8,17 +8,24 @@ replaces ``is_IFP`` with ``is_DFP_or_IFP`` so MITOS weighs everything.
 
 :class:`FarosPipeline` is the replayer plugin realizing those stages,
 keeping per-stage counters so experiments can report how much work each
-stage saw.
+stage saw.  With an :class:`~repro.obs.bundle.Observability` bundle it
+also times each ``on_event`` (the ``pipeline.on_event`` span) and counts
+events per flow kind in the metrics registry; without one the hot path
+pays a single attribute check.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import time
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.dift.flows import FlowEvent, FlowKind
 from repro.dift.tracker import DIFTTracker
 from repro.replay.record import Recording
 from repro.replay.replayer import Plugin
+
+if TYPE_CHECKING:  # avoid a faros <-> obs import cycle at module load
+    from repro.obs.bundle import Observability
 
 
 def is_dfp(event: FlowEvent) -> bool:
@@ -40,20 +47,38 @@ class FarosPipeline(Plugin):
     """Replayer plugin wiring the Fig. 6 stages to a DIFT tracker.
 
     Stage counters mirror the figure: (3) is_DFP hits, (4) is_IFP hits,
-    plus the insert/clear plumbing that tag sources generate.
+    plus the insert/clear plumbing that tag sources generate.  Dispatch is
+    explicit on :class:`FlowKind` -- an event of a kind this pipeline does
+    not know lands in an ``"other"`` bucket instead of silently inflating
+    the clear counter.
     """
 
     name = "faros-pipeline"
 
-    def __init__(self, tracker: DIFTTracker, reset_on_begin: bool = True):
+    def __init__(
+        self,
+        tracker: DIFTTracker,
+        reset_on_begin: bool = True,
+        obs: Optional["Observability"] = None,
+    ):
         self.tracker = tracker
         self.reset_on_begin = reset_on_begin
+        self.obs = obs
         self.stage_counts: Dict[str, int] = {
             "is_dfp": 0,
             "is_ifp": 0,
             "insert": 0,
             "clear": 0,
         }
+        if obs is not None:
+            self._tracer = obs.tracer
+            self._event_counters = {
+                kind: obs.metrics.counter(f"replay.events.{kind.value}")
+                for kind in FlowKind
+            }
+        else:
+            self._tracer = None
+            self._event_counters = None
 
     def on_begin(self, recording: Recording) -> None:
         if self.reset_on_begin:
@@ -62,12 +87,26 @@ class FarosPipeline(Plugin):
                 self.stage_counts[key] = 0
 
     def on_event(self, event: FlowEvent) -> None:
-        if is_dfp(event):
+        tracer = self._tracer
+        started = time.perf_counter_ns() if tracer is not None else 0
+        kind = event.kind
+        # hot kinds first (direct flows dominate real traces); the final
+        # branches stay explicit so a future kind lands in "other", not
+        # silently in "clear"
+        if kind.is_direct:
             self.stage_counts["is_dfp"] += 1
-        elif is_ifp(event):
+        elif kind.is_indirect:
             self.stage_counts["is_ifp"] += 1
-        elif event.kind is FlowKind.INSERT:
+        elif kind is FlowKind.INSERT:
             self.stage_counts["insert"] += 1
-        else:
+        elif kind is FlowKind.CLEAR:
             self.stage_counts["clear"] += 1
+        else:
+            self.stage_counts["other"] = self.stage_counts.get("other", 0) + 1
+        if self._event_counters is not None:
+            counter = self._event_counters.get(kind)
+            if counter is not None:
+                counter.inc()
         self.tracker.process(event)
+        if tracer is not None:
+            tracer.end("pipeline.on_event", started)

@@ -24,6 +24,7 @@ from repro.dift.detector import ConfluenceDetector
 from repro.dift.tracker import DIFTTracker
 from repro.faros.config import FarosConfig
 from repro.faros.pipeline import FarosPipeline
+from repro.obs.bundle import Observability, compose_observers
 from repro.replay.record import Recording
 from repro.replay.replayer import Replayer
 
@@ -39,10 +40,21 @@ class FarosRunResult:
 
 
 class FarosSystem:
-    """A fully wired FAROS/MITOS instance."""
+    """A fully wired FAROS/MITOS instance.
 
-    def __init__(self, config: FarosConfig):
+    Pass an :class:`~repro.obs.bundle.Observability` bundle to light up
+    span tracing, per-kind event metrics, the JSONL decision trace, and
+    periodic time-series sampling; with ``observability=None`` every hot
+    path keeps its un-instrumented shape.
+    """
+
+    def __init__(
+        self,
+        config: FarosConfig,
+        observability: Optional[Observability] = None,
+    ):
         self.config = config
+        self.obs = observability
         self.policy = config.build_policy()
         self.detector = (
             ConfluenceDetector(config.detector_types)
@@ -56,12 +68,26 @@ class FarosSystem:
             scheduling=config.scheduling,
             detector=self.detector,
             direct_via_policy=config.direct_via_policy,
-            ifp_observer=(
-                self.timeline.observer if self.timeline is not None else None
+            ifp_observer=compose_observers(
+                self.timeline.observer if self.timeline is not None else None,
+                (
+                    observability.decision_observer()
+                    if observability is not None
+                    else None
+                ),
             ),
+            tracer=observability.tracer if observability is not None else None,
         )
-        self.pipeline = FarosPipeline(self.tracker)
-        self.replayer = Replayer([self.pipeline])
+        self.pipeline = FarosPipeline(self.tracker, obs=observability)
+        plugins = [self.pipeline]
+        if observability is not None:
+            sampler = observability.make_sampler(self.tracker)
+            if sampler is not None:
+                plugins.append(sampler)
+        self.replayer = Replayer(
+            plugins,
+            tracer=observability.tracer if observability is not None else None,
+        )
 
     @property
     def label(self) -> str:
@@ -95,6 +121,8 @@ class FarosSystem:
         return self._result(elapsed)
 
     def _result(self, elapsed: float) -> FarosRunResult:
+        if self.obs is not None:
+            self.obs.finalize(self.tracker)
         return FarosRunResult(
             label=self.label,
             metrics=collect_run_metrics(self.tracker, wall_seconds=elapsed),

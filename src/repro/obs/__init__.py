@@ -1,0 +1,58 @@
+"""Live observability: metrics, span tracing, decision traces, time series.
+
+The replay stack only reported end-of-run aggregates (``RunMetrics``,
+``TrackerStats``); this package adds the *during-the-run* view the paper's
+time-evolving cost signal deserves:
+
+* :mod:`repro.obs.metrics` -- a counter/gauge/histogram registry with a
+  no-op twin so the disabled path costs one attribute check,
+* :mod:`repro.obs.tracing` -- ``perf_counter_ns`` span aggregation over the
+  pipeline stages (replay loop -> pipeline -> tracker -> policy),
+* :mod:`repro.obs.decisions` -- a JSONL recorder for every indirect-flow
+  propagation decision, built on the tracker's ``ifp_observer`` hook,
+* :mod:`repro.obs.timeseries` -- periodic pollution/footprint sampling,
+* :mod:`repro.obs.bundle` -- the :class:`Observability` bundle that
+  ``FarosSystem`` and the CLI wire through the stack,
+* :mod:`repro.obs.logging` -- one structured stdlib-logging setup shared
+  by the obs layer and the experiments.
+"""
+
+from repro.obs.bundle import Observability, compose_observers
+from repro.obs.decisions import (
+    DecisionTraceRecorder,
+    format_location,
+    read_decision_trace,
+)
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.timeseries import TimeSeriesSample, TimeSeriesSampler
+from repro.obs.tracing import NULL_TRACER, NullSpanTracer, SpanStats, SpanTracer
+
+__all__ = [
+    "Observability",
+    "compose_observers",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanTracer",
+    "NullSpanTracer",
+    "NULL_TRACER",
+    "SpanStats",
+    "DecisionTraceRecorder",
+    "read_decision_trace",
+    "format_location",
+    "TimeSeriesSampler",
+    "TimeSeriesSample",
+    "configure_logging",
+    "get_logger",
+]

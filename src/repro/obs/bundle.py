@@ -1,0 +1,139 @@
+"""The Observability bundle wired through FarosSystem and the CLI.
+
+One object carries the whole observability surface for a run: the metrics
+registry, the span tracer, the optional JSONL decision recorder, and the
+time-series sampling interval.  ``FarosSystem(config, observability=obs)``
+threads each piece to the component that feeds it; with no bundle the hot
+paths keep ``None`` attributes and replay behavior is byte-identical to
+the un-instrumented stack.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.dift.tracker import DIFTTracker, IfpObserver
+from repro.obs.decisions import DecisionTraceRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.tracing import SpanTracer
+
+
+def compose_observers(
+    *observers: Optional[IfpObserver],
+) -> Optional[IfpObserver]:
+    """Fan one ``ifp_observer`` slot out to several observers.
+
+    ``None`` entries are skipped; returns ``None`` when nothing remains
+    (so the tracker's no-observer fast path stays intact), and the single
+    observer unchanged when only one remains (no wrapper overhead).
+    """
+    active = [obs for obs in observers if obs is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def fanout(event, candidates, details, selected, pollution):  # type: ignore[no-untyped-def]
+        for observer in active:
+            observer(event, candidates, details, selected, pollution)
+
+    return fanout
+
+
+class Observability:
+    """Everything a run can emit about itself, bundled for wiring."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        decisions: Optional[DecisionTraceRecorder] = None,
+        sample_every: Optional[int] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.decisions = decisions
+        self.sample_every = sample_every
+        #: bound by FarosSystem (needs the tracker); None until then
+        self.sampler: Optional[TimeSeriesSampler] = None
+
+    @classmethod
+    def create(
+        cls,
+        trace_out: Optional[Union[str, Path]] = None,
+        sample_every: Optional[int] = None,
+    ) -> "Observability":
+        """A fully enabled bundle; the usual CLI entry point."""
+        metrics = MetricsRegistry()
+        decisions = (
+            DecisionTraceRecorder(trace_out, metrics=metrics)
+            if trace_out is not None
+            else DecisionTraceRecorder(None, metrics=metrics)
+        )
+        return cls(metrics=metrics, decisions=decisions, sample_every=sample_every)
+
+    # -- wiring helpers (called by FarosSystem) ---------------------------
+
+    def make_sampler(self, tracker: DIFTTracker) -> Optional[TimeSeriesSampler]:
+        """Build (and remember) the sampler plugin, if sampling is on."""
+        if self.sample_every is None:
+            return None
+        self.sampler = TimeSeriesSampler(
+            tracker, every=self.sample_every, metrics=self.metrics
+        )
+        return self.sampler
+
+    def decision_observer(self) -> Optional[IfpObserver]:
+        return self.decisions.observer if self.decisions is not None else None
+
+    # -- end-of-run -------------------------------------------------------
+
+    def finalize(self, tracker: DIFTTracker) -> None:
+        """Snapshot end-of-run tracker state into gauges and counters."""
+        metrics = self.metrics
+        metrics.gauge("final.pollution").set(tracker.pollution())
+        metrics.gauge("final.live_tags").set(tracker.counter.live_tags())
+        metrics.gauge("final.tainted_locations").set(
+            tracker.shadow.tainted_count()
+        )
+        metrics.gauge("final.footprint_bytes").set(
+            tracker.shadow.footprint_bytes()
+        )
+        for name, value in tracker.stats.as_dict().items():
+            metrics.gauge(f"tracker.{name}").set(value)
+
+    def export(self) -> Dict[str, object]:
+        """One JSON-serializable document with everything collected."""
+        payload: Dict[str, object] = {
+            "metrics": self.metrics.as_dict(),
+            "spans": self.tracer.as_dict(),
+            "span_breakdown": [
+                {"span": name, "total_ms": total, "exclusive_ms": exclusive}
+                for name, total, exclusive in self.tracer.breakdown()
+            ],
+        }
+        if self.sampler is not None:
+            payload["timeseries"] = self.sampler.as_dicts()
+        if self.decisions is not None:
+            payload["decision_trace"] = {
+                "path": str(self.decisions.path) if self.decisions.path else None,
+                "records": self.decisions.records_written,
+            }
+        return payload
+
+    def write_metrics(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.export(), indent=2) + "\n")
+
+    def close(self) -> None:
+        """Flush and close any file-backed pieces (the decision trace)."""
+        if self.decisions is not None:
+            self.decisions.close()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

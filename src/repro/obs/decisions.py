@@ -1,0 +1,200 @@
+"""IFP decision traces: one JSONL record per indirect-flow decision.
+
+The tracker's ``ifp_observer`` hook fires once per policy-routed flow event
+with the candidate set, the policy's per-tag marginal breakdown (when it
+has one), the selected tags, and the pollution *before* propagation.
+:class:`DecisionTraceRecorder` streams that straight to disk so a full
+replay leaves a replayable audit of *why* every tag was propagated or
+blocked -- the per-decision learning signal the RL-DIFT line needs and the
+input to ``mitos-repro tracelog``.
+
+Record schema (one JSON object per line; see docs/OBSERVABILITY.md)::
+
+    {"tick": 812, "kind": "address_dep", "context": "lw", "dest": "mem:0x4800",
+     "pollution": 137.5, "free_slots": 3, "has_details": true,
+     "candidates": [{"tag": "netflow:1", "type": "netflow", "copies": 4,
+                     "marginal": -0.8, "under": -1.2, "over": 0.4,
+                     "propagated": true}],
+     "propagated": ["netflow:1"], "blocked": 0}
+
+``has_details`` is true when the policy exposed its Eq. 8 marginal
+breakdown (MITOS); detail-less baselines and hard-wired unhandled kinds
+record the binary outcome with null marginals.  Paths ending in ``.gz``
+are gzip-compressed, matching the :mod:`repro.replay.record` convention.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO, Union
+
+from repro.core.decision import MultiDecision, TagCandidate
+from repro.dift.flows import FlowEvent
+from repro.dift.shadow import Location
+from repro.dift.tags import Tag
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+logger = get_logger("repro.obs.decisions")
+
+
+def format_location(location: Location) -> str:
+    """``("mem", 0x4800)`` -> ``"mem:0x4800"`` (CLI location syntax)."""
+    kind, value = location[0], location[1]
+    if kind == "mem" and isinstance(value, int):
+        return f"mem:{value:#x}"
+    return f"{kind}:{value}"
+
+
+def _format_tag(tag: Tag) -> str:
+    return f"{tag.type}:{tag.index}"
+
+
+def _candidate_tag_name(candidate: TagCandidate) -> str:
+    key = candidate.key
+    if isinstance(key, Tag):
+        return _format_tag(key)
+    return f"{candidate.tag_type}:{key}"
+
+
+class DecisionTraceRecorder:
+    """Streams IFP decision records as JSONL (gzip when path ends ``.gz``).
+
+    Use :attr:`observer` as (or compose it into) the tracker's
+    ``ifp_observer``.  Pass ``path=None`` to keep records in memory
+    (:attr:`records`) instead of writing a file -- handy in tests and when
+    an experiment wants the dicts directly.
+
+    An optional :class:`~repro.obs.metrics.MetricsRegistry` receives the
+    decision-level instruments: ``ifp.events``, ``ifp.propagated``,
+    ``ifp.blocked``, ``ifp.no_details`` counters and the
+    ``ifp.candidates_per_event`` histogram.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.records: List[Dict[str, object]] = []
+        self.records_written = 0
+        self._handle: Optional[TextIO] = None
+        if self.path is not None:
+            if self.path.suffix == ".gz":
+                self._handle = gzip.open(self.path, "wt")
+            else:
+                self._handle = self.path.open("w")
+            logger.debug("decision trace opened", extra={"path": str(self.path)})
+        if metrics is not None:
+            self._events = metrics.counter("ifp.events")
+            self._propagated = metrics.counter("ifp.propagated")
+            self._blocked = metrics.counter("ifp.blocked")
+            self._no_details = metrics.counter("ifp.no_details")
+            self._candidates_hist = metrics.histogram(
+                "ifp.candidates_per_event", buckets=(1, 2, 4, 8, 16, 32)
+            )
+        else:
+            self._events = None
+            self._propagated = None
+            self._blocked = None
+            self._no_details = None
+            self._candidates_hist = None
+
+    # -- the ifp_observer hook -------------------------------------------
+
+    def observer(
+        self,
+        event: FlowEvent,
+        candidates: Sequence[TagCandidate],
+        details: Optional[MultiDecision],
+        selected: Sequence[Tag],
+        pollution: float,
+    ) -> None:
+        selected_names = [_format_tag(tag) for tag in selected]
+        selected_set = set(selected_names)
+        candidate_rows: List[Dict[str, object]] = []
+        if details is not None:
+            for decision in details.decisions:
+                candidate = decision.candidate
+                candidate_rows.append(
+                    {
+                        "tag": _candidate_tag_name(candidate),
+                        "type": candidate.tag_type,
+                        "copies": candidate.copies,
+                        "marginal": decision.marginal,
+                        "under": decision.under_marginal,
+                        "over": decision.over_marginal,
+                        "propagated": decision.propagate,
+                    }
+                )
+        else:
+            # detail-less policy or hard-wired unhandled kind: binary outcome
+            for candidate in candidates:
+                name = _candidate_tag_name(candidate)
+                candidate_rows.append(
+                    {
+                        "tag": name,
+                        "type": candidate.tag_type,
+                        "copies": candidate.copies,
+                        "marginal": None,
+                        "under": None,
+                        "over": None,
+                        "propagated": name in selected_set,
+                    }
+                )
+        record: Dict[str, object] = {
+            "tick": event.tick,
+            "kind": event.kind.value,
+            "context": event.context,
+            "dest": format_location(event.destination),
+            "pollution": pollution,
+            "free_slots": details.free_slots if details is not None else None,
+            "has_details": details is not None,
+            "candidates": candidate_rows,
+            "propagated": selected_names,
+            "blocked": len(candidate_rows) - len(selected_names),
+        }
+        self._write(record)
+        if self._events is not None:
+            self._events.inc()
+            self._propagated.inc(len(selected_names))
+            self._blocked.inc(len(candidate_rows) - len(selected_names))
+            if details is None:
+                self._no_details.inc()
+            self._candidates_hist.observe(len(candidates))
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is not None:
+            self._handle.write(json.dumps(record) + "\n")
+        else:
+            self.records.append(record)
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            logger.debug(
+                "decision trace closed",
+                extra={"path": str(self.path), "records": self.records_written},
+            )
+
+    def __enter__(self) -> "DecisionTraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_decision_trace(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
+    """Yield decision records from a JSONL file (gzip-transparent)."""
+    source = Path(path)
+    opener = gzip.open if source.suffix == ".gz" else open
+    with opener(source, "rt") as handle:  # type: ignore[operator]
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,67 @@
+"""One logging setup for the whole reproduction.
+
+``mitos-repro --verbose`` (and any library caller) funnels through
+:func:`configure_logging`: a single handler on the ``"repro"`` logger with
+a structured formatter that renders ``logger.debug(..., extra={"tick": t,
+"event": kind})`` context as trailing ``key=value`` pairs::
+
+    DEBUG repro.obs.decisions decision trace opened path=d.jsonl
+    DEBUG repro.obs.timeseries sampled tick=4200 pollution=137.5
+
+Modules obtain loggers via :func:`get_logger` so everything lives under
+the ``repro.`` namespace and one verbosity switch governs it all.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+#: LogRecord attributes that are plumbing, not user-supplied ``extra`` context
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class StructuredFormatter(logging.Formatter):
+    """``LEVEL logger message key=value ...`` -- extras become suffix pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname} {record.name} {record.getMessage()}"
+        pairs = [
+            f"{key}={value}"
+            for key, value in sorted(record.__dict__.items())
+            if key not in _RESERVED
+        ]
+        if pairs:
+            base = f"{base} {' '.join(pairs)}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the shared ``repro`` namespace."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(
+    verbose: bool = False, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger; idempotent.
+
+    ``verbose=True`` enables DEBUG; otherwise only warnings and above
+    surface.  Returns the configured logger so callers can chain.
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    root.addHandler(handler)
+    root.setLevel(logging.DEBUG if verbose else logging.WARNING)
+    root.propagate = False
+    return root

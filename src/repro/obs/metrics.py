@@ -1,0 +1,214 @@
+"""Metrics registry: counters, gauges, and bucketed histograms.
+
+Prometheus-shaped but in-process: instruments are plain python objects the
+hot path mutates directly, and the registry renders everything to one JSON
+document at the end of a run (``--metrics-out``).
+
+The disabled path is a :class:`NullMetricsRegistry` singleton whose
+instruments swallow every call; callers that want zero overhead instead
+keep ``None`` and guard with a single attribute check (the convention used
+by :class:`~repro.faros.pipeline.FarosPipeline` and the tracker).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: default histogram bucket upper bounds (values land in the first bucket
+#: whose bound is >= value; one implicit +inf bucket catches the rest).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (pollution, live tags, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Bucketed distribution with running count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = sorted(float(b) for b in buckets)
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {buckets!r}")
+        self.name = name
+        self.bounds: List[float] = bounds
+        #: one slot per bound plus the +inf overflow slot
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        labels = [f"le_{bound:g}" for bound in self.bounds] + ["le_inf"]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": dict(zip(labels, self.bucket_counts)),
+        }
+
+
+class MetricsRegistry:
+    """Names -> instruments; re-requesting a name returns the same object."""
+
+    #: hot paths may branch on this instead of isinstance checks
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return instrument
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Convenience one-shot counter increment (registry lookup cost)."""
+        self.counter(name).inc(amount)
+
+    def _check_free(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(f"metric name {name!r} already registered")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh run)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(  # type: ignore[override]
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: process-wide disabled registry; safe to share (it holds no state)
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,135 @@
+"""Pollution time series: sample the tracker's live state every N ticks.
+
+Fig. 7 shows the paper's whole argument is the *trajectory* of the cost
+signal, but the repro only kept end-of-run aggregates.
+:class:`TimeSeriesSampler` is a replayer plugin that snapshots the live
+pollution, tag population, tainted-location count, and shadow footprint
+whenever event time advances past the next sampling boundary, plus one
+final sample at end-of-replay, giving every run a pollution trajectory at
+a configurable tick resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dift.flows import FlowEvent
+from repro.dift.tracker import DIFTTracker
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.replay.record import Recording
+from repro.replay.replayer import Plugin
+
+logger = get_logger("repro.obs.timeseries")
+
+
+@dataclass(frozen=True)
+class TimeSeriesSample:
+    """One snapshot of the tracker's live state."""
+
+    tick: int
+    pollution: float
+    live_tags: int
+    tainted_locations: int
+    total_entries: int
+    footprint_bytes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "tick": self.tick,
+            "pollution": self.pollution,
+            "live_tags": self.live_tags,
+            "tainted_locations": self.tainted_locations,
+            "total_entries": self.total_entries,
+            "footprint_bytes": self.footprint_bytes,
+        }
+
+
+class TimeSeriesSampler(Plugin):
+    """Replayer plugin sampling tracker state every ``every`` ticks.
+
+    Register it *after* the pipeline plugin so each sample sees the state
+    including the event that crossed the boundary.  Samples are taken at
+    most once per boundary even when ticks jump; a final sample is always
+    appended on ``on_end`` so the series covers the whole run.
+    """
+
+    name = "obs-timeseries"
+
+    def __init__(
+        self,
+        tracker: DIFTTracker,
+        every: int = 100,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if every < 1:
+            raise ValueError(f"sampling interval must be >= 1, got {every}")
+        self.tracker = tracker
+        self.every = every
+        self.samples: List[TimeSeriesSample] = []
+        self._next_tick = 0
+        self._last_tick = -1
+        if metrics is not None:
+            self._pollution_gauge = metrics.gauge("pollution")
+            self._live_tags_gauge = metrics.gauge("live_tags")
+            self._footprint_gauge = metrics.gauge("footprint_bytes")
+        else:
+            self._pollution_gauge = None
+            self._live_tags_gauge = None
+            self._footprint_gauge = None
+
+    def on_begin(self, recording: Recording) -> None:
+        self.samples.clear()
+        self._next_tick = 0
+        self._last_tick = -1
+
+    def on_event(self, event: FlowEvent) -> None:
+        tick = event.tick
+        self._last_tick = tick
+        if tick >= self._next_tick:
+            self._sample(tick)
+            self._next_tick = tick + self.every
+
+    def on_end(self) -> None:
+        if self._last_tick >= 0 and (
+            not self.samples or self.samples[-1].tick != self._last_tick
+        ):
+            self._sample(self._last_tick)
+
+    def _sample(self, tick: int) -> None:
+        tracker = self.tracker
+        sample = TimeSeriesSample(
+            tick=tick,
+            pollution=tracker.pollution(),
+            live_tags=tracker.counter.live_tags(),
+            tainted_locations=tracker.shadow.tainted_count(),
+            total_entries=tracker.shadow.total_entries(),
+            footprint_bytes=tracker.shadow.footprint_bytes(),
+        )
+        self.samples.append(sample)
+        if self._pollution_gauge is not None:
+            self._pollution_gauge.set(sample.pollution)
+            self._live_tags_gauge.set(sample.live_tags)
+            self._footprint_gauge.set(sample.footprint_bytes)
+        logger.debug(
+            "sampled",
+            extra={"tick": tick, "pollution": round(sample.pollution, 3)},
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def series(self) -> Dict[str, List[float]]:
+        """Column-oriented series (ticks plus each sampled quantity)."""
+        return {
+            "tick": [s.tick for s in self.samples],
+            "pollution": [s.pollution for s in self.samples],
+            "live_tags": [s.live_tags for s in self.samples],
+            "tainted_locations": [s.tainted_locations for s in self.samples],
+            "total_entries": [s.total_entries for s in self.samples],
+            "footprint_bytes": [s.footprint_bytes for s in self.samples],
+        }
+
+    def as_dicts(self) -> List[Dict[str, float]]:
+        return [s.as_dict() for s in self.samples]

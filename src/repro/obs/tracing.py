@@ -1,0 +1,146 @@
+"""Span tracing: where does replay wall-time actually go?
+
+Each pipeline stage wraps its work in a named span; the tracer aggregates
+``perf_counter_ns`` elapsed times per span name (count, total, min, max).
+Stages nest -- ``replay.loop`` contains ``replay.on_event`` contains
+``pipeline.on_event`` contains ``tracker.process`` contains
+``policy.select`` -- so the per-stage *exclusive* time is the difference
+between adjacent totals; :meth:`SpanTracer.breakdown` computes it for the
+canonical stack.
+
+Hot-path protocol: callers hold either a tracer or ``None`` and guard with
+one attribute check, then use the begin/end pair::
+
+    if self._tracer is not None:
+        t0 = time.perf_counter_ns()
+        ... work ...
+        self._tracer.end("tracker.process", t0)
+
+The context-manager :meth:`SpanTracer.span` is for cooler paths.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: the canonical nesting order of the replay stack's spans, outermost first
+PIPELINE_SPANS = (
+    "replay.loop",
+    "replay.on_event",
+    "pipeline.on_event",
+    "tracker.process",
+    "policy.select",
+)
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings for one span name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    min_ns: int = 10**18
+    max_ns: int = 0
+
+    def record(self, elapsed_ns: int) -> None:
+        self.count += 1
+        self.total_ns += elapsed_ns
+        if elapsed_ns < self.min_ns:
+            self.min_ns = elapsed_ns
+        if elapsed_ns > self.max_ns:
+            self.max_ns = elapsed_ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_ms": self.total_ns / 1e6,
+            "mean_us": self.mean_ns / 1e3,
+            "min_us": (self.min_ns / 1e3) if self.count else 0.0,
+            "max_us": self.max_ns / 1e3,
+        }
+
+
+class SpanTracer:
+    """Aggregating span collector keyed by span name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, SpanStats] = {}
+
+    def end(self, name: str, started_ns: int) -> None:
+        """Close a span opened at ``started_ns`` (a ``perf_counter_ns``)."""
+        self.record_ns(name, time.perf_counter_ns() - started_ns)
+
+    def record_ns(self, name: str, elapsed_ns: int) -> None:
+        stats = self._spans.get(name)
+        if stats is None:
+            stats = self._spans[name] = SpanStats(name)
+        stats.record(elapsed_ns)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        started = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.end(name, started)
+
+    def get(self, name: str) -> Optional[SpanStats]:
+        return self._spans.get(name)
+
+    def span_names(self) -> List[str]:
+        return sorted(self._spans)
+
+    def breakdown(self) -> List[Tuple[str, float, float]]:
+        """(span, total_ms, exclusive_ms) for the canonical pipeline stack.
+
+        Exclusive time of a stage is its total minus the total of the stage
+        it directly contains; the innermost recorded stage keeps its full
+        total.  Spans outside :data:`PIPELINE_SPANS` are appended with
+        exclusive == total.
+        """
+        rows: List[Tuple[str, float, float]] = []
+        recorded = [n for n in PIPELINE_SPANS if n in self._spans]
+        for outer, inner in zip(recorded, recorded[1:] + [None]):
+            total = self._spans[outer].total_ns
+            inner_total = self._spans[inner].total_ns if inner else 0
+            rows.append((outer, total / 1e6, max(total - inner_total, 0) / 1e6))
+        for name in sorted(set(self._spans) - set(recorded)):
+            total = self._spans[name].total_ns
+            rows.append((name, total / 1e6, total / 1e6))
+        return rows
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: stats.as_dict() for name, stats in sorted(self._spans.items())}
+
+    def reset(self) -> None:
+        self._spans.clear()
+
+
+class NullSpanTracer(SpanTracer):
+    """Disabled tracer: every call is a no-op."""
+
+    enabled = False
+
+    def end(self, name: str, started_ns: int) -> None:
+        pass
+
+    def record_ns(self, name: str, elapsed_ns: int) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        yield
+
+
+#: process-wide disabled tracer
+NULL_TRACER = NullSpanTracer()

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.dift.flows import FlowEvent
 from repro.dift.tracker import DIFTTracker
 from repro.replay.record import Recording
+
+if TYPE_CHECKING:  # avoid a replay <-> obs import cycle at module load
+    from repro.obs.tracing import SpanTracer
 
 
 class Plugin:
@@ -77,10 +80,21 @@ class ReplayResult:
 
 
 class Replayer:
-    """Replays recordings through an ordered plugin chain."""
+    """Replays recordings through an ordered plugin chain.
 
-    def __init__(self, plugins: Optional[Sequence[Plugin]] = None):
+    An optional :class:`~repro.obs.tracing.SpanTracer` times the whole
+    loop (``replay.loop``) and the per-event plugin dispatch
+    (``replay.on_event``); with no tracer the loop pays one ``None``
+    check per event.
+    """
+
+    def __init__(
+        self,
+        plugins: Optional[Sequence[Plugin]] = None,
+        tracer: Optional["SpanTracer"] = None,
+    ):
         self.plugins: List[Plugin] = list(plugins or [])
+        self.tracer = tracer
 
     def add_plugin(self, plugin: Plugin) -> "Replayer":
         self.plugins.append(plugin)
@@ -92,18 +106,25 @@ class Replayer:
         limit: Optional[int] = None,
     ) -> ReplayResult:
         """Feed every event (or the first ``limit``) through all plugins."""
+        tracer = self.tracer
         started = time.perf_counter()
+        loop_start = time.perf_counter_ns() if tracer is not None else 0
         for plugin in self.plugins:
             plugin.on_begin(recording)
         processed = 0
         for event in recording:
             if limit is not None and processed >= limit:
                 break
+            event_start = time.perf_counter_ns() if tracer is not None else 0
             for plugin in self.plugins:
                 plugin.on_event(event)
+            if tracer is not None:
+                tracer.end("replay.on_event", event_start)
             processed += 1
         for plugin in self.plugins:
             plugin.on_end()
+        if tracer is not None:
+            tracer.end("replay.loop", loop_start)
         elapsed = time.perf_counter() - started
         return ReplayResult(
             events_processed=processed,

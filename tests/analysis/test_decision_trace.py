@@ -1,0 +1,137 @@
+"""Tests for decision-trace summarization (the tracelog backend)."""
+
+import pytest
+
+from repro.analysis.decision_trace import (
+    DecisionTraceSummary,
+    format_decision_trace_summary,
+    summarize_decision_trace,
+    summarize_decision_trace_file,
+)
+
+
+def record(tick, kind="address_dep", pollution=1.0, candidates=()):
+    return {
+        "tick": tick,
+        "kind": kind,
+        "context": "lw",
+        "dest": "mem:0x10",
+        "pollution": pollution,
+        "free_slots": 4,
+        "has_details": True,
+        "candidates": list(candidates),
+        "propagated": [c["tag"] for c in candidates if c["propagated"]],
+        "blocked": sum(1 for c in candidates if not c["propagated"]),
+    }
+
+
+def candidate(tag="netflow:1", tag_type="netflow", propagated=True):
+    return {
+        "tag": tag,
+        "type": tag_type,
+        "copies": 1,
+        "marginal": -0.5,
+        "under": -0.6,
+        "over": 0.1,
+        "propagated": propagated,
+    }
+
+
+def sample_records():
+    return [
+        record(
+            0,
+            pollution=1.0,
+            candidates=[candidate(), candidate("fs:1", "filesystem", False)],
+        ),
+        record(
+            10,
+            kind="control_dep",
+            pollution=2.0,
+            candidates=[candidate("fs:2", "filesystem", False)],
+        ),
+        record(99, pollution=5.0, candidates=[candidate("netflow:2")]),
+    ]
+
+
+class TestSummarize:
+    def test_empty_trace(self):
+        summary = summarize_decision_trace([])
+        assert summary.events == 0
+        assert summary.propagation_rate == 0.0
+        assert "no decision records" in format_decision_trace_summary(summary)
+
+    def test_totals(self):
+        summary = summarize_decision_trace(sample_records())
+        assert summary.events == 3
+        assert summary.candidates == 4
+        assert summary.propagated == 2
+        assert summary.blocked == 2
+        assert summary.propagation_rate == 0.5
+        assert summary.by_kind == {"address_dep": 2, "control_dep": 1}
+
+    def test_blocked_by_type(self):
+        summary = summarize_decision_trace(sample_records())
+        assert summary.blocked_by_type == {"filesystem": 2}
+        assert summary.propagated_by_type == {"netflow": 2}
+        assert summary.top_blocked_types() == [("filesystem", 2)]
+
+    def test_pollution_trajectory(self):
+        summary = summarize_decision_trace(sample_records())
+        assert summary.pollution_first == 1.0
+        assert summary.pollution_last == 5.0
+        assert summary.pollution_min == 1.0
+        assert summary.pollution_max == 5.0
+
+    def test_windows_partition_the_tick_span(self):
+        summary = summarize_decision_trace(sample_records(), windows=2)
+        assert len(summary.windows) == 2
+        assert summary.windows[0].start_tick == 0
+        assert summary.windows[-1].end_tick == 99
+        assert sum(w.events for w in summary.windows) == 3
+        # first window holds ticks 0 and 10; second only tick 99
+        assert summary.windows[0].events == 2
+        assert summary.windows[1].events == 1
+
+    def test_window_rates(self):
+        summary = summarize_decision_trace(sample_records(), windows=2)
+        assert summary.windows[0].propagation_rate == pytest.approx(1 / 3)
+        assert summary.windows[1].propagation_rate == 1.0
+
+    def test_single_tick_trace(self):
+        summary = summarize_decision_trace(
+            [record(5, candidates=[candidate()])], windows=10
+        )
+        assert len(summary.windows) == 1
+        assert summary.windows[0].start_tick == 5
+        assert summary.windows[0].end_tick == 5
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            summarize_decision_trace([], windows=0)
+
+
+class TestFormat:
+    def test_renders_all_sections(self):
+        text = format_decision_trace_summary(
+            summarize_decision_trace(sample_records()), title="t"
+        )
+        assert "3 IFP events" in text
+        assert "propagation rate / pollution over time" in text
+        assert "top blocked tag types" in text
+        assert "filesystem" in text
+        assert "pollution trajectory" in text
+
+
+class TestFile:
+    def test_summarize_file_gzip(self, tmp_path):
+        import gzip
+        import json
+
+        path = tmp_path / "d.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            for row in sample_records():
+                handle.write(json.dumps(row) + "\n")
+        summary = summarize_decision_trace_file(path)
+        assert isinstance(summary, DecisionTraceSummary)
+        assert summary.events == 3

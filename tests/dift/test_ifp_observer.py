@@ -1,0 +1,105 @@
+"""The ``ifp_observer`` contract the obs layer builds on.
+
+Pins two tracker behaviors:
+
+* when the policy does not handle the flow kind, the observer still fires,
+  with ``details=None`` and an empty selection (the hard-wired block), and
+* the pollution passed to the observer is measured *before* propagation
+  (the Eq. 8 signal the decision actually saw), not after.
+"""
+
+from repro.core.policy import KindFilteredPolicy, MitosPolicy, PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.workloads.calibration import benchmark_params
+
+NET = Tag("netflow", 1)
+
+
+class RecordingObserver:
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, event, candidates, details, selected, pollution):
+        self.calls.append(
+            {
+                "event": event,
+                "candidates": list(candidates),
+                "details": details,
+                "selected": list(selected),
+                "pollution": pollution,
+            }
+        )
+
+
+def seed_events():
+    """Taint mem(0), spread to r1: r1 then feeds indirect flows."""
+    return [
+        flows.insert(mem(0), NET, tick=0),
+        flows.copy(mem(0), reg("r1"), tick=1),
+    ]
+
+
+class TestUnhandledKind:
+    def test_observer_fires_with_none_details_and_empty_selection(self):
+        observer = RecordingObserver()
+        policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds={"address_dep"}
+        )
+        tracker = DIFTTracker(
+            benchmark_params(), policy, ifp_observer=observer
+        )
+        tracker.process_many(seed_events())
+        tracker.process(flows.control_dep((reg("r1"),), mem(9), tick=2))
+        assert len(observer.calls) == 1
+        call = observer.calls[0]
+        assert call["details"] is None
+        assert call["selected"] == []
+        assert len(call["candidates"]) == 1
+        assert call["candidates"][0].key == NET
+        # the hard-wired block is fully accounted as blocked
+        assert tracker.stats.ifp_blocked == 1
+        assert not tracker.shadow.is_tainted(mem(9))
+
+    def test_no_observer_call_without_candidates(self):
+        observer = RecordingObserver()
+        policy = KindFilteredPolicy(
+            PropagateAllPolicy(), allowed_kinds={"address_dep"}
+        )
+        tracker = DIFTTracker(
+            benchmark_params(), policy, ifp_observer=observer
+        )
+        # r9 untainted: no candidates, no decision, no observer call
+        tracker.process(flows.control_dep((reg("r9"),), mem(9), tick=0))
+        assert observer.calls == []
+
+
+class TestPollutionOrdering:
+    def test_pollution_measured_before_propagation(self):
+        observer = RecordingObserver()
+        params = benchmark_params()
+        tracker = DIFTTracker(
+            params, MitosPolicy(params), ifp_observer=observer
+        )
+        tracker.process_many(seed_events())
+        pollution_before = tracker.pollution()
+        tracker.process(flows.address_dep(reg("r1"), mem(9), tick=2))
+        assert len(observer.calls) == 1
+        call = observer.calls[0]
+        # rare tag: MITOS propagates, growing pollution past the observed value
+        assert call["selected"] == [NET]
+        assert call["pollution"] == pollution_before
+        assert tracker.pollution() > call["pollution"]
+
+    def test_pollution_before_propagation_propagate_all(self):
+        observer = RecordingObserver()
+        tracker = DIFTTracker(
+            benchmark_params(), PropagateAllPolicy(), ifp_observer=observer
+        )
+        tracker.process_many(seed_events())
+        pollution_before = tracker.pollution()
+        tracker.process(flows.address_dep(reg("r1"), mem(9), tick=2))
+        assert observer.calls[0]["pollution"] == pollution_before
+        assert tracker.pollution() == pollution_before + 1.0

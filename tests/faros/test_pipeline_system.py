@@ -52,6 +52,39 @@ class TestFilters:
             assert is_dfp_or_ifp(event) == (is_dfp(event) or is_ifp(event))
 
 
+class TestPipelineDispatch:
+    """Stage counting dispatches explicitly on FlowKind."""
+
+    class _StubTracker:
+        def reset(self):
+            pass
+
+        def process(self, event):
+            pass
+
+    def test_unknown_kind_lands_in_other_not_clear(self):
+        from types import SimpleNamespace
+
+        from repro.faros import FarosPipeline
+
+        pipeline = FarosPipeline(self._StubTracker())
+        future_kind = SimpleNamespace(is_direct=False, is_indirect=False)
+        pipeline.on_event(SimpleNamespace(kind=future_kind))
+        assert pipeline.stage_counts["clear"] == 0
+        assert pipeline.stage_counts["other"] == 1
+
+    def test_other_bucket_resets_on_begin(self):
+        from types import SimpleNamespace
+
+        from repro.faros import FarosPipeline
+
+        pipeline = FarosPipeline(self._StubTracker())
+        future_kind = SimpleNamespace(is_direct=False, is_indirect=False)
+        pipeline.on_event(SimpleNamespace(kind=future_kind))
+        pipeline.on_begin(Recording())
+        assert pipeline.stage_counts["other"] == 0
+
+
 class TestFarosSystem:
     def params(self):
         return benchmark_params()

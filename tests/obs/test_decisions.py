@@ -1,0 +1,141 @@
+"""Tests for the JSONL IFP decision-trace recorder."""
+
+import json
+
+import pytest
+
+from repro.core.decision import decide_multi, TagCandidate
+from repro.core.params import MitosParams
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.obs.decisions import (
+    DecisionTraceRecorder,
+    format_location,
+    read_decision_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+
+NET = Tag("netflow", 1)
+FS = Tag("filesystem", 2)
+
+
+def ifp_event(tick=7):
+    return flows.address_dep(reg("r1"), mem(0x4800), tick=tick, context="lw")
+
+
+def candidates():
+    return [
+        TagCandidate(key=NET, tag_type="netflow", copies=3),
+        TagCandidate(key=FS, tag_type="filesystem", copies=500),
+    ]
+
+
+def mitos_details(pollution=10.0, free_slots=4):
+    return decide_multi(candidates(), free_slots, pollution, MitosParams())
+
+
+class TestFormatLocation:
+    def test_mem_hex(self):
+        assert format_location(mem(0x4800)) == "mem:0x4800"
+
+    def test_reg(self):
+        assert format_location(reg("r3")) == "reg:r3"
+
+
+class TestInMemoryRecorder:
+    def test_record_with_details(self):
+        recorder = DecisionTraceRecorder()
+        details = mitos_details()
+        selected = [d.candidate.key for d in details.decisions if d.propagate]
+        recorder.observer(
+            ifp_event(), candidates(), details, selected, pollution=10.0
+        )
+        assert recorder.records_written == 1
+        [record] = recorder.records
+        assert record["tick"] == 7
+        assert record["kind"] == "address_dep"
+        assert record["dest"] == "mem:0x4800"
+        assert record["pollution"] == 10.0
+        assert record["free_slots"] == 4
+        assert record["has_details"] is True
+        assert len(record["candidates"]) == 2
+        for row in record["candidates"]:
+            assert row["marginal"] is not None
+            assert row["under"] is not None and row["over"] is not None
+        assert record["blocked"] == len(record["candidates"]) - len(
+            record["propagated"]
+        )
+
+    def test_record_without_details_binary_outcome(self):
+        recorder = DecisionTraceRecorder()
+        recorder.observer(
+            ifp_event(), candidates(), None, [NET], pollution=2.0
+        )
+        [record] = recorder.records
+        assert record["has_details"] is False
+        assert record["free_slots"] is None
+        by_tag = {row["tag"]: row for row in record["candidates"]}
+        assert by_tag["netflow:1"]["propagated"] is True
+        assert by_tag["netflow:1"]["marginal"] is None
+        assert by_tag["filesystem:2"]["propagated"] is False
+        assert record["propagated"] == ["netflow:1"]
+
+    def test_unhandled_kind_record(self):
+        recorder = DecisionTraceRecorder()
+        recorder.observer(ifp_event(), candidates(), None, [], pollution=0.0)
+        [record] = recorder.records
+        assert record["propagated"] == []
+        assert record["blocked"] == 2
+
+
+class TestFileRecorder:
+    @pytest.mark.parametrize("name", ["d.jsonl", "d.jsonl.gz"])
+    def test_round_trip(self, tmp_path, name):
+        path = tmp_path / name
+        with DecisionTraceRecorder(path) as recorder:
+            details = mitos_details()
+            selected = [
+                d.candidate.key for d in details.decisions if d.propagate
+            ]
+            recorder.observer(
+                ifp_event(), candidates(), details, selected, pollution=10.0
+            )
+            recorder.observer(
+                ifp_event(tick=9), candidates(), None, [], pollution=11.0
+            )
+        records = list(read_decision_trace(path))
+        assert len(records) == 2
+        assert records[0]["tick"] == 7 and records[1]["tick"] == 9
+        assert records[1]["has_details"] is False
+
+    def test_plain_file_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        with DecisionTraceRecorder(path) as recorder:
+            recorder.observer(ifp_event(), candidates(), None, [], 0.0)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_close_is_idempotent(self, tmp_path):
+        recorder = DecisionTraceRecorder(tmp_path / "d.jsonl")
+        recorder.close()
+        recorder.close()
+
+
+class TestDecisionMetrics:
+    def test_counters_and_histogram(self):
+        registry = MetricsRegistry()
+        recorder = DecisionTraceRecorder(metrics=registry)
+        details = mitos_details()
+        selected = [d.candidate.key for d in details.decisions if d.propagate]
+        recorder.observer(ifp_event(), candidates(), details, selected, 10.0)
+        recorder.observer(ifp_event(tick=8), candidates(), None, [], 10.0)
+        payload = registry.as_dict()
+        assert payload["counters"]["ifp.events"] == 2
+        assert payload["counters"]["ifp.no_details"] == 1
+        assert (
+            payload["counters"]["ifp.propagated"]
+            + payload["counters"]["ifp.blocked"]
+            == 4
+        )
+        assert payload["histograms"]["ifp.candidates_per_event"]["count"] == 2

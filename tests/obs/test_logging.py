@@ -1,0 +1,65 @@
+"""Tests for the shared structured logging setup."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import StructuredFormatter, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    root = logging.getLogger("repro")
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers[:], root.level, root.propagate = saved[0], saved[1], saved[2]
+
+
+class TestStructuredFormatter:
+    def _format(self, logger_name, message, extra=None):
+        record = logging.LogRecord(
+            logger_name, logging.DEBUG, __file__, 1, message, (), None
+        )
+        for key, value in (extra or {}).items():
+            setattr(record, key, value)
+        return StructuredFormatter().format(record)
+
+    def test_base_shape(self):
+        line = self._format("repro.obs", "hello")
+        assert line == "DEBUG repro.obs hello"
+
+    def test_extras_become_key_value_pairs(self):
+        line = self._format(
+            "repro.obs", "sampled", extra={"tick": 42, "event": "copy"}
+        )
+        assert line == "DEBUG repro.obs sampled event=copy tick=42"
+
+
+class TestConfigureLogging:
+    def test_verbose_emits_debug(self):
+        stream = io.StringIO()
+        configure_logging(verbose=True, stream=stream)
+        get_logger("unit").debug("visible", extra={"tick": 1})
+        assert "DEBUG repro.unit visible tick=1" in stream.getvalue()
+
+    def test_quiet_suppresses_debug(self):
+        stream = io.StringIO()
+        configure_logging(verbose=False, stream=stream)
+        get_logger("unit").debug("hidden")
+        get_logger("unit").warning("shown")
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "WARNING repro.unit shown" in output
+
+    def test_idempotent_single_handler(self):
+        stream = io.StringIO()
+        configure_logging(verbose=True, stream=stream)
+        configure_logging(verbose=True, stream=stream)
+        get_logger("unit").debug("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("x").name == "repro.x"
+        assert get_logger("repro.y").name == "repro.y"
+        assert get_logger("repro").name == "repro"

@@ -1,0 +1,111 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 1.0, 5, 50, 5000):
+            hist.observe(value)
+        buckets = hist.as_dict()["buckets"]
+        assert buckets == {"le_1": 2, "le_10": 1, "le_100": 1, "le_inf": 1}
+
+    def test_summary_stats(self):
+        hist = Histogram("h", buckets=(10,))
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.count == 2
+        assert hist.sum == 6
+        assert hist.mean == 3
+        assert hist.min == 2 and hist.max == 4
+
+    def test_empty_histogram_renders(self):
+        payload = Histogram("h", buckets=(1,)).as_dict()
+        assert payload["count"] == 0
+        assert payload["min"] is None and payload["max"] is None
+
+    def test_rejects_empty_or_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1))
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.gauge("pollution").set(1.5)
+        registry.histogram("sizes", buckets=(1, 2)).observe(1)
+        payload = registry.as_dict()
+        assert payload["counters"] == {"events": 3}
+        assert payload["gauges"] == {"pollution": 1.5}
+        assert payload["histograms"]["sizes"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.reset()
+        assert registry.as_dict()["counters"] == {}
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_METRICS.enabled
+
+
+class TestNullRegistry:
+    def test_instruments_swallow_everything(self):
+        registry = NullMetricsRegistry()
+        registry.counter("a").inc(10)
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(1)
+        registry.inc("d")
+        assert registry.as_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

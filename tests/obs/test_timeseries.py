@@ -1,0 +1,98 @@
+"""Tests for the pollution time-series sampler."""
+
+import pytest
+
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.replay.record import Recording
+from repro.replay.replayer import Replayer, TrackerPlugin
+from repro.workloads.calibration import benchmark_params
+
+NET = Tag("netflow", 1)
+
+
+def make_tracker():
+    return DIFTTracker(benchmark_params(), PropagateAllPolicy())
+
+
+def recording(n_events=10, tick_step=1):
+    events = [
+        flows.insert(mem(i), NET, tick=i * tick_step) for i in range(n_events)
+    ]
+    return Recording(events=events)
+
+
+class TestSampler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(make_tracker(), every=0)
+
+    def test_samples_every_n_ticks(self):
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=3)
+        replayer = Replayer([TrackerPlugin(tracker), sampler])
+        replayer.replay(recording(n_events=10))
+        # boundaries at ticks 0, 3, 6, 9 (9 is also the final tick)
+        assert [s.tick for s in sampler.samples] == [0, 3, 6, 9]
+
+    def test_final_sample_always_taken(self):
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=100)
+        replayer = Replayer([TrackerPlugin(tracker), sampler])
+        replayer.replay(recording(n_events=7))
+        assert [s.tick for s in sampler.samples] == [0, 6]
+
+    def test_sample_values_track_state(self):
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=1)
+        replayer = Replayer([TrackerPlugin(tracker), sampler])
+        replayer.replay(recording(n_events=4))
+        entries = [s.total_entries for s in sampler.samples]
+        assert entries == [1, 2, 3, 4]
+        assert sampler.samples[-1].pollution == tracker.pollution()
+        assert sampler.samples[-1].live_tags == 1
+        assert sampler.samples[-1].tainted_locations == 4
+
+    def test_reset_on_begin(self):
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=2)
+        replayer = Replayer([TrackerPlugin(tracker), sampler])
+        replayer.replay(recording(n_events=6))
+        first = len(sampler.samples)
+        replayer.replay(recording(n_events=6))
+        assert len(sampler.samples) == first
+
+    def test_series_columns(self):
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=2)
+        Replayer([TrackerPlugin(tracker), sampler]).replay(recording(6))
+        series = sampler.series()
+        assert set(series) == {
+            "tick",
+            "pollution",
+            "live_tags",
+            "tainted_locations",
+            "total_entries",
+            "footprint_bytes",
+        }
+        assert len(series["tick"]) == len(sampler)
+
+    def test_gauges_updated(self):
+        registry = MetricsRegistry()
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=1, metrics=registry)
+        Replayer([TrackerPlugin(tracker), sampler]).replay(recording(3))
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["pollution"] == tracker.pollution()
+        assert gauges["live_tags"] == 1
+
+    def test_empty_recording_no_samples(self):
+        tracker = make_tracker()
+        sampler = TimeSeriesSampler(tracker, every=5)
+        Replayer([TrackerPlugin(tracker), sampler]).replay(Recording())
+        assert sampler.samples == []

@@ -1,0 +1,95 @@
+"""Tests for span tracing aggregation."""
+
+import time
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    PIPELINE_SPANS,
+    NullSpanTracer,
+    SpanStats,
+    SpanTracer,
+)
+
+
+class TestSpanStats:
+    def test_record_accumulates(self):
+        stats = SpanStats("s")
+        stats.record(100)
+        stats.record(300)
+        assert stats.count == 2
+        assert stats.total_ns == 400
+        assert stats.min_ns == 100 and stats.max_ns == 300
+        assert stats.mean_ns == 200
+
+    def test_as_dict_units(self):
+        stats = SpanStats("s")
+        stats.record(2_000_000)  # 2 ms
+        payload = stats.as_dict()
+        assert payload["total_ms"] == 2.0
+        assert payload["mean_us"] == 2000.0
+
+
+class TestSpanTracer:
+    def test_end_records_elapsed(self):
+        tracer = SpanTracer()
+        t0 = time.perf_counter_ns()
+        tracer.end("work", t0)
+        stats = tracer.get("work")
+        assert stats.count == 1
+        assert stats.total_ns >= 0
+
+    def test_span_context_manager(self):
+        tracer = SpanTracer()
+        with tracer.span("cm"):
+            pass
+        assert tracer.get("cm").count == 1
+
+    def test_span_closes_on_exception(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError()
+        except RuntimeError:
+            pass
+        assert tracer.get("boom").count == 1
+
+    def test_breakdown_exclusive_times(self):
+        tracer = SpanTracer()
+        tracer.record_ns("replay.loop", 10_000_000)
+        tracer.record_ns("pipeline.on_event", 6_000_000)
+        tracer.record_ns("tracker.process", 4_000_000)
+        rows = {name: (total, excl) for name, total, excl in tracer.breakdown()}
+        assert rows["replay.loop"] == (10.0, 4.0)
+        assert rows["pipeline.on_event"] == (6.0, 2.0)
+        # innermost recorded stage keeps its full total
+        assert rows["tracker.process"] == (4.0, 4.0)
+
+    def test_breakdown_includes_non_pipeline_spans(self):
+        tracer = SpanTracer()
+        tracer.record_ns("custom", 1_000_000)
+        rows = dict(
+            (name, (total, excl)) for name, total, excl in tracer.breakdown()
+        )
+        assert rows["custom"] == (1.0, 1.0)
+
+    def test_canonical_span_names(self):
+        assert "tracker.process" in PIPELINE_SPANS
+        assert "policy.select" in PIPELINE_SPANS
+
+    def test_reset(self):
+        tracer = SpanTracer()
+        tracer.record_ns("a", 1)
+        tracer.reset()
+        assert tracer.span_names() == []
+
+
+class TestNullTracer:
+    def test_noop(self):
+        tracer = NullSpanTracer()
+        tracer.end("a", 0)
+        tracer.record_ns("b", 5)
+        with tracer.span("c"):
+            pass
+        assert tracer.as_dict() == {}
+        assert not tracer.enabled
+        assert not NULL_TRACER.enabled

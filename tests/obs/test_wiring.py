@@ -1,0 +1,146 @@
+"""Integration tests: the Observability bundle threaded through FarosSystem."""
+
+import json
+
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag, TagTypes
+from repro.faros import FarosSystem, mitos_config, stock_faros_config
+from repro.obs import Observability, compose_observers, read_decision_trace
+from repro.replay.record import Recording
+from repro.workloads.calibration import benchmark_params
+
+NET = Tag(TagTypes.NETFLOW, 1)
+EXPORT = Tag(TagTypes.EXPORT_TABLE, 1)
+
+
+def small_recording() -> Recording:
+    events = [
+        flows.insert(mem(0), NET, tick=0),
+        flows.insert(mem(1), EXPORT, tick=1),
+        flows.copy(mem(0), reg("r1"), tick=2),
+        flows.compute((reg("r1"),), reg("r2"), tick=3),
+        flows.address_dep(reg("r1"), mem(5), tick=4),
+        flows.control_dep((reg("r2"),), mem(6), tick=5),
+        flows.clear(reg("r2"), tick=6),
+    ]
+    return Recording(events=events, meta={"name": "small"})
+
+
+class TestComposeObservers:
+    def test_none_in_none_out(self):
+        assert compose_observers(None, None) is None
+
+    def test_single_observer_unwrapped(self):
+        def observer(*args):
+            pass
+
+        assert compose_observers(None, observer) is observer
+
+    def test_fanout_calls_all(self):
+        calls = []
+        fanout = compose_observers(
+            lambda *a: calls.append("a"), lambda *a: calls.append("b")
+        )
+        fanout(None, [], None, [], 0.0)
+        assert calls == ["a", "b"]
+
+
+class TestSystemWiring:
+    def params(self):
+        return benchmark_params()
+
+    def test_metrics_identical_with_and_without_obs(self):
+        recording = small_recording()
+        plain = FarosSystem(mitos_config(self.params())).replay(recording)
+        obs = Observability.create(sample_every=2)
+        instrumented = FarosSystem(
+            mitos_config(self.params()), observability=obs
+        ).replay(recording)
+        plain_metrics = plain.metrics.as_dict()
+        inst_metrics = instrumented.metrics.as_dict()
+        plain_metrics.pop("wall_seconds")
+        inst_metrics.pop("wall_seconds")
+        assert plain_metrics == inst_metrics
+        assert plain.stage_counts == instrumented.stage_counts
+        assert plain.tracker_stats == instrumented.tracker_stats
+
+    def test_spans_cover_the_pipeline(self):
+        obs = Observability()
+        system = FarosSystem(mitos_config(self.params()), observability=obs)
+        system.replay(small_recording())
+        names = obs.tracer.span_names()
+        assert "replay.loop" in names
+        assert "replay.on_event" in names
+        assert "pipeline.on_event" in names
+        assert "tracker.process" in names
+        assert "policy.select" in names
+        assert obs.tracer.get("tracker.process").count == 7
+
+    def test_decision_trace_one_record_per_decision(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        obs = Observability.create(trace_out=path)
+        system = FarosSystem(mitos_config(self.params()), observability=obs)
+        system.replay(small_recording())
+        obs.close()
+        records = list(read_decision_trace(path))
+        # two indirect flows with candidates -> two records
+        assert len(records) == 2
+        assert {r["kind"] for r in records} == {"address_dep", "control_dep"}
+        for record in records:
+            assert record["has_details"] is True
+            for row in record["candidates"]:
+                assert row["marginal"] is not None
+
+    def test_decision_trace_and_timeline_compose(self):
+        obs = Observability.create()
+        config = mitos_config(self.params(), log_timeline=True)
+        system = FarosSystem(config, observability=obs)
+        system.replay(small_recording())
+        assert len(system.timeline) == obs.decisions.records_written == 2
+
+    def test_sampler_attached_and_filled(self):
+        obs = Observability.create(sample_every=2)
+        system = FarosSystem(mitos_config(self.params()), observability=obs)
+        system.replay(small_recording())
+        assert obs.sampler is not None
+        assert [s.tick for s in obs.sampler.samples] == [0, 2, 4, 6]
+
+    def test_event_kind_counters(self):
+        obs = Observability()
+        system = FarosSystem(stock_faros_config(self.params()), observability=obs)
+        system.replay(small_recording())
+        counters = obs.metrics.as_dict()["counters"]
+        assert counters["replay.events.insert"] == 2
+        assert counters["replay.events.copy"] == 1
+        assert counters["replay.events.compute"] == 1
+        assert counters["replay.events.address_dep"] == 1
+        assert counters["replay.events.control_dep"] == 1
+        assert counters["replay.events.clear"] == 1
+
+    def test_finalize_snapshots_tracker_state(self):
+        obs = Observability()
+        system = FarosSystem(mitos_config(self.params()), observability=obs)
+        system.replay(small_recording())
+        gauges = obs.metrics.as_dict()["gauges"]
+        assert gauges["final.pollution"] == system.tracker.pollution()
+        assert gauges["tracker.ticks"] == 7
+
+    def test_export_and_write_metrics(self, tmp_path):
+        obs = Observability.create(sample_every=3)
+        system = FarosSystem(mitos_config(self.params()), observability=obs)
+        system.replay(small_recording())
+        out = tmp_path / "m.json"
+        obs.write_metrics(out)
+        payload = json.loads(out.read_text())
+        assert set(payload) >= {"metrics", "spans", "span_breakdown", "timeseries"}
+        assert payload["spans"]["tracker.process"]["count"] == 7
+        assert payload["timeseries"][0]["tick"] == 0
+
+    def test_tracker_spans_without_replayer(self):
+        # live mode feeds tracker.process directly: spans must still record
+        obs = Observability()
+        system = FarosSystem(mitos_config(self.params()), observability=obs)
+        for event in small_recording():
+            system.tracker.process(event)
+        assert obs.tracer.get("tracker.process").count == 7

@@ -64,6 +64,38 @@ class TestParser:
                 ["lineage", "t.jsonl", "--location", "bogus"]
             )
 
+    def test_verbose_flag(self):
+        args = build_parser().parse_args(["--verbose", "fig3"])
+        assert args.verbose
+        args = build_parser().parse_args(["fig3"])
+        assert not args.verbose
+
+    def test_replay_observability_flags(self):
+        args = build_parser().parse_args(
+            [
+                "replay", "t.jsonl", "--trace-out", "d.jsonl.gz",
+                "--metrics-out", "m.json", "--sample-every", "50",
+            ]
+        )
+        assert args.trace_out == "d.jsonl.gz"
+        assert args.metrics_out == "m.json"
+        assert args.sample_every == 50
+
+    def test_replay_observability_flags_default_off(self):
+        args = build_parser().parse_args(["replay", "t.jsonl"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+        assert args.sample_every is None
+
+    def test_tracelog_args(self):
+        args = build_parser().parse_args(
+            ["tracelog", "d.jsonl", "--windows", "4", "--top", "3"]
+        )
+        assert args.command == "tracelog"
+        assert args.trace == "d.jsonl"
+        assert args.windows == 4
+        assert args.top == 3
+
 
 class TestExperimentExecution:
     def test_run_one_fig3(self):
@@ -154,3 +186,81 @@ class TestTraceTools:
         # the https stager moves netflow only through address deps
         assert "netflow" in full
         assert "netflow" not in direct
+
+
+class TestObservabilityWorkflow:
+    """The replay --trace-out/--metrics-out -> tracelog round trip."""
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl.gz")
+        assert main(
+            [
+                "record", "attack", "--quick", "--seed", "1",
+                "--variant", "reverse_https", "--out", path,
+            ]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_instrumented_replay_writes_artifacts(
+        self, trace_path, tmp_path, capsys
+    ):
+        import json
+
+        decisions = tmp_path / "d.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "replay", trace_path, "--policy", "mitos",
+                "--quick-calibration",
+                "--trace-out", str(decisions),
+                "--metrics-out", str(metrics),
+                "--sample-every", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span timings" in out
+        assert "decision trace:" in out
+
+        from repro.obs import read_decision_trace
+
+        records = list(read_decision_trace(decisions))
+        assert records, "expected at least one IFP decision record"
+        for record in records:
+            assert {"tick", "kind", "pollution", "candidates"} <= set(record)
+        payload = json.loads(metrics.read_text())
+        assert payload["spans"]["tracker.process"]["count"] > 0
+        assert payload["metrics"]["counters"]["ifp.events"] == len(records)
+        assert payload["timeseries"]
+
+    def test_tracelog_summarizes(self, trace_path, tmp_path, capsys):
+        decisions = tmp_path / "d.jsonl.gz"
+        assert main(
+            [
+                "replay", trace_path, "--policy", "mitos",
+                "--quick-calibration", "--trace-out", str(decisions),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["tracelog", str(decisions), "--windows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "IFP events" in out
+        assert "propagation rate / pollution over time" in out
+        assert "pollution trajectory" in out
+
+    def test_tracelog_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["tracelog", str(empty)]) == 0
+        assert "no decision records" in capsys.readouterr().out
+
+    def test_plain_replay_unchanged(self, trace_path, capsys):
+        code = main(
+            ["replay", trace_path, "--policy", "mitos", "--quick-calibration"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "propagation_ops" in out
+        assert "span timings" not in out
