@@ -36,6 +36,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
     ablations,
+    fault_sweep,
     fig3,
     fig7,
     fig8,
@@ -53,6 +54,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "table2": (table2.run, table2.render),
     "ablations": (ablations.run, ablations.render),
     "sensitivity": (workload_sensitivity.run, workload_sensitivity.render),
+    "fault_sweep": (fault_sweep.run, fault_sweep.render),
 }
 
 #: workload name -> factory(seed, quick, variant) (variant used by attack)
@@ -165,6 +167,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-every", type=int, default=None, metavar="N",
         help="sample pollution/footprint every N ticks",
     )
+    replay.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after processing N events (simulates a killed replay)",
+    )
+    replay.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="atomically write a checkpoint every N events (needs "
+             "--checkpoint-out)",
+    )
+    replay.add_argument(
+        "--checkpoint-out", default=None, metavar="PATH",
+        help="checkpoint file path (.gz ok)",
+    )
+    replay.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="restore this checkpoint and continue the replay from its "
+             "event index; the result is byte-identical to an "
+             "uninterrupted run",
+    )
+    from repro.replay.supervisor import SUPERVISOR_POLICIES
+
+    replay.add_argument(
+        "--supervisor", default=None, choices=SUPERVISOR_POLICIES,
+        help="survive plugin failures: retry transient faults, then "
+             "fail-fast / skip-event / quarantine",
+    )
+    replay.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retry budget per transient plugin fault (default 2)",
+    )
+    replay.add_argument(
+        "--inject-faults", type=float, default=0.0, metavar="RATE",
+        help="seeded fault injection: drop/duplicate/corrupt/reorder "
+             "events and raise transient plugin faults at this rate",
+    )
+    replay.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault injector",
+    )
+    replay.add_argument(
+        "--degrade-at", type=float, default=None, metavar="FRACTION",
+        help="shed lowest-utility tags when provenance entries exceed "
+             "this fraction of N_R (graceful degradation; default off)",
+    )
 
     tracelog = subparsers.add_parser(
         "tracelog", help="summarize an IFP decision trace (--trace-out output)"
@@ -238,6 +284,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         policy=args.policy,
         direct_via_policy=args.all_flows,
         label=args.policy,
+        degrade_at=args.degrade_at,
     )
     want_obs = (
         args.trace_out is not None
@@ -251,12 +298,31 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if want_obs
         else None
     )
-    system = FarosSystem(config, observability=obs)
+    want_resilience = (
+        args.inject_faults > 0.0
+        or args.supervisor is not None
+        or args.checkpoint_every is not None
+        or args.resume_from is not None
+    )
+    resilience = None
+    if want_resilience:
+        from repro.faults import Resilience
+
+        resilience = Resilience.create(
+            fault_rate=args.inject_faults,
+            fault_seed=args.fault_seed,
+            supervisor_policy=args.supervisor,
+            max_retries=args.max_retries,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_out,
+            resume_from=args.resume_from,
+        )
+    system = FarosSystem(config, observability=obs, resilience=resilience)
     logger.debug(
         "replay starting",
         extra={"trace": args.trace, "events": len(recording)},
     )
-    result = system.replay(recording)
+    result = system.replay(recording, limit=args.limit)
     print(
         format_mapping(
             f"replay of {args.trace} under {args.policy}"
@@ -264,6 +330,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             result.metrics.as_dict(),
         )
     )
+    if result.robustness:
+        print()
+        print(format_mapping("robustness", result.robustness))
+    if args.checkpoint_every is not None and system.checkpoint_plugin is not None:
+        print(
+            f"\ncheckpoints: {system.checkpoint_plugin.checkpoints_written} "
+            f"written -> {args.checkpoint_out}"
+        )
     if obs is not None:
         obs.close()
         breakdown = obs.tracer.breakdown()

@@ -10,7 +10,7 @@ flagged bytes -- the paper's "detected bytes" metric of Table II.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.dift.shadow import Location, ShadowMemory
 from repro.dift.tags import Tag, TagTypes
@@ -81,3 +81,18 @@ class ConfluenceDetector:
     def reset(self) -> None:
         self.alerts.clear()
         self._flagged.clear()
+
+    # -- checkpoint support -------------------------------------------------
+
+    def flagged_snapshot(self) -> List[Location]:
+        """The already-alerted locations, in a deterministic order.
+
+        Checkpoints persist this so a resumed replay neither re-alerts on
+        locations the killed run already flagged nor under-counts
+        ``detected_bytes``.
+        """
+        return sorted(self._flagged, key=repr)
+
+    def restore_flagged(self, locations: "Iterable[Location]") -> None:
+        """Re-arm the detector as if ``locations`` had already alerted."""
+        self._flagged = set(locations)

@@ -10,7 +10,7 @@ paper's O(1)-space "single estimation of the memory pollution" claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, Mapping, Tuple
 
 from repro.dift.tags import Tag
@@ -117,6 +117,10 @@ class TrackerStats:
     drops: int = 0
     clears: int = 0
     alerts: int = 0
+    #: times the tracker entered degraded mode (pollution near N_R)
+    degradations: int = 0
+    #: provenance entries shed by degraded-mode load shedding
+    shed_entries: int = 0
     by_context: Dict[str, int] = field(default_factory=dict)
 
     def note_context(self, context: str) -> None:
@@ -148,4 +152,35 @@ class TrackerStats:
             "drops": self.drops,
             "clears": self.clears,
             "alerts": self.alerts,
+            "degradations": self.degradations,
+            "shed_entries": self.shed_entries,
         }
+
+    # -- checkpoint support -------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Complete JSON-serializable state, including ``by_context``.
+
+        Unlike :meth:`as_dict` (a reporting view), this captures every
+        counter so a resumed replay continues with *exactly* the stats an
+        uninterrupted run would have had at the same event.
+        """
+        payload: Dict[str, object] = dict(self.as_dict())
+        payload["by_context"] = dict(self.by_context)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "TrackerStats":
+        """Inverse of :meth:`to_payload`; unknown keys are ignored."""
+        stats = cls()
+        for f in fields(cls):
+            if f.name == "by_context":
+                continue
+            value = payload.get(f.name, 0)
+            setattr(stats, f.name, int(value))  # type: ignore[arg-type]
+        raw_context = payload.get("by_context", {})
+        if isinstance(raw_context, Mapping):
+            stats.by_context = {
+                str(k): int(v) for k, v in raw_context.items()  # type: ignore[arg-type]
+            }
+        return stats

@@ -57,7 +57,12 @@ class DIFTTracker:
         direct_via_policy: bool = False,
         ifp_observer: Optional[IfpObserver] = None,
         tracer: Optional["SpanTracer"] = None,
+        degrade_at: Optional[float] = None,
     ):
+        if degrade_at is not None and not 0.0 < degrade_at <= 1.0:
+            raise ValueError(
+                f"degrade_at must be in (0, 1], got {degrade_at}"
+            )
         self.params = params
         self.policy = policy
         self.counter = TagCopyCounter()
@@ -76,6 +81,13 @@ class DIFTTracker:
         self.direct_via_policy = direct_via_policy
         self.ifp_observer = ifp_observer
         self.tracer = tracer
+        self.degrade_at = degrade_at
+        # precomputed entry budget; None keeps the hot path to one check.
+        self._degrade_limit: Optional[int] = (
+            max(1, int(params.N_R * degrade_at))
+            if degrade_at is not None
+            else None
+        )
         self._bind_policy_pollution()
 
     def _bind_policy_pollution(self) -> None:
@@ -124,6 +136,11 @@ class DIFTTracker:
             alert = self.detector.check(self.shadow, event.destination, event.tick)
             if alert is not None:
                 self.stats.alerts += 1
+        if (
+            self._degrade_limit is not None
+            and self.counter.total_entries() > self._degrade_limit
+        ):
+            self._degrade(event)
         if tracer is not None:
             tracer.end("tracker.process", started)
 
@@ -225,6 +242,60 @@ class DIFTTracker:
             self.stats.ifp_blocked += len(candidates) - len(chosen_tags)
         if self.ifp_observer is not None:
             self.ifp_observer(event, candidates, details, chosen_tags, pollution_now)
+
+    # -- graceful degradation (pollution near N_R) -------------------------
+
+    def _degrade(self, event: FlowEvent) -> None:
+        """Shed the lowest-retention-value tags back under the budget.
+
+        Instead of letting provenance state grow without bound when
+        pollution approaches ``N_R`` (the regime where MITOS itself says
+        tracking stops paying for its cost), the tracker drops *whole
+        tags* in ascending :meth:`tag_retention_value` order -- saturated
+        tags first, since each of their copies carries the least
+        information flow -- until total entries fall to 90% of the
+        budget.  The shed is reported through the ``ifp_observer`` hook
+        as a synthetic CLEAR event with context ``dift.degraded`` so
+        decision traces record exactly when and how hard degradation hit.
+        """
+        assert self._degrade_limit is not None
+        pollution_before = self.pollution()
+        target = max(1, int(self._degrade_limit * 0.9))
+        tag_locations: dict = {}
+        for location in self.shadow.tainted_locations():
+            for tag in self.shadow.tags_at(location):
+                tag_locations.setdefault(tag, []).append(location)
+        order = sorted(
+            tag_locations,
+            key=lambda tag: (self.tag_retention_value(tag), tag.key),
+        )
+        shed = 0
+        tags_shed = 0
+        for tag in order:
+            if self.counter.total_entries() <= target:
+                break
+            tags_shed += 1
+            for location in tag_locations[tag]:
+                if self.shadow.remove_tag(location, tag):
+                    shed += 1
+        self.stats.degradations += 1
+        self.stats.shed_entries += shed
+        self.stats.drops += shed
+        self.stats.propagation_ops += shed
+        if self.ifp_observer is not None:
+            notice = FlowEvent(
+                kind=FlowKind.CLEAR,
+                destination=("sys", "degraded"),
+                tick=event.tick,
+                context="dift.degraded",
+                meta={
+                    "shed_entries": shed,
+                    "tags_shed": tags_shed,
+                    "limit": self._degrade_limit,
+                    "entries_after": self.counter.total_entries(),
+                },
+            )
+            self.ifp_observer(notice, [], None, [], pollution_before)
 
     # -- run-level helpers ---------------------------------------------------
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.costs import marginal_cost
 from repro.core.params import MitosParams
@@ -24,6 +24,9 @@ from repro.distributed.gossip import PollutionGossip
 from repro.distributed.node import SubsystemNode
 from repro.dift.flows import FlowEvent
 from repro.replay.record import Recording
+
+if TYPE_CHECKING:  # type hints only; faults stays an optional dependency
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -41,6 +44,8 @@ class ClusterResult:
     per_node_events: Dict[int, int] = field(default_factory=dict)
     propagated: int = 0
     blocked: int = 0
+    messages_lost: int = 0
+    node_restarts: int = 0
 
 
 class Cluster:
@@ -55,6 +60,9 @@ class Cluster:
         seed: int = 0,
         direct_via_policy: bool = False,
         node_params: Optional[Sequence[MitosParams]] = None,
+        loss_rate: float = 0.0,
+        gossip_retries: int = 0,
+        injector: Optional["FaultInjector"] = None,
     ):
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -75,7 +83,15 @@ class Cluster:
             )
             for i in range(n_nodes)
         ]
-        self.gossip = PollutionGossip(self.nodes, fanout=fanout, seed=seed)
+        self.gossip = PollutionGossip(
+            self.nodes,
+            fanout=fanout,
+            seed=seed,
+            loss_rate=loss_rate,
+            max_retries=gossip_retries,
+            injector=injector,
+        )
+        self.injector = injector
         self.gossip_interval = gossip_interval
         #: how often belief errors are sampled -- independent of gossip, so
         #: "never gossips" measures as large error rather than no error
@@ -124,12 +140,16 @@ class Cluster:
         for node in self.nodes:
             node.tracker.ifp_observer = watch(node)
 
+        injector = self.injector
         errors_seen: List[float] = []
         for index, event in enumerate(recording):
             if index > 0 and index % self.gossip_interval == 0:
                 self.gossip.round()
             if index > 0 and index % self.error_sample_interval == 0:
                 errors_seen.extend(self.gossip.record_errors())
+            if injector is not None and injector.node_crashes(index):
+                victim = self.nodes[injector.pick(len(self.nodes), "crash", index)]
+                victim.restart()
             self.route(event).process(event)
 
         mean_error = (
@@ -149,6 +169,8 @@ class Cluster:
             per_node_events={n.node_id: n.events_processed for n in self.nodes},
             propagated=propagated,
             blocked=blocked,
+            messages_lost=self.gossip.state.messages_lost,
+            node_restarts=sum(n.restarts for n in self.nodes),
         )
 
 
@@ -159,13 +181,19 @@ def run_sharded(
     gossip_interval: int,
     seed: int = 0,
     direct_via_policy: bool = False,
+    loss_rate: float = 0.0,
+    gossip_retries: int = 0,
+    injector: Optional["FaultInjector"] = None,
 ) -> ClusterResult:
-    """Convenience wrapper used by the ablation bench."""
+    """Convenience wrapper used by the ablation bench and fault sweep."""
     cluster = Cluster(
         params,
         n_nodes=n_nodes,
         gossip_interval=gossip_interval,
         seed=seed,
         direct_via_policy=direct_via_policy,
+        loss_rate=loss_rate,
+        gossip_retries=gossip_retries,
+        injector=injector,
     )
     return cluster.run(recording)

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.distributed.node import SubsystemNode
+
+if TYPE_CHECKING:  # type hints only; faults stays an optional dependency
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -24,24 +27,68 @@ class GossipState:
 
     rounds: int = 0
     messages_sent: int = 0
+    messages_lost: int = 0
+    messages_retried: int = 0
     last_round_errors: List[float] = field(default_factory=list)
 
 
 class PollutionGossip:
-    """Seeded push gossip of local pollution values."""
+    """Seeded push gossip of local pollution values.
+
+    ``loss_rate`` makes each send attempt time out with that probability
+    (drawn from a *separate* RNG, so peer selection is byte-identical to
+    the lossless configuration); ``max_retries`` re-sends a timed-out
+    message up to that many extra times within the round.  Every attempt
+    counts toward ``messages_sent`` -- retries are real communication
+    cost.  A :class:`~repro.faults.FaultInjector` can replace the loss
+    RNG for replay-deterministic fault campaigns.
+    """
 
     def __init__(
         self,
         nodes: Sequence[SubsystemNode],
         fanout: int = 2,
         seed: int = 0,
+        loss_rate: float = 0.0,
+        max_retries: int = 0,
+        injector: Optional["FaultInjector"] = None,
     ):
         if fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {fanout}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.nodes = list(nodes)
         self.fanout = min(fanout, max(1, len(self.nodes) - 1))
         self._rng = random.Random(seed)
+        # independent stream: losses must not perturb peer selection
+        self._loss_rng = random.Random(seed ^ 0x5EED)
+        self.loss_rate = loss_rate
+        self.max_retries = max_retries
+        self.injector = injector
         self.state = GossipState()
+
+    def _attempt_lost(self, sender_id: int, target_id: int, attempt: int) -> bool:
+        """Whether one send attempt times out."""
+        if self.injector is not None:
+            return self.injector.message_lost(
+                self.state.rounds, sender_id, target_id, attempt
+            )
+        if self.loss_rate > 0.0:
+            return self._loss_rng.random() < self.loss_rate
+        return False
+
+    def _deliver(self, sender: SubsystemNode, target: SubsystemNode, value: float) -> None:
+        """Send with per-attempt timeout + bounded retry."""
+        for attempt in range(self.max_retries + 1):
+            self.state.messages_sent += 1
+            if not self._attempt_lost(sender.node_id, target.node_id, attempt):
+                target.receive_gossip(sender.node_id, value)
+                return
+            self.state.messages_lost += 1
+            if attempt < self.max_retries:
+                self.state.messages_retried += 1
 
     def round(self) -> None:
         """One gossip round: every node pushes to ``fanout`` random peers."""
@@ -52,8 +99,7 @@ class PollutionGossip:
             targets = self._rng.sample(peers, min(self.fanout, len(peers)))
             value = sender.local_pollution()
             for target in targets:
-                target.receive_gossip(sender.node_id, value)
-                self.state.messages_sent += 1
+                self._deliver(sender, target, value)
         self.state.rounds += 1
 
     def broadcast(self) -> None:

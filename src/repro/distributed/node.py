@@ -48,6 +48,7 @@ class SubsystemNode:
         # restore the node-level belief as the pollution source
         self.policy.bind_pollution_source(self.believed_pollution)
         self.events_processed = 0
+        self.restarts = 0
 
     def local_pollution(self) -> float:
         """This node's true, live contribution to global pollution."""
@@ -70,3 +71,16 @@ class SubsystemNode:
     def estimate_error(self, true_global: float) -> float:
         """Absolute error of the believed pollution vs. ground truth."""
         return abs(self.believed_pollution() - true_global)
+
+    def restart(self) -> None:
+        """Crash-and-restart: lose all taint state and peer beliefs.
+
+        Models a subsystem process dying and rejoining: its shadow memory
+        is gone, and so is everything it learned from gossip -- beliefs
+        must be re-learned in subsequent rounds.  The pollution source
+        binding survives (it is the node's own method).
+        """
+        self.tracker.reset()
+        self.peer_pollution.clear()
+        self.restarts += 1
+        self.policy.bind_pollution_source(self.believed_pollution)

@@ -8,6 +8,7 @@ command line.
 
 from repro.experiments import (
     ablations,
+    fault_sweep,
     fig3,
     fig7,
     fig8,
@@ -24,4 +25,5 @@ __all__ = [
     "table2",
     "ablations",
     "workload_sensitivity",
+    "fault_sweep",
 ]

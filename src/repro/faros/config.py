@@ -63,6 +63,9 @@ class FarosConfig:
     #: probability/seed for policy="random"
     random_probability: float = 0.5
     random_seed: int = 0
+    #: shed lowest-utility tags when entries exceed this fraction of N_R
+    #: (None = unbounded growth, the original behaviour)
+    degrade_at: Optional[float] = None
     #: label used in experiment reports
     label: str = ""
 

@@ -24,7 +24,14 @@ from repro.dift.detector import ConfluenceDetector
 from repro.dift.tracker import DIFTTracker
 from repro.faros.config import FarosConfig
 from repro.faros.pipeline import FarosPipeline
+from repro.faults.resilience import Resilience
 from repro.obs.bundle import Observability, compose_observers
+from repro.replay.checkpoint import (
+    CheckpointError,
+    CheckpointPlugin,
+    read_checkpoint,
+    restore_checkpoint_state,
+)
 from repro.replay.record import Recording
 from repro.replay.replayer import Replayer
 
@@ -37,6 +44,8 @@ class FarosRunResult:
     metrics: RunMetrics
     stage_counts: Dict[str, int] = field(default_factory=dict)
     tracker_stats: Dict[str, float] = field(default_factory=dict)
+    #: fault-injection and supervisor counters (empty without resilience)
+    robustness: Dict[str, int] = field(default_factory=dict)
 
 
 class FarosSystem:
@@ -52,9 +61,11 @@ class FarosSystem:
         self,
         config: FarosConfig,
         observability: Optional[Observability] = None,
+        resilience: Optional[Resilience] = None,
     ):
         self.config = config
         self.obs = observability
+        self.resilience = resilience
         self.policy = config.build_policy()
         self.detector = (
             ConfluenceDetector(config.detector_types)
@@ -77,6 +88,7 @@ class FarosSystem:
                 ),
             ),
             tracer=observability.tracer if observability is not None else None,
+            degrade_at=config.degrade_at,
         )
         self.pipeline = FarosPipeline(self.tracker, obs=observability)
         plugins = [self.pipeline]
@@ -84,9 +96,26 @@ class FarosSystem:
             sampler = observability.make_sampler(self.tracker)
             if sampler is not None:
                 plugins.append(sampler)
+        self.checkpoint_plugin: Optional[CheckpointPlugin] = None
+        supervisor = None
+        if resilience is not None:
+            supervisor = resilience.supervisor
+            if supervisor is not None and observability is not None:
+                supervisor.bind_metrics(observability.metrics)
+            if resilience.checkpoint_every is not None:
+                # last in the chain: a checkpoint reflects every plugin's
+                # view of the event that triggered it
+                self.checkpoint_plugin = CheckpointPlugin(
+                    self.tracker,
+                    resilience.checkpoint_path,  # type: ignore[arg-type]
+                    every=resilience.checkpoint_every,
+                    pipeline=self.pipeline,
+                )
+                plugins.append(self.checkpoint_plugin)
         self.replayer = Replayer(
             plugins,
             tracer=observability.tracer if observability is not None else None,
+            supervisor=supervisor,
         )
 
     @property
@@ -99,10 +128,44 @@ class FarosSystem:
         if self.timeline is not None:
             self.timeline.reset()
 
-    def replay(self, recording: Recording) -> FarosRunResult:
-        """Replay a recording through the pipeline (state is reset first)."""
+    def replay(
+        self, recording: Recording, limit: Optional[int] = None
+    ) -> FarosRunResult:
+        """Replay a recording through the pipeline (state is reset first).
+
+        With a :class:`~repro.faults.Resilience` bundle attached this is
+        also where faults and recovery happen: the injector perturbs the
+        recording before the first plugin sees it, and ``resume_from``
+        restores a checkpoint and continues from its event index instead
+        of starting over.  Because both the event stream and the injected
+        faults are pure functions of their seeds, a resumed replay is
+        byte-identical to an uninterrupted one.
+        """
+        resilience = self.resilience
+        start_index = 0
+        if resilience is not None:
+            injector = resilience.injector
+            if injector is not None and injector.config.perturbs_stream:
+                recording = injector.perturb_recording(recording)
+            if resilience.resume_from is not None:
+                payload = read_checkpoint(resilience.resume_from)
+                start_index = restore_checkpoint_state(
+                    self.tracker, payload, self.pipeline
+                )
+                total = payload.get("events_total")
+                if total is not None and int(total) != len(recording):  # type: ignore[arg-type]
+                    raise CheckpointError(
+                        f"checkpoint was taken over {total} events but the "
+                        f"(possibly perturbed) recording has "
+                        f"{len(recording)}; same recording and fault seed "
+                        f"are required to resume"
+                    )
+                # the restored state IS the prefix: nothing may reset it
+                self.pipeline.reset_on_begin = False
+                if self.checkpoint_plugin is not None:
+                    self.checkpoint_plugin.set_position(start_index)
         started = time.perf_counter()
-        self.replayer.replay(recording)
+        self.replayer.replay(recording, limit=limit, start_index=start_index)
         elapsed = time.perf_counter() - started
         return self._result(elapsed)
 
@@ -123,9 +186,37 @@ class FarosSystem:
     def _result(self, elapsed: float) -> FarosRunResult:
         if self.obs is not None:
             self.obs.finalize(self.tracker)
+        robustness: Dict[str, int] = {}
+        if self.resilience is not None:
+            if self.resilience.injector is not None:
+                robustness.update(
+                    {
+                        f"fault.{key}": value
+                        for key, value in (
+                            self.resilience.injector.stats.as_dict().items()
+                        )
+                    }
+                )
+            if self.resilience.supervisor is not None:
+                robustness.update(
+                    {
+                        f"supervisor.{key}": value
+                        for key, value in (
+                            self.resilience.supervisor.stats.as_dict().items()
+                        )
+                    }
+                )
+            if self.checkpoint_plugin is not None:
+                robustness["checkpoints_written"] = (
+                    self.checkpoint_plugin.checkpoints_written
+                )
+        if self.config.degrade_at is not None:
+            robustness["degradations"] = self.tracker.stats.degradations
+            robustness["shed_entries"] = self.tracker.stats.shed_entries
         return FarosRunResult(
             label=self.label,
             metrics=collect_run_metrics(self.tracker, wall_seconds=elapsed),
             stage_counts=dict(self.pipeline.stage_counts),
             tracker_stats=self.tracker.stats.as_dict(),
+            robustness=robustness,
         )

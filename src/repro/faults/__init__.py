@@ -1,0 +1,17 @@
+"""Seeded fault injection and resilience wiring for the replay stack."""
+
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    TransientFault,
+)
+from repro.faults.resilience import Resilience
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "Resilience",
+    "TransientFault",
+]

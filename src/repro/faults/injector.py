@@ -1,0 +1,263 @@
+"""Deterministic, seeded fault injection for the replay stack.
+
+The APT-detection line of work (Sahabandu et al., Moothedath et al.)
+models DIFT as a long-running adversarial process: the defender keeps
+tracking through partial information and disruption.  This module makes
+that disruption reproducible.  A :class:`FaultInjector` can
+
+* perturb a recorded event stream -- drop, duplicate, corrupt, and
+  reorder events (:meth:`FaultInjector.perturb_recording`),
+* raise transient exceptions inside replayer plugins
+  (:meth:`FaultInjector.maybe_plugin_fault`, handled by the
+  :class:`~repro.replay.supervisor.PluginSupervisor`),
+* lose gossip messages and crash subsystem nodes in
+  :mod:`repro.distributed`.
+
+Every decision is a pure function of ``(seed, site, index)`` via a
+keyed hash, **not** of a shared RNG sequence.  That property is
+load-bearing: a replay resumed from a checkpoint re-derives exactly the
+faults the killed run would have seen, because the draws do not depend
+on how many other draws happened first.  The hash is blake2b rather
+than CRC32: CRC32 is linear, so two keys differing in one positional
+byte (e.g. retry ``attempt`` 0 vs 1) would produce digests differing by
+a *fixed* XOR constant -- at rate 0.5 a fault would then either always
+or never clear on retry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.dift.flows import FlowEvent
+from repro.replay.record import Recording
+
+
+class TransientFault(RuntimeError):
+    """An injected failure that may succeed when the operation is retried."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-category fault probabilities (all in ``[0, 1]``) plus the seed.
+
+    Stream faults (``drop``/``duplicate``/``corrupt``/``reorder``) apply
+    per recorded event; ``plugin_fault_rate`` applies per plugin dispatch;
+    ``message_loss_rate`` applies per gossip send attempt;
+    ``node_crash_rate`` applies per routed cluster event.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+    plugin_fault_rate: float = 0.0
+    message_loss_rate: float = 0.0
+    node_crash_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            if f.name == "seed":
+                continue
+            value = getattr(self, f.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{f.name} must be in [0, 1], got {value}"
+                )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultConfig":
+        """One dial for everything (the CLI's ``--inject-faults RATE``).
+
+        ``rate`` is split evenly across the four stream faults so the
+        expected fraction of perturbed events is ``rate``; plugin faults
+        and gossip losses each fire at ``rate`` directly.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        per_stream = rate / 4.0
+        return cls(
+            seed=seed,
+            drop_rate=per_stream,
+            duplicate_rate=per_stream,
+            corrupt_rate=per_stream,
+            reorder_rate=per_stream,
+            plugin_fault_rate=rate,
+            message_loss_rate=rate,
+            node_crash_rate=rate / 20.0,
+        )
+
+    @property
+    def perturbs_stream(self) -> bool:
+        return (
+            self.drop_rate > 0
+            or self.duplicate_rate > 0
+            or self.corrupt_rate > 0
+            or self.reorder_rate > 0
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counts of every fault actually injected."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    reordered: int = 0
+    plugin_faults: int = 0
+    messages_lost: int = 0
+    node_crashes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+            "reordered": self.reordered,
+            "plugin_faults": self.plugin_faults,
+            "messages_lost": self.messages_lost,
+            "node_crashes": self.node_crashes,
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+
+class FaultInjector:
+    """Seeded fault source shared by the replay and distributed layers."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.stats = FaultStats()
+
+    def reset(self) -> None:
+        """Fresh counters; the draws themselves are stateless."""
+        self.stats = FaultStats()
+
+    # -- the one source of randomness -------------------------------------
+
+    def _chance(self, rate: float, *key: object) -> bool:
+        """Deterministic Bernoulli(rate) draw keyed on (seed, *key)."""
+        if rate <= 0.0:
+            return False
+        return self._digest(*key) / 2**64 < rate
+
+    def _digest(self, *key: object) -> int:
+        raw = hashlib.blake2b(
+            repr((self.config.seed,) + key).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(raw, "big")
+
+    # -- recorded-event stream faults --------------------------------------
+
+    def _corrupt_event(self, event: FlowEvent, index: int) -> FlowEvent:
+        """A still-schema-valid event written to the wrong destination."""
+        kind, value = event.destination[0], event.destination[1]
+        if kind == "mem" and isinstance(value, int):
+            destination = (
+                "mem", value ^ (1 + self._digest("corrupt-addr", index) % 0xFF)
+            )
+        else:
+            destination = ("mem", self._digest("corrupt-addr", index) % 0x10000)
+        return dataclasses.replace(event, destination=destination)
+
+    def perturb_events(
+        self, events: Iterable[FlowEvent]
+    ) -> List[FlowEvent]:
+        """Drop/duplicate/corrupt/reorder a stream, deterministically.
+
+        Reordering holds an event back and emits it after the next
+        surviving event (a one-slot delay, the way an out-of-order log
+        shipper would misbehave).
+        """
+        config = self.config
+        out: List[FlowEvent] = []
+        held: FlowEvent | None = None
+        for index, event in enumerate(events):
+            if self._chance(config.drop_rate, "drop", index):
+                self.stats.dropped += 1
+                continue
+            if self._chance(config.corrupt_rate, "corrupt", index):
+                event = self._corrupt_event(event, index)
+                self.stats.corrupted += 1
+            if held is None and self._chance(
+                config.reorder_rate, "reorder", index
+            ):
+                held = event
+                self.stats.reordered += 1
+                continue
+            out.append(event)
+            if self._chance(config.duplicate_rate, "duplicate", index):
+                out.append(event)
+                self.stats.duplicated += 1
+            if held is not None:
+                out.append(held)
+                held = None
+        if held is not None:
+            out.append(held)
+        return out
+
+    def perturb_recording(self, recording: Recording) -> Recording:
+        """A new :class:`Recording` with the perturbed event stream."""
+        meta = dict(recording.meta)
+        meta["fault_seed"] = self.config.seed
+        return Recording(
+            events=self.perturb_events(recording), meta=meta
+        )
+
+    # -- plugin faults ------------------------------------------------------
+
+    def maybe_plugin_fault(
+        self, site: str, index: int, attempt: int = 0
+    ) -> None:
+        """Raise a :class:`TransientFault` at ``(site, index)`` per config.
+
+        Each retry ``attempt`` redraws independently, so a supervised
+        retry of the same dispatch usually succeeds -- a transient
+        failure that clears on retry -- but can (rarely, and
+        deterministically) fail several times in a row.
+        """
+        if self._chance(
+            self.config.plugin_fault_rate, "plugin", site, index, attempt
+        ):
+            self.stats.plugin_faults += 1
+            raise TransientFault(
+                f"injected transient fault in {site!r} at event {index} "
+                f"(attempt {attempt})"
+            )
+
+    # -- distributed faults -------------------------------------------------
+
+    def message_lost(
+        self, round_index: int, sender: int, target: int, attempt: int
+    ) -> bool:
+        """Whether one gossip send attempt times out (is lost)."""
+        lost = self._chance(
+            self.config.message_loss_rate,
+            "gossip", round_index, sender, target, attempt,
+        )
+        if lost:
+            self.stats.messages_lost += 1
+        return lost
+
+    def node_crashes(self, event_index: int) -> bool:
+        """Whether a node crash fires at this point of the cluster replay."""
+        crashed = self._chance(
+            self.config.node_crash_rate, "crash", event_index
+        )
+        if crashed:
+            self.stats.node_crashes += 1
+        return crashed
+
+    def pick(self, n: int, *key: object) -> int:
+        """Deterministic choice in ``range(n)`` (e.g. which node crashes)."""
+        if n < 1:
+            raise ValueError(f"cannot pick from {n} options")
+        # salted so the choice is independent of the _chance draw that
+        # typically shares the same key
+        return self._digest("pick", *key) % n

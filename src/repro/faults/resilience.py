@@ -1,0 +1,97 @@
+"""The resilience bundle: one object wiring faults + supervision + checkpoints.
+
+:class:`Resilience` is to robustness what
+:class:`~repro.obs.bundle.Observability` is to instrumentation: an optional
+bundle :class:`~repro.faros.system.FarosSystem` accepts and threads through
+the replay stack.  ``Resilience.create(...)`` builds the whole thing from
+the CLI's flat flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.replay.supervisor import PluginSupervisor
+
+
+@dataclass
+class Resilience:
+    """Optional robustness features for one :class:`FarosSystem` run.
+
+    Attributes
+    ----------
+    injector:
+        Seeded fault source; perturbs the recording before replay and
+        raises transient plugin faults (``None`` = no injected faults).
+    supervisor:
+        Plugin fault barrier (``None`` = original fail-fast behaviour).
+    checkpoint_every:
+        Write a checkpoint after every N processed events (``None`` = no
+        checkpointing).
+    checkpoint_path:
+        Where checkpoints land (required when ``checkpoint_every`` set).
+    resume_from:
+        A checkpoint file to restore before replaying; the replay then
+        continues from the checkpointed event index.
+    """
+
+    injector: Optional[FaultInjector] = None
+    supervisor: Optional[PluginSupervisor] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[Path] = None
+    resume_from: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, "
+                    f"got {self.checkpoint_every}"
+                )
+            if self.checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every requires a checkpoint_path"
+                )
+
+    @classmethod
+    def create(
+        cls,
+        fault_rate: float = 0.0,
+        fault_seed: int = 0,
+        supervisor_policy: Optional[str] = None,
+        max_retries: int = 2,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resume_from: Optional[Union[str, Path]] = None,
+    ) -> "Resilience":
+        """Build a bundle from flat settings (the CLI flag surface).
+
+        A supervisor is created whenever a policy is named *or* faults
+        are injected (injected plugin faults without a supervisor would
+        just kill the replay, which is never what ``--inject-faults``
+        means).
+        """
+        injector = (
+            FaultInjector(FaultConfig.uniform(fault_rate, seed=fault_seed))
+            if fault_rate > 0.0
+            else None
+        )
+        supervisor = None
+        if supervisor_policy is not None or injector is not None:
+            supervisor = PluginSupervisor(
+                policy=supervisor_policy or "skip-event",
+                max_retries=max_retries,
+                injector=injector,
+            )
+        return cls(
+            injector=injector,
+            supervisor=supervisor,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=(
+                Path(checkpoint_path) if checkpoint_path is not None else None
+            ),
+            resume_from=Path(resume_from) if resume_from is not None else None,
+        )

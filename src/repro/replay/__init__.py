@@ -1,14 +1,49 @@
 """PANDA-like record/replay of flow-event traces."""
 
-from repro.replay.record import Recording, RecordError, record_machine
-from repro.replay.replayer import Plugin, Replayer, ReplayResult, TrackerPlugin
+from repro.replay.checkpoint import (
+    CheckpointError,
+    CheckpointPlugin,
+    checkpoint_state,
+    read_checkpoint,
+    restore_checkpoint_state,
+    write_checkpoint,
+)
+from repro.replay.record import (
+    Recording,
+    RecordingError,
+    RecordError,
+    record_machine,
+)
+from repro.replay.replayer import (
+    CallbackPlugin,
+    Plugin,
+    Replayer,
+    ReplayResult,
+    TrackerPlugin,
+)
+from repro.replay.supervisor import (
+    SUPERVISOR_POLICIES,
+    PluginSupervisor,
+    SupervisorStats,
+)
 
 __all__ = [
     "Recording",
+    "RecordingError",
     "RecordError",
     "record_machine",
     "Replayer",
     "ReplayResult",
     "Plugin",
     "TrackerPlugin",
+    "CallbackPlugin",
+    "PluginSupervisor",
+    "SupervisorStats",
+    "SUPERVISOR_POLICIES",
+    "CheckpointError",
+    "CheckpointPlugin",
+    "checkpoint_state",
+    "restore_checkpoint_state",
+    "write_checkpoint",
+    "read_checkpoint",
 ]

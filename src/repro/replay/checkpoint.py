@@ -1,0 +1,238 @@
+"""Replay checkpoints: atomically-written snapshots of mid-replay state.
+
+A checkpoint extends a :mod:`repro.dift.snapshot` tracker snapshot with
+everything else a resumed replay needs to be **byte-identical** to an
+uninterrupted run:
+
+* the absolute index of the next event to process,
+* the complete :class:`~repro.dift.stats.TrackerStats` (including
+  ``by_context``; the tracker snapshot alone only restores ``ticks``),
+* the pipeline stage counters,
+* the confluence detector's already-alerted locations.
+
+Files are written atomically (temp file + ``os.replace``) so a replay
+killed *during* a checkpoint write leaves the previous checkpoint intact,
+and gzip-compressed when the path ends in ``.gz``.
+
+:class:`CheckpointPlugin` is the replayer plugin that writes a checkpoint
+every ``every`` processed events; ``mitos-repro replay --checkpoint-every
+N --resume-from PATH`` drives the whole cycle from the CLI.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from repro.dift.snapshot import (
+    SnapshotError,
+    _location_from_json,
+    _location_to_json,
+    restore_tracker,
+    snapshot_tracker,
+)
+from repro.dift.stats import TrackerStats
+from repro.dift.tracker import DIFTTracker
+from repro.replay.record import Recording
+from repro.replay.replayer import Plugin
+
+if TYPE_CHECKING:  # only for type hints; no import cycle at runtime
+    from repro.faros.pipeline import FarosPipeline
+
+#: checkpoint format version (bump on incompatible changes)
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """Malformed, incompatible, or unreadable checkpoint data."""
+
+
+def checkpoint_state(
+    tracker: DIFTTracker,
+    event_index: int,
+    events_total: Optional[int] = None,
+    pipeline: Optional["FarosPipeline"] = None,
+) -> Dict[str, object]:
+    """Capture everything a resumed replay needs as one JSON document."""
+    payload: Dict[str, object] = {
+        "version": CHECKPOINT_VERSION,
+        "kind": "replay-checkpoint",
+        "event_index": int(event_index),
+        "events_total": events_total,
+        "tracker": snapshot_tracker(tracker),
+        "stats": tracker.stats.to_payload(),
+    }
+    if pipeline is not None:
+        payload["stage_counts"] = dict(pipeline.stage_counts)
+    if tracker.detector is not None:
+        payload["detector_flagged"] = [
+            _location_to_json(location)
+            for location in tracker.detector.flagged_snapshot()
+        ]
+    return payload
+
+
+def restore_checkpoint_state(
+    tracker: DIFTTracker,
+    payload: Dict[str, object],
+    pipeline: Optional["FarosPipeline"] = None,
+) -> int:
+    """Load a checkpoint into a compatible tracker (+ pipeline).
+
+    Returns the index of the next event to replay.  The tracker is fully
+    reset first; shadow memory, copy counters, complete statistics, and
+    detector alert state all come back exactly as checkpointed.
+    """
+    if payload.get("kind") != "replay-checkpoint":
+        raise CheckpointError(
+            f"not a replay checkpoint: kind={payload.get('kind')!r}"
+        )
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+        )
+    try:
+        event_index = int(payload["event_index"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed event_index: {error}") from error
+    if event_index < 0:
+        raise CheckpointError(f"negative event_index {event_index}")
+    try:
+        restore_tracker(tracker, payload["tracker"])  # type: ignore[arg-type]
+    except SnapshotError as error:
+        raise CheckpointError(str(error)) from error
+    try:
+        tracker.stats = TrackerStats.from_payload(payload["stats"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed stats: {error}") from error
+    if pipeline is not None and "stage_counts" in payload:
+        counts = payload["stage_counts"]
+        if not isinstance(counts, dict):
+            raise CheckpointError(
+                f"malformed stage_counts: {type(counts).__name__}"
+            )
+        pipeline.stage_counts.clear()
+        pipeline.stage_counts.update(
+            {str(k): int(v) for k, v in counts.items()}
+        )
+    if tracker.detector is not None and "detector_flagged" in payload:
+        try:
+            tracker.detector.restore_flagged(
+                _location_from_json(entry)
+                for entry in payload["detector_flagged"]  # type: ignore[union-attr]
+            )
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"malformed detector_flagged: {error}"
+            ) from error
+    return event_index
+
+
+def write_checkpoint(
+    path: Union[str, Path], payload: Dict[str, object]
+) -> Path:
+    """Atomically write a checkpoint (gzip when the path ends ``.gz``).
+
+    The document lands in ``<path>.tmp`` first and is moved into place
+    with ``os.replace``, so readers never observe a torn checkpoint.
+    """
+    target = Path(path)
+    text = json.dumps(payload)
+    tmp = target.with_name(target.name + ".tmp")
+    if target.suffix == ".gz":
+        with gzip.open(tmp, "wt") as handle:
+            handle.write(text)
+    else:
+        tmp.write_text(text)
+    os.replace(tmp, target)
+    return target
+
+
+def read_checkpoint(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and minimally validate a checkpoint file."""
+    source = Path(path)
+    try:
+        if source.suffix == ".gz":
+            with gzip.open(source, "rt") as handle:
+                text = handle.read()
+        else:
+            text = source.read_text()
+    except (OSError, EOFError, UnicodeDecodeError) as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {source}: {error}"
+        ) from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {source} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint {source} is not a JSON object"
+        )
+    return payload
+
+
+class CheckpointPlugin(Plugin):
+    """Replayer plugin writing a checkpoint every ``every`` events.
+
+    Register it *after* the pipeline plugin so each checkpoint includes
+    the effects of the event that triggered it.  ``start_index`` seeds
+    the absolute event counter for resumed replays.
+    """
+
+    name = "checkpoint"
+    # never supervised: a skipped event would desynchronize the absolute
+    # event counter from the stream, corrupting every later checkpoint
+    supervised = False
+
+    def __init__(
+        self,
+        tracker: DIFTTracker,
+        path: Union[str, Path],
+        every: int,
+        pipeline: Optional["FarosPipeline"] = None,
+        start_index: int = 0,
+    ):
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+        self.tracker = tracker
+        self.path = Path(path)
+        self.every = every
+        self.pipeline = pipeline
+        self.checkpoints_written = 0
+        self._start_index = start_index
+        self._index = start_index
+        self._events_total: Optional[int] = None
+
+    def set_position(self, index: int) -> None:
+        """Seed the absolute event counter (the resume path)."""
+        if index < 0:
+            raise ValueError(f"position must be >= 0, got {index}")
+        self._start_index = index
+        self._index = index
+
+    def on_begin(self, recording: Recording) -> None:
+        self._events_total = len(recording)
+        self._index = self._start_index
+
+    def on_event(self, event) -> None:  # noqa: ANN001 - Plugin signature
+        self._index += 1
+        if self._index % self.every == 0:
+            self._write()
+
+    def _write(self) -> None:
+        write_checkpoint(
+            self.path,
+            checkpoint_state(
+                self.tracker,
+                event_index=self._index,
+                events_total=self._events_total,
+                pipeline=self.pipeline,
+            ),
+        )
+        self.checkpoints_written += 1

@@ -24,8 +24,47 @@ from repro.dift.flows import FlowEvent, FlowKind
 from repro.dift.tags import Tag
 
 
-class RecordError(Exception):
-    """Malformed recording data."""
+class RecordingError(Exception):
+    """Malformed, truncated, or unreadable recording data.
+
+    Messages name the offending line (1-based, counting non-blank lines)
+    and what was wrong with it, so a corrupt multi-gigabyte trace is
+    debuggable without bisecting it by hand.
+    """
+
+
+#: backwards-compatible alias (pre-hardening name)
+RecordError = RecordingError
+
+#: keys an event line may carry; anything else is a schema violation
+_EVENT_KEYS = frozenset(
+    {"kind", "dest", "tick", "sources", "tag", "context", "meta"}
+)
+#: keys every event line must carry
+_REQUIRED_EVENT_KEYS = frozenset({"kind", "dest"})
+
+
+def validate_event_payload(payload: object) -> Dict[str, object]:
+    """Check an event line's schema before decoding it.
+
+    Raises :class:`RecordingError` naming the missing or unknown keys;
+    returns the payload (narrowed to a dict) when it is well-formed.
+    """
+    if not isinstance(payload, dict):
+        raise RecordingError(
+            f"event is not a JSON object: {type(payload).__name__}"
+        )
+    missing = _REQUIRED_EVENT_KEYS - payload.keys()
+    if missing:
+        raise RecordingError(
+            f"event missing required key(s) {sorted(missing)}"
+        )
+    unknown = payload.keys() - _EVENT_KEYS
+    if unknown:
+        raise RecordingError(
+            f"event has unknown key(s) {sorted(unknown)}"
+        )
+    return payload
 
 
 def _encode_structure(value: object) -> object:
@@ -90,10 +129,12 @@ def event_from_dict(payload: Dict[str, object]) -> FlowEvent:
             context=str(payload.get("context", "")),
             meta=_decode_structure(payload.get("meta", {})),  # type: ignore[arg-type]
         )
-    except RecordError:
+    except RecordingError:
         raise
     except Exception as exc:
-        raise RecordError(f"malformed event payload: {payload!r}") from exc
+        raise RecordingError(
+            f"malformed event payload: {payload!r}"
+        ) from exc
 
 
 @dataclass
@@ -139,22 +180,41 @@ class Recording:
 
     @classmethod
     def from_jsonl(cls, text: str) -> "Recording":
-        lines = [line for line in text.splitlines() if line.strip()]
+        lines = [
+            (number, line)
+            for number, line in enumerate(text.splitlines(), start=1)
+            if line.strip()
+        ]
         if not lines:
             return cls()
+        header_number, header_line = lines[0]
         try:
-            header = json.loads(lines[0])
+            header = json.loads(header_line)
         except json.JSONDecodeError as exc:
-            raise RecordError("malformed recording header") from exc
+            raise RecordingError(
+                f"line {header_number}: malformed recording header "
+                f"(offset {exc.pos}): {exc.msg}"
+            ) from exc
         if not isinstance(header, dict) or "meta" not in header:
-            raise RecordError("recording header missing 'meta'")
+            raise RecordingError(
+                f"line {header_number}: recording header missing 'meta'"
+            )
         recording = cls(meta=_decode_structure(header["meta"]))  # type: ignore[arg-type]
-        for line in lines[1:]:
+        for number, line in lines[1:]:
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise RecordError(f"malformed event line: {line!r}") from exc
-            recording.append(event_from_dict(payload))
+                raise RecordingError(
+                    f"line {number}: malformed event line "
+                    f"(offset {exc.pos}): {exc.msg} -- recording may be "
+                    f"truncated"
+                ) from exc
+            try:
+                recording.append(
+                    event_from_dict(validate_event_payload(payload))
+                )
+            except RecordingError as exc:
+                raise RecordingError(f"line {number}: {exc}") from exc
         return recording
 
     def save(self, path: Union[str, Path]) -> None:
@@ -168,12 +228,35 @@ class Recording:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Recording":
-        """Read JSONL, transparently decompressing ``.gz`` files."""
+        """Read JSONL, transparently decompressing ``.gz`` files.
+
+        Raises :class:`RecordingError` (never a bare IO/gzip error) on
+        unreadable, undecodable, or truncated-mid-member files.
+        """
         source = Path(path)
-        if source.suffix == ".gz":
-            with gzip.open(source, "rt") as handle:
-                return cls.from_jsonl(handle.read())
-        return cls.from_jsonl(source.read_text())
+        try:
+            if source.suffix == ".gz":
+                with gzip.open(source, "rt") as handle:
+                    text = handle.read()
+            else:
+                text = source.read_text()
+        except EOFError as exc:
+            raise RecordingError(
+                f"recording {source} is truncated mid-gzip-member: {exc}"
+            ) from exc
+        except gzip.BadGzipFile as exc:
+            raise RecordingError(
+                f"recording {source} is not valid gzip: {exc}"
+            ) from exc
+        except UnicodeDecodeError as exc:
+            raise RecordingError(
+                f"recording {source} is not valid UTF-8 text: {exc}"
+            ) from exc
+        except OSError as exc:
+            raise RecordingError(
+                f"cannot read recording {source}: {exc}"
+            ) from exc
+        return cls.from_jsonl(text)
 
 
 def record_machine(

@@ -18,12 +18,17 @@ from repro.replay.record import Recording
 
 if TYPE_CHECKING:  # avoid a replay <-> obs import cycle at module load
     from repro.obs.tracing import SpanTracer
+    from repro.replay.supervisor import PluginSupervisor
 
 
 class Plugin:
     """Base plugin: override any subset of the hooks."""
 
     name: str = "plugin"
+    #: harness plugins (e.g. the checkpoint writer) set this False so the
+    #: supervisor never skips their events -- a skipped event would
+    #: desynchronize their view of the stream position
+    supervised: bool = True
 
     def on_begin(self, recording: Recording) -> None:
         """Called once before the first event."""
@@ -86,15 +91,21 @@ class Replayer:
     loop (``replay.loop``) and the per-event plugin dispatch
     (``replay.on_event``); with no tracer the loop pays one ``None``
     check per event.
+
+    An optional :class:`~repro.replay.supervisor.PluginSupervisor`
+    intercepts plugin failures; without one, the original fail-fast
+    fast-path loop runs unchanged.
     """
 
     def __init__(
         self,
         plugins: Optional[Sequence[Plugin]] = None,
         tracer: Optional["SpanTracer"] = None,
+        supervisor: Optional["PluginSupervisor"] = None,
     ):
         self.plugins: List[Plugin] = list(plugins or [])
         self.tracer = tracer
+        self.supervisor = supervisor
 
     def add_plugin(self, plugin: Plugin) -> "Replayer":
         self.plugins.append(plugin)
@@ -104,8 +115,61 @@ class Replayer:
         self,
         recording: Recording,
         limit: Optional[int] = None,
+        start_index: int = 0,
     ) -> ReplayResult:
-        """Feed every event (or the first ``limit``) through all plugins."""
+        """Feed every event (or the first ``limit``) through all plugins.
+
+        ``start_index`` skips that many leading events without dispatching
+        them -- the resume path after
+        :func:`~repro.replay.checkpoint.restore_checkpoint_state` has put
+        the trackers back at that position.  ``limit`` still counts only
+        events actually processed.
+        """
+        if start_index < 0:
+            raise ValueError(f"start_index must be >= 0, got {start_index}")
+        supervisor = self.supervisor
+        if supervisor is None and start_index == 0:
+            return self._replay_fast(recording, limit)
+        tracer = self.tracer
+        started = time.perf_counter()
+        loop_start = time.perf_counter_ns() if tracer is not None else 0
+        for plugin in self.plugins:
+            plugin.on_begin(recording)
+        processed = 0
+        for index, event in enumerate(recording):
+            if index < start_index:
+                continue
+            if limit is not None and processed >= limit:
+                break
+            event_start = time.perf_counter_ns() if tracer is not None else 0
+            if supervisor is None:
+                for plugin in self.plugins:
+                    plugin.on_event(event)
+            else:
+                for plugin in self.plugins:
+                    if plugin.supervised:
+                        supervisor.dispatch(plugin, event, index)
+                    else:
+                        plugin.on_event(event)
+            if tracer is not None:
+                tracer.end("replay.on_event", event_start)
+            processed += 1
+        for plugin in self.plugins:
+            plugin.on_end()
+        if tracer is not None:
+            tracer.end("replay.loop", loop_start)
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            events_processed=processed,
+            duration_seconds=elapsed,
+            meta=dict(recording.meta),
+        )
+
+    def _replay_fast(
+        self, recording: Recording, limit: Optional[int]
+    ) -> ReplayResult:
+        """The original unsupervised loop, kept verbatim: this is the
+        disabled path whose overhead the benchmarks gate at <5%."""
         tracer = self.tracer
         started = time.perf_counter()
         loop_start = time.perf_counter_ns() if tracer is not None else 0

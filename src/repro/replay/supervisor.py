@@ -1,0 +1,183 @@
+"""Plugin supervision: keep a replay alive through plugin failures.
+
+Without supervision, one exception inside any plugin kills the whole
+replay and throws away all accumulated taint state.  A
+:class:`PluginSupervisor` sits between the :class:`~repro.replay.replayer.Replayer`
+loop and each plugin's ``on_event`` and applies a configurable policy:
+
+* ``fail-fast``   -- re-raise (the unsupervised behaviour, made explicit),
+* ``skip-event``  -- drop the offending event for that plugin and move on,
+* ``quarantine``  -- permanently stop dispatching to a plugin that failed.
+
+:class:`~repro.faults.TransientFault` is special-cased: it is retried up
+to ``max_retries`` times with exponential backoff before the policy
+applies.  Every fault, retry, recovery, skip, and quarantine is counted
+both in plain :class:`SupervisorStats` and -- when a registry is bound --
+through :mod:`repro.obs.metrics` (``supervisor.*`` counters).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.dift.flows import FlowEvent
+
+if TYPE_CHECKING:  # avoid replay <-> obs/faults import cycles at load
+    from repro.faults.injector import FaultInjector
+    from repro.obs.metrics import MetricsRegistry
+    from repro.replay.replayer import Plugin
+
+#: the accepted values of PluginSupervisor.policy
+SUPERVISOR_POLICIES = ("fail-fast", "skip-event", "quarantine")
+
+
+@dataclass
+class SupervisorStats:
+    """What the supervisor saw and did during one replay."""
+
+    faults: int = 0
+    transient_faults: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    skipped_events: int = 0
+    quarantined_plugins: int = 0
+    faults_by_plugin: Dict[str, int] = field(default_factory=dict)
+
+    def note_plugin(self, name: str) -> None:
+        self.faults_by_plugin[name] = self.faults_by_plugin.get(name, 0) + 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "faults": self.faults,
+            "transient_faults": self.transient_faults,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "skipped_events": self.skipped_events,
+            "quarantined_plugins": self.quarantined_plugins,
+        }
+
+
+class PluginSupervisor:
+    """Policy-driven fault barrier around plugin ``on_event`` dispatch."""
+
+    def __init__(
+        self,
+        policy: str = "skip-event",
+        max_retries: int = 2,
+        backoff_seconds: float = 0.0,
+        backoff_factor: float = 2.0,
+        injector: Optional["FaultInjector"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ):
+        if policy not in SUPERVISOR_POLICIES:
+            raise ValueError(
+                f"unknown supervisor policy {policy!r}; "
+                f"expected one of {SUPERVISOR_POLICIES}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {backoff_seconds}"
+            )
+        self.policy = policy
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_factor = backoff_factor
+        self.injector = injector
+        self.stats = SupervisorStats()
+        self._quarantined: Set[int] = set()
+        self._metric = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Route supervisor counters through an obs metrics registry."""
+        self._metric = {
+            name: metrics.counter(f"supervisor.{name}")
+            for name in (
+                "faults", "retries", "recoveries",
+                "skipped_events", "quarantined_plugins",
+            )
+        }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._metric is not None:
+            self._metric[name].inc(amount)
+
+    def is_quarantined(self, plugin: "Plugin") -> bool:
+        return id(plugin) in self._quarantined
+
+    def _attempt(
+        self, plugin: "Plugin", event: FlowEvent, index: int, attempt: int
+    ) -> None:
+        if self.injector is not None:
+            self.injector.maybe_plugin_fault(plugin.name, index, attempt)
+        plugin.on_event(event)
+
+    def dispatch(
+        self, plugin: "Plugin", event: FlowEvent, index: int = 0
+    ) -> bool:
+        """Run one plugin on one event under the configured policy.
+
+        Returns ``True`` when the plugin processed the event (possibly
+        after retries), ``False`` when it was skipped or quarantined.
+        Raises only under ``fail-fast`` (or for exceptions that should
+        never be swallowed, like ``KeyboardInterrupt``).
+        """
+        from repro.faults.injector import TransientFault
+
+        if id(plugin) in self._quarantined:
+            return False
+        try:
+            self._attempt(plugin, event, index, 0)
+            return True
+        except TransientFault as fault:
+            self.stats.faults += 1
+            self.stats.transient_faults += 1
+            self.stats.note_plugin(plugin.name)
+            self._count("faults")
+            error: Exception = fault
+        except Exception as fault:
+            self.stats.faults += 1
+            self.stats.note_plugin(plugin.name)
+            self._count("faults")
+            return self._apply_policy(plugin, fault)
+        # transient: bounded retry with exponential backoff
+        for attempt in range(self.max_retries):
+            self.stats.retries += 1
+            self._count("retries")
+            if self.backoff_seconds > 0:
+                time.sleep(
+                    self.backoff_seconds * self.backoff_factor**attempt
+                )
+            try:
+                self._attempt(plugin, event, index, attempt + 1)
+            except TransientFault as fault:
+                error = fault
+                continue
+            except Exception as fault:
+                return self._apply_policy(plugin, fault)
+            self.stats.recoveries += 1
+            self._count("recoveries")
+            return True
+        return self._apply_policy(plugin, error)
+
+    def _apply_policy(self, plugin: "Plugin", error: Exception) -> bool:
+        if self.policy == "fail-fast":
+            raise error
+        if self.policy == "quarantine":
+            self._quarantined.add(id(plugin))
+            self.stats.quarantined_plugins += 1
+            self._count("quarantined_plugins")
+            return False
+        self.stats.skipped_events += 1
+        self._count("skipped_events")
+        return False
+
+    def reset(self) -> None:
+        """Fresh stats and an empty quarantine (new replay)."""
+        self.stats = SupervisorStats()
+        self._quarantined.clear()

@@ -1,0 +1,131 @@
+"""Tests for graceful degradation: shed-lowest-utility-tags near N_R."""
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+
+
+def make_tracker(degrade_at=0.5, R=0.01, M_prov=10, ifp_observer=None):
+    # N_R = R * M_prov: keep it tiny so tests hit the budget quickly
+    params = MitosParams(R=R, M_prov=M_prov)
+    return DIFTTracker(
+        params=params,
+        policy=PropagateAllPolicy(),
+        degrade_at=degrade_at,
+        ifp_observer=ifp_observer,
+    ), params
+
+
+def fill(tracker, tag, locations):
+    for location in locations:
+        tracker.process(flows.insert(location, tag))
+
+
+class TestConstruction:
+    def test_rejects_out_of_range(self):
+        params = MitosParams()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                DIFTTracker(
+                    params=params,
+                    policy=PropagateAllPolicy(),
+                    degrade_at=bad,
+                )
+
+    def test_disabled_by_default(self):
+        tracker, _ = make_tracker(degrade_at=None)
+        assert tracker._degrade_limit is None
+
+
+class TestDegradation:
+    def test_entries_bounded_by_budget(self):
+        params = MitosParams(R=2.0, M_prov=10)  # N_R = 20
+        tracker = DIFTTracker(
+            params=params, policy=PropagateAllPolicy(), degrade_at=0.5
+        )
+        # push 100 single-tag locations through: without degradation the
+        # shadow would hold 100 entries; the budget is 10
+        for i in range(100):
+            tracker.process(flows.insert(mem(i), Tag("process", 1 + i)))
+        assert tracker.counter.total_entries() <= 10
+        assert tracker.stats.degradations > 0
+        assert tracker.stats.shed_entries > 0
+
+    def test_without_degradation_grows_unbounded(self):
+        tracker, _ = make_tracker(degrade_at=None)
+        for i in range(100):
+            tracker.process(flows.insert(mem(i), Tag("process", 1 + i)))
+        assert tracker.counter.total_entries() == 100
+        assert tracker.stats.degradations == 0
+
+    def test_sheds_lowest_retention_value_first(self):
+        """Saturated tags (many copies) go before rare ones."""
+        params = MitosParams(R=2.0, M_prov=10)  # N_R = 20, budget 10
+        tracker = DIFTTracker(
+            params=params, policy=PropagateAllPolicy(), degrade_at=0.5
+        )
+        rare = Tag("netflow", 1)
+        tracker.process(flows.insert(mem(0), rare))
+        # one saturated tag on many locations: lowest per-copy value
+        for i in range(1, 30):
+            tracker.process(flows.insert(mem(i), Tag("process", 1)))
+        assert tracker.counter.total_entries() <= 10
+        # the rare netflow tag survived the shed
+        assert rare in tracker.shadow.tags_at(mem(0))
+        assert tracker.counter.copies(rare) == 1
+
+    def test_degradation_event_on_observer(self):
+        notices = []
+
+        def observer(event, candidates, details, selected, pollution):
+            if event.context == "dift.degraded":
+                notices.append((event, pollution))
+
+        params = MitosParams(R=2.0, M_prov=10)
+        tracker = DIFTTracker(
+            params=params,
+            policy=PropagateAllPolicy(),
+            degrade_at=0.5,
+            ifp_observer=observer,
+        )
+        for i in range(40):
+            tracker.process(flows.insert(mem(i), Tag("process", 1 + i)))
+        assert notices
+        event, pollution = notices[0]
+        assert event.kind is flows.FlowKind.CLEAR
+        assert event.destination == ("sys", "degraded")
+        assert event.meta["shed_entries"] > 0
+        assert event.meta["limit"] == 10
+        assert event.meta["entries_after"] <= 10
+        assert pollution > 0
+
+    def test_stats_counters_recorded(self):
+        params = MitosParams(R=2.0, M_prov=10)
+        tracker = DIFTTracker(
+            params=params, policy=PropagateAllPolicy(), degrade_at=0.5
+        )
+        for i in range(40):
+            tracker.process(flows.insert(mem(i), Tag("process", 1 + i)))
+        stats = tracker.stats.as_dict()
+        assert stats["degradations"] == tracker.stats.degradations > 0
+        assert stats["shed_entries"] == tracker.stats.shed_entries > 0
+        # shed entries are also counted as drops and propagation work
+        assert tracker.stats.drops >= tracker.stats.shed_entries
+
+    def test_reset_clears_degraded_state(self):
+        params = MitosParams(R=2.0, M_prov=10)
+        tracker = DIFTTracker(
+            params=params, policy=PropagateAllPolicy(), degrade_at=0.5
+        )
+        for i in range(40):
+            tracker.process(flows.insert(mem(i), Tag("process", 1 + i)))
+        tracker.reset()
+        assert tracker.counter.total_entries() == 0
+        assert tracker.stats.degradations == 0
+        # the limit survives the reset (it is configuration)
+        assert tracker._degrade_limit == 10

@@ -99,6 +99,74 @@ class TestSnapshotRoundTrip:
         assert target.counter.copies(NET) == 1
 
 
+class TestFullStateEquality:
+    """Every observable facet of tracker state survives a round trip."""
+
+    def workload_tracker(self) -> DIFTTracker:
+        recording = InMemoryAttack(
+            variant="reverse_tcp", seed=3, payload_bytes=96, imports=12,
+            noise_bytes=128, noise_rounds=3,
+        ).record()
+        params = benchmark_params(
+            crossover_copies=400.0, pollution_fraction=0.003
+        )
+        tracker = DIFTTracker(params, PropagateAllPolicy())
+        tracker.process_many(recording)
+        return tracker
+
+    def restored_copy(self, source: DIFTTracker) -> DIFTTracker:
+        target = DIFTTracker(source.params, PropagateAllPolicy())
+        restore_tracker(target, snapshot_tracker(source))
+        return target
+
+    def test_tainted_location_set_identical(self):
+        source = self.workload_tracker()
+        target = self.restored_copy(source)
+        assert sorted(target.shadow.tainted_locations(), key=repr) == sorted(
+            source.shadow.tainted_locations(), key=repr
+        )
+
+    def test_provenance_lists_identical_in_order(self):
+        source = self.workload_tracker()
+        target = self.restored_copy(source)
+        for location in source.shadow.tainted_locations():
+            assert target.shadow.tags_at(location) == source.shadow.tags_at(
+                location
+            )
+
+    def test_pollution_counters_identical(self):
+        source = self.workload_tracker()
+        target = self.restored_copy(source)
+        assert target.counter.snapshot() == source.counter.snapshot()
+        assert target.counter.total_entries() == source.counter.total_entries()
+        assert target.pollution() == pytest.approx(source.pollution())
+
+    def test_retention_values_identical(self):
+        """Copy counts drive tag_retention_value; both must agree per tag."""
+        source = self.workload_tracker()
+        target = self.restored_copy(source)
+        seen = set()
+        for location in source.shadow.tainted_locations():
+            seen.update(source.shadow.tags_at(location))
+        assert seen
+        for tag in seen:
+            assert target.tag_retention_value(tag) == pytest.approx(
+                source.tag_retention_value(tag)
+            )
+
+    def test_file_round_trip_full_equality(self, tmp_path):
+        source = self.workload_tracker()
+        path = save_snapshot(source, tmp_path / "full.json.gz")
+        target = DIFTTracker(source.params, PropagateAllPolicy())
+        load_snapshot(target, path)
+        assert target.counter.snapshot() == source.counter.snapshot()
+        for location in source.shadow.tainted_locations():
+            assert target.shadow.tags_at(location) == source.shadow.tags_at(
+                location
+            )
+        assert target.pollution() == pytest.approx(source.pollution())
+
+
 class TestSnapshotValidation:
     def test_m_prov_mismatch_rejected(self):
         source = make_tracker(m_prov=4)

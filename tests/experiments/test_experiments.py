@@ -232,3 +232,39 @@ class TestAblations:
     def test_render(self, result):
         text = ablations.render(result)
         assert "Ablation 1" in text and "Ablation 4" in text
+
+
+@pytest.fixture(scope="module")
+def fault_sweep_result():
+    from repro.experiments import fault_sweep
+
+    return fault_sweep.run(quick=True)
+
+
+class TestFaultSweep:
+    def test_zero_rate_row_is_baseline(self, fault_sweep_result):
+        result = fault_sweep_result
+        clean = result.rows[0]
+        assert clean.fault_rate == 0.0
+        assert clean.faults_injected == 0
+        assert clean.detected_bytes == result.baseline_detected > 0
+        assert clean.detection_recall == 1.0
+        assert clean.oracle_agreement == 1.0
+
+    def test_faulty_rows_inject_and_recover(self, fault_sweep_result):
+        for row in fault_sweep_result.rows[1:]:
+            assert row.faults_injected > 0
+            assert row.recoveries > 0
+            assert 0.0 <= row.detection_recall <= 1.0
+            assert 0.0 <= row.oracle_agreement <= 1.0
+
+    def test_recall_never_exceeds_clean_run(self, fault_sweep_result):
+        for row in fault_sweep_result.rows:
+            assert row.detected_bytes <= fault_sweep_result.baseline_detected
+
+    def test_render(self, fault_sweep_result):
+        from repro.experiments import fault_sweep
+
+        text = fault_sweep.render(fault_sweep_result)
+        assert "fault_rate" in text
+        assert "recall" in text

@@ -1,0 +1,160 @@
+"""Tests for repro.faults: determinism, perturbation semantics, rates."""
+
+import dataclasses
+
+import pytest
+
+from repro.dift import flows
+from repro.dift.shadow import mem, reg
+from repro.dift.tags import Tag
+from repro.faults import FaultConfig, FaultInjector, Resilience, TransientFault
+from repro.replay.record import Recording
+
+
+def sample_events(n=200):
+    events = []
+    for i in range(n):
+        if i % 10 == 0:
+            events.append(
+                flows.insert(mem(i), Tag("netflow", 1 + i // 10), tick=i)
+            )
+        else:
+            events.append(flows.copy(mem(i - 1), mem(i), tick=i))
+    return events
+
+
+class TestFaultConfig:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError):
+            FaultConfig(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(message_loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig.uniform(2.0)
+
+    def test_uniform_splits_stream_rate(self):
+        config = FaultConfig.uniform(0.2, seed=3)
+        assert config.drop_rate == pytest.approx(0.05)
+        assert config.plugin_fault_rate == pytest.approx(0.2)
+        assert config.seed == 3
+        assert config.perturbs_stream
+
+    def test_zero_rate_perturbs_nothing(self):
+        assert not FaultConfig.uniform(0.0).perturbs_stream
+
+
+class TestDeterminism:
+    def test_same_seed_same_perturbation(self):
+        events = sample_events()
+        a = FaultInjector(FaultConfig.uniform(0.3, seed=11))
+        b = FaultInjector(FaultConfig.uniform(0.3, seed=11))
+        assert a.perturb_events(events) == b.perturb_events(events)
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_different_seed_different_perturbation(self):
+        events = sample_events()
+        a = FaultInjector(FaultConfig.uniform(0.3, seed=11))
+        b = FaultInjector(FaultConfig.uniform(0.3, seed=12))
+        assert a.perturb_events(events) != b.perturb_events(events)
+
+    def test_draws_are_order_independent(self):
+        """The resume-safety property: a draw at index i does not depend
+        on whether draws at earlier indices happened."""
+        injector = FaultInjector(FaultConfig.uniform(0.5, seed=5))
+        full = [injector.message_lost(0, 0, 1, a) for a in range(20)]
+        fresh = FaultInjector(FaultConfig.uniform(0.5, seed=5))
+        # skip the first 10 draws entirely
+        tail = [fresh.message_lost(0, 0, 1, a) for a in range(10, 20)]
+        assert full[10:] == tail
+
+
+class TestStreamPerturbation:
+    def test_zero_rates_identity(self):
+        events = sample_events()
+        injector = FaultInjector(FaultConfig(seed=1))
+        assert injector.perturb_events(events) == events
+        assert injector.stats.total == 0
+
+    def test_rates_roughly_respected(self):
+        events = sample_events(2000)
+        injector = FaultInjector(
+            FaultConfig(seed=2, drop_rate=0.1, duplicate_rate=0.1)
+        )
+        injector.perturb_events(events)
+        assert 100 < injector.stats.dropped < 300
+        assert 100 < injector.stats.duplicated < 300
+
+    def test_corrupted_events_stay_schema_valid(self):
+        events = sample_events(500)
+        injector = FaultInjector(FaultConfig(seed=3, corrupt_rate=0.5))
+        perturbed = injector.perturb_events(events)
+        assert injector.stats.corrupted > 0
+        # FlowEvent validation runs in __post_init__; surviving objects
+        # are valid by construction.  Corruption only moves destinations.
+        kinds = [e.kind for e in events]
+        assert [e.kind for e in perturbed] == kinds
+
+    def test_reorder_preserves_multiset(self):
+        events = sample_events(500)
+        injector = FaultInjector(FaultConfig(seed=4, reorder_rate=0.3))
+        perturbed = injector.perturb_events(events)
+        assert injector.stats.reordered > 0
+        assert len(perturbed) == len(events)
+        assert sorted(perturbed, key=repr) == sorted(events, key=repr)
+        assert perturbed != events
+
+    def test_perturb_recording_stamps_meta(self):
+        recording = Recording(events=sample_events(50), meta={"x": 1})
+        injector = FaultInjector(FaultConfig.uniform(0.2, seed=9))
+        perturbed = injector.perturb_recording(recording)
+        assert perturbed.meta["x"] == 1
+        assert perturbed.meta["fault_seed"] == 9
+
+
+class TestPluginAndDistributedFaults:
+    def test_plugin_fault_raises_transient(self):
+        injector = FaultInjector(FaultConfig(seed=0, plugin_fault_rate=1.0))
+        with pytest.raises(TransientFault):
+            injector.maybe_plugin_fault("pipeline", 3)
+        assert injector.stats.plugin_faults == 1
+
+    def test_plugin_fault_retry_redraws(self):
+        """At rate 0.5, some (site, index) faults clear on a later attempt."""
+        injector = FaultInjector(FaultConfig(seed=1, plugin_fault_rate=0.5))
+        recovered = 0
+        for index in range(100):
+            try:
+                injector.maybe_plugin_fault("p", index, attempt=0)
+            except TransientFault:
+                try:
+                    injector.maybe_plugin_fault("p", index, attempt=1)
+                    recovered += 1
+                except TransientFault:
+                    pass
+        assert recovered > 0
+
+    def test_node_crash_and_pick(self):
+        injector = FaultInjector(FaultConfig(seed=2, node_crash_rate=1.0))
+        assert injector.node_crashes(0)
+        assert injector.stats.node_crashes == 1
+        assert 0 <= injector.pick(4, "crash", 0) < 4
+        with pytest.raises(ValueError):
+            injector.pick(0)
+
+
+class TestResilienceBundle:
+    def test_create_wires_injector_into_supervisor(self):
+        bundle = Resilience.create(fault_rate=0.1, fault_seed=3)
+        assert bundle.injector is not None
+        assert bundle.supervisor is not None
+        assert bundle.supervisor.injector is bundle.injector
+
+    def test_create_without_faults_has_no_injector(self):
+        bundle = Resilience.create(supervisor_policy="quarantine")
+        assert bundle.injector is None
+        assert bundle.supervisor is not None
+        assert bundle.supervisor.policy == "quarantine"
+
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError):
+            Resilience(checkpoint_every=10)

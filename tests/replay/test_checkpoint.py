@@ -1,0 +1,265 @@
+"""Tests for repro.replay.checkpoint: atomic writes, resume byte-identity."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.experiments.common import experiment_params, network_recording
+from repro.faros import FarosSystem, mitos_config
+from repro.faults import Resilience
+from repro.obs import Observability
+from repro.obs.decisions import read_decision_trace
+from repro.replay.checkpoint import (
+    CheckpointError,
+    CheckpointPlugin,
+    checkpoint_state,
+    read_checkpoint,
+    restore_checkpoint_state,
+    write_checkpoint,
+)
+
+
+def quick_config():
+    return mitos_config(experiment_params(quick=True))
+
+
+def quick_recording():
+    return network_recording(seed=0, quick=True)
+
+
+class TestCheckpointFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        payload = {"version": 1, "kind": "replay-checkpoint", "event_index": 5}
+        write_checkpoint(path, payload)
+        assert read_checkpoint(path) == payload
+        # atomic write leaves no temp file behind
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json.gz"
+        payload = {"version": 1, "kind": "replay-checkpoint", "event_index": 0}
+        write_checkpoint(path, payload)
+        with gzip.open(path, "rt") as handle:
+            assert json.load(handle) == payload
+        assert read_checkpoint(path) == payload
+
+    def test_read_errors_are_checkpoint_errors(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{{{not json")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(bad)
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[1, 2]")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(not_object)
+
+    def test_restore_validates_payload(self):
+        system = FarosSystem(quick_config())
+        with pytest.raises(CheckpointError):
+            restore_checkpoint_state(system.tracker, {"kind": "snapshot"})
+        with pytest.raises(CheckpointError):
+            restore_checkpoint_state(
+                system.tracker,
+                {"kind": "replay-checkpoint", "version": 99},
+            )
+        with pytest.raises(CheckpointError):
+            restore_checkpoint_state(
+                system.tracker,
+                {
+                    "kind": "replay-checkpoint",
+                    "version": 1,
+                    "event_index": -3,
+                },
+            )
+
+
+class TestCheckpointPlugin:
+    def test_writes_every_n_events(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        system = FarosSystem(quick_config())
+        plugin = CheckpointPlugin(
+            system.tracker, path, every=100, pipeline=system.pipeline
+        )
+        system.replayer.add_plugin(plugin)
+        recording = quick_recording()
+        system.replay(recording)
+        assert plugin.checkpoints_written == len(recording) // 100
+        payload = read_checkpoint(path)
+        assert payload["events_total"] == len(recording)
+        assert payload["event_index"] % 100 == 0
+
+    def test_rejects_bad_interval(self, tmp_path):
+        system = FarosSystem(quick_config())
+        with pytest.raises(ValueError):
+            CheckpointPlugin(system.tracker, tmp_path / "c", every=0)
+
+
+class TestResumeByteIdentity:
+    """The PR's acceptance pin: killed-and-resumed == uninterrupted."""
+
+    KILL_AT = 137  # deliberately not a multiple of the interval
+
+    def run_uninterrupted(self):
+        system = FarosSystem(quick_config())
+        result = system.replay(quick_recording())
+        return system, result
+
+    def run_killed_then_resumed(self, tmp_path):
+        recording = quick_recording()
+        path = tmp_path / "ckpt.json"
+        first = FarosSystem(
+            quick_config(),
+            resilience=Resilience.create(
+                checkpoint_every=50, checkpoint_path=path
+            ),
+        )
+        first.replay(recording, limit=self.KILL_AT)
+        resumed = FarosSystem(
+            quick_config(),
+            resilience=Resilience.create(resume_from=path),
+        )
+        result = resumed.replay(recording)
+        return resumed, result
+
+    def test_tracker_stats_identical(self, tmp_path):
+        _, full = self.run_uninterrupted()
+        _, resumed = self.run_killed_then_resumed(tmp_path)
+        assert resumed.tracker_stats == full.tracker_stats
+
+    def test_stage_counts_identical(self, tmp_path):
+        _, full = self.run_uninterrupted()
+        _, resumed = self.run_killed_then_resumed(tmp_path)
+        assert resumed.stage_counts == full.stage_counts
+
+    def test_shadow_state_identical(self, tmp_path):
+        full_system, _ = self.run_uninterrupted()
+        resumed_system, _ = self.run_killed_then_resumed(tmp_path)
+        full_shadow = full_system.tracker.shadow
+        resumed_shadow = resumed_system.tracker.shadow
+        assert (
+            sorted(resumed_shadow.tainted_locations(), key=repr)
+            == sorted(full_shadow.tainted_locations(), key=repr)
+        )
+        for location in full_shadow.tainted_locations():
+            assert resumed_shadow.tags_at(location) == full_shadow.tags_at(
+                location
+            )
+        assert (
+            resumed_system.tracker.counter.snapshot()
+            == full_system.tracker.counter.snapshot()
+        )
+        assert resumed_system.tracker.pollution() == pytest.approx(
+            full_system.tracker.pollution()
+        )
+
+    def test_detector_state_identical(self, tmp_path):
+        full_system, _ = self.run_uninterrupted()
+        resumed_system, _ = self.run_killed_then_resumed(tmp_path)
+        assert (
+            resumed_system.detector.detected_bytes
+            == full_system.detector.detected_bytes
+        )
+        assert (
+            resumed_system.detector.flagged_snapshot()
+            == full_system.detector.flagged_snapshot()
+        )
+
+    def test_decision_traces_concatenate_exactly(self, tmp_path):
+        """Prefix trace + resumed trace == uninterrupted trace."""
+        recording = quick_recording()
+
+        full_trace = tmp_path / "full.jsonl"
+        full = FarosSystem(
+            quick_config(),
+            observability=Observability.create(trace_out=full_trace),
+        )
+        full.replay(recording)
+        full.obs.close()
+
+        ckpt = tmp_path / "ckpt.json"
+        prefix_trace = tmp_path / "prefix.jsonl"
+        first = FarosSystem(
+            quick_config(),
+            observability=Observability.create(trace_out=prefix_trace),
+            resilience=Resilience.create(
+                checkpoint_every=50, checkpoint_path=ckpt
+            ),
+        )
+        first.replay(recording, limit=self.KILL_AT)
+        first.obs.close()
+
+        resumed_trace = tmp_path / "resumed.jsonl"
+        resumed = FarosSystem(
+            quick_config(),
+            observability=Observability.create(trace_out=resumed_trace),
+            resilience=Resilience.create(resume_from=ckpt),
+        )
+        resumed.replay(recording)
+        resumed.obs.close()
+
+        full_records = list(read_decision_trace(full_trace))
+        prefix_records = list(read_decision_trace(prefix_trace))
+        resumed_records = list(read_decision_trace(resumed_trace))
+
+        # the resumed run re-made every decision after the checkpoint
+        # (at the last multiple of 50 before the kill), and those
+        # decisions match the uninterrupted run's suffix exactly; the
+        # decisions before the checkpoint are the prefix run's
+        assert resumed_records  # the suffix is non-trivial
+        kept = len(full_records) - len(resumed_records)
+        assert kept >= 0
+        assert full_records[kept:] == resumed_records
+        assert full_records[:kept] == prefix_records[:kept]
+
+    def test_resume_with_wrong_recording_rejected(self, tmp_path):
+        recording = quick_recording()
+        path = tmp_path / "ckpt.json"
+        first = FarosSystem(
+            quick_config(),
+            resilience=Resilience.create(
+                checkpoint_every=50, checkpoint_path=path
+            ),
+        )
+        first.replay(recording, limit=self.KILL_AT)
+        resumed = FarosSystem(
+            quick_config(),
+            resilience=Resilience.create(resume_from=path),
+        )
+        truncated = type(recording)(
+            events=list(recording)[: len(recording) // 2],
+            meta=dict(recording.meta),
+        )
+        with pytest.raises(CheckpointError):
+            resumed.replay(truncated)
+
+
+class TestResumeWithFaults:
+    """Seeded faults re-derive identically across a resume."""
+
+    def test_faulty_resume_matches_faulty_full_run(self, tmp_path):
+        recording = quick_recording()
+
+        def resilience(**kwargs):
+            return Resilience.create(
+                fault_rate=0.05, fault_seed=7, **kwargs
+            )
+
+        full = FarosSystem(quick_config(), resilience=resilience())
+        full_result = full.replay(recording)
+
+        path = tmp_path / "ckpt.json"
+        first = FarosSystem(
+            quick_config(),
+            resilience=resilience(checkpoint_every=50, checkpoint_path=path),
+        )
+        first.replay(recording, limit=120)
+        resumed = FarosSystem(
+            quick_config(), resilience=resilience(resume_from=path)
+        )
+        resumed_result = resumed.replay(recording)
+        assert resumed_result.tracker_stats == full_result.tracker_stats
+        assert resumed_result.stage_counts == full_result.stage_counts

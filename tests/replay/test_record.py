@@ -1,5 +1,7 @@
 """Tests for repro.replay.record: serialization round trips and corruption."""
 
+import json
+
 import pytest
 
 from repro.dift import flows
@@ -9,6 +11,7 @@ from repro.dift.tags import Tag
 from repro.replay.record import (
     RecordError,
     Recording,
+    RecordingError,
     event_from_dict,
     event_to_dict,
     record_machine,
@@ -106,6 +109,81 @@ class TestRecording:
         recording = Recording(meta={"origin": ("10.0.0.1", 443)})
         restored = Recording.from_jsonl(recording.to_jsonl())
         assert restored.meta["origin"] == ("10.0.0.1", 443)
+
+
+class TestSchemaValidation:
+    def test_unknown_key_named_with_line_number(self):
+        good = Recording(events=sample_events()[:2], meta={})
+        lines = good.to_jsonl().splitlines()
+        payload = json.loads(lines[2])
+        payload["bogus_field"] = 1
+        lines[2] = json.dumps(payload)
+        with pytest.raises(RecordingError) as excinfo:
+            Recording.from_jsonl("\n".join(lines) + "\n")
+        message = str(excinfo.value)
+        assert "line 3" in message
+        assert "bogus_field" in message
+
+    def test_missing_required_key_named(self):
+        good = Recording(events=sample_events()[:1], meta={})
+        lines = good.to_jsonl().splitlines()
+        payload = json.loads(lines[1])
+        del payload["dest"]
+        lines[1] = json.dumps(payload)
+        with pytest.raises(RecordingError, match="dest"):
+            Recording.from_jsonl("\n".join(lines) + "\n")
+
+    def test_non_object_event_line_rejected(self):
+        good = Recording(events=sample_events()[:1], meta={})
+        with pytest.raises(RecordingError, match="line 3"):
+            Recording.from_jsonl(good.to_jsonl() + "[1, 2, 3]\n")
+
+
+class TestTruncatedFiles:
+    """A recording chopped mid-write must fail loudly, naming the spot."""
+
+    def full_recording(self):
+        return Recording(events=sample_events(), meta={"seed": 1})
+
+    def test_truncated_jsonl_names_line_and_offset(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.full_recording().save(path)
+        text = path.read_text()
+        # chop mid-way through the final event line
+        path.write_text(text[: len(text) - 25])
+        with pytest.raises(RecordingError) as excinfo:
+            Recording.load(path)
+        message = str(excinfo.value)
+        assert "line" in message
+        assert "truncated" in message
+
+    def test_truncated_gzip_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        self.full_recording().save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(RecordingError):
+            Recording.load(path)
+
+    def test_missing_file_is_recording_error(self, tmp_path):
+        with pytest.raises(RecordingError):
+            Recording.load(tmp_path / "nope.jsonl")
+
+    def test_binary_garbage_is_recording_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_bytes(b"\xff\xfe\x00garbage\x00")
+        with pytest.raises(RecordingError):
+            Recording.load(path)
+
+    def test_intact_file_still_round_trips(self, tmp_path):
+        """The happy path survives the hardening."""
+        recording = self.full_recording()
+        for name in ("trace.jsonl", "trace.jsonl.gz"):
+            path = tmp_path / name
+            recording.save(path)
+            restored = Recording.load(path)
+            assert restored.events == recording.events
+            assert restored.meta == recording.meta
 
 
 class TestRecordMachine:

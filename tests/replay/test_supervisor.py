@@ -1,0 +1,178 @@
+"""Tests for repro.replay.supervisor: policies, retries, metrics."""
+
+import pytest
+
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.faults import FaultConfig, FaultInjector, TransientFault
+from repro.obs.metrics import MetricsRegistry
+from repro.replay.record import Recording
+from repro.replay.replayer import Plugin, Replayer
+from repro.replay.supervisor import (
+    SUPERVISOR_POLICIES,
+    PluginSupervisor,
+    SupervisorStats,
+)
+
+
+def event():
+    return flows.copy(mem(0), mem(1))
+
+
+class FlakyPlugin(Plugin):
+    """Fails the first ``failures`` dispatches, then succeeds."""
+
+    name = "flaky"
+
+    def __init__(self, failures, error=TransientFault):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+        self.processed = 0
+
+    def on_event(self, e):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error("boom")
+        self.processed += 1
+
+
+class TestConstruction:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            PluginSupervisor(policy="restart-the-world")
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            PluginSupervisor(max_retries=-1)
+
+    def test_policies_constant(self):
+        assert set(SUPERVISOR_POLICIES) == {
+            "fail-fast", "skip-event", "quarantine"
+        }
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_recovery(self):
+        supervisor = PluginSupervisor(policy="skip-event", max_retries=2)
+        plugin = FlakyPlugin(failures=2)
+        assert supervisor.dispatch(plugin, event()) is True
+        assert plugin.processed == 1
+        assert supervisor.stats.retries == 2
+        assert supervisor.stats.recoveries == 1
+        assert supervisor.stats.transient_faults == 1
+
+    def test_retry_budget_exhausted_applies_policy(self):
+        supervisor = PluginSupervisor(policy="skip-event", max_retries=1)
+        plugin = FlakyPlugin(failures=5)
+        assert supervisor.dispatch(plugin, event()) is False
+        assert supervisor.stats.skipped_events == 1
+        assert plugin.calls == 2  # first attempt + one retry
+
+    def test_non_transient_error_not_retried(self):
+        supervisor = PluginSupervisor(policy="skip-event", max_retries=3)
+        plugin = FlakyPlugin(failures=5, error=RuntimeError)
+        assert supervisor.dispatch(plugin, event()) is False
+        assert plugin.calls == 1
+        assert supervisor.stats.retries == 0
+
+
+class TestPolicies:
+    def test_fail_fast_reraises(self):
+        supervisor = PluginSupervisor(policy="fail-fast", max_retries=0)
+        plugin = FlakyPlugin(failures=1)
+        with pytest.raises(TransientFault):
+            supervisor.dispatch(plugin, event())
+
+    def test_skip_event_continues(self):
+        supervisor = PluginSupervisor(policy="skip-event", max_retries=0)
+        plugin = FlakyPlugin(failures=1)
+        assert supervisor.dispatch(plugin, event()) is False
+        assert supervisor.dispatch(plugin, event()) is True
+        assert plugin.processed == 1
+
+    def test_quarantine_stops_dispatching(self):
+        supervisor = PluginSupervisor(policy="quarantine", max_retries=0)
+        plugin = FlakyPlugin(failures=1)
+        assert supervisor.dispatch(plugin, event()) is False
+        assert supervisor.is_quarantined(plugin)
+        # a healthy plugin keeps running; the quarantined one is skipped
+        assert supervisor.dispatch(plugin, event()) is False
+        assert plugin.calls == 1
+        assert supervisor.stats.quarantined_plugins == 1
+
+    def test_reset_clears_quarantine(self):
+        supervisor = PluginSupervisor(policy="quarantine", max_retries=0)
+        plugin = FlakyPlugin(failures=1)
+        supervisor.dispatch(plugin, event())
+        supervisor.reset()
+        assert not supervisor.is_quarantined(plugin)
+        assert supervisor.stats == SupervisorStats()
+
+
+class TestMetricsBinding:
+    def test_counters_flow_into_registry(self):
+        registry = MetricsRegistry()
+        supervisor = PluginSupervisor(
+            policy="skip-event", max_retries=1, metrics=registry
+        )
+        supervisor.dispatch(FlakyPlugin(failures=1), event())
+        counters = registry.as_dict()["counters"]
+        assert counters["supervisor.faults"] == 1
+        assert counters["supervisor.retries"] == 1
+        assert counters["supervisor.recoveries"] == 1
+
+
+class TestReplayerIntegration:
+    def make_recording(self, n=20):
+        return Recording(
+            events=[flows.copy(mem(i), mem(i + 1), tick=i) for i in range(n)]
+        )
+
+    def test_supervised_replay_survives_flaky_plugin(self):
+        recording = self.make_recording()
+        plugin = FlakyPlugin(failures=3, error=RuntimeError)
+        supervisor = PluginSupervisor(policy="skip-event", max_retries=0)
+        replayer = Replayer([plugin], supervisor=supervisor)
+        result = replayer.replay(recording)
+        assert result.events_processed == len(recording)
+        assert plugin.processed == len(recording) - 3
+        assert supervisor.stats.skipped_events == 3
+
+    def test_unsupervised_replay_still_fails_fast(self):
+        recording = self.make_recording()
+        plugin = FlakyPlugin(failures=1, error=RuntimeError)
+        with pytest.raises(RuntimeError):
+            Replayer([plugin]).replay(recording)
+
+    def test_injected_faults_are_supervised(self):
+        recording = self.make_recording(100)
+        injector = FaultInjector(FaultConfig(seed=0, plugin_fault_rate=0.3))
+        supervisor = PluginSupervisor(
+            policy="skip-event", max_retries=3, injector=injector
+        )
+        counted = []
+        plugin = FlakyPlugin(failures=0)
+        replayer = Replayer([plugin], supervisor=supervisor)
+        result = replayer.replay(recording)
+        assert result.events_processed == 100
+        assert supervisor.stats.faults > 0
+        # with 3 retries at rate 0.3, nearly every fault recovers
+        assert supervisor.stats.recoveries > 0
+        assert (
+            plugin.processed
+            == 100 - supervisor.stats.skipped_events
+        )
+
+    def test_start_index_skips_prefix(self):
+        recording = self.make_recording(10)
+        plugin = FlakyPlugin(failures=0)
+        result = Replayer(
+            [plugin], supervisor=PluginSupervisor()
+        ).replay(recording, start_index=4)
+        assert result.events_processed == 6
+        assert plugin.processed == 6
+
+    def test_negative_start_index_rejected(self):
+        with pytest.raises(ValueError):
+            Replayer([]).replay(self.make_recording(1), start_index=-1)

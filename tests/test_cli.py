@@ -24,8 +24,35 @@ class TestParser:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig3", "fig7", "fig8", "fig9", "table2", "ablations",
-            "sensitivity",
+            "sensitivity", "fault_sweep",
         }
+
+    def test_replay_robustness_flags(self):
+        args = build_parser().parse_args(
+            [
+                "replay", "t.jsonl",
+                "--inject-faults", "0.1", "--fault-seed", "7",
+                "--supervisor", "quarantine", "--max-retries", "5",
+                "--checkpoint-every", "100", "--checkpoint-out", "c.json",
+                "--resume-from", "old.json", "--limit", "500",
+                "--degrade-at", "0.8",
+            ]
+        )
+        assert args.inject_faults == 0.1
+        assert args.fault_seed == 7
+        assert args.supervisor == "quarantine"
+        assert args.max_retries == 5
+        assert args.checkpoint_every == 100
+        assert args.checkpoint_out == "c.json"
+        assert args.resume_from == "old.json"
+        assert args.limit == 500
+        assert args.degrade_at == 0.8
+
+    def test_replay_rejects_unknown_supervisor_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["replay", "t.jsonl", "--supervisor", "ignore-everything"]
+            )
 
     def test_replay_accepts_kind_filtered_policies(self):
         args = build_parser().parse_args(
