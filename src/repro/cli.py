@@ -134,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--quick", action="store_true")
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fan the sweep out over N worker processes (results are "
+                 "identical to --jobs 1; only the wall clock changes)",
+        )
 
     record = subparsers.add_parser("record", help="record a workload trace")
     record.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -247,10 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_one(name: str, quick: bool, seed: int) -> str:
+def run_one(name: str, quick: bool, seed: int, jobs: int = 1) -> str:
     run, render = EXPERIMENTS[name]
     started = time.perf_counter()
-    result = run(quick=quick, seed=seed)
+    result = run(quick=quick, seed=seed, jobs=jobs)
     elapsed = time.perf_counter() - started
     body = render(result)
     return f"{body}\n[{name} completed in {elapsed:.1f}s]"
@@ -426,7 +431,7 @@ def main(argv=None) -> int:
     if command in EXPERIMENTS or command == "all":
         names = sorted(EXPERIMENTS) if command == "all" else [command]
         for name in names:
-            print(run_one(name, args.quick, args.seed))
+            print(run_one(name, args.quick, args.seed, jobs=args.jobs))
             print()
         return 0
     handlers = {

@@ -29,7 +29,7 @@ from repro.core.costs import marginal_cost, over_marginal, under_marginal
 from repro.core.params import MitosParams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TagCandidate:
     """A tag considered for indirect-flow propagation.
 
@@ -54,7 +54,7 @@ class TagCandidate:
             raise ValueError(f"copies must be non-negative, got {self.copies}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """Outcome of one propagation decision for one tag."""
 
@@ -86,10 +86,65 @@ class MultiDecision:
         return len(self.propagated)
 
 
+class MarginalCache:
+    """Memo table for the two Eq. 8 submarginals.
+
+    The undertainting side ``-u_T * n**-alpha`` depends only on
+    ``(tag_type, copies)``; the (published-form) overtainting side
+    ``tau_eff * beta * (P/N_R)**(beta-1)`` depends only on the pollution
+    value.  Both are pure functions of the params, so cached entries are
+    computed once by the *same* :mod:`repro.core.costs` calls and are
+    therefore bit-equal to uncached evaluation.
+
+    The cache is tied to one params instance: the cache-aware decision
+    functions check ``cache.params is params`` and fall back to the
+    uncached path on mismatch, so mutating a policy's params can never
+    serve stale marginals.  Entry counts are bounded; on overflow a table
+    is simply cleared (the working set of a replay is tiny -- copy counts
+    and pollution values repeat constantly).
+    """
+
+    __slots__ = ("params", "max_entries", "_under", "_over")
+
+    def __init__(self, params: MitosParams, max_entries: int = 1 << 16):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.params = params
+        self.max_entries = max_entries
+        self._under: dict = {}
+        self._over: dict = {}
+
+    def under(self, copies: int, tag_type: str) -> float:
+        """Cached ``under_marginal(copies, tag_type, params)``."""
+        key = (tag_type, copies)
+        value = self._under.get(key)
+        if value is None:
+            value = under_marginal(copies, tag_type, self.params)
+            if len(self._under) >= self.max_entries:
+                self._under.clear()
+            self._under[key] = value
+        return value
+
+    def over(self, pollution_value: float) -> float:
+        """Cached ``over_marginal(pollution_value, params)``."""
+        value = self._over.get(pollution_value)
+        if value is None:
+            value = over_marginal(pollution_value, self.params)
+            if len(self._over) >= self.max_entries:
+                self._over.clear()
+            self._over[pollution_value] = value
+        return value
+
+    def clear(self) -> None:
+        self._under.clear()
+        self._over.clear()
+
+
 def decide_single(
     candidate: TagCandidate,
     pollution: float,
     params: MitosParams,
+    cache: Optional[MarginalCache] = None,
 ) -> Decision:
     """Algorithm 1: single-tag IFP decision with a free destination slot.
 
@@ -102,14 +157,21 @@ def decide_single(
         ``sum_t o_t sum_i n[t,i]``.
     params:
         The MITOS inputs.
+    cache:
+        Optional :class:`MarginalCache` bound to ``params``; ignored when
+        bound to different params.  Results are bit-equal either way.
 
     Returns
     -------
     Decision
         ``propagate`` is True iff the Eq. 8 marginal is ``<= 0``.
     """
-    under = under_marginal(candidate.copies, candidate.tag_type, params)
-    over = over_marginal(pollution, params, tag_type=candidate.tag_type)
+    if cache is not None and cache.params is params:
+        under = cache.under(candidate.copies, candidate.tag_type)
+        over = cache.over(pollution)
+    else:
+        under = under_marginal(candidate.copies, candidate.tag_type, params)
+        over = over_marginal(pollution, params, tag_type=candidate.tag_type)
     marginal = under + over
     return Decision(
         candidate=candidate,
@@ -125,6 +187,7 @@ def decide_multi(
     free_slots: int,
     pollution: float,
     params: MitosParams,
+    cache: Optional[MarginalCache] = None,
 ) -> MultiDecision:
     """Algorithm 2: multi-tag IFP decision with ``free_slots`` available.
 
@@ -137,22 +200,44 @@ def decide_multi(
 
     Candidates whose decision was never reached (loop exited early) are
     reported as blocked with their final recomputed marginal.
+
+    With a :class:`MarginalCache` bound to ``params`` the submarginals come
+    from the memo tables; the ranking key and every per-tag marginal are
+    the same ``under + over`` float sums, so decisions, orderings, and
+    reported marginals are bit-equal to the uncached path.
     """
     if free_slots < 0:
         raise ValueError(f"free_slots must be non-negative, got {free_slots}")
-    ranked = sorted(
-        candidates,
-        key=lambda c: marginal_cost(c.copies, pollution, c.tag_type, params),
-    )
+    use_cache = cache is not None and cache.params is params
+    if use_cache:
+        over_base = cache.over(pollution)
+        ranked = sorted(
+            candidates,
+            key=lambda c: cache.under(c.copies, c.tag_type) + over_base,
+        )
+    else:
+        ranked = sorted(
+            candidates,
+            key=lambda c: marginal_cost(c.copies, pollution, c.tag_type, params),
+        )
     result = MultiDecision(free_slots=free_slots)
+    decisions = result.decisions
     current_pollution = pollution
     props = 0
     for candidate in ranked:
-        under = under_marginal(candidate.copies, candidate.tag_type, params)
-        over = over_marginal(current_pollution, params, tag_type=candidate.tag_type)
+        if use_cache:
+            under = cache.under(candidate.copies, candidate.tag_type)
+            over = cache.over(current_pollution)
+        else:
+            under = under_marginal(
+                candidate.copies, candidate.tag_type, params
+            )
+            over = over_marginal(
+                current_pollution, params, tag_type=candidate.tag_type
+            )
         marginal = under + over
         should_propagate = props < free_slots and marginal <= 0
-        result.decisions.append(
+        decisions.append(
             Decision(
                 candidate=candidate,
                 marginal=marginal,
@@ -202,6 +287,7 @@ class MitosEngine:
         pollution_source: Optional[Callable[[], float]] = None,
         log_decisions: bool = False,
         log_capacity: int = 1_000_000,
+        use_cache: bool = True,
     ):
         self.params = params
         self._pollution_source = pollution_source or (lambda: 0.0)
@@ -209,13 +295,34 @@ class MitosEngine:
         self._log_capacity = log_capacity
         self.decision_log: List[Decision] = []
         self.stats = EngineStats()
+        # bit-equal memo of the Eq. 8 submarginals; ``use_cache=False``
+        # keeps the uncached reference path (the benchmarks' oracle)
+        self._cache: Optional[MarginalCache] = (
+            MarginalCache(params) if use_cache else None
+        )
 
     def current_pollution(self) -> float:
         return float(self._pollution_source())
 
+    @property
+    def marginal_cache(self) -> Optional[MarginalCache]:
+        """The live memo table (``None`` when built uncached)."""
+        cache = self._cache
+        if cache is not None and cache.params is not self.params:
+            # params were swapped after construction: rebind so stale
+            # entries can never leak across parameterizations
+            cache = MarginalCache(self.params, cache.max_entries)
+            self._cache = cache
+        return cache
+
     def decide(self, candidate: TagCandidate) -> Decision:
         """Algorithm 1 against the live pollution estimate."""
-        decision = decide_single(candidate, self.current_pollution(), self.params)
+        decision = decide_single(
+            candidate,
+            self.current_pollution(),
+            self.params,
+            cache=self.marginal_cache,
+        )
         self._record([decision])
         return decision
 
@@ -224,7 +331,11 @@ class MitosEngine:
     ) -> MultiDecision:
         """Algorithm 2 against the live pollution estimate."""
         outcome = decide_multi(
-            candidates, free_slots, self.current_pollution(), self.params
+            candidates,
+            free_slots,
+            self.current_pollution(),
+            self.params,
+            cache=self.marginal_cache,
         )
         self._record(outcome.decisions)
         return outcome

@@ -76,9 +76,13 @@ class MitosPolicy(PropagationPolicy):
         params: MitosParams,
         pollution_source: Optional[Callable[[], float]] = None,
         log_decisions: bool = False,
+        use_cache: bool = True,
     ):
         self.engine = MitosEngine(
-            params, pollution_source, log_decisions=log_decisions
+            params,
+            pollution_source,
+            log_decisions=log_decisions,
+            use_cache=use_cache,
         )
 
     @property

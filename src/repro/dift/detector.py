@@ -41,6 +41,7 @@ class ConfluenceDetector:
         if not required_types:
             raise ValueError("required_types must not be empty")
         self.required_types = frozenset(required_types)
+        self._required_list = sorted(self.required_types)
         self.alerts: List[Alert] = []
         self._flagged: Set[Location] = set()
 
@@ -50,11 +51,19 @@ class ConfluenceDetector:
         """Check one location after a mutation; return a new alert if fired."""
         if location in self._flagged:
             return None
-        tags = shadow.tags_at(location)
-        present_types = {tag.type for tag in tags}
-        if not self.required_types <= present_types:
+        plist = shadow._lists.get(location)
+        if plist is None:
             return None
-        alert = Alert(location=location, tick=tick, tags=tags)
+        # short provenance lists: scanning per required type beats building
+        # a type set for every event (this runs once per event replayed)
+        tags = plist._tags
+        for required in self._required_list:
+            for tag in tags:
+                if tag.type == required:
+                    break
+            else:
+                return None
+        alert = Alert(location=location, tick=tick, tags=tuple(tags))
         self.alerts.append(alert)
         self._flagged.add(location)
         return alert

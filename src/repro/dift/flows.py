@@ -42,7 +42,7 @@ class FlowKind(enum.Enum):
         return self in (FlowKind.ADDRESS_DEP, FlowKind.CONTROL_DEP)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowEvent:
     """One taint-relevant event at one destination location.
 

@@ -37,7 +37,7 @@ class SchedulingPolicy(enum.Enum):
     VALUE = "value"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AddOutcome:
     """Result of attempting to add one tag to a provenance list."""
 
@@ -47,6 +47,13 @@ class AddOutcome:
     added: bool
     #: a pre-existing tag evicted to make room, if any
     dropped: Optional[Tag] = None
+
+
+# The three no-eviction outcomes carry no per-call state; sharing one
+# frozen instance each removes an allocation from every list mutation.
+_ALREADY_PRESENT = AddOutcome(present=True, added=False)
+_REFUSED = AddOutcome(present=False, added=False)
+_ADDED = AddOutcome(present=True, added=True)
 
 
 class ProvenanceList:
@@ -99,30 +106,32 @@ class ProvenanceList:
         Re-adding a tag that is already present is a no-op under FIFO and
         REJECT; under LRU it refreshes the tag's recency.
         """
-        if tag in self._tags:
+        tags = self._tags
+        if tag in tags:
             if self._scheduling is SchedulingPolicy.LRU:
-                self._tags.remove(tag)
-                self._tags.append(tag)
-            return AddOutcome(present=True, added=False)
-        dropped: Optional[Tag] = None
-        if self.full:
+                tags.remove(tag)
+                tags.append(tag)
+            return _ALREADY_PRESENT
+        if len(tags) >= self._capacity:
             if self._scheduling is SchedulingPolicy.REJECT:
-                return AddOutcome(present=False, added=False)
+                return _REFUSED
             if self._scheduling is SchedulingPolicy.VALUE:
                 assert self._value_fn is not None
-                victim = min(self._tags, key=self._value_fn)
+                victim = min(tags, key=self._value_fn)
                 if self._value_fn(tag) <= self._value_fn(victim):
                     # the newcomer is worth no more than the cheapest
                     # resident: admission refused
-                    return AddOutcome(present=False, added=False)
-                self._tags.remove(victim)
-                dropped = victim
-            else:
-                # FIFO and LRU both evict the head: under FIFO the head is
-                # the oldest insertion; under LRU the least recently touched.
-                dropped = self._tags.pop(0)
-        self._tags.append(tag)
-        return AddOutcome(present=True, added=True, dropped=dropped)
+                    return _REFUSED
+                tags.remove(victim)
+                tags.append(tag)
+                return AddOutcome(present=True, added=True, dropped=victim)
+            # FIFO and LRU both evict the head: under FIFO the head is
+            # the oldest insertion; under LRU the least recently touched.
+            dropped = tags.pop(0)
+            tags.append(tag)
+            return AddOutcome(present=True, added=True, dropped=dropped)
+        tags.append(tag)
+        return _ADDED
 
     def remove(self, tag: Tag) -> bool:
         """Remove ``tag`` if present; returns whether it was there."""

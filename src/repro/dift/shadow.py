@@ -65,13 +65,17 @@ class ShadowMemory:
         self.value_fn = value_fn
         self.counter = counter if counter is not None else TagCopyCounter()
         self._lists: Dict[Location, ProvenanceList] = {}
+        # running aggregates: entries in use and non-empty locations, kept
+        # in sync by every mutation so the queries below are O(1)
+        self._entries = 0
+        self._tainted = 0
 
     # -- queries ---------------------------------------------------------
 
     def tags_at(self, location: Location) -> Tuple[Tag, ...]:
         """Tags currently on ``location`` (empty tuple if untainted)."""
         plist = self._lists.get(location)
-        return plist.tags() if plist is not None else ()
+        return tuple(plist._tags) if plist is not None else ()
 
     def is_tainted(self, location: Location) -> bool:
         return bool(self._lists.get(location))
@@ -85,17 +89,18 @@ class ShadowMemory:
         return [loc for loc, plist in self._lists.items() if len(plist) > 0]
 
     def tainted_count(self) -> int:
-        return sum(1 for plist in self._lists.values() if len(plist) > 0)
+        return self._tainted
 
     def total_entries(self) -> int:
         """Total provenance-list entries in use (unweighted pollution)."""
-        return sum(len(plist) for plist in self._lists.values())
+        return self._entries
 
     def footprint_bytes(self) -> int:
         """Space metric: bytes of shadow state actually in use."""
-        entries = self.total_entries()
-        locations = self.tainted_count()
-        return entries * ENTRY_SIZE_BYTES + locations * LOCATION_OVERHEAD_BYTES
+        return (
+            self._entries * ENTRY_SIZE_BYTES
+            + self._tainted * LOCATION_OVERHEAD_BYTES
+        )
 
     # -- mutations -------------------------------------------------------
 
@@ -108,11 +113,22 @@ class ShadowMemory:
 
     def add_tag(self, location: Location, tag: Tag) -> AddOutcome:
         """Add one tag to a location, keeping the copy counter in sync."""
-        outcome = self._list_for(location).add(tag)
+        plist = self._lists.get(location)
+        if plist is None:
+            plist = ProvenanceList(self.m_prov, self.scheduling, self.value_fn)
+            self._lists[location] = plist
+            was_empty = True
+        else:
+            was_empty = not plist._tags
+        outcome = plist.add(tag)
         if outcome.added:
             self.counter.increment(tag)
-        if outcome.dropped is not None:
-            self.counter.decrement(outcome.dropped)
+            if was_empty:
+                self._tainted += 1
+            if outcome.dropped is None:
+                self._entries += 1
+            else:
+                self.counter.decrement(outcome.dropped)
         return outcome
 
     def remove_tag(self, location: Location, tag: Tag) -> bool:
@@ -122,7 +138,9 @@ class ShadowMemory:
         removed = plist.remove(tag)
         if removed:
             self.counter.decrement(tag)
+            self._entries -= 1
             if len(plist) == 0:
+                self._tainted -= 1
                 del self._lists[location]
         return removed
 
@@ -132,8 +150,12 @@ class ShadowMemory:
         if plist is None:
             return ()
         dropped = plist.clear()
-        for tag in dropped:
-            self.counter.decrement(tag)
+        if dropped:
+            self._entries -= len(dropped)
+            self._tainted -= 1
+            decrement = self.counter.decrement
+            for tag in dropped:
+                decrement(tag)
         return dropped
 
     def replace_tags(
@@ -144,7 +166,24 @@ class ShadowMemory:
         Returns ``(added, dropped)`` mutation counts for the work metric.
         Tags beyond capacity follow the list's eviction policy, so the
         final list holds at most ``m_prov`` of the given tags.
+
+        The self-copy case (``tags`` already equals the location's list in
+        order) is served without mutating anything: the full clear+re-add
+        round trip deterministically ends in the same list state with
+        ``added == dropped == len(tags)``, so only those counts are
+        produced.  The shortcut is taken only when no birth/death monitors
+        are attached, because the round trip would bounce each tag held
+        nowhere else through a 1 -> 0 -> 1 copy-count transition.
         """
+        current = self._lists.get(location)
+        if (
+            current is not None
+            and current._tags == list(tags)
+            and self.counter.on_birth is None
+            and self.counter.on_death is None
+        ):
+            n = len(current._tags)
+            return n, n
         dropped = len(self.clear_location(location))
         added = 0
         for tag in tags:
@@ -166,13 +205,20 @@ class ShadowMemory:
         """
         added = 0
         dropped = 0
-        seen = set(self.tags_at(destination))
+        lists = self._lists
+        dest_list = lists.get(destination)
+        seen = set(dest_list._tags) if dest_list is not None else set()
+        add_tag = self.add_tag
         for source in sources:
-            for tag in self.tags_at(source):
+            source_list = lists.get(source)
+            if source_list is None:
+                continue
+            # snapshot: add_tag may evict from this very list on self-union
+            for tag in tuple(source_list._tags):
                 if tag in seen:
                     continue
                 seen.add(tag)
-                outcome = self.add_tag(destination, tag)
+                outcome = add_tag(destination, tag)
                 if outcome.added:
                     added += 1
                 if outcome.dropped is not None:

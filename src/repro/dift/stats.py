@@ -24,47 +24,83 @@ class TagCopyCounter:
     Optional ``on_birth`` / ``on_death`` callbacks fire when a tag's copy
     count transitions 0 -> 1 and 1 -> 0 respectively, enabling
     TaintBochs-style data-lifetime analysis without scanning.
+
+    ``total_entries`` is a running integer (no dict sum per call), and
+    ``weighted_pollution`` is served from a running aggregate: the unit
+    weight case is exactly ``float(total_entries)`` (integer-valued floats
+    are exact well below 2**53), and non-unit weight maps are recomputed
+    lazily behind a dirty flag with the identical summation expression, so
+    the cached value is bit-equal to a from-scratch recomputation.
     """
+
+    __slots__ = (
+        "_counts",
+        "_type_totals",
+        "_total_entries",
+        "_pollution_value",
+        "_pollution_o",
+        "_pollution_default",
+        "_pollution_dirty",
+        "on_birth",
+        "on_death",
+    )
 
     def __init__(self) -> None:
         self._counts: Dict[TagKey, int] = {}
         self._type_totals: Dict[str, int] = {}
+        self._total_entries = 0
+        # weighted-pollution cache for non-unit weight maps, keyed on the
+        # identity of the weight mapping (params.o is one long-lived dict)
+        self._pollution_value: float = 0.0
+        self._pollution_o: "Mapping[str, float] | None" = None
+        self._pollution_default = 1.0
+        self._pollution_dirty = True
         self.on_birth: "Callable[[Tag], None] | None" = None
         self.on_death: "Callable[[Tag], None] | None" = None
 
     def increment(self, tag: Tag) -> None:
         """One more location now holds ``tag``."""
-        previous = self._counts.get(tag.key, 0)
-        self._counts[tag.key] = previous + 1
-        self._type_totals[tag.type] = self._type_totals.get(tag.type, 0) + 1
+        key = (tag.type, tag.index)
+        counts = self._counts
+        previous = counts.get(key, 0)
+        counts[key] = previous + 1
+        type_totals = self._type_totals
+        type_totals[tag.type] = type_totals.get(tag.type, 0) + 1
+        self._total_entries += 1
+        self._pollution_dirty = True
         if previous == 0 and self.on_birth is not None:
             self.on_birth(tag)
 
     def decrement(self, tag: Tag) -> None:
         """One fewer location holds ``tag``."""
-        current = self._counts.get(tag.key, 0)
+        key = (tag.type, tag.index)
+        counts = self._counts
+        current = counts.get(key, 0)
         if current <= 0:
             raise ValueError(f"decrement below zero for tag {tag}")
         if current == 1:
-            del self._counts[tag.key]
+            del counts[key]
         else:
-            self._counts[tag.key] = current - 1
-        self._type_totals[tag.type] -= 1
-        if self._type_totals[tag.type] == 0:
-            del self._type_totals[tag.type]
+            counts[key] = current - 1
+        type_totals = self._type_totals
+        type_totals[tag.type] -= 1
+        if type_totals[tag.type] == 0:
+            del type_totals[tag.type]
+        self._total_entries -= 1
+        self._pollution_dirty = True
         if current == 1 and self.on_death is not None:
             self.on_death(tag)
 
     def copies(self, tag: Tag) -> int:
         """``n[t,i]`` for this tag (0 if nowhere)."""
-        return self._counts.get(tag.key, 0)
+        return self._counts.get((tag.type, tag.index), 0)
 
     def copies_by_key(self, key: TagKey) -> int:
         return self._counts.get(key, 0)
 
     def total_entries(self) -> int:
         """Unweighted pollution: total provenance-list entries in use."""
-        return sum(self._type_totals.values())
+        return self._total_entries
 
     def type_total(self, tag_type: str) -> int:
         """Total entries across all tags of one type."""
@@ -73,11 +109,35 @@ class TagCopyCounter:
     def weighted_pollution(
         self, o: Mapping[str, float], default_weight: float = 1.0
     ) -> float:
-        """``sum_t o_t sum_i n[t,i]`` -- the Eq. 8 global signal."""
-        return sum(
-            o.get(tag_type, default_weight) * total
-            for tag_type, total in self._type_totals.items()
-        )
+        """``sum_t o_t sum_i n[t,i]`` -- the Eq. 8 global signal.
+
+        O(1) for the common cases (empty counter; unit weights); O(#types)
+        only when a non-unit weight map changed since the last call.
+        """
+        type_totals = self._type_totals
+        if not type_totals:
+            # sum() over an empty dict is int 0; preserved exactly so JSON
+            # serializations of the pollution signal stay byte-identical
+            return 0
+        if not o and default_weight == 1.0:
+            # unit weights: the weighted sum IS the entry total, and
+            # float(int) is exact for every reachable magnitude
+            return float(self._total_entries)
+        if (
+            self._pollution_dirty
+            or o is not self._pollution_o
+            or default_weight != self._pollution_default
+        ):
+            # identical expression to the historical scan, so the cached
+            # value is bit-equal to recomputing from scratch
+            self._pollution_value = sum(
+                o.get(tag_type, default_weight) * total
+                for tag_type, total in type_totals.items()
+            )
+            self._pollution_o = o
+            self._pollution_default = default_weight
+            self._pollution_dirty = False
+        return self._pollution_value
 
     def snapshot(self) -> Dict[TagKey, int]:
         """Copy of the full copy-count vector (for solvers/metrics)."""

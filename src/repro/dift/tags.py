@@ -36,7 +36,7 @@ class TagTypes:
     STANDARD = (NETFLOW, FILE, PROCESS, SYSTEM, EXPORT_TABLE)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Tag:
     """A concrete tag with unique ID ``{type, index}``."""
 

@@ -88,6 +88,22 @@ class DIFTTracker:
             if degrade_at is not None
             else None
         )
+        # per-kind handler table: one dict lookup replaces the enum
+        # property chain on every event (handlers are bound methods, so
+        # reset() swapping shadow/counter/stats needs no rebuild)
+        direct = (
+            self._apply_via_policy
+            if direct_via_policy
+            else self._apply_direct
+        )
+        self._dispatch = {
+            FlowKind.INSERT: self._apply_insert,
+            FlowKind.CLEAR: self._apply_clear,
+            FlowKind.COPY: direct,
+            FlowKind.COMPUTE: direct,
+            FlowKind.ADDRESS_DEP: self._apply_via_policy,
+            FlowKind.CONTROL_DEP: self._apply_via_policy,
+        }
         self._bind_policy_pollution()
 
     def _bind_policy_pollution(self) -> None:
@@ -120,26 +136,22 @@ class DIFTTracker:
         # tracer is None on the un-instrumented path: one attribute check.
         tracer = self.tracer
         started = time.perf_counter_ns() if tracer is not None else 0
-        self.stats.ticks = max(self.stats.ticks, event.tick + 1)
-        if event.context:
-            self.stats.note_context(event.context)
-        kind = event.kind
-        if kind is FlowKind.INSERT:
-            self._apply_insert(event)
-        elif kind is FlowKind.CLEAR:
-            self._apply_clear(event)
-        elif kind.is_direct and not self.direct_via_policy:
-            self._apply_direct(event)
-        else:
-            self._apply_via_policy(event)
-        if self.detector is not None:
-            alert = self.detector.check(self.shadow, event.destination, event.tick)
+        stats = self.stats
+        tick = event.tick
+        if tick >= stats.ticks:
+            stats.ticks = tick + 1
+        context = event.context
+        if context:
+            by_context = stats.by_context
+            by_context[context] = by_context.get(context, 0) + 1
+        self._dispatch[event.kind](event)
+        detector = self.detector
+        if detector is not None:
+            alert = detector.check(self.shadow, event.destination, tick)
             if alert is not None:
-                self.stats.alerts += 1
-        if (
-            self._degrade_limit is not None
-            and self.counter.total_entries() > self._degrade_limit
-        ):
+                stats.alerts += 1
+        limit = self._degrade_limit
+        if limit is not None and self.counter._total_entries > limit:
             self._degrade(event)
         if tracer is not None:
             tracer.end("tracker.process", started)
@@ -166,61 +178,93 @@ class DIFTTracker:
         self.stats.propagation_ops += len(dropped)
 
     def _apply_direct(self, event: FlowEvent) -> None:
+        shadow = self.shadow
+        stats = self.stats
         if event.kind is FlowKind.COPY:
-            source_tags = self.shadow.tags_at(event.sources[0])
-            added, dropped = self.shadow.replace_tags(
-                event.destination, source_tags
+            source_list = shadow._lists.get(event.sources[0])
+            added, dropped = shadow.replace_tags(
+                event.destination,
+                tuple(source_list._tags) if source_list is not None else (),
             )
-            self.stats.dfp_copy += 1
+            stats.dfp_copy += 1
         else:  # COMPUTE
-            added, dropped = self.shadow.union_into(
+            added, dropped = shadow.union_into(
                 event.sources, event.destination
             )
-            self.stats.dfp_compute += 1
-        self.stats.propagation_ops += added + dropped
-        self.stats.drops += dropped
+            stats.dfp_compute += 1
+        stats.propagation_ops += added + dropped
+        stats.drops += dropped
 
     def _candidates_for(self, event: FlowEvent) -> List[TagCandidate]:
         """Unique source tags not already present at the destination."""
-        present = set(self.shadow.tags_at(event.destination))
-        seen = set()
+        lists = self.shadow._lists
+        dest_list = lists.get(event.destination)
+        present = dest_list._tags if dest_list is not None else ()
         candidates: List[TagCandidate] = []
-        for source in event.sources:
-            for tag in self.shadow.tags_at(source):
+        copies_of = self.counter._counts.get
+        sources = event.sources
+        if len(sources) == 1:
+            # single source: its list is already duplicate-free
+            source_list = lists.get(sources[0])
+            if source_list is not None:
+                for tag in source_list._tags:
+                    if tag not in present:
+                        candidates.append(
+                            TagCandidate(
+                                tag,
+                                tag.type,
+                                copies_of((tag.type, tag.index), 0),
+                            )
+                        )
+            return candidates
+        seen = set()
+        for source in sources:
+            source_list = lists.get(source)
+            if source_list is None:
+                continue
+            for tag in source_list._tags:
                 if tag in present or tag in seen:
                     continue
                 seen.add(tag)
                 candidates.append(
                     TagCandidate(
-                        key=tag, tag_type=tag.type, copies=self.counter.copies(tag)
+                        tag, tag.type, copies_of((tag.type, tag.index), 0)
                     )
                 )
         return candidates
 
     def _apply_via_policy(self, event: FlowEvent) -> None:
-        if event.kind is FlowKind.ADDRESS_DEP:
-            self.stats.ifp_address += 1
-        elif event.kind is FlowKind.CONTROL_DEP:
-            self.stats.ifp_control += 1
-        elif event.kind is FlowKind.COPY:
-            self.stats.dfp_copy += 1
+        stats = self.stats
+        kind = event.kind
+        if kind is FlowKind.ADDRESS_DEP:
+            stats.ifp_address += 1
+            indirect = True
+        elif kind is FlowKind.CONTROL_DEP:
+            stats.ifp_control += 1
+            indirect = True
+        elif kind is FlowKind.COPY:
+            stats.dfp_copy += 1
+            indirect = False
         else:
-            self.stats.dfp_compute += 1
+            stats.dfp_compute += 1
+            indirect = False
         candidates = self._candidates_for(event)
-        if event.kind.is_indirect:
-            self.stats.ifp_candidates += len(candidates)
+        if indirect:
+            stats.ifp_candidates += len(candidates)
         if not candidates:
             return
-        if not self.policy.handles(event.kind.value):
+        observer = self.ifp_observer
+        if not self.policy.handles(kind.value):
             # hard-wired per-dependency-class block (Minos-style)
-            if event.kind.is_indirect:
-                self.stats.ifp_blocked += len(candidates)
-            if self.ifp_observer is not None:
-                self.ifp_observer(
-                    event, candidates, None, [], self.pollution()
-                )
+            if indirect:
+                stats.ifp_blocked += len(candidates)
+            if observer is not None:
+                observer(event, candidates, None, [], self.pollution())
             return
-        pollution_now = self.pollution()
+        # the pollution signal is only read by observers here (the policy
+        # pulls its own live estimate); measure it pre-propagation, and
+        # only when someone is listening
+        pollution_now = self.pollution() if observer is not None else 0.0
         free = self.shadow.free_slots(event.destination)
         tracer = self.tracer
         if tracer is not None:
@@ -230,18 +274,20 @@ class DIFTTracker:
         else:
             selected, details = self.policy.select_with_details(candidates, free)
         chosen_tags: List[Tag] = [c.key for c in selected]  # type: ignore[misc]
+        add_tag = self.shadow.add_tag
+        destination = event.destination
         for tag in chosen_tags:
-            outcome = self.shadow.add_tag(event.destination, tag)
+            outcome = add_tag(destination, tag)
             if outcome.added:
-                self.stats.propagation_ops += 1
+                stats.propagation_ops += 1
             if outcome.dropped is not None:
-                self.stats.drops += 1
-                self.stats.propagation_ops += 1
-        if event.kind.is_indirect:
-            self.stats.ifp_propagated += len(chosen_tags)
-            self.stats.ifp_blocked += len(candidates) - len(chosen_tags)
-        if self.ifp_observer is not None:
-            self.ifp_observer(event, candidates, details, chosen_tags, pollution_now)
+                stats.drops += 1
+                stats.propagation_ops += 1
+        if indirect:
+            stats.ifp_propagated += len(chosen_tags)
+            stats.ifp_blocked += len(candidates) - len(chosen_tags)
+        if observer is not None:
+            observer(event, candidates, details, chosen_tags, pollution_now)
 
     # -- graceful degradation (pollution near N_R) -------------------------
 

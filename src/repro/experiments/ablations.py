@@ -27,6 +27,7 @@ from repro.dift.provenance import SchedulingPolicy
 from repro.distributed.cluster import run_sharded
 from repro.experiments.common import experiment_params, network_recording
 from repro.faros import FarosSystem, mitos_config
+from repro.parallel import Job, run_jobs
 
 
 # -- 1. provenance-list scheduling -------------------------------------------
@@ -339,13 +340,24 @@ class AblationsResult:
     stack_pointer: List[StackPointerRow] = field(default_factory=list)
 
 
-def run(quick: bool = False, seed: int = 0) -> AblationsResult:
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> AblationsResult:
+    # the five sub-ablations are independent; each is one job
+    sub_runs = (
+        run_scheduling,
+        run_greedy_gap,
+        run_gradient_rule,
+        run_staleness,
+        run_stack_pointer,
+    )
+    results = run_jobs(
+        [Job(fn, (quick, seed)) for fn in sub_runs], workers=jobs
+    )
     return AblationsResult(
-        scheduling=run_scheduling(quick=quick, seed=seed),
-        greedy_gap=run_greedy_gap(quick=quick, seed=seed),
-        gradient_rule=run_gradient_rule(quick=quick, seed=seed),
-        staleness=run_staleness(quick=quick, seed=seed),
-        stack_pointer=run_stack_pointer(quick=quick, seed=seed),
+        scheduling=results[0],
+        greedy_gap=results[1],
+        gradient_rule=results[2],
+        staleness=results[3],
+        stack_pointer=results[4],
     )
 
 

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Any, Callable, Iterable, List
 
 from repro.core.params import MitosParams
 from repro.faros import FarosConfig, FarosSystem
+from repro.parallel import Job, run_jobs
 from repro.replay.record import Recording
 from repro.workloads.calibration import benchmark_params
 from repro.workloads.network import NetworkBenchmark
@@ -55,3 +57,23 @@ def replay_config(config: FarosConfig, recording: Recording) -> FarosSystem:
     system = FarosSystem(config)
     system.replay(recording)
     return system
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    points: Iterable[Any],
+    jobs: int = 1,
+    *common_args: Any,
+) -> List[Any]:
+    """Run ``fn(point, *common_args)`` for every sweep point, in order.
+
+    The shared fan-out shape of every experiment: one pure job per
+    parameter point, results returned in point order regardless of
+    ``jobs`` (see :mod:`repro.parallel`), so ``jobs=N`` changes only the
+    wall clock.  ``fn`` must be a module-level function and every argument
+    picklable -- each worker rebuilds its recordings from seeds via the
+    cached constructors above.
+    """
+    return run_jobs(
+        [Job(fn, (point, *common_args)) for point in points], workers=jobs
+    )

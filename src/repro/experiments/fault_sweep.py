@@ -19,6 +19,7 @@ smoothly with the fault rate, not collapse at the first injected fault.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.analysis.reporting import format_table
@@ -26,6 +27,7 @@ from repro.distributed.cluster import run_sharded
 from repro.experiments.common import experiment_params, network_recording
 from repro.faros import FarosSystem, mitos_config
 from repro.faults import FaultConfig, FaultInjector, Resilience
+from repro.parallel import Job, run_jobs
 from repro.replay.record import Recording
 from repro.replay.supervisor import PluginSupervisor
 from repro.workloads.attack import InMemoryAttack
@@ -52,6 +54,7 @@ class FaultSweepResult:
     rows: List[FaultSweepRow]
 
 
+@lru_cache(maxsize=4)
 def _attack_recording(seed: int, quick: bool) -> Recording:
     kwargs = (
         dict(payload_bytes=96, imports=12, noise_bytes=192, noise_rounds=4)
@@ -80,51 +83,65 @@ def _detection_run(
     return detected, injector, supervisor
 
 
-def run(quick: bool = False, seed: int = 0) -> FaultSweepResult:
+def _baseline_job(seed: int, quick: bool) -> int:
+    """Fault-free detected bytes (the recall denominator)."""
+    attack = _attack_recording(seed, quick)
+    detected, _, _ = _detection_run(attack, 0.0, seed, quick)
+    return detected
+
+
+def _rate_job(rate: float, seed: int, quick: bool) -> FaultSweepRow:
+    """One fault-rate point; ``detection_recall`` is filled in by the
+    parent once the baseline job's result is known."""
+    attack = _attack_recording(seed, quick)
+    network = network_recording(seed=seed, quick=quick)
+    params = experiment_params(quick=quick)
+    detected, injector, supervisor = _detection_run(
+        attack, rate, seed, quick
+    )
+    cluster_injector = (
+        FaultInjector(FaultConfig.uniform(rate, seed=seed))
+        if rate > 0.0
+        else None
+    )
+    cluster = run_sharded(
+        network,
+        params,
+        n_nodes=4,
+        gossip_interval=50,
+        seed=seed,
+        gossip_retries=1,
+        injector=cluster_injector,
+    )
+    return FaultSweepRow(
+        fault_rate=rate,
+        detected_bytes=detected,
+        detection_recall=0.0,
+        oracle_agreement=cluster.oracle_agreement,
+        faults_injected=injector.stats.total,
+        recoveries=supervisor.stats.recoveries,
+        skipped_events=supervisor.stats.skipped_events,
+        messages_lost=cluster.messages_lost,
+        node_restarts=cluster.node_restarts,
+    )
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> FaultSweepResult:
     rates = (
         (0.0, 0.05, 0.2)
         if quick
         else (0.0, 0.02, 0.05, 0.1, 0.2, 0.4)
     )
-    attack = _attack_recording(seed, quick)
-    network = network_recording(seed=seed, quick=quick)
-    params = experiment_params(quick=quick)
-    baseline_detected, _, _ = _detection_run(attack, 0.0, seed, quick)
-
-    rows: List[FaultSweepRow] = []
-    for rate in rates:
-        detected, injector, supervisor = _detection_run(
-            attack, rate, seed, quick
-        )
-        recall = (
-            detected / baseline_detected if baseline_detected else 1.0
-        )
-        cluster_injector = (
-            FaultInjector(FaultConfig.uniform(rate, seed=seed))
-            if rate > 0.0
-            else None
-        )
-        cluster = run_sharded(
-            network,
-            params,
-            n_nodes=4,
-            gossip_interval=50,
-            seed=seed,
-            gossip_retries=1,
-            injector=cluster_injector,
-        )
-        rows.append(
-            FaultSweepRow(
-                fault_rate=rate,
-                detected_bytes=detected,
-                detection_recall=recall,
-                oracle_agreement=cluster.oracle_agreement,
-                faults_injected=injector.stats.total,
-                recoveries=supervisor.stats.recoveries,
-                skipped_events=supervisor.stats.skipped_events,
-                messages_lost=cluster.messages_lost,
-                node_restarts=cluster.node_restarts,
-            )
+    results = run_jobs(
+        [Job(_baseline_job, (seed, quick))]
+        + [Job(_rate_job, (rate, seed, quick)) for rate in rates],
+        workers=jobs,
+    )
+    baseline_detected: int = results[0]
+    rows: List[FaultSweepRow] = results[1:]
+    for row in rows:
+        row.detection_recall = (
+            row.detected_bytes / baseline_detected if baseline_detected else 1.0
         )
     return FaultSweepResult(baseline_detected=baseline_detected, rows=rows)
 

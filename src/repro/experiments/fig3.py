@@ -42,8 +42,12 @@ class Fig3Result:
         return all(a <= b for a, b in zip(series, series[1:]))
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig3Result:
-    """Regenerate both panels (``quick`` shrinks the grids)."""
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> Fig3Result:
+    """Regenerate both panels (``quick`` shrinks the grids).
+
+    ``jobs`` is accepted for CLI uniformity but unused: both panels are
+    analytic series, cheaper than any fan-out.
+    """
     points = 20 if quick else 100
     copies_grid = [1.0 + i for i in range(points)]
     fraction_grid = [i / points for i in range(points + 1)]

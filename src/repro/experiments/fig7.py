@@ -23,6 +23,7 @@ from repro.experiments.common import (
     experiment_params,
     network_recording,
     replay_config,
+    run_sweep,
 )
 from repro.faros import mitos_config
 
@@ -60,25 +61,30 @@ class Fig7Result:
         return all(a >= b for a, b in zip(ordered, ordered[1:]))
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig7Result:
-    """Replay the recording once per tau with the timeline attached."""
+def _tau_job(tau: float, seed: int, quick: bool) -> Fig7TauRun:
+    """One replay at one tau (pure function of its arguments)."""
     recording = network_recording(seed=seed, quick=quick)
+    params = experiment_params(quick=quick, tau=tau)
+    system = replay_config(
+        mitos_config(params, log_timeline=True), recording
+    )
+    timeline: DecisionTimeline = system.timeline  # type: ignore[assignment]
+    return Fig7TauRun(
+        tau=tau,
+        decisions=len(timeline),
+        propagated=timeline.propagated_count,
+        blocked=timeline.blocked_count,
+        propagation_rate=timeline.propagation_rate,
+        marginal_series=timeline.marginal_series(),
+        decision_series=timeline.decision_series(),
+    )
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> Fig7Result:
+    """Replay the recording once per tau with the timeline attached."""
     result = Fig7Result()
-    for tau in FIG7_TAUS:
-        params = experiment_params(quick=quick, tau=tau)
-        system = replay_config(
-            mitos_config(params, log_timeline=True), recording
-        )
-        timeline: DecisionTimeline = system.timeline  # type: ignore[assignment]
-        result.runs[tau] = Fig7TauRun(
-            tau=tau,
-            decisions=len(timeline),
-            propagated=timeline.propagated_count,
-            blocked=timeline.blocked_count,
-            propagation_rate=timeline.propagation_rate,
-            marginal_series=timeline.marginal_series(),
-            decision_series=timeline.decision_series(),
-        )
+    for run_ in run_sweep(_tau_job, FIG7_TAUS, jobs, seed, quick):
+        result.runs[run_.tau] = run_
     return result
 
 

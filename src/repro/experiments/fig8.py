@@ -25,6 +25,7 @@ from repro.experiments.common import (
     experiment_params,
     network_recording,
     replay_config,
+    run_sweep,
 )
 from repro.faros import mitos_config
 
@@ -63,22 +64,27 @@ class Fig8Result:
         return self.runs[alphas[-1]].mse <= self.runs[alphas[0]].mse
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig8Result:
+def _alpha_job(alpha: float, seed: int, quick: bool) -> Fig8Run:
+    """One replay at one alpha (pure function of its arguments)."""
     recording = network_recording(seed=seed, quick=quick)
+    params = experiment_params(quick=quick, alpha=alpha)
+    system = replay_config(mitos_config(params), recording)
+    copy_counts = sorted(system.tracker.counter.snapshot().values())
+    stats = system.tracker.stats
+    return Fig8Run(
+        alpha=alpha,
+        copy_counts=copy_counts,
+        mse=copy_count_mse(copy_counts),
+        jain=jain_index(copy_counts),
+        entropy=normalized_entropy(copy_counts),
+        propagation_rate=stats.ifp_propagation_rate,
+    )
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> Fig8Result:
     result = Fig8Result()
-    for alpha in FIG8_ALPHAS:
-        params = experiment_params(quick=quick, alpha=alpha)
-        system = replay_config(mitos_config(params), recording)
-        copy_counts = sorted(system.tracker.counter.snapshot().values())
-        stats = system.tracker.stats
-        result.runs[alpha] = Fig8Run(
-            alpha=alpha,
-            copy_counts=copy_counts,
-            mse=copy_count_mse(copy_counts),
-            jain=jain_index(copy_counts),
-            entropy=normalized_entropy(copy_counts),
-            propagation_rate=stats.ifp_propagation_rate,
-        )
+    for run_ in run_sweep(_alpha_job, FIG8_ALPHAS, jobs, seed, quick):
+        result.runs[run_.alpha] = run_
     return result
 
 

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     experiment_params,
     network_recording,
     replay_config,
+    run_sweep,
 )
 from repro.faros import mitos_config
 
@@ -65,29 +66,34 @@ class Fig9Result:
         )
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig9Result:
+def _weight_job(weight: float, seed: int, quick: bool) -> Fig9Run:
+    """One replay at one u_netflow (pure function of its arguments)."""
     recording = network_recording(seed=seed, quick=quick)
+    params = experiment_params(quick=quick, u={TagTypes.NETFLOW: weight})
+    system = replay_config(mitos_config(params, log_timeline=True), recording)
+    counter = system.tracker.counter
+    per_type = {
+        tag_type: counter.type_total(tag_type)
+        for tag_type in (TagTypes.NETFLOW, TagTypes.FILE)
+    }
+    timeline = system.timeline
+    rate_by_type = (
+        timeline.rate_by_type() if timeline is not None else {}
+    )
+    return Fig9Run(
+        u_netflow=weight,
+        netflow_entries=per_type[TagTypes.NETFLOW],
+        other_entries={
+            k: v for k, v in per_type.items() if k != TagTypes.NETFLOW
+        },
+        netflow_ifp_rate=rate_by_type.get(TagTypes.NETFLOW, 0.0),
+    )
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> Fig9Result:
     result = Fig9Result()
-    for weight in FIG9_WEIGHTS:
-        params = experiment_params(quick=quick, u={TagTypes.NETFLOW: weight})
-        system = replay_config(mitos_config(params, log_timeline=True), recording)
-        counter = system.tracker.counter
-        per_type = {
-            tag_type: counter.type_total(tag_type)
-            for tag_type in (TagTypes.NETFLOW, TagTypes.FILE)
-        }
-        timeline = system.timeline
-        rate_by_type = (
-            timeline.rate_by_type() if timeline is not None else {}
-        )
-        result.runs[weight] = Fig9Run(
-            u_netflow=weight,
-            netflow_entries=per_type[TagTypes.NETFLOW],
-            other_entries={
-                k: v for k, v in per_type.items() if k != TagTypes.NETFLOW
-            },
-            netflow_ifp_rate=rate_by_type.get(TagTypes.NETFLOW, 0.0),
-        )
+    for run_ in run_sweep(_weight_job, FIG9_WEIGHTS, jobs, seed, quick):
+        result.runs[run_.u_netflow] = run_
     return result
 
 

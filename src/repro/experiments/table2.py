@@ -26,7 +26,7 @@ from typing import Dict, List
 
 from repro.analysis.reporting import format_table
 from repro.faros import FarosSystem, mitos_config, stock_faros_config
-from repro.experiments.common import experiment_params
+from repro.experiments.common import experiment_params, run_sweep
 from repro.workloads.attack import ATTACK_VARIANTS, InMemoryAttack
 
 #: the paper's Table II numbers, for side-by-side reporting
@@ -91,38 +91,62 @@ def _attack_kwargs(quick: bool) -> dict:
     return {}
 
 
-def run(quick: bool = False, seed: int = 0) -> Table2Result:
+def _experiment_params(quick: bool):
     # quick mode shrinks the attack, so the decision boundary is anchored
     # between the quick payload copy count (~250) and the quick noise
     # saturation (~1000)
-    params = (
-        experiment_params(
+    if quick:
+        return experiment_params(
             quick=True, crossover_copies=400.0, pollution_fraction=0.003
         )
-        if quick
-        else experiment_params(tau=1.0)
-    )
+    return experiment_params(tau=1.0)
+
+
+def _variant_job(
+    variant: str, seed: int, quick: bool
+) -> Dict[str, Dict[str, float]]:
+    """Record one shell variant and replay it under both systems.
+
+    Both replays ride in one job because the recording -- the expensive
+    shared input -- is rebuilt once per job.
+    """
+    params = _experiment_params(quick)
     configs = {
-        "faros": lambda: stock_faros_config(params),
-        "mitos": lambda: mitos_config(params, all_flows=True),
+        "faros": stock_faros_config(params),
+        "mitos": mitos_config(params, all_flows=True),
     }
+    recording = InMemoryAttack(
+        variant=variant, seed=seed, **_attack_kwargs(quick)
+    ).record()
+    measured: Dict[str, Dict[str, float]] = {}
+    for label, config in configs.items():
+        system = FarosSystem(config)
+        run_metrics = system.replay(recording).metrics
+        measured[label] = {
+            "wall": run_metrics.wall_seconds,
+            "ops": run_metrics.propagation_ops,
+            "bytes": run_metrics.footprint_bytes,
+            "detected": run_metrics.detected_bytes,
+        }
+    return measured
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> Table2Result:
+    labels = ("faros", "mitos")
     sums = {
         label: {"wall": 0.0, "ops": 0.0, "bytes": 0.0, "detected": 0.0}
-        for label in configs
+        for label in labels
     }
-    per_variant: Dict[str, Dict[str, int]] = {label: {} for label in configs}
-    for variant in ATTACK_VARIANTS:
-        recording = InMemoryAttack(
-            variant=variant, seed=seed, **_attack_kwargs(quick)
-        ).record()
-        for label, make_config in configs.items():
-            system = FarosSystem(make_config())
-            run_metrics = system.replay(recording).metrics
-            sums[label]["wall"] += run_metrics.wall_seconds
-            sums[label]["ops"] += run_metrics.propagation_ops
-            sums[label]["bytes"] += run_metrics.footprint_bytes
-            sums[label]["detected"] += run_metrics.detected_bytes
-            per_variant[label][variant] = run_metrics.detected_bytes
+    per_variant: Dict[str, Dict[str, int]] = {label: {} for label in labels}
+    measurements = run_sweep(_variant_job, ATTACK_VARIANTS, jobs, seed, quick)
+    for variant, measured in zip(ATTACK_VARIANTS, measurements):
+        for label in labels:
+            values = measured[label]
+            sums[label]["wall"] += values["wall"]
+            sums[label]["ops"] += values["ops"]
+            sums[label]["bytes"] += values["bytes"]
+            sums[label]["detected"] += values["detected"]
+            per_variant[label][variant] = int(values["detected"])
     n = len(ATTACK_VARIANTS)
     rows = {
         label: Table2Row(

@@ -11,10 +11,11 @@ monotonically increasing as tau drops -- holds on each.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from functools import lru_cache
+from typing import Dict, List, Tuple
 
 from repro.analysis.reporting import format_table
-from repro.experiments.common import experiment_params
+from repro.experiments.common import experiment_params, run_sweep
 from repro.faros import FarosSystem, mitos_config
 from repro.replay.record import Recording
 from repro.workloads.cpu import CpuBenchmark
@@ -27,6 +28,7 @@ TAUS = (1.0, 1e-1, 1e-2)
 WORKLOAD_NAMES = ("network", "cpu", "filesystem")
 
 
+@lru_cache(maxsize=8)
 def _record(name: str, seed: int, quick: bool) -> Recording:
     if name == "network":
         if quick:
@@ -75,19 +77,31 @@ class SensitivityResult:
         return all(sweep.monotone_in_tau() for sweep in self.sweeps.values())
 
 
-def run(quick: bool = False, seed: int = 0) -> SensitivityResult:
+def _point_job(
+    point: Tuple[str, float], seed: int, quick: bool
+) -> Tuple[str, float, float, int]:
+    """One (workload, tau) replay; the recording is rebuilt (cached)
+    deterministically from the seed inside whichever process runs this."""
+    name, tau = point
+    recording = _record(name, seed, quick)
+    params = experiment_params(quick=quick, tau=tau)
+    system = FarosSystem(mitos_config(params))
+    system.replay(recording)
+    stats = system.tracker.stats
+    return name, tau, stats.ifp_propagation_rate, stats.ifp_candidates
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> SensitivityResult:
+    points = [(name, tau) for name in WORKLOAD_NAMES for tau in TAUS]
     result = SensitivityResult()
-    for name in WORKLOAD_NAMES:
-        recording = _record(name, seed, quick)
-        sweep = WorkloadSweep(workload=name)
-        for tau in TAUS:
-            params = experiment_params(quick=quick, tau=tau)
-            system = FarosSystem(mitos_config(params))
-            system.replay(recording)
-            stats = system.tracker.stats
-            sweep.rates[tau] = stats.ifp_propagation_rate
-            sweep.decisions[tau] = stats.ifp_candidates
-        result.sweeps[name] = sweep
+    for name, tau, rate, decisions in run_sweep(
+        _point_job, points, jobs, seed, quick
+    ):
+        sweep = result.sweeps.get(name)
+        if sweep is None:
+            sweep = result.sweeps[name] = WorkloadSweep(workload=name)
+        sweep.rates[tau] = rate
+        sweep.decisions[tau] = decisions
     return result
 
 

@@ -43,6 +43,18 @@ def is_dfp_or_ifp(event: FlowEvent) -> bool:
     return event.kind.is_direct or event.kind.is_indirect
 
 
+#: Fig. 6 stage bucket per flow kind; a kind missing here (a future
+#: enum member) lands in "other", never silently in "clear".
+_STAGE_KEYS = {
+    FlowKind.COPY: "is_dfp",
+    FlowKind.COMPUTE: "is_dfp",
+    FlowKind.ADDRESS_DEP: "is_ifp",
+    FlowKind.CONTROL_DEP: "is_ifp",
+    FlowKind.INSERT: "insert",
+    FlowKind.CLEAR: "clear",
+}
+
+
 class FarosPipeline(Plugin):
     """Replayer plugin wiring the Fig. 6 stages to a DIFT tracker.
 
@@ -90,19 +102,12 @@ class FarosPipeline(Plugin):
         tracer = self._tracer
         started = time.perf_counter_ns() if tracer is not None else 0
         kind = event.kind
-        # hot kinds first (direct flows dominate real traces); the final
-        # branches stay explicit so a future kind lands in "other", not
-        # silently in "clear"
-        if kind.is_direct:
-            self.stage_counts["is_dfp"] += 1
-        elif kind.is_indirect:
-            self.stage_counts["is_ifp"] += 1
-        elif kind is FlowKind.INSERT:
-            self.stage_counts["insert"] += 1
-        elif kind is FlowKind.CLEAR:
-            self.stage_counts["clear"] += 1
-        else:
-            self.stage_counts["other"] = self.stage_counts.get("other", 0) + 1
+        counts = self.stage_counts
+        try:
+            key = _STAGE_KEYS.get(kind, "other")
+        except TypeError:  # unhashable stand-in for an unknown kind
+            key = "other"
+        counts[key] = counts.get(key, 0) + 1
         if self._event_counters is not None:
             counter = self._event_counters.get(kind)
             if counter is not None:

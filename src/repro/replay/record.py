@@ -106,8 +106,17 @@ def event_to_dict(event: FlowEvent) -> Dict[str, object]:
     return payload
 
 
-def event_from_dict(payload: Dict[str, object]) -> FlowEvent:
-    """Inverse of :func:`event_to_dict`; raises :class:`RecordError`."""
+def event_from_dict(
+    payload: Dict[str, object],
+    interner: Optional[Dict[object, Tag]] = None,
+) -> FlowEvent:
+    """Inverse of :func:`event_to_dict`; raises :class:`RecordError`.
+
+    ``interner`` (keyed by ``(type, index)``) deduplicates decoded tags so
+    every occurrence of one tag across a recording is the *same* object --
+    provenance-list membership tests then hit the identity fast path of
+    ``list.__contains__`` instead of comparing fields.
+    """
     try:
         kind = FlowKind(payload["kind"])
         destination = _decode_structure(payload["dest"])
@@ -115,11 +124,17 @@ def event_from_dict(payload: Dict[str, object]) -> FlowEvent:
             _decode_structure(s) for s in payload.get("sources", [])
         )
         tag_payload = payload.get("tag")
-        tag = (
-            Tag(str(tag_payload[0]), int(tag_payload[1]))  # type: ignore[index]
-            if tag_payload is not None
-            else None
-        )
+        if tag_payload is None:
+            tag = None
+        else:
+            key = (str(tag_payload[0]), int(tag_payload[1]))  # type: ignore[index]
+            if interner is None:
+                tag = Tag(key[0], key[1])
+            else:
+                tag = interner.get(key)
+                if tag is None:
+                    tag = Tag(key[0], key[1])
+                    interner[key] = tag
         return FlowEvent(
             kind=kind,
             destination=destination,  # type: ignore[arg-type]
@@ -200,6 +215,7 @@ class Recording:
                 f"line {header_number}: recording header missing 'meta'"
             )
         recording = cls(meta=_decode_structure(header["meta"]))  # type: ignore[arg-type]
+        interner: Dict[object, Tag] = {}
         for number, line in lines[1:]:
             try:
                 payload = json.loads(line)
@@ -211,7 +227,9 @@ class Recording:
                 ) from exc
             try:
                 recording.append(
-                    event_from_dict(validate_event_payload(payload))
+                    event_from_dict(
+                        validate_event_payload(payload), interner=interner
+                    )
                 )
             except RecordingError as exc:
                 raise RecordingError(f"line {number}: {exc}") from exc

@@ -132,9 +132,7 @@ class Replayer:
             return self._replay_fast(recording, limit)
         tracer = self.tracer
         started = time.perf_counter()
-        loop_start = time.perf_counter_ns() if tracer is not None else 0
-        for plugin in self.plugins:
-            plugin.on_begin(recording)
+        loop_start = self._begin(recording)
         processed = 0
         for index, event in enumerate(recording):
             if index < start_index:
@@ -154,41 +152,64 @@ class Replayer:
             if tracer is not None:
                 tracer.end("replay.on_event", event_start)
             processed += 1
-        for plugin in self.plugins:
-            plugin.on_end()
-        if tracer is not None:
-            tracer.end("replay.loop", loop_start)
-        elapsed = time.perf_counter() - started
-        return ReplayResult(
-            events_processed=processed,
-            duration_seconds=elapsed,
-            meta=dict(recording.meta),
-        )
+        return self._finish(recording, processed, started, loop_start)
 
     def _replay_fast(
         self, recording: Recording, limit: Optional[int]
     ) -> ReplayResult:
-        """The original unsupervised loop, kept verbatim: this is the
-        disabled path whose overhead the benchmarks gate at <5%."""
+        """The unsupervised from-zero loop: this is the disabled path whose
+        overhead the benchmarks gate at <5% of the seed replica.
+
+        The dominant configuration -- one plugin, no tracer, no limit --
+        runs a dedicated loop with the plugin's ``on_event`` hoisted to a
+        local, so each event costs one call plus the iteration itself.
+        """
         tracer = self.tracer
+        plugins = self.plugins
         started = time.perf_counter()
-        loop_start = time.perf_counter_ns() if tracer is not None else 0
-        for plugin in self.plugins:
-            plugin.on_begin(recording)
+        loop_start = self._begin(recording)
+        if tracer is None and limit is None and len(plugins) == 1:
+            on_event = plugins[0].on_event
+            for event in recording:
+                on_event(event)
+            return self._finish(
+                recording, len(recording), started, loop_start
+            )
         processed = 0
         for event in recording:
             if limit is not None and processed >= limit:
                 break
             event_start = time.perf_counter_ns() if tracer is not None else 0
-            for plugin in self.plugins:
+            for plugin in plugins:
                 plugin.on_event(event)
             if tracer is not None:
                 tracer.end("replay.on_event", event_start)
             processed += 1
+        return self._finish(recording, processed, started, loop_start)
+
+    # -- shared prologue/epilogue (both loops above use these) -----------
+
+    def _begin(self, recording: Recording) -> int:
+        """Dispatch ``on_begin`` hooks; returns the loop-span start."""
+        loop_start = (
+            time.perf_counter_ns() if self.tracer is not None else 0
+        )
+        for plugin in self.plugins:
+            plugin.on_begin(recording)
+        return loop_start
+
+    def _finish(
+        self,
+        recording: Recording,
+        processed: int,
+        started: float,
+        loop_start: int,
+    ) -> ReplayResult:
+        """Dispatch ``on_end`` hooks and build the result."""
         for plugin in self.plugins:
             plugin.on_end()
-        if tracer is not None:
-            tracer.end("replay.loop", loop_start)
+        if self.tracer is not None:
+            self.tracer.end("replay.loop", loop_start)
         elapsed = time.perf_counter() - started
         return ReplayResult(
             events_processed=processed,

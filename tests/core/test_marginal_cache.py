@@ -1,0 +1,176 @@
+"""MarginalCache: bit-equality with the uncached Eq. 8 reference.
+
+The memo tables must be *exactly* transparent: every cached submarginal,
+every decision, and every reported marginal must be bit-equal to the
+uncached :mod:`repro.core.costs` path, across the alpha edge cases
+(``alpha == 1`` log-limit, ``copies == 0`` -> ``-inf``) and degenerate
+betas.  Anything weaker would let ``use_cache`` change experiment output.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.costs import marginal_cost, over_marginal, under_marginal
+from repro.core.decision import (
+    MarginalCache,
+    MitosEngine,
+    TagCandidate,
+    decide_multi,
+    decide_single,
+)
+from repro.core.params import MitosParams
+
+ALPHAS = (0.5, 1.0, 2.0)
+BETAS = (1.0, 2.0, 6.0)
+
+#: non-trivial per-type weights so u_of / o_of lookups are exercised
+WEIGHTS = dict(u={"netflow": 4.0}, o={"netflow": 2.5})
+
+
+def make_params(alpha: float, beta: float, **kw) -> MitosParams:
+    defaults = dict(
+        alpha=alpha, beta=beta, R=1 << 20, M_prov=10, tau_scale=1.0, **WEIGHTS
+    )
+    defaults.update(kw)
+    return MitosParams(**defaults)
+
+
+def param_grid():
+    return [make_params(alpha, beta) for alpha in ALPHAS for beta in BETAS]
+
+
+class TestSubmarginalEquality:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("beta", BETAS)
+    def test_under_bit_equal_including_zero_copies(self, alpha, beta):
+        params = make_params(alpha, beta)
+        cache = MarginalCache(params)
+        for tag_type in ("netflow", "file", "process"):
+            for copies in (0, 1, 2, 3, 7, 100, 12345):
+                expected = under_marginal(copies, tag_type, params)
+                got = cache.under(copies, tag_type)
+                if math.isinf(expected):
+                    assert copies == 0
+                    assert got == -math.inf
+                else:
+                    assert got == expected  # bit-equal, not approx
+                # second hit serves the memo, still identical
+                assert cache.under(copies, tag_type) == got
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("beta", BETAS)
+    def test_over_bit_equal(self, alpha, beta):
+        params = make_params(alpha, beta)
+        cache = MarginalCache(params)
+        for pollution in (0.0, 1.0, 2.5, 1e3, 1e6, 123456.789):
+            expected = over_marginal(pollution, params)
+            assert cache.over(pollution) == expected
+            assert cache.over(pollution) == expected
+
+    def test_alpha_one_is_the_log_limit(self):
+        # alpha == 1: under cost is the -log limit; the marginal is still
+        # -u_T * n**-1, which the cache must reproduce exactly
+        params = make_params(1.0, 2.0)
+        cache = MarginalCache(params)
+        for copies in (1, 10, 1000):
+            assert cache.under(copies, "file") == -1.0 / copies
+
+
+class TestDecisionEquality:
+    @pytest.mark.parametrize("params", param_grid(), ids=str)
+    def test_decide_single_identical(self, params):
+        cache = MarginalCache(params)
+        rng = random.Random(7)
+        for _ in range(200):
+            candidate = TagCandidate(
+                key=("netflow", rng.randrange(5)),
+                tag_type=rng.choice(["netflow", "file"]),
+                copies=rng.randrange(0, 50),
+            )
+            pollution = rng.choice([0.0, 1.0, 513.0, 9999.5])
+            cached = decide_single(candidate, pollution, params, cache=cache)
+            plain = decide_single(candidate, pollution, params)
+            assert cached == plain
+
+    @pytest.mark.parametrize("params", param_grid(), ids=str)
+    def test_decide_multi_identical_including_order(self, params):
+        cache = MarginalCache(params)
+        rng = random.Random(11)
+        for _ in range(100):
+            candidates = [
+                TagCandidate(
+                    key=("t", i),
+                    tag_type=rng.choice(["netflow", "file", "process"]),
+                    copies=rng.randrange(0, 30),
+                )
+                for i in range(rng.randrange(0, 8))
+            ]
+            free_slots = rng.randrange(0, 6)
+            pollution = rng.choice([0.0, 10.0, 4096.0])
+            cached = decide_multi(
+                candidates, free_slots, pollution, params, cache=cache
+            )
+            plain = decide_multi(candidates, free_slots, pollution, params)
+            # same decisions, same candidate order, same reported marginals
+            assert cached.decisions == plain.decisions
+            assert cached.propagated == plain.propagated
+
+    def test_float_tie_ordering_preserved(self):
+        # two candidates with equal copies and types produce equal marginal
+        # keys; the ranking must stay the stable-sort order either way
+        params = make_params(1.5, 2.0)
+        cache = MarginalCache(params)
+        candidates = [
+            TagCandidate(key=("file", i), tag_type="file", copies=5)
+            for i in range(6)
+        ]
+        cached = decide_multi(candidates, 3, 100.0, params, cache=cache)
+        plain = decide_multi(candidates, 3, 100.0, params)
+        assert [d.candidate.key for d in cached.decisions] == [
+            d.candidate.key for d in plain.decisions
+        ]
+
+
+class TestCacheLifecycle:
+    def test_cache_ignored_when_bound_to_other_params(self):
+        params_a = make_params(1.5, 2.0)
+        params_b = make_params(2.0, 2.0)
+        cache = MarginalCache(params_a)
+        candidate = TagCandidate(key=("file", 1), tag_type="file", copies=3)
+        # a cache bound to different params must not be consulted
+        decision = decide_single(candidate, 10.0, params_b, cache=cache)
+        assert decision == decide_single(candidate, 10.0, params_b)
+        assert not cache._under  # nothing was cached against params_b
+
+    def test_engine_rebinds_cache_on_params_swap(self):
+        engine = MitosEngine(make_params(1.5, 2.0))
+        first = engine.marginal_cache
+        assert first is not None and first.params is engine.params
+        first.under(3, "file")
+        engine.params = make_params(2.0, 2.0)
+        second = engine.marginal_cache
+        assert second is not first
+        assert second.params is engine.params
+        assert not second._under  # stale entries cannot leak
+
+    def test_engine_without_cache_has_none(self):
+        engine = MitosEngine(make_params(1.5, 2.0), use_cache=False)
+        assert engine.marginal_cache is None
+
+    def test_overflow_clears_not_grows(self):
+        params = make_params(1.5, 2.0)
+        cache = MarginalCache(params, max_entries=4)
+        for copies in range(10):
+            cache.under(copies, "file")
+            assert len(cache._under) <= 4
+        for i in range(10):
+            cache.over(float(i))
+            assert len(cache._over) <= 4
+        # values stay correct across clears
+        assert cache.under(3, "file") == under_marginal(3, "file", params)
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            MarginalCache(make_params(1.5, 2.0), max_entries=0)

@@ -1,0 +1,149 @@
+"""The O(1) running aggregates must always equal a from-scratch scan.
+
+PR 3 replaced the per-call scans in :class:`TagCopyCounter` and
+:class:`ShadowMemory` with running counters (``total_entries``,
+``tainted_count``, weighted pollution).  These property tests drive
+randomized mutation sequences -- adds, removes, clears, replaces, unions,
+and tracker-level degradation -- and check after every step that each
+aggregate is *exactly* what recomputing it from the raw structures gives.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import MitosParams
+from repro.core.policy import PropagateAllPolicy
+from repro.dift import flows
+from repro.dift.shadow import ShadowMemory, mem
+from repro.dift.stats import TagCopyCounter
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+
+TAGS = [
+    Tag(tag_type, index)
+    for tag_type in ("netflow", "file", "process")
+    for index in range(1, 5)
+]
+
+#: a non-unit weight map plus a type missing from it (default weight path)
+WEIGHTS = {"netflow": 2.5, "file": 0.5}
+
+
+def scratch_pollution(counter: TagCopyCounter, o, default=1.0):
+    """The historical O(#types) recomputation, from the raw counts."""
+    totals = {}
+    for (tag_type, _), count in counter.snapshot().items():
+        totals[tag_type] = totals.get(tag_type, 0) + count
+    if not totals:
+        return 0
+    return sum(
+        o.get(tag_type, default) * total for tag_type, total in totals.items()
+    )
+
+
+def assert_aggregates_consistent(shadow: ShadowMemory):
+    counter = shadow.counter
+    per_tag = counter.snapshot()
+    # counter totals vs the copy-count vector
+    assert counter.total_entries() == sum(per_tag.values())
+    for tag_type in {key[0] for key in per_tag}:
+        assert counter.type_total(tag_type) == sum(
+            count for key, count in per_tag.items() if key[0] == tag_type
+        )
+    # weighted pollution: unit, non-unit, and changed-default paths, each
+    # exactly equal to the scratch recomputation
+    assert counter.weighted_pollution({}) == scratch_pollution(counter, {})
+    assert counter.weighted_pollution(WEIGHTS) == scratch_pollution(
+        counter, WEIGHTS
+    )
+    assert counter.weighted_pollution(WEIGHTS, 3.0) == scratch_pollution(
+        counter, WEIGHTS, 3.0
+    )
+    # shadow counters vs a location scan
+    lists = shadow._lists
+    assert shadow.total_entries() == sum(len(pl) for pl in lists.values())
+    assert shadow.tainted_count() == sum(
+        1 for pl in lists.values() if len(pl) > 0
+    )
+    # the shadow's entry total and the counter's must agree: every list
+    # entry is one copy
+    assert shadow.total_entries() == counter.total_entries()
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "clear", "replace", "union"]),
+        st.integers(min_value=0, max_value=7),  # location selector
+        st.integers(min_value=0, max_value=len(TAGS) - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestShadowAggregatesProperty:
+    @given(sequence=ops, m_prov=st.sampled_from([1, 2, 3, 10]))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregates_match_scratch_after_every_op(self, sequence, m_prov):
+        shadow = ShadowMemory(m_prov=m_prov)
+        rng = random.Random(1234)
+        for op, loc_index, tag_index in sequence:
+            location = mem(loc_index)
+            tag = TAGS[tag_index]
+            if op == "add":
+                shadow.add_tag(location, tag)
+            elif op == "remove":
+                shadow.remove_tag(location, tag)
+            elif op == "clear":
+                shadow.clear_location(location)
+            elif op == "replace":
+                count = rng.randrange(0, 4)
+                shadow.replace_tags(
+                    location,
+                    [TAGS[(tag_index + i) % len(TAGS)] for i in range(count)],
+                )
+            else:
+                shadow.union_into([mem((loc_index + 1) % 8)], location)
+            assert_aggregates_consistent(shadow)
+
+    def test_self_replace_keeps_aggregates(self):
+        shadow = ShadowMemory(m_prov=4)
+        location = mem(0)
+        for tag in TAGS[:3]:
+            shadow.add_tag(location, tag)
+        before = shadow.counter.snapshot()
+        shadow.replace_tags(location, shadow.tags_at(location))
+        assert shadow.counter.snapshot() == before
+        assert_aggregates_consistent(shadow)
+
+
+class TestDegradeAggregates:
+    def test_degraded_tracker_aggregates_stay_consistent(self):
+        # tiny N_R so the degrade path actually fires mid-run
+        params = MitosParams(R=16, M_prov=2, tau_scale=1.0)
+        tracker = DIFTTracker(
+            params=params, policy=PropagateAllPolicy(), degrade_at=0.5
+        )
+        rng = random.Random(99)
+        tick = 0
+        degraded = False
+        for _ in range(300):
+            tick += 1
+            roll = rng.random()
+            location = mem(rng.randrange(12))
+            if roll < 0.6:
+                tracker.process(
+                    flows.insert(location, TAGS[rng.randrange(len(TAGS))], tick=tick)
+                )
+            elif roll < 0.9:
+                tracker.process(
+                    flows.copy(mem(rng.randrange(12)), location, tick=tick)
+                )
+            else:
+                tracker.process(flows.clear(location, tick=tick))
+            assert_aggregates_consistent(tracker.shadow)
+            if tracker.stats.degradations:
+                degraded = True
+        assert degraded, "degrade path never fired; shrink N_R in this test"

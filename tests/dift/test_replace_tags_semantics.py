@@ -1,0 +1,109 @@
+"""Pin the semantics of ``ShadowMemory.replace_tags`` around the
+self-copy short-circuit.
+
+A copy dependency ``mov [x], [x]`` replays as ``replace_tags(x,
+tags_at(x))``.  The short-circuit must return exactly what the full
+clear+re-add round trip returns -- ``(n, n)`` -- without mutating
+anything, and must *not* engage when lifetime monitors are attached
+(the round trip deliberately bounces single-copy tags through a
+1 -> 0 -> 1 transition those monitors observe).
+"""
+
+from repro.dift.shadow import ShadowMemory, mem
+from repro.dift.tags import Tag
+
+NET = Tag("netflow", 1)
+FILE = Tag("file", 2)
+PROC = Tag("process", 3)
+
+
+def seeded_shadow(m_prov: int = 4) -> ShadowMemory:
+    shadow = ShadowMemory(m_prov=m_prov)
+    for tag in (NET, FILE, PROC):
+        shadow.add_tag(mem(0), tag)
+    shadow.add_tag(mem(1), NET)
+    return shadow
+
+
+class TestSelfCopyShortCircuit:
+    def test_returns_n_n_like_the_round_trip(self):
+        shadow = seeded_shadow()
+        current = shadow.tags_at(mem(0))
+        assert shadow.replace_tags(mem(0), current) == (3, 3)
+
+    def test_state_is_untouched(self):
+        shadow = seeded_shadow()
+        lists_before = shadow._lists[mem(0)]
+        order_before = shadow.tags_at(mem(0))
+        counts_before = shadow.counter.snapshot()
+        shadow.replace_tags(mem(0), order_before)
+        # same list object, same order, same counts, same aggregates
+        assert shadow._lists[mem(0)] is lists_before
+        assert shadow.tags_at(mem(0)) == order_before
+        assert shadow.counter.snapshot() == counts_before
+        assert shadow.total_entries() == 4
+        assert shadow.tainted_count() == 2
+
+    def test_matches_full_round_trip_result(self):
+        # the short-circuit result must equal what a shadow that cannot
+        # take the shortcut (monitors attached) computes for the same op
+        fast = seeded_shadow()
+        slow = seeded_shadow()
+        slow.counter.on_birth = lambda tag: None
+        tags = fast.tags_at(mem(0))
+        assert fast.replace_tags(mem(0), tags) == slow.replace_tags(
+            mem(0), list(tags)
+        )
+        assert fast.tags_at(mem(0)) == slow.tags_at(mem(0))
+        assert fast.counter.snapshot() == slow.counter.snapshot()
+
+    def test_not_taken_when_order_differs(self):
+        shadow = seeded_shadow()
+        reordered = tuple(reversed(shadow.tags_at(mem(0))))
+        added, dropped = shadow.replace_tags(mem(0), reordered)
+        assert (added, dropped) == (3, 3)
+        assert shadow.tags_at(mem(0)) == reordered
+
+
+class TestMonitorsDisableTheShortCircuit:
+    def test_lifetime_monitors_see_the_round_trip(self):
+        shadow = seeded_shadow()
+        births, deaths = [], []
+        shadow.counter.on_birth = births.append
+        shadow.counter.on_death = deaths.append
+        shadow.replace_tags(mem(0), shadow.tags_at(mem(0)))
+        # FILE and PROC exist only at mem(0): the round trip must bounce
+        # them through death+birth; NET also lives at mem(1) so its copy
+        # count never reaches zero
+        assert FILE in deaths and PROC in deaths
+        assert FILE in births and PROC in births
+        assert NET not in deaths
+
+    def test_only_one_monitor_is_enough_to_disable(self):
+        shadow = seeded_shadow()
+        deaths = []
+        shadow.counter.on_death = deaths.append
+        lists_before = shadow._lists[mem(0)]
+        shadow.replace_tags(mem(0), shadow.tags_at(mem(0)))
+        # full path rebuilt the list object
+        assert shadow._lists[mem(0)] is not lists_before
+        assert deaths  # the round trip was observable
+
+
+class TestReplaceTagsGeneral:
+    def test_plain_replacement_still_works(self):
+        shadow = seeded_shadow()
+        added, dropped = shadow.replace_tags(mem(0), [NET])
+        assert (added, dropped) == (1, 3)
+        assert shadow.tags_at(mem(0)) == (NET,)
+
+    def test_replace_empty_clears(self):
+        shadow = seeded_shadow()
+        added, dropped = shadow.replace_tags(mem(0), [])
+        assert (added, dropped) == (0, 3)
+        assert not shadow.is_tainted(mem(0))
+
+    def test_replace_on_untainted_location(self):
+        shadow = ShadowMemory(m_prov=2)
+        assert shadow.replace_tags(mem(9), [NET, FILE]) == (2, 0)
+        assert shadow.tags_at(mem(9)) == (NET, FILE)

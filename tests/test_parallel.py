@@ -1,0 +1,68 @@
+"""repro.parallel: ordering, determinism, and graceful fallback.
+
+The contract under test is the one every experiment relies on:
+``run_jobs(jobs, workers=N)`` returns exactly what ``workers=1`` returns,
+in the same order, for any N -- the pool only changes the wall clock.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig8
+from repro.experiments.common import run_sweep
+from repro.parallel import Job, run_jobs
+
+
+def add(a, b=0):
+    return a + b
+
+
+class TestSequentialPath:
+    def test_results_in_submission_order(self):
+        jobs = [Job(add, (i,), (("b", 10),)) for i in range(7)]
+        assert run_jobs(jobs, workers=1) == [10 + i for i in range(7)]
+
+    def test_closures_allowed_when_sequential(self):
+        # workers <= 1 never pickles, so non-module-level callables work
+        jobs = [Job((lambda x: x * x), (i,)) for i in range(4)]
+        assert run_jobs(jobs, workers=1) == [0, 1, 4, 9]
+
+    def test_empty_and_single_job(self):
+        assert run_jobs([], workers=8) == []
+        assert run_jobs([Job(add, (3, 4))], workers=8) == [7]
+
+    def test_job_error_propagates(self):
+        with pytest.raises(ValueError):
+            run_jobs([Job(math.sqrt, (-1.0,))], workers=1)
+
+
+class TestPoolPath:
+    def test_pool_results_match_sequential(self):
+        jobs = [Job(math.factorial, (n,)) for n in (3, 5, 8, 10, 1, 0)]
+        sequential = run_jobs(jobs, workers=1)
+        pooled = run_jobs(jobs, workers=4)
+        assert pooled == sequential
+        assert pooled == [6, 120, 40320, 3628800, 1, 1]
+
+    def test_more_workers_than_jobs(self):
+        jobs = [Job(math.factorial, (n,)) for n in (2, 3)]
+        assert run_jobs(jobs, workers=16) == [2, 6]
+
+    def test_unpicklable_jobs_fall_back_to_sequential(self):
+        # lambdas cannot be pickled for a spawn pool; the fallback must
+        # still produce the right answers in the right order
+        jobs = [Job((lambda x: x + 100), (i,)) for i in range(5)]
+        assert run_jobs(jobs, workers=4) == [100 + i for i in range(5)]
+
+
+class TestExperimentSweepDeterminism:
+    def test_run_sweep_matches_sequential_through_a_real_pool(self):
+        # two quick fig8 points through an actual process pool must equal
+        # the in-process run exactly (dataclass equality covers every
+        # field, including the float metrics)
+        points = (0.5, 2.0)
+        sequential = run_sweep(fig8._alpha_job, points, 1, 0, True)
+        pooled = run_sweep(fig8._alpha_job, points, 2, 0, True)
+        assert pooled == sequential
+        assert [r.alpha for r in pooled] == list(points)
