@@ -4,7 +4,6 @@ Measures the modeled SoC's end-to-end event cost and the cycle profile of
 the commit-stage decision path under warm vs. thrashing tag caches.
 """
 
-import pytest
 
 from conftest import publish
 
@@ -13,7 +12,7 @@ from repro.dift import flows
 from repro.dift.shadow import mem, reg
 from repro.dift.tags import Tag
 from repro.experiments.common import experiment_params
-from repro.hardware import CycleModel, MitosHardware, SegmentedTagMemory, TagCache
+from repro.hardware import MitosHardware, SegmentedTagMemory, TagCache
 
 
 def make_hardware(**kwargs) -> MitosHardware:

@@ -15,7 +15,12 @@ import pytest
 
 from conftest import publish
 
-from repro.analysis.reporting import format_table
+from repro.analysis.benchreport import (
+    EngineMeasurement,
+    ReplayBenchReport,
+    measure_engine,
+    render_throughput_table,
+)
 from repro.core.decision import TagCandidate, decide_multi, decide_single
 from repro.dift.shadow import ShadowMemory, mem
 from repro.dift.tags import Tag
@@ -77,13 +82,18 @@ def test_bench_replay_throughput(benchmark, full_network_recording):
     result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
     events = len(full_network_recording)
     seconds = result.metrics.wall_seconds
-    rows = [
-        ["events", events],
-        ["seconds", seconds],
-        ["events/sec", events / seconds if seconds else 0.0],
-    ]
-    publish(
-        "replay_throughput",
-        format_table(["metric", "value"], rows, title="== Replay throughput =="),
+
+    # publish through the shared report so this artifact has the same
+    # shape whether it was last written here, by test_bench_vector, or
+    # by `mitos-repro bench`
+    report = ReplayBenchReport(benchmark="network-replay", events=events)
+    report.engines["scalar"] = EngineMeasurement(
+        seconds=seconds,
+        events_per_second=events / seconds if seconds else 0.0,
+        rounds=3,
     )
+    report.engines["vector"] = measure_engine(
+        full_network_recording, params, "vector", rounds=3
+    )
+    publish("replay_throughput", render_throughput_table(report))
     assert seconds >= 0

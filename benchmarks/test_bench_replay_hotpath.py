@@ -16,56 +16,24 @@ import time
 
 from conftest import publish
 
+from repro.analysis.benchreport import (
+    EngineMeasurement,
+    ReplayBenchReport,
+    measure_engine,
+    reference_replay,
+    render_hotpath_table,
+)
 from repro.analysis.reporting import format_table
-from repro.core import costs
-from repro.core.policy import MitosPolicy
-from repro.dift.detector import ConfluenceDetector
 from repro.dift.snapshot import snapshot_tracker
-from repro.dift.tracker import DIFTTracker
 from repro.experiments import fig8
 from repro.experiments.common import experiment_params, run_sweep
 from repro.faros import FarosSystem, mitos_config
-from repro.faros.pipeline import FarosPipeline
 from repro.obs.bundle import Observability
 from repro.parallel import Job, run_jobs
-from repro.replay.replayer import Replayer
 
-
-class ReferenceTracker(DIFTTracker):
-    """A tracker with the pre-PR-3 cost profile: pollution is recomputed
-    from a full copy-vector scan on every call instead of being served
-    from the running aggregate.  Values must match bit-for-bit."""
-
-    def pollution(self):
-        return costs.pollution(
-            {k: float(v) for k, v in self.counter.snapshot().items()},
-            self.params,
-        )
-
-
-def _reference_replay(recording, params, trace_out=None):
-    """Replay through the slow-path stack: uncached Eq. 8 marginals and
-    scan-based pollution, but otherwise wired exactly like FarosSystem."""
-    config = mitos_config(params)
-    obs = Observability.create(trace_out=trace_out) if trace_out else None
-    tracker = ReferenceTracker(
-        params=params,
-        policy=MitosPolicy(params, use_cache=False),
-        detector=(
-            ConfluenceDetector(config.detector_types)
-            if config.detector_types
-            else None
-        ),
-        ifp_observer=obs.decision_observer() if obs is not None else None,
-    )
-    pipeline = FarosPipeline(tracker, obs=obs)
-    started = time.perf_counter()
-    Replayer([pipeline]).replay(recording)
-    elapsed = time.perf_counter() - started
-    if obs is not None:
-        obs.finalize(tracker)
-        obs.close()
-    return tracker, elapsed
+# the reference stack (uncached marginals, scan-based pollution) moved to
+# repro.analysis.benchreport so the CLI bench and CI share it
+_reference_replay = reference_replay
 
 
 def test_replay_byte_identity_vs_reference(full_network_recording, tmp_path):
@@ -92,9 +60,10 @@ def test_replay_byte_identity_vs_reference(full_network_recording, tmp_path):
 
 
 def test_bench_replay_hotpath(benchmark, full_network_recording):
-    """Optimized replay throughput, with the uncached reference measured
-    once alongside it so ``results/replay_hotpath.txt`` records the
-    actual speedup the caches buy on this host."""
+    """Scalar replay throughput, with the uncached reference and the
+    columnar vector engine measured alongside it so
+    ``results/replay_hotpath.txt`` records what each layer of
+    optimization buys on this host."""
     params = experiment_params()
 
     def optimized():
@@ -103,25 +72,25 @@ def test_bench_replay_hotpath(benchmark, full_network_recording):
     result = benchmark.pedantic(optimized, rounds=3, iterations=1)
     opt_seconds = result.metrics.wall_seconds
     _, ref_seconds = _reference_replay(full_network_recording, params)
+    vector = measure_engine(
+        full_network_recording, params, "vector", rounds=3
+    )
 
     events = len(full_network_recording)
-    rows = [
-        ["events", events],
-        ["optimized seconds", opt_seconds],
-        ["optimized events/sec", events / opt_seconds if opt_seconds else 0.0],
-        ["reference seconds", ref_seconds],
-        ["reference events/sec", events / ref_seconds if ref_seconds else 0.0],
-        ["speedup", ref_seconds / opt_seconds if opt_seconds else 0.0],
-    ]
-    publish(
-        "replay_hotpath",
-        format_table(
-            ["metric", "value"],
-            rows,
-            title="== Replay hot path: optimized vs uncached reference ==",
-        ),
+    report = ReplayBenchReport(benchmark="network-replay", events=events)
+    report.engines["reference"] = EngineMeasurement(
+        seconds=ref_seconds,
+        events_per_second=events / ref_seconds if ref_seconds else 0.0,
+        rounds=1,
     )
-    assert opt_seconds > 0 and ref_seconds > 0
+    report.engines["scalar"] = EngineMeasurement(
+        seconds=opt_seconds,
+        events_per_second=events / opt_seconds if opt_seconds else 0.0,
+        rounds=3,
+    )
+    report.engines["vector"] = vector
+    publish("replay_hotpath", render_hotpath_table(report))
+    assert opt_seconds > 0 and ref_seconds > 0 and vector.seconds > 0
 
 
 def test_bench_parallel_sweep(full_network_recording):

@@ -1,0 +1,275 @@
+"""Replay-engine benchmarking: measurement + the published reports.
+
+One module owns the numbers three consumers share:
+
+* ``pytest benchmarks/`` (the hot-path and vector benches),
+* the ``mitos-repro bench`` subcommand,
+* CI's ``bench-vector`` job, which uploads ``BENCH_replay.json``.
+
+All three measure the same thing -- best-of-N full replays of the
+network recording through each engine -- and rewrite the same artifacts
+(``results/replay_hotpath.txt``, ``results/replay_throughput.txt`` and
+``BENCH_replay.json`` at the repo root), so the checked-in numbers can
+never drift from the measurement code.
+
+Three stacks are measured:
+
+``scalar``
+    the per-event :class:`~repro.replay.replayer.Replayer` loop with the
+    PR 3 optimizations (running aggregates, memoized Eq. 8 marginals),
+``vector``
+    the columnar batch engine (:mod:`repro.vector`), byte-identical to
+    scalar on every observable surface,
+``reference``
+    the pre-optimization stack -- uncached marginals, from-scratch
+    pollution scans -- kept as the honest baseline the speedups are
+    anchored to.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.core import costs
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy
+from repro.dift.detector import ConfluenceDetector
+from repro.dift.tracker import DIFTTracker
+from repro.replay.record import Recording
+from repro.replay.replayer import Replayer
+
+#: repo-root artifact consumed by CI and the README perf section
+BENCH_JSON_NAME = "BENCH_replay.json"
+
+
+class ReferenceTracker(DIFTTracker):
+    """A tracker with the pre-PR-3 cost profile: pollution is recomputed
+    from a full copy-vector scan on every call instead of being served
+    from the running aggregate.  Values must match bit-for-bit."""
+
+    def pollution(self):
+        return costs.pollution(
+            {k: float(v) for k, v in self.counter.snapshot().items()},
+            self.params,
+        )
+
+
+def reference_replay(
+    recording: Recording, params: MitosParams, trace_out=None
+):
+    """Replay through the slow-path stack: uncached Eq. 8 marginals and
+    scan-based pollution, but otherwise wired exactly like FarosSystem.
+
+    Returns ``(tracker, elapsed_seconds)``.
+    """
+    from repro.faros import mitos_config
+    from repro.faros.pipeline import FarosPipeline
+    from repro.obs.bundle import Observability
+
+    config = mitos_config(params)
+    obs = Observability.create(trace_out=trace_out) if trace_out else None
+    tracker = ReferenceTracker(
+        params=params,
+        policy=MitosPolicy(params, use_cache=False),
+        detector=(
+            ConfluenceDetector(config.detector_types)
+            if config.detector_types
+            else None
+        ),
+        ifp_observer=obs.decision_observer() if obs is not None else None,
+    )
+    pipeline = FarosPipeline(tracker, obs=obs)
+    started = time.perf_counter()
+    Replayer([pipeline]).replay(recording)
+    elapsed = time.perf_counter() - started
+    if obs is not None:
+        obs.finalize(tracker)
+        obs.close()
+    return tracker, elapsed
+
+
+def engine_payload_job(engine: str, seed: int = 0, quick: bool = True):
+    """Replay the seeded network recording through one engine and return
+    the tracker stats payload.
+
+    Module-level so :class:`repro.parallel.Job` can pickle it into spawn
+    workers: this is how the ``--jobs N`` process pool composes with
+    ``--engine vector`` -- each worker builds its own recording, encoder
+    state and NumPy planes, nothing crosses the process boundary but the
+    (engine, seed, quick) triple and the returned payload dict.
+    """
+    from repro.experiments.common import experiment_params, network_recording
+    from repro.faros import FarosSystem, mitos_config
+
+    recording = network_recording(seed=seed, quick=quick)
+    system = FarosSystem(
+        mitos_config(experiment_params(), engine=engine)
+    )
+    system.replay(recording)
+    return system.tracker.stats.to_payload()
+
+
+@dataclass
+class EngineMeasurement:
+    """Best-of-N wall-clock for one engine over one recording."""
+
+    seconds: float
+    events_per_second: float
+    rounds: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "seconds": self.seconds,
+            "events_per_second": self.events_per_second,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass
+class ReplayBenchReport:
+    """Everything ``BENCH_replay.json`` carries."""
+
+    benchmark: str
+    events: int
+    engines: Dict[str, EngineMeasurement] = field(default_factory=dict)
+
+    def speedup(self, slow: str, fast: str) -> float:
+        """``slow``'s seconds over ``fast``'s (how much faster ``fast`` is)."""
+        numerator = self.engines[slow].seconds
+        denominator = self.engines[fast].seconds
+        return numerator / denominator if denominator else 0.0
+
+    def speedups(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        engines = self.engines
+        if "scalar" in engines and "vector" in engines:
+            out["vector_vs_scalar"] = self.speedup("scalar", "vector")
+        if "reference" in engines and "scalar" in engines:
+            out["scalar_vs_reference"] = self.speedup("reference", "scalar")
+        if "reference" in engines and "vector" in engines:
+            out["vector_vs_reference"] = self.speedup("reference", "vector")
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "events": self.events,
+            "engines": {
+                name: m.as_dict() for name, m in self.engines.items()
+            },
+            "speedups": self.speedups(),
+        }
+
+
+def measure_engine(
+    recording: Recording,
+    params: MitosParams,
+    engine: str,
+    rounds: int = 3,
+) -> EngineMeasurement:
+    """Best-of-``rounds`` full replay through one engine."""
+    from repro.faros import FarosSystem, mitos_config
+
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        result = FarosSystem(mitos_config(params, engine=engine)).replay(
+            recording
+        )
+        best = min(best, result.metrics.wall_seconds)
+    events = len(recording)
+    return EngineMeasurement(
+        seconds=best,
+        events_per_second=events / best if best else 0.0,
+        rounds=max(1, rounds),
+    )
+
+
+def measure_engines(
+    recording: Recording,
+    params: MitosParams,
+    rounds: int = 3,
+    include_reference: bool = True,
+    benchmark: str = "network-replay",
+) -> ReplayBenchReport:
+    """Measure scalar + vector (and optionally the uncached reference)."""
+    report = ReplayBenchReport(benchmark=benchmark, events=len(recording))
+    for engine in ("scalar", "vector"):
+        report.engines[engine] = measure_engine(
+            recording, params, engine, rounds
+        )
+    if include_reference:
+        best = float("inf")
+        for _ in range(max(1, rounds)):
+            _, elapsed = reference_replay(recording, params)
+            best = min(best, elapsed)
+        report.engines["reference"] = EngineMeasurement(
+            seconds=best,
+            events_per_second=len(recording) / best if best else 0.0,
+            rounds=max(1, rounds),
+        )
+    return report
+
+
+def render_hotpath_table(report: ReplayBenchReport) -> str:
+    """The ``results/replay_hotpath.txt`` body: every engine vs reference."""
+    rows: List[List[object]] = [["events", report.events]]
+    for name in ("reference", "scalar", "vector"):
+        measurement = report.engines.get(name)
+        if measurement is None:
+            continue
+        rows.append([f"{name} seconds", measurement.seconds])
+        rows.append([f"{name} events/sec", measurement.events_per_second])
+    for label, value in report.speedups().items():
+        rows.append([label.replace("_", " "), value])
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title="== Replay hot path: scalar vs vector vs uncached reference ==",
+    )
+
+
+def render_throughput_table(report: ReplayBenchReport) -> str:
+    """The ``results/replay_throughput.txt`` body: engine throughputs."""
+    rows: List[List[object]] = [["events", report.events]]
+    for name in ("scalar", "vector"):
+        measurement = report.engines.get(name)
+        if measurement is None:
+            continue
+        rows.append([f"{name} seconds", measurement.seconds])
+        rows.append([f"{name} events/sec", measurement.events_per_second])
+    if "scalar" in report.engines and "vector" in report.engines:
+        rows.append(["vector speedup", report.speedup("scalar", "vector")])
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title="== Replay throughput ==",
+    )
+
+
+def write_bench_artifacts(
+    report: ReplayBenchReport,
+    results_dir: Path,
+    json_path: Optional[Path] = None,
+) -> List[Path]:
+    """Rewrite the three replay-bench artifacts; returns what was written."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    hotpath = results_dir / "replay_hotpath.txt"
+    hotpath.write_text(render_hotpath_table(report) + "\n")
+    written.append(hotpath)
+    throughput = results_dir / "replay_throughput.txt"
+    throughput.write_text(render_throughput_table(report) + "\n")
+    written.append(throughput)
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(json_path)
+    return written

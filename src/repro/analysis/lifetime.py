@@ -14,7 +14,7 @@ every birth and death against the tracker's tick clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import format_table

@@ -9,7 +9,7 @@ character grid with labeled y-extremes and an x-range footer.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 Number = float
 

@@ -22,6 +22,12 @@ Two families of commands:
           --sample-every 100
       mitos-repro tracelog decisions.jsonl
 
+* **benchmarks** -- measure replay throughput and refresh the checked-in
+  numbers (``results/replay_*.txt`` + ``BENCH_replay.json``)::
+
+      mitos-repro bench [--quick] [--rounds N]
+      mitos-repro replay trace.jsonl.gz --engine vector
+
 Recordings and decision traces are JSON-lines (gzip if the path ends in
 ``.gz``).  ``--verbose`` anywhere before the subcommand turns on DEBUG
 logging through the shared structured formatter.
@@ -216,6 +222,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed lowest-utility tags when provenance entries exceed "
              "this fraction of N_R (graceful degradation; default off)",
     )
+    # mirrors repro.vector.engine.ENGINE_NAMES without importing the
+    # (numpy-backed) vector package at parser-build time
+    replay.add_argument(
+        "--engine", default="scalar", choices=("scalar", "vector"),
+        help="replay execution strategy: the per-event scalar loop or the "
+             "columnar vector batch engine (byte-identical results, "
+             "~2x throughput; incompatible with per-event plugins, see "
+             "docs/PERFORMANCE.md)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="measure replay throughput (scalar vs vector vs reference) "
+             "and rewrite results/replay_*.txt + BENCH_replay.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small recording (smoke test; numbers are "
+                            "not representative)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="replays per engine; the best wall clock is reported",
+    )
+    bench.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the slow uncached-reference measurement",
+    )
+    bench.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="where replay_hotpath.txt/replay_throughput.txt land "
+             "(default: the repo's results/ directory)",
+    )
+    bench.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="machine-readable report path (default: BENCH_replay.json "
+             "next to --results-dir)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="must be 1: the bench measures single-process wall clock, "
+             "and pool workers would contend with the engines under test",
+    )
 
     tracelog = subparsers.add_parser(
         "tracelog", help="summarize an IFP decision trace (--trace-out output)"
@@ -280,6 +328,31 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.replay.record import Recording
 
     logger = get_logger("repro.cli")
+    if args.engine == "vector":
+        # fail on configurations the vector engine rejects (inherently
+        # per-event contracts) before doing any work, with the flag names
+        # the user typed; --inject-faults, --limit, --trace-out and
+        # --metrics-out remain fully supported
+        blockers = [
+            flag
+            for flag, is_set in (
+                ("--supervisor", args.supervisor is not None),
+                ("--resume-from", args.resume_from is not None),
+                ("--checkpoint-every", args.checkpoint_every is not None),
+                ("--sample-every", args.sample_every is not None),
+                ("--degrade-at", args.degrade_at is not None),
+            )
+            if is_set
+        ]
+        if blockers:
+            print(
+                "error: --engine vector is incompatible with "
+                + ", ".join(blockers)
+                + " (per-event plugin/supervision contracts); "
+                "use --engine scalar",
+                file=sys.stderr,
+            )
+            return 2
     recording = Recording.load(args.trace)
     params = experiment_params(
         quick=args.quick_calibration, tau=args.tau, alpha=args.alpha
@@ -290,6 +363,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         direct_via_policy=args.all_flows,
         label=args.policy,
         degrade_at=args.degrade_at,
+        engine=args.engine,
     )
     want_obs = (
         args.trace_out is not None
@@ -313,15 +387,33 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if want_resilience:
         from repro.faults import Resilience
 
-        resilience = Resilience.create(
-            fault_rate=args.inject_faults,
-            fault_seed=args.fault_seed,
-            supervisor_policy=args.supervisor,
-            max_retries=args.max_retries,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_path=args.checkpoint_out,
-            resume_from=args.resume_from,
-        )
+        if args.engine == "vector":
+            # only --inject-faults can reach here (the other resilience
+            # flags were rejected above).  Resilience.create would attach
+            # a plugin supervisor, which the vector engine refuses; build
+            # the injector alone -- stream faults perturb the recording
+            # before the engine sees it, and plugin faults cannot fire
+            # without a supervisor, so the replay stays byte-identical to
+            # a scalar run over the same seed
+            from repro.faults.injector import FaultConfig, FaultInjector
+
+            resilience = Resilience(
+                injector=FaultInjector(
+                    FaultConfig.uniform(
+                        args.inject_faults, seed=args.fault_seed
+                    )
+                )
+            )
+        else:
+            resilience = Resilience.create(
+                fault_rate=args.inject_faults,
+                fault_seed=args.fault_seed,
+                supervisor_policy=args.supervisor,
+                max_retries=args.max_retries,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_out,
+                resume_from=args.resume_from,
+            )
     system = FarosSystem(config, observability=obs, resilience=resilience)
     logger.debug(
         "replay starting",
@@ -363,6 +455,64 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if args.metrics_out is not None:
             obs.write_metrics(args.metrics_out)
             print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.benchreport import (
+        BENCH_JSON_NAME,
+        measure_engines,
+        render_hotpath_table,
+        render_throughput_table,
+        write_bench_artifacts,
+    )
+    from repro.experiments.common import experiment_params, network_recording
+
+    if args.jobs != 1:
+        print(
+            "error: bench requires --jobs 1 -- it measures single-process "
+            "wall clock, and pool workers would contend with the engines "
+            "under test (use --rounds to tighten the measurement instead)",
+            file=sys.stderr,
+        )
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    results_dir = (
+        Path(args.results_dir)
+        if args.results_dir is not None
+        else repo_root / "results"
+    )
+    json_out = (
+        Path(args.json_out)
+        if args.json_out is not None
+        else (
+            repo_root / BENCH_JSON_NAME
+            if args.results_dir is None
+            else results_dir / BENCH_JSON_NAME
+        )
+    )
+    recording = network_recording(seed=args.seed, quick=args.quick)
+    params = experiment_params()
+    print(
+        f"benchmarking {len(recording)} events, best of {args.rounds} "
+        f"round(s) per engine..."
+    )
+    report = measure_engines(
+        recording,
+        params,
+        rounds=args.rounds,
+        include_reference=not args.no_reference,
+    )
+    print()
+    print(render_hotpath_table(report))
+    print()
+    print(render_throughput_table(report))
+    written = write_bench_artifacts(report, results_dir, json_out)
+    print()
+    for path in written:
+        print(f"written: {path}")
     return 0
 
 
@@ -437,6 +587,7 @@ def main(argv=None) -> int:
     handlers = {
         "record": _cmd_record,
         "replay": _cmd_replay,
+        "bench": _cmd_bench,
         "inspect": _cmd_inspect,
         "lineage": _cmd_lineage,
         "tracelog": _cmd_tracelog,

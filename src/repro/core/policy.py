@@ -77,6 +77,7 @@ class MitosPolicy(PropagationPolicy):
         pollution_source: Optional[Callable[[], float]] = None,
         log_decisions: bool = False,
         use_cache: bool = True,
+        vector_seed: bool = False,
     ):
         self.engine = MitosEngine(
             params,
@@ -84,6 +85,24 @@ class MitosPolicy(PropagationPolicy):
             log_decisions=log_decisions,
             use_cache=use_cache,
         )
+        #: when True, the vector replay engine bulk-seeds the marginal
+        #: cache from the columnar kernel's exact under-tables before the
+        #: hot loop (a pure warm-up: seeded values are the scalar values)
+        self.vector_seed = vector_seed
+
+    def preseed_marginals(
+        self, tag_types: "Sequence[str]", max_copies: int = 256
+    ) -> int:
+        """Bulk-load the under-marginal memo for the given tag types.
+
+        Returns the number of entries seeded (0 when built uncached).
+        """
+        cache = self.engine.marginal_cache
+        if cache is None:
+            return 0
+        from repro.vector.kernel import seed_marginal_cache
+
+        return seed_marginal_cache(cache, tag_types, max_copies=max_copies)
 
     @property
     def params(self) -> MitosParams:

@@ -13,7 +13,6 @@ and boosts the involved types on an :class:`~repro.core.adaptive.AdaptiveWeights
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.adaptive import AdaptiveWeights
 from repro.dift.flows import FlowEvent

@@ -17,12 +17,10 @@ module adds two more detector shapes on the same check/scan interface as
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.dift.detector import Alert
 from repro.dift.shadow import Location, ShadowMemory
-from repro.dift.tags import Tag
 
 
 class SequenceDetector:

@@ -30,7 +30,7 @@ from repro.core.policy import PropagationPolicy
 from repro.dift.detector import ConfluenceDetector
 from repro.dift.flows import FlowEvent, FlowKind
 from repro.dift.provenance import SchedulingPolicy
-from repro.dift.shadow import Location, ShadowMemory
+from repro.dift.shadow import ShadowMemory
 from repro.dift.stats import TagCopyCounter, TrackerStats
 from repro.dift.tags import Tag
 
@@ -161,23 +161,44 @@ class DIFTTracker:
             self.process(event)
 
     # -- handlers ----------------------------------------------------------
+    #
+    # Each handler is split into a per-kind event counter (a pure function
+    # of the event's kind, batch-accountable from the columnar encoding)
+    # and a ``*_flow`` method holding the state mutations and every
+    # state-dependent counter.  The vector engine calls the ``*_flow``
+    # layer directly and computes the per-kind counters with one bincount,
+    # so both engines run the identical mutation code.
 
     def _apply_insert(self, event: FlowEvent) -> None:
+        self.stats.inserts += 1
+        self._insert_flow(event)
+
+    def _insert_flow(self, event: FlowEvent) -> None:
         assert event.tag is not None  # validated by FlowEvent
         outcome = self.shadow.add_tag(event.destination, event.tag)
-        self.stats.inserts += 1
+        stats = self.stats
         if outcome.added:
-            self.stats.propagation_ops += 1
+            stats.propagation_ops += 1
         if outcome.dropped is not None:
-            self.stats.drops += 1
-            self.stats.propagation_ops += 1
+            stats.drops += 1
+            stats.propagation_ops += 1
 
     def _apply_clear(self, event: FlowEvent) -> None:
-        dropped = self.shadow.clear_location(event.destination)
         self.stats.clears += 1
+        self._clear_flow(event)
+
+    def _clear_flow(self, event: FlowEvent) -> None:
+        dropped = self.shadow.clear_location(event.destination)
         self.stats.propagation_ops += len(dropped)
 
     def _apply_direct(self, event: FlowEvent) -> None:
+        if event.kind is FlowKind.COPY:
+            self.stats.dfp_copy += 1
+        else:
+            self.stats.dfp_compute += 1
+        self._direct_flow(event)
+
+    def _direct_flow(self, event: FlowEvent) -> None:
         shadow = self.shadow
         stats = self.stats
         if event.kind is FlowKind.COPY:
@@ -186,12 +207,10 @@ class DIFTTracker:
                 event.destination,
                 tuple(source_list._tags) if source_list is not None else (),
             )
-            stats.dfp_copy += 1
         else:  # COMPUTE
             added, dropped = shadow.union_into(
                 event.sources, event.destination
             )
-            stats.dfp_compute += 1
         stats.propagation_ops += added + dropped
         stats.drops += dropped
 
@@ -248,6 +267,11 @@ class DIFTTracker:
         else:
             stats.dfp_compute += 1
             indirect = False
+        self._policy_flow(event, indirect)
+
+    def _policy_flow(self, event: FlowEvent, indirect: bool) -> None:
+        stats = self.stats
+        kind = event.kind
         candidates = self._candidates_for(event)
         if indirect:
             stats.ifp_candidates += len(candidates)

@@ -22,7 +22,7 @@ Expected shape: MITOS improves *all three simultaneously*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from repro.analysis.reporting import format_table
 from repro.faros import FarosSystem, mitos_config, stock_faros_config

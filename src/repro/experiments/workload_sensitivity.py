@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.experiments.common import experiment_params, run_sweep

@@ -66,6 +66,9 @@ class FarosConfig:
     #: shed lowest-utility tags when entries exceed this fraction of N_R
     #: (None = unbounded growth, the original behaviour)
     degrade_at: Optional[float] = None
+    #: replay execution strategy: "scalar" (per-event loop) or "vector"
+    #: (columnar batch engine, byte-identical; see repro.vector)
+    engine: str = "scalar"
     #: label used in experiment reports
     label: str = ""
 
@@ -74,13 +77,20 @@ class FarosConfig:
             raise ValueError(
                 f"unknown policy {self.policy!r}; expected one of {POLICY_NAMES}"
             )
+        if self.engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected 'scalar' or "
+                "'vector'"
+            )
         if not self.label:
             self.label = self.policy
 
     def build_policy(self) -> PropagationPolicy:
         """Instantiate the configured propagation policy."""
         if self.policy == "mitos":
-            return MitosPolicy(self.params)
+            return MitosPolicy(
+                self.params, vector_seed=(self.engine == "vector")
+            )
         if self.policy == "propagate-all":
             return PropagateAllPolicy()
         if self.policy == "propagate-none":

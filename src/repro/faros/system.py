@@ -116,6 +116,7 @@ class FarosSystem:
             plugins,
             tracer=observability.tracer if observability is not None else None,
             supervisor=supervisor,
+            engine=config.engine,
         )
 
     @property

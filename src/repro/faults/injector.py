@@ -28,8 +28,8 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 from repro.dift.flows import FlowEvent
 from repro.replay.record import Recording

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Union
 
 from repro.dift.tracker import DIFTTracker, IfpObserver
 from repro.obs.decisions import DecisionTraceRecorder

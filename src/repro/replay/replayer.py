@@ -95,6 +95,14 @@ class Replayer:
     An optional :class:`~repro.replay.supervisor.PluginSupervisor`
     intercepts plugin failures; without one, the original fail-fast
     fast-path loop runs unchanged.
+
+    ``engine`` selects the execution strategy: ``"scalar"`` is the
+    per-event plugin loop below; ``"vector"`` delegates to the columnar
+    batch engine (:func:`repro.vector.engine.run_vector_replay`), which
+    produces byte-identical results for the configurations it supports
+    and raises :class:`~repro.vector.engine.VectorEngineError` for the
+    rest (supervised, resumed, sampler/checkpoint-plugin, or
+    degraded-mode replays).
     """
 
     def __init__(
@@ -102,10 +110,16 @@ class Replayer:
         plugins: Optional[Sequence[Plugin]] = None,
         tracer: Optional["SpanTracer"] = None,
         supervisor: Optional["PluginSupervisor"] = None,
+        engine: str = "scalar",
     ):
+        if engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vector', got {engine!r}"
+            )
         self.plugins: List[Plugin] = list(plugins or [])
         self.tracer = tracer
         self.supervisor = supervisor
+        self.engine = engine
 
     def add_plugin(self, plugin: Plugin) -> "Replayer":
         self.plugins.append(plugin)
@@ -127,6 +141,12 @@ class Replayer:
         """
         if start_index < 0:
             raise ValueError(f"start_index must be >= 0, got {start_index}")
+        if self.engine == "vector":
+            from repro.vector.engine import run_vector_replay
+
+            return run_vector_replay(
+                self, recording, limit=limit, start_index=start_index
+            )
         supervisor = self.supervisor
         if supervisor is None and start_index == 0:
             return self._replay_fast(recording, limit)

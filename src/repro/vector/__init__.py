@@ -1,0 +1,46 @@
+"""Columnar batch replay engine (the software DIFT "tag plane").
+
+Decouples tag propagation from per-event Python dispatch the way
+hardware DIFT coprocessors decouple it from the main pipeline: the
+recording becomes NumPy columns (:mod:`repro.vector.encode`), a
+taint-activity plane skips provably-inert events
+(:mod:`repro.vector.plane`), the Eq. 8 marginals batch-evaluate in
+float64 (:mod:`repro.vector.kernel`), and the run planner
+(:mod:`repro.vector.engine`) replays byte-identically to the scalar
+engine.  Select with ``Replayer(engine="vector")``,
+``FarosConfig(engine="vector")`` or ``mitos-repro replay --engine vector``.
+"""
+
+from repro.vector.encode import ColumnarRecording, encode_recording
+from repro.vector.engine import (
+    ENGINE_NAMES,
+    VectorEngineError,
+    run_vector_replay,
+    vector_support_reasons,
+)
+from repro.vector.kernel import (
+    decide_multi_batch,
+    over_marginals,
+    seed_marginal_cache,
+    under_marginals,
+    under_table,
+    under_table_stack,
+)
+from repro.vector.plane import TaintActivityPlane, batch_account
+
+__all__ = [
+    "ColumnarRecording",
+    "encode_recording",
+    "ENGINE_NAMES",
+    "VectorEngineError",
+    "run_vector_replay",
+    "vector_support_reasons",
+    "decide_multi_batch",
+    "over_marginals",
+    "seed_marginal_cache",
+    "under_marginals",
+    "under_table",
+    "under_table_stack",
+    "TaintActivityPlane",
+    "batch_account",
+]

@@ -1,0 +1,253 @@
+"""Columnar event encoder: a ``Recording`` as NumPy structured arrays.
+
+Hardware DIFT planes (the coprocessor line of work the ROADMAP cites)
+consume the instruction stream as fixed-width records, not heap objects.
+This module performs the software analogue at load time: one pass over a
+:class:`~repro.replay.record.Recording` produces
+
+* a structured column array (:data:`EVENT_DTYPE`) holding each event's
+  op kind, tick, interned context / destination / first-source /
+  tag-type ids and its operand count,
+* interned symbol tables (``locations``, ``contexts``, ``tag_types``)
+  mapping those ids back to the original objects, and
+* the *taint-relevance index* the vector engine's activity plane needs:
+  for every location, the sorted positions of the events whose hotness
+  depends on that location, plus the positions of the always-hot INSERT
+  events.
+
+Relevance sets (which locations, if tainted, make an event a state
+mutation) per kind:
+
+``INSERT``
+    none -- always hot (listed in ``insert_positions`` instead).
+``CLEAR``
+    the destination (clearing an untainted location drops nothing).
+``COPY`` (direct)
+    the first source *and* the destination (``replace_tags`` clears a
+    tainted destination even from an untainted source).
+``COPY``/``COMPUTE`` via policy, ``COMPUTE``, ``ADDRESS_DEP``, ``CONTROL_DEP``
+    the sources (no tainted source -> no candidates -> provable no-op;
+    the policy path never clears the destination).
+
+The encoding is cached on the recording keyed by the identity and length
+of its event list plus the ``direct_via_policy`` mode (which changes the
+COPY relevance set); fault injection builds a fresh ``Recording``, so a
+perturbed stream always re-encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dift.flows import FlowKind
+from repro.dift.shadow import Location
+from repro.replay.record import Recording
+
+#: stable integer code per flow kind (enum declaration order)
+KIND_CODES: Dict[FlowKind, int] = {kind: i for i, kind in enumerate(FlowKind)}
+KIND_INSERT = KIND_CODES[FlowKind.INSERT]
+KIND_COPY = KIND_CODES[FlowKind.COPY]
+KIND_COMPUTE = KIND_CODES[FlowKind.COMPUTE]
+KIND_ADDRESS_DEP = KIND_CODES[FlowKind.ADDRESS_DEP]
+KIND_CONTROL_DEP = KIND_CODES[FlowKind.CONTROL_DEP]
+KIND_CLEAR = KIND_CODES[FlowKind.CLEAR]
+
+#: one fixed-width record per event; -1 encodes "absent" for the
+#: nullable columns (context, first source, tag type)
+EVENT_DTYPE = np.dtype(
+    [
+        ("kind", np.int8),
+        ("tick", np.int64),
+        ("ctx", np.int32),
+        ("dest", np.int32),
+        ("src0", np.int32),
+        ("nsrc", np.int16),
+        ("tag_type", np.int16),
+    ]
+)
+
+_CACHE_ATTR = "_columnar_cache"
+
+
+@dataclass
+class ColumnarRecording:
+    """The fixed-width, index-accelerated form of a recording."""
+
+    #: structured per-event columns (:data:`EVENT_DTYPE`)
+    columns: np.ndarray
+    #: interned symbol tables, id -> original object
+    locations: List[Location]
+    contexts: List[str]
+    tag_types: List[str]
+    #: per-location sorted positions of taint-relevant events, as plain
+    #: lists -- the activity plane consumes them one element at a time
+    #: via ``bisect``, where list indexing beats ndarray scalars
+    postings: List[List[int]]
+    #: sorted positions of the always-hot INSERT events
+    insert_positions: np.ndarray
+    #: plain-list mirrors of the kind/dest columns -- the engine's hot
+    #: loop reads single elements, where list indexing beats ndarray
+    #: scalar extraction
+    kinds: List[int]
+    dest_ids: List[int]
+    #: the COPY relevance-set mode this encoding was built for
+    direct_via_policy: bool
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+def encode_recording(
+    recording: Recording, direct_via_policy: bool = False
+) -> ColumnarRecording:
+    """Encode (or fetch the cached encoding of) a recording."""
+    events = recording.events
+    key = (id(events), len(events), direct_via_policy)
+    cached = recording.__dict__.get(_CACHE_ATTR)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    columnar = _encode(recording, direct_via_policy)
+    recording.__dict__[_CACHE_ATTR] = (key, columnar)
+    return columnar
+
+
+def _encode(
+    recording: Recording, direct_via_policy: bool
+) -> ColumnarRecording:
+    events = recording.events
+    n = len(events)
+    columns = np.zeros(n, dtype=EVENT_DTYPE)
+
+    locations: List[Location] = []
+    loc_ids: Dict[Location, int] = {}
+    contexts: List[str] = []
+    ctx_ids: Dict[str, int] = {}
+    tag_types: List[str] = []
+    type_ids: Dict[str, int] = {}
+
+    def intern_loc(location: Location) -> int:
+        loc_id = loc_ids.get(location)
+        if loc_id is None:
+            loc_id = len(locations)
+            loc_ids[location] = loc_id
+            locations.append(location)
+        return loc_id
+
+    kind_col = np.empty(n, dtype=np.int8)
+    tick_col = np.empty(n, dtype=np.int64)
+    ctx_col = np.empty(n, dtype=np.int32)
+    dest_col = np.empty(n, dtype=np.int32)
+    src0_col = np.empty(n, dtype=np.int32)
+    nsrc_col = np.empty(n, dtype=np.int16)
+    type_col = np.empty(n, dtype=np.int16)
+
+    # (location-id, event-position) pairs, generated in event order so a
+    # stable sort by location leaves each posting list position-sorted
+    rel_locs: List[int] = []
+    rel_positions: List[int] = []
+    insert_positions: List[int] = []
+
+    for position, event in enumerate(events):
+        kind = event.kind
+        code = KIND_CODES[kind]
+        kind_col[position] = code
+        tick_col[position] = event.tick
+        dest_id = intern_loc(event.destination)
+        dest_col[position] = dest_id
+
+        context = event.context
+        if context:
+            ctx_id = ctx_ids.get(context)
+            if ctx_id is None:
+                ctx_id = len(contexts)
+                ctx_ids[context] = ctx_id
+                contexts.append(context)
+            ctx_col[position] = ctx_id
+        else:
+            ctx_col[position] = -1
+
+        sources = event.sources
+        nsrc_col[position] = len(sources)
+        src0_col[position] = (
+            intern_loc(sources[0]) if sources else -1
+        )
+
+        tag = event.tag
+        if tag is not None:
+            type_id = type_ids.get(tag.type)
+            if type_id is None:
+                type_id = len(tag_types)
+                type_ids[tag.type] = type_id
+                tag_types.append(tag.type)
+            type_col[position] = type_id
+        else:
+            type_col[position] = -1
+
+        # -- taint-relevance index ------------------------------------
+        if code == KIND_INSERT:
+            insert_positions.append(position)
+        elif code == KIND_CLEAR:
+            rel_locs.append(dest_id)
+            rel_positions.append(position)
+        elif code == KIND_COPY and not direct_via_policy:
+            src_id = src0_col[position]
+            rel_locs.append(src_id)
+            rel_positions.append(position)
+            if dest_id != src_id:
+                rel_locs.append(dest_id)
+                rel_positions.append(position)
+        else:
+            # policy-routed flows: hotness depends on the sources only
+            seen_ids = set()
+            for source in sources:
+                src_id = intern_loc(source)
+                if src_id not in seen_ids:
+                    seen_ids.add(src_id)
+                    rel_locs.append(src_id)
+                    rel_positions.append(position)
+
+    columns["kind"] = kind_col
+    columns["tick"] = tick_col
+    columns["ctx"] = ctx_col
+    columns["dest"] = dest_col
+    columns["src0"] = src0_col
+    columns["nsrc"] = nsrc_col
+    columns["tag_type"] = type_col
+
+    postings = _build_postings(rel_locs, rel_positions, len(locations))
+
+    return ColumnarRecording(
+        columns=columns,
+        locations=locations,
+        contexts=contexts,
+        tag_types=tag_types,
+        postings=postings,
+        insert_positions=np.asarray(insert_positions, dtype=np.int64),
+        kinds=kind_col.tolist(),
+        dest_ids=dest_col.tolist(),
+        direct_via_policy=direct_via_policy,
+    )
+
+
+def _build_postings(
+    rel_locs: List[int], rel_positions: List[int], n_locations: int
+) -> List[List[int]]:
+    """Transpose (location, position) pairs into per-location postings."""
+    postings: List[List[int]] = [[] for _ in range(n_locations)]
+    if not rel_locs:
+        return postings
+    locs = np.asarray(rel_locs, dtype=np.int64)
+    positions = np.asarray(rel_positions, dtype=np.int64)
+    order = np.argsort(locs, kind="stable")
+    locs = locs[order]
+    positions = positions[order]
+    # boundaries of each location's run in the sorted pair list
+    boundaries = np.flatnonzero(locs[1:] != locs[:-1]) + 1
+    runs = np.split(positions, boundaries)
+    run_locs = locs[np.concatenate(([0], boundaries))]
+    for loc_id, run in zip(run_locs, runs):
+        postings[int(loc_id)] = run.tolist()
+    return postings

@@ -1,0 +1,266 @@
+"""The columnar batch replay engine: hot-event loop + batch accounting.
+
+``run_vector_replay`` is the run planner behind ``Replayer(engine="vector")``.
+It executes the same replay a scalar :class:`~repro.replay.replayer.Replayer`
+would, byte-identically on every observable surface (stats payloads,
+tracker snapshots, detector alerts, decision-trace bytes), but restructured
+around the columnar encoding:
+
+1. encode the recording once (cached on the recording),
+2. walk only the *hot* events -- those the
+   :class:`~repro.vector.plane.TaintActivityPlane` cannot prove to be
+   no-ops -- running each through the tracker's scalar ``*_flow``
+   mutation methods (so both engines execute the identical mutation
+   code, and the Eq. 8 decisions flow through the same
+   ``decide_multi``/``MarginalCache`` path),
+3. account the pure-count statistics (per-kind counters, stage counts,
+   tick horizon, per-context counts, per-kind metrics) for the whole
+   window with NumPy reductions.
+
+Byte-identity argument (expanded in docs/PERFORMANCE.md):
+
+* every shadow/counter mutation the scalar path performs happens at an
+  event's destination, and every event whose relevance set is tainted is
+  treated as hot -- cold events are provable no-ops for the shadow,
+  counter, policy, observers and detector alike;
+* hot events run the verbatim scalar code against the same live
+  objects, in the same order, with the same RNG/decision state;
+* the batched counters are pure functions of the event columns that
+  nothing reads during the replay, so bulk accumulation is unobservable.
+
+Engine eligibility is checked eagerly: configurations whose contracts
+are inherently per-event (plugin supervision, checkpoint/sampler/callback
+plugins, mid-stream resume, degraded-mode shedding) raise
+:class:`VectorEngineError` naming every blocker rather than silently
+falling back or diverging.  Fault injection is supported: the stream is
+perturbed *before* the replayer sees it, so the vector engine replays the
+perturbed recording exactly as the scalar engine would.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.dift.flows import FlowKind
+from repro.vector.encode import (
+    KIND_ADDRESS_DEP,
+    KIND_CLEAR,
+    KIND_CODES,
+    KIND_COMPUTE,
+    KIND_CONTROL_DEP,
+    KIND_COPY,
+    KIND_INSERT,
+    encode_recording,
+)
+from repro.vector.flows import (
+    make_copy_flow,
+    make_policy_flow,
+    policy_fast_path_eligible,
+)
+from repro.vector.plane import (
+    TaintActivityPlane,
+    batch_account,
+    merge_context_counts,
+)
+
+if TYPE_CHECKING:
+    from repro.replay.record import Recording
+    from repro.replay.replayer import Replayer, ReplayResult
+
+#: engine names accepted by Replayer/FarosConfig/CLI
+ENGINE_NAMES = ("scalar", "vector")
+
+
+class VectorEngineError(RuntimeError):
+    """A replay configuration the vector engine cannot honor."""
+
+
+def vector_support_reasons(
+    replayer: "Replayer", start_index: int = 0
+) -> List[str]:
+    """Why this replayer cannot run the vector engine (empty = it can)."""
+    from repro.faros.pipeline import FarosPipeline
+
+    reasons: List[str] = []
+    if replayer.supervisor is not None:
+        reasons.append(
+            "plugin supervision is per-event (retry/skip/quarantine "
+            "contracts); use --engine scalar with --supervisor"
+        )
+    if start_index != 0:
+        reasons.append(
+            "mid-stream resume replays from a checkpointed scalar state; "
+            "use --engine scalar with --resume-from"
+        )
+    plugins = replayer.plugins
+    if len(plugins) != 1 or not isinstance(plugins[0], FarosPipeline):
+        names = [getattr(p, "name", type(p).__name__) for p in plugins]
+        reasons.append(
+            "the vector engine drives exactly one FarosPipeline plugin; "
+            f"got {names!r} (samplers, checkpoint writers and callback "
+            "plugins observe individual events)"
+        )
+    else:
+        tracker = plugins[0].tracker
+        if tracker.degrade_at is not None:
+            reasons.append(
+                "degraded-mode shedding (--degrade-at) re-evaluates the "
+                "entry budget after every event"
+            )
+    return reasons
+
+
+def run_vector_replay(
+    replayer: "Replayer",
+    recording: "Recording",
+    limit: Optional[int] = None,
+    start_index: int = 0,
+) -> "ReplayResult":
+    """Replay ``recording`` through the columnar engine.
+
+    Raises :class:`VectorEngineError` for unsupported configurations;
+    otherwise returns the same :class:`ReplayResult` (and leaves behind
+    the same tracker/pipeline state) the scalar engine would.
+    """
+    reasons = vector_support_reasons(replayer, start_index)
+    if reasons:
+        raise VectorEngineError(
+            "vector engine unavailable: " + "; ".join(reasons)
+        )
+    pipeline = replayer.plugins[0]
+    tracer = replayer.tracer
+
+    started = time.perf_counter()
+    loop_start = replayer._begin(recording)
+    tracker = pipeline.tracker
+
+    encode_start = time.perf_counter_ns() if tracer is not None else 0
+    columnar = encode_recording(recording, tracker.direct_via_policy)
+    if tracer is not None:
+        tracer.end("vector.encode", encode_start)
+
+    n = len(columnar)
+    end = n if limit is None else max(0, min(limit, n))
+
+    policy = tracker.policy
+    if getattr(policy, "vector_seed", False):
+        seeder = getattr(policy, "preseed_marginals", None)
+        if seeder is not None:
+            seeder(columnar.tag_types)
+
+    # kind-code -> mutation handler: the scalar ``*_flow`` methods, with
+    # the state-equal fast paths of repro.vector.flows swapped in for the
+    # dominant kinds whenever nothing can observe the difference
+    if policy_fast_path_eligible(tracker):
+        indirect_flow = make_policy_flow(tracker, True)
+        via_policy_flow = make_policy_flow(tracker, False)
+    else:
+        def indirect_flow(event):
+            tracker._policy_flow(event, True)
+
+        def via_policy_flow(event):
+            tracker._policy_flow(event, False)
+
+    if tracker.direct_via_policy:
+        copy_flow = via_policy_flow
+        compute_flow = via_policy_flow
+    else:
+        copy_flow = make_copy_flow(tracker)
+        compute_flow = tracker._direct_flow
+
+    flow_fns = [None] * len(FlowKind)
+    flow_fns[KIND_INSERT] = tracker._insert_flow
+    flow_fns[KIND_CLEAR] = tracker._clear_flow
+    flow_fns[KIND_COPY] = copy_flow
+    flow_fns[KIND_COMPUTE] = compute_flow
+    flow_fns[KIND_ADDRESS_DEP] = indirect_flow
+    flow_fns[KIND_CONTROL_DEP] = indirect_flow
+
+    loop_ns = time.perf_counter_ns() if tracer is not None else 0
+    plane = TaintActivityPlane(columnar)
+    events = recording.events
+    kinds = columnar.kinds
+    dest_ids = columnar.dest_ids
+    lists_get = tracker.shadow._lists.get
+    detector = tracker.detector
+    stats = tracker.stats
+    next_hot = plane.next_hot
+    set_active = plane.set_active
+    active_map = plane.active
+
+    # kinds whose destination is provably tainted after the event runs:
+    # INSERT always ends with a non-empty list (a refused REJECT add only
+    # happens against an already-full list), and a *hot* direct COMPUTE
+    # unions a currently-active source into the destination.  For these
+    # the per-event shadow lookup is skipped; CLEAR always ends untainted.
+    always_active = bytearray(len(FlowKind))
+    always_active[KIND_INSERT] = 1
+    if not tracker.direct_via_policy:
+        always_active[KIND_COMPUTE] = 1
+
+    shadow = tracker.shadow
+    pos = 0
+    hot = 0
+    while True:
+        index = next_hot(pos, end)
+        if index >= end:
+            break
+        event = events[index]
+        kind = kinds[index]
+        flow_fns[kind](event)
+        destination = event.destination
+        if detector is not None:
+            alert = detector.check(shadow, destination, event.tick)
+            if alert is not None:
+                stats.alerts += 1
+        loc_id = dest_ids[index]
+        if always_active[kind]:
+            if not active_map[loc_id]:
+                set_active(loc_id, True, index)
+        elif kind == KIND_CLEAR:
+            active_map[loc_id] = 0
+        else:
+            dest_list = lists_get(destination)
+            set_active(
+                loc_id,
+                dest_list is not None and len(dest_list._tags) > 0,
+                index,
+            )
+        hot += 1
+        pos = index + 1
+    if tracer is not None:
+        tracer.end("vector.hot_loop", loop_ns)
+
+    account_ns = time.perf_counter_ns() if tracer is not None else 0
+    accounts = batch_account(columnar, end)
+    stats.inserts += accounts.inserts
+    stats.clears += accounts.clears
+    stats.dfp_copy += accounts.dfp_copy
+    stats.dfp_compute += accounts.dfp_compute
+    stats.ifp_address += accounts.ifp_address
+    stats.ifp_control += accounts.ifp_control
+    if accounts.tick_horizon > stats.ticks:
+        stats.ticks = accounts.tick_horizon
+    merge_context_counts(stats.by_context, accounts.context_counts)
+
+    stage_counts = pipeline.stage_counts
+    stage_counts["is_dfp"] = stage_counts.get("is_dfp", 0) + accounts.is_dfp
+    stage_counts["is_ifp"] = stage_counts.get("is_ifp", 0) + accounts.is_ifp
+    stage_counts["insert"] = stage_counts.get("insert", 0) + accounts.inserts
+    stage_counts["clear"] = stage_counts.get("clear", 0) + accounts.clears
+
+    event_counters = pipeline._event_counters
+    if event_counters is not None:
+        for kind, counter in event_counters.items():
+            count = int(accounts.kind_counts[KIND_CODES[kind]])
+            if count:
+                counter.inc(count)
+    if tracer is not None:
+        tracer.end("vector.accounting", account_ns)
+
+    result = replayer._finish(recording, end, started, loop_start)
+    result.meta["engine"] = "vector"
+    result.meta["hot_events"] = hot
+    result.meta["cold_events"] = end - hot
+    return result

@@ -1,0 +1,335 @@
+"""Vector-side fast paths for the hot-event mutations.
+
+The activity plane removes the cold ~75% of events; what remains is
+bounded below by the mutation work itself, so the vector engine also
+ships *state-equal* specializations of the two dominant hot kinds:
+
+``copy_flow``
+    Direct-copy replacement.  ``ShadowMemory.replace_tags`` re-adds the
+    source tags one ``add_tag`` at a time (per-tag dedup scan, outcome
+    objects, aggregate updates).  A copy's source list is already
+    duplicate-free and within capacity, so the rebuilt destination list
+    is exactly ``list(src tags)`` under every scheduling policy (FIFO and
+    LRU append in add order; REJECT/VALUE never see overflow) -- the fast
+    path clears, splices the list in, and bulk-syncs the counter and
+    aggregates.  The content-equal shortcut mirrors
+    ``replace_tags`` (including its hooks-off condition); events on a
+    counter with birth/death monitors attached fall back to the scalar
+    handler wholesale so hook interleaving is the scalar interleaving.
+
+``policy_flow``
+    Algorithm 2 without the decision-object materialization.  When
+    nothing can observe per-decision structure -- no ``ifp_observer``, no
+    decision log, no tracer span, and a plain cache-backed
+    ``MitosPolicy`` -- the ``Decision``/``MultiDecision`` objects built
+    by ``decide_multi`` are garbage on arrival.  The fast path runs the
+    same ranking (same cache lookups, same ``under + over_base`` keys,
+    same stable sort) and the same greedy loop (same pollution feedback,
+    same float accumulation order into ``EngineStats.marginal_sum``),
+    collecting only the selected tags.  Configurations with observers
+    fall back to the scalar ``_policy_flow`` so trace bytes come from the
+    identical code.
+
+Both are *replacements proven state-equal*, not re-implementations of
+policy: every counter, stat, and list they produce is pinned against the
+scalar handlers by the equivalence suite (unit, property, and full-replay
+byte-identity tests).
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+from typing import TYPE_CHECKING, Callable, List
+
+from repro.core.policy import MitosPolicy
+from repro.dift.flows import FlowEvent
+from repro.dift.provenance import ProvenanceList
+
+if TYPE_CHECKING:
+    from repro.dift.tracker import DIFTTracker
+
+FlowFn = Callable[[FlowEvent], None]
+
+
+def make_copy_flow(tracker: "DIFTTracker") -> FlowFn:
+    """Direct-COPY handler, state-equal to ``DIFTTracker._direct_flow``."""
+    shadow = tracker.shadow
+    lists = shadow._lists
+    counter = shadow.counter
+    stats = tracker.stats
+    scalar_flow = tracker._direct_flow
+    m_prov = shadow.m_prov
+    scheduling = shadow.scheduling
+    value_fn = shadow.value_fn
+
+    def copy_flow(event: FlowEvent) -> None:
+        if counter.on_birth is not None or counter.on_death is not None:
+            scalar_flow(event)  # preserve per-tag hook interleaving
+            return
+        source_list = lists.get(event.sources[0])
+        destination = event.destination
+        current = lists.get(destination)
+        counts = counter._counts
+        totals = counter._type_totals
+        if source_list is None or not source_list._tags:
+            # untainted source: pure clear (including popping the
+            # empty-list entry a refused REJECT add can leave behind)
+            if current is None:
+                return
+            dropped_tags = current._tags
+            del lists[destination]
+            dropped = len(dropped_tags)
+            if dropped:
+                shadow._entries -= dropped
+                shadow._tainted -= 1
+                for tag in dropped_tags:
+                    key = (tag.type, tag.index)
+                    count = counts[key]
+                    if count == 1:
+                        del counts[key]
+                    else:
+                        counts[key] = count - 1
+                    tag_type = tag.type
+                    total = totals[tag_type]
+                    if total == 1:
+                        del totals[tag_type]
+                    else:
+                        totals[tag_type] = total - 1
+                counter._total_entries -= dropped
+                counter._pollution_dirty = True
+                stats.propagation_ops += dropped
+                stats.drops += dropped
+            return
+        tags = source_list._tags
+        if current is not None:
+            if current._tags == tags:
+                # replace_tags' content-equal shortcut: the clear+re-add
+                # round trip would end in this exact state
+                count = len(tags)
+                stats.propagation_ops += 2 * count
+                stats.drops += count
+                return
+            # distinct lists (self-copy lands in the shortcut above), so
+            # snapshotting before the decrements is safe; the scalar path
+            # pops the old list and builds a fresh one at the *end* of the
+            # dict -- the re-insert keeps snapshot iteration order, while
+            # reusing the allocation stays unobservable
+            replacement = list(tags)
+            old_tags = current._tags
+            dropped = len(old_tags)
+            for tag in old_tags:
+                key = (tag.type, tag.index)
+                count = counts[key]
+                if count == 1:
+                    del counts[key]
+                else:
+                    counts[key] = count - 1
+                tag_type = tag.type
+                total = totals[tag_type]
+                if total == 1:
+                    del totals[tag_type]
+                else:
+                    totals[tag_type] = total - 1
+            current._tags = replacement
+            del lists[destination]
+            lists[destination] = current
+            for tag in replacement:
+                key = (tag.type, tag.index)
+                counts[key] = counts.get(key, 0) + 1
+                tag_type = tag.type
+                totals[tag_type] = totals.get(tag_type, 0) + 1
+            added = len(replacement)
+            counter._total_entries += added - dropped
+            counter._pollution_dirty = True
+            shadow._entries += added - dropped
+            if not dropped:
+                shadow._tainted += 1
+            stats.propagation_ops += added + dropped
+            stats.drops += dropped
+            return
+        replacement = list(tags)
+        rebuilt = ProvenanceList(m_prov, scheduling, value_fn)
+        rebuilt._tags = replacement
+        lists[destination] = rebuilt
+        for tag in replacement:
+            key = (tag.type, tag.index)
+            counts[key] = counts.get(key, 0) + 1
+            tag_type = tag.type
+            totals[tag_type] = totals.get(tag_type, 0) + 1
+        added = len(replacement)
+        counter._total_entries += added
+        counter._pollution_dirty = True
+        shadow._entries += added
+        shadow._tainted += 1
+        stats.propagation_ops += added
+
+    return copy_flow
+
+
+def policy_fast_path_eligible(tracker: "DIFTTracker") -> bool:
+    """Whether the decision-light Algorithm 2 path may replace
+    ``_policy_flow``: nothing may observe per-decision structure and the
+    policy must be a stock cache-backed :class:`MitosPolicy`."""
+    policy = tracker.policy
+    return (
+        type(policy) is MitosPolicy
+        and tracker.ifp_observer is None
+        and tracker.tracer is None
+        and policy.engine._cache is not None
+        and not policy.engine._log_decisions
+    )
+
+
+def make_policy_flow(tracker: "DIFTTracker", indirect: bool) -> FlowFn:
+    """Policy-routed handler, state-equal to ``DIFTTracker._policy_flow``.
+
+    Only valid when :func:`policy_fast_path_eligible` holds -- the
+    builder asserts it.
+    """
+    assert policy_fast_path_eligible(tracker)
+    shadow = tracker.shadow
+    lists = shadow._lists
+    counter = shadow.counter
+    copies_of = counter._counts.get
+    stats = tracker.stats
+    policy = tracker.policy
+    engine = policy.engine
+    engine_stats = engine.stats
+    add_tag = shadow.add_tag
+    o_of = engine.params.o_of
+    m_prov = shadow.m_prov
+    scheduling = shadow.scheduling
+    value_fn = shadow.value_fn
+    # one long-lived cache per engine: eligibility pinned ``_cache`` as
+    # non-None, and the params-identity re-check of the ``marginal_cache``
+    # property can only matter if params are swapped mid-replay, which
+    # nothing does (the scalar path would rebuild its memo mid-run too)
+    cache = engine.marginal_cache
+    under = cache.under
+    under_get = cache._under.get
+    over = cache.over
+    current_pollution_of = engine.current_pollution
+
+    def policy_flow(event: FlowEvent) -> None:
+        # inlined _candidates_for, fused with the under-marginal lookups
+        # so each candidate is visited once and no TagCandidate objects
+        # are built (same tags, same order, same copy counts)
+        destination = event.destination
+        dest_list = lists.get(destination)
+        present = dest_list._tags if dest_list is not None else ()
+        sources = event.sources
+        cand_tags: List = []
+        cand_types: List[str] = []
+        unders: List[float] = []
+        if len(sources) == 1:
+            # single source: its list is already duplicate-free
+            source_list = lists.get(sources[0])
+            if source_list is not None:
+                for tag in source_list._tags:
+                    if tag not in present:
+                        tag_type = tag.type
+                        copies = copies_of((tag_type, tag.index), 0)
+                        value = under_get((tag_type, copies))
+                        if value is None:
+                            value = under(copies, tag_type)
+                        cand_tags.append(tag)
+                        cand_types.append(tag_type)
+                        unders.append(value)
+        else:
+            seen = set()
+            for source in sources:
+                source_list = lists.get(source)
+                if source_list is None:
+                    continue
+                for tag in source_list._tags:
+                    if tag in present or tag in seen:
+                        continue
+                    seen.add(tag)
+                    tag_type = tag.type
+                    copies = copies_of((tag_type, tag.index), 0)
+                    value = under_get((tag_type, copies))
+                    if value is None:
+                        value = under(copies, tag_type)
+                    cand_tags.append(tag)
+                    cand_types.append(tag_type)
+                    unders.append(value)
+        count = len(cand_tags)
+        if indirect:
+            stats.ifp_candidates += count
+        if not count:
+            return
+        # MitosPolicy.handles() is the always-True default; the scalar
+        # handled-check is a no-op here.
+        free = (
+            dest_list.free_slots if dest_list is not None else m_prov
+        )
+        pollution = current_pollution_of()
+        over_base = over(pollution)
+        if count > 1:
+            keys = [value + over_base for value in unders]
+            order = sorted(range(count), key=keys.__getitem__)
+        else:
+            order = (0,)
+        # the greedy loop of decide_multi, minus the Decision objects;
+        # float operations in the identical order.  The over-submarginal
+        # is only recomputed after a propagation changes the pollution --
+        # between propagations the memo would return the same float.
+        marginal_sum = engine_stats.marginal_sum
+        current_pollution = pollution
+        current_over = over_base
+        props = 0
+        selected: List = []
+        for i in order:
+            marginal = unders[i] + current_over
+            if props < free and marginal <= 0:
+                props += 1
+                selected.append(cand_tags[i])
+                current_pollution += o_of(cand_types[i])
+                current_over = over(current_pollution)
+            if isfinite(marginal):
+                marginal_sum += marginal
+        engine_stats.marginal_sum = marginal_sum
+        engine_stats.considered += count
+        engine_stats.propagated += props
+        engine_stats.blocked += count - props
+        if props:
+            if counter.on_birth is not None:
+                # birth hooks fire inside counter.increment; route through
+                # add_tag so the hook interleaving is the scalar one
+                for tag in selected:
+                    outcome = add_tag(destination, tag)
+                    if outcome.added:
+                        stats.propagation_ops += 1
+                    if outcome.dropped is not None:
+                        stats.drops += 1
+                        stats.propagation_ops += 1
+            else:
+                # candidates are unique and absent from the destination,
+                # and ``props <= free`` keeps the list within capacity, so
+                # every add is a plain append under all four scheduling
+                # policies -- bulk-extend and sync the integer aggregates
+                if dest_list is None:
+                    dest_list = ProvenanceList(m_prov, scheduling, value_fn)
+                    lists[destination] = dest_list
+                    was_empty = True
+                else:
+                    was_empty = not dest_list._tags
+                dest_list._tags.extend(selected)
+                counts = counter._counts
+                totals = counter._type_totals
+                for tag in selected:
+                    key = (tag.type, tag.index)
+                    counts[key] = counts.get(key, 0) + 1
+                    tag_type = tag.type
+                    totals[tag_type] = totals.get(tag_type, 0) + 1
+                counter._total_entries += props
+                counter._pollution_dirty = True
+                if was_empty:
+                    shadow._tainted += 1
+                shadow._entries += props
+                stats.propagation_ops += props
+        if indirect:
+            stats.ifp_propagated += props
+            stats.ifp_blocked += count - props
+
+    return policy_flow

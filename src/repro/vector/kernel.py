@@ -1,0 +1,291 @@
+"""Vectorized Eq. 8 kernel: batch marginal costs in float64.
+
+Hardware DIFT planes evaluate tag decisions in bulk; this module is the
+software analogue for the Eq. 8 marginal cost, computing
+
+* the undertainting submarginal ``-u_T * n**(-alpha)`` (``-inf`` at
+  ``copies == 0``, the ``alpha = 1`` log-limit included), and
+* the overtainting submarginal ``tau_eff * beta * (P/N_R)**(beta-1)``
+
+over whole candidate batches as NumPy float64 arrays.
+
+Bit-equality design
+-------------------
+NumPy's float64 ``power`` ufunc is *not* bit-identical to CPython's
+``**`` on this class of hardware (its SIMD pow kernels differ from libm
+in the last ulp for a few percent of inputs -- measured and pinned by
+the kernel tests).  Two consequences shape this module:
+
+* The undertainting side is served from an **exact gather table**:
+  per-type tables of ``under_marginal(copies, ...)`` values computed by
+  the scalar :mod:`repro.core.costs` code, then gathered with NumPy
+  fancy indexing.  Copies are small non-negative integers (bounded by
+  how many locations exist), so a bounded table covers the working set
+  and every gathered value is *the* scalar value, bit for bit.  This is
+  exactly the :class:`~repro.core.decision.MarginalCache` memo semantics
+  in columnar form, and :func:`seed_marginal_cache` bulk-loads a live
+  cache from the same values.
+
+* The overtainting side has exact arithmetic fast paths for integer
+  ``beta`` (``beta - 1`` in {0, 1, 2, 3} reduces to multiplication,
+  which IEEE 754 makes deterministic); other betas fall back to
+  ``np.power`` and may differ from the scalar path by one ulp.  The
+  replay engines never consume these batch over-terms for decisions --
+  :func:`~repro.core.decision.decide_multi` recomputes the sequential,
+  pollution-dependent over-term with the scalar code -- so decision
+  bit-equality never rests on ``np.power``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import costs
+from repro.core.decision import MarginalCache, MultiDecision, TagCandidate, decide_multi
+from repro.core.params import MitosParams
+
+#: default copies range covered by under-marginal tables / cache seeding
+DEFAULT_MAX_COPIES = 256
+
+#: exact multiplicative fast paths for ``(P/N_R)**(beta-1)``
+_EXACT_OVER_EXPONENTS = (0.0, 1.0, 2.0, 3.0)
+
+
+def under_table(
+    tag_type: str, max_copies: int, params: MitosParams
+) -> np.ndarray:
+    """Exact under-marginal table ``t[n] = under_marginal(n, type)``.
+
+    Values are produced by the scalar :func:`repro.core.costs.under_marginal`
+    (including ``-inf`` at index 0 and the ``alpha = 1`` reciprocal), so a
+    gather from this table is bit-equal to the scalar call.
+    """
+    if max_copies < 0:
+        raise ValueError(f"max_copies must be >= 0, got {max_copies}")
+    return np.array(
+        [
+            costs.under_marginal(copies, tag_type, params)
+            for copies in range(max_copies + 1)
+        ],
+        dtype=np.float64,
+    )
+
+
+def under_table_stack(
+    tag_types: Sequence[str], max_copies: int, params: MitosParams
+) -> np.ndarray:
+    """Stacked tables, shape ``(len(tag_types), max_copies + 1)``.
+
+    Row ``i`` is :func:`under_table` for ``tag_types[i]``; gather with
+    ``stack[type_codes, copies]``.
+    """
+    if not tag_types:
+        return np.zeros((0, max_copies + 1), dtype=np.float64)
+    return np.stack(
+        [under_table(tag_type, max_copies, params) for tag_type in tag_types]
+    )
+
+
+def under_marginals(
+    copies: np.ndarray,
+    type_codes: np.ndarray,
+    table_stack: np.ndarray,
+) -> np.ndarray:
+    """Batch undertainting submarginals via exact table gather.
+
+    ``copies`` beyond the table range raise ``IndexError`` rather than
+    silently extrapolating; size the table for the workload (the copy
+    count of a tag is bounded by the number of tainted locations).
+    """
+    return table_stack[type_codes, copies]
+
+
+def over_marginals(
+    pollution_values: "np.ndarray | float",
+    params: MitosParams,
+) -> np.ndarray:
+    """Batch overtainting submarginals ``tau_eff * beta * (P/N_R)**(beta-1)``.
+
+    Exact (bit-equal to :func:`repro.core.costs.over_marginal`) whenever
+    ``beta - 1`` is in {0, 1, 2, 3}; otherwise within one ulp (NumPy's
+    SIMD pow vs libm).  The same left-to-right multiplication order as
+    the scalar code is used so the exact paths really are exact.
+    """
+    scaled = np.asarray(pollution_values, dtype=np.float64) / params.N_R
+    if np.any(scaled < 0):
+        raise ValueError("pollution must be non-negative")
+    exponent = params.beta - 1.0
+    if exponent == 0.0:
+        powered = np.ones_like(scaled)
+    elif exponent == 1.0:
+        powered = scaled
+    elif exponent == 2.0:
+        powered = scaled * scaled
+    elif exponent == 3.0:
+        powered = scaled * scaled * scaled
+    else:
+        powered = np.power(scaled, exponent)
+    return params.effective_tau * params.beta * powered
+
+
+def marginal_batch(
+    copies: np.ndarray,
+    type_codes: np.ndarray,
+    table_stack: np.ndarray,
+    pollution_value: float,
+    params: MitosParams,
+) -> np.ndarray:
+    """Batch Eq. 8 marginals at one shared pollution value.
+
+    The under side comes from the exact gather table; the over side is a
+    single scalar :func:`repro.core.costs.over_marginal` broadcast over
+    the batch, so every element equals ``under + over`` exactly as the
+    scalar/cached decision path computes it (``-inf + over`` stays
+    ``-inf`` for zero-copy candidates).
+    """
+    over = costs.over_marginal(pollution_value, params)
+    return under_marginals(copies, type_codes, table_stack) + over
+
+
+def rank_candidates(
+    copies: np.ndarray,
+    type_codes: np.ndarray,
+    table_stack: np.ndarray,
+    over_base: float,
+) -> np.ndarray:
+    """Stable ascending order of ``under + over_base`` -- Alg. 2's ranking.
+
+    Stable argsort over bit-equal keys reproduces ``sorted()``'s tie
+    order exactly, so the permutation matches
+    :func:`repro.core.decision.decide_multi` including sort ties.
+    """
+    keys = under_marginals(copies, type_codes, table_stack) + over_base
+    return np.argsort(keys, kind="stable")
+
+
+def decide_multi_batch(
+    candidates: Sequence[TagCandidate],
+    free_slots: int,
+    pollution: float,
+    params: MitosParams,
+    table_stack: Optional[np.ndarray] = None,
+    tag_types: Optional[Sequence[str]] = None,
+) -> MultiDecision:
+    """Algorithm 2 with the ranking key computed by the vector kernel.
+
+    The greedy propagate loop is inherently sequential (each propagation
+    feeds the next over-term), so only the dominant ranking work is
+    vectorized; the sequential tail reuses the scalar code.  Output is
+    bit-identical to :func:`repro.core.decision.decide_multi` -- pinned
+    by the kernel property tests.
+    """
+    if free_slots < 0:
+        raise ValueError(f"free_slots must be non-negative, got {free_slots}")
+    if not candidates:
+        return MultiDecision(free_slots=free_slots)
+    if table_stack is None or tag_types is None:
+        tag_types = sorted({c.tag_type for c in candidates})
+        max_copies = max(c.copies for c in candidates)
+        table_stack = under_table_stack(tag_types, max_copies, params)
+    type_index = {tag_type: i for i, tag_type in enumerate(tag_types)}
+    copies = np.array([c.copies for c in candidates], dtype=np.int64)
+    codes = np.array(
+        [type_index[c.tag_type] for c in candidates], dtype=np.int64
+    )
+    over_base = costs.over_marginal(pollution, params)
+    order = rank_candidates(copies, codes, table_stack, over_base)
+    ranked = [candidates[i] for i in order]
+    # The sequential tail: scalar submarginals (bit-equal to the gather
+    # by construction), pollution feedback after every propagation.
+    from repro.core.decision import Decision
+
+    result = MultiDecision(free_slots=free_slots)
+    current_pollution = pollution
+    props = 0
+    for candidate in ranked:
+        under = costs.under_marginal(
+            candidate.copies, candidate.tag_type, params
+        )
+        over = costs.over_marginal(
+            current_pollution, params, tag_type=candidate.tag_type
+        )
+        marginal = under + over
+        should_propagate = props < free_slots and marginal <= 0
+        result.decisions.append(
+            Decision(
+                candidate=candidate,
+                marginal=marginal,
+                propagate=should_propagate,
+                under_marginal=under,
+                over_marginal=over,
+            )
+        )
+        if should_propagate:
+            props += 1
+            current_pollution += params.o_of(candidate.tag_type)
+    return result
+
+
+def seed_marginal_cache(
+    cache: MarginalCache,
+    tag_types: Sequence[str],
+    max_copies: int = DEFAULT_MAX_COPIES,
+) -> int:
+    """Bulk-load a :class:`MarginalCache`'s under table from the kernel.
+
+    Entries are the exact table values (scalar-computed, see module
+    docs), so a pre-seeded cache serves byte-identical marginals to one
+    filled lazily -- seeding is purely a warm-up.  Seeding stops at the
+    cache's ``max_entries`` budget so it can never trigger the
+    clear-on-overflow path and evict live entries.
+
+    Returns the number of entries actually added.
+    """
+    params = cache.params
+    under = cache._under
+    budget = cache.max_entries - len(under)
+    seeded = 0
+    for tag_type in tag_types:
+        if seeded >= budget:
+            break
+        table = under_table(
+            tag_type, min(max_copies, budget - seeded), params
+        )
+        for copies in range(table.shape[0]):
+            if seeded >= budget:
+                break
+            key = (tag_type, copies)
+            if key not in under:
+                under[key] = float(table[copies])
+                seeded += 1
+    return seeded
+
+
+def verify_batch_agreement(
+    candidate_sets: Sequence[Sequence[TagCandidate]],
+    free_slots: int,
+    pollution: float,
+    params: MitosParams,
+) -> List[bool]:
+    """Cross-check :func:`decide_multi_batch` against the scalar Alg. 2.
+
+    Returns one flag per candidate set: True iff every decision field
+    (order, propagate, marginal, both submarginals) is bit-identical.
+    Used by the kernel tests and available for ad-hoc auditing.
+    """
+    agreements: List[bool] = []
+    for candidates in candidate_sets:
+        scalar = decide_multi(candidates, free_slots, pollution, params)
+        batch = decide_multi_batch(candidates, free_slots, pollution, params)
+        same = len(scalar.decisions) == len(batch.decisions) and all(
+            a.candidate == b.candidate
+            and a.propagate == b.propagate
+            and a.marginal == b.marginal
+            and a.under_marginal == b.under_marginal
+            and a.over_marginal == b.over_marginal
+            for a, b in zip(scalar.decisions, batch.decisions)
+        )
+        agreements.append(same)
+    return agreements

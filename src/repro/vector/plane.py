@@ -1,0 +1,211 @@
+"""Taint-activity plane: skip-to-next-hot-event index over the columns.
+
+The vector engine's core observation is that most replayed events are
+*cold*: given which locations currently hold tags, the event provably
+mutates nothing (see the relevance-set table in :mod:`repro.vector.encode`).
+On the full network recording ~75% of events are cold.  The plane tracks
+the tainted-location set as a NumPy bitmap and answers "what is the next
+event at or after position ``pos`` that can mutate state?" in amortized
+sub-linear time, so the engine's Python loop touches only hot events.
+
+Mechanism: a min-heap of ``(position, location)`` entries over the
+per-location posting lists built at encode time.  An entry means "the
+next taint-relevant event of this *active* (tainted) location is at this
+position".  INSERT events are merged in from their own sorted position
+array via a monotone pointer.  Deactivation is lazy (stale entries are
+discarded when popped); activation pushes the location's first posting
+after the activation point.  Every heap pop is charged to a hot event's
+relevant-location set, so total index work is proportional to the hot
+work itself, not to the recording length.
+
+Batch accounting for the cold majority lives here too
+(:func:`batch_account`): the pure-function-of-the-columns statistics
+(per-kind counters, tick horizon, per-context counts) for a whole
+``[0, end)`` window as a handful of NumPy reductions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.vector.encode import (
+    KIND_ADDRESS_DEP,
+    KIND_CLEAR,
+    KIND_COMPUTE,
+    KIND_CONTROL_DEP,
+    KIND_COPY,
+    KIND_INSERT,
+    ColumnarRecording,
+)
+
+
+class TaintActivityPlane:
+    """Tainted-location bitmap + next-hot-event index.
+
+    The index structures are plain Python (bytearray bitmap, list
+    postings, ``bisect``/``heapq``): the operations are single-element,
+    where interpreter-native containers beat NumPy scalar extraction by
+    an order of magnitude.  NumPy earns its keep on the whole-column
+    reductions (:func:`batch_account`), not here.
+    """
+
+    def __init__(self, columnar: ColumnarRecording):
+        self._postings = columnar.postings
+        self.active = bytearray(len(columnar.locations))
+        self._heap: List[Tuple[int, int]] = []
+        self._inserts = columnar.insert_positions.tolist()
+        self._insert_ptr = 0
+
+    def is_active(self, loc_id: int) -> bool:
+        return bool(self.active[loc_id])
+
+    def set_active(self, loc_id: int, value: bool, at_index: int) -> None:
+        """Record ``loc_id``'s taint state right after event ``at_index``.
+
+        Activation schedules the location's next relevant event (strictly
+        after ``at_index``); deactivation is lazy -- any scheduled entry
+        is discarded when it surfaces.
+        """
+        active = self.active
+        if value:
+            if not active[loc_id]:
+                active[loc_id] = 1
+                postings = self._postings[loc_id]
+                nxt = bisect_right(postings, at_index)
+                if nxt < len(postings):
+                    heappush(self._heap, (postings[nxt], loc_id))
+        else:
+            active[loc_id] = 0
+
+    def next_hot(self, pos: int, end: int) -> int:
+        """Position of the first possibly-mutating event in ``[pos, end)``.
+
+        Returns ``end`` when no such event remains.  "Possibly": a hot
+        verdict re-checks nothing -- the engine simply runs the event
+        through the scalar mutation code; only *cold* verdicts carry a
+        proof obligation, and those follow from the relevance sets.
+        """
+        inserts = self._inserts
+        ptr = self._insert_ptr
+        n_inserts = len(inserts)
+        while ptr < n_inserts and inserts[ptr] < pos:
+            ptr += 1
+        self._insert_ptr = ptr
+        nxt = inserts[ptr] if ptr < n_inserts else end
+
+        heap = self._heap
+        active = self.active
+        while heap:
+            position, loc_id = heap[0]
+            if position >= pos:
+                if active[loc_id]:
+                    if position < nxt:
+                        nxt = position
+                    break
+                heappop(heap)  # lazily-deactivated location
+                continue
+            heappop(heap)
+            if active[loc_id]:
+                postings = self._postings[loc_id]
+                here = bisect_left(postings, pos)
+                if here < len(postings):
+                    heappush(heap, (postings[here], loc_id))
+        return nxt if nxt < end else end
+
+
+@dataclass
+class BatchAccounts:
+    """The column-derivable statistics for a ``[0, end)`` window."""
+
+    #: per-kind event counts indexed by the encode kind codes
+    kind_counts: np.ndarray
+    #: ``max(tick) + 1`` over the window, 0 when empty
+    tick_horizon: int
+    #: per-context counts in first-appearance order (scalar dict order)
+    context_counts: List[Tuple[str, int]]
+
+    @property
+    def inserts(self) -> int:
+        return int(self.kind_counts[KIND_INSERT])
+
+    @property
+    def clears(self) -> int:
+        return int(self.kind_counts[KIND_CLEAR])
+
+    @property
+    def dfp_copy(self) -> int:
+        return int(self.kind_counts[KIND_COPY])
+
+    @property
+    def dfp_compute(self) -> int:
+        return int(self.kind_counts[KIND_COMPUTE])
+
+    @property
+    def ifp_address(self) -> int:
+        return int(self.kind_counts[KIND_ADDRESS_DEP])
+
+    @property
+    def ifp_control(self) -> int:
+        return int(self.kind_counts[KIND_CONTROL_DEP])
+
+    @property
+    def is_dfp(self) -> int:
+        return self.dfp_copy + self.dfp_compute
+
+    @property
+    def is_ifp(self) -> int:
+        return self.ifp_address + self.ifp_control
+
+
+def batch_account(columnar: ColumnarRecording, end: int) -> BatchAccounts:
+    """Compute the pure-count statistics for ``columns[:end]`` in bulk.
+
+    These are exactly the counters the scalar path bumps per event as
+    pure functions of the event's own columns (kind, tick, context) --
+    nothing during a replay reads them back, so accumulating them once
+    after the hot loop is observationally identical.
+    """
+    columns = columnar.columns
+    kinds = columns["kind"][:end]
+    kind_counts = np.bincount(
+        kinds.astype(np.int64, copy=False), minlength=6
+    )
+    tick_horizon = (
+        int(columns["tick"][:end].max()) + 1 if end > 0 else 0
+    )
+    context_counts: List[Tuple[str, int]] = []
+    if columnar.contexts and end > 0:
+        ctx = columns["ctx"][:end]
+        named = ctx[ctx >= 0]
+        if named.size:
+            codes, first_seen, counts = np.unique(
+                named, return_index=True, return_counts=True
+            )
+            order = np.argsort(first_seen, kind="stable")
+            context_counts = [
+                (columnar.contexts[int(codes[i])], int(counts[i]))
+                for i in order
+            ]
+    return BatchAccounts(
+        kind_counts=kind_counts,
+        tick_horizon=tick_horizon,
+        context_counts=context_counts,
+    )
+
+
+def merge_context_counts(
+    by_context: Dict[str, int], context_counts: List[Tuple[str, int]]
+) -> None:
+    """Fold batch per-context counts into a scalar-path ``by_context``.
+
+    ``context_counts`` is in first-appearance order, so folding into an
+    empty dict reproduces the scalar insertion order (and bytes) of
+    ``TrackerStats.by_context`` exactly.
+    """
+    for context, count in context_counts:
+        by_context[context] = by_context.get(context, 0) + count

@@ -9,7 +9,7 @@ indirect-flow pressure.
 
 from __future__ import annotations
 
-from repro.isa.devices import FileDevice, NetworkDevice
+from repro.isa.devices import FileDevice
 from repro.isa.programs import (
     memcpy_program,
     network_download,

@@ -2,7 +2,6 @@
 
 import csv
 import json
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -10,7 +9,6 @@ import pytest
 
 from repro.analysis.export import rows_to_csv, series_to_csv, to_json
 from repro.analysis.stats import (
-    Summary,
     repeat_over_seeds,
     summarize,
     summarize_metrics,

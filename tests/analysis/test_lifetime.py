@@ -1,6 +1,5 @@
 """Tests for TaintBochs-style tag-lifetime analysis."""
 
-import pytest
 
 from repro.analysis.lifetime import LifetimeMonitor
 from repro.core.params import MitosParams

@@ -1,6 +1,5 @@
 """Tests for repro.analysis.lineage."""
 
-import pytest
 
 from repro.analysis.lineage import LineageGraph, undertainting_of
 from repro.dift import flows

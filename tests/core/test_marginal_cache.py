@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from repro.core.costs import marginal_cost, over_marginal, under_marginal
+from repro.core.costs import over_marginal, under_marginal
 from repro.core.decision import (
     MarginalCache,
     MitosEngine,

@@ -1,0 +1,229 @@
+"""Vectorized Eq. 8 kernel: exactness and agreement with the scalar path."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import costs
+from repro.core.decision import MarginalCache, TagCandidate, decide_multi
+from repro.core.params import MitosParams
+from repro.vector.kernel import (
+    DEFAULT_MAX_COPIES,
+    decide_multi_batch,
+    marginal_batch,
+    over_marginals,
+    rank_candidates,
+    seed_marginal_cache,
+    under_marginals,
+    under_table,
+    under_table_stack,
+    verify_batch_agreement,
+)
+
+PARAMS = MitosParams(u={"netflow": 2.0, "file": 0.5}, o={"netflow": 1.5})
+
+
+class TestUnderTable:
+    def test_bit_equal_to_scalar(self):
+        table = under_table("netflow", 64, PARAMS)
+        for copies in range(65):
+            expected = costs.under_marginal(copies, "netflow", PARAMS)
+            assert table[copies] == expected or (
+                math.isinf(table[copies]) and math.isinf(expected)
+            )
+
+    def test_zero_copies_is_minus_inf(self):
+        assert under_table("netflow", 4, PARAMS)[0] == -math.inf
+
+    def test_alpha_one_log_limit(self):
+        params = MitosParams(alpha=1.0)
+        table = under_table("netflow", 16, params)
+        for copies in range(1, 17):
+            assert table[copies] == costs.under_marginal(
+                copies, "netflow", params
+            )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            under_table("netflow", -1, PARAMS)
+
+    def test_stack_gather(self):
+        types = ["netflow", "file", "export_table"]
+        stack = under_table_stack(types, 32, PARAMS)
+        assert stack.shape == (3, 33)
+        copies = np.array([0, 1, 7, 32])
+        codes = np.array([0, 1, 2, 1])
+        gathered = under_marginals(copies, codes, stack)
+        for value, (code, count) in zip(gathered, zip(codes, copies)):
+            expected = costs.under_marginal(
+                int(count), types[int(code)], PARAMS
+            )
+            assert value == expected or (
+                math.isinf(value) and math.isinf(expected)
+            )
+
+    def test_empty_stack(self):
+        assert under_table_stack([], 8, PARAMS).shape == (0, 9)
+
+
+class TestOverMarginals:
+    @pytest.mark.parametrize("beta", [1.0, 2.0, 3.0, 4.0])
+    def test_integer_beta_bit_equal(self, beta):
+        params = MitosParams(beta=beta)
+        pollution = np.array([0.0, 1.0, 17.5, 4096.0, 1e6])
+        batch = over_marginals(pollution, params)
+        for value, p in zip(batch, pollution):
+            assert value == costs.over_marginal(float(p), params)
+
+    def test_general_beta_within_ulp(self):
+        params = MitosParams(beta=2.5)
+        pollution = np.linspace(0.0, 1e5, 257)
+        batch = over_marginals(pollution, params)
+        for value, p in zip(batch, pollution):
+            scalar = costs.over_marginal(float(p), params)
+            assert value == pytest.approx(scalar, rel=1e-15)
+
+    def test_negative_pollution_rejected(self):
+        with pytest.raises(ValueError):
+            over_marginals(np.array([-1.0]), PARAMS)
+
+
+class TestDecideMultiBatch:
+    def _random_candidates(self, rng, n):
+        types = ["netflow", "file", "export_table"]
+        return [
+            TagCandidate(
+                key=("t", i),
+                tag_type=rng.choice(types),
+                copies=rng.randrange(0, 40),
+            )
+            for i in range(n)
+        ]
+
+    def test_bit_identical_to_scalar(self):
+        rng = random.Random(7)
+        sets = [
+            self._random_candidates(rng, rng.randrange(0, 12))
+            for _ in range(50)
+        ]
+        flags = verify_batch_agreement(sets, 4, 123.0, PARAMS)
+        assert all(flags)
+
+    def test_tie_order_matches_sorted(self):
+        # identical candidates -> identical keys; stable argsort must
+        # preserve the original order exactly like sorted()
+        candidates = [
+            TagCandidate(key=i, tag_type="netflow", copies=5)
+            for i in range(6)
+        ]
+        scalar = decide_multi(candidates, 3, 10.0, PARAMS)
+        batch = decide_multi_batch(candidates, 3, 10.0, PARAMS)
+        assert [d.candidate.key for d in scalar.decisions] == [
+            d.candidate.key for d in batch.decisions
+        ]
+
+    def test_respects_free_slots(self):
+        candidates = [
+            TagCandidate(key=i, tag_type="netflow", copies=0)
+            for i in range(8)
+        ]
+        batch = decide_multi_batch(candidates, 3, 0.0, PARAMS)
+        assert batch.propagated_count == 3
+
+    def test_empty_candidates(self):
+        outcome = decide_multi_batch([], 4, 0.0, PARAMS)
+        assert outcome.decisions == [] and outcome.free_slots == 4
+
+    def test_negative_free_slots_rejected(self):
+        with pytest.raises(ValueError):
+            decide_multi_batch(
+                [TagCandidate(key=1, tag_type="netflow", copies=1)],
+                -1,
+                0.0,
+                PARAMS,
+            )
+
+    def test_shared_table_stack(self):
+        types = ["file", "netflow"]
+        stack = under_table_stack(types, 64, PARAMS)
+        candidates = [
+            TagCandidate(key=i, tag_type=types[i % 2], copies=i)
+            for i in range(10)
+        ]
+        with_stack = decide_multi_batch(
+            candidates, 4, 50.0, PARAMS, table_stack=stack, tag_types=types
+        )
+        scalar = decide_multi(candidates, 4, 50.0, PARAMS)
+        assert [d.marginal for d in with_stack.decisions] == [
+            d.marginal for d in scalar.decisions
+        ]
+
+
+class TestRankAndMarginalBatch:
+    def test_rank_matches_scalar_sort(self):
+        rng = random.Random(3)
+        types = ["netflow", "file"]
+        stack = under_table_stack(types, 32, PARAMS)
+        candidates = [
+            TagCandidate(
+                key=i, tag_type=types[rng.randrange(2)], copies=rng.randrange(33)
+            )
+            for i in range(20)
+        ]
+        over_base = costs.over_marginal(42.0, PARAMS)
+        copies = np.array([c.copies for c in candidates])
+        codes = np.array([types.index(c.tag_type) for c in candidates])
+        order = rank_candidates(copies, codes, stack, over_base)
+        expected = sorted(
+            range(len(candidates)),
+            key=lambda i: costs.under_marginal(
+                candidates[i].copies, candidates[i].tag_type, PARAMS
+            )
+            + over_base,
+        )
+        assert list(order) == expected
+
+    def test_marginal_batch_matches_scalar(self):
+        types = ["netflow"]
+        stack = under_table_stack(types, 16, PARAMS)
+        copies = np.array([1, 2, 3, 16])
+        codes = np.zeros(4, dtype=np.int64)
+        batch = marginal_batch(copies, codes, stack, 33.0, PARAMS)
+        for value, count in zip(batch, copies):
+            assert value == costs.marginal_cost(
+                int(count), 33.0, "netflow", PARAMS
+            )
+
+
+class TestSeedMarginalCache:
+    def test_seeded_values_bit_equal_to_lazy(self):
+        seeded_cache = MarginalCache(PARAMS)
+        count = seed_marginal_cache(
+            seeded_cache, ["netflow", "file"], max_copies=32
+        )
+        assert count == 2 * 33
+        lazy_cache = MarginalCache(PARAMS)
+        for tag_type in ("netflow", "file"):
+            for copies in range(33):
+                assert seeded_cache.under(copies, tag_type) == lazy_cache.under(
+                    copies, tag_type
+                ) or (
+                    math.isinf(seeded_cache.under(copies, tag_type))
+                    and math.isinf(lazy_cache.under(copies, tag_type))
+                )
+
+    def test_respects_budget_never_overflows(self):
+        cache = MarginalCache(PARAMS, max_entries=10)
+        count = seed_marginal_cache(
+            cache, ["netflow", "file"], max_copies=DEFAULT_MAX_COPIES
+        )
+        assert count <= 10
+        assert len(cache._under) <= 10
+
+    def test_existing_entries_kept(self):
+        cache = MarginalCache(PARAMS)
+        before = cache.under(5, "netflow")
+        seed_marginal_cache(cache, ["netflow"], max_copies=8)
+        assert cache.under(5, "netflow") == before

@@ -11,7 +11,7 @@ from repro.dift.detectors import (
     DetectorSuite,
     SequenceDetector,
 )
-from repro.dift.shadow import ShadowMemory, mem, reg
+from repro.dift.shadow import ShadowMemory, mem
 from repro.dift.tags import Tag, TagTypes
 from repro.dift.tracker import DIFTTracker
 

@@ -1,6 +1,5 @@
 """Tests for repro.dift.tracker."""
 
-import pytest
 
 from repro.core.params import MitosParams
 from repro.core.policy import (

@@ -1,9 +1,7 @@
 """Tests for repro.faros.pipeline and repro.faros.system."""
 
-import pytest
 
 from repro.dift import flows
-from repro.dift.flows import FlowKind
 from repro.dift.shadow import mem, reg
 from repro.dift.tags import Tag, TagTypes
 from repro.faros import (

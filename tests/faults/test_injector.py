@@ -1,11 +1,10 @@
 """Tests for repro.faults: determinism, perturbation semantics, rates."""
 
-import dataclasses
 
 import pytest
 
 from repro.dift import flows
-from repro.dift.shadow import mem, reg
+from repro.dift.shadow import mem
 from repro.dift.tags import Tag
 from repro.faults import FaultConfig, FaultInjector, Resilience, TransientFault
 from repro.replay.record import Recording

@@ -317,7 +317,7 @@ class TestDevices:
         alloc = TagAllocator()
         source = FileDevice(1, b"xy", alloc)
         dest = FileDevice(2, b"", alloc)
-        machine = run(
+        run(
             """
             in r0, 1
             out r0, 2

@@ -1,6 +1,5 @@
 """Integration tests: canonical programs under different taint policies."""
 
-import pytest
 
 from repro.core.params import MitosParams
 from repro.core.policy import PropagateAllPolicy, PropagateNonePolicy

@@ -1,6 +1,5 @@
 """Tests for the RLE-decode and header-parse kernels."""
 
-import pytest
 
 from repro.core.params import MitosParams
 from repro.core.policy import PropagateAllPolicy, PropagateNonePolicy

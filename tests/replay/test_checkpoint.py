@@ -13,7 +13,6 @@ from repro.obs.decisions import read_decision_trace
 from repro.replay.checkpoint import (
     CheckpointError,
     CheckpointPlugin,
-    checkpoint_state,
     read_checkpoint,
     restore_checkpoint_state,
     write_checkpoint,

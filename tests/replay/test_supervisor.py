@@ -151,7 +151,6 @@ class TestReplayerIntegration:
         supervisor = PluginSupervisor(
             policy="skip-event", max_retries=3, injector=injector
         )
-        counted = []
         plugin = FlakyPlugin(failures=0)
         replayer = Replayer([plugin], supervisor=supervisor)
         result = replayer.replay(recording)

@@ -1,0 +1,329 @@
+"""Unit tests for the columnar vector replay engine (:mod:`repro.vector`).
+
+The byte-identity guards over the full network recording live in
+``benchmarks/test_bench_vector.py`` and the randomized equivalence
+property lives in ``tests/replay/test_vector_equivalence.py``; this
+module pins the individual layers -- encoder, activity plane, run
+planner -- on small handcrafted recordings where every expectation can
+be stated by hand.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.benchreport import engine_payload_job
+from repro.core.params import MitosParams
+from repro.core.policy import MitosPolicy
+from repro.dift import flows
+from repro.dift.provenance import SchedulingPolicy
+from repro.dift.shadow import mem
+from repro.dift.snapshot import snapshot_tracker
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.faros import FarosSystem, mitos_config
+from repro.faros.pipeline import FarosPipeline
+from repro.parallel import Job, run_jobs
+from repro.replay.record import Recording
+from repro.replay.replayer import Replayer
+from repro.replay.supervisor import PluginSupervisor
+from repro.vector.encode import (
+    KIND_CLEAR,
+    KIND_COMPUTE,
+    KIND_COPY,
+    KIND_INSERT,
+    encode_recording,
+)
+from repro.vector.engine import VectorEngineError
+from repro.vector.plane import (
+    TaintActivityPlane,
+    batch_account,
+    merge_context_counts,
+)
+
+PARAMS = MitosParams()
+
+
+def mixed_recording(meta=None) -> Recording:
+    """Twelve events covering every flow kind, hot and cold paths."""
+    t_net = Tag("netflow", 1)
+    t_file = Tag("file", 2)
+    t_net2 = Tag("netflow", 3)
+    events = [
+        flows.insert(mem(0), t_net, tick=0, context="socket_read"),
+        flows.insert(mem(1), t_file, tick=0, context="file_read"),
+        flows.copy(mem(0), mem(2), tick=1, context="memcpy"),
+        flows.compute((mem(0), mem(1)), mem(3), tick=1),
+        flows.address_dep(mem(2), mem(4), tick=2, context="table_lookup"),
+        flows.control_dep((mem(1),), mem(5), tick=2),
+        flows.clear(mem(0), tick=3),
+        flows.copy(mem(9), mem(2), tick=3),  # untainted source wipes dest
+        flows.copy(mem(7), mem(8), tick=4),  # provably cold copy
+        flows.insert(mem(6), t_net2, tick=5, context="socket_read"),
+        flows.compute((mem(6), mem(4)), mem(7), tick=6),
+        flows.clear(mem(9), tick=7),  # provably cold clear
+    ]
+    return Recording(events=events, meta=meta or {})
+
+
+def _state_of(system) -> tuple:
+    return (
+        system.tracker.stats.to_payload(),
+        json.dumps(snapshot_tracker(system.tracker), sort_keys=True),
+        dict(system.pipeline.stage_counts),
+    )
+
+
+def _replay(recording, engine, params=PARAMS, **overrides):
+    system = FarosSystem(mitos_config(params, engine=engine, **overrides))
+    result = system.replay(recording)
+    return system, result
+
+
+class TestEncoder:
+    def test_columns_mirror_events(self):
+        recording = mixed_recording()
+        columnar = encode_recording(recording)
+        assert len(columnar) == len(recording.events)
+        assert columnar.columns["kind"][0] == KIND_INSERT
+        assert columnar.columns["kind"][2] == KIND_COPY
+        assert columnar.columns["kind"][3] == KIND_COMPUTE
+        assert columnar.columns["kind"][6] == KIND_CLEAR
+        # the plain-list mirrors the hot loop reads must agree
+        assert columnar.kinds == columnar.columns["kind"].tolist()
+        assert columnar.dest_ids == columnar.columns["dest"].tolist()
+
+    def test_interning_first_appearance_order(self):
+        columnar = encode_recording(mixed_recording())
+        assert columnar.contexts == [
+            "socket_read",
+            "file_read",
+            "memcpy",
+            "table_lookup",
+        ]
+        assert columnar.tag_types == ["netflow", "file"]
+        assert len(columnar.locations) == len(set(columnar.locations))
+
+    def test_absent_context_and_tag_encode_minus_one(self):
+        columnar = encode_recording(mixed_recording())
+        assert columnar.columns["ctx"][3] == -1  # compute has no context
+        assert columnar.columns["tag_type"][2] == -1  # copy carries no tag
+
+    def test_insert_positions(self):
+        columnar = encode_recording(mixed_recording())
+        assert columnar.insert_positions.tolist() == [0, 1, 9]
+
+    def test_copy_relevance_direct_includes_destination(self):
+        recording = mixed_recording()
+        columnar = encode_recording(recording)
+        src = columnar.locations.index(mem(0))
+        dst = columnar.locations.index(mem(2))
+        # direct COPY: replace_tags clears a tainted destination even
+        # from an untainted source, so both ends are relevant
+        assert 2 in columnar.postings[src]
+        assert 2 in columnar.postings[dst]
+
+    def test_copy_relevance_policy_mode_sources_only(self):
+        recording = mixed_recording()
+        columnar = encode_recording(recording, direct_via_policy=True)
+        src = columnar.locations.index(mem(0))
+        dst = columnar.locations.index(mem(2))
+        assert 2 in columnar.postings[src]
+        assert 2 not in columnar.postings[dst]
+
+    def test_compute_duplicate_sources_deduplicated(self):
+        recording = Recording(
+            events=[flows.compute((mem(0), mem(0)), mem(1), tick=0)]
+        )
+        columnar = encode_recording(recording)
+        src = columnar.locations.index(mem(0))
+        assert columnar.postings[src] == [0]
+
+    def test_encoding_cached_per_mode(self):
+        recording = mixed_recording()
+        first = encode_recording(recording)
+        assert encode_recording(recording) is first
+        policy_mode = encode_recording(recording, direct_via_policy=True)
+        assert policy_mode is not first
+        assert encode_recording(mixed_recording()) is not first
+
+
+class TestActivityPlane:
+    def test_inserts_are_always_hot(self):
+        columnar = encode_recording(mixed_recording())
+        plane = TaintActivityPlane(columnar)
+        n = len(columnar)
+        assert plane.next_hot(0, n) == 0
+        assert plane.next_hot(2, n) == 9  # nothing active: skip to insert
+
+    def test_activation_schedules_next_posting(self):
+        columnar = encode_recording(mixed_recording())
+        plane = TaintActivityPlane(columnar)
+        n = len(columnar)
+        loc = columnar.locations.index(mem(0))
+        plane.set_active(loc, True, 0)
+        assert plane.is_active(loc)
+        assert plane.next_hot(2, n) == 2  # the copy out of mem(0)
+
+    def test_lazy_deactivation_discards_scheduled_entries(self):
+        columnar = encode_recording(mixed_recording())
+        plane = TaintActivityPlane(columnar)
+        n = len(columnar)
+        loc = columnar.locations.index(mem(0))
+        plane.set_active(loc, True, 0)
+        plane.set_active(loc, False, 0)
+        assert plane.next_hot(2, n) == 9  # stale heap entry is skipped
+
+    def test_next_hot_exhausted_returns_end(self):
+        columnar = encode_recording(mixed_recording())
+        plane = TaintActivityPlane(columnar)
+        n = len(columnar)
+        assert plane.next_hot(10, n) == n
+
+    def test_batch_account_counts(self):
+        columnar = encode_recording(mixed_recording())
+        accounts = batch_account(columnar, len(columnar))
+        assert accounts.inserts == 3
+        assert accounts.clears == 2
+        assert accounts.dfp_copy == 3
+        assert accounts.dfp_compute == 2
+        assert accounts.ifp_address == 1
+        assert accounts.ifp_control == 1
+        assert accounts.is_dfp == 5
+        assert accounts.is_ifp == 2
+        assert accounts.tick_horizon == 8
+        assert accounts.context_counts == [
+            ("socket_read", 2),
+            ("file_read", 1),
+            ("memcpy", 1),
+            ("table_lookup", 1),
+        ]
+
+    def test_batch_account_empty_window(self):
+        columnar = encode_recording(mixed_recording())
+        accounts = batch_account(columnar, 0)
+        assert accounts.tick_horizon == 0
+        assert int(accounts.kind_counts.sum()) == 0
+        assert accounts.context_counts == []
+
+    def test_merge_context_counts_preserves_order_and_adds(self):
+        by_context = {"memcpy": 5}
+        merge_context_counts(
+            by_context, [("socket_read", 2), ("memcpy", 1)]
+        )
+        assert by_context == {"memcpy": 6, "socket_read": 2}
+        assert list(by_context) == ["memcpy", "socket_read"]
+
+
+class TestVectorEquivalence:
+    def test_mixed_recording_state_identical(self):
+        scalar, _ = _replay(mixed_recording(), "scalar")
+        vector, _ = _replay(mixed_recording(), "vector")
+        assert _state_of(scalar) == _state_of(vector)
+
+    def test_direct_via_policy_state_identical(self):
+        scalar, _ = _replay(mixed_recording(), "scalar", all_flows=True)
+        vector, _ = _replay(mixed_recording(), "vector", all_flows=True)
+        assert _state_of(scalar) == _state_of(vector)
+
+    @pytest.mark.parametrize(
+        "scheduling",
+        [SchedulingPolicy.FIFO, SchedulingPolicy.LRU, SchedulingPolicy.REJECT],
+    )
+    def test_scheduling_policies_state_identical(self, scheduling):
+        params = MitosParams(M_prov=2)
+        scalar, _ = _replay(
+            mixed_recording(), "scalar", params=params, scheduling=scheduling
+        )
+        vector, _ = _replay(
+            mixed_recording(), "vector", params=params, scheduling=scheduling
+        )
+        assert _state_of(scalar) == _state_of(vector)
+
+    def test_non_mitos_policy_falls_back_to_scalar_flows(self):
+        # RandomPolicy is outside the policy fast path; the engine must
+        # route per event through tracker._policy_flow and still agree
+        def build(engine):
+            config = mitos_config(PARAMS, engine=engine)
+            config.policy = "random"
+            config.random_probability = 0.5
+            config.random_seed = 42
+            system = FarosSystem(config)
+            system.replay(mixed_recording())
+            return system
+
+        assert _state_of(build("scalar")) == _state_of(build("vector"))
+
+
+class TestRunPlanner:
+    def _replayer(self, engine="vector", **kwargs):
+        tracker = DIFTTracker(params=PARAMS, policy=MitosPolicy(PARAMS))
+        pipeline = FarosPipeline(tracker)
+        return Replayer([pipeline], engine=engine, **kwargs), tracker
+
+    def test_meta_reports_engine_and_hot_cold_split(self):
+        replayer, _ = self._replayer()
+        result = replayer.replay(mixed_recording(meta={"n": 12}))
+        assert result.meta["engine"] == "vector"
+        assert result.meta["hot_events"] + result.meta["cold_events"] == 12
+        assert 0 < result.meta["hot_events"] < 12
+
+    def test_limit_honored_and_equivalent(self):
+        vec_replayer, vec_tracker = self._replayer("vector")
+        result = vec_replayer.replay(mixed_recording(), limit=5)
+        assert result.events_processed == 5
+        sca_replayer, sca_tracker = self._replayer("scalar")
+        sca_replayer.replay(mixed_recording(), limit=5)
+        assert (
+            vec_tracker.stats.to_payload() == sca_tracker.stats.to_payload()
+        )
+        assert json.dumps(
+            snapshot_tracker(vec_tracker), sort_keys=True
+        ) == json.dumps(snapshot_tracker(sca_tracker), sort_keys=True)
+
+    def test_invalid_engine_name_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            Replayer([], engine="warp")
+
+    def test_supervisor_blocks_vector_engine(self):
+        replayer, _ = self._replayer(supervisor=PluginSupervisor())
+        with pytest.raises(VectorEngineError, match="supervision"):
+            replayer.replay(mixed_recording())
+
+    def test_start_index_blocks_vector_engine(self):
+        replayer, _ = self._replayer()
+        with pytest.raises(VectorEngineError, match="resume"):
+            replayer.replay(mixed_recording(), start_index=3)
+
+    def test_requires_exactly_one_faros_pipeline(self):
+        with pytest.raises(VectorEngineError, match="FarosPipeline"):
+            Replayer([], engine="vector").replay(mixed_recording())
+
+    def test_degrade_at_blocks_vector_engine(self):
+        system = FarosSystem(
+            mitos_config(PARAMS, engine="vector", degrade_at=0.5)
+        )
+        with pytest.raises(VectorEngineError, match="degrade"):
+            system.replay(mixed_recording())
+
+    def test_error_names_every_blocker(self):
+        replayer, _ = self._replayer(supervisor=PluginSupervisor())
+        with pytest.raises(VectorEngineError) as excinfo:
+            replayer.replay(mixed_recording(), start_index=1)
+        message = str(excinfo.value)
+        assert "supervision" in message and "resume" in message
+
+
+class TestParallelWorkers:
+    def test_engines_compose_with_job_pool(self):
+        """``--jobs``-style process-pool workers can run either engine;
+        both must produce the identical stats payload for the identical
+        seeded recording (engine_payload_job is module-level, so spawn
+        workers actually pickle and run it)."""
+        jobs = [
+            Job(engine_payload_job, ("scalar",), (("quick", True),)),
+            Job(engine_payload_job, ("vector",), (("quick", True),)),
+        ]
+        payloads = run_jobs(jobs, workers=2)
+        assert payloads[0] == payloads[1]
+        assert payloads[0]["inserts"] > 0
