@@ -31,9 +31,21 @@ from repro.core.policy import (
     ThresholdPolicy,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # repro.api pulls in the full stack (faros, serve, obs); load it on
+    # first access so `import repro` stays light for kernel-only users
+    if name == "api":
+        import importlib
+
+        return importlib.import_module("repro.api")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "api",
     "MitosParams",
     "MitosEngine",
     "TagCandidate",

@@ -1,0 +1,288 @@
+"""The supported public API of the MITOS reproduction.
+
+One import surface for the five things users do::
+
+    from repro import api
+
+    recording = api.load_recording("trace.jsonl.gz")        # 1. load
+    system = api.build_system(policy="mitos", tau=0.5)      # 2. wire a stack
+    result = api.replay(recording, options=api.ReplayOptions(engine="vector"))
+    outcome = api.decide(                                   # 4. one decision
+        [("netflow", 1, 4)], free_slots=3, pollution=120.0
+    )
+    api.serve(api.ServeOptions(port=7757, shards=4))        # 5. go online
+
+Everything else under ``repro.*`` remains importable, but this module is
+the *stable* surface: its names, their keyword-only signatures, and the
+re-exported types are the compatibility contract
+(``tests/test_api.py`` pins ``__all__``).  Configuration travels in the
+typed option bundles of :mod:`repro.options`; the old flat keyword
+arguments of ``replay()`` keep working for one release behind a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.decision import (
+    Decision,
+    MultiDecision,
+    TagCandidate,
+    decide_multi,
+)
+from repro.core.params import MitosParams
+from repro.dift.tags import Tag
+from repro.faros.config import POLICY_NAMES, FarosConfig
+from repro.faros.system import FarosRunResult, FarosSystem
+from repro.faults.resilience import Resilience
+from repro.obs.bundle import Observability
+from repro.options import REPLAY_OPTION_NAMES, ReplayOptions, ServeOptions
+from repro.replay.record import Recording
+from repro.replay.replayer import Replayer
+from repro.serve.client import ServeClient
+from repro.serve.server import MitosServer, ServerThread
+
+__all__ = [
+    # the five entry points
+    "load_recording",
+    "build_system",
+    "replay",
+    "decide",
+    "serve",
+    # typed configuration
+    "ReplayOptions",
+    "ServeOptions",
+    # stable re-exported types
+    "MitosParams",
+    "FarosConfig",
+    "FarosSystem",
+    "FarosRunResult",
+    "Recording",
+    "Replayer",
+    "Observability",
+    "Resilience",
+    "TagCandidate",
+    "Decision",
+    "MultiDecision",
+    "MitosServer",
+    "ServerThread",
+    "ServeClient",
+    "POLICY_NAMES",
+]
+
+PathLike = Union[str, Path]
+
+
+def load_recording(path: PathLike) -> Recording:
+    """Load a recorded flow-event trace (JSONL, gzip if ``.gz``)."""
+    return Recording.load(str(path))
+
+
+def _params_for(
+    params: Optional[MitosParams],
+    tau: float,
+    alpha: float,
+    quick_calibration: bool,
+) -> MitosParams:
+    if params is not None:
+        return params
+    from repro.experiments.common import experiment_params
+
+    return experiment_params(quick=quick_calibration, tau=tau, alpha=alpha)
+
+
+def build_system(
+    *,
+    params: Optional[MitosParams] = None,
+    policy: str = "mitos",
+    tau: float = 1.0,
+    alpha: float = 1.5,
+    quick_calibration: bool = False,
+    all_flows: bool = False,
+    engine: str = "scalar",
+    degrade_at: Optional[float] = None,
+    label: Optional[str] = None,
+    observability: Optional[Observability] = None,
+    resilience: Optional[Resilience] = None,
+) -> FarosSystem:
+    """Wire one complete DIFT stack (tracker, policy, pipeline, replayer).
+
+    Either pass ``params`` explicitly or let the benchmark calibration
+    derive them from ``tau``/``alpha`` (``quick_calibration`` anchors
+    the decision boundary to test-sized workloads).
+    """
+    config = FarosConfig(
+        params=_params_for(params, tau, alpha, quick_calibration),
+        policy=policy,
+        direct_via_policy=all_flows,
+        label=label if label is not None else policy,
+        degrade_at=degrade_at,
+        engine=engine,
+    )
+    return FarosSystem(
+        config, observability=observability, resilience=resilience
+    )
+
+
+def replay(
+    recording: Union[Recording, PathLike],
+    *,
+    options: Optional[ReplayOptions] = None,
+    params: Optional[MitosParams] = None,
+    policy: str = "mitos",
+    tau: float = 1.0,
+    alpha: float = 1.5,
+    quick_calibration: bool = False,
+    all_flows: bool = False,
+    **legacy: object,
+) -> FarosRunResult:
+    """Replay a recording (or its path) and return the run result.
+
+    Execution knobs travel in ``options`` (a
+    :class:`~repro.options.ReplayOptions`); the *what* -- params, policy,
+    calibration -- stays flat.  Passing execution knobs flat
+    (``replay(rec, engine="vector", limit=100)``) still works for one
+    release and emits a :class:`DeprecationWarning`.
+    """
+    options = _coerce_replay_options(options, legacy)
+    blockers = options.vector_blockers()
+    if blockers:
+        raise ValueError(
+            "engine='vector' is incompatible with option(s) "
+            + ", ".join(blockers)
+            + " (per-event plugin/supervision contracts); use the scalar "
+            "engine"
+        )
+    if not isinstance(recording, Recording):
+        recording = load_recording(recording)
+    observability = options.observability()
+    system = build_system(
+        params=params,
+        policy=policy,
+        tau=tau,
+        alpha=alpha,
+        quick_calibration=quick_calibration,
+        all_flows=all_flows,
+        engine=options.engine,
+        degrade_at=options.degrade_at,
+        observability=observability,
+        resilience=options.resilience(),
+    )
+    try:
+        return system.replay(recording, limit=options.limit)
+    finally:
+        if observability is not None:
+            observability.close()
+            if options.metrics_out is not None:
+                observability.write_metrics(options.metrics_out)
+
+
+def _coerce_replay_options(
+    options: Optional[ReplayOptions], legacy: dict
+) -> ReplayOptions:
+    unknown = [name for name in legacy if name not in REPLAY_OPTION_NAMES]
+    if unknown:
+        raise TypeError(
+            f"replay() got unexpected keyword argument(s) {sorted(unknown)}"
+        )
+    if not legacy:
+        return options if options is not None else ReplayOptions()
+    if options is not None:
+        raise TypeError(
+            "pass execution knobs either in options=ReplayOptions(...) or "
+            f"flat, not both (flat: {sorted(legacy)})"
+        )
+    warnings.warn(
+        "passing replay execution options as flat keyword arguments "
+        f"({sorted(legacy)}) is deprecated; use "
+        "replay(recording, options=ReplayOptions(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ReplayOptions(**legacy)
+
+
+CandidateLike = Union[TagCandidate, Sequence[object]]
+
+
+def decide(
+    candidates: Sequence[CandidateLike],
+    *,
+    free_slots: int,
+    pollution: float,
+    params: Optional[MitosParams] = None,
+    tau: float = 1.0,
+    alpha: float = 1.5,
+    quick_calibration: bool = False,
+) -> MultiDecision:
+    """One MITOS multi-candidate decision (Eq. 8 + Algorithm 2), offline.
+
+    Candidates are :class:`TagCandidate` objects or ``(tag_type, index,
+    copies)`` tuples.  Returns the ranked
+    :class:`~repro.core.decision.MultiDecision` -- the same object the
+    tracker's policy produces during a replay, and (field for field) the
+    same outcome the online service returns for an explicit-mode
+    request.
+    """
+    resolved = _params_for(params, tau, alpha, quick_calibration)
+    specs: list = []
+    for candidate in candidates:
+        if isinstance(candidate, TagCandidate):
+            specs.append(candidate)
+            continue
+        parts = list(candidate)  # type: ignore[arg-type]
+        if len(parts) != 3:
+            raise ValueError(
+                "candidates must be TagCandidate or (tag_type, index, "
+                f"copies), got {candidate!r}"
+            )
+        tag_type, index, copies = parts
+        specs.append(
+            TagCandidate(Tag(str(tag_type), int(index)), str(tag_type), int(copies))  # type: ignore[arg-type]
+        )
+    return decide_multi(specs, free_slots, pollution, resolved)
+
+
+def serve(
+    options: Optional[ServeOptions] = None,
+    *,
+    background: bool = False,
+    observability: Optional[Observability] = None,
+    ready: Optional[Callable[[MitosServer], None]] = None,
+) -> Optional[ServerThread]:
+    """Run the online decision service (see ``docs/SERVING.md``).
+
+    Blocking by default: installs SIGTERM/SIGINT handlers that drain
+    gracefully, and returns when the server has stopped.  ``ready`` is
+    called once the sockets are bound (so callers can report the actual
+    port when ``port=0`` picked an ephemeral one).  With
+    ``background=True`` the server runs on its own event-loop thread and
+    the started :class:`~repro.serve.server.ServerThread` is returned
+    (its ``.port`` is the bound port; call ``.stop()`` to drain).
+    """
+    if options is None:
+        options = ServeOptions()
+    if observability is None:
+        observability = options.observability()
+    if background:
+        thread = ServerThread(options, observability).start()
+        if ready is not None:
+            ready(thread.server)
+        return thread
+    import asyncio
+
+    async def _main() -> None:
+        server = MitosServer(options, observability)
+        server.install_signal_handlers()
+        await server.start()
+        if ready is not None:
+            ready(server)
+        assert server._stop is not None
+        await server._stop.wait()
+        await server._shutdown()
+
+    asyncio.run(_main())
+    return None

@@ -36,6 +36,7 @@ logging through the shared structured formatter.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable, Dict, Optional, Tuple
@@ -232,6 +233,99 @@ def build_parser() -> argparse.ArgumentParser:
              "docs/PERFORMANCE.md)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the online MITOS decision service (see docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7757,
+        help="TCP port for the NDJSON decision protocol (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--admin-port", type=int, default=None, metavar="PORT",
+        help="HTTP admin surface (/healthz, /stats, /metrics); default off",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="independent tracker+policy shards (consistent-hash routing)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024, metavar="N",
+        help="bounded per-shard queue; a full queue answers 'overloaded'",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=64, metavar="N",
+        help="max requests a shard worker drains per wakeup",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="bounded retries per request before an 'internal' error",
+    )
+    serve.add_argument("--policy", default="mitos", choices=POLICY_NAMES)
+    serve.add_argument("--tau", type=float, default=1.0)
+    serve.add_argument("--alpha", type=float, default=1.5)
+    serve.add_argument("--quick-calibration", action="store_true")
+    serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="per-shard checkpoint directory (shard-<i>.ckpt.json)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint a shard every N applied requests",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore shard checkpoints from --checkpoint-dir on boot",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="JSONL decision trace of every served decision (.gz ok)",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="metrics JSON written on shutdown",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="max wait for queued requests on graceful shutdown",
+    )
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="boot a server, replay a recording's IFP decisions against "
+             "it, verify parity with the offline replay, report "
+             "throughput/latency (writes BENCH_serve.json)",
+    )
+    bench_serve.add_argument("--quick", action="store_true",
+                             help="small recording (smoke test)")
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--shards", type=int, default=1, metavar="N")
+    bench_serve.add_argument(
+        "--connections", type=int, default=1, metavar="N",
+        help="concurrent client connections (pipelined); one deep "
+             "pipeline beats many shallow ones when client and server "
+             "share cores",
+    )
+    bench_serve.add_argument(
+        "--window", type=int, default=256, metavar="N",
+        help="outstanding requests per connection",
+    )
+    bench_serve.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="replay only the first N recording events",
+    )
+    bench_serve.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="report path (default: BENCH_serve.json at the repo root)",
+    )
+    bench_serve.add_argument(
+        "--in-process", action="store_true",
+        help="run the server on a thread in this process instead of a "
+             "subprocess (simpler, but the client contends with the "
+             "server for the GIL, so throughput reads low)",
+    )
+
     bench = subparsers.add_parser(
         "bench",
         help="measure replay throughput (scalar vs vector vs reference) "
@@ -320,101 +414,63 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_options(args: argparse.Namespace):
+    """The typed option bundle for a ``replay`` invocation's flags."""
+    from repro.options import ReplayOptions
+
+    return ReplayOptions(
+        engine=args.engine,
+        limit=args.limit,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_out=args.checkpoint_out,
+        resume_from=args.resume_from,
+        supervisor=args.supervisor,
+        max_retries=args.max_retries,
+        inject_faults=args.inject_faults,
+        fault_seed=args.fault_seed,
+        degrade_at=args.degrade_at,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        sample_every=args.sample_every,
+    )
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_mapping, format_table
-    from repro.experiments.common import experiment_params
-    from repro.faros import FarosConfig, FarosSystem
-    from repro.obs import Observability, get_logger
-    from repro.replay.record import Recording
+    from repro.api import build_system, load_recording
+    from repro.obs import get_logger
 
     logger = get_logger("repro.cli")
-    if args.engine == "vector":
-        # fail on configurations the vector engine rejects (inherently
-        # per-event contracts) before doing any work, with the flag names
-        # the user typed; --inject-faults, --limit, --trace-out and
-        # --metrics-out remain fully supported
-        blockers = [
-            flag
-            for flag, is_set in (
-                ("--supervisor", args.supervisor is not None),
-                ("--resume-from", args.resume_from is not None),
-                ("--checkpoint-every", args.checkpoint_every is not None),
-                ("--sample-every", args.sample_every is not None),
-                ("--degrade-at", args.degrade_at is not None),
-            )
-            if is_set
-        ]
-        if blockers:
-            print(
-                "error: --engine vector is incompatible with "
-                + ", ".join(blockers)
-                + " (per-event plugin/supervision contracts); "
-                "use --engine scalar",
-                file=sys.stderr,
-            )
-            return 2
-    recording = Recording.load(args.trace)
-    params = experiment_params(
-        quick=args.quick_calibration, tau=args.tau, alpha=args.alpha
-    )
-    config = FarosConfig(
-        params=params,
-        policy=args.policy,
-        direct_via_policy=args.all_flows,
-        label=args.policy,
-        degrade_at=args.degrade_at,
-        engine=args.engine,
-    )
-    want_obs = (
-        args.trace_out is not None
-        or args.metrics_out is not None
-        or args.sample_every is not None
-    )
-    obs = (
-        Observability.create(
-            trace_out=args.trace_out, sample_every=args.sample_every
+    options = _replay_options(args)
+    # fail on configurations the vector engine rejects (inherently
+    # per-event contracts) before doing any work, with the flag names
+    # the user typed; --inject-faults, --limit, --trace-out and
+    # --metrics-out remain fully supported
+    blockers = [
+        "--" + name.replace("_", "-") for name in options.vector_blockers()
+    ]
+    if blockers:
+        print(
+            "error: --engine vector is incompatible with "
+            + ", ".join(blockers)
+            + " (per-event plugin/supervision contracts); "
+            "use --engine scalar",
+            file=sys.stderr,
         )
-        if want_obs
-        else None
+        return 2
+    recording = load_recording(args.trace)
+    obs = options.observability()
+    system = build_system(
+        policy=args.policy,
+        tau=args.tau,
+        alpha=args.alpha,
+        quick_calibration=args.quick_calibration,
+        all_flows=args.all_flows,
+        engine=options.engine,
+        degrade_at=options.degrade_at,
+        observability=obs,
+        resilience=options.resilience(),
     )
-    want_resilience = (
-        args.inject_faults > 0.0
-        or args.supervisor is not None
-        or args.checkpoint_every is not None
-        or args.resume_from is not None
-    )
-    resilience = None
-    if want_resilience:
-        from repro.faults import Resilience
-
-        if args.engine == "vector":
-            # only --inject-faults can reach here (the other resilience
-            # flags were rejected above).  Resilience.create would attach
-            # a plugin supervisor, which the vector engine refuses; build
-            # the injector alone -- stream faults perturb the recording
-            # before the engine sees it, and plugin faults cannot fire
-            # without a supervisor, so the replay stays byte-identical to
-            # a scalar run over the same seed
-            from repro.faults.injector import FaultConfig, FaultInjector
-
-            resilience = Resilience(
-                injector=FaultInjector(
-                    FaultConfig.uniform(
-                        args.inject_faults, seed=args.fault_seed
-                    )
-                )
-            )
-        else:
-            resilience = Resilience.create(
-                fault_rate=args.inject_faults,
-                fault_seed=args.fault_seed,
-                supervisor_policy=args.supervisor,
-                max_retries=args.max_retries,
-                checkpoint_every=args.checkpoint_every,
-                checkpoint_path=args.checkpoint_out,
-                resume_from=args.resume_from,
-            )
-    system = FarosSystem(config, observability=obs, resilience=resilience)
     logger.debug(
         "replay starting",
         extra={"trace": args.trace, "events": len(recording)},
@@ -456,6 +512,190 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             obs.write_metrics(args.metrics_out)
             print(f"metrics -> {args.metrics_out}")
     return 0
+
+
+def _serve_options(args: argparse.Namespace):
+    from repro.options import ServeOptions
+
+    return ServeOptions(
+        host=args.host,
+        port=args.port,
+        admin_port=args.admin_port,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        max_retries=args.max_retries,
+        policy=args.policy,
+        tau=args.tau,
+        alpha=args.alpha,
+        quick_calibration=args.quick_calibration,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import serve
+
+    try:
+        options = _serve_options(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def announce(server) -> None:
+        # one parseable line per bound socket; bench-serve's subprocess
+        # mode and the CI smoke job read the port from the first one
+        print(f"listening on {options.host}:{server.port}", flush=True)
+        if server.admin_port is not None:
+            print(f"admin on {options.host}:{server.admin_port}", flush=True)
+
+    print(
+        f"serving MITOS decisions with {options.shards} shard(s), policy "
+        f"{options.policy}; SIGTERM/SIGINT drains gracefully",
+        flush=True,
+    )
+    serve(options, ready=announce)
+    return 0
+
+
+@contextlib.contextmanager
+def _server_subprocess(args: argparse.Namespace):
+    """A ``mitos-repro serve`` child on an ephemeral port.
+
+    Yields ``(host, port)`` once the child prints its ``listening on``
+    line; sends SIGTERM on exit (exercising the graceful-drain path) and
+    escalates to kill if the child ignores it.
+    """
+    import signal
+    import subprocess
+
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--shards", str(args.shards),
+    ]
+    if args.quick:
+        command.append("--quick-calibration")
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        host = port = None
+        assert process.stdout is not None
+        for line in process.stdout:
+            if line.startswith("listening on "):
+                host, _, port_text = line.split()[-1].rpartition(":")
+                port = int(port_text)
+                break
+        if port is None:
+            raise RuntimeError(
+                "server subprocess exited before binding "
+                f"(exit code {process.wait()})"
+            )
+        yield host, port
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                process.wait()
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.common import experiment_params, network_recording
+    from repro.options import ServeOptions
+    from repro.serve import (
+        ServerThread,
+        collect_offline_decisions,
+        run_load,
+        write_bench_report,
+    )
+
+    recording = network_recording(seed=args.seed, quick=args.quick)
+    params = experiment_params(quick=args.quick)
+    print(
+        f"collecting offline decisions from {len(recording)} events "
+        f"(limit {args.limit or 'none'})..."
+    )
+    offline = collect_offline_decisions(recording, params, limit=args.limit)
+    if not offline:
+        print("error: the recording produced no IFP decisions", file=sys.stderr)
+        return 2
+    print(
+        f"replaying {len(offline)} decisions against {args.shards} shard(s) "
+        f"({args.connections} connection(s), window {args.window})..."
+    )
+    if args.in_process:
+        options = ServeOptions(
+            port=0, shards=args.shards, quick_calibration=args.quick
+        )
+        with ServerThread(options) as server:
+            result = run_load(
+                server.host,
+                server.port,
+                offline,
+                connections=args.connections,
+                window=args.window,
+            )
+    else:
+        with _server_subprocess(args) as (host, port):
+            result = run_load(
+                host,
+                port,
+                offline,
+                connections=args.connections,
+                window=args.window,
+            )
+    summary = result.summary()
+    print(
+        f"\n{summary['requests']} decisions in "
+        f"{summary['elapsed_seconds']:.2f}s = "
+        f"{summary['decisions_per_second']:.0f}/s; "
+        f"p50 {result.latency_percentile(50) / 1000:.2f}ms, "
+        f"p99 {result.latency_percentile(99) / 1000:.2f}ms"
+    )
+    if result.matched:
+        print("parity: every served decision matched the offline replay")
+    else:
+        print(
+            f"PARITY FAILURE: {len(result.mismatches)} mismatch(es), "
+            f"{result.errors} error(s)",
+            file=sys.stderr,
+        )
+        for mismatch in result.mismatches[:3]:
+            print(
+                f"  request {mismatch.index} field {mismatch.field_name}: "
+                f"expected {mismatch.expected!r}, got {mismatch.actual!r}",
+                file=sys.stderr,
+            )
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    json_out = (
+        Path(args.json_out)
+        if args.json_out is not None
+        else repo_root / "BENCH_serve.json"
+    )
+    write_bench_report(
+        json_out,
+        result,
+        shards=args.shards,
+        connections=args.connections,
+        window=args.window,
+        recording_events=len(recording),
+        extra={"quick": args.quick, "seed": args.seed},
+    )
+    print(f"written: {json_out}")
+    return 0 if result.matched else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -587,6 +827,8 @@ def main(argv=None) -> int:
     handlers = {
         "record": _cmd_record,
         "replay": _cmd_replay,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
         "bench": _cmd_bench,
         "inspect": _cmd_inspect,
         "lineage": _cmd_lineage,

@@ -1,0 +1,228 @@
+"""Typed option bundles for the two long-form entry points.
+
+The replay and serve surfaces had grown a flat knob sprawl (engine,
+checkpointing, supervision, fault injection, degraded mode, observability
+outputs) spread across ``Replayer(...)``, ``FarosSystem(...)``,
+``Resilience.create(...)`` and a dozen CLI flags.  These dataclasses are
+the single typed home for those knobs:
+
+* :class:`ReplayOptions` -- everything about *how* a replay runs (the
+  *what* -- params, policy, recording -- stays on
+  :class:`~repro.faros.config.FarosConfig` / the ``repro.api`` calls);
+* :class:`ServeOptions` -- the online decision service's full surface.
+
+Both are keyword-only: every field is named at the call site, so adding
+a knob can never silently shift a positional argument.  The CLI builds
+them from its flags and :mod:`repro.api` accepts them directly; the old
+flat keyword arguments still work for one release through the
+``DeprecationWarning`` shim in :func:`repro.api.replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pure type hints; avoid import cycles at module load
+    from repro.faults.resilience import Resilience
+    from repro.obs.bundle import Observability
+
+
+@dataclass(kw_only=True)
+class ReplayOptions:
+    """How one replay executes (engine, robustness, instrumentation).
+
+    Field groups mirror the subsystems they configure:
+
+    * engine/limit -- :class:`~repro.replay.replayer.Replayer`,
+    * checkpoint/resume/supervisor/faults -- :class:`~repro.faults.Resilience`,
+    * degrade_at -- graceful degradation in the tracker,
+    * trace_out/metrics_out/sample_every -- :class:`~repro.obs.bundle.Observability`.
+    """
+
+    #: "scalar" (per-event loop) or "vector" (columnar batch engine)
+    engine: str = "scalar"
+    #: stop after N events (simulates a killed replay)
+    limit: Optional[int] = None
+    #: write a checkpoint every N events (requires checkpoint_out)
+    checkpoint_every: Optional[int] = None
+    checkpoint_out: Optional[Union[str, Path]] = None
+    #: restore this checkpoint and continue from its event index
+    resume_from: Optional[Union[str, Path]] = None
+    #: plugin fault policy: fail-fast / skip-event / quarantine (None = off)
+    supervisor: Optional[str] = None
+    max_retries: int = 2
+    #: seeded fault-injection rate (0.0 = no faults)
+    inject_faults: float = 0.0
+    fault_seed: int = 0
+    #: shed lowest-utility tags past this fraction of N_R (None = off)
+    degrade_at: Optional[float] = None
+    #: JSONL IFP decision trace output path (.gz ok)
+    trace_out: Optional[Union[str, Path]] = None
+    #: metrics + spans + time series JSON output path
+    metrics_out: Optional[Union[str, Path]] = None
+    #: sample pollution/footprint every N ticks
+    sample_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vector', got {self.engine!r}"
+            )
+        if self.inject_faults < 0.0:
+            raise ValueError(
+                f"inject_faults must be >= 0, got {self.inject_faults}"
+            )
+
+    @property
+    def wants_observability(self) -> bool:
+        return (
+            self.trace_out is not None
+            or self.metrics_out is not None
+            or self.sample_every is not None
+        )
+
+    @property
+    def wants_resilience(self) -> bool:
+        return (
+            self.inject_faults > 0.0
+            or self.supervisor is not None
+            or self.checkpoint_every is not None
+            or self.resume_from is not None
+        )
+
+    def observability(self) -> Optional["Observability"]:
+        """The :class:`Observability` bundle these options call for."""
+        if not self.wants_observability:
+            return None
+        from repro.obs.bundle import Observability
+
+        return Observability.create(
+            trace_out=self.trace_out, sample_every=self.sample_every
+        )
+
+    def resilience(self) -> Optional["Resilience"]:
+        """The :class:`Resilience` bundle these options call for.
+
+        Mirrors the CLI's behaviour: under the vector engine only the
+        stream-perturbing fault injector is built (a plugin supervisor
+        is a per-event contract the vector engine refuses).
+        """
+        if not self.wants_resilience:
+            return None
+        from repro.faults.resilience import Resilience
+
+        if self.engine == "vector":
+            from repro.faults.injector import FaultConfig, FaultInjector
+
+            return Resilience(
+                injector=FaultInjector(
+                    FaultConfig.uniform(self.inject_faults, seed=self.fault_seed)
+                )
+            )
+        return Resilience.create(
+            fault_rate=self.inject_faults,
+            fault_seed=self.fault_seed,
+            supervisor_policy=self.supervisor,
+            max_retries=self.max_retries,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=self.checkpoint_out,
+            resume_from=self.resume_from,
+        )
+
+    def vector_blockers(self) -> list:
+        """Flag-level reasons the vector engine would refuse these options."""
+        if self.engine != "vector":
+            return []
+        return [
+            name
+            for name, is_set in (
+                ("supervisor", self.supervisor is not None),
+                ("resume_from", self.resume_from is not None),
+                ("checkpoint_every", self.checkpoint_every is not None),
+                ("sample_every", self.sample_every is not None),
+                ("degrade_at", self.degrade_at is not None),
+            )
+            if is_set
+        ]
+
+
+#: the option names api.replay still accepts flat (deprecated shim)
+REPLAY_OPTION_NAMES = tuple(f.name for f in fields(ReplayOptions))
+
+
+@dataclass(kw_only=True)
+class ServeOptions:
+    """The online decision service's full configuration surface."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (reported once bound)
+    port: int = 7757
+    #: stdlib HTTP admin surface (/healthz, /stats, /metrics); None = off
+    admin_port: Optional[int] = None
+    #: independent tracker+policy shards (consistent-hash on destination)
+    shards: int = 1
+    #: bounded per-shard request queue; full = explicit overloaded response
+    queue_depth: int = 1024
+    #: max requests a shard worker drains per wakeup (micro-batch size)
+    batch_max: int = 64
+    #: bounded retries per request before an ``internal`` error response
+    max_retries: int = 2
+    #: propagation policy name (one of faros.config.POLICY_NAMES)
+    policy: str = "mitos"
+    #: MITOS decision-boundary knobs (see workloads.calibration)
+    tau: float = 1.0
+    alpha: float = 1.5
+    quick_calibration: bool = False
+    #: per-shard checkpoint directory (shard-<i>.ckpt.json); None = off
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    #: checkpoint a shard every N applied requests (None = only on drain)
+    checkpoint_every: Optional[int] = None
+    #: restore shard checkpoints from checkpoint_dir before serving
+    resume: bool = False
+    #: JSONL decision-trace path for served decisions (.gz ok)
+    trace_out: Optional[Union[str, Path]] = None
+    #: metrics JSON written on shutdown
+    metrics_out: Optional[Union[str, Path]] = None
+    #: seconds to wait for queues to empty on graceful shutdown
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+                )
+            if self.checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires a checkpoint_dir")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint_dir")
+
+    def shard_checkpoint_path(self, index: int) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return Path(self.checkpoint_dir) / f"shard-{index}.ckpt.json"
+
+    def observability(self) -> Optional["Observability"]:
+        """An Observability bundle when any output is requested."""
+        if self.trace_out is None and self.metrics_out is None:
+            return None
+        from repro.obs.bundle import Observability
+
+        return Observability.create(trace_out=self.trace_out)
+
+
+__all__ = ["ReplayOptions", "ServeOptions", "REPLAY_OPTION_NAMES"]

@@ -1,0 +1,50 @@
+"""Online MITOS decision service: NDJSON protocol, server, client, loadgen.
+
+The package turns the offline replay kernel into a long-running service:
+:class:`~repro.serve.server.MitosServer` shards the decision state,
+answers indirect-flow decision requests through the vectorized Eq. 8
+kernel, and checkpoints/restores shard state across restarts.  See
+``docs/SERVING.md`` for the protocol specification and the
+offline-equivalence guarantee.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.loadgen import (
+    LoadResult,
+    OfflineDecision,
+    collect_offline_decisions,
+    run_load,
+    stateful_stream,
+    write_bench_report,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    ProtocolError,
+    parse_request,
+)
+from repro.serve.server import HashRing, MitosServer, ServerThread
+from repro.serve.shard import DecisionShard
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST_OPS",
+    "DecisionShard",
+    "HashRing",
+    "LoadResult",
+    "MitosServer",
+    "OfflineDecision",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServerThread",
+    "collect_offline_decisions",
+    "parse_request",
+    "run_load",
+    "stateful_stream",
+    "write_bench_report",
+]

@@ -1,0 +1,237 @@
+"""Blocking client for the MITOS decision service.
+
+A thin, dependency-free library over the NDJSON protocol: open a socket,
+send requests, match responses by ``id``.  Matching by id matters --
+shards answer independently, so responses for one connection are **not**
+guaranteed to come back in submission order once requests hash to
+different shards.
+
+Two usage shapes:
+
+* one-shot convenience (``decide`` / ``apply`` / ``ping`` / ``stats``):
+  send one request, block until its response arrives;
+* pipelined (``submit`` then ``collect``): flood the socket with many
+  requests and collect all responses -- what the closed-loop load
+  generator uses to keep every shard busy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.serve.protocol import MAX_FRAME_BYTES, encode_message
+
+#: (tag_type, index) or (tag_type, index, copies)
+CandidateLike = Union[Tuple[str, int], Tuple[str, int, int], Sequence[object]]
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with a structured error response."""
+
+    def __init__(self, code: str, message: str, response: Dict[str, object]):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.response = response
+
+
+class ServeClient:
+    """One TCP connection to a running decision server."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7757, timeout: float = 30.0
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # the server's asyncio transport disables Nagle already; do the
+        # same here so pipelined bursts are not held back by delayed ACKs
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._recv_buf = b""
+        self._ids = itertools.count(1)
+        #: responses that arrived while waiting for a different id
+        self._pending: Dict[object, Dict[str, object]] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _send(self, payload: Dict[str, object]) -> object:
+        payload.setdefault("id", next(self._ids))
+        self._sock.sendall(encode_message(payload))
+        return payload["id"]
+
+    def _read_response(self) -> Dict[str, object]:
+        while True:
+            newline = self._recv_buf.find(b"\n")
+            if newline >= 0:
+                line = self._recv_buf[:newline]
+                self._recv_buf = self._recv_buf[newline + 1 :]
+                return json.loads(line)
+            if len(self._recv_buf) > MAX_FRAME_BYTES:
+                raise ServeClientError(
+                    "bad-response", "oversized response frame", {}
+                )
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._recv_buf += chunk
+
+    def _wait_for(self, request_id: object) -> Dict[str, object]:
+        if request_id in self._pending:
+            return self._pending.pop(request_id)
+        while True:
+            response = self._read_response()
+            if response.get("id") == request_id:
+                return response
+            self._pending[response.get("id")] = response
+
+    @staticmethod
+    def _checked(response: Dict[str, object]) -> Dict[str, object]:
+        if not response.get("ok", False):
+            raise ServeClientError(
+                str(response.get("error", "unknown")),
+                str(response.get("message", "")),
+                response,
+            )
+        return response
+
+    # -- one-shot requests -------------------------------------------------
+
+    def decide(
+        self,
+        destination: str,
+        free_slots: int,
+        candidates: Iterable[CandidateLike],
+        pollution: Optional[float] = None,
+        kind: str = "address_dep",
+        tick: int = 0,
+        context: str = "",
+    ) -> Dict[str, object]:
+        """Submit one decision request and block for its response.
+
+        Candidates are ``(tag_type, index)`` or ``(tag_type, index,
+        copies)`` tuples; omitting copies (and ``pollution``) asks the
+        server to fill them from its live shard state (stateful mode),
+        providing them makes the decision a pure function of the request
+        (explicit mode -- what offline-equivalence checks use).
+        """
+        request = self.decide_payload(
+            destination,
+            free_slots,
+            candidates,
+            pollution=pollution,
+            kind=kind,
+            tick=tick,
+            context=context,
+        )
+        return self._checked(self._wait_for(self._send(request)))
+
+    def apply(
+        self,
+        kind: str,
+        destination: str,
+        sources: Sequence[str] = (),
+        tag: Optional[Tuple[str, int]] = None,
+        tick: int = 0,
+        context: str = "",
+    ) -> Dict[str, object]:
+        """Feed one raw flow event into the destination's shard (stateful mode)."""
+        request: Dict[str, object] = {
+            "op": "apply",
+            "kind": kind,
+            "dest": destination,
+            "sources": list(sources),
+            "tick": tick,
+        }
+        if tag is not None:
+            request["tag"] = [tag[0], tag[1]]
+        if context:
+            request["context"] = context
+        return self._checked(self._wait_for(self._send(request)))
+
+    def ping(self) -> Dict[str, object]:
+        return self._checked(self._wait_for(self._send({"op": "ping"})))
+
+    def stats(self) -> Dict[str, object]:
+        return self._checked(self._wait_for(self._send({"op": "stats"})))
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Ask the server to write a checkpoint for every shard now."""
+        return self._checked(self._wait_for(self._send({"op": "checkpoint"})))
+
+    # -- pipelined submission ---------------------------------------------
+
+    @staticmethod
+    def decide_payload(
+        destination: str,
+        free_slots: int,
+        candidates: Iterable[CandidateLike],
+        pollution: Optional[float] = None,
+        kind: str = "address_dep",
+        tick: int = 0,
+        context: str = "",
+    ) -> Dict[str, object]:
+        """The wire payload for a decide request (no id assigned yet)."""
+        specs: List[Dict[str, object]] = []
+        for candidate in candidates:
+            parts = list(candidate)
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    "candidates must be (type, index[, copies]) tuples, "
+                    f"got {candidate!r}"
+                )
+            spec: Dict[str, object] = {"type": parts[0], "index": parts[1]}
+            if len(parts) == 3 and parts[2] is not None:
+                spec["copies"] = parts[2]
+            specs.append(spec)
+        request: Dict[str, object] = {
+            "op": "decide",
+            "dest": destination,
+            "free_slots": free_slots,
+            "candidates": specs,
+            "kind": kind,
+            "tick": tick,
+        }
+        if pollution is not None:
+            request["pollution"] = pollution
+        if context:
+            request["context"] = context
+        return request
+
+    @staticmethod
+    def encode_with_id(
+        payload: Dict[str, object], request_id: object
+    ) -> bytes:
+        """Pre-encode a payload with an explicit id (bulk submission)."""
+        return encode_message(dict(payload, id=request_id))
+
+    def submit(self, payload: Dict[str, object]) -> object:
+        """Send a raw request payload without waiting; returns its id."""
+        return self._send(dict(payload))
+
+    def collect(self, request_id: object) -> Dict[str, object]:
+        """Block for the response to a previously submitted request."""
+        return self._checked(self._wait_for(request_id))
+
+    def raw_roundtrip(self, line: bytes) -> Dict[str, object]:
+        """Send pre-encoded bytes and return the next response (fuzzing aid).
+
+        No id matching and no ok-check: the caller gets whatever the
+        server says, including structured protocol errors.
+        """
+        self._sock.sendall(line)
+        return self._read_response()

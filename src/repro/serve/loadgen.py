@@ -1,0 +1,400 @@
+"""Closed-loop load generator with offline-equivalence checking.
+
+The serving stack's correctness story is end-to-end: a served decision
+must be the decision the offline scalar replay would have made.  This
+module makes that checkable (and benchmarkable) in three steps:
+
+1. :func:`collect_offline_decisions` replays a
+   :class:`~repro.replay.record.Recording` through a plain scalar
+   :class:`~repro.dift.tracker.DIFTTracker` with an ``ifp_observer``
+   that captures, for every indirect-flow decision, exactly the inputs
+   the policy saw (candidates in order with copies, free slots,
+   pre-propagation pollution) and the full ranked outcome it produced;
+2. each capture becomes one *explicit-mode* decide request -- copies
+   and pollution travel with the request, so the server's answer is a
+   pure function of the request and the parity holds for **any** shard
+   count, not just one;
+3. :func:`run_load` replays those requests against a live server,
+   closed-loop with a bounded pipeline window, and compares every
+   response field-for-field (floats included -- ``json`` round-trips
+   IEEE doubles exactly) against the offline outcome.
+
+``stateful_stream`` builds the other flavour: the full event stream as
+``apply`` + stateful ``decide`` requests, which reproduces the offline
+run only at ``shards=1`` (copy counts and pollution are global offline
+but per-shard online) -- the checkpoint/restore equivalence tests use
+it to drive a server that gets killed mid-load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.params import MitosParams
+from repro.dift.tracker import DIFTTracker
+from repro.faros.config import FarosConfig
+from repro.replay.record import Recording
+from repro.serve.client import ServeClient
+from repro.serve.protocol import format_location
+
+_INDIRECT_KINDS = frozenset({"address_dep", "control_dep"})
+
+
+@dataclass
+class OfflineDecision:
+    """One offline IFP decision: the request that reproduces it + the
+    exact response the server must give."""
+
+    #: wire payload (no id) in explicit mode: copies+pollution included
+    request: Dict[str, object]
+    #: the fields a correct response must carry verbatim
+    expected: Dict[str, object]
+
+
+def _decision_rows(details) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for decision in details.decisions:
+        candidate = decision.candidate
+        tag = candidate.key
+        rows.append(
+            {
+                "tag": f"{tag.type}:{tag.index}",
+                "type": candidate.tag_type,
+                "copies": candidate.copies,
+                "marginal": decision.marginal,
+                "under": decision.under_marginal,
+                "over": decision.over_marginal,
+                "propagate": decision.propagate,
+            }
+        )
+    return rows
+
+
+def collect_offline_decisions(
+    recording: Recording,
+    params: MitosParams,
+    policy: str = "mitos",
+    limit: Optional[int] = None,
+) -> List[OfflineDecision]:
+    """Scalar-replay ``recording`` and capture every IFP decision.
+
+    The capture hook rides the tracker's ``ifp_observer``, which fires
+    with precisely the inputs ``select_with_details`` received --
+    candidate order, copy counts at decision time, destination free
+    slots, pre-propagation pollution -- plus the ranked
+    :class:`~repro.core.decision.MultiDecision` it returned.
+    """
+    captured: List[OfflineDecision] = []
+
+    def observer(event, candidates, details, selected, pollution) -> None:
+        kind = event.kind.value
+        if kind not in _INDIRECT_KINDS or details is None:
+            return
+        request: Dict[str, object] = {
+            "op": "decide",
+            "dest": format_location(event.destination),
+            "kind": kind,
+            "tick": event.tick,
+            "free_slots": details.free_slots,
+            "pollution": pollution,
+            "candidates": [
+                {
+                    "type": c.tag_type,
+                    "index": c.key.index,
+                    "copies": c.copies,
+                }
+                for c in candidates
+            ],
+        }
+        if event.context:
+            request["context"] = event.context
+        expected = {
+            "propagated": [f"{t.type}:{t.index}" for t in selected],
+            "decisions": _decision_rows(details),
+        }
+        captured.append(OfflineDecision(request=request, expected=expected))
+
+    config = FarosConfig(params=params, policy=policy, label="loadgen")
+    tracker = DIFTTracker(
+        params=params, policy=config.build_policy(), ifp_observer=observer
+    )
+    events = recording.events if limit is None else recording.events[:limit]
+    for event in events:
+        tracker.process(event)
+    return captured
+
+
+def stateful_stream(
+    recording: Recording, limit: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """The recording as a stateful-mode request stream.
+
+    Direct flows (insert/clear/copy/compute) become ``apply`` requests;
+    indirect flows become ``apply`` requests too -- the shard's tracker
+    runs its own candidate derivation and decision, exactly like the
+    offline replay.  Only meaningful at ``shards=1``, where the single
+    shard sees the same global state the offline tracker does.
+    """
+    requests: List[Dict[str, object]] = []
+    events = recording.events if limit is None else recording.events[:limit]
+    for event in events:
+        payload: Dict[str, object] = {
+            "op": "apply",
+            "kind": event.kind.value,
+            "dest": format_location(event.destination),
+            "tick": event.tick,
+        }
+        if event.sources:
+            payload["sources"] = [format_location(s) for s in event.sources]
+        if event.tag is not None:
+            payload["tag"] = [event.tag.type, event.tag.index]
+        if event.context:
+            payload["context"] = event.context
+        requests.append(payload)
+    return requests
+
+
+@dataclass
+class Mismatch:
+    """One served decision that differed from the offline replay."""
+
+    index: int
+    field_name: str
+    expected: object
+    actual: object
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one closed-loop run against a live server."""
+
+    requests: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    #: wall-clock microseconds per request, submit to response-read
+    latencies_us: List[float] = field(default_factory=list)
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def matched(self) -> bool:
+        return not self.mismatches and not self.errors
+
+    @property
+    def decisions_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-th percentile latency in microseconds (0 when empty)."""
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        position = min(
+            len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1)))
+        )
+        return ordered[position]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "mismatches": len(self.mismatches),
+            "matched": self.matched,
+            "elapsed_seconds": self.elapsed_seconds,
+            "decisions_per_second": self.decisions_per_second,
+            "latency_us": {
+                "p50": self.latency_percentile(50),
+                "p95": self.latency_percentile(95),
+                "p99": self.latency_percentile(99),
+            },
+        }
+
+
+def _compare(
+    index: int,
+    expected: Dict[str, object],
+    response: Dict[str, object],
+    mismatches: List[Mismatch],
+    max_mismatches: int,
+) -> None:
+    for key, want in expected.items():
+        if len(mismatches) >= max_mismatches:
+            return
+        got = response.get(key)
+        if got != want:
+            mismatches.append(Mismatch(index, key, want, got))
+
+
+def run_load(
+    host: str,
+    port: int,
+    decisions: Sequence[OfflineDecision],
+    connections: int = 1,
+    window: int = 32,
+    max_mismatches: int = 10,
+) -> LoadResult:
+    """Replay captured decisions against a live server, closed-loop.
+
+    Each connection keeps up to ``window`` requests outstanding
+    (pipelined on one socket, responses matched by id), which is what
+    keeps multiple shards busy from a single client process.  Every
+    response is compared field-for-field against its offline outcome.
+
+    The timed window contains nothing but I/O: frames are pre-encoded
+    with the decision index as id before the clock starts, and the
+    receive loop only timestamps raw response lines.  Decoding, id
+    matching, latency math and the parity comparison all happen after
+    the clock stops -- on a small machine the client shares cores with
+    the server, so any in-loop client work would directly depress the
+    measured serving throughput.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    encoded = [
+        ServeClient.encode_with_id(decision.request, index)
+        for index, decision in enumerate(decisions)
+    ]
+    slices = [
+        list(range(start, len(decisions), connections))
+        for start in range(connections)
+    ]
+    results: List[LoadResult] = [LoadResult() for _ in slices]
+    errors: List[BaseException] = []
+
+    #: per worker: burst send times by index, and (t_recv, raw line)
+    sent_per_worker: List[Dict[int, float]] = [{} for _ in slices]
+    received_per_worker: List[List[Tuple[float, bytes]]] = [
+        [] for _ in slices
+    ]
+
+    def worker(
+        indices: List[int],
+        sent_at: Dict[int, float],
+        received: List[Tuple[float, bytes]],
+    ) -> None:
+        timer = time.perf_counter
+        try:
+            with ServeClient(host, port) as client:
+                sock = client._sock
+                recv = sock.recv
+                append = received.append
+                buffer = bytearray()
+                position = 0
+                outstanding = 0
+                total = len(indices)
+                while position < total or outstanding:
+                    if position < total and outstanding < window:
+                        # one coalesced send per window refill -- a
+                        # syscall per request would dominate the measure
+                        burst: List[bytes] = []
+                        now = timer()
+                        while position < total and outstanding < window:
+                            index = indices[position]
+                            position += 1
+                            outstanding += 1
+                            sent_at[index] = now
+                            burst.append(encoded[index])
+                        sock.sendall(b"".join(burst))
+                    newline = buffer.find(b"\n")
+                    while newline < 0:
+                        chunk = recv(1 << 16)
+                        if not chunk:
+                            raise ConnectionError(
+                                "server closed the connection"
+                            )
+                        buffer += chunk
+                        newline = buffer.find(b"\n")
+                    # every response line closes exactly one outstanding
+                    # request (the server answers each request once), so
+                    # the window advances without decoding anything here
+                    t_recv = timer()
+                    start = 0
+                    while newline >= 0:
+                        append((t_recv, bytes(buffer[start:newline])))
+                        outstanding -= 1
+                        start = newline + 1
+                        newline = buffer.find(b"\n", start)
+                    del buffer[:start]
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+
+    started = time.perf_counter()
+    if connections == 1:
+        worker(slices[0], sent_per_worker[0], received_per_worker[0])
+    else:
+        threads = [
+            threading.Thread(target=worker, args=args)
+            for args in zip(slices, sent_per_worker, received_per_worker)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    # off-the-clock accounting: decode, match ids, compare against the
+    # offline outcomes
+    for result, sent_at, received in zip(
+        results, sent_per_worker, received_per_worker
+    ):
+        for t_recv, line in received:
+            response = json.loads(line)
+            index = response.get("id")
+            t_send = sent_at.pop(index, None)
+            if t_send is None:
+                result.errors += 1
+                continue
+            result.latencies_us.append((t_recv - t_send) * 1e6)
+            result.requests += 1
+            if not response.get("ok", False):
+                result.errors += 1
+                continue
+            _compare(
+                index,
+                decisions[index].expected,
+                response,
+                result.mismatches,
+                max_mismatches,
+            )
+    merged = LoadResult(elapsed_seconds=elapsed)
+    for result in results:
+        merged.requests += result.requests
+        merged.errors += result.errors
+        merged.latencies_us.extend(result.latencies_us)
+        merged.mismatches.extend(result.mismatches)
+    merged.mismatches.sort(key=lambda m: m.index)
+    del merged.mismatches[max_mismatches:]
+    return merged
+
+
+def write_bench_report(
+    path: Union[str, Path],
+    result: LoadResult,
+    *,
+    shards: int,
+    connections: int,
+    window: int,
+    recording_events: int,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the ``BENCH_serve.json`` document CI uploads."""
+    report: Dict[str, object] = {
+        "benchmark": "serve",
+        "shards": shards,
+        "connections": connections,
+        "window": window,
+        "recording_events": recording_events,
+        **result.summary(),
+    }
+    if extra:
+        report.update(extra)
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return target

@@ -1,0 +1,691 @@
+"""The asyncio MITOS decision server.
+
+One process, one event loop, ``--shards N`` independent
+:class:`~repro.serve.shard.DecisionShard` units.  The data plane is
+newline-delimited JSON over TCP (:mod:`repro.serve.protocol`); a stdlib
+HTTP admin surface (``/healthz``, ``/stats``, ``/metrics``) can run on a
+second port.
+
+Request lifecycle::
+
+    connection reader --(consistent hash on destination)--> shard queue
+    shard worker: drain up to batch_max requests, decide, write responses
+
+* **Backpressure**: shard queues are bounded (``queue_depth``); a
+  request that finds its queue full is answered immediately with a
+  structured ``overloaded`` error instead of being buffered without
+  bound -- the client decides whether to back off or retry.
+* **Bounded retry**: shard processing runs under a
+  :class:`~repro.replay.supervisor.PluginSupervisor`-style retry loop --
+  transient faults are retried up to ``max_retries`` times, anything
+  else becomes an ``internal`` error response; the shard and the server
+  stay up either way.
+* **Graceful drain**: SIGTERM/SIGINT stop the listeners, let every
+  queued request finish, write a final checkpoint per shard, then shut
+  down.  Requests arriving mid-drain get a ``shutting-down`` error.
+* **Checkpoint/restore**: with a checkpoint directory configured each
+  shard periodically persists its tracker state via
+  :mod:`repro.replay.checkpoint`; ``resume=True`` restores the files on
+  boot so a restarted server continues with byte-identical policy state.
+
+Routing uses a seeded-blake2b consistent-hash ring (never the
+process-randomized ``hash()``), so a destination maps to the same shard
+across restarts and across processes -- a restored checkpoint therefore
+sees exactly the requests it would have seen without the restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import experiment_params
+from repro.faros.config import FarosConfig
+from repro.obs.bundle import Observability
+from repro.obs.logging import get_logger
+from repro.options import ServeOptions
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ApplyRequest,
+    ControlRequest,
+    DecideRequest,
+    ProtocolError,
+    encode_message,
+    error_response,
+    format_location,
+    ok_response,
+)
+from repro.serve.shard import DecisionShard
+
+logger = get_logger("repro.serve")
+
+#: virtual nodes per shard on the consistent-hash ring
+RING_REPLICAS = 64
+
+#: raised-by-plugins exception the retry loop treats as transient; import
+#: guarded so serve works even if repro.faults grows optional deps later
+from repro.faults.injector import TransientFault  # noqa: E402
+
+
+def _ring_point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over shard indices."""
+
+    def __init__(self, shards: int, replicas: int = RING_REPLICAS):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((_ring_point(f"shard-{shard}:{replica}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        position = bisect.bisect(self._points, _ring_point(key))
+        if position == len(self._points):
+            position = 0
+        return self._shards[position]
+
+
+class _LineReader:
+    """Framed line reading with oversized-frame recovery.
+
+    A line longer than ``max_frame`` is discarded up to its newline and
+    reported as a :class:`ProtocolError` (``frame-too-large``); the
+    connection then keeps working -- one bad frame never tears it down.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, max_frame: int):
+        self._reader = reader
+        self._max = max_frame
+        self._buf = bytearray()
+        self._discarding = False
+
+    async def next_line(self) -> Optional[bytes]:
+        while True:
+            newline = self._buf.find(b"\n")
+            if self._discarding:
+                if newline >= 0:
+                    del self._buf[: newline + 1]
+                    self._discarding = False
+                    raise ProtocolError(
+                        "frame-too-large",
+                        f"frame exceeded {self._max} bytes and was discarded",
+                    )
+                self._buf.clear()
+            elif newline >= 0:
+                line = bytes(self._buf[:newline])
+                del self._buf[: newline + 1]
+                return line
+            elif len(self._buf) > self._max:
+                self._buf.clear()
+                self._discarding = True
+                continue
+            chunk = await self._reader.read(1 << 16)
+            if not chunk:
+                return None
+            self._buf += chunk
+
+
+def _request_id_of(line: bytes) -> object:
+    """Best-effort id extraction from a frame that failed to parse."""
+    try:
+        payload = json.loads(line)
+    except Exception:
+        return None
+    if isinstance(payload, dict):
+        return payload.get("id")
+    return None
+
+
+class MitosServer:
+    """The long-running decision service; one instance per process."""
+
+    def __init__(
+        self,
+        options: Optional[ServeOptions] = None,
+        observability: Optional[Observability] = None,
+    ):
+        self.options = options if options is not None else ServeOptions()
+        self.obs = observability
+        params = experiment_params(
+            quick=self.options.quick_calibration,
+            tau=self.options.tau,
+            alpha=self.options.alpha,
+        )
+        self.params = params
+        config = FarosConfig(
+            params=params, policy=self.options.policy, label="serve"
+        )
+        observer = (
+            observability.decision_observer()
+            if observability is not None
+            else None
+        )
+        if self.options.checkpoint_dir is not None:
+            Path(self.options.checkpoint_dir).mkdir(
+                parents=True, exist_ok=True
+            )
+        self.shards: List[DecisionShard] = []
+        for index in range(self.options.shards):
+            shard = DecisionShard(
+                index,
+                params=params,
+                policy_factory=config.build_policy,
+                checkpoint_path=self.options.shard_checkpoint_path(index),
+                ifp_observer=observer,
+            )
+            shard.checkpoint_every = self.options.checkpoint_every
+            self.shards.append(shard)
+        self.restored_shards = 0
+        if self.options.resume:
+            for shard in self.shards:
+                if shard.restore():
+                    self.restored_shards += 1
+        self._ring = HashRing(self.options.shards)
+        self._queues: List[asyncio.Queue] = []
+        self._workers: List[asyncio.Task] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._admin: Optional[asyncio.base_events.Server] = None
+        self._stop = None  # type: Optional[asyncio.Event]
+        self._draining = False
+        self._abort = False
+        self._started_at = time.monotonic()
+        self.port: Optional[int] = None
+        self.admin_port: Optional[int] = None
+        # counters (mirrored into obs metrics when a bundle is attached)
+        self.requests_total = 0
+        self.responses_total = 0
+        self.errors_total = 0
+        self.overloaded_total = 0
+        self.retries_total = 0
+        if observability is not None:
+            metrics = observability.metrics
+            self._m_requests = metrics.counter("serve.requests")
+            self._m_errors = metrics.counter("serve.errors")
+            self._m_overloaded = metrics.counter("serve.overloaded")
+            self._m_retries = metrics.counter("serve.retries")
+            self._m_decisions = metrics.counter("serve.decisions")
+            self._tracer = observability.tracer
+        else:
+            self._m_requests = None
+            self._m_errors = None
+            self._m_overloaded = None
+            self._m_retries = None
+            self._m_decisions = None
+            self._tracer = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind sockets and start shard workers (non-blocking)."""
+        self._stop = asyncio.Event()
+        for shard in self.shards:
+            queue: asyncio.Queue = asyncio.Queue(
+                maxsize=self.options.queue_depth
+            )
+            self._queues.append(queue)
+            self._workers.append(
+                asyncio.create_task(self._shard_worker(shard, queue))
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.options.host, self.options.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.options.admin_port is not None:
+            self._admin = await asyncio.start_server(
+                self._handle_admin, self.options.host, self.options.admin_port
+            )
+            self.admin_port = self._admin.sockets[0].getsockname()[1]
+        logger.info(
+            "serving",
+            extra={
+                "host": self.options.host,
+                "port": self.port,
+                "shards": len(self.shards),
+                "restored": self.restored_shards,
+            },
+        )
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful drain (no-op where unsupported)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    def request_shutdown(self, abort: bool = False) -> None:
+        """Begin shutdown: graceful drain by default, immediate on abort."""
+        self._draining = True
+        self._abort = self._abort or abort
+        if self._stop is not None:
+            self._stop.set()
+
+    async def run(self) -> None:
+        """Start, serve until shutdown is requested, drain, and stop."""
+        await self.start()
+        assert self._stop is not None
+        await self._stop.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._admin is not None:
+            self._admin.close()
+            await self._admin.wait_closed()
+        if not self._abort:
+            # graceful: let every queued request finish...
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*(q.join() for q in self._queues)),
+                    timeout=self.options.drain_timeout,
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                logger.warning("drain timed out with requests still queued")
+            # ...then persist final shard state for a clean restart
+            if self.options.checkpoint_dir is not None:
+                for shard in self.shards:
+                    shard.write_checkpoint()
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        if self.options.metrics_out is not None and self.obs is not None:
+            self.obs.write_metrics(self.options.metrics_out)
+        if self.obs is not None:
+            self.obs.close()
+        logger.info(
+            "stopped",
+            extra={
+                "responses": self.responses_total,
+                "errors": self.errors_total,
+            },
+        )
+
+    # -- data plane --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        frames = _LineReader(reader, MAX_FRAME_BYTES)
+        try:
+            while True:
+                try:
+                    line = await frames.next_line()
+                except ProtocolError as err:
+                    self._send_error(writer, None, err)
+                    await self._safe_drain(writer)
+                    continue
+                if line is None:
+                    break
+                if not line.strip():
+                    continue
+                followup = self._dispatch(line, writer)
+                if followup is not None:
+                    await followup
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _dispatch(self, line: bytes, writer: asyncio.StreamWriter):
+        """Route one frame; the happy path never creates a coroutine.
+
+        Returns ``None`` when the request was queued (or errored with no
+        flush needed beyond the write buffer), or an awaitable the
+        connection loop must drive (error drains, control handling).
+        """
+        self.requests_total += 1
+        if self._m_requests is not None:
+            self._m_requests.inc()
+        try:
+            request = parse_request_cached(line)
+        except ProtocolError as err:
+            self._send_error(writer, _request_id_of(line), err)
+            return self._safe_drain(writer)
+        if self._draining:
+            self._send_error(
+                writer,
+                request.id,
+                ProtocolError("shutting-down", "server is draining"),
+            )
+            return self._safe_drain(writer)
+        if isinstance(request, ControlRequest):
+            return self._handle_control(request, writer)
+        if len(self._queues) == 1:
+            shard_index = 0
+        else:
+            shard_index = self._ring.shard_for(
+                format_location(request.destination)
+            )
+        queue = self._queues[shard_index]
+        try:
+            queue.put_nowait((request, writer))
+        except asyncio.QueueFull:
+            self.overloaded_total += 1
+            if self._m_overloaded is not None:
+                self._m_overloaded.inc()
+            self._send_error(
+                writer,
+                request.id,
+                ProtocolError(
+                    "overloaded",
+                    f"shard {shard_index} queue is full "
+                    f"({self.options.queue_depth} deep); retry later",
+                ),
+            )
+            return self._safe_drain(writer)
+        return None
+
+    async def _handle_control(
+        self, request: ControlRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        if request.op == "ping":
+            response = ok_response(
+                request.id, pong=True, version=PROTOCOL_VERSION
+            )
+        elif request.op == "stats":
+            response = ok_response(request.id, **self.stats())
+        else:  # checkpoint
+            if self.options.checkpoint_dir is None:
+                response = error_response(
+                    request.id, "bad-request", "no checkpoint_dir configured"
+                )
+            else:
+                try:
+                    written = [
+                        str(shard.write_checkpoint()) for shard in self.shards
+                    ]
+                    response = ok_response(request.id, checkpoints=written)
+                except OSError as error:  # structured, never tears the
+                    self.errors_total += 1  # connection down
+                    response = error_response(
+                        request.id, "internal", f"checkpoint failed: {error}"
+                    )
+        writer.write(encode_message(response))
+        self.responses_total += 1
+        await self._safe_drain(writer)
+
+    async def _shard_worker(
+        self, shard: DecisionShard, queue: asyncio.Queue
+    ) -> None:
+        batch_max = self.options.batch_max
+        while True:
+            item = await queue.get()
+            batch = [item]
+            while len(batch) < batch_max:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            # coalesce every response for a connection into one write:
+            # a socket send per response is the dominant cost at high
+            # request rates (measured ~4x the decision itself)
+            frames: Dict[asyncio.StreamWriter, List[bytes]] = {}
+            for request, writer in batch:
+                response = self._process(shard, request)
+                frames.setdefault(writer, []).append(
+                    encode_message(response)
+                )
+                self.responses_total += 1
+                queue.task_done()
+            for writer, chunks in frames.items():
+                try:
+                    writer.write(b"".join(chunks))
+                except Exception:  # connection already gone
+                    continue
+                await self._safe_drain(writer)
+
+    def _process(self, shard: DecisionShard, request: object) -> Dict[str, object]:
+        """One request through the shard under the bounded-retry barrier."""
+        tracer = self._tracer
+        started = time.perf_counter_ns() if tracer is not None else 0
+        error: Optional[Exception] = None
+        for attempt in range(self.options.max_retries + 1):
+            if attempt > 0:
+                self.retries_total += 1
+                if self._m_retries is not None:
+                    self._m_retries.inc()
+            try:
+                if isinstance(request, DecideRequest):
+                    response = shard.decide(request)
+                    if self._m_decisions is not None:
+                        self._m_decisions.inc()
+                else:
+                    assert isinstance(request, ApplyRequest)
+                    response = shard.apply(request)
+                if tracer is not None:
+                    tracer.end("serve.decide", started)
+                return response
+            except ProtocolError as err:
+                self.errors_total += 1
+                if self._m_errors is not None:
+                    self._m_errors.inc()
+                return error_response(request.id, err.code, err.message)
+            except TransientFault as err:  # bounded retry, then give up
+                error = err
+                continue
+            except Exception as err:  # pragma: no cover - defensive barrier
+                error = err
+                break
+        self.errors_total += 1
+        if self._m_errors is not None:
+            self._m_errors.inc()
+        logger.warning(
+            "request failed",
+            extra={"shard": shard.index, "error": repr(error)},
+        )
+        return error_response(
+            request.id, "internal", f"shard {shard.index} failed: {error!r}"
+        )
+
+    def _send_error(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: object,
+        err: ProtocolError,
+    ) -> None:
+        self.errors_total += 1
+        if self._m_errors is not None:
+            self._m_errors.inc()
+        try:
+            writer.write(
+                encode_message(error_response(request_id, err.code, err.message))
+            )
+        except Exception:  # connection already gone
+            pass
+
+    @staticmethod
+    async def _safe_drain(writer: asyncio.StreamWriter) -> None:
+        try:
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    # -- admin surface -----------------------------------------------------
+
+    async def _handle_admin(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            status, body = self._admin_route(path)
+            payload = json.dumps(body, indent=2).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 %d %s\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: %d\r\n"
+                b"Connection: close\r\n\r\n"
+                % (
+                    status,
+                    b"OK" if status == 200 else b"Not Found",
+                    len(payload),
+                )
+            )
+            writer.write(payload)
+            await self._safe_drain(writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _admin_route(self, path: str) -> Tuple[int, Dict[str, object]]:
+        if path == "/healthz":
+            return 200, {
+                "ok": True,
+                "version": PROTOCOL_VERSION,
+                "draining": self._draining,
+                "shards": len(self.shards),
+            }
+        if path == "/stats":
+            return 200, self.stats()
+        if path == "/metrics":
+            if self.obs is not None:
+                return 200, self.obs.export()
+            return 200, {"metrics": {}}
+        return 404, {"ok": False, "error": "not-found", "path": path}
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "requests": self.requests_total,
+            "responses": self.responses_total,
+            "errors": self.errors_total,
+            "overloaded": self.overloaded_total,
+            "retries": self.retries_total,
+            "restored_shards": self.restored_shards,
+            "queue_depths": [q.qsize() for q in self._queues],
+            "shards": [shard.stats_payload() for shard in self.shards],
+        }
+
+
+# parse_request is pure; keep an alias here so tests can monkeypatch the
+# server's view without touching the protocol module
+from repro.serve.protocol import parse_request as parse_request_cached  # noqa: E402
+
+
+class ServerThread:
+    """A server running on its own event loop in a daemon thread.
+
+    The in-process harness behind ``mitos-repro bench-serve``, the load
+    generator tests, and anything else that wants a live server without
+    spawning a process.  ``stop()`` drains gracefully; ``abort()`` kills
+    the server mid-load (no drain, no final checkpoint) -- the
+    checkpoint/restore equivalence tests use that to simulate a crash.
+    """
+
+    def __init__(
+        self,
+        options: Optional[ServeOptions] = None,
+        observability: Optional[Observability] = None,
+    ):
+        self.server = MitosServer(options, observability)
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="mitos-serve", daemon=True
+        )
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            finally:
+                self._ready.set()
+            assert self.server._stop is not None
+            await self.server._stop.wait()
+            await self.server._shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # surfaced by start()/stop()
+            self._error = error
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._error!r}"
+            ) from self._error
+        if self.server.port is None:
+            raise RuntimeError("server did not bind within 30s")
+        return self
+
+    @property
+    def host(self) -> str:
+        return self.server.options.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def admin_port(self) -> Optional[int]:
+        return self.server.admin_port
+
+    def _signal_stop(self, abort: bool) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server.request_shutdown, abort)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain: finish queued requests, final checkpoints."""
+        self._signal_stop(abort=False)
+        self._thread.join(timeout=timeout)
+
+    def abort(self, timeout: float = 30.0) -> None:
+        """Kill mid-load: no drain, no final checkpoint."""
+        self._signal_stop(abort=True)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,374 @@
+"""A decision shard: one tracker + policy answering decide/apply requests.
+
+Each shard owns an independent :class:`~repro.dift.tracker.DIFTTracker`
+and propagation policy (MITOS by default).  The server routes requests to
+shards by consistent-hashing the destination location, so one shard sees
+every request about "its" locations and its propagation bookkeeping stays
+coherent without cross-shard coordination.
+
+The decision path is the vectorized Eq. 8 kernel:
+:func:`repro.vector.kernel.decide_multi_batch` ranks candidates with the
+exact gather tables and runs the same sequential Algorithm 2 tail as the
+scalar code, so a served decision is bit-identical to what an offline
+scalar replay would decide from the same (candidates, free slots,
+pollution) inputs.  The shard keeps per-type under-marginal tables and
+preseeds the policy's :class:`~repro.core.decision.MarginalCache` from
+them (the warm-up the vector replay engine performs), growing both
+whenever a new tag type or a larger copy count shows up.
+
+Shard state is checkpointable through :mod:`repro.replay.checkpoint`:
+the tracker snapshot plus its stats, keyed by the number of requests
+applied, written atomically -- a restarted server restores the files and
+resumes with byte-identical policy-visible state (copy counts, pollution,
+shadow lists).  The marginal cache and gather tables are pure memos of
+the params and are rebuilt lazily, which cannot change any decision.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.decision import MultiDecision, TagCandidate
+from repro.core.params import MitosParams
+from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker, IfpObserver
+from repro.replay.checkpoint import (
+    checkpoint_state,
+    read_checkpoint,
+    restore_checkpoint_state,
+    write_checkpoint,
+)
+from repro.serve.protocol import (
+    ApplyRequest,
+    DecideRequest,
+    ProtocolError,
+    error_response,
+    ok_response,
+)
+from repro.vector.kernel import (
+    DEFAULT_MAX_COPIES,
+    decide_multi_batch,
+    seed_marginal_cache,
+    under_table_stack,
+)
+
+_INDIRECT = {
+    "address_dep": FlowKind.ADDRESS_DEP,
+    "control_dep": FlowKind.CONTROL_DEP,
+}
+
+
+class DecisionShard:
+    """One independently-stateful decision unit behind the server.
+
+    Not thread-safe: the server drives each shard from exactly one
+    worker task.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        params: MitosParams,
+        policy_factory: Callable[[], object],
+        checkpoint_path: Optional[Path] = None,
+        ifp_observer: Optional[IfpObserver] = None,
+        max_table_copies: int = DEFAULT_MAX_COPIES,
+    ):
+        self.index = index
+        self.params = params
+        self.policy = policy_factory()
+        self.tracker = DIFTTracker(
+            params=params,
+            policy=self.policy,  # type: ignore[arg-type]
+            ifp_observer=ifp_observer,
+        )
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.ifp_observer = ifp_observer
+        #: requests applied to this shard's state (decide + apply); the
+        #: checkpoint event index, so restore knows where serving resumed
+        self.requests_applied = 0
+        self.decisions_served = 0
+        self.checkpoints_written = 0
+        # exact under-marginal gather tables, grown on demand
+        self._max_table_copies = max(1, max_table_copies)
+        self._tag_types: Tuple[str, ...] = ()
+        self._table_stack: Optional[np.ndarray] = None
+        #: plain-list view of the table stack for the small-batch gather
+        self._table_rows: Optional[List[List[float]]] = None
+        self._type_index: Optional[Dict[str, int]] = None
+        #: True when the policy exposes the MITOS engine (batch kernel path)
+        self._mitos = hasattr(self.policy, "engine")
+        # interning caches for the hot decide path: the working set of
+        # distinct tags is small while every request names several, so
+        # frozen-dataclass construction and name formatting amortize away
+        self._tags: Dict[Tuple[str, int], Tag] = {}
+        self._names: Dict[Tag, str] = {}
+
+    def _tag_for(self, tag_type: str, index: int) -> Tag:
+        key = (tag_type, index)
+        tag = self._tags.get(key)
+        if tag is None:
+            tag = self._tags[key] = Tag(tag_type, index)
+        return tag
+
+    def _name_of(self, tag: Tag) -> str:
+        name = self._names.get(tag)
+        if name is None:
+            name = self._names[tag] = f"{tag.type}:{tag.index}"
+        return name
+
+    # -- Eq. 8 table management -----------------------------------------
+
+    def _tables_for(
+        self, candidates: Sequence[TagCandidate]
+    ) -> Tuple[Optional[np.ndarray], Optional[Tuple[str, ...]]]:
+        """The shared gather tables covering ``candidates``, grown as needed."""
+        types = {c.tag_type for c in candidates}
+        max_copies = max(c.copies for c in candidates)
+        rebuild = False
+        if not types.issubset(self._tag_types):
+            types.update(self._tag_types)
+            self._tag_types = tuple(sorted(types))
+            rebuild = True
+        while max_copies > self._max_table_copies:
+            self._max_table_copies *= 2
+            rebuild = True
+        if rebuild or self._table_stack is None:
+            self._table_stack = under_table_stack(
+                self._tag_types, self._max_table_copies, self.params
+            )
+            self._table_rows = self._table_stack.tolist()
+            self._type_index = {
+                tag_type: i for i, tag_type in enumerate(self._tag_types)
+            }
+            cache = getattr(self.policy.engine, "marginal_cache", None)
+            if cache is not None:
+                seed_marginal_cache(
+                    cache, self._tag_types, max_copies=self._max_table_copies
+                )
+        return self._table_stack, self._tag_types
+
+    # -- request handlers -------------------------------------------------
+
+    def decide(self, request: DecideRequest) -> Dict[str, object]:
+        """Answer one indirect-flow decision request.
+
+        Explicit ``copies``/``pollution`` in the request are authoritative
+        (the offline-equivalence mode); missing values are filled from the
+        shard's live tracker state.  Either way the granted propagations
+        are applied to the shard's shadow/counters, so successive
+        stateful requests observe the updated copy counts.
+        """
+        tracker = self.tracker
+        counter = tracker.counter
+        copies_of = counter._counts.get
+        try:
+            candidates: List[TagCandidate] = []
+            tag_for = self._tag_for
+            for spec in request.candidates:
+                tag = tag_for(spec.tag_type, spec.index)
+                copies = (
+                    spec.copies
+                    if spec.copies is not None
+                    else copies_of((spec.tag_type, spec.index), 0)
+                )
+                candidates.append(TagCandidate(tag, spec.tag_type, copies))
+        except ValueError as error:
+            raise ProtocolError("bad-request", str(error)) from error
+        pollution = (
+            request.pollution
+            if request.pollution is not None
+            else tracker.pollution()
+        )
+        stats = tracker.stats
+        if request.tick >= stats.ticks:
+            stats.ticks = request.tick + 1
+        if request.kind == "address_dep":
+            stats.ifp_address += 1
+        else:
+            stats.ifp_control += 1
+        stats.ifp_candidates += len(candidates)
+        details: Optional[MultiDecision]
+        if not candidates:
+            details = MultiDecision(free_slots=request.free_slots)
+            selected: List[Tag] = []
+        elif self._mitos:
+            table_stack, tag_types = self._tables_for(candidates)
+            details = decide_multi_batch(
+                candidates,
+                request.free_slots,
+                pollution,
+                self.params,
+                table_stack=table_stack,
+                tag_types=tag_types,
+                table_rows=self._table_rows,
+                type_index=self._type_index,
+            )
+            selected = [
+                d.candidate.key  # type: ignore[misc]
+                for d in details.decisions
+                if d.propagate
+            ]
+        else:
+            chosen, details = self.policy.select_with_details(  # type: ignore[attr-defined]
+                candidates, request.free_slots
+            )
+            selected = [c.key for c in chosen]  # type: ignore[misc]
+        # apply the granted propagations (the "propagation state" the
+        # issue's stateful mode reads back on later requests)
+        add_tag = tracker.shadow.add_tag
+        destination = request.destination
+        for tag in selected:
+            outcome = add_tag(destination, tag)
+            if outcome.added:
+                stats.propagation_ops += 1
+            if outcome.dropped is not None:
+                stats.drops += 1
+                stats.propagation_ops += 1
+        stats.ifp_propagated += len(selected)
+        stats.ifp_blocked += len(candidates) - len(selected)
+        self.requests_applied += 1
+        self.decisions_served += 1
+        if self.ifp_observer is not None:
+            event = FlowEvent(
+                kind=_INDIRECT[request.kind],
+                destination=destination,
+                tick=request.tick,
+                context=request.context or "serve.decide",
+            )
+            self.ifp_observer(event, candidates, details, selected, pollution)
+        self._maybe_checkpoint()
+        return self._decide_response(request, candidates, details, selected)
+
+    def _decide_response(
+        self,
+        request: DecideRequest,
+        candidates: Sequence[TagCandidate],
+        details: Optional[MultiDecision],
+        selected: Sequence[Tag],
+    ) -> Dict[str, object]:
+        name_of = self._name_of
+        selected_names = [name_of(tag) for tag in selected]
+        rows: List[Dict[str, object]] = []
+        if details is not None:
+            for decision in details.decisions:
+                candidate = decision.candidate
+                rows.append(
+                    {
+                        "tag": name_of(candidate.key),  # type: ignore[arg-type]
+                        "type": candidate.tag_type,
+                        "copies": candidate.copies,
+                        "marginal": decision.marginal,
+                        "under": decision.under_marginal,
+                        "over": decision.over_marginal,
+                        "propagate": decision.propagate,
+                    }
+                )
+        else:
+            chosen = set(selected_names)
+            for candidate in candidates:
+                name = name_of(candidate.key)  # type: ignore[arg-type]
+                rows.append(
+                    {
+                        "tag": name,
+                        "type": candidate.tag_type,
+                        "copies": candidate.copies,
+                        "marginal": None,
+                        "under": None,
+                        "over": None,
+                        "propagate": name in chosen,
+                    }
+                )
+        return ok_response(
+            request.id,
+            shard=self.index,
+            propagated=selected_names,
+            decisions=rows,
+        )
+
+    def apply(self, request: ApplyRequest) -> Dict[str, object]:
+        """Run one raw flow event through the shard's tracker (stateful mode)."""
+        try:
+            event = FlowEvent(
+                kind=FlowKind(request.kind),
+                destination=request.destination,
+                sources=request.sources,
+                tick=request.tick,
+                tag=Tag(*request.tag) if request.tag is not None else None,
+                context=request.context,
+            )
+        except ValueError as error:
+            raise ProtocolError("bad-request", str(error)) from error
+        self.tracker.process(event)
+        self.requests_applied += 1
+        self._maybe_checkpoint()
+        return ok_response(request.id, shard=self.index, applied=request.kind)
+
+    # -- checkpoint / restore ---------------------------------------------
+
+    #: write a checkpoint every N applied requests (None = only on drain)
+    checkpoint_every: Optional[int] = None
+
+    def _maybe_checkpoint(self) -> None:
+        every = self.checkpoint_every
+        if (
+            every is not None
+            and self.checkpoint_path is not None
+            and self.requests_applied % every == 0
+        ):
+            self.write_checkpoint()
+
+    def checkpoint_payload(self) -> Dict[str, object]:
+        """The full shard state as one checkpoint document."""
+        return checkpoint_state(
+            self.tracker, event_index=self.requests_applied
+        )
+
+    def write_checkpoint(self) -> Path:
+        if self.checkpoint_path is None:
+            raise ProtocolError(
+                "bad-request",
+                f"shard {self.index} has no checkpoint path configured",
+            )
+        target = write_checkpoint(self.checkpoint_path, self.checkpoint_payload())
+        self.checkpoints_written += 1
+        return target
+
+    def restore(self) -> bool:
+        """Restore state from this shard's checkpoint file, if it exists.
+
+        Returns True when a checkpoint was restored.  Gather tables and
+        the marginal cache are left to rebuild lazily -- they are pure
+        memos of the params and cannot change any decision.
+        """
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return False
+        payload = read_checkpoint(self.checkpoint_path)
+        self.requests_applied = restore_checkpoint_state(self.tracker, payload)
+        return True
+
+    # -- introspection ----------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, object]:
+        tracker = self.tracker
+        return {
+            "shard": self.index,
+            "requests_applied": self.requests_applied,
+            "decisions_served": self.decisions_served,
+            "checkpoints_written": self.checkpoints_written,
+            "pollution": tracker.pollution(),
+            "live_tags": tracker.counter.live_tags(),
+            "tainted_locations": tracker.shadow.tainted_count(),
+            "tracker": tracker.stats.as_dict(),
+        }
+
+
+def shard_error(request_id: object, error: ProtocolError) -> Dict[str, object]:
+    """The error response for a request a shard refused."""
+    return error_response(request_id, error.code, error.message)

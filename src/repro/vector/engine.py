@@ -101,13 +101,16 @@ def vector_support_reasons(
             f"got {names!r} (samplers, checkpoint writers and callback "
             "plugins observe individual events)"
         )
-    else:
-        tracker = plugins[0].tracker
-        if tracker.degrade_at is not None:
-            reasons.append(
-                "degraded-mode shedding (--degrade-at) re-evaluates the "
-                "entry budget after every event"
-            )
+    # the degrade check is independent of the plugin shape: report every
+    # blocker in one error, not one per attempt
+    for pipeline in plugins:
+        if isinstance(pipeline, FarosPipeline):
+            if pipeline.tracker.degrade_at is not None:
+                reasons.append(
+                    "degraded-mode shedding (--degrade-at) re-evaluates "
+                    "the entry budget after every event"
+                )
+            break
     return reasons
 
 

@@ -43,11 +43,22 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core import costs
-from repro.core.decision import MarginalCache, MultiDecision, TagCandidate, decide_multi
+from repro.core.decision import (
+    Decision,
+    MarginalCache,
+    MultiDecision,
+    TagCandidate,
+    decide_multi,
+)
 from repro.core.params import MitosParams
 
 #: default copies range covered by under-marginal tables / cache seeding
 DEFAULT_MAX_COPIES = 256
+
+#: below this many candidates the ranking runs as a plain stable sort
+#: over the same gather-table values -- the array round trip costs more
+#: than it saves (the online service's requests are almost always tiny)
+_SMALL_BATCH = 16
 
 #: exact multiplicative fast paths for ``(P/N_R)**(beta-1)``
 _EXACT_OVER_EXPONENTS = (0.0, 1.0, 2.0, 3.0)
@@ -172,6 +183,8 @@ def decide_multi_batch(
     params: MitosParams,
     table_stack: Optional[np.ndarray] = None,
     tag_types: Optional[Sequence[str]] = None,
+    table_rows: Optional[Sequence[Sequence[float]]] = None,
+    type_index: Optional[dict] = None,
 ) -> MultiDecision:
     """Algorithm 2 with the ranking key computed by the vector kernel.
 
@@ -180,6 +193,13 @@ def decide_multi_batch(
     vectorized; the sequential tail reuses the scalar code.  Output is
     bit-identical to :func:`repro.core.decision.decide_multi` -- pinned
     by the kernel property tests.
+
+    ``table_rows`` is an optional plain-list view of ``table_stack``
+    (``table_stack.tolist()``); when the caller holds the tables across
+    calls -- the online decision shards do -- passing it lets the
+    small-batch path gather python floats directly, which is measurably
+    cheaper than per-element ndarray indexing.  The values are the same
+    table entries, so decisions are unaffected.
     """
     if free_slots < 0:
         raise ValueError(f"free_slots must be non-negative, got {free_slots}")
@@ -189,31 +209,50 @@ def decide_multi_batch(
         tag_types = sorted({c.tag_type for c in candidates})
         max_copies = max(c.copies for c in candidates)
         table_stack = under_table_stack(tag_types, max_copies, params)
-    type_index = {tag_type: i for i, tag_type in enumerate(tag_types)}
-    copies = np.array([c.copies for c in candidates], dtype=np.int64)
-    codes = np.array(
-        [type_index[c.tag_type] for c in candidates], dtype=np.int64
-    )
+        table_rows = None
+        type_index = None
+    if type_index is None:
+        type_index = {tag_type: i for i, tag_type in enumerate(tag_types)}
     over_base = costs.over_marginal(pollution, params)
-    order = rank_candidates(copies, codes, table_stack, over_base)
-    ranked = [candidates[i] for i in order]
-    # The sequential tail: scalar submarginals (bit-equal to the gather
-    # by construction), pollution feedback after every propagation.
-    from repro.core.decision import Decision
-
+    if len(candidates) <= _SMALL_BATCH:
+        # same table values, same stable ordering -- ``sorted`` over
+        # bit-equal keys reproduces the argsort permutation exactly; the
+        # gathered under values are reused by the sequential tail below
+        if table_rows is not None:
+            unders = [
+                table_rows[type_index[c.tag_type]][c.copies]
+                for c in candidates
+            ]
+        else:
+            unders = [
+                float(table_stack[type_index[c.tag_type], c.copies])
+                for c in candidates
+            ]
+        keys = [under + over_base for under in unders]
+        order = sorted(range(len(candidates)), key=keys.__getitem__)
+        ranked = [(candidates[i], unders[i]) for i in order]
+    else:
+        copies = np.array([c.copies for c in candidates], dtype=np.int64)
+        codes = np.array(
+            [type_index[c.tag_type] for c in candidates], dtype=np.int64
+        )
+        under_array = under_marginals(copies, codes, table_stack)
+        order = np.argsort(under_array + over_base, kind="stable")
+        ranked = [(candidates[i], float(under_array[i])) for i in order]
+    # The sequential tail: table submarginals (bit-equal to the scalar
+    # calls by construction), pollution feedback after every propagation.
+    # ``over_marginal`` is identical for all tags in the published form,
+    # so it is recomputed only when a propagation moves the pollution --
+    # exactly the memo structure of ``MarginalCache.over``.
     result = MultiDecision(free_slots=free_slots)
+    decisions = result.decisions
     current_pollution = pollution
+    over = over_base
     props = 0
-    for candidate in ranked:
-        under = costs.under_marginal(
-            candidate.copies, candidate.tag_type, params
-        )
-        over = costs.over_marginal(
-            current_pollution, params, tag_type=candidate.tag_type
-        )
+    for candidate, under in ranked:
         marginal = under + over
         should_propagate = props < free_slots and marginal <= 0
-        result.decisions.append(
+        decisions.append(
             Decision(
                 candidate=candidate,
                 marginal=marginal,
@@ -225,6 +264,7 @@ def decide_multi_batch(
         if should_propagate:
             props += 1
             current_pollution += params.o_of(candidate.tag_type)
+            over = costs.over_marginal(current_pollution, params)
     return result
 
 

@@ -313,6 +313,25 @@ class TestRunPlanner:
         message = str(excinfo.value)
         assert "supervision" in message and "resume" in message
 
+    def test_error_names_all_three_blockers_at_once(self):
+        """Supervision, resume and degraded mode stacked together must
+        all be named in one error -- not discovered one retry at a
+        time."""
+        tracker = DIFTTracker(
+            params=PARAMS, policy=MitosPolicy(PARAMS), degrade_at=0.5
+        )
+        replayer = Replayer(
+            [FarosPipeline(tracker)],
+            engine="vector",
+            supervisor=PluginSupervisor(),
+        )
+        with pytest.raises(VectorEngineError) as excinfo:
+            replayer.replay(mixed_recording(), start_index=2)
+        message = str(excinfo.value)
+        assert "supervision" in message
+        assert "resume" in message
+        assert "degrade" in message
+
 
 class TestParallelWorkers:
     def test_engines_compose_with_job_pool(self):

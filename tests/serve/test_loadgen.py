@@ -1,0 +1,206 @@
+"""Load-generator tests: offline capture, closed-loop parity, reporting.
+
+These are the miniature versions of what ``mitos-repro bench-serve``
+runs over the full network recording: capture the offline replay's IFP
+decisions, replay them against a live server, and require every served
+decision to match field-for-field -- at one shard and at several
+(explicit-mode requests are pure functions of their payload, so the
+parity is shard-count independent).
+"""
+
+import json
+
+import pytest
+
+from repro.core.params import MitosParams
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.options import ServeOptions
+from repro.replay.record import Recording
+from repro.serve.loadgen import (
+    LoadResult,
+    Mismatch,
+    collect_offline_decisions,
+    run_load,
+    stateful_stream,
+    write_bench_report,
+)
+from repro.serve.server import ServerThread
+
+PARAMS = MitosParams()
+
+
+def ifp_recording() -> Recording:
+    """A small recording with enough indirect flows to exercise routing."""
+    events = []
+    for i in range(4):
+        events.append(
+            flows.insert(
+                mem(i), Tag("netflow", i + 1), tick=i, context="socket_read"
+            )
+        )
+    events.append(flows.insert(mem(4), Tag("file", 9), tick=4))
+    tick = 5
+    for round_index in range(6):
+        source = mem(round_index % 5)
+        events.append(
+            flows.address_dep(
+                source, mem(10 + round_index), tick=tick,
+                context="table_lookup",
+            )
+        )
+        events.append(
+            flows.control_dep(
+                (source, mem((round_index + 1) % 5)),
+                mem(20 + round_index),
+                tick=tick + 1,
+            )
+        )
+        events.append(
+            flows.copy(mem(10 + round_index), mem(30 + round_index), tick=tick + 2)
+        )
+        tick += 3
+    return Recording(events=events, meta={"name": "ifp-mini"})
+
+
+class TestCollectOfflineDecisions:
+    def test_captures_every_indirect_flow(self):
+        decisions = collect_offline_decisions(ifp_recording(), PARAMS)
+        assert len(decisions) == 12  # 6 address_dep + 6 control_dep
+        for decision in decisions:
+            request = decision.request
+            assert request["op"] == "decide"
+            assert request["kind"] in ("address_dep", "control_dep")
+            # explicit mode: state travels with the request
+            assert "pollution" in request
+            assert all("copies" in c for c in request["candidates"])
+            assert set(decision.expected) == {"propagated", "decisions"}
+
+    def test_limit_truncates_the_replay(self):
+        full = collect_offline_decisions(ifp_recording(), PARAMS)
+        limited = collect_offline_decisions(ifp_recording(), PARAMS, limit=7)
+        assert 0 < len(limited) < len(full)
+
+    def test_requests_are_json_serializable(self):
+        for decision in collect_offline_decisions(ifp_recording(), PARAMS):
+            json.dumps(decision.request)
+
+
+class TestStatefulStream:
+    def test_every_event_becomes_one_apply(self):
+        recording = ifp_recording()
+        requests = stateful_stream(recording)
+        assert len(requests) == len(recording.events)
+        assert all(r["op"] == "apply" for r in requests)
+
+    def test_tags_and_sources_travel(self):
+        requests = stateful_stream(ifp_recording())
+        inserts = [r for r in requests if r["kind"] == "insert"]
+        assert inserts[0]["tag"] == ["netflow", 1]
+        deps = [r for r in requests if r["kind"] == "address_dep"]
+        assert all("sources" in r for r in deps)
+
+
+class TestClosedLoopParity:
+    @pytest.fixture(scope="class")
+    def offline(self):
+        # the server calibrates its params via experiment_params, so the
+        # offline capture must use the identical calibration (this is
+        # exactly what ``mitos-repro bench-serve --quick`` does)
+        from repro.experiments.common import experiment_params
+
+        params = experiment_params(quick=True)
+        return collect_offline_decisions(ifp_recording(), params)
+
+    def _serve_options(self, shards):
+        return ServeOptions(port=0, shards=shards, quick_calibration=True)
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_parity_at_any_shard_count(self, offline, shards):
+        with ServerThread(self._serve_options(shards)) as thread:
+            result = run_load(
+                thread.host, thread.port, offline, connections=1, window=8
+            )
+        assert result.requests == len(offline)
+        assert result.errors == 0
+        assert result.mismatches == []
+        assert result.matched
+        assert len(result.latencies_us) == len(offline)
+        assert result.decisions_per_second > 0
+
+    def test_parity_with_multiple_connections(self, offline):
+        with ServerThread(self._serve_options(2)) as thread:
+            result = run_load(
+                thread.host, thread.port, offline, connections=2, window=4
+            )
+        assert result.matched and result.requests == len(offline)
+
+    def test_tampered_expectation_is_caught(self, offline):
+        import copy
+
+        tampered = copy.deepcopy(offline)
+        tampered[3].expected["propagated"] = ["netflow:999"]
+        with ServerThread(self._serve_options(1)) as thread:
+            result = run_load(thread.host, thread.port, tampered, window=4)
+        assert not result.matched
+        (mismatch,) = result.mismatches
+        assert mismatch.index == 3
+        assert mismatch.field_name == "propagated"
+        assert mismatch.expected == ["netflow:999"]
+
+    def test_rejects_zero_connections(self, offline):
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, offline, connections=0)
+
+
+class TestLoadResult:
+    def test_percentiles_and_throughput(self):
+        result = LoadResult(
+            requests=4,
+            elapsed_seconds=2.0,
+            latencies_us=[100.0, 200.0, 300.0, 400.0],
+        )
+        assert result.decisions_per_second == 2.0
+        assert result.latency_percentile(0) == 100.0
+        assert result.latency_percentile(100) == 400.0
+        assert result.latency_percentile(50) in (200.0, 300.0)
+
+    def test_empty_result_degrades_gracefully(self):
+        result = LoadResult()
+        assert result.decisions_per_second == 0.0
+        assert result.latency_percentile(99) == 0.0
+        assert result.matched  # vacuously: nothing mismatched
+
+    def test_errors_break_matched(self):
+        assert not LoadResult(requests=1, errors=1).matched
+        assert not LoadResult(
+            requests=1, mismatches=[Mismatch(0, "propagated", [], None)]
+        ).matched
+
+
+class TestBenchReport:
+    def test_report_document(self, tmp_path):
+        result = LoadResult(
+            requests=10, elapsed_seconds=1.0, latencies_us=[50.0] * 10
+        )
+        path = write_bench_report(
+            tmp_path / "BENCH_serve.json",
+            result,
+            shards=4,
+            connections=2,
+            window=64,
+            recording_events=1000,
+            extra={"quick": True},
+        )
+        report = json.loads(path.read_text())
+        assert report["benchmark"] == "serve"
+        assert report["shards"] == 4
+        assert report["connections"] == 2
+        assert report["window"] == 64
+        assert report["recording_events"] == 1000
+        assert report["requests"] == 10
+        assert report["matched"] is True
+        assert report["decisions_per_second"] == 10.0
+        assert report["latency_us"]["p99"] == 50.0
+        assert report["quick"] is True

@@ -1,0 +1,267 @@
+"""Wire-protocol unit tests: parsing, validation, structured errors.
+
+Every rejection must surface as a :class:`ProtocolError` with one of the
+documented codes -- the server turns those into error *responses*, so a
+precise code here is what keeps a malformed client request from ever
+tearing a connection down.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ApplyRequest,
+    ControlRequest,
+    DecideRequest,
+    ProtocolError,
+    encode_message,
+    error_response,
+    format_location,
+    ok_response,
+    parse_location,
+    parse_request,
+)
+
+
+def _line(**payload) -> str:
+    return json.dumps(payload)
+
+
+def _code_of(line) -> str:
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_request(line)
+    assert excinfo.value.code in ERROR_CODES
+    return excinfo.value.code
+
+
+class TestLocations:
+    def test_mem_round_trips_as_hex(self):
+        assert format_location(("mem", 0x4800)) == "mem:0x4800"
+        assert parse_location("mem:0x4800") == ("mem", 0x4800)
+
+    def test_mem_decimal_and_hex_agree(self):
+        assert parse_location("mem:18432") == parse_location("mem:0x4800")
+
+    def test_nic_parses_as_integer(self):
+        assert parse_location("nic:3") == ("nic", 3)
+
+    def test_other_kinds_keep_string_values(self):
+        assert parse_location("reg:r11") == ("reg", "r11")
+        assert format_location(("reg", "r11")) == "reg:r11"
+
+    @pytest.mark.parametrize("bad", ["mem", "mem:", ":5", "mem:zz"])
+    def test_malformed_locations_rejected(self, bad):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_location(bad)
+        assert excinfo.value.code == "bad-request"
+
+
+class TestControlOps:
+    @pytest.mark.parametrize("op", ["ping", "stats", "checkpoint"])
+    def test_bare_ops_parse(self, op):
+        request = parse_request(_line(op=op, id=9))
+        assert isinstance(request, ControlRequest)
+        assert request.op == op and request.id == 9
+
+    def test_control_rejects_extra_fields(self):
+        assert _code_of(_line(op="ping", shard=3)) == "unknown-field"
+
+
+class TestDecideParsing:
+    def _decide(self, **overrides):
+        payload = {
+            "op": "decide",
+            "id": 7,
+            "dest": "mem:0x10",
+            "kind": "address_dep",
+            "free_slots": 3,
+            "pollution": 12.5,
+            "tick": 4,
+            "context": "lw",
+            "candidates": [
+                {"type": "netflow", "index": 1, "copies": 4},
+                {"type": "file", "index": 2},
+            ],
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_explicit_mode_fields(self):
+        request = parse_request(json.dumps(self._decide()))
+        assert isinstance(request, DecideRequest)
+        assert request.destination == ("mem", 0x10)
+        assert request.free_slots == 3
+        assert request.pollution == 12.5
+        assert request.kind == "address_dep"
+        assert request.tick == 4 and request.context == "lw"
+        first, second = request.candidates
+        assert (first.tag_type, first.index, first.copies) == ("netflow", 1, 4)
+        # omitted copies mean "use the shard's live count"
+        assert second.copies is None
+
+    def test_stateful_mode_omits_pollution(self):
+        request = parse_request(json.dumps(self._decide(pollution=None)))
+        assert request.pollution is None
+
+    def test_integer_pollution_coerced_to_float(self):
+        request = parse_request(json.dumps(self._decide(pollution=12)))
+        assert request.pollution == 12.0 and isinstance(
+            request.pollution, float
+        )
+
+    def test_defaults_for_optional_fields(self):
+        request = parse_request(
+            _line(op="decide", dest="mem:1", free_slots=0, candidates=[])
+        )
+        assert request.kind == "address_dep"
+        assert request.tick == 0 and request.context == ""
+        assert request.candidates == ()
+
+    def test_bytes_input_accepted(self):
+        request = parse_request(json.dumps(self._decide()).encode())
+        assert isinstance(request, DecideRequest)
+
+    @pytest.mark.parametrize(
+        "overrides, code",
+        [
+            ({"dest": 5}, "bad-request"),
+            ({"free_slots": -1}, "bad-request"),
+            ({"free_slots": "3"}, "bad-request"),
+            ({"free_slots": True}, "bad-request"),
+            ({"kind": "copy"}, "bad-request"),
+            ({"pollution": -1.0}, "bad-request"),
+            ({"pollution": "high"}, "bad-request"),
+            ({"pollution": True}, "bad-request"),
+            ({"tick": "now"}, "bad-request"),
+            ({"context": 3}, "bad-request"),
+            ({"surprise": 1}, "unknown-field"),
+            ({"candidates": "netflow:1"}, "bad-request"),
+        ],
+    )
+    def test_bad_decide_fields(self, overrides, code):
+        assert _code_of(json.dumps(self._decide(**overrides))) == code
+
+    def test_missing_free_slots(self):
+        payload = self._decide()
+        del payload["free_slots"]
+        assert _code_of(json.dumps(payload)) == "bad-request"
+
+    @pytest.mark.parametrize(
+        "candidate",
+        [
+            "netflow:1",
+            {"type": "netflow"},
+            {"index": 1},
+            {"type": "", "index": 1},
+            {"type": "netflow", "index": "1"},
+            {"type": "netflow", "index": True},
+            {"type": "netflow", "index": 1, "copies": -1},
+            {"type": "netflow", "index": 1, "copies": 1.5},
+            {"type": "netflow", "index": 1, "copies": True},
+            {"type": "netflow", "index": 1, "weight": 2},
+        ],
+    )
+    def test_bad_candidates(self, candidate):
+        line = json.dumps(self._decide(candidates=[candidate]))
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        assert excinfo.value.code in ("bad-request", "unknown-field")
+        # the diagnosis names the offending candidate or the missing field
+        if excinfo.value.code == "bad-request":
+            message = excinfo.value.message
+            assert (
+                "candidates[0]" in message
+                or "missing required field" in message
+            )
+
+
+class TestApplyParsing:
+    def test_insert_with_tag(self):
+        request = parse_request(
+            _line(
+                op="apply", id=1, kind="insert", dest="mem:0x20",
+                tag=["netflow", 3], tick=2, context="socket_read",
+            )
+        )
+        assert isinstance(request, ApplyRequest)
+        assert request.kind == "insert"
+        assert request.tag == ("netflow", 3)
+        assert request.sources == ()
+
+    def test_copy_with_sources(self):
+        request = parse_request(
+            _line(op="apply", kind="copy", dest="mem:2", sources=["mem:1"])
+        )
+        assert request.sources == (("mem", 1),)
+
+    @pytest.mark.parametrize(
+        "overrides, code",
+        [
+            ({"kind": "teleport"}, "bad-request"),
+            ({"dest": 9}, "bad-request"),
+            ({"sources": "mem:1"}, "bad-request"),
+            ({"sources": [3]}, "bad-request"),
+            ({"tag": ["netflow"]}, "bad-request"),
+            ({"tag": ["netflow", "one"]}, "bad-request"),
+            ({"tag": ["netflow", True]}, "bad-request"),
+            ({"extra": 1}, "unknown-field"),
+        ],
+    )
+    def test_bad_apply_fields(self, overrides, code):
+        payload = {"op": "apply", "kind": "copy", "dest": "mem:2"}
+        payload.update(overrides)
+        assert _code_of(json.dumps(payload)) == code
+
+    def test_missing_dest(self):
+        assert _code_of(_line(op="apply", kind="copy")) == "bad-request"
+
+
+class TestFraming:
+    def test_invalid_json(self):
+        assert _code_of("{not json") == "bad-json"
+
+    def test_non_object_request(self):
+        assert _code_of('["decide"]') == "bad-request"
+
+    def test_missing_op(self):
+        assert _code_of(_line(id=1)) == "bad-request"
+
+    def test_unknown_op(self):
+        assert _code_of(_line(op="divine")) == "unknown-op"
+
+    def test_oversized_frame(self):
+        frame = b'{"op":"ping","pad":"' + b"x" * MAX_FRAME_BYTES + b'"}'
+        assert _code_of(frame) == "frame-too-large"
+
+    def test_non_utf8_bytes(self):
+        assert _code_of(b'{"op": "ping\xff"}') == "bad-json"
+
+
+class TestResponses:
+    def test_encode_message_is_one_lf_line(self):
+        frame = encode_message(ok_response(3, pong=True))
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+        assert json.loads(frame) == {"id": 3, "ok": True, "pong": True}
+
+    def test_error_response_shape(self):
+        payload = error_response(4, "overloaded", "queue full")
+        assert payload == {
+            "id": 4, "ok": False, "error": "overloaded",
+            "message": "queue full",
+        }
+
+    def test_error_codes_are_closed(self):
+        with pytest.raises(ValueError):
+            error_response(1, "popcorn", "nope")
+        with pytest.raises(ValueError):
+            ProtocolError("popcorn", "nope")
+
+    def test_floats_round_trip_exactly(self):
+        # json round-trips IEEE doubles bit-exactly: the offline-parity
+        # comparison relies on this
+        value = -0.12345678901234567
+        frame = encode_message(ok_response(1, marginal=value))
+        assert json.loads(frame)["marginal"] == value

@@ -1,0 +1,357 @@
+"""End-to-end server tests: lifecycle, fuzzing, backpressure, crashes.
+
+Live-socket tests run against a :class:`ServerThread` on an ephemeral
+port.  The protocol's central robustness promise -- a malformed frame
+produces a structured error response and never tears the connection
+down -- is exercised over a real socket, as is the crash-and-resume
+checkpoint equivalence the issue requires (a killed server restarted
+from its checkpoints must converge to the same tracker state as one
+that never died).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import api
+from repro.options import ServeOptions
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.loadgen import stateful_stream
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_message,
+)
+from repro.serve.server import HashRing, MitosServer, ServerThread
+from tests.replay.test_vector_engine import mixed_recording
+
+
+def server_options(**overrides) -> ServeOptions:
+    defaults = dict(port=0, quick_calibration=True)
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    with ServerThread(server_options(shards=2)) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(live_server):
+    with ServeClient(live_server.host, live_server.port) as c:
+        yield c
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        keys = [f"mem:{i:#x}" for i in range(200)]
+        assert [a.shard_for(k) for k in keys] == [
+            b.shard_for(k) for k in keys
+        ]
+
+    def test_every_shard_reachable(self):
+        ring = HashRing(4)
+        hit = {ring.shard_for(f"mem:{i:#x}") for i in range(500)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestControlPlane:
+    def test_ping_reports_protocol_version(self, client):
+        response = client.ping()
+        assert response["pong"] is True
+        assert response["version"] == PROTOCOL_VERSION
+
+    def test_stats_counts_responses(self, client):
+        before = client.stats()
+        client.ping()
+        after = client.stats()
+        assert after["responses"] > before["responses"]
+        assert after["version"] == PROTOCOL_VERSION
+        assert len(after["shards"]) == 2
+        assert after["draining"] is False
+
+    def test_checkpoint_without_dir_is_structured_error(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.checkpoint()
+        assert excinfo.value.code == "bad-request"
+
+
+class TestServedDecisions:
+    def test_explicit_decision_matches_offline_api(self, client):
+        candidates = [("netflow", 1, 4), ("file", 2, 1)]
+        served = client.decide(
+            "mem:0x40", free_slots=2, candidates=candidates, pollution=20.0
+        )
+        offline = api.decide(
+            candidates, free_slots=2, pollution=20.0,
+            quick_calibration=True,
+        )
+        assert len(served["decisions"]) == len(offline.decisions)
+        for row, decision in zip(served["decisions"], offline.decisions):
+            assert row["marginal"] == decision.marginal
+            assert row["under"] == decision.under_marginal
+            assert row["over"] == decision.over_marginal
+            assert row["propagate"] == decision.propagate
+
+    def test_responses_matched_by_id_across_shards(self, client):
+        # pipelined requests to destinations on different shards may
+        # come back reordered; the client matches them by id
+        ids = [
+            client.submit(
+                ServeClient.decide_payload(
+                    f"mem:{0x1000 + i:#x}",
+                    free_slots=1,
+                    candidates=[("netflow", 1, 2)],
+                    pollution=5.0,
+                )
+            )
+            for i in range(16)
+        ]
+        for request_id in reversed(ids):
+            response = client.collect(request_id)
+            assert response["id"] == request_id and response["ok"] is True
+
+    def test_apply_then_stateful_decide(self, client):
+        client.apply("insert", "mem:0x7000", tag=("demo", 7))
+        served = client.decide(
+            "mem:0x7004", free_slots=1, candidates=[("demo", 7)]
+        )
+        assert served["decisions"][0]["copies"] >= 1
+
+
+class TestProtocolFuzzOverWire:
+    """Malformed frames produce structured errors; the connection and
+    the server survive every one of them."""
+
+    @pytest.mark.parametrize(
+        "frame, code",
+        [
+            (b"this is not json\n", "bad-json"),
+            (b'"just a string"\n', "bad-request"),
+            (b'{"op": "divine"}\n', "unknown-op"),
+            (b'{"op": "ping", "shard": 1}\n', "unknown-field"),
+            (b'{"op": "decide", "dest": "mem:1"}\n', "bad-request"),
+            (
+                b'{"op": "decide", "dest": "mem:1", "free_slots": 1,'
+                b' "candidates": [{"type": 5, "index": 1}]}\n',
+                "bad-request",
+            ),
+        ],
+    )
+    def test_malformed_frames_get_structured_errors(
+        self, client, frame, code
+    ):
+        response = client.raw_roundtrip(frame)
+        assert response["ok"] is False and response["error"] == code
+        # same connection still serves traffic
+        assert client.ping()["pong"] is True
+
+    def test_error_echoes_request_id_when_parseable(self, client):
+        response = client.raw_roundtrip(b'{"id": 99, "op": "divine"}\n')
+        assert response["id"] == 99 and response["error"] == "unknown-op"
+
+    def test_oversized_frame_discarded_connection_survives(self, client):
+        frame = (
+            b'{"op": "ping", "pad": "' + b"x" * MAX_FRAME_BYTES + b'"}\n'
+        )
+        response = client.raw_roundtrip(frame)
+        assert response["error"] == "frame-too-large"
+        assert client.ping()["pong"] is True
+
+    def test_blank_lines_ignored(self, client):
+        response = client.raw_roundtrip(b"\n\n" + encode_message({"op": "ping"}))
+        assert response["ok"] is True and response["pong"] is True
+
+    def test_server_statistics_track_errors(self, client):
+        before = client.stats()["errors"]
+        client.raw_roundtrip(b"not json\n")
+        assert client.stats()["errors"] > before
+
+
+class _FakeWriter:
+    """Collects frames the dispatcher writes; no real socket."""
+
+    def __init__(self):
+        self.frames = []
+
+    def write(self, data: bytes) -> None:
+        self.frames.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    def responses(self):
+        return [
+            json.loads(line)
+            for frame in self.frames
+            for line in frame.splitlines()
+        ]
+
+
+def _run_dispatch(server, line, writer):
+    followup = server._dispatch(line, writer)
+    if followup is not None:
+        asyncio.run(followup)
+
+
+class TestBackpressure:
+    """Deterministic unit-level checks of the dispatch fast path --
+    bounded queues answer ``overloaded``, draining answers
+    ``shutting-down`` -- without racing a live worker."""
+
+    def _decide_line(self, dest="mem:0x10"):
+        return json.dumps(
+            {
+                "id": 5, "op": "decide", "dest": dest, "free_slots": 1,
+                "pollution": 1.0,
+                "candidates": [{"type": "netflow", "index": 1, "copies": 2}],
+            }
+        ).encode()
+
+    def test_full_queue_answers_overloaded(self):
+        server = MitosServer(server_options(queue_depth=1))
+        queue = asyncio.Queue(maxsize=1)
+        queue.put_nowait(object())  # simulate a busy shard
+        server._queues = [queue]
+        writer = _FakeWriter()
+        _run_dispatch(server, self._decide_line(), writer)
+        (response,) = writer.responses()
+        assert response["error"] == "overloaded"
+        assert response["id"] == 5
+        assert server.overloaded_total == 1
+
+    def test_draining_server_answers_shutting_down(self):
+        server = MitosServer(server_options())
+        server._queues = [asyncio.Queue()]
+        server._draining = True
+        writer = _FakeWriter()
+        _run_dispatch(server, self._decide_line(), writer)
+        (response,) = writer.responses()
+        assert response["error"] == "shutting-down"
+
+    def test_accepted_request_queued_without_response(self):
+        server = MitosServer(server_options())
+        server._queues = [asyncio.Queue()]
+        writer = _FakeWriter()
+        followup = server._dispatch(self._decide_line(), writer)
+        # happy path: queued for the shard worker, no coroutine created
+        assert followup is None
+        assert writer.frames == []
+        assert server._queues[0].qsize() == 1
+
+
+class TestAdminSurface:
+    def test_routes(self):
+        server = MitosServer(server_options(shards=2))
+        status, body = server._admin_route("/healthz")
+        assert status == 200 and body["ok"] is True and body["shards"] == 2
+        status, body = server._admin_route("/stats")
+        assert status == 200 and body["version"] == PROTOCOL_VERSION
+        status, body = server._admin_route("/metrics")
+        assert status == 200
+        status, body = server._admin_route("/nope")
+        assert status == 404 and body["error"] == "not-found"
+
+    def test_admin_port_binds(self):
+        import urllib.request
+
+        with ServerThread(server_options(admin_port=0)) as thread:
+            assert thread.admin_port is not None
+            url = f"http://127.0.0.1:{thread.admin_port}/healthz"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                body = json.loads(response.read())
+            assert body["ok"] is True
+
+
+class TestCrashAndResume:
+    """Kill a server mid-load, restart from its checkpoints, finish the
+    stream: the resumed server must converge to the same shard state as
+    a server that processed the whole stream uninterrupted."""
+
+    def _shard_state(self, stats):
+        (shard,) = stats["shards"]
+        # checkpoints_written differs by construction; everything the
+        # policy can observe must match
+        return {
+            k: v for k, v in shard.items() if k != "checkpoints_written"
+        }
+
+    def test_checkpoint_restore_equivalence(self, tmp_path):
+        requests = stateful_stream(mixed_recording())
+        split = len(requests) // 2
+
+        # control ops are handled on the connection loop and do NOT
+        # wait for queued shard work, so collect every apply response
+        # before checkpointing or reading stats
+        def apply_all(c, payloads):
+            for request_id in [c.submit(p) for p in payloads]:
+                c.collect(request_id)
+
+        # control: the whole stream, no crash
+        with ServerThread(server_options()) as control:
+            with ServeClient(control.host, control.port) as c:
+                apply_all(c, requests)
+                want = self._shard_state(c.stats())
+
+        # crash run: half the stream, checkpoint, abort (no drain)
+        ckpt = tmp_path / "ckpts"
+        ckpt.mkdir()
+        first = ServerThread(server_options(checkpoint_dir=ckpt)).start()
+        try:
+            with ServeClient(first.host, first.port) as c:
+                apply_all(c, requests[:split])
+                c.checkpoint()
+        finally:
+            first.abort()
+
+        # resume run: restore the checkpoints, finish the stream
+        second = ServerThread(
+            server_options(checkpoint_dir=ckpt, resume=True)
+        ).start()
+        try:
+            with ServeClient(second.host, second.port) as c:
+                stats = c.stats()
+                assert stats["restored_shards"] == 1
+                apply_all(c, requests[split:])
+                got = self._shard_state(c.stats())
+        finally:
+            second.stop()
+
+        assert got == want
+
+    def test_missing_checkpoint_dir_created_at_boot(self, tmp_path):
+        # a --checkpoint-dir that does not exist yet must not crash the
+        # first checkpoint (found live: FileNotFoundError killed the
+        # connection); the server creates it at boot
+        ckpt = tmp_path / "not" / "yet" / "there"
+        with ServerThread(server_options(checkpoint_dir=ckpt)) as thread:
+            with ServeClient(thread.host, thread.port) as c:
+                response = c.checkpoint()
+        assert ckpt.is_dir()
+        assert len(response["checkpoints"]) == 1
+
+    def test_graceful_stop_writes_final_checkpoints(self, tmp_path):
+        ckpt = tmp_path / "ckpts"
+        ckpt.mkdir()
+        thread = ServerThread(server_options(checkpoint_dir=ckpt)).start()
+        with ServeClient(thread.host, thread.port) as c:
+            c.apply("insert", "mem:0x1", tag=("netflow", 1))
+        thread.stop()
+        assert (ckpt / "shard-0.ckpt.json").exists()
+
+    def test_abort_skips_final_checkpoints(self, tmp_path):
+        ckpt = tmp_path / "ckpts"
+        ckpt.mkdir()
+        thread = ServerThread(server_options(checkpoint_dir=ckpt)).start()
+        with ServeClient(thread.host, thread.port) as c:
+            c.apply("insert", "mem:0x1", tag=("netflow", 1))
+        thread.abort()
+        assert not (ckpt / "shard-0.ckpt.json").exists()

@@ -1,0 +1,270 @@
+"""DecisionShard unit tests: explicit/stateful modes, checkpoints.
+
+The load generator pins the end-to-end offline-equivalence story; these
+tests pin the shard in isolation -- the decision a shard serves for an
+explicit-mode request must be field-for-field the decision the offline
+scalar code makes from the same inputs, and a checkpointed shard must
+restore to byte-identical tracker state.
+"""
+
+import json
+
+import pytest
+
+from repro.core.decision import TagCandidate, decide_multi
+from repro.core.params import MitosParams
+from repro.dift.snapshot import snapshot_tracker
+from repro.dift.tags import Tag
+from repro.faros.config import FarosConfig
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.shard import DecisionShard, shard_error
+
+PARAMS = MitosParams()
+
+
+def make_shard(index=0, checkpoint_path=None, observer=None):
+    config = FarosConfig(params=PARAMS, policy="mitos", label="test")
+    return DecisionShard(
+        index,
+        params=PARAMS,
+        policy_factory=config.build_policy,
+        checkpoint_path=checkpoint_path,
+        ifp_observer=observer,
+    )
+
+
+def decide_line(**overrides):
+    payload = {
+        "op": "decide",
+        "id": 1,
+        "dest": "mem:0x40",
+        "kind": "address_dep",
+        "free_slots": 2,
+        "pollution": 10.0,
+        "candidates": [
+            {"type": "netflow", "index": 1, "copies": 4},
+            {"type": "file", "index": 2, "copies": 1},
+            {"type": "netflow", "index": 3, "copies": 0},
+        ],
+    }
+    payload.update(overrides)
+    return json.dumps(payload)
+
+
+def apply_line(**overrides):
+    payload = {"op": "apply", "kind": "insert", "dest": "mem:0x1",
+               "tag": ["netflow", 1]}
+    payload.update(overrides)
+    return json.dumps(payload)
+
+
+class TestExplicitMode:
+    def test_matches_offline_decide_multi(self):
+        shard = make_shard()
+        response = shard.decide(parse_request(decide_line()))
+        offline = decide_multi(
+            [
+                TagCandidate(Tag("netflow", 1), "netflow", 4),
+                TagCandidate(Tag("file", 2), "file", 1),
+                TagCandidate(Tag("netflow", 3), "netflow", 0),
+            ],
+            free_slots=2,
+            pollution=10.0,
+            params=PARAMS,
+        )
+        assert response["ok"] is True and response["shard"] == 0
+        assert len(response["decisions"]) == 3
+        for row, decision in zip(response["decisions"], offline.decisions):
+            tag = decision.candidate.key
+            assert row["tag"] == f"{tag.type}:{tag.index}"
+            assert row["copies"] == decision.candidate.copies
+            assert row["marginal"] == decision.marginal
+            assert row["under"] == decision.under_marginal
+            assert row["over"] == decision.over_marginal
+            assert row["propagate"] == decision.propagate
+        assert response["propagated"] == [
+            f"{d.candidate.key.type}:{d.candidate.key.index}"
+            for d in offline.decisions
+            if d.propagate
+        ]
+
+    def test_free_slots_cap_respected(self):
+        shard = make_shard()
+        response = shard.decide(
+            parse_request(decide_line(free_slots=1))
+        )
+        assert len(response["propagated"]) <= 1
+
+    def test_zero_copy_candidate_ranks_first(self):
+        # under_marginal(0) is -inf: blocking a tag with no copies left
+        # loses its whole provenance, so it always propagates first
+        shard = make_shard()
+        response = shard.decide(parse_request(decide_line()))
+        first = response["decisions"][0]
+        assert first["tag"] == "netflow:3" and first["copies"] == 0
+        assert first["under"] == float("-inf")
+        assert first["propagate"] is True
+
+    def test_empty_candidates(self):
+        shard = make_shard()
+        response = shard.decide(parse_request(decide_line(candidates=[])))
+        assert response["propagated"] == [] and response["decisions"] == []
+
+    def test_granted_propagations_update_shard_state(self):
+        shard = make_shard()
+        before = shard.tracker.shadow.tainted_count()
+        response = shard.decide(parse_request(decide_line()))
+        assert len(response["propagated"]) > 0
+        assert shard.tracker.shadow.tainted_count() > before
+        assert shard.decisions_served == 1
+        assert shard.requests_applied == 1
+
+
+class TestStatefulMode:
+    def test_copies_filled_from_live_tracker(self):
+        shard = make_shard()
+        # three taints of netflow:1 -> its live copy count is 3
+        for address in ("mem:0x1", "mem:0x2", "mem:0x3"):
+            shard.apply(parse_request(apply_line(dest=address)))
+        request = parse_request(
+            decide_line(
+                pollution=None,
+                candidates=[{"type": "netflow", "index": 1}],
+            )
+        )
+        response = shard.decide(request)
+        (row,) = response["decisions"]
+        assert row["copies"] == 3
+
+    def test_unknown_tag_counts_zero_copies(self):
+        shard = make_shard()
+        response = shard.decide(
+            parse_request(
+                decide_line(
+                    pollution=None,
+                    candidates=[{"type": "netflow", "index": 42}],
+                )
+            )
+        )
+        assert response["decisions"][0]["copies"] == 0
+
+    def test_successive_decides_observe_propagations(self):
+        shard = make_shard()
+        shard.apply(parse_request(apply_line()))
+        stateful = {
+            "pollution": None,
+            "candidates": [{"type": "netflow", "index": 1}],
+        }
+        first = shard.decide(parse_request(decide_line(**stateful)))
+        second = shard.decide(parse_request(decide_line(**stateful)))
+        if first["propagated"]:
+            # the grant raised netflow:1's copy count for the next request
+            assert (
+                second["decisions"][0]["copies"]
+                > first["decisions"][0]["copies"]
+            )
+
+    def test_apply_rejects_invalid_tag(self):
+        shard = make_shard()
+        with pytest.raises(ProtocolError) as excinfo:
+            shard.apply(parse_request(apply_line(tag=["netflow", 0])))
+        assert excinfo.value.code == "bad-request"
+
+    def test_shard_error_shape(self):
+        error = ProtocolError("bad-request", "nope")
+        assert shard_error(7, error) == {
+            "id": 7, "ok": False, "error": "bad-request", "message": "nope",
+        }
+
+
+class TestCheckpointRestore:
+    def _drive(self, shard):
+        for i in range(1, 6):
+            shard.apply(parse_request(apply_line(dest=f"mem:{i:#x}")))
+        shard.decide(parse_request(decide_line()))
+        shard.decide(
+            parse_request(
+                decide_line(
+                    dest="mem:0x80",
+                    pollution=None,
+                    candidates=[{"type": "netflow", "index": 1}],
+                )
+            )
+        )
+
+    def test_restore_is_byte_identical(self, tmp_path):
+        path = tmp_path / "shard-0.ckpt.json"
+        original = make_shard(checkpoint_path=path)
+        self._drive(original)
+        original.write_checkpoint()
+        assert original.checkpoints_written == 1
+
+        restored = make_shard(checkpoint_path=path)
+        assert restored.restore() is True
+        assert restored.requests_applied == original.requests_applied
+        assert json.dumps(
+            snapshot_tracker(restored.tracker), sort_keys=True
+        ) == json.dumps(snapshot_tracker(original.tracker), sort_keys=True)
+        assert (
+            restored.tracker.stats.to_payload()
+            == original.tracker.stats.to_payload()
+        )
+
+    def test_restored_shard_decides_identically(self, tmp_path):
+        path = tmp_path / "shard-0.ckpt.json"
+        original = make_shard(checkpoint_path=path)
+        self._drive(original)
+        original.write_checkpoint()
+        restored = make_shard(checkpoint_path=path)
+        restored.restore()
+        probe = decide_line(
+            dest="mem:0x90",
+            pollution=None,
+            candidates=[{"type": "netflow", "index": 1}],
+        )
+        assert original.decide(parse_request(probe)) == restored.decide(
+            parse_request(probe)
+        )
+
+    def test_restore_without_file_is_noop(self, tmp_path):
+        shard = make_shard(checkpoint_path=tmp_path / "missing.json")
+        assert shard.restore() is False
+        assert shard.requests_applied == 0
+
+    def test_checkpoint_without_path_refused(self):
+        shard = make_shard()
+        with pytest.raises(ProtocolError) as excinfo:
+            shard.write_checkpoint()
+        assert excinfo.value.code == "bad-request"
+
+    def test_periodic_checkpoint_cadence(self, tmp_path):
+        path = tmp_path / "shard-0.ckpt.json"
+        shard = make_shard(checkpoint_path=path)
+        shard.checkpoint_every = 3
+        for i in range(1, 7):
+            shard.apply(parse_request(apply_line(dest=f"mem:{i:#x}")))
+        # requests 3 and 6 hit the cadence
+        assert shard.checkpoints_written == 2
+        assert path.exists()
+
+
+class TestIntrospection:
+    def test_stats_payload_keys(self):
+        shard = make_shard(index=3)
+        shard.decide(parse_request(decide_line()))
+        payload = shard.stats_payload()
+        assert payload["shard"] == 3
+        assert payload["requests_applied"] == 1
+        assert payload["decisions_served"] == 1
+        assert payload["pollution"] == shard.tracker.pollution()
+        assert "tracker" in payload and "live_tags" in payload
+
+    def test_observer_sees_served_decisions(self):
+        seen = []
+
+        def observer(event, candidates, details, selected, pollution):
+            seen.append((event.kind.value, len(candidates), pollution))
+
+        shard = make_shard(observer=observer)
+        shard.decide(parse_request(decide_line()))
+        assert seen == [("address_dep", 3, 10.0)]

@@ -1,0 +1,229 @@
+"""The ``repro.api`` compatibility contract.
+
+``repro.api`` is the one supported import surface; this module pins its
+``__all__`` (additions are deliberate API growth, removals are breaking
+changes), the typed-options signatures, and the one-release
+``DeprecationWarning`` shim that keeps the old flat keyword arguments of
+``replay()`` working.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.replay.record import Recording
+
+PINNED_ALL = [
+    # the five entry points
+    "load_recording",
+    "build_system",
+    "replay",
+    "decide",
+    "serve",
+    # typed configuration
+    "ReplayOptions",
+    "ServeOptions",
+    # stable re-exported types
+    "MitosParams",
+    "FarosConfig",
+    "FarosSystem",
+    "FarosRunResult",
+    "Recording",
+    "Replayer",
+    "Observability",
+    "Resilience",
+    "TagCandidate",
+    "Decision",
+    "MultiDecision",
+    "MitosServer",
+    "ServerThread",
+    "ServeClient",
+    "POLICY_NAMES",
+]
+
+
+def small_recording() -> Recording:
+    events = [
+        flows.insert(mem(0), Tag("netflow", 1), tick=0, context="socket_read"),
+        flows.insert(mem(1), Tag("file", 2), tick=0),
+        flows.copy(mem(0), mem(2), tick=1),
+        flows.address_dep(mem(2), mem(3), tick=2, context="table_lookup"),
+        flows.control_dep((mem(1),), mem(4), tick=3),
+        flows.clear(mem(0), tick=4),
+    ]
+    return Recording(events=events, meta={"name": "api-mini"})
+
+
+class TestSurface:
+    def test_all_is_pinned(self):
+        # exact, ordered: additions and removals are both API events
+        assert api.__all__ == PINNED_ALL
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_package_lazy_attribute(self):
+        import repro
+
+        assert repro.api is api
+
+
+class TestLoadAndBuild:
+    def test_recording_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recording = small_recording()
+        recording.save(path)
+        loaded = api.load_recording(path)
+        assert len(loaded.events) == len(recording.events)
+
+    def test_build_system_wires_policy(self):
+        system = api.build_system(policy="mitos", quick_calibration=True)
+        assert isinstance(system, api.FarosSystem)
+
+    def test_build_system_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            api.build_system(policy="propagate-sometimes")
+
+
+class TestReplay:
+    def test_options_object_path(self):
+        result = api.replay(
+            small_recording(),
+            options=api.ReplayOptions(engine="vector"),
+            quick_calibration=True,
+        )
+        assert isinstance(result, api.FarosRunResult)
+        assert result.tracker_stats["inserts"] == 2
+
+    def test_accepts_a_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        small_recording().save(path)
+        result = api.replay(path, quick_calibration=True)
+        assert result.tracker_stats["inserts"] == 2
+
+    def test_flat_kwargs_deprecated_but_equivalent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no stray warnings
+            via_options = api.replay(
+                small_recording(),
+                options=api.ReplayOptions(engine="vector", limit=5),
+                quick_calibration=True,
+            )
+        with pytest.warns(DeprecationWarning, match="ReplayOptions"):
+            via_flat = api.replay(
+                small_recording(),
+                engine="vector",
+                limit=5,
+                quick_calibration=True,
+            )
+        assert via_flat.tracker_stats == via_options.tracker_stats
+        assert via_flat.stage_counts == via_options.stage_counts
+
+    def test_unknown_kwargs_are_type_errors(self):
+        with pytest.raises(TypeError, match="warp_factor"):
+            api.replay(small_recording(), warp_factor=9)
+
+    def test_options_and_flat_together_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            api.replay(
+                small_recording(),
+                options=api.ReplayOptions(),
+                engine="vector",
+            )
+
+    def test_vector_blockers_rejected_upfront(self):
+        with pytest.raises(ValueError, match="supervisor"):
+            api.replay(
+                small_recording(),
+                options=api.ReplayOptions(
+                    engine="vector", supervisor="skip-event"
+                ),
+            )
+
+    def test_scalar_and_vector_agree(self):
+        scalar = api.replay(
+            small_recording(),
+            options=api.ReplayOptions(engine="scalar"),
+            quick_calibration=True,
+        )
+        vector = api.replay(
+            small_recording(),
+            options=api.ReplayOptions(engine="vector"),
+            quick_calibration=True,
+        )
+        assert scalar.tracker_stats == vector.tracker_stats
+
+
+class TestDecide:
+    def test_tuple_candidates(self):
+        outcome = api.decide(
+            [("netflow", 1, 4), ("file", 2, 1)],
+            free_slots=1,
+            pollution=50.0,
+            quick_calibration=True,
+        )
+        assert isinstance(outcome, api.MultiDecision)
+        assert len(outcome.decisions) == 2
+        assert sum(d.propagate for d in outcome.decisions) <= 1
+
+    def test_tag_candidate_objects_equivalent(self):
+        tuples = api.decide(
+            [("netflow", 1, 4)], free_slots=1, pollution=10.0,
+            quick_calibration=True,
+        )
+        objects = api.decide(
+            [api.TagCandidate(Tag("netflow", 1), "netflow", 4)],
+            free_slots=1, pollution=10.0, quick_calibration=True,
+        )
+        assert tuples.decisions == objects.decisions
+
+    def test_malformed_candidate_rejected(self):
+        with pytest.raises(ValueError, match="TagCandidate"):
+            api.decide(
+                [("netflow", 1)], free_slots=1, pollution=0.0,
+                quick_calibration=True,
+            )
+
+
+class TestServe:
+    def test_background_server_serves_and_stops(self):
+        thread = api.serve(
+            api.ServeOptions(port=0, shards=2, quick_calibration=True),
+            background=True,
+        )
+        try:
+            assert isinstance(thread, api.ServerThread)
+            with api.ServeClient(thread.host, thread.port) as client:
+                assert client.ping()["pong"] is True
+                served = client.decide(
+                    "mem:0x40",
+                    free_slots=1,
+                    candidates=[("netflow", 1, 3)],
+                    pollution=10.0,
+                )
+            offline = api.decide(
+                [("netflow", 1, 3)], free_slots=1, pollution=10.0,
+                quick_calibration=True,
+            )
+            assert [r["marginal"] for r in served["decisions"]] == [
+                d.marginal for d in offline.decisions
+            ]
+        finally:
+            thread.stop()
+
+    def test_ready_callback_reports_bound_port(self):
+        seen = []
+        thread = api.serve(
+            api.ServeOptions(port=0, quick_calibration=True),
+            background=True,
+            ready=lambda server: seen.append(server.port),
+        )
+        try:
+            assert seen == [thread.port]
+        finally:
+            thread.stop()

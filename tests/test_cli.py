@@ -291,3 +291,71 @@ class TestObservabilityWorkflow:
         out = capsys.readouterr().out
         assert "propagation_ops" in out
         assert "span timings" not in out
+
+
+class TestServeCli:
+    def test_serve_flag_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 7757
+        assert args.shards == 1 and args.admin_port is None
+        assert args.queue_depth == 1024 and args.batch_max == 64
+        assert not args.resume and args.checkpoint_dir is None
+
+    def test_serve_full_flag_surface(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--admin-port", "0",
+                "--shards", "4", "--queue-depth", "32", "--batch-max", "8",
+                "--max-retries", "1", "--policy", "mitos",
+                "--quick-calibration", "--checkpoint-dir", "ck",
+                "--checkpoint-every", "100", "--resume",
+                "--trace-out", "t.jsonl", "--metrics-out", "m.json",
+                "--drain-timeout", "5",
+            ]
+        )
+        assert args.port == 0 and args.admin_port == 0
+        assert args.shards == 4 and args.queue_depth == 32
+        assert args.checkpoint_dir == "ck" and args.checkpoint_every == 100
+        assert args.resume and args.drain_timeout == 5.0
+
+    def test_serve_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "random-walk"])
+
+    def test_bench_serve_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.command == "bench-serve"
+        # one deep pipeline: the tuned defaults for a shared-core box
+        assert args.connections == 1 and args.window == 256
+        assert args.shards == 1 and not args.in_process
+        assert args.json_out is None and args.limit is None
+
+    def test_bench_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench-serve", "--quick", "--shards", "2",
+                "--connections", "3", "--window", "16", "--limit", "50",
+                "--json-out", "out.json", "--in-process",
+            ]
+        )
+        assert args.quick and args.shards == 2
+        assert args.connections == 3 and args.window == 16
+        assert args.limit == 50 and args.json_out == "out.json"
+        assert args.in_process
+
+    def test_bench_serve_in_process_quick_runs(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench-serve", "--quick", "--in-process",
+                "--window", "16", "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "parity: every served decision matched" in printed
+        import json as _json
+
+        report = _json.loads(out.read_text())
+        assert report["matched"] is True and report["quick"] is True
