@@ -1,0 +1,274 @@
+"""Serve-path observability overhead: disabled must cost (almost) nothing.
+
+The replay stack's obs contract -- disabled means ``None`` attribute
+checks only -- now extends to the serving hot path (parse, enqueue,
+shard worker, decide, response write).  This bench drives the same
+explicit-mode decision load through
+
+* a *seed replica* server -- the pre-instrumentation ``_dispatch`` /
+  ``_shard_worker`` / ``_process`` bodies, reproduced verbatim on a
+  ``MitosServer`` subclass,
+* the current server with observability disabled (``observability=None``),
+* the current server with the full bundle + canary enabled,
+
+and asserts the disabled path stays within 5% of the seed replica
+(plus absolute slack: loopback-socket runs carry real scheduler jitter).
+"""
+
+import asyncio
+import time
+from typing import Dict, List
+
+import pytest
+
+from conftest import publish
+
+from repro.experiments.common import experiment_params, network_recording
+from repro.options import ServeOptions
+from repro.serve.loadgen import collect_offline_decisions, run_load
+from repro.serve.protocol import (
+    ApplyRequest,
+    ControlRequest,
+    DecideRequest,
+    ProtocolError,
+    encode_message,
+    error_response,
+    format_location,
+)
+from repro.serve.server import (
+    MitosServer,
+    ServerThread,
+    TransientFault,
+    _request_id_of,
+    parse_request_cached,
+)
+
+#: fractional overhead budget for the disabled path vs the seed replica
+DISABLED_OVERHEAD_BUDGET = 0.05
+#: absolute slack (seconds): loopback sockets jitter more than timers
+ABSOLUTE_SLACK_SECONDS = 0.010
+
+#: repeat the quick recording's decisions to get a measurable run
+LOAD_REPEATS = 8
+
+
+class SeedServer(MitosServer):
+    """The pre-observability serve hot path, byte-for-byte behavior."""
+
+    def _dispatch(self, line, writer):
+        self.requests_total += 1
+        if self._m_requests is not None:
+            self._m_requests.inc()
+        try:
+            request = parse_request_cached(line)
+        except ProtocolError as err:
+            self._send_error(writer, _request_id_of(line), err)
+            return self._safe_drain(writer)
+        if self._draining:
+            self._send_error(
+                writer,
+                request.id,
+                ProtocolError("shutting-down", "server is draining"),
+            )
+            return self._safe_drain(writer)
+        if isinstance(request, ControlRequest):
+            return self._handle_control(request, writer)
+        if len(self._queues) == 1:
+            shard_index = 0
+        else:
+            shard_index = self._ring.shard_for(
+                format_location(request.destination)
+            )
+        queue = self._queues[shard_index]
+        try:
+            queue.put_nowait((request, writer))
+        except asyncio.QueueFull:
+            self.overloaded_total += 1
+            if self._m_overloaded is not None:
+                self._m_overloaded.inc()
+            self._send_error(
+                writer,
+                request.id,
+                ProtocolError(
+                    "overloaded",
+                    f"shard {shard_index} queue is full "
+                    f"({self.options.queue_depth} deep); retry later",
+                ),
+            )
+            return self._safe_drain(writer)
+        return None
+
+    async def _shard_worker(self, shard, queue):
+        batch_max = self.options.batch_max
+        while True:
+            item = await queue.get()
+            batch = [item]
+            while len(batch) < batch_max:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            frames: Dict[asyncio.StreamWriter, List[bytes]] = {}
+            for request, writer in batch:
+                response = self._process(shard, request)
+                frames.setdefault(writer, []).append(
+                    encode_message(response)
+                )
+                self.responses_total += 1
+                queue.task_done()
+            for writer, chunks in frames.items():
+                try:
+                    writer.write(b"".join(chunks))
+                except Exception:
+                    continue
+                await self._safe_drain(writer)
+
+    def _process(self, shard, request):
+        tracer = self._tracer
+        started = time.perf_counter_ns() if tracer is not None else 0
+        error = None
+        for attempt in range(self.options.max_retries + 1):
+            if attempt > 0:
+                self.retries_total += 1
+                if self._m_retries is not None:
+                    self._m_retries.inc()
+            try:
+                if isinstance(request, DecideRequest):
+                    response = shard.decide(request)
+                    if self._m_decisions is not None:
+                        self._m_decisions.inc()
+                else:
+                    assert isinstance(request, ApplyRequest)
+                    response = shard.apply(request)
+                if tracer is not None:
+                    tracer.end("serve.decide", started)
+                return response
+            except ProtocolError as err:
+                self.errors_total += 1
+                if self._m_errors is not None:
+                    self._m_errors.inc()
+                return error_response(request.id, err.code, err.message)
+            except TransientFault as err:
+                error = err
+                continue
+            except Exception as err:  # pragma: no cover - defensive
+                error = err
+                break
+        self.errors_total += 1
+        if self._m_errors is not None:
+            self._m_errors.inc()
+        return error_response(
+            request.id, "internal", f"shard {shard.index} failed: {error!r}"
+        )
+
+
+def bench_decisions():
+    recording = network_recording(seed=0, quick=True)
+    offline = collect_offline_decisions(
+        recording, experiment_params(quick=True)
+    )
+    return offline * LOAD_REPEATS
+
+
+def _bench_options(**overrides) -> ServeOptions:
+    defaults = dict(port=0, shards=2, quick_calibration=True)
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+def _load_seconds(thread: ServerThread, decisions) -> float:
+    result = run_load(thread.host, thread.port, decisions, window=128)
+    assert result.matched, result.mismatches[:3]
+    return result.elapsed_seconds
+
+
+def _seed_thread() -> ServerThread:
+    thread = ServerThread(_bench_options())
+    thread.server = SeedServer(_bench_options())
+    return thread
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def test_bench_serve_disabled_overhead_vs_seed():
+    decisions = bench_decisions()
+
+    attempts = []
+    enabled_s = None
+    for _ in range(3):
+        with _seed_thread() as seed:
+            _load_seconds(seed, decisions)  # warm up
+            seed_s = _best_of(lambda: _load_seconds(seed, decisions))
+        with ServerThread(_bench_options()) as current:
+            _load_seconds(current, decisions)
+            disabled_s = _best_of(lambda: _load_seconds(current, decisions))
+        attempts.append((seed_s, disabled_s))
+        budget = (
+            seed_s * (1 + DISABLED_OVERHEAD_BUDGET) + ABSOLUTE_SLACK_SECONDS
+        )
+        if disabled_s <= budget:
+            break
+    else:
+        seed_s, disabled_s = attempts[-1]
+        pytest.fail(
+            f"serve disabled-path overhead exceeds "
+            f"{DISABLED_OVERHEAD_BUDGET:.0%}: seed {seed_s * 1e3:.2f} ms vs "
+            f"disabled {disabled_s * 1e3:.2f} ms (attempts: {attempts})"
+        )
+
+    enabled_options = _bench_options(
+        observe=True, canary_fraction=1.0, canary_tau=0.05
+    )
+    with ServerThread(
+        enabled_options, enabled_options.observability()
+    ) as enabled:
+        _load_seconds(enabled, decisions)
+        enabled_s = _best_of(lambda: _load_seconds(enabled, decisions))
+
+    requests = len(decisions)
+    publish(
+        "serve_obs_overhead",
+        "\n".join(
+            [
+                "serve observability overhead (best-of-5, same load)",
+                f"  requests:        {requests}",
+                f"  seed replica:    {seed_s * 1e3:8.2f} ms "
+                f"({requests / seed_s:,.0f} req/s)",
+                f"  obs disabled:    {disabled_s * 1e3:8.2f} ms "
+                f"({requests / disabled_s:,.0f} req/s)",
+                f"  obs + canary:    {enabled_s * 1e3:8.2f} ms "
+                f"({requests / enabled_s:,.0f} req/s)",
+                f"  disabled delta:  {(disabled_s / seed_s - 1) * 100:+.1f}%",
+                f"  enabled delta:   {(enabled_s / seed_s - 1) * 100:+.1f}%",
+            ]
+        ),
+    )
+
+
+def test_bench_serve_disabled_path(benchmark):
+    """Throughput of the un-instrumented server (pytest-benchmark)."""
+    decisions = bench_decisions()
+    with ServerThread(_bench_options()) as thread:
+        result = benchmark(
+            run_load, thread.host, thread.port, decisions, window=128
+        )
+    assert result.matched
+
+
+def test_bench_serve_observed_path(benchmark):
+    """Throughput with hot-path histograms + decision tail + canary on."""
+    decisions = bench_decisions()
+    options = _bench_options(
+        observe=True, canary_fraction=1.0, canary_tau=0.05
+    )
+    obs = options.observability()
+    with ServerThread(options, obs) as thread:
+        result = benchmark(
+            run_load, thread.host, thread.port, decisions, window=128
+        )
+        assert result.matched
+        histograms = obs.metrics.as_dict()["histograms"]
+        assert histograms["serve.decide_us"]["count"] > 0
+        assert histograms["serve.batch_size"]["count"] > 0

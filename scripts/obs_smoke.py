@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the serving observability plane.
+
+CI's ``obs-smoke`` job runs this; it is also the fastest local check
+that the live instruments actually work:
+
+1. boot a ``MitosServer`` with ``--observe`` and a 100% canary at a
+   shifted tau on ephemeral ports,
+2. drive the quick recording's captured IFP decisions through it (the
+   load generator checks offline parity on every response),
+3. tail a bounded ``/events`` window *while the server is live* and
+   check snapshot shape, monotone cursors, and the canary flip feed,
+4. scrape ``/metrics`` as JSON and as Prometheus text, validating the
+   exposition with ``repro.obs.prometheus.parse_prometheus_text``,
+5. write the scrape to ``results/obs_scrape.prom`` and append one
+   compact record to ``results/bench_trend.jsonl`` (folding in
+   ``BENCH_serve.json`` / ``BENCH_replay.json`` when present, so the
+   uploaded artifact accumulates a cross-run trend).
+
+Exit code 0 means every check passed.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.common import experiment_params, network_recording
+from repro.obs.prometheus import parse_prometheus_text
+from repro.options import ServeOptions
+from repro.serve.canary import offline_decision_diff
+from repro.serve.loadgen import collect_offline_decisions, run_load
+from repro.serve.server import ServerThread
+from repro.serve.top import iter_events
+
+SHIFTED_TAU = 0.05
+
+#: metric families every observed scrape must expose
+REQUIRED_FAMILIES = (
+    "serve_requests_total",
+    "serve_responses_total",
+    "serve_decisions_total",
+    "canary_mirrored_total",
+    "canary_flips_total",
+    "serve_decide_us_bucket",
+    "serve_batch_size_bucket",
+    "serve_queue_depth_0",
+)
+
+
+def http_get(port, target, accept=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{target}",
+        headers={"Accept": accept} if accept else {},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.headers.get("Content-Type", ""), response.read()
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"obs-smoke FAILED: {message}")
+    print(f"  ok: {message}")
+
+
+def tail_events(thread, count=3):
+    snapshots = list(
+        iter_events(thread.host, thread.admin_port, interval=0.1, count=count)
+    )
+    check(len(snapshots) == count, f"/events delivered {count} snapshots")
+    seqs = [s["seq"] for s in snapshots]
+    check(seqs == sorted(set(seqs)), "snapshot seq is strictly monotone")
+    first = snapshots[0]
+    for key in ("stats", "pollution", "metrics", "decisions",
+                "decision_seq", "canary_flips", "flip_seq"):
+        check(key in first, f"snapshot carries {key!r}")
+    check(first["decisions"], "decision tail delivered Eq. 8 records")
+    record = first["decisions"][-1]
+    for key in ("dest", "candidates", "propagated", "pollution"):
+        check(key in record, f"decision record carries {key!r}")
+    total_flips = sum(len(s["canary_flips"]) for s in snapshots)
+    return total_flips
+
+
+def scrape(thread, out_path):
+    content_type, body = http_get(thread.admin_port, "/metrics")
+    check(content_type.startswith("application/json"), "default scrape is JSON")
+    payload = json.loads(body)
+    check("server" in payload, "JSON scrape carries the server counters")
+    check("metrics" in payload, "JSON scrape carries the registry export")
+
+    content_type, text = http_get(
+        thread.admin_port, "/metrics", accept="text/plain"
+    )
+    check("text/plain" in content_type, "negotiated content type is text")
+    families = parse_prometheus_text(text.decode("utf-8"))
+    sample_names = {
+        sample_name
+        for family in families.values()
+        for sample_name, _labels, _value in family["samples"]
+    }
+    for name in REQUIRED_FAMILIES:
+        check(name in sample_names, f"scrape exposes {name}")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(text.decode("utf-8"))
+    print(f"  wrote {out_path} ({len(families)} metric families)")
+    return payload
+
+
+def append_trend(trend_path, record, merge_paths):
+    for path in merge_paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        key = path.stem.lower().replace("bench_", "")
+        record[key] = {
+            k: report[k]
+            for k in ("decisions_per_second", "latency_us", "matched",
+                      "engines", "speedups")
+            if k in report
+        }
+    trend_path.parent.mkdir(parents=True, exist_ok=True)
+    with trend_path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"  appended trend record to {trend_path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=str(REPO_ROOT / "results"))
+    parser.add_argument(
+        "--merge",
+        nargs="*",
+        default=["BENCH_serve.json", "BENCH_replay.json"],
+        help="bench reports to fold into the trend record when present",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+
+    print("obs-smoke: capturing offline decisions")
+    recording = network_recording(seed=0, quick=True)
+    params = experiment_params(quick=True)
+    decisions = collect_offline_decisions(recording, params)
+    check(decisions, f"captured {len(decisions)} offline decisions")
+
+    options = ServeOptions(
+        port=0,
+        admin_port=0,
+        shards=2,
+        quick_calibration=True,
+        observe=True,
+        canary_fraction=1.0,
+        canary_tau=SHIFTED_TAU,
+    )
+    print("obs-smoke: booting an observed server (100% canary, shifted tau)")
+    started = time.perf_counter()
+    with ServerThread(options, options.observability()) as thread:
+        result = run_load(thread.host, thread.port, decisions, window=64)
+        check(result.matched, "served decisions match the offline replay")
+
+        live_flips = tail_events(thread)
+        payload = scrape(thread, out_dir / "obs_scrape.prom")
+        stats = thread.server.stats()
+    elapsed = time.perf_counter() - started
+
+    mirrored = sum(c["mirrored"] for c in stats["canary"])
+    flips = sum(c["flips"] for c in stats["canary"])
+    check(mirrored == len(decisions), "canary mirrored every decide request")
+    offline_flips, _ = offline_decision_diff(
+        decisions, experiment_params(quick=True, tau=SHIFTED_TAU)
+    )
+    check(offline_flips > 0, f"shifted tau diverges ({offline_flips} flips)")
+    check(
+        flips == offline_flips,
+        f"live canary flips ({flips}) == offline replay diff",
+    )
+    check(live_flips <= flips, "/events flip feed is a subset of the count")
+
+    append_trend(
+        out_dir / "bench_trend.jsonl",
+        {
+            "kind": "obs_smoke",
+            "requests": stats["requests"],
+            "decisions": len(decisions),
+            "canary_mirrored": mirrored,
+            "canary_flips": flips,
+            "elapsed_seconds": round(elapsed, 3),
+            "histogram_counts": {
+                name: payload["metrics"]["histograms"][name]["count"]
+                for name in ("serve.decide_us", "serve.batch_size")
+            },
+        },
+        args.merge,
+    )
+    print(f"obs-smoke: PASSED in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

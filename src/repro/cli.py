@@ -287,8 +287,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="metrics JSON written on shutdown",
     )
     serve.add_argument(
+        "--observe", action="store_true",
+        help="live hot-path metrics/spans (latency histograms on "
+             "/metrics, decision tail on /events) without file outputs",
+    )
+    serve.add_argument(
+        "--canary-fraction", type=float, default=0.0, metavar="FRACTION",
+        help="mirror this fraction of decide traffic to a shadow "
+             "tracker+policy and count decision flips (default off)",
+    )
+    serve.add_argument(
+        "--canary-tau", type=float, default=None, metavar="TAU",
+        help="canary decision-boundary tau (default: the primary's)",
+    )
+    serve.add_argument(
+        "--canary-alpha", type=float, default=None, metavar="ALPHA",
+        help="canary decision-boundary alpha (default: the primary's)",
+    )
+    serve.add_argument(
+        "--canary-policy", default=None, choices=POLICY_NAMES,
+        help="canary propagation policy (default: the primary's)",
+    )
+    serve.add_argument(
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="max wait for queued requests on graceful shutdown",
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal view of a serving instance (reads the admin "
+             "port's /events stream; see docs/SERVING.md)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--port", type=int, required=True, metavar="PORT",
+        help="the server's admin port (--admin-port on serve)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="snapshot refresh interval",
+    )
+    top.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="exit after N snapshots (0 = until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (logs, tests)",
     )
 
     bench_serve = subparsers.add_parser(
@@ -534,6 +579,11 @@ def _serve_options(args: argparse.Namespace):
         resume=args.resume,
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
+        observe=args.observe,
+        canary_fraction=args.canary_fraction,
+        canary_tau=args.canary_tau,
+        canary_alpha=args.canary_alpha,
+        canary_policy=args.canary_policy,
         drain_timeout=args.drain_timeout,
     )
 
@@ -561,6 +611,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     serve(options, ready=announce)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        count=args.count,
+        clear=False if args.no_clear else None,
+    )
 
 
 @contextlib.contextmanager
@@ -828,6 +890,7 @@ def main(argv=None) -> int:
         "record": _cmd_record,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "bench-serve": _cmd_bench_serve,
         "bench": _cmd_bench,
         "inspect": _cmd_inspect,

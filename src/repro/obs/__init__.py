@@ -6,6 +6,8 @@ time-evolving cost signal deserves:
 
 * :mod:`repro.obs.metrics` -- a counter/gauge/histogram registry with a
   no-op twin so the disabled path costs one attribute check,
+* :mod:`repro.obs.prometheus` -- Prometheus text exposition for the
+  registry (plus the minimal validating parser CI uses),
 * :mod:`repro.obs.tracing` -- ``perf_counter_ns`` span aggregation over the
   pipeline stages (replay loop -> pipeline -> tracker -> policy),
 * :mod:`repro.obs.decisions` -- a JSONL recorder for every indirect-flow
@@ -25,12 +27,21 @@ from repro.obs.decisions import (
 )
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
     NULL_METRICS,
+    SERVE_LATENCY_BUCKETS_US,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    PrometheusParseError,
+    parse_prometheus_text,
+    render_registry,
 )
 from repro.obs.timeseries import TimeSeriesSample, TimeSeriesSampler
 from repro.obs.tracing import NULL_TRACER, NullSpanTracer, SpanStats, SpanTracer
@@ -44,6 +55,13 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "BATCH_SIZE_BUCKETS",
+    "SERVE_LATENCY_BUCKETS_US",
+    "quantile_from_buckets",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PrometheusParseError",
+    "parse_prometheus_text",
+    "render_registry",
     "SpanTracer",
     "NullSpanTracer",
     "NULL_TRACER",

@@ -20,6 +20,17 @@ from typing import Dict, List, Optional, Sequence
 #: whose bound is >= value; one implicit +inf bucket catches the rest).
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
 
+#: serve-path latency buckets in **microseconds**: DEFAULT_BUCKETS is
+#: scaled for second-long replay spans, but a served decision's parse /
+#: queue-wait / decide / write stages live between ~5us and ~100ms.
+SERVE_LATENCY_BUCKETS_US = (
+    5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0, 100000.0,
+)
+
+#: micro-batch size buckets (powers of two up to the default batch_max)
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 class Counter:
     """Monotonically increasing count."""
@@ -89,6 +100,15 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (last == ``count``)."""
+        running = 0
+        cumulative: List[int] = []
+        for value in self.bucket_counts:
+            running += value
+            cumulative.append(running)
+        return cumulative
+
     def as_dict(self) -> Dict[str, object]:
         labels = [f"le_{bound:g}" for bound in self.bounds] + ["le_inf"]
         return {
@@ -98,7 +118,51 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "buckets": dict(zip(labels, self.bucket_counts)),
+            # cumulative counts carry the Prometheus ``le`` semantics, so
+            # the JSON export and the text exposition agree on meaning
+            "cumulative": dict(zip(labels, self.cumulative_counts())),
         }
+
+
+def parse_bucket_label(label: str) -> float:
+    """``le_250`` -> 250.0, ``le_inf`` -> +inf (inverse of the export labels)."""
+    if not label.startswith("le_"):
+        raise ValueError(f"not a bucket label: {label!r}")
+    bound = label[3:]
+    return math.inf if bound == "inf" else float(bound)
+
+
+def quantile_from_buckets(buckets: Dict[str, float], q: float) -> float:
+    """Estimate the q-th percentile from exported per-bucket counts.
+
+    ``buckets`` is the ``buckets`` mapping a :meth:`Histogram.as_dict`
+    export carries (labels ``le_<bound>`` / ``le_inf`` -> per-bucket
+    counts); interpolates linearly inside the winning bucket, the way
+    Prometheus's ``histogram_quantile`` does.  Values in the +inf bucket
+    clamp to the largest finite bound.  Returns 0.0 on an empty
+    histogram.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"quantile must be in [0, 100], got {q}")
+    pairs = sorted(
+        (parse_bucket_label(label), count) for label, count in buckets.items()
+    )
+    total = sum(count for _, count in pairs)
+    if total <= 0:
+        return 0.0
+    target = q / 100.0 * total
+    running = 0.0
+    lower = 0.0
+    for bound, count in pairs:
+        if running + count >= target and count > 0:
+            if math.isinf(bound):
+                return lower
+            fraction = (target - running) / count
+            return lower + fraction * (bound - lower)
+        running += count
+        if not math.isinf(bound):
+            lower = bound
+    return lower
 
 
 class MetricsRegistry:

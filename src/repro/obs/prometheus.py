@@ -1,0 +1,222 @@
+"""Prometheus text exposition for the in-process metrics registry.
+
+:func:`render_registry` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the `text exposition format`_ scrapers expect:
+
+* counters render with the conventional ``_total`` suffix,
+* gauges render as plain samples,
+* histograms render the Prometheus way -- **cumulative** ``_bucket``
+  samples with ``le`` labels (matching the ``cumulative`` block of the
+  JSON export), plus ``_sum`` and ``_count``.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the dotted registry names map ``.`` and
+any other illegal byte to ``_`` (``serve.decide_us`` ->
+``serve_decide_us``).
+
+:func:`parse_prometheus_text` is the deliberately small inverse used by
+tests and the CI ``obs-smoke`` job to *validate* a scrape: it checks the
+grammar line by line, rebuilds each metric, and enforces the histogram
+invariants (bucket counts cumulative and non-decreasing, the ``+Inf``
+bucket equal to ``_count``).  It is a validator, not a client library.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: content type scrapers send in Accept and expect back
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus name grammar."""
+    cleaned = _SANITIZE.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _bound_label(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:g}"
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """The registry as one Prometheus text exposition document."""
+    lines: List[str] = []
+    snapshot = registry.as_dict()
+    for name, value in snapshot["counters"].items():  # type: ignore[union-attr]
+        exposed = sanitize_metric_name(name)
+        if not exposed.endswith("_total"):
+            exposed += "_total"
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed} {_format_value(value)}")
+    for name, value in snapshot["gauges"].items():  # type: ignore[union-attr]
+        exposed = sanitize_metric_name(name)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_format_value(value)}")
+    for name in sorted(registry._histograms):
+        histogram = registry._histograms[name]
+        exposed = sanitize_metric_name(name)
+        lines.append(f"# TYPE {exposed} histogram")
+        bounds = list(histogram.bounds) + [math.inf]
+        for bound, cumulative in zip(bounds, histogram.cumulative_counts()):
+            lines.append(
+                f'{exposed}_bucket{{le="{_bound_label(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{exposed}_sum {_format_value(histogram.sum)}")
+        lines.append(f"{exposed}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+class PrometheusParseError(ValueError):
+    """A scrape that violates the text exposition grammar or invariants."""
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as error:
+        raise PrometheusParseError(
+            f"line {line_no}: bad sample value {text!r}"
+        ) from error
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Validate a text exposition document; return metric -> details.
+
+    The result maps each exposed metric name to ``{"type": ...,
+    "samples": [(labels, value), ...]}``.  Raises
+    :class:`PrometheusParseError` on any grammar violation, a sample
+    without a preceding ``# TYPE``, a typed metric without samples, or a
+    histogram whose cumulative bucket counts decrease or disagree with
+    ``_count``.
+    """
+    metrics: Dict[str, Dict[str, object]] = {}
+    declared: Dict[str, str] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PrometheusParseError(f"line {line_no}: malformed TYPE line")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PrometheusParseError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            if not _NAME_OK.match(name):
+                raise PrometheusParseError(
+                    f"line {line_no}: bad metric name {name!r}"
+                )
+            if name in declared:
+                raise PrometheusParseError(
+                    f"line {line_no}: duplicate TYPE for {name!r}"
+                )
+            declared[name] = kind
+            metrics[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):  # other comments (HELP, ...) are legal
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"line {line_no}: malformed sample {raw!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                label_match = _LABEL.match(pair.strip())
+                if label_match is None:
+                    raise PrometheusParseError(
+                        f"line {line_no}: malformed label {pair!r}"
+                    )
+                labels[label_match.group("key")] = label_match.group("value")
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and declared.get(trimmed) == "histogram":
+                base = trimmed
+                break
+        if base not in declared:
+            raise PrometheusParseError(
+                f"line {line_no}: sample {sample_name!r} has no TYPE declaration"
+            )
+        value = _parse_value(match.group("value"), line_no)
+        metrics[base]["samples"].append((sample_name, labels, value))  # type: ignore[union-attr]
+    for name, kind in declared.items():
+        samples: List[Tuple[str, Dict[str, str], float]] = metrics[name]["samples"]  # type: ignore[assignment]
+        if not samples:
+            raise PrometheusParseError(f"metric {name!r} declared but has no samples")
+        if kind == "histogram":
+            _check_histogram(name, samples)
+    return metrics
+
+
+def _check_histogram(
+    name: str, samples: List[Tuple[str, Dict[str, str], float]]
+) -> None:
+    buckets: List[Tuple[float, float]] = []
+    count = None
+    has_sum = False
+    for sample_name, labels, value in samples:
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise PrometheusParseError(
+                    f"histogram {name!r}: bucket sample without an le label"
+                )
+            buckets.append((_parse_value(labels["le"], 0), value))
+        elif sample_name == f"{name}_count":
+            count = value
+        elif sample_name == f"{name}_sum":
+            has_sum = True
+    if not buckets or count is None or not has_sum:
+        raise PrometheusParseError(
+            f"histogram {name!r}: needs _bucket, _sum and _count samples"
+        )
+    buckets.sort(key=lambda pair: pair[0])
+    previous = -math.inf
+    for bound, cumulative in buckets:
+        if cumulative < previous:
+            raise PrometheusParseError(
+                f"histogram {name!r}: bucket counts decrease at le={bound}"
+            )
+        previous = cumulative
+    last_bound, last_count = buckets[-1]
+    if not math.isinf(last_bound):
+        raise PrometheusParseError(f"histogram {name!r}: missing the +Inf bucket")
+    if last_count != count:
+        raise PrometheusParseError(
+            f"histogram {name!r}: +Inf bucket ({last_count}) != _count ({count})"
+        )

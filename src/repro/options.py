@@ -185,6 +185,15 @@ class ServeOptions:
     trace_out: Optional[Union[str, Path]] = None
     #: metrics JSON written on shutdown
     metrics_out: Optional[Union[str, Path]] = None
+    #: live hot-path metrics/spans even without file outputs
+    observe: bool = False
+    #: mirror this fraction of decide traffic to the canary (0 = off)
+    canary_fraction: float = 0.0
+    #: canary decision-boundary overrides (None = inherit the primary's)
+    canary_tau: Optional[float] = None
+    canary_alpha: Optional[float] = None
+    #: canary policy override (None = inherit the primary's)
+    canary_policy: Optional[str] = None
     #: seconds to wait for queues to empty on graceful shutdown
     drain_timeout: float = 10.0
 
@@ -210,6 +219,19 @@ class ServeOptions:
                 raise ValueError("checkpoint_every requires a checkpoint_dir")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume requires a checkpoint_dir")
+        if not 0.0 <= self.canary_fraction <= 1.0:
+            raise ValueError(
+                "canary_fraction must be in [0, 1], "
+                f"got {self.canary_fraction}"
+            )
+        if self.canary_fraction == 0.0 and (
+            self.canary_tau is not None
+            or self.canary_alpha is not None
+            or self.canary_policy is not None
+        ):
+            raise ValueError(
+                "canary parameter overrides require canary_fraction > 0"
+            )
 
     def shard_checkpoint_path(self, index: int) -> Optional[Path]:
         if self.checkpoint_dir is None:
@@ -217,8 +239,12 @@ class ServeOptions:
         return Path(self.checkpoint_dir) / f"shard-{index}.ckpt.json"
 
     def observability(self) -> Optional["Observability"]:
-        """An Observability bundle when any output is requested."""
-        if self.trace_out is None and self.metrics_out is None:
+        """An Observability bundle when requested (outputs or ``observe``)."""
+        if (
+            self.trace_out is None
+            and self.metrics_out is None
+            and not self.observe
+        ):
             return None
         from repro.obs.bundle import Observability
 

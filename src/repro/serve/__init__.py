@@ -8,7 +8,13 @@ kernel, and checkpoints/restores shard state across restarts.  See
 offline-equivalence guarantee.
 """
 
+from repro.serve.canary import (
+    CanaryShard,
+    mirrors,
+    offline_decision_diff,
+)
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.events import DecisionTail, build_snapshot
 from repro.serve.loadgen import (
     LoadResult,
     OfflineDecision,
@@ -27,13 +33,16 @@ from repro.serve.protocol import (
 )
 from repro.serve.server import HashRing, MitosServer, ServerThread
 from repro.serve.shard import DecisionShard
+from repro.serve.top import iter_events, render, run_top
 
 __all__ = [
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST_OPS",
+    "CanaryShard",
     "DecisionShard",
+    "DecisionTail",
     "HashRing",
     "LoadResult",
     "MitosServer",
@@ -42,9 +51,15 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServerThread",
+    "build_snapshot",
     "collect_offline_decisions",
+    "iter_events",
+    "mirrors",
+    "offline_decision_diff",
     "parse_request",
+    "render",
     "run_load",
+    "run_top",
     "stateful_stream",
     "write_bench_report",
 ]

@@ -1,0 +1,205 @@
+"""Canary decision-diff: watch a parameter change diverge before promoting it.
+
+A :class:`CanaryShard` mirrors a configurable fraction of one primary
+shard's decide traffic to a *shadow* tracker+policy built from a second
+parameter set (a shifted tau, a different alpha, even a different
+policy).  The shadow decides every mirrored request from the same
+inputs the primary saw -- explicit-mode requests are pure functions of
+the request, so the shadow's answer is exactly what an offline replay
+under the candidate parameters would have decided -- and every
+disagreement in the propagated tag set is counted as a **decision
+flip** and recorded in a bounded flip trace.
+
+Mirroring is deterministic: a request mirrors iff the seeded blake2b
+hash of its formatted destination lands below the configured fraction.
+Hashing the *destination* (not a coin per request) keeps the shadow's
+stateful bookkeeping coherent -- a mirrored location's copy counts
+evolve under the canary parameters exactly as they would if the canary
+owned that slice of traffic.
+
+The flip counters and the flip trace surface on ``/stats``,
+``/metrics`` and the ``/events`` stream, which is what lets an operator
+watch ``mitos-repro top`` while a canary diverges (or doesn't) under
+live load before promoting the new parameters.  The offline
+cross-check, :func:`offline_decision_diff`, re-decides a captured
+explicit-mode decision stream under the canary parameters and must
+agree flip-for-flip with a ``fraction=1.0`` canary run over the same
+stream (pinned in ``tests/serve/test_canary.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decision import decide_multi
+from repro.core.params import MitosParams
+from repro.serve.protocol import DecideRequest, format_location
+from repro.serve.shard import DecisionShard
+
+#: resolution of the deterministic mirror-fraction hash
+_MIRROR_BUCKETS = 1 << 20
+
+#: how many flip records a canary keeps (ring buffer)
+DEFAULT_FLIP_TAIL = 256
+
+
+def mirrors(destination_key: str, fraction: float, seed: int = 0) -> bool:
+    """Deterministic per-destination mirror decision for ``fraction``."""
+    if fraction <= 0.0:
+        return False
+    if fraction >= 1.0:
+        return True
+    digest = hashlib.blake2b(
+        destination_key.encode("utf-8"),
+        digest_size=8,
+        key=f"canary-{seed}".encode("utf-8"),
+    ).digest()
+    return int.from_bytes(digest, "big") % _MIRROR_BUCKETS < int(
+        fraction * _MIRROR_BUCKETS
+    )
+
+
+class CanaryShard:
+    """A shadow tracker+policy diffing decisions against one primary shard.
+
+    Driven from the primary shard's worker task (never concurrently), so
+    like :class:`~repro.serve.shard.DecisionShard` it needs no locking.
+    The shadow shard keeps fully independent state: mirrored stateful
+    traffic evolves its copy counts under the canary parameters.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        params: MitosParams,
+        policy_factory,
+        fraction: float = 1.0,
+        seed: int = 0,
+        flip_tail: int = DEFAULT_FLIP_TAIL,
+        seq_source: Optional[Callable[[], int]] = None,
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"canary fraction must be in [0, 1], got {fraction}")
+        self.index = index
+        self.params = params
+        self.fraction = fraction
+        self.seed = seed
+        self.shadow = DecisionShard(index, params=params, policy_factory=policy_factory)
+        self.mirrored = 0
+        self.flips = 0
+        #: id of this canary's most recent flip record; ``seq_source``
+        #: lets the server share one monotone counter across all shards'
+        #: canaries so a single /events cursor covers every flip feed
+        self.flip_seq = 0
+        self._next_seq = (
+            seq_source
+            if seq_source is not None
+            else itertools.count(1).__next__
+        )
+        self._flip_tail: Deque[Dict[str, object]] = deque(maxlen=max(1, flip_tail))
+
+    # -- the mirror path ---------------------------------------------------
+
+    def observe(
+        self, request: DecideRequest, primary_propagated: Sequence[str]
+    ) -> Optional[bool]:
+        """Mirror one decided request; returns whether it flipped.
+
+        ``primary_propagated`` is the tag-name list the primary shard
+        answered with.  Returns ``None`` when the request was not in the
+        mirrored fraction.  Never raises on shadow failure: a broken
+        canary must not take down serving, so shadow errors count as
+        flips with an ``error`` field instead.
+        """
+        key = format_location(request.destination)
+        if not mirrors(key, self.fraction, self.seed):
+            return None
+        self.mirrored += 1
+        try:
+            response = self.shadow.decide(request)
+            shadow_propagated = list(response["propagated"])  # type: ignore[index,arg-type]
+            error = None
+        except Exception as exc:  # defensive: canary must never hurt serving
+            shadow_propagated = []
+            error = repr(exc)
+        flipped = error is not None or set(shadow_propagated) != set(
+            primary_propagated
+        )
+        if flipped:
+            self.flips += 1
+            self.flip_seq = self._next_seq()
+            record: Dict[str, object] = {
+                "seq": self.flip_seq,
+                "shard": self.index,
+                "dest": key,
+                "kind": request.kind,
+                "tick": request.tick,
+                "primary": list(primary_propagated),
+                "canary": shadow_propagated,
+            }
+            if error is not None:
+                record["error"] = error
+            self._flip_tail.append(record)
+        return flipped
+
+    # -- introspection -----------------------------------------------------
+
+    def flip_records(self, since_seq: int = 0) -> List[Dict[str, object]]:
+        """Flip records newer than ``since_seq`` (stream cursors use this)."""
+        return [r for r in self._flip_tail if r["seq"] > since_seq]  # type: ignore[operator]
+
+    def stats_payload(self) -> Dict[str, object]:
+        return {
+            "shard": self.index,
+            "fraction": self.fraction,
+            "mirrored": self.mirrored,
+            "flips": self.flips,
+            "shadow_pollution": self.shadow.tracker.pollution(),
+            "shadow_live_tags": self.shadow.tracker.counter.live_tags(),
+        }
+
+
+def offline_decision_diff(
+    offline_decisions: Sequence[object],
+    canary_params: MitosParams,
+) -> Tuple[int, List[int]]:
+    """Re-decide a captured decision stream under ``canary_params``.
+
+    ``offline_decisions`` is what
+    :func:`repro.serve.loadgen.collect_offline_decisions` captured: each
+    entry carries the explicit-mode request (candidates with copies,
+    free slots, pre-propagation pollution) and the primary outcome.
+    Returns ``(flips, flipped_indices)`` -- the ground truth a
+    ``fraction=1.0`` canary run over the same explicit stream must
+    reproduce exactly.
+    """
+    from repro.core.decision import TagCandidate
+    from repro.dift.tags import Tag
+
+    flipped: List[int] = []
+    for index, decision in enumerate(offline_decisions):
+        request: Dict[str, object] = decision.request  # type: ignore[attr-defined]
+        candidates = [
+            TagCandidate(
+                Tag(spec["type"], spec["index"]), spec["type"], spec["copies"]
+            )
+            for spec in request["candidates"]  # type: ignore[union-attr]
+        ]
+        details = decide_multi(
+            candidates,
+            request["free_slots"],  # type: ignore[arg-type]
+            request["pollution"],  # type: ignore[arg-type]
+            canary_params,
+        )
+        shadow = {
+            f"{d.candidate.key.type}:{d.candidate.key.index}"
+            for d in details.decisions
+            if d.propagate
+        }
+        primary = set(decision.expected["propagated"])  # type: ignore[attr-defined,index]
+        if shadow != primary:
+            flipped.append(index)
+    return len(flipped), flipped

@@ -1,0 +1,134 @@
+"""The ``/events`` streaming admin plane: live NDJSON snapshots.
+
+``GET /events`` on the admin port streams newline-delimited JSON: one
+self-contained snapshot per interval, each carrying
+
+* the server's counters and per-shard state (``stats`` -- requests,
+  responses, errors, overloaded, retries, queue depths, in-flight,
+  per-shard pollution/live-tags: a pollution time series at the stream's
+  resolution),
+* the full metrics registry export when an observability bundle is
+  attached (``metrics`` -- the consumer diffs successive snapshots for
+  rates and latency quantiles),
+* a bounded tail of IFP decision traces with their Eq. 8 marginals
+  (``decisions`` -- only records newer than the previous snapshot, so
+  the stream is a delta feed over the ring buffer),
+* canary decision-flip records (``canary_flips``), when a canary is
+  configured.
+
+:class:`DecisionTail` is the ring buffer behind the decision feed: an
+``ifp_observer`` the server composes with the decision-trace recorder,
+so it only exists (and only costs anything) when observability is on.
+
+``mitos-repro top`` (:mod:`repro.serve.top`) is the reference consumer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.serve.protocol import format_location
+
+#: how many decision records the tail keeps (ring buffer)
+DEFAULT_DECISION_TAIL = 128
+
+
+class DecisionTail:
+    """Bounded ring buffer of recent IFP decisions with Eq. 8 marginals.
+
+    The observer rides the tracker's ``ifp_observer`` hook, so each
+    record captures exactly what the decision saw: pre-propagation
+    pollution, the ranked candidates with their under/over marginals,
+    and the propagated set.
+    """
+
+    def __init__(self, maxlen: int = DEFAULT_DECISION_TAIL):
+        self._records: Deque[Dict[str, object]] = deque(maxlen=max(1, maxlen))
+        self.seq = 0
+
+    def observer(self, event, candidates, details, selected, pollution) -> None:
+        self.seq += 1
+        record: Dict[str, object] = {
+            "seq": self.seq,
+            "tick": event.tick,
+            "kind": event.kind.value,
+            "dest": format_location(event.destination),
+            "context": event.context,
+            "pollution": pollution,
+            "free_slots": details.free_slots if details is not None else None,
+            "propagated": [f"{t.type}:{t.index}" for t in selected],
+        }
+        if details is not None:
+            record["candidates"] = [
+                {
+                    "tag": f"{d.candidate.key.type}:{d.candidate.key.index}",
+                    "copies": d.candidate.copies,
+                    "marginal": d.marginal,
+                    "under": d.under_marginal,
+                    "over": d.over_marginal,
+                    "propagate": d.propagate,
+                }
+                for d in details.decisions
+            ]
+        else:
+            record["candidates"] = [
+                {
+                    "tag": f"{c.key.type}:{c.key.index}",
+                    "copies": c.copies,
+                    "marginal": None,
+                    "under": None,
+                    "over": None,
+                    "propagate": c.key in selected,
+                }
+                for c in candidates
+            ]
+        self._records.append(record)
+
+    def records_since(self, since_seq: int) -> List[Dict[str, object]]:
+        """Records newer than ``since_seq`` (stream cursors use this)."""
+        return [r for r in self._records if r["seq"] > since_seq]  # type: ignore[operator]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def build_snapshot(
+    server,
+    seq: int,
+    decision_cursor: int = 0,
+    flip_cursor: int = 0,
+) -> Dict[str, object]:
+    """One self-contained ``/events`` snapshot for ``server``.
+
+    ``decision_cursor`` / ``flip_cursor`` are the highest record
+    sequence numbers the consumer has already seen; the snapshot carries
+    only newer records plus updated cursors (``decision_seq`` /
+    ``flip_seq``), so per-connection state stays on the connection.
+    """
+    stats = server.stats()
+    snapshot: Dict[str, object] = {
+        "seq": seq,
+        "uptime_seconds": stats["uptime_seconds"],
+        "stats": stats,
+        "pollution": sum(shard["pollution"] for shard in stats["shards"]),
+    }
+    obs = server.obs
+    if obs is not None:
+        server.refresh_gauges()
+        snapshot["metrics"] = obs.metrics.as_dict()
+    tail: Optional[DecisionTail] = getattr(server, "decision_tail", None)
+    if tail is not None:
+        snapshot["decisions"] = tail.records_since(decision_cursor)
+        snapshot["decision_seq"] = tail.seq
+    canaries = getattr(server, "canaries", None)
+    if canaries:
+        flips: List[Dict[str, object]] = []
+        flip_seq = flip_cursor
+        for canary in canaries:
+            flips.extend(canary.flip_records(flip_cursor))
+            flip_seq = max(flip_seq, canary.flip_seq)
+        flips.sort(key=lambda r: r["seq"])  # type: ignore[arg-type,return-value]
+        snapshot["canary_flips"] = flips
+        snapshot["flip_seq"] = flip_seq
+    return snapshot

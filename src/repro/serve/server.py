@@ -39,18 +39,32 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
+import itertools
 import json
 import signal
 import threading
 import time
+import urllib.parse
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import experiment_params
 from repro.faros.config import FarosConfig
-from repro.obs.bundle import Observability
+from repro.faults.injector import TransientFault
+from repro.obs.bundle import Observability, compose_observers
 from repro.obs.logging import get_logger
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    SERVE_LATENCY_BUCKETS_US,
+    MetricsRegistry,
+)
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_registry
 from repro.options import ServeOptions
+from repro.serve.canary import CanaryShard
+from repro.serve.events import DecisionTail, build_snapshot
+# parse_request is pure; the module-level alias exists so tests can
+# monkeypatch the server's view without touching the protocol module
+from repro.serve.protocol import parse_request as parse_request_cached
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -70,9 +84,8 @@ logger = get_logger("repro.serve")
 #: virtual nodes per shard on the consistent-hash ring
 RING_REPLICAS = 64
 
-#: raised-by-plugins exception the retry loop treats as transient; import
-#: guarded so serve works even if repro.faults grows optional deps later
-from repro.faults.injector import TransientFault  # noqa: E402
+#: floor for the /events snapshot interval (seconds)
+MIN_EVENTS_INTERVAL = 0.05
 
 
 def _ring_point(label: str) -> int:
@@ -177,6 +190,12 @@ class MitosServer:
             if observability is not None
             else None
         )
+        # the /events decision feed rides the same ifp_observer hook as
+        # the decision-trace recorder; both exist only when obs is on
+        self.decision_tail: Optional[DecisionTail] = None
+        if observability is not None:
+            self.decision_tail = DecisionTail()
+            observer = compose_observers(observer, self.decision_tail.observer)
         if self.options.checkpoint_dir is not None:
             Path(self.options.checkpoint_dir).mkdir(
                 parents=True, exist_ok=True
@@ -214,21 +233,89 @@ class MitosServer:
         self.errors_total = 0
         self.overloaded_total = 0
         self.retries_total = 0
+        self.inflight = 0
+        # canary: shadow tracker+policy per shard, mirroring a fraction
+        # of decide traffic under a second parameter set
+        self.canaries: Optional[List[CanaryShard]] = None
+        if self.options.canary_fraction > 0.0:
+            canary_params = experiment_params(
+                quick=self.options.quick_calibration,
+                tau=(
+                    self.options.canary_tau
+                    if self.options.canary_tau is not None
+                    else self.options.tau
+                ),
+                alpha=(
+                    self.options.canary_alpha
+                    if self.options.canary_alpha is not None
+                    else self.options.alpha
+                ),
+            )
+            canary_config = FarosConfig(
+                params=canary_params,
+                policy=self.options.canary_policy or self.options.policy,
+                label="canary",
+            )
+            # one shared monotone counter so a single /events flip
+            # cursor covers every shard's canary feed
+            flip_counter = itertools.count(1)
+            self.canaries = [
+                CanaryShard(
+                    index,
+                    params=canary_params,
+                    policy_factory=canary_config.build_policy,
+                    fraction=self.options.canary_fraction,
+                    seq_source=flip_counter.__next__,
+                )
+                for index in range(self.options.shards)
+            ]
         if observability is not None:
             metrics = observability.metrics
             self._m_requests = metrics.counter("serve.requests")
+            self._m_responses = metrics.counter("serve.responses")
             self._m_errors = metrics.counter("serve.errors")
             self._m_overloaded = metrics.counter("serve.overloaded")
             self._m_retries = metrics.counter("serve.retries")
             self._m_decisions = metrics.counter("serve.decisions")
             self._tracer = observability.tracer
+            # hot-path latency histograms: microsecond buckets tuned for
+            # in-memory decide latencies (DEFAULT_BUCKETS is second-scale)
+            self._h_parse = metrics.histogram(
+                "serve.parse_us", SERVE_LATENCY_BUCKETS_US
+            )
+            self._h_queue_wait = metrics.histogram(
+                "serve.queue_wait_us", SERVE_LATENCY_BUCKETS_US
+            )
+            self._h_decide = metrics.histogram(
+                "serve.decide_us", SERVE_LATENCY_BUCKETS_US
+            )
+            self._h_write = metrics.histogram(
+                "serve.write_us", SERVE_LATENCY_BUCKETS_US
+            )
+            self._h_batch = metrics.histogram(
+                "serve.batch_size", BATCH_SIZE_BUCKETS
+            )
+            if self.canaries is not None:
+                self._m_canary_mirrored = metrics.counter("canary.mirrored")
+                self._m_canary_flips = metrics.counter("canary.flips")
+            else:
+                self._m_canary_mirrored = None
+                self._m_canary_flips = None
         else:
             self._m_requests = None
+            self._m_responses = None
             self._m_errors = None
             self._m_overloaded = None
             self._m_retries = None
             self._m_decisions = None
             self._tracer = None
+            self._h_parse = None
+            self._h_queue_wait = None
+            self._h_decide = None
+            self._h_write = None
+            self._h_batch = None
+            self._m_canary_mirrored = None
+            self._m_canary_flips = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -365,11 +452,20 @@ class MitosServer:
         self.requests_total += 1
         if self._m_requests is not None:
             self._m_requests.inc()
-        try:
-            request = parse_request_cached(line)
-        except ProtocolError as err:
-            self._send_error(writer, _request_id_of(line), err)
-            return self._safe_drain(writer)
+        if self._h_parse is not None:
+            started = time.perf_counter_ns()
+            try:
+                request = parse_request_cached(line)
+            except ProtocolError as err:
+                self._send_error(writer, _request_id_of(line), err)
+                return self._safe_drain(writer)
+            self._h_parse.observe((time.perf_counter_ns() - started) / 1e3)
+        else:
+            try:
+                request = parse_request_cached(line)
+            except ProtocolError as err:
+                self._send_error(writer, _request_id_of(line), err)
+                return self._safe_drain(writer)
         if self._draining:
             self._send_error(
                 writer,
@@ -386,8 +482,11 @@ class MitosServer:
                 format_location(request.destination)
             )
         queue = self._queues[shard_index]
+        enqueued = (
+            time.perf_counter_ns() if self._h_queue_wait is not None else 0
+        )
         try:
-            queue.put_nowait((request, writer))
+            queue.put_nowait((request, writer, enqueued))
         except asyncio.QueueFull:
             self.overloaded_total += 1
             if self._m_overloaded is not None:
@@ -402,6 +501,7 @@ class MitosServer:
                 ),
             )
             return self._safe_drain(writer)
+        self.inflight += 1
         return None
 
     async def _handle_control(
@@ -431,12 +531,17 @@ class MitosServer:
                     )
         writer.write(encode_message(response))
         self.responses_total += 1
+        if self._m_responses is not None:
+            self._m_responses.inc()
         await self._safe_drain(writer)
 
     async def _shard_worker(
         self, shard: DecisionShard, queue: asyncio.Queue
     ) -> None:
         batch_max = self.options.batch_max
+        canary = (
+            self.canaries[shard.index] if self.canaries is not None else None
+        )
         while True:
             item = await queue.get()
             batch = [item]
@@ -445,28 +550,65 @@ class MitosServer:
                     batch.append(queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            if self._h_batch is not None:
+                self._h_batch.observe(len(batch))
+                dequeued = time.perf_counter_ns()
             # coalesce every response for a connection into one write:
             # a socket send per response is the dominant cost at high
             # request rates (measured ~4x the decision itself)
             frames: Dict[asyncio.StreamWriter, List[bytes]] = {}
-            for request, writer in batch:
+            for request, writer, enqueued in batch:
+                if self._h_queue_wait is not None and enqueued:
+                    self._h_queue_wait.observe((dequeued - enqueued) / 1e3)
                 response = self._process(shard, request)
+                if (
+                    canary is not None
+                    and isinstance(request, DecideRequest)
+                    and response.get("ok")
+                ):
+                    flipped = canary.observe(
+                        request, response.get("propagated", ())
+                    )
+                    if flipped is not None:
+                        if self._m_canary_mirrored is not None:
+                            self._m_canary_mirrored.inc()
+                        if flipped and self._m_canary_flips is not None:
+                            self._m_canary_flips.inc()
                 frames.setdefault(writer, []).append(
                     encode_message(response)
                 )
                 self.responses_total += 1
+                if self._m_responses is not None:
+                    self._m_responses.inc()
+                self.inflight -= 1
                 queue.task_done()
             for writer, chunks in frames.items():
-                try:
-                    writer.write(b"".join(chunks))
-                except Exception:  # connection already gone
-                    continue
-                await self._safe_drain(writer)
+                if self._h_write is not None:
+                    started = time.perf_counter_ns()
+                    try:
+                        writer.write(b"".join(chunks))
+                    except Exception:  # connection already gone
+                        continue
+                    await self._safe_drain(writer)
+                    self._h_write.observe(
+                        (time.perf_counter_ns() - started) / 1e3
+                    )
+                else:
+                    try:
+                        writer.write(b"".join(chunks))
+                    except Exception:  # connection already gone
+                        continue
+                    await self._safe_drain(writer)
 
     def _process(self, shard: DecisionShard, request: object) -> Dict[str, object]:
         """One request through the shard under the bounded-retry barrier."""
         tracer = self._tracer
-        started = time.perf_counter_ns() if tracer is not None else 0
+        h_decide = self._h_decide
+        started = (
+            time.perf_counter_ns()
+            if tracer is not None or h_decide is not None
+            else 0
+        )
         error: Optional[Exception] = None
         for attempt in range(self.options.max_retries + 1):
             if attempt > 0:
@@ -483,6 +625,8 @@ class MitosServer:
                     response = shard.apply(request)
                 if tracer is not None:
                     tracer.end("serve.decide", started)
+                if h_decide is not None:
+                    h_decide.observe((time.perf_counter_ns() - started) / 1e3)
                 return response
             except ProtocolError as err:
                 self.errors_total += 1
@@ -531,32 +675,87 @@ class MitosServer:
 
     # -- admin surface -----------------------------------------------------
 
+    @staticmethod
+    def _parse_admin_request(
+        request_line: bytes, header_lines: List[bytes]
+    ) -> Tuple[str, Dict[str, str], Dict[str, str]]:
+        """``(path, query, headers)`` from one admin HTTP request."""
+        parts = request_line.decode("latin-1", "replace").split()
+        target = parts[1] if len(parts) >= 2 else "/"
+        path, _, raw_query = target.partition("?")
+        query = dict(
+            urllib.parse.parse_qsl(raw_query, keep_blank_values=True)
+        )
+        headers: Dict[str, str] = {}
+        for raw in header_lines:
+            name, sep, value = (
+                raw.decode("latin-1", "replace").partition(":")
+            )
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return path, query, headers
+
+    @staticmethod
+    def _wants_prometheus(
+        query: Dict[str, str], headers: Dict[str, str]
+    ) -> bool:
+        fmt = query.get("format", "").lower()
+        if fmt in ("prometheus", "text"):
+            return True
+        if fmt == "json":
+            return False
+        accept = headers.get("accept", "").lower()
+        return "text/plain" in accept or "openmetrics" in accept
+
+    @staticmethod
+    def _write_http(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "OK"
+        )
+        writer.write(
+            (
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        writer.write(body)
+
     async def _handle_admin(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             request_line = await reader.readline()
+            header_lines: List[bytes] = []
             while True:
                 header = await reader.readline()
                 if header in (b"\r\n", b"\n", b""):
                     break
-            parts = request_line.decode("latin-1", "replace").split()
-            path = parts[1] if len(parts) >= 2 else "/"
-            status, body = self._admin_route(path)
-            payload = json.dumps(body, indent=2).encode("utf-8")
-            writer.write(
-                b"HTTP/1.0 %d %s\r\n"
-                b"Content-Type: application/json\r\n"
-                b"Content-Length: %d\r\n"
-                b"Connection: close\r\n\r\n"
-                % (
-                    status,
-                    b"OK" if status == 200 else b"Not Found",
-                    len(payload),
-                )
+                header_lines.append(header)
+            path, query, headers = self._parse_admin_request(
+                request_line, header_lines
             )
-            writer.write(payload)
-            await self._safe_drain(writer)
+            if path == "/events":
+                await self._stream_events(writer, query)
+            elif path == "/metrics" and self._wants_prometheus(
+                query, headers
+            ):
+                body = render_registry(self.export_registry()).encode("utf-8")
+                self._write_http(
+                    writer, 200, PROMETHEUS_CONTENT_TYPE, body
+                )
+                await self._safe_drain(writer)
+            else:
+                status, payload = self._admin_route(path)
+                body = json.dumps(payload, indent=2).encode("utf-8")
+                self._write_http(writer, status, "application/json", body)
+                await self._safe_drain(writer)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -565,6 +764,59 @@ class MitosServer:
                 await writer.wait_closed()
             except Exception:
                 pass
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, query: Dict[str, str]
+    ) -> None:
+        """NDJSON snapshot stream: one self-contained line per interval."""
+        try:
+            interval = max(
+                MIN_EVENTS_INTERVAL, float(query.get("interval", "1.0"))
+            )
+            count = int(query.get("count", "0"))
+        except ValueError:
+            body = json.dumps(
+                {"ok": False, "error": "bad-query", "query": query}
+            ).encode("utf-8")
+            self._write_http(writer, 400, "application/json", body)
+            await self._safe_drain(writer)
+            return
+        writer.write(
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        seq = 0
+        decision_cursor = 0
+        flip_cursor = 0
+        while not writer.is_closing():
+            seq += 1
+            snapshot = build_snapshot(
+                self,
+                seq,
+                decision_cursor=decision_cursor,
+                flip_cursor=flip_cursor,
+            )
+            decision_cursor = snapshot.get("decision_seq", decision_cursor)
+            flip_cursor = snapshot.get("flip_seq", flip_cursor)
+            writer.write(
+                json.dumps(snapshot, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+            )
+            # a drain failure means the client went away; it raises
+            # ConnectionError which _handle_admin absorbs per-connection
+            await writer.drain()
+            if count and seq >= count:
+                break
+            stop = self._stop
+            if stop is None:
+                await asyncio.sleep(interval)
+            else:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=interval)
+                    break  # shutting down: end the stream cleanly
+                except asyncio.TimeoutError:
+                    pass
 
     def _admin_route(self, path: str) -> Tuple[int, Dict[str, object]]:
         if path == "/healthz":
@@ -577,15 +829,13 @@ class MitosServer:
         if path == "/stats":
             return 200, self.stats()
         if path == "/metrics":
-            if self.obs is not None:
-                return 200, self.obs.export()
-            return 200, {"metrics": {}}
+            return 200, self.metrics_payload()
         return 404, {"ok": False, "error": "not-found", "path": path}
 
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "version": PROTOCOL_VERSION,
             "uptime_seconds": time.monotonic() - self._started_at,
             "draining": self._draining,
@@ -594,15 +844,85 @@ class MitosServer:
             "errors": self.errors_total,
             "overloaded": self.overloaded_total,
             "retries": self.retries_total,
+            "inflight": self.inflight,
             "restored_shards": self.restored_shards,
             "queue_depths": [q.qsize() for q in self._queues],
             "shards": [shard.stats_payload() for shard in self.shards],
         }
+        if self.canaries is not None:
+            payload["canary"] = [
+                canary.stats_payload() for canary in self.canaries
+            ]
+        return payload
 
+    def metrics_payload(self) -> Dict[str, object]:
+        """The ``/metrics`` JSON body; always carries the server counters."""
+        payload: Dict[str, object] = {"server": self.stats()}
+        if self.obs is not None:
+            self.refresh_gauges()
+            payload.update(self.obs.export())
+        else:
+            payload["metrics"] = self.export_registry().as_dict()
+        return payload
 
-# parse_request is pure; keep an alias here so tests can monkeypatch the
-# server's view without touching the protocol module
-from repro.serve.protocol import parse_request as parse_request_cached  # noqa: E402
+    def refresh_gauges(self) -> None:
+        """Update scrape-time gauges in the obs registry (no hot-path cost).
+
+        Queue depths, in-flight, uptime and per-shard pollution are
+        sampled when someone looks (``/metrics``, ``/events``), not on
+        every request.
+        """
+        if self.obs is None:
+            return
+        self._set_state_gauges(self.obs.metrics)
+
+    def export_registry(self) -> MetricsRegistry:
+        """The registry behind the Prometheus exposition.
+
+        With observability attached this is the live registry (gauges
+        refreshed); without it an ephemeral registry is synthesized from
+        the always-on server counters, so ``/metrics`` exposition is
+        never empty.
+        """
+        if self.obs is not None:
+            self.refresh_gauges()
+            return self.obs.metrics
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(self.requests_total)
+        registry.counter("serve.responses").inc(self.responses_total)
+        registry.counter("serve.errors").inc(self.errors_total)
+        registry.counter("serve.overloaded").inc(self.overloaded_total)
+        registry.counter("serve.retries").inc(self.retries_total)
+        registry.counter("serve.decisions").inc(
+            sum(shard.decisions_served for shard in self.shards)
+        )
+        if self.canaries is not None:
+            registry.counter("canary.mirrored").inc(
+                sum(canary.mirrored for canary in self.canaries)
+            )
+            registry.counter("canary.flips").inc(
+                sum(canary.flips for canary in self.canaries)
+            )
+        self._set_state_gauges(registry)
+        return registry
+
+    def _set_state_gauges(self, registry: MetricsRegistry) -> None:
+        registry.gauge("serve.uptime_seconds").set(
+            time.monotonic() - self._started_at
+        )
+        registry.gauge("serve.draining").set(1.0 if self._draining else 0.0)
+        registry.gauge("serve.inflight").set(float(self.inflight))
+        for index, queue in enumerate(self._queues):
+            registry.gauge(f"serve.queue_depth.{index}").set(
+                float(queue.qsize())
+            )
+        for shard in self.shards:
+            registry.gauge(f"serve.pollution.{shard.index}").set(
+                shard.tracker.pollution()
+            )
+            registry.gauge(f"serve.live_tags.{shard.index}").set(
+                float(shard.tracker.counter.live_tags())
+            )
 
 
 class ServerThread:

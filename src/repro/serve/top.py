@@ -1,0 +1,226 @@
+"""``mitos-repro top``: a live terminal view of a serving instance.
+
+The reference consumer of the ``/events`` admin stream
+(:mod:`repro.serve.events`).  It connects to the admin port, reads
+NDJSON snapshots, and renders a one-screen summary per interval:
+
+* throughput (requests/responses per second from stats deltas),
+* decide-path latency quantiles (p50/p99 estimated from the
+  ``serve.decide_us`` histogram's per-interval bucket deltas -- only
+  when the server runs with observability on),
+* queue depths, in-flight count, overload/error/retry totals,
+* total and per-shard pollution (the paper's cost signal, live),
+* canary mirror/flip counts and the most recent decision flips.
+
+Everything below the socket layer is pure: :func:`render` maps two
+consecutive snapshots to a string, which is what the tests drive.  The
+stream client speaks minimal HTTP/1.0 over a plain socket so the tool
+needs nothing beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+from typing import Dict, Iterator, List, Optional, TextIO
+
+from repro.obs.metrics import quantile_from_buckets
+
+#: histograms surfaced in the latency panel, in display order
+_LATENCY_ROWS = (
+    ("parse", "serve.parse_us"),
+    ("queue", "serve.queue_wait_us"),
+    ("decide", "serve.decide_us"),
+    ("write", "serve.write_us"),
+)
+
+#: ANSI clear-screen + home; used only when rendering to a terminal
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _bucket_delta(
+    current: Optional[Dict[str, float]], previous: Optional[Dict[str, float]]
+) -> Optional[Dict[str, float]]:
+    if current is None:
+        return None
+    if previous is None:
+        return dict(current)
+    return {
+        label: count - previous.get(label, 0)
+        for label, count in current.items()
+    }
+
+
+def _histogram_buckets(
+    snapshot: Dict[str, object], name: str
+) -> Optional[Dict[str, float]]:
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    histogram = metrics.get("histograms", {}).get(name)
+    if not isinstance(histogram, dict):
+        return None
+    buckets = histogram.get("buckets")
+    return buckets if isinstance(buckets, dict) else None
+
+
+def _format_us(value: float) -> str:
+    if value >= 1000.0:
+        return f"{value / 1000.0:.2f}ms"
+    return f"{value:.0f}us"
+
+
+def render(
+    snapshot: Dict[str, object],
+    previous: Optional[Dict[str, object]] = None,
+) -> str:
+    """One screen of text for ``snapshot``, rated against ``previous``.
+
+    Pure: no I/O, no clock -- rates come from the snapshots' own
+    ``uptime_seconds``.  With no ``previous`` (first frame) rates fall
+    back to lifetime averages.
+    """
+    stats: Dict[str, object] = snapshot["stats"]  # type: ignore[assignment]
+    prev_stats: Dict[str, object] = (
+        previous["stats"] if previous is not None else {}  # type: ignore[assignment,index]
+    )
+    elapsed = float(stats["uptime_seconds"]) - float(  # type: ignore[arg-type]
+        prev_stats.get("uptime_seconds", 0.0)  # type: ignore[arg-type]
+    )
+    if elapsed <= 0:
+        elapsed = float(stats["uptime_seconds"]) or 1.0  # type: ignore[arg-type]
+
+    def rate(key: str) -> float:
+        now = float(stats.get(key, 0))  # type: ignore[arg-type]
+        before = float(prev_stats.get(key, 0))  # type: ignore[arg-type]
+        return max(0.0, now - before) / elapsed
+
+    lines: List[str] = []
+    draining = " DRAINING" if stats.get("draining") else ""
+    lines.append(
+        f"mitos-repro top -- up {float(stats['uptime_seconds']):8.1f}s  "  # type: ignore[arg-type]
+        f"shards={len(stats['shards'])}{draining}"  # type: ignore[arg-type]
+    )
+    lines.append(
+        f"  req/s {rate('requests'):9.1f}   resp/s {rate('responses'):9.1f}   "
+        f"inflight {stats.get('inflight', 0)}"
+    )
+    lines.append(
+        f"  errors {stats['errors']}   overloaded {stats['overloaded']}   "
+        f"retries {stats['retries']}"
+    )
+    depths = stats.get("queue_depths", [])
+    lines.append(
+        "  queues "
+        + (" ".join(str(d) for d in depths) if depths else "-")  # type: ignore[union-attr]
+    )
+    shard_pollution = " ".join(
+        f"{shard['pollution']:.3f}" for shard in stats["shards"]  # type: ignore[union-attr,index]
+    )
+    lines.append(
+        f"  pollution {float(snapshot.get('pollution', 0.0)):.3f}"
+        f"   per-shard [{shard_pollution}]"
+    )
+
+    latency_rows: List[str] = []
+    for label, name in _LATENCY_ROWS:
+        buckets = _bucket_delta(
+            _histogram_buckets(snapshot, name),
+            _histogram_buckets(previous, name) if previous else None,
+        )
+        if buckets is None or sum(buckets.values()) <= 0:
+            continue
+        p50 = quantile_from_buckets(buckets, 50)
+        p99 = quantile_from_buckets(buckets, 99)
+        latency_rows.append(
+            f"  {label:<7} p50 {_format_us(p50):>9}   p99 {_format_us(p99):>9}"
+        )
+    if latency_rows:
+        lines.append("latency (this interval)")
+        lines.extend(latency_rows)
+
+    canary = stats.get("canary")
+    if canary:
+        mirrored = sum(entry["mirrored"] for entry in canary)  # type: ignore[union-attr,index]
+        flips = sum(entry["flips"] for entry in canary)  # type: ignore[union-attr,index]
+        fraction = canary[0]["fraction"]  # type: ignore[index]
+        lines.append(
+            f"canary fraction={fraction}   mirrored {mirrored}   flips {flips}"
+        )
+        for record in list(snapshot.get("canary_flips", []))[-3:]:  # type: ignore[call-overload]
+            lines.append(
+                f"  flip #{record['seq']} shard {record['shard']} "
+                f"{record['dest']}: {record['primary']} -> {record['canary']}"
+            )
+
+    decisions = snapshot.get("decisions")
+    if decisions is not None:
+        lines.append(f"decisions in window: {len(decisions)}")  # type: ignore[arg-type]
+    return "\n".join(lines)
+
+
+def iter_events(
+    host: str,
+    port: int,
+    interval: float = 1.0,
+    count: int = 0,
+    timeout: float = 30.0,
+) -> Iterator[Dict[str, object]]:
+    """Yield parsed snapshots from a server's ``/events`` stream."""
+    target = f"/events?interval={interval}"
+    if count:
+        target += f"&count={count}"
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            (
+                f"GET {target} HTTP/1.0\r\n"
+                f"Host: {host}\r\n"
+                "Accept: application/x-ndjson\r\n\r\n"
+            ).encode("latin-1")
+        )
+        stream = sock.makefile("rb")
+        status_line = stream.readline().decode("latin-1", "replace")
+        if " 200 " not in status_line:
+            raise ConnectionError(
+                f"/events returned {status_line.strip() or 'nothing'!r}"
+            )
+        while True:  # discard response headers
+            header = stream.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 1.0,
+    count: int = 0,
+    out: Optional[TextIO] = None,
+    clear: Optional[bool] = None,
+) -> int:
+    """The ``mitos-repro top`` loop; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    if clear is None:
+        clear = out.isatty()
+    previous: Optional[Dict[str, object]] = None
+    try:
+        for snapshot in iter_events(host, port, interval=interval, count=count):
+            screen = render(snapshot, previous)
+            if clear:
+                out.write(CLEAR)
+            out.write(screen + "\n")
+            if not clear:
+                out.write("\n")
+            out.flush()
+            previous = snapshot
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except (ConnectionError, OSError) as error:
+        print(f"top: connection failed: {error}", file=sys.stderr)
+        return 1
+    return 0

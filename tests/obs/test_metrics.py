@@ -9,6 +9,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    parse_bucket_label,
+    quantile_from_buckets,
 )
 
 
@@ -61,6 +63,63 @@ class TestHistogram:
             Histogram("h", buckets=())
         with pytest.raises(ValueError):
             Histogram("h", buckets=(1, 1))
+
+    def test_export_pins_cumulative_counts(self):
+        """The JSON export must carry Prometheus-style cumulative buckets.
+
+        Pins the contract the text exposition renderer relies on: the
+        ``cumulative`` block is the running sum of ``buckets`` and its
+        last entry equals ``count``, so the two export formats agree.
+        """
+        hist = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 1.0, 5, 50, 5000):
+            hist.observe(value)
+        payload = hist.as_dict()
+        assert payload["buckets"] == {
+            "le_1": 2, "le_10": 1, "le_100": 1, "le_inf": 1,
+        }
+        assert payload["cumulative"] == {
+            "le_1": 2, "le_10": 3, "le_100": 4, "le_inf": 5,
+        }
+        assert payload["cumulative"]["le_inf"] == payload["count"]
+        assert hist.cumulative_counts() == [2, 3, 4, 5]
+
+
+class TestBucketLabels:
+    def test_round_trip(self):
+        assert parse_bucket_label("le_250") == 250.0
+        assert parse_bucket_label("le_0.5") == 0.5
+        assert parse_bucket_label("le_inf") == float("inf")
+
+    def test_rejects_non_bucket_labels(self):
+        with pytest.raises(ValueError):
+            parse_bucket_label("count")
+
+
+class TestQuantileFromBuckets:
+    def test_interpolates_within_bucket(self):
+        # 100 observations uniformly in (0, 100]: one bucket at 100
+        buckets = {"le_100": 100, "le_inf": 0}
+        assert quantile_from_buckets(buckets, 50) == pytest.approx(50.0)
+        assert quantile_from_buckets(buckets, 99) == pytest.approx(99.0)
+
+    def test_picks_the_winning_bucket(self):
+        buckets = {"le_10": 90, "le_100": 9, "le_inf": 1}
+        p50 = quantile_from_buckets(buckets, 50)
+        assert 0 < p50 <= 10
+        p95 = quantile_from_buckets(buckets, 95)
+        assert 10 < p95 <= 100
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        buckets = {"le_10": 0, "le_inf": 5}
+        assert quantile_from_buckets(buckets, 99) == 10.0
+
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets({"le_1": 0, "le_inf": 0}, 99) == 0.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets({"le_1": 1}, 101)
 
 
 class TestRegistry:

@@ -1,0 +1,159 @@
+"""Tests for the Prometheus text exposition renderer and validator."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    PrometheusParseError,
+    parse_prometheus_text,
+    render_registry,
+    sanitize_metric_name,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(42)
+    registry.gauge("serve.queue_depth.0").set(3.0)
+    hist = registry.histogram("serve.decide_us", buckets=(10, 100, 1000))
+    for value in (5, 50, 500, 5000):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.decide_us") == "serve_decide_us"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("9lives")[0] not in "0123456789"
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("up_total") == "up_total"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        text = render_registry(populated_registry())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 42" in text
+
+    def test_gauge_renders_plain(self):
+        text = render_registry(populated_registry())
+        assert "# TYPE serve_queue_depth_0 gauge" in text
+        assert "serve_queue_depth_0 3.0" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_registry(populated_registry())
+        assert 'serve_decide_us_bucket{le="10"} 1' in text
+        assert 'serve_decide_us_bucket{le="100"} 2' in text
+        assert 'serve_decide_us_bucket{le="1000"} 3' in text
+        assert 'serve_decide_us_bucket{le="+Inf"} 4' in text
+        assert "serve_decide_us_count 4" in text
+        assert "serve_decide_us_sum" in text
+
+    def test_renders_agree_with_json_cumulative_block(self):
+        registry = populated_registry()
+        text = render_registry(registry)
+        cumulative = registry.histogram("serve.decide_us").as_dict()[
+            "cumulative"
+        ]
+        assert f'le="+Inf"}} {cumulative["le_inf"]}' in text
+        assert f'le="10"}} {cumulative["le_10"]}' in text
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_registry(MetricsRegistry()) == "\n"
+
+    def test_content_type_is_the_prometheus_text_v0(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestParseRoundTrip:
+    def test_round_trip(self):
+        text = render_registry(populated_registry())
+        parsed = parse_prometheus_text(text)
+        assert parsed["serve_requests_total"]["type"] == "counter"
+        assert parsed["serve_queue_depth_0"]["type"] == "gauge"
+        assert parsed["serve_decide_us"]["type"] == "histogram"
+        samples = {
+            name: value
+            for name, _, value in parsed["serve_requests_total"]["samples"]
+        }
+        assert samples["serve_requests_total"] == 42.0
+
+    def test_histogram_inf_bucket_parses(self):
+        text = render_registry(populated_registry())
+        parsed = parse_prometheus_text(text)
+        inf_buckets = [
+            value
+            for name, labels, value in parsed["serve_decide_us"]["samples"]
+            if labels.get("le") == "+Inf"
+        ]
+        assert inf_buckets == [4.0]
+        assert math.isinf(float("inf"))
+
+
+class TestParseRejects:
+    def test_sample_without_type(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text("lonely_sample 1\n")
+
+    def test_malformed_sample(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text("# TYPE x counter\nx one_two\n")
+
+    def test_bad_metric_name(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text("# TYPE 9bad counter\n9bad 1\n")
+
+    def test_declared_without_samples(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text("# TYPE ghost counter\n")
+
+    def test_duplicate_type_declaration(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(
+                "# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n"
+            )
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="10"} 1\n'
+            "h_sum 5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(PrometheusParseError, match=r"\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_histogram_decreasing_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="10"} 5\n'
+            'h_bucket{le="100"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 5\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(PrometheusParseError, match="decrease"):
+            parse_prometheus_text(text)
+
+    def test_histogram_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 5\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(PrometheusParseError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_malformed_label(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(
+                "# TYPE h histogram\nh_bucket{le=10} 1\nh_sum 1\nh_count 1\n"
+            )

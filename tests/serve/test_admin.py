@@ -1,0 +1,251 @@
+"""Admin HTTP surface tests: parsing, negotiation, streaming, survival.
+
+The admin plane is hand-rolled HTTP/1.0 on an asyncio stream, so the
+request parsing, the ``/metrics`` content negotiation (JSON vs
+Prometheus text), the ``/events`` NDJSON stream, and the
+client-disconnect-mid-response path all get direct coverage here.
+``tests/serve/test_server.py`` keeps the original route smoke tests.
+"""
+
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.obs.prometheus import parse_prometheus_text
+from repro.options import ServeOptions
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import stateful_stream
+from repro.serve.server import MitosServer, ServerThread
+from tests.replay.test_vector_engine import mixed_recording
+
+
+def server_options(**overrides) -> ServeOptions:
+    defaults = dict(port=0, admin_port=0, quick_calibration=True)
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+def http_get(port, target, headers=None, timeout=10):
+    """Raw HTTP GET returning ``(status, header_dict, body_bytes)``."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{target}", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture(scope="module")
+def observed_server():
+    options = server_options(shards=2, observe=True)
+    obs = options.observability()
+    with ServerThread(options, obs) as thread:
+        requests = stateful_stream(mixed_recording())
+        with ServeClient(thread.host, thread.port) as client:
+            for request_id in [client.submit(p) for p in requests]:
+                client.collect(request_id)
+        yield thread
+
+
+class TestRequestParsing:
+    def test_path_query_and_headers_split(self):
+        path, query, headers = MitosServer._parse_admin_request(
+            b"GET /events?interval=0.5&count=3 HTTP/1.1\r\n",
+            [b"Accept: text/plain\r\n", b"X-Custom:  spaced  \r\n"],
+        )
+        assert path == "/events"
+        assert query == {"interval": "0.5", "count": "3"}
+        assert headers == {"accept": "text/plain", "x-custom": "spaced"}
+
+    def test_header_names_lowercased(self):
+        _, _, headers = MitosServer._parse_admin_request(
+            b"GET / HTTP/1.0\r\n", [b"ACCEPT: application/json\r\n"]
+        )
+        assert headers == {"accept": "application/json"}
+
+    def test_garbage_request_line_defaults_to_root(self):
+        path, query, headers = MitosServer._parse_admin_request(
+            b"\r\n", []
+        )
+        assert path == "/" and query == {} and headers == {}
+
+    def test_blank_query_values_kept(self):
+        path, query, _ = MitosServer._parse_admin_request(
+            b"GET /metrics?format= HTTP/1.0\r\n", []
+        )
+        assert path == "/metrics" and query == {"format": ""}
+
+
+class TestContentNegotiation:
+    def test_format_param_wins(self):
+        assert MitosServer._wants_prometheus({"format": "prometheus"}, {})
+        assert MitosServer._wants_prometheus({"format": "text"}, {})
+        assert not MitosServer._wants_prometheus(
+            {"format": "json"}, {"accept": "text/plain"}
+        )
+
+    def test_accept_header(self):
+        assert MitosServer._wants_prometheus({}, {"accept": "text/plain"})
+        assert MitosServer._wants_prometheus(
+            {}, {"accept": "application/openmetrics-text"}
+        )
+        assert not MitosServer._wants_prometheus(
+            {}, {"accept": "application/json"}
+        )
+        assert not MitosServer._wants_prometheus({}, {})
+
+
+class TestHealthz:
+    def test_healthz_reports_draining(self, observed_server):
+        port = observed_server.admin_port
+        status, _, body = http_get(port, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ok"] is True and payload["draining"] is False
+        # flip the drain flag directly: /healthz must keep answering
+        # (load balancers poll it to take a draining node out of rotation)
+        observed_server.server._draining = True
+        try:
+            _, _, body = http_get(port, "/healthz")
+            assert json.loads(body)["draining"] is True
+        finally:
+            observed_server.server._draining = False
+
+
+class TestStatsShape:
+    def test_stats_carries_server_counters(self, observed_server):
+        _, _, body = http_get(observed_server.admin_port, "/stats")
+        payload = json.loads(body)
+        for key in (
+            "version", "uptime_seconds", "draining", "requests",
+            "responses", "errors", "overloaded", "retries", "inflight",
+            "restored_shards", "queue_depths", "shards",
+        ):
+            assert key in payload, key
+        assert payload["requests"] > 0
+        assert len(payload["shards"]) == 2
+        assert len(payload["queue_depths"]) == 2
+
+
+class TestMetricsNegotiation:
+    def test_json_default_carries_server_section(self, observed_server):
+        status, headers, body = http_get(
+            observed_server.admin_port, "/metrics"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["server"]["requests"] > 0
+        assert "serve.requests" in payload["metrics"]["counters"]
+        assert "serve.decide_us" in payload["metrics"]["histograms"]
+
+    def test_accept_text_plain_yields_prometheus(self, observed_server):
+        status, headers, body = http_get(
+            observed_server.admin_port,
+            "/metrics",
+            headers={"Accept": "text/plain"},
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_prometheus_text(body.decode("utf-8"))
+        assert "serve_requests_total" in parsed
+        assert parsed["serve_decide_us"]["type"] == "histogram"
+
+    def test_format_query_param_yields_prometheus(self, observed_server):
+        _, headers, body = http_get(
+            observed_server.admin_port, "/metrics?format=prometheus"
+        )
+        assert headers["Content-Type"].startswith("text/plain")
+        parse_prometheus_text(body.decode("utf-8"))
+
+    def test_prometheus_without_obs_exports_server_counters(self):
+        with ServerThread(server_options()) as thread:
+            _, _, body = http_get(
+                thread.admin_port, "/metrics?format=prometheus"
+            )
+            parsed = parse_prometheus_text(body.decode("utf-8"))
+            assert "serve_requests_total" in parsed
+            assert "serve_uptime_seconds" in parsed
+
+    def test_json_without_obs_still_has_server_section(self):
+        with ServerThread(server_options()) as thread:
+            _, _, body = http_get(thread.admin_port, "/metrics")
+            payload = json.loads(body)
+            assert "server" in payload
+            assert "serve.requests" in payload["metrics"]["counters"]
+
+
+class TestNotFound:
+    def test_unknown_path_is_404_json(self, observed_server):
+        status, _, body = http_get(observed_server.admin_port, "/nope")
+        assert status == 404
+        payload = json.loads(body)
+        assert payload["error"] == "not-found" and payload["path"] == "/nope"
+
+
+class TestEventsStream:
+    def test_bounded_stream_is_ndjson(self, observed_server):
+        status, headers, body = http_get(
+            observed_server.admin_port, "/events?interval=0.05&count=3"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/x-ndjson")
+        lines = [line for line in body.splitlines() if line.strip()]
+        assert len(lines) == 3
+        snapshots = [json.loads(line) for line in lines]
+        assert [s["seq"] for s in snapshots] == [1, 2, 3]
+        for snapshot in snapshots:
+            assert "stats" in snapshot and "pollution" in snapshot
+            assert "metrics" in snapshot  # obs is on for this server
+
+    def test_decision_records_are_deltas(self, observed_server):
+        _, _, body = http_get(
+            observed_server.admin_port, "/events?interval=0.05&count=2"
+        )
+        first, second = [
+            json.loads(line)
+            for line in body.splitlines()
+            if line.strip()
+        ]
+        # all prior decisions arrive in the first snapshot; nothing is
+        # decided between the two, so the second carries no repeats
+        assert len(first["decisions"]) > 0
+        assert second["decisions"] == []
+        assert second["decision_seq"] == first["decision_seq"]
+        record = first["decisions"][0]
+        for key in ("tick", "dest", "pollution", "propagated", "candidates"):
+            assert key in record, key
+        candidate = record["candidates"][0]
+        for key in ("tag", "copies", "under", "over", "propagate"):
+            assert key in candidate, key
+
+    def test_bad_interval_is_400(self, observed_server):
+        status, _, body = http_get(
+            observed_server.admin_port, "/events?interval=fast"
+        )
+        assert status == 400
+        assert json.loads(body)["error"] == "bad-query"
+
+    def test_disconnect_mid_stream_leaves_server_healthy(
+        self, observed_server
+    ):
+        port = observed_server.admin_port
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            s.sendall(b"GET /events?interval=0.05 HTTP/1.0\r\n\r\n")
+            s.recv(1024)  # read some of the stream, then vanish
+        # the server must shrug the dropped consumer off and keep serving
+        status, _, body = http_get(port, "/healthz")
+        assert status == 200 and json.loads(body)["ok"] is True
+
+    def test_disconnect_mid_response_survives(self, observed_server):
+        port = observed_server.admin_port
+        for _ in range(3):
+            s = socket.create_connection(("127.0.0.1", port), timeout=10)
+            s.sendall(b"GET /stats HTTP/1.0\r\n\r\n")
+            s.close()  # never read the response
+        status, _, body = http_get(port, "/stats")
+        assert status == 200 and json.loads(body)["requests"] >= 0

@@ -355,3 +355,82 @@ class TestCrashAndResume:
             c.apply("insert", "mem:0x1", tag=("netflow", 1))
         thread.abort()
         assert not (ckpt / "shard-0.ckpt.json").exists()
+
+
+class TestObsByteIdentity:
+    """Observability (and the canary) must never change a response byte.
+
+    The replay stack's byte-identical-when-disabled guarantee extends to
+    the serve path: the wire bytes a client reads are the same whether
+    the server runs bare, with the full obs bundle, or with a canary
+    mirroring 100% of traffic.  One shard keeps the pipelined response
+    order deterministic.
+    """
+
+    def _response_bytes(self, options) -> bytes:
+        import socket
+
+        from repro.experiments.common import (
+            experiment_params,
+            network_recording,
+        )
+        from repro.serve.loadgen import collect_offline_decisions
+
+        offline = collect_offline_decisions(
+            network_recording(seed=0, quick=True),
+            experiment_params(quick=True),
+        )
+        frames = b"".join(
+            ServeClient.encode_with_id(decision.request, index)
+            for index, decision in enumerate(offline)
+        )
+        obs = options.observability()
+        with ServerThread(options, obs) as thread:
+            with socket.create_connection(
+                (thread.host, thread.port), timeout=30
+            ) as sock:
+                sock.sendall(frames)
+                received = bytearray()
+                while received.count(b"\n") < len(offline):
+                    chunk = sock.recv(1 << 16)
+                    if not chunk:
+                        break
+                    received += chunk
+        return bytes(received)
+
+    def test_obs_and_canary_responses_are_byte_identical(self):
+        bare = self._response_bytes(server_options())
+        observed = self._response_bytes(server_options(observe=True))
+        canaried = self._response_bytes(
+            server_options(
+                observe=True, canary_fraction=1.0, canary_tau=0.05
+            )
+        )
+        assert bare == observed
+        assert bare == canaried
+
+    def test_checkpoint_state_unchanged_by_observability(self, tmp_path):
+        # the canary's shadow state must never leak into the primary's
+        # persisted checkpoint
+        payloads = stateful_stream(mixed_recording())
+
+        def final_checkpoint(subdir, **extra):
+            ckpt = tmp_path / subdir
+            ckpt.mkdir()
+            options = server_options(checkpoint_dir=ckpt, **extra)
+            thread = ServerThread(
+                options, options.observability()
+            ).start()
+            with ServeClient(thread.host, thread.port) as c:
+                for request_id in [c.submit(p) for p in payloads]:
+                    c.collect(request_id)
+            thread.stop()
+            return (ckpt / "shard-0.ckpt.json").read_text()
+
+        bare = final_checkpoint("bare")
+        observed = final_checkpoint("observed", observe=True)
+        canaried = final_checkpoint(
+            "canaried", observe=True, canary_fraction=1.0, canary_tau=0.05
+        )
+        assert bare == observed
+        assert bare == canaried

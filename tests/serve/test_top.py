@@ -1,0 +1,189 @@
+"""Tests for the ``mitos-repro top`` terminal client.
+
+:func:`repro.serve.top.render` is pure (two snapshots in, one screen of
+text out), so most coverage runs on synthetic snapshots; one end-to-end
+test drives the real ``/events`` stream of a live observed server.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.options import ServeOptions
+from repro.serve.loadgen import collect_offline_decisions, run_load
+from repro.serve.server import ServerThread
+from repro.serve.top import iter_events, render, run_top
+from repro.experiments.common import experiment_params, network_recording
+
+
+def snapshot(
+    seq=1,
+    uptime=10.0,
+    requests=1000,
+    responses=990,
+    decide_buckets=None,
+    canary=None,
+    canary_flips=(),
+    decisions=None,
+):
+    stats = {
+        "uptime_seconds": uptime,
+        "draining": False,
+        "requests": requests,
+        "responses": responses,
+        "errors": 1,
+        "overloaded": 2,
+        "retries": 3,
+        "inflight": 4,
+        "queue_depths": [5, 6],
+        "shards": [
+            {"pollution": 1.25, "live_tags": 3},
+            {"pollution": 0.75, "live_tags": 2},
+        ],
+    }
+    if canary is not None:
+        stats["canary"] = canary
+    snap = {
+        "seq": seq,
+        "uptime_seconds": uptime,
+        "stats": stats,
+        "pollution": 2.0,
+    }
+    if decide_buckets is not None:
+        snap["metrics"] = {
+            "histograms": {
+                "serve.decide_us": {"buckets": decide_buckets},
+            },
+        }
+    if canary_flips:
+        snap["canary_flips"] = list(canary_flips)
+    if decisions is not None:
+        snap["decisions"] = decisions
+    return snap
+
+
+class TestRender:
+    def test_first_frame_uses_lifetime_rates(self):
+        screen = render(snapshot(uptime=10.0, requests=1000))
+        assert "req/s     100.0" in screen
+        assert "inflight 4" in screen
+        assert "queues 5 6" in screen
+        assert "pollution 2.000" in screen
+        assert "per-shard [1.250 0.750]" in screen
+
+    def test_rates_come_from_deltas(self):
+        previous = snapshot(uptime=10.0, requests=1000, responses=990)
+        current = snapshot(
+            seq=2, uptime=12.0, requests=1400, responses=1390
+        )
+        screen = render(current, previous)
+        assert "req/s     200.0" in screen
+        assert "resp/s     200.0" in screen
+
+    def test_latency_rows_from_bucket_deltas(self):
+        previous = snapshot(decide_buckets={"le_100": 0, "le_inf": 0})
+        current = snapshot(
+            seq=2,
+            uptime=11.0,
+            decide_buckets={"le_100": 100, "le_inf": 0},
+        )
+        screen = render(current, previous)
+        assert "latency (this interval)" in screen
+        assert "decide" in screen
+        assert "p50" in screen and "p99" in screen
+
+    def test_no_latency_panel_without_metrics(self):
+        assert "latency" not in render(snapshot())
+
+    def test_canary_panel(self):
+        canary = [
+            {"shard": 0, "fraction": 0.5, "mirrored": 40, "flips": 3},
+            {"shard": 1, "fraction": 0.5, "mirrored": 38, "flips": 1},
+        ]
+        flips = [
+            {
+                "seq": 4, "shard": 0, "dest": "mem:0x10",
+                "primary": ["netflow:1"], "canary": [],
+            },
+        ]
+        screen = render(snapshot(canary=canary, canary_flips=flips))
+        assert "canary fraction=0.5" in screen
+        assert "mirrored 78" in screen and "flips 4" in screen
+        assert "flip #4 shard 0 mem:0x10" in screen
+
+    def test_decision_window_count(self):
+        screen = render(snapshot(decisions=[{}, {}, {}]))
+        assert "decisions in window: 3" in screen
+
+    def test_draining_flag_surfaces(self):
+        snap = snapshot()
+        snap["stats"]["draining"] = True
+        assert "DRAINING" in render(snap)
+
+
+@pytest.fixture(scope="module")
+def observed_server():
+    options = ServeOptions(
+        port=0,
+        admin_port=0,
+        shards=2,
+        quick_calibration=True,
+        observe=True,
+        canary_fraction=1.0,
+        canary_tau=0.05,
+    )
+    with ServerThread(options, options.observability()) as thread:
+        recording = network_recording(seed=0, quick=True)
+        offline = collect_offline_decisions(
+            recording, experiment_params(quick=True)
+        )
+        run_load(thread.host, thread.port, offline, window=64)
+        yield thread
+
+
+class TestLive:
+    def test_iter_events_streams_snapshots(self, observed_server):
+        snaps = list(
+            iter_events(
+                "127.0.0.1",
+                observed_server.admin_port,
+                interval=0.05,
+                count=2,
+            )
+        )
+        assert [s["seq"] for s in snaps] == [1, 2]
+        assert snaps[0]["stats"]["requests"] > 0
+
+    def test_run_top_renders_live_frames(self, observed_server):
+        out = io.StringIO()
+        code = run_top(
+            "127.0.0.1",
+            observed_server.admin_port,
+            interval=0.05,
+            count=2,
+            out=out,
+            clear=False,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert text.count("mitos-repro top") == 2
+        assert "canary fraction=1.0" in text
+
+    def test_cli_top_subcommand(self, observed_server, capsys):
+        code = cli_main(
+            [
+                "top",
+                "--port", str(observed_server.admin_port),
+                "--interval", "0.05",
+                "--count", "1",
+                "--no-clear",
+            ]
+        )
+        assert code == 0
+        assert "mitos-repro top" in capsys.readouterr().out
+
+    def test_connection_refused_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top("127.0.0.1", 1, interval=0.05, count=1, out=out)
+        assert code == 1
