@@ -27,6 +27,8 @@ import warnings
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ClusterSupervisor
 from repro.core.decision import (
     Decision,
     MultiDecision,
@@ -39,22 +41,29 @@ from repro.faros.config import POLICY_NAMES, FarosConfig
 from repro.faros.system import FarosRunResult, FarosSystem
 from repro.faults.resilience import Resilience
 from repro.obs.bundle import Observability
-from repro.options import REPLAY_OPTION_NAMES, ReplayOptions, ServeOptions
+from repro.options import (
+    REPLAY_OPTION_NAMES,
+    ClusterOptions,
+    ReplayOptions,
+    ServeOptions,
+)
 from repro.replay.record import Recording
 from repro.replay.replayer import Replayer
 from repro.serve.client import ServeClient
 from repro.serve.server import MitosServer, ServerThread
 
 __all__ = [
-    # the five entry points
+    # the six entry points
     "load_recording",
     "build_system",
     "replay",
     "decide",
     "serve",
+    "cluster",
     # typed configuration
     "ReplayOptions",
     "ServeOptions",
+    "ClusterOptions",
     # stable re-exported types
     "MitosParams",
     "FarosConfig",
@@ -70,6 +79,8 @@ __all__ = [
     "MitosServer",
     "ServerThread",
     "ServeClient",
+    "ClusterSupervisor",
+    "ClusterRouter",
     "POLICY_NAMES",
 ]
 
@@ -286,3 +297,26 @@ def serve(
 
     asyncio.run(_main())
     return None
+
+
+def cluster(
+    options: Optional[ClusterOptions] = None,
+    *,
+    backend: str = "process",
+) -> ClusterSupervisor:
+    """Start a supervised multi-process shard fleet (see ``docs/CLUSTER.md``).
+
+    Spawns ``options.shards`` single-shard servers, waits until every
+    one reports ready, and returns the running
+    :class:`~repro.cluster.supervisor.ClusterSupervisor` -- health
+    checks, crash recovery, and the gossip pump are already live.  Build
+    a :class:`~repro.cluster.router.ClusterRouter` over it (e.g.
+    ``ClusterRouter.for_supervisor(sup)``) to route decide traffic, and
+    call ``.stop()`` (or use it as a context manager) to drain the
+    fleet.  ``backend="thread"`` runs the shards as in-process server
+    threads instead of child processes -- fast, deterministic, and what
+    the tests use.
+    """
+    if options is None:
+        options = ClusterOptions()
+    return ClusterSupervisor(options, backend=backend).start()

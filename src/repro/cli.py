@@ -313,6 +313,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="max wait for queued requests on graceful shutdown",
     )
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run a supervised multi-process shard fleet with crash "
+             "recovery and gossip (see docs/CLUSTER.md)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shard server processes (= consistent-hash ring positions)",
+    )
+    cluster.add_argument(
+        "--backend", default="process", choices=("process", "thread"),
+        help="child processes (production) or in-process server threads",
+    )
+    cluster.add_argument(
+        "--checkpoint-root", default=None, metavar="DIR",
+        help="root for per-shard checkpoint dirs (default: a supervisor-"
+             "owned temporary directory)",
+    )
+    cluster.add_argument("--policy", default="mitos", choices=POLICY_NAMES)
+    cluster.add_argument("--tau", type=float, default=1.0)
+    cluster.add_argument("--alpha", type=float, default=1.5)
+    cluster.add_argument("--quick-calibration", action="store_true")
+    cluster.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="checkpoint each shard every N applied requests",
+    )
+    cluster.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="SECONDS",
+        help="seconds between /readyz probes of each shard",
+    )
+    cluster.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="restarts per shard before the supervisor gives up on it",
+    )
+    cluster.add_argument(
+        "--gossip-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between pollution gossip rounds (0 = off)",
+    )
+    cluster.add_argument(
+        "--gossip-loss-rate", type=float, default=0.0, metavar="RATE",
+        help="seeded per-message gossip drop probability",
+    )
+    cluster.add_argument(
+        "--status-interval", type=float, default=5.0, metavar="SECONDS",
+        help="print a supervisor status line this often (0 = only on exit)",
+    )
+
+    bench_cluster = subparsers.add_parser(
+        "bench-cluster",
+        help="boot a shard fleet, replay a recording's IFP decisions "
+             "through the router while SIGKILLing shards on a seeded "
+             "schedule, verify degraded-answer bounds and post-recovery "
+             "oracle agreement (writes BENCH_cluster.json)",
+    )
+    bench_cluster.add_argument("--quick", action="store_true",
+                               help="small recording (smoke test)")
+    bench_cluster.add_argument("--seed", type=int, default=0)
+    bench_cluster.add_argument(
+        "--shards", type=int, default=3, metavar="N"
+    )
+    bench_cluster.add_argument(
+        "--backend", default="process", choices=("process", "thread"),
+        help="process = real SIGKILL; thread = in-process abort (fast)",
+    )
+    bench_cluster.add_argument(
+        "--crashes", type=int, default=1, metavar="N",
+        help="shard kills injected mid-load (seeded schedule)",
+    )
+    bench_cluster.add_argument(
+        "--crash-seed", type=int, default=0,
+        help="seed for the crash schedule",
+    )
+    bench_cluster.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="replay only the first N recording events",
+    )
+    bench_cluster.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="report path (default: BENCH_cluster.json at the repo root)",
+    )
+
     top = subparsers.add_parser(
         "top",
         help="live terminal view of a serving instance (reads the admin "
@@ -613,6 +695,192 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_options(args: argparse.Namespace):
+    from repro.options import ClusterOptions
+
+    return ClusterOptions(
+        host=args.host,
+        shards=args.shards,
+        checkpoint_root=args.checkpoint_root,
+        policy=args.policy,
+        tau=args.tau,
+        alpha=args.alpha,
+        quick_calibration=args.quick_calibration,
+        checkpoint_every=args.checkpoint_every,
+        health_interval=args.health_interval,
+        max_restarts=args.max_restarts,
+        gossip_interval=(
+            args.gossip_interval if args.gossip_interval > 0 else None
+        ),
+        gossip_loss_rate=args.gossip_loss_rate,
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.cluster import ClusterSupervisor
+
+    try:
+        options = _cluster_options(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"starting {options.shards}-shard MITOS cluster "
+        f"({args.backend} backend); Ctrl-C stops the fleet",
+        flush=True,
+    )
+    supervisor = ClusterSupervisor(options, backend=args.backend)
+    try:
+        supervisor.start()
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        for endpoint in supervisor.endpoints():
+            if endpoint is not None:
+                # same parseable shape as serve's announce lines
+                print(
+                    f"shard {endpoint.shard} listening on "
+                    f"{endpoint.host}:{endpoint.port} "
+                    f"(admin {endpoint.admin_port})",
+                    flush=True,
+                )
+        while True:
+            time.sleep(
+                args.status_interval if args.status_interval > 0 else 3600
+            )
+            if args.status_interval > 0:
+                print(json_module.dumps(supervisor.status()), flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
+        print(json_module.dumps(supervisor.status()), flush=True)
+    return 0
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cluster import (
+        ClusterRouter,
+        ClusterSupervisor,
+        run_cluster_load,
+        spread_destinations,
+        write_cluster_bench,
+    )
+    from repro.experiments.common import experiment_params, network_recording
+    from repro.faults.crashes import CrashSchedule
+    from repro.options import ClusterOptions
+    from repro.serve import collect_offline_decisions
+
+    recording = network_recording(seed=args.seed, quick=args.quick)
+    params = experiment_params(quick=args.quick)
+    print(
+        f"collecting offline oracle decisions from {len(recording)} "
+        f"events (limit {args.limit or 'none'})..."
+    )
+    offline = spread_destinations(
+        collect_offline_decisions(recording, params, limit=args.limit)
+    )
+    if len(offline) < 4:
+        print(
+            "error: the recording produced too few IFP decisions "
+            f"({len(offline)}) for a crash schedule",
+            file=sys.stderr,
+        )
+        return 2
+    options = ClusterOptions(
+        shards=args.shards,
+        quick_calibration=args.quick,
+        # checkpoint often: the whole point is recovering mid-load state
+        checkpoint_every=8 if args.quick else 64,
+        restart_backoff=0.05,
+    )
+    print(
+        f"routing {len(offline)} decisions through {args.shards} shard(s) "
+        f"({args.backend} backend) with {args.crashes} scheduled kill(s)..."
+    )
+    with ClusterSupervisor(options, backend=args.backend) as supervisor:
+        with ClusterRouter.for_supervisor(supervisor) as router:
+            # kill the shard that owns the traffic at each crash point,
+            # so every kill disrupts in-flight routing
+            crashes = CrashSchedule.seeded(
+                args.crash_seed,
+                args.shards,
+                len(offline),
+                crashes=args.crashes,
+                shard_of=lambda index: router.shard_for(
+                    str(offline[index].request["dest"])
+                ),
+            )
+            result = run_cluster_load(
+                supervisor, router, offline, crashes=crashes
+            )
+        status = supervisor.status()
+    summary = result.summary()
+    print(
+        f"\n{summary['requests']} decisions in "
+        f"{summary['elapsed_seconds']:.2f}s = "
+        f"{summary['decisions_per_second']:.0f}/s under fault; "
+        f"{result.degraded} degraded, {result.restarts} restart(s), "
+        f"failover "
+        + (
+            ", ".join(f"{s:.2f}s" for s in result.failover_seconds)
+            if result.failover_seconds
+            else "n/a"
+        )
+    )
+    print(
+        f"post-recovery oracle agreement: {result.tally.agreement:.4f} "
+        f"({result.tally.hits}/{result.tally.total} candidates)"
+    )
+    if result.matched:
+        print(
+            "parity: every non-degraded answer matched the single-process "
+            "oracle, every degraded answer stayed in the killed shards' "
+            "key ranges, and every degraded decision recovered"
+        )
+    else:
+        print(
+            f"CLUSTER FAILURE: {len(result.mismatches)} mismatch(es), "
+            f"{result.errors} error(s), "
+            f"{result.degraded_out_of_range} out-of-range degraded, "
+            f"{result.unrecovered} unrecovered",
+            file=sys.stderr,
+        )
+        for mismatch in result.mismatches[:3]:
+            print(
+                f"  request {mismatch.index} field {mismatch.field_name}: "
+                f"expected {mismatch.expected!r}, got {mismatch.actual!r}",
+                file=sys.stderr,
+            )
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    json_out = (
+        Path(args.json_out)
+        if args.json_out is not None
+        else repo_root / "BENCH_cluster.json"
+    )
+    write_cluster_bench(
+        json_out,
+        result,
+        shards=args.shards,
+        backend=args.backend,
+        recording_events=len(recording),
+        extra={
+            "quick": args.quick,
+            "seed": args.seed,
+            "crash_seed": args.crash_seed,
+            "scheduled_crashes": len(crashes),
+            "supervisor": status,
+        },
+    )
+    print(f"written: {json_out}")
+    return 0 if result.matched else 1
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.serve.top import run_top
 
@@ -890,8 +1158,10 @@ def main(argv=None) -> int:
         "record": _cmd_record,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "top": _cmd_top,
         "bench-serve": _cmd_bench_serve,
+        "bench-cluster": _cmd_bench_cluster,
         "bench": _cmd_bench,
         "inspect": _cmd_inspect,
         "lineage": _cmd_lineage,

@@ -1,0 +1,48 @@
+"""Fault-tolerant multi-process MITOS cluster (see docs/CLUSTER.md).
+
+A supervised fleet of single-shard decision servers plus the
+client-side router that hides crashes from callers:
+
+* :class:`~repro.cluster.supervisor.ClusterSupervisor` -- spawn,
+  health-check, restart-from-checkpoint, gossip pump;
+* :class:`~repro.cluster.router.ClusterRouter` -- consistent-hash
+  routing, per-request timeouts, bounded retries, degraded CLEAR
+  answers;
+* :mod:`~repro.cluster.harness` -- the kill-and-recover load harness
+  that turns the simulation's oracle-agreement metric into a live
+  measurement (``BENCH_cluster.json``).
+"""
+
+from repro.cluster.harness import (
+    ClusterLoadResult,
+    run_cluster_load,
+    spread_destinations,
+    write_cluster_bench,
+)
+from repro.cluster.router import (
+    RETRYABLE_CODES,
+    ClusterRouter,
+    StaticEndpoints,
+    degraded_clear,
+)
+from repro.cluster.supervisor import (
+    ClusterSupervisor,
+    Endpoint,
+    ProcessShard,
+    ThreadShard,
+)
+
+__all__ = [
+    "ClusterSupervisor",
+    "Endpoint",
+    "ProcessShard",
+    "ThreadShard",
+    "ClusterRouter",
+    "StaticEndpoints",
+    "RETRYABLE_CODES",
+    "degraded_clear",
+    "ClusterLoadResult",
+    "run_cluster_load",
+    "spread_destinations",
+    "write_cluster_bench",
+]

@@ -1,0 +1,255 @@
+"""Kill-and-recover load harness: the sim's oracle metric, live.
+
+The cluster simulation (:mod:`repro.distributed.cluster`) reports
+*oracle agreement* -- how often stale believed pollution still yields
+the decision exact pollution would.  This harness measures the same
+quantity against a **real fleet under real crashes**:
+
+1. capture the single-process oracle: explicit-mode
+   :class:`~repro.serve.loadgen.OfflineDecision` records from a scalar
+   replay (each carries the request *and* the exact response it must
+   produce);
+2. drive them through the :class:`~repro.cluster.router.ClusterRouter`
+   closed-loop while a seeded
+   :class:`~repro.faults.crashes.CrashSchedule` SIGKILLs shards at
+   planned request indices;
+3. during the outage the router answers the dead shard's destinations
+   with explicit degraded CLEARs -- the harness verifies every degraded
+   answer is *bounded to a killed shard's key range* (a degraded answer
+   for a healthy shard's destination would be a routing bug);
+4. after the supervisor restarts the shard from its checkpoint, the
+   degraded decisions are re-issued; post-recovery they must match the
+   oracle field-for-field, so the final agreement on every destination
+   is exactly what a crash-free single process would have produced.
+
+The numbers CI tracks land in ``BENCH_cluster.json``: decisions/s under
+fault, failover seconds, restarts, degraded counts, and the final
+per-candidate agreement rate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.distributed.oracle import AgreementTally
+from repro.faults.crashes import CrashSchedule
+from repro.serve.loadgen import Mismatch, OfflineDecision, _compare
+
+
+def spread_destinations(
+    decisions: Sequence[OfflineDecision],
+) -> List[OfflineDecision]:
+    """Remap each decision's destination to a unique synthetic location.
+
+    The recorded workloads funnel every IFP decision at a handful of
+    destinations (often one register), which consistent-hashes all
+    decide traffic onto a single shard -- killing any *other* shard
+    would disrupt nothing.  An explicit-mode decide response is a pure
+    function of (candidates, free slots, pollution); the destination is
+    only the routing key and the state-application target.  Rewriting it
+    to ``mem:0x<index>`` therefore changes *which shard answers*, never
+    *what the answer is*, so the offline oracle expectations stay valid
+    verbatim while the load exercises the whole ring.
+    """
+    spread: List[OfflineDecision] = []
+    for index, decision in enumerate(decisions):
+        request = dict(decision.request, dest=f"mem:{0x10000 + index:#x}")
+        spread.append(
+            OfflineDecision(request=request, expected=decision.expected)
+        )
+    return spread
+
+
+@dataclass
+class ClusterLoadResult:
+    """Outcome of one kill-and-recover run."""
+
+    requests: int = 0
+    #: structured (non-degraded) error responses seen
+    errors: int = 0
+    #: degraded CLEAR answers during the outage window
+    degraded: int = 0
+    #: degraded answers whose destination was NOT owned by a killed
+    #: shard -- must be zero (the blast radius is the dead shard's keys)
+    degraded_out_of_range: int = 0
+    #: degraded answers still unresolved after the recovery pass
+    unrecovered: int = 0
+    elapsed_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+    shards_killed: List[int] = field(default_factory=list)
+    restarts: int = 0
+    failover_seconds: List[float] = field(default_factory=list)
+    mismatches: List[Mismatch] = field(default_factory=list)
+    #: per-candidate agreement of the final answers vs the offline oracle
+    tally: AgreementTally = field(default_factory=AgreementTally)
+
+    @property
+    def matched(self) -> bool:
+        return (
+            not self.mismatches
+            and not self.errors
+            and not self.degraded_out_of_range
+            and not self.unrecovered
+        )
+
+    @property
+    def decisions_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "degraded_out_of_range": self.degraded_out_of_range,
+            "unrecovered": self.unrecovered,
+            "matched": self.matched,
+            "mismatches": len(self.mismatches),
+            "elapsed_seconds": self.elapsed_seconds,
+            "recovery_seconds": self.recovery_seconds,
+            "decisions_per_second": self.decisions_per_second,
+            "shards_killed": self.shards_killed,
+            "restarts": self.restarts,
+            "failover_seconds": self.failover_seconds,
+            "agreement": self.tally.agreement,
+            "agreement_detail": self.tally.as_dict(),
+        }
+
+
+def _observe_agreement(
+    tally: AgreementTally,
+    expected: Dict[str, object],
+    response: Dict[str, object],
+) -> None:
+    """Tally per-candidate (oracle propagate, served propagate) pairs."""
+    want_rows = expected.get("decisions") or []
+    got_rows = response.get("decisions") or []
+    by_tag = {
+        row.get("tag"): row for row in got_rows if isinstance(row, dict)
+    }
+    for row in want_rows:
+        got = by_tag.get(row.get("tag"), {})
+        tally.observe(
+            bool(row.get("propagate")), bool(got.get("propagate"))
+        )
+
+
+def run_cluster_load(
+    supervisor: ClusterSupervisor,
+    router: ClusterRouter,
+    decisions: Sequence[OfflineDecision],
+    crashes: Optional[CrashSchedule] = None,
+    max_mismatches: int = 10,
+    recovery_timeout: float = 60.0,
+) -> ClusterLoadResult:
+    """Drive captured decisions through the fleet with planned crashes.
+
+    Sequential closed-loop on purpose: the schedule's request indices
+    then pin exactly which in-flight request the crash lands between,
+    making a run reproducible enough to assert on.
+    """
+    result = ClusterLoadResult()
+    killed: Set[int] = set()
+    degraded_indices: List[int] = []
+    responses: Dict[int, Dict[str, object]] = {}
+
+    started = time.perf_counter()
+    for index, decision in enumerate(decisions):
+        if crashes is not None:
+            for event in crashes.due(index):
+                supervisor.kill_shard(event.shard, hard=event.hard)
+                killed.add(event.shard)
+                result.shards_killed.append(event.shard)
+        payload = dict(decision.request, id=index)
+        destination = str(payload["dest"])
+        response = router.request(destination, payload)
+        result.requests += 1
+        if response.get("degraded"):
+            result.degraded += 1
+            degraded_indices.append(index)
+            if router.shard_for(destination) not in killed:
+                result.degraded_out_of_range += 1
+            continue
+        if not response.get("ok", False):
+            result.errors += 1
+            continue
+        responses[index] = response
+        _compare(
+            index,
+            decision.expected,
+            response,
+            result.mismatches,
+            max_mismatches,
+        )
+    result.elapsed_seconds = time.perf_counter() - started
+
+    # recovery pass: wait for the supervisor to finish failing over,
+    # then re-issue every degraded decision -- each must now be answered
+    # authoritatively and match the single-process oracle exactly
+    recovery_started = time.perf_counter()
+    if degraded_indices:
+        supervisor.wait_all_ready(timeout=recovery_timeout)
+    for index in degraded_indices:
+        decision = decisions[index]
+        payload = dict(decision.request, id=index)
+        response = router.request(str(payload["dest"]), payload)
+        if response.get("degraded") or not response.get("ok", False):
+            result.unrecovered += 1
+            continue
+        responses[index] = response
+        _compare(
+            index,
+            decision.expected,
+            response,
+            result.mismatches,
+            max_mismatches,
+        )
+    result.recovery_seconds = time.perf_counter() - recovery_started
+
+    for index, response in responses.items():
+        _observe_agreement(
+            result.tally, decisions[index].expected, response
+        )
+    result.restarts = sum(supervisor.restarts)
+    result.failover_seconds = list(supervisor.failovers)
+    return result
+
+
+def write_cluster_bench(
+    path: Union[str, Path],
+    result: ClusterLoadResult,
+    *,
+    shards: int,
+    backend: str,
+    recording_events: int,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the ``BENCH_cluster.json`` document CI uploads."""
+    report: Dict[str, object] = {
+        "benchmark": "cluster",
+        "shards": shards,
+        "backend": backend,
+        "recording_events": recording_events,
+        **result.summary(),
+    }
+    if extra:
+        report.update(extra)
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+__all__ = [
+    "ClusterLoadResult",
+    "run_cluster_load",
+    "spread_destinations",
+    "write_cluster_bench",
+]

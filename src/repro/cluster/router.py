@@ -1,0 +1,276 @@
+"""Client-side router for the supervised shard fleet.
+
+The :class:`ClusterRouter` is the piece that makes a shard death
+invisible to callers: it hashes each request's destination onto the
+same seeded consistent-hash ring the single-process server uses, sends
+the request to the owning shard's *current* endpoint, and wraps every
+attempt in a per-request timeout plus bounded exponential-backoff
+retries.  Endpoints are re-resolved from the supervisor on **every**
+attempt, so a shard that failed over mid-retry is picked up at its new
+port (and new generation) without any caller-visible churn.
+
+When the retry budget is exhausted -- the shard is dead and not yet
+respawned -- the router does not raise.  It answers with an explicit
+**degraded CLEAR** decision: ``ok`` and ``degraded`` both true,
+``propagated`` empty, every candidate marked ``propagate: false`` with
+null marginals.  CLEAR (propagate nothing) is the fail-safe direction
+for a taint tracker: a missed propagation can under-taint until the
+shard returns, but it can never silently launder a tainted value into
+an untainted one the way a fail-open PROPAGATE-everything answer could.
+Callers distinguish degraded answers by the ``degraded`` flag and
+re-issue them after recovery if they need authoritative decisions (what
+the kill-and-recover harness does).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.serve.client import CandidateLike, ServeClient, ServeClientError
+from repro.serve.protocol import format_location, parse_location
+from repro.serve.server import HashRing
+
+#: structured error codes worth retrying: the server is alive but
+#: momentarily unable (queue full, draining ahead of a restart)
+RETRYABLE_CODES = frozenset({"overloaded", "shutting-down"})
+
+
+class EndpointSource(Protocol):
+    """Where the router learns shard endpoints (the supervisor, usually)."""
+
+    @property
+    def shards(self) -> int: ...
+
+    def endpoint(self, index: int): ...
+
+
+class StaticEndpoints:
+    """A fixed endpoint table -- unit tests and single-host tooling."""
+
+    def __init__(self, endpoints: Sequence[object]):
+        self._endpoints = list(endpoints)
+
+    @property
+    def shards(self) -> int:
+        return len(self._endpoints)
+
+    def endpoint(self, index: int):
+        return self._endpoints[index]
+
+
+def degraded_clear(
+    payload: Dict[str, object], shard: int
+) -> Dict[str, object]:
+    """The explicit fail-safe answer for an unreachable shard.
+
+    Shaped like a real decide response (same keys, same row fields) so
+    downstream consumers need no special casing beyond honouring the
+    ``degraded`` flag; every candidate is CLEARed with null marginals
+    because no policy state was consulted.
+    """
+    response: Dict[str, object] = {
+        "id": payload.get("id"),
+        "ok": True,
+        "degraded": True,
+        "shard": shard,
+    }
+    if payload.get("op") == "decide":
+        rows: List[Dict[str, object]] = []
+        for spec in payload.get("candidates") or ():
+            if not isinstance(spec, dict):
+                continue
+            rows.append(
+                {
+                    "tag": f"{spec.get('type')}:{spec.get('index')}",
+                    "type": spec.get("type"),
+                    "copies": spec.get("copies"),
+                    "marginal": None,
+                    "under": None,
+                    "over": None,
+                    "propagate": False,
+                }
+            )
+        response["propagated"] = []
+        response["decisions"] = rows
+    else:
+        response["applied"] = False
+    return response
+
+
+class ClusterRouter:
+    """Routes decide/apply traffic across the fleet; never raises to callers.
+
+    One cached :class:`~repro.serve.client.ServeClient` per shard, keyed
+    by endpoint generation: a failover bumps the generation, so the
+    first request after recovery transparently reconnects to the new
+    port.  ``sleep`` is injectable so retry/backoff behaviour is testable
+    without wall-clock waits.
+    """
+
+    def __init__(
+        self,
+        endpoints: EndpointSource,
+        timeout: float = 5.0,
+        max_retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.endpoints = endpoints
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._sleep = sleep
+        self._ring = HashRing(endpoints.shards)
+        self._clients: Dict[int, tuple] = {}  # shard -> (generation, client)
+        self.requests_total = 0
+        self.retries_total = 0
+        self.degraded_total = 0
+        self.degraded_by_shard: Dict[int, int] = {}
+
+    @classmethod
+    def for_supervisor(cls, supervisor, **overrides) -> "ClusterRouter":
+        """A router tuned by the supervisor's :class:`ClusterOptions`."""
+        options = supervisor.options
+        settings = dict(
+            timeout=options.request_timeout,
+            max_retries=options.router_retries,
+            backoff=options.router_backoff,
+            backoff_max=options.router_backoff_max,
+        )
+        settings.update(overrides)
+        return cls(supervisor, **settings)
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_for(self, destination: str) -> int:
+        """The ring position of a destination, normalized exactly like
+        the server normalizes it (so router and shard always agree)."""
+        return self._ring.shard_for(
+            format_location(parse_location(destination))
+        )
+
+    def _client_for(self, shard: int, endpoint) -> Optional[ServeClient]:
+        cached = self._clients.get(shard)
+        if cached is not None:
+            generation, client = cached
+            if generation == endpoint.generation:
+                return client
+            client.close()
+            del self._clients[shard]
+        try:
+            client = ServeClient(
+                endpoint.host, endpoint.port, timeout=self.timeout
+            )
+        except OSError:
+            return None
+        self._clients[shard] = (endpoint.generation, client)
+        return client
+
+    def _drop_client(self, shard: int) -> None:
+        cached = self._clients.pop(shard, None)
+        if cached is not None:
+            cached[1].close()
+
+    def request(
+        self, destination: str, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Route one request; degrade instead of raising.
+
+        Retries cover three failure shapes: no published endpoint (the
+        shard is mid-failover -- back off and re-resolve), a transport
+        error (connection refused/reset, timeout -- drop the cached
+        client and retry against a fresh resolve), and a retryable
+        structured error (``overloaded`` / ``shutting-down``).  Any
+        other structured error is terminal and returned as-is; the
+        retry budget exhausting returns the degraded CLEAR answer.
+
+        Re-sending after a *timeout* is safe here only because routed
+        requests are explicit-mode pure functions of their payload;
+        don't route stateful ``apply`` streams through a path that may
+        resend (see docs/CLUSTER.md).
+        """
+        self.requests_total += 1
+        shard = self.shard_for(destination)
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                self.retries_total += 1
+                self._sleep(
+                    min(
+                        self.backoff * (2 ** (attempt - 1)),
+                        self.backoff_max,
+                    )
+                )
+            endpoint = self.endpoints.endpoint(shard)
+            if endpoint is None:
+                continue
+            client = self._client_for(shard, endpoint)
+            if client is None:
+                continue
+            try:
+                response = client.request(dict(payload))
+            except (OSError, ValueError, ServeClientError):
+                self._drop_client(shard)
+                continue
+            if response.get("ok"):
+                return response
+            if response.get("error") in RETRYABLE_CODES:
+                continue
+            return response
+        self.degraded_total += 1
+        self.degraded_by_shard[shard] = (
+            self.degraded_by_shard.get(shard, 0) + 1
+        )
+        return degraded_clear(dict(payload), shard)
+
+    def decide(
+        self,
+        destination: str,
+        free_slots: int,
+        candidates: Sequence[CandidateLike],
+        pollution: Optional[float] = None,
+        kind: str = "address_dep",
+        tick: int = 0,
+        context: str = "",
+    ) -> Dict[str, object]:
+        """One decision through the fleet (explicit or stateful mode)."""
+        payload = ServeClient.decide_payload(
+            destination,
+            free_slots,
+            candidates,
+            pollution=pollution,
+            kind=kind,
+            tick=tick,
+            context=context,
+        )
+        return self.request(destination, payload)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests_total,
+            "retries": self.retries_total,
+            "degraded": self.degraded_total,
+            "degraded_by_shard": dict(self.degraded_by_shard),
+        }
+
+    def close(self) -> None:
+        for shard in list(self._clients):
+            self._drop_client(shard)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "RETRYABLE_CODES",
+    "EndpointSource",
+    "StaticEndpoints",
+    "degraded_clear",
+    "ClusterRouter",
+]

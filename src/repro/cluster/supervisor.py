@@ -1,0 +1,653 @@
+"""Supervised multi-process MITOS shard fleet.
+
+The :class:`ClusterSupervisor` turns ``N`` single-shard
+:class:`~repro.serve.server.MitosServer` instances into one
+fault-tolerant decision service:
+
+* **spawn** -- each shard runs as its own process (``mitos-repro serve
+  --shards 1`` on ephemeral ports) with a private checkpoint directory
+  under the cluster's checkpoint root, or as an in-process
+  :class:`~repro.serve.server.ServerThread` (the fast deterministic
+  backend the tests use);
+* **health-check** -- a monitor thread probes every shard's admin
+  ``/readyz`` each ``health_interval``: a dead process is a crash, a
+  reachable-but-not-ready shard (draining, or restoring a checkpoint)
+  is unpublished but left alone, and ``hang_probes`` consecutive
+  unreachable probes of a live process declare it hung and kill it;
+* **failover** -- a crashed/hung shard is respawned with ``--resume``,
+  so it restores the latest atomic checkpoint (falling back to the
+  ``.prev`` file when the newest write was torn by the crash) and
+  rejoins the ring with a bumped endpoint *generation*.  The router
+  re-resolves endpoints per attempt, so recovery needs no client
+  restarts;
+* **gossip** -- between live shards the supervisor pumps each shard's
+  *local* pollution over the serve protocol's ``gossip`` op (with a
+  seeded loss rate, mirroring the simulation's ``loss_rate`` knob);
+  every shard then decides stateful requests with local + believed-peer
+  pollution, the multi-process version of
+  :class:`~repro.distributed.gossip.PollutionGossip`.
+
+Endpoints are the published routing surface: ``endpoint(i)`` is ``None``
+exactly while shard *i* is down or not ready, which is what the
+:class:`~repro.cluster.router.ClusterRouter` turns into bounded retries
+and, past the retry budget, an explicit degraded answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.logging import get_logger
+from repro.options import ClusterOptions
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerThread
+
+logger = get_logger("repro.cluster")
+
+#: supervisor-side floor for probe/poll sleeps
+_POLL_INTERVAL = 0.02
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One published shard endpoint; generation bumps on every respawn."""
+
+    shard: int
+    host: str
+    port: int
+    admin_port: int
+    generation: int
+
+
+def _http_json(
+    host: str, port: int, path: str, timeout: float
+) -> Tuple[int, Dict[str, object]]:
+    """GET an admin endpoint; ``(status, payload)`` or raises ``OSError``.
+
+    4xx/5xx responses are *answers* (a 503 ``/readyz`` is a healthy
+    liveness signal), so they come back as a status, not an exception.
+    """
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            body = response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        status = error.code
+    try:
+        payload = json.loads(body) if body else {}
+    except ValueError:
+        payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    return status, payload
+
+
+class ProcessShard:
+    """One shard server as a child process (the production backend).
+
+    The child is ``mitos-repro serve`` on ephemeral ports; a reader
+    thread scrapes the announced ``listening on host:port`` / ``admin on
+    host:port`` lines (the same contract ``bench-serve``'s subprocess
+    mode relies on) and keeps draining stdout so the child never blocks
+    on a full pipe.
+    """
+
+    backend = "process"
+
+    def __init__(self, index: int, options: ClusterOptions):
+        self.index = index
+        self.options = options
+        self.port: Optional[int] = None
+        self.admin_port: Optional[int] = None
+        self._process: Optional[subprocess.Popen] = None
+        self._ports_ready = threading.Event()
+
+    def command(self) -> List[str]:
+        serve = self.options.shard_options(self.index)
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", serve.host,
+            "--port", "0",
+            "--admin-port", "0",
+            "--shards", "1",
+            "--queue-depth", str(serve.queue_depth),
+            "--batch-max", str(serve.batch_max),
+            "--policy", serve.policy,
+            "--tau", str(serve.tau),
+            "--alpha", str(serve.alpha),
+            "--checkpoint-dir", str(serve.checkpoint_dir),
+            "--checkpoint-every", str(serve.checkpoint_every),
+            "--resume",
+            "--drain-timeout", str(serve.drain_timeout),
+        ]
+        if serve.quick_calibration:
+            command.append("--quick-calibration")
+        return command
+
+    def spawn(self) -> None:
+        self.port = None
+        self.admin_port = None
+        self._ports_ready = threading.Event()
+        serve = self.options.shard_options(self.index)
+        Path(serve.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parent.parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        self._process = subprocess.Popen(
+            self.command(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        reader = threading.Thread(
+            target=self._read_output,
+            args=(self._process,),
+            name=f"shard-{self.index}-stdout",
+            daemon=True,
+        )
+        reader.start()
+
+    def _read_output(self, process: subprocess.Popen) -> None:
+        assert process.stdout is not None
+        for line in process.stdout:
+            if line.startswith("listening on "):
+                _, _, port_text = line.split()[-1].rpartition(":")
+                self.port = int(port_text)
+            elif line.startswith("admin on "):
+                _, _, port_text = line.split()[-1].rpartition(":")
+                self.admin_port = int(port_text)
+            if self.port is not None and self.admin_port is not None:
+                self._ports_ready.set()
+        self._ports_ready.set()  # EOF: unblock waiters either way
+
+    def wait_ports(self, timeout: float) -> bool:
+        self._ports_ready.wait(timeout)
+        return self.port is not None and self.admin_port is not None
+
+    def poll(self) -> Optional[int]:
+        """``None`` while the process runs, else its exit code."""
+        if self._process is None:
+            return -1
+        return self._process.poll()
+
+    def kill(self, hard: bool = True) -> None:
+        """SIGKILL (hard) or SIGTERM-drain (soft) the child."""
+        process = self._process
+        if process is None or process.poll() is not None:
+            return
+        if hard:
+            process.kill()
+            process.wait()
+        else:
+            process.terminate()
+
+    def reap(self, timeout: float) -> None:
+        process = self._process
+        if process is None:
+            return
+        try:
+            process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+class ThreadShard:
+    """One shard server on an in-process thread (the test backend).
+
+    Same interface as :class:`ProcessShard`; ``kill(hard=True)`` maps to
+    :meth:`~repro.serve.server.ServerThread.abort` -- no drain, no final
+    checkpoint -- which is the closest in-process analogue of SIGKILL
+    and keeps the crash-recovery tests fast and sandbox-friendly.
+    """
+
+    backend = "thread"
+
+    def __init__(self, index: int, options: ClusterOptions):
+        self.index = index
+        self.options = options
+        self.port: Optional[int] = None
+        self.admin_port: Optional[int] = None
+        self._server: Optional[ServerThread] = None
+
+    def spawn(self) -> None:
+        self.port = None
+        self.admin_port = None
+        serve = self.options.shard_options(self.index)
+        Path(serve.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        self._server = ServerThread(serve).start()
+        self.port = self._server.port
+        self.admin_port = self._server.admin_port
+
+    def wait_ports(self, timeout: float) -> bool:
+        return self.port is not None and self.admin_port is not None
+
+    def poll(self) -> Optional[int]:
+        server = self._server
+        if server is None:
+            return -1
+        return None if server._thread.is_alive() else 0
+
+    def kill(self, hard: bool = True) -> None:
+        server = self._server
+        if server is None:
+            return
+        if hard:
+            server.abort()
+        else:
+            server.stop()
+
+    def reap(self, timeout: float) -> None:
+        server = self._server
+        if server is not None:
+            server._thread.join(timeout=timeout)
+
+
+_BACKENDS = {"process": ProcessShard, "thread": ThreadShard}
+
+
+class ClusterSupervisor:
+    """Spawns, health-checks, and restarts a fleet of shard servers.
+
+    The supervisor is also the router's endpoint source: ``endpoint(i)``
+    returns the shard's current :class:`Endpoint` while it is ready and
+    ``None`` while it is down, restoring, or draining.
+    """
+
+    def __init__(self, options: ClusterOptions, backend: str = "process"):
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {sorted(_BACKENDS)}, got {backend!r}"
+            )
+        self.options = options
+        self.backend = backend
+        self._tempdir: Optional[str] = None
+        self.handles: List[object] = []
+        self._endpoints: List[Optional[Endpoint]] = []
+        self._generations: List[int] = []
+        self._probe_failures: List[int] = []
+        #: respawns per shard (index-aligned)
+        self.restarts: List[int] = []
+        #: shards that exhausted max_restarts (permanently down)
+        self.failed: List[bool] = []
+        #: seconds from crash detection to the respawned shard ready
+        self.failovers: List[float] = []
+        self.gossip_sent = 0
+        self.gossip_dropped = 0
+        self._gossip_rng = random.Random(options.gossip_seed)
+        self._gossip_clients: Dict[int, Tuple[int, ServeClient]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._gossip_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterSupervisor":
+        if self.options.checkpoint_root is None:
+            self._tempdir = tempfile.mkdtemp(prefix="mitos-cluster-")
+            self.options.checkpoint_root = self._tempdir
+        shard_cls = _BACKENDS[self.backend]
+        count = self.options.shards
+        self.handles = [shard_cls(i, self.options) for i in range(count)]
+        self._endpoints = [None] * count
+        self._generations = [0] * count
+        self._probe_failures = [0] * count
+        self.restarts = [0] * count
+        self.failed = [False] * count
+        for handle in self.handles:
+            handle.spawn()
+        deadline = time.monotonic() + self.options.boot_timeout
+        for index, handle in enumerate(self.handles):
+            if not self._wait_shard_ready(
+                handle, deadline - time.monotonic()
+            ):
+                self.stop()
+                raise RuntimeError(
+                    f"shard {index} did not become ready within "
+                    f"{self.options.boot_timeout}s"
+                )
+            self._publish(index, handle)
+        self._stop = threading.Event()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="cluster-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+        if self.options.gossip_interval is not None:
+            self._gossip_thread = threading.Thread(
+                target=self._gossip_loop, name="cluster-gossip", daemon=True
+            )
+            self._gossip_thread.start()
+        logger.info(
+            "cluster up",
+            extra={"shards": count, "backend": self.backend},
+        )
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in (self._monitor_thread, self._gossip_thread):
+            if thread is not None:
+                thread.join(timeout=30)
+        self._monitor_thread = None
+        self._gossip_thread = None
+        for _, client in self._gossip_clients.values():
+            client.close()
+        self._gossip_clients.clear()
+        for handle in self.handles:
+            try:
+                handle.kill(hard=False)
+            except Exception:  # pragma: no cover - defensive teardown
+                pass
+        for handle in self.handles:
+            handle.reap(timeout=30)
+        with self._lock:
+            self._endpoints = [None] * len(self._endpoints)
+        if self._tempdir is not None:
+            shutil.rmtree(self._tempdir, ignore_errors=True)
+            if self.options.checkpoint_root == self._tempdir:
+                self.options.checkpoint_root = None
+            self._tempdir = None
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- endpoint source (the router's view) -------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self.options.shards
+
+    def endpoint(self, index: int) -> Optional[Endpoint]:
+        with self._lock:
+            return self._endpoints[index]
+
+    def endpoints(self) -> List[Optional[Endpoint]]:
+        with self._lock:
+            return list(self._endpoints)
+
+    def _publish(self, index: int, handle) -> None:
+        with self._lock:
+            self._generations[index] += 1
+            self._endpoints[index] = Endpoint(
+                shard=index,
+                host=self.options.host,
+                port=handle.port,
+                admin_port=handle.admin_port,
+                generation=self._generations[index],
+            )
+
+    def _unpublish(self, index: int) -> None:
+        with self._lock:
+            self._endpoints[index] = None
+
+    # -- health + failover -------------------------------------------------
+
+    def probe(self, handle) -> Optional[bool]:
+        """One ``/readyz`` probe: True/False = answered, None = unreachable."""
+        if handle.admin_port is None:
+            return None
+        try:
+            status, payload = _http_json(
+                self.options.host,
+                handle.admin_port,
+                "/readyz",
+                self.options.health_timeout,
+            )
+        except OSError:
+            return None
+        return status == 200 and bool(payload.get("ready", status == 200))
+
+    def _wait_shard_ready(self, handle, timeout: float) -> bool:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            if handle.poll() is not None:
+                return False
+            if handle.wait_ports(_POLL_INTERVAL) and self.probe(handle):
+                return True
+            time.sleep(_POLL_INTERVAL)
+        return False
+
+    def check_once(self) -> None:
+        """One monitor pass over every shard (the loop body, callable
+        directly by tests that want deterministic supervision)."""
+        for index, handle in enumerate(self.handles):
+            if self.failed[index]:
+                continue
+            exit_code = handle.poll()
+            if exit_code is not None:
+                self._failover(index, f"process exited ({exit_code})")
+                continue
+            ready = self.probe(handle)
+            if ready:
+                self._probe_failures[index] = 0
+                if self.endpoint(index) is None:
+                    self._publish(index, handle)
+            elif ready is False:
+                # alive but draining/restoring: take it out of rotation,
+                # liveness is fine so the hang counter stays clear
+                self._probe_failures[index] = 0
+                self._unpublish(index)
+            else:
+                self._probe_failures[index] += 1
+                if self._probe_failures[index] >= self.options.hang_probes:
+                    handle.kill(hard=True)
+                    self._failover(
+                        index,
+                        f"hung ({self._probe_failures[index]} failed probes)",
+                    )
+
+    def _monitor(self) -> None:
+        while not self._stop.wait(self.options.health_interval):
+            try:
+                self.check_once()
+            except Exception:  # pragma: no cover - supervisor must survive
+                logger.exception("monitor pass failed")
+
+    def _failover(self, index: int, reason: str) -> None:
+        """Respawn one dead shard from its latest checkpoint."""
+        detected = time.monotonic()
+        self._unpublish(index)
+        self._probe_failures[index] = 0
+        handle = self.handles[index]
+        self.restarts[index] += 1
+        logger.warning(
+            "shard down; restarting",
+            extra={
+                "shard": index,
+                "reason": reason,
+                "restart": self.restarts[index],
+            },
+        )
+        if self.restarts[index] > self.options.max_restarts:
+            self.failed[index] = True
+            logger.error(
+                "shard exhausted restart budget",
+                extra={"shard": index, "restarts": self.restarts[index]},
+            )
+            return
+        if self.options.restart_backoff > 0:
+            time.sleep(self.options.restart_backoff)
+        handle.reap(timeout=self.options.health_timeout)
+        handle.spawn()
+        if self._wait_shard_ready(handle, self.options.boot_timeout):
+            self._publish(index, handle)
+            self.failovers.append(time.monotonic() - detected)
+            logger.info(
+                "shard recovered",
+                extra={
+                    "shard": index,
+                    "failover_seconds": self.failovers[-1],
+                    "generation": self._generations[index],
+                },
+            )
+        else:
+            self.failed[index] = True
+            logger.error(
+                "shard did not come back", extra={"shard": index}
+            )
+
+    def kill_shard(self, index: int, hard: bool = True) -> None:
+        """Kill one shard (SIGKILL by default); the monitor recovers it."""
+        self.handles[index].kill(hard=hard)
+
+    def wait_all_ready(self, timeout: float = 60.0) -> bool:
+        """Block until every non-failed shard has a published endpoint."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                pending = [
+                    i
+                    for i, endpoint in enumerate(self._endpoints)
+                    if endpoint is None and not self.failed[i]
+                ]
+            if not pending:
+                return True
+            time.sleep(_POLL_INTERVAL)
+        return False
+
+    # -- gossip pump -------------------------------------------------------
+
+    def _local_pollution(self, endpoint: Endpoint) -> Optional[float]:
+        """One shard server's *local* pollution, read off its admin /stats."""
+        try:
+            status, payload = _http_json(
+                endpoint.host,
+                endpoint.admin_port,
+                "/stats",
+                self.options.health_timeout,
+            )
+        except OSError:
+            return None
+        if status != 200:
+            return None
+        shards = payload.get("shards")
+        if not isinstance(shards, list) or not shards:
+            return None
+        value = shards[0].get("pollution")
+        return float(value) if isinstance(value, (int, float)) else None
+
+    def _gossip_client(self, endpoint: Endpoint) -> Optional[ServeClient]:
+        cached = self._gossip_clients.get(endpoint.shard)
+        if cached is not None:
+            generation, client = cached
+            if generation == endpoint.generation:
+                return client
+            client.close()
+            del self._gossip_clients[endpoint.shard]
+        try:
+            client = ServeClient(
+                endpoint.host,
+                endpoint.port,
+                timeout=self.options.health_timeout,
+            )
+        except OSError:
+            return None
+        self._gossip_clients[endpoint.shard] = (endpoint.generation, client)
+        return client
+
+    def gossip_round(self) -> int:
+        """Spread each live shard's local pollution to every live peer.
+
+        Messages are dropped with the seeded ``gossip_loss_rate`` before
+        they are sent -- the serve-protocol analogue of the simulation's
+        lossy :class:`~repro.distributed.gossip.PollutionGossip` rounds.
+        Returns the number of messages delivered.
+        """
+        live = [e for e in self.endpoints() if e is not None]
+        values: Dict[int, float] = {}
+        for endpoint in live:
+            pollution = self._local_pollution(endpoint)
+            if pollution is not None:
+                values[endpoint.shard] = pollution
+        delivered = 0
+        rng = self._gossip_rng
+        loss = self.options.gossip_loss_rate
+        for target in live:
+            if target.shard not in values:
+                continue
+            for source, pollution in values.items():
+                if source == target.shard:
+                    continue
+                if loss > 0.0 and rng.random() < loss:
+                    self.gossip_dropped += 1
+                    continue
+                client = self._gossip_client(target)
+                if client is None:
+                    continue
+                try:
+                    client.gossip(source, pollution)
+                except Exception:
+                    client.close()
+                    self._gossip_clients.pop(target.shard, None)
+                    continue
+                delivered += 1
+                self.gossip_sent += 1
+        return delivered
+
+    def _gossip_loop(self) -> None:
+        interval = self.options.gossip_interval
+        assert interval is not None
+        while not self._stop.wait(interval):
+            try:
+                self.gossip_round()
+            except Exception:  # pragma: no cover - pump must survive
+                logger.exception("gossip round failed")
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """One supervisor-level snapshot (what ``mitos-repro cluster``
+        prints and the bench report embeds)."""
+        endpoints = self.endpoints()
+        return {
+            "backend": self.backend,
+            "shards": self.options.shards,
+            "ready": sum(1 for e in endpoints if e is not None),
+            "failed": sum(self.failed),
+            "restarts": list(self.restarts),
+            "failover_seconds": list(self.failovers),
+            "gossip_sent": self.gossip_sent,
+            "gossip_dropped": self.gossip_dropped,
+            "endpoints": [
+                None
+                if endpoint is None
+                else {
+                    "shard": endpoint.shard,
+                    "port": endpoint.port,
+                    "admin_port": endpoint.admin_port,
+                    "generation": endpoint.generation,
+                }
+                for endpoint in endpoints
+            ],
+        }
+
+
+__all__ = [
+    "Endpoint",
+    "ProcessShard",
+    "ThreadShard",
+    "ClusterSupervisor",
+]

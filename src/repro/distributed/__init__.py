@@ -3,6 +3,7 @@
 from repro.distributed.gossip import GossipState, PollutionGossip
 from repro.distributed.node import SubsystemNode
 from repro.distributed.cluster import Cluster, ClusterResult
+from repro.distributed.oracle import AgreementTally, oracle_propagate
 
 __all__ = [
     "SubsystemNode",
@@ -10,4 +11,6 @@ __all__ = [
     "GossipState",
     "Cluster",
     "ClusterResult",
+    "AgreementTally",
+    "oracle_propagate",
 ]

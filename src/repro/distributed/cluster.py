@@ -18,9 +18,9 @@ import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.core.costs import marginal_cost
 from repro.core.params import MitosParams
 from repro.distributed.gossip import PollutionGossip
+from repro.distributed.oracle import AgreementTally, oracle_propagate
 from repro.distributed.node import SubsystemNode
 from repro.dift.flows import FlowEvent
 from repro.replay.record import Recording
@@ -109,31 +109,17 @@ class Cluster:
 
     def run(self, recording: Recording) -> ClusterResult:
         """Replay the recording across the cluster with periodic gossip."""
-        agreement_hits = 0
-        agreement_total = 0
-        propagated = 0
-        blocked = 0
+        tally = AgreementTally()
 
         def watch(node: SubsystemNode):
             def observer(event, candidates, details, selected, pollution):
-                nonlocal agreement_hits, agreement_total, propagated, blocked
                 exact = self.gossip.true_global_pollution()
                 selected_keys = {tag for tag in selected}
                 for candidate in candidates:
-                    oracle = (
-                        marginal_cost(
-                            candidate.copies, exact, candidate.tag_type, node.params
-                        )
-                        <= 0
+                    oracle = oracle_propagate(
+                        candidate.copies, exact, candidate.tag_type, node.params
                     )
-                    actual = candidate.key in selected_keys
-                    agreement_total += 1
-                    if oracle == actual:
-                        agreement_hits += 1
-                    if actual:
-                        propagated += 1
-                    else:
-                        blocked += 1
+                    tally.observe(oracle, candidate.key in selected_keys)
 
             return observer
 
@@ -163,12 +149,10 @@ class Cluster:
             gossip_messages=self.gossip.state.messages_sent,
             mean_estimate_error=mean_error,
             max_estimate_error=max_error,
-            oracle_agreement=(
-                agreement_hits / agreement_total if agreement_total else 1.0
-            ),
+            oracle_agreement=tally.agreement,
             per_node_events={n.node_id: n.events_processed for n in self.nodes},
-            propagated=propagated,
-            blocked=blocked,
+            propagated=tally.propagated,
+            blocked=tally.blocked,
             messages_lost=self.gossip.state.messages_lost,
             node_restarts=sum(n.restarts for n in self.nodes),
         )

@@ -1,0 +1,76 @@
+"""The exact-pollution decision oracle and its agreement bookkeeping.
+
+The distributed story -- the in-process cluster *simulation*
+(:mod:`repro.distributed.cluster`) and the multi-process shard fleet
+(:mod:`repro.cluster`) -- measures staleness the same way: compare each
+per-candidate IFP decision against what MITOS would have decided with
+the **exact global pollution** in hand.  Equation 8's decision rule is
+"propagate iff the marginal cost is non-positive", so the oracle is one
+``marginal_cost`` evaluation per candidate.
+
+Both consumers share this module so "oracle agreement" means exactly one
+thing repo-wide, whether it comes from a simulated gossip round or from
+a live fleet that just lost a shard to SIGKILL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.costs import marginal_cost
+from repro.core.params import MitosParams
+
+
+def oracle_propagate(
+    copies: int,
+    exact_pollution: float,
+    tag_type: str,
+    params: MitosParams,
+) -> bool:
+    """Would MITOS propagate this candidate given exact global pollution?
+
+    Equation 8 with the real pollution instead of a (possibly stale)
+    believed value: propagate when the marginal cost of one more copy is
+    non-positive.
+    """
+    return marginal_cost(copies, exact_pollution, tag_type, params) <= 0
+
+
+@dataclass
+class AgreementTally:
+    """Running per-candidate agreement between an oracle and live decisions."""
+
+    hits: int = 0
+    total: int = 0
+    propagated: int = 0
+    blocked: int = 0
+
+    def observe(self, oracle: bool, actual: bool) -> None:
+        """Record one candidate's (oracle decision, actual decision) pair."""
+        self.total += 1
+        if oracle == actual:
+            self.hits += 1
+        if actual:
+            self.propagated += 1
+        else:
+            self.blocked += 1
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of decisions matching the oracle (1.0 when empty)."""
+        if self.total == 0:
+            return 1.0
+        return self.hits / self.total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "agreement": self.agreement,
+            "hits": self.hits,
+            "total": self.total,
+            "propagated": self.propagated,
+            "blocked": self.blocked,
+        }
+
+
+__all__ = ["oracle_propagate", "AgreementTally"]

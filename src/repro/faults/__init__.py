@@ -1,5 +1,6 @@
 """Seeded fault injection and resilience wiring for the replay stack."""
 
+from repro.faults.crashes import CrashEvent, CrashSchedule
 from repro.faults.injector import (
     FaultConfig,
     FaultInjector,
@@ -9,6 +10,8 @@ from repro.faults.injector import (
 from repro.faults.resilience import Resilience
 
 __all__ = [
+    "CrashEvent",
+    "CrashSchedule",
     "FaultConfig",
     "FaultInjector",
     "FaultStats",

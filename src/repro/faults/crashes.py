@@ -1,0 +1,126 @@
+"""Seeded crash schedules for the multi-process cluster harness.
+
+The fault injector (:mod:`repro.faults.injector`) perturbs an event
+*stream*; a :class:`CrashSchedule` perturbs a *fleet*: it names the
+request indices at which whole shard processes die mid-load.  Schedules
+are plain data, built either explicitly (tests pinning a scenario) or
+from a seed (sweeps), so a kill-and-recover run is reproducible down to
+the exact request between whose response and successor the SIGKILL
+lands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One planned shard death."""
+
+    #: fire just before the harness issues this request index
+    at_request: int
+    #: which shard process dies
+    shard: int
+    #: True = SIGKILL (no drain, no final checkpoint); False = SIGTERM
+    hard: bool = True
+
+
+class CrashSchedule:
+    """An ordered plan of shard crashes keyed by request index."""
+
+    def __init__(self, events: Iterable[CrashEvent] = ()):
+        self._by_index: Dict[int, List[CrashEvent]] = {}
+        count = 0
+        for event in events:
+            if event.at_request < 0:
+                raise ValueError(
+                    f"at_request must be >= 0, got {event.at_request}"
+                )
+            if event.shard < 0:
+                raise ValueError(f"shard must be >= 0, got {event.shard}")
+            self._by_index.setdefault(event.at_request, []).append(event)
+            count += 1
+        self._count = count
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        shards: int,
+        requests: int,
+        crashes: int = 1,
+        hard: bool = True,
+        shard_of: Optional[Callable[[int], int]] = None,
+    ) -> "CrashSchedule":
+        """A reproducible schedule of ``crashes`` deaths mid-load.
+
+        Crash points are drawn from the middle half of the request
+        range, so every crash has traffic both before it (state to
+        lose/recover) and after it (degraded answers to observe).
+
+        Victims are uniform over ``shards`` by default; pass
+        ``shard_of`` (request index -> owning shard) to kill the shard
+        that owns the traffic at each crash point instead -- on skewed
+        workloads a uniform pick can land on an idle shard, which
+        crashes nothing anyone would notice.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if requests < 4:
+            raise ValueError(f"requests must be >= 4, got {requests}")
+        if crashes < 0:
+            raise ValueError(f"crashes must be >= 0, got {crashes}")
+        rng = random.Random(seed)
+        low, high = requests // 4, (3 * requests) // 4
+        span = list(range(low, max(low + 1, high)))
+        picks = sorted(rng.sample(span, min(crashes, len(span))))
+        events = [
+            CrashEvent(
+                at_request=index,
+                shard=(
+                    shard_of(index)
+                    if shard_of is not None
+                    else rng.randrange(shards)
+                ),
+                hard=hard,
+            )
+            for index in picks
+        ]
+        return cls(events)
+
+    def due(self, request_index: int) -> Sequence[CrashEvent]:
+        """The crashes scheduled just before this request index."""
+        return self._by_index.get(request_index, ())
+
+    def shards_hit(self) -> Set[int]:
+        """Every shard some crash in the schedule targets."""
+        return {
+            event.shard
+            for events in self._by_index.values()
+            for event in events
+        }
+
+    def __iter__(self) -> Iterator[CrashEvent]:
+        for index in sorted(self._by_index):
+            yield from self._by_index[index]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"CrashSchedule({list(self)!r})"
+
+
+__all__ = ["CrashEvent", "CrashSchedule"]

@@ -31,6 +31,12 @@ SERVE_LATENCY_BUCKETS_US = (
 #: micro-batch size buckets (powers of two up to the default batch_max)
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
+#: cluster failover buckets in **seconds**: crash detection to the
+#: respawned shard reporting ready (checkpoint restore dominates)
+FAILOVER_SECONDS_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
 
 class Counter:
     """Monotonically increasing count."""

@@ -251,4 +251,142 @@ class ServeOptions:
         return Observability.create(trace_out=self.trace_out)
 
 
-__all__ = ["ReplayOptions", "ServeOptions", "REPLAY_OPTION_NAMES"]
+@dataclass(kw_only=True)
+class ClusterOptions:
+    """A supervised multi-process MITOS cluster's configuration surface.
+
+    One :class:`ClusterOptions` describes the whole fleet: N
+    single-shard :class:`~repro.serve.server.MitosServer` processes
+    (each owning one slice of the consistent-hash ring), the supervisor
+    that health-checks and restarts them from their checkpoints, the
+    gossip pump that spreads pollution estimates between live shards,
+    and the client-side router's retry envelope.
+    """
+
+    host: str = "127.0.0.1"
+    #: shard servers (= consistent-hash ring positions)
+    shards: int = 3
+    #: root directory for per-shard checkpoint dirs; None = a temporary
+    #: directory owned (and removed) by the supervisor
+    checkpoint_root: Optional[Union[str, Path]] = None
+    #: propagation policy / decision-boundary knobs, per shard
+    policy: str = "mitos"
+    tau: float = 1.0
+    alpha: float = 1.5
+    quick_calibration: bool = False
+    #: per-shard serve knobs (see :class:`ServeOptions`)
+    queue_depth: int = 1024
+    batch_max: int = 64
+    #: checkpoint a shard every N applied requests, so a SIGKILL loses
+    #: at most N-1 requests of state
+    checkpoint_every: int = 64
+    drain_timeout: float = 10.0
+    # -- supervision -------------------------------------------------------
+    #: seconds between health probes of each shard
+    health_interval: float = 0.25
+    #: per-probe HTTP timeout
+    health_timeout: float = 2.0
+    #: consecutive failed probes of a live process before it is declared
+    #: hung and killed
+    hang_probes: int = 3
+    #: pause before respawning a crashed shard
+    restart_backoff: float = 0.1
+    #: restarts per shard before the supervisor gives up on it
+    max_restarts: int = 5
+    #: max seconds to wait for a (re)spawned shard to report ready
+    boot_timeout: float = 60.0
+    # -- gossip ------------------------------------------------------------
+    #: seconds between gossip rounds (None = gossip off)
+    gossip_interval: Optional[float] = 0.5
+    #: seeded per-message drop probability (the sim's loss_rate knob)
+    gossip_loss_rate: float = 0.0
+    gossip_seed: int = 0
+    # -- router ------------------------------------------------------------
+    #: per-request socket timeout on router connections
+    request_timeout: float = 5.0
+    #: retry attempts after the first try before degrading
+    router_retries: int = 3
+    #: exponential-backoff base / cap between router retries
+    router_backoff: float = 0.05
+    router_backoff_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.health_interval <= 0:
+            raise ValueError(
+                f"health_interval must be > 0, got {self.health_interval}"
+            )
+        if self.hang_probes < 1:
+            raise ValueError(
+                f"hang_probes must be >= 1, got {self.hang_probes}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.gossip_interval is not None and self.gossip_interval <= 0:
+            raise ValueError(
+                f"gossip_interval must be > 0, got {self.gossip_interval}"
+            )
+        # 1.0 is allowed (a fully-partitioned fleet), matching the
+        # simulation's PollutionGossip loss_rate range
+        if not 0.0 <= self.gossip_loss_rate <= 1.0:
+            raise ValueError(
+                "gossip_loss_rate must be in [0, 1], "
+                f"got {self.gossip_loss_rate}"
+            )
+        if self.router_retries < 0:
+            raise ValueError(
+                f"router_retries must be >= 0, got {self.router_retries}"
+            )
+
+    def shard_checkpoint_dir(self, index: int) -> Optional[Path]:
+        """Each shard server gets its own checkpoint directory."""
+        if self.checkpoint_root is None:
+            return None
+        return Path(self.checkpoint_root) / f"shard-{index}"
+
+    def shard_options(self, index: int) -> "ServeOptions":
+        """The :class:`ServeOptions` one shard server runs with.
+
+        Every shard is a single-shard server on ephemeral data + admin
+        ports with ``resume=True``: a fresh boot finds no checkpoint
+        and starts clean, a supervisor respawn restores the last
+        atomically-written state.  Requires a resolved
+        ``checkpoint_root`` (the supervisor substitutes a temporary
+        directory when none was configured).
+        """
+        checkpoint_dir = self.shard_checkpoint_dir(index)
+        if checkpoint_dir is None:
+            raise ValueError(
+                "shard_options requires checkpoint_root to be resolved"
+            )
+        return ServeOptions(
+            host=self.host,
+            port=0,
+            admin_port=0,
+            shards=1,
+            queue_depth=self.queue_depth,
+            batch_max=self.batch_max,
+            policy=self.policy,
+            tau=self.tau,
+            alpha=self.alpha,
+            quick_calibration=self.quick_calibration,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+            resume=True,
+            drain_timeout=self.drain_timeout,
+        )
+
+
+__all__ = [
+    "ReplayOptions",
+    "ServeOptions",
+    "ClusterOptions",
+    "REPLAY_OPTION_NAMES",
+]

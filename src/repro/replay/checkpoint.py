@@ -24,6 +24,7 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
@@ -47,7 +48,23 @@ CHECKPOINT_VERSION = 1
 
 
 class CheckpointError(Exception):
-    """Malformed, incompatible, or unreadable checkpoint data."""
+    """Malformed, incompatible, or unreadable checkpoint data.
+
+    ``path`` names the offending file (when one is involved) and
+    ``offset`` the byte/character position where decoding failed (when
+    known), so a supervisor can log exactly what is corrupt before
+    falling back to the previous checkpoint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[Path] = None,
+        offset: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
 
 
 def checkpoint_state(
@@ -131,13 +148,24 @@ def restore_checkpoint_state(
     return event_index
 
 
+def previous_checkpoint_path(path: Union[str, Path]) -> Path:
+    """Where ``write_checkpoint(keep_previous=True)`` parks the old file."""
+    target = Path(path)
+    return target.with_name(target.name + ".prev")
+
+
 def write_checkpoint(
-    path: Union[str, Path], payload: Dict[str, object]
+    path: Union[str, Path],
+    payload: Dict[str, object],
+    keep_previous: bool = False,
 ) -> Path:
     """Atomically write a checkpoint (gzip when the path ends ``.gz``).
 
     The document lands in ``<path>.tmp`` first and is moved into place
     with ``os.replace``, so readers never observe a torn checkpoint.
+    With ``keep_previous=True`` the old checkpoint (if any) is first
+    renamed to ``<path>.prev`` -- the fallback a supervisor restores
+    from when the latest file turns out truncated or corrupt.
     """
     target = Path(path)
     text = json.dumps(payload)
@@ -147,32 +175,61 @@ def write_checkpoint(
             handle.write(text)
     else:
         tmp.write_text(text)
+    if keep_previous and target.exists():
+        os.replace(target, previous_checkpoint_path(target))
     os.replace(tmp, target)
     return target
 
 
 def read_checkpoint(path: Union[str, Path]) -> Dict[str, object]:
-    """Read and minimally validate a checkpoint file."""
+    """Read and minimally validate a checkpoint file.
+
+    Every failure mode -- unreadable file, truncated gzip stream,
+    non-UTF-8 bytes, invalid JSON -- raises :class:`CheckpointError`
+    naming the path and (where known) the offset of the damage, never a
+    raw ``EOFError``/decoder traceback.  Gzip is detected by magic
+    bytes, not suffix, so renamed copies (``*.prev``) read fine.
+    """
     source = Path(path)
     try:
-        if source.suffix == ".gz":
-            with gzip.open(source, "rt") as handle:
-                text = handle.read()
-        else:
-            text = source.read_text()
-    except (OSError, EOFError, UnicodeDecodeError) as error:
+        raw = source.read_bytes()
+    except OSError as error:
         raise CheckpointError(
-            f"cannot read checkpoint {source}: {error}"
+            f"cannot read checkpoint {source}: {error}", path=source
+        ) from error
+    if raw[:2] == b"\x1f\x8b":
+        try:
+            data = gzip.decompress(raw)
+        except (EOFError, OSError, zlib.error) as error:
+            raise CheckpointError(
+                f"checkpoint {source} is a truncated or corrupt gzip "
+                f"stream ({len(raw)} bytes on disk): {error}",
+                path=source,
+                offset=len(raw),
+            ) from error
+    else:
+        data = raw
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {source} is not UTF-8 at offset {error.start}: "
+            f"{error.reason}",
+            path=source,
+            offset=error.start,
         ) from error
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as error:
         raise CheckpointError(
-            f"checkpoint {source} is not valid JSON: {error}"
+            f"checkpoint {source} is not valid JSON at offset {error.pos} "
+            f"(line {error.lineno}): {error.msg}",
+            path=source,
+            offset=error.pos,
         ) from error
     if not isinstance(payload, dict):
         raise CheckpointError(
-            f"checkpoint {source} is not a JSON object"
+            f"checkpoint {source} is not a JSON object", path=source
         )
     return payload
 

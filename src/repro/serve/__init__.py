@@ -28,6 +28,7 @@ from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     REQUEST_OPS,
+    GossipRequest,
     ProtocolError,
     parse_request,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "CanaryShard",
     "DecisionShard",
     "DecisionTail",
+    "GossipRequest",
     "HashRing",
     "LoadResult",
     "MitosServer",

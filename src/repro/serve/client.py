@@ -13,6 +13,15 @@ Two usage shapes:
 * pipelined (``submit`` then ``collect``): flood the socket with many
   requests and collect all responses -- what the closed-loop load
   generator uses to keep every shard busy.
+
+With ``auto_reconnect=True`` a one-shot request that hits a
+``ConnectionResetError``/EOF transparently reopens the socket and
+resends the same frame -- same payload, **same id** (the id counter is
+per-client, not per-connection), so id continuity is preserved across
+the reconnect and the retried response matches exactly as if the
+connection had never dropped.  Retries are bounded; only connection
+loss triggers them (a timeout does not -- the server may still answer,
+and re-sending a state-mutating request would double-apply it).
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import itertools
 import json
 import socket
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.serve.protocol import MAX_FRAME_BYTES, encode_message
@@ -42,20 +52,67 @@ class ServeClient:
     """One TCP connection to a running decision server."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7757, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7757,
+        timeout: float = 30.0,
+        auto_reconnect: bool = False,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.05,
     ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        # the server's asyncio transport disables Nagle already; do the
-        # same here so pipelined bursts are not held back by delayed ACKs
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._recv_buf = b""
+        self.timeout = timeout
+        #: transparently reopen + resend one-shot requests on reset/EOF
+        self.auto_reconnect = auto_reconnect
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        #: successful reconnects performed over this client's lifetime
+        self.reconnects = 0
+        # the id counter and pending map live on the client, not the
+        # connection: ids stay monotone across reconnects (id continuity)
         self._ids = itertools.count(1)
         #: responses that arrived while waiting for a different id
         self._pending: Dict[object, Dict[str, object]] = {}
+        self._recv_buf = b""
+        self._sock = self._connect()
 
     # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        # the server's asyncio transport disables Nagle already; do the
+        # same here so pipelined bursts are not held back by delayed ACKs
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def reconnect(self) -> None:
+        """Reopen the connection (bounded attempts with backoff).
+
+        Already-collected pending responses stay valid; a partially
+        received line is discarded (the server never splits a response
+        across connections).  The id counter is untouched, so requests
+        issued after the reconnect continue the same id sequence.
+        """
+        self.close()
+        self._recv_buf = b""
+        last_error: Optional[Exception] = None
+        for attempt in range(max(1, self.reconnect_attempts)):
+            if attempt:
+                time.sleep(self.reconnect_backoff * (2 ** (attempt - 1)))
+            try:
+                self._sock = self._connect()
+            except OSError as error:
+                last_error = error
+                continue
+            self.reconnects += 1
+            return
+        raise ConnectionError(
+            f"reconnect to {self.host}:{self.port} failed after "
+            f"{max(1, self.reconnect_attempts)} attempts: {last_error}"
+        ) from last_error
 
     def close(self) -> None:
         try:
@@ -68,11 +125,6 @@ class ServeClient:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
-
-    def _send(self, payload: Dict[str, object]) -> object:
-        payload.setdefault("id", next(self._ids))
-        self._sock.sendall(encode_message(payload))
-        return payload["id"]
 
     def _read_response(self) -> Dict[str, object]:
         while True:
@@ -109,6 +161,40 @@ class ServeClient:
             )
         return response
 
+    def _roundtrip(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One request, one response; reconnect-and-resend on loss.
+
+        Only :class:`ConnectionError` (reset, broken pipe, server EOF)
+        triggers the transparent retry, and only with
+        ``auto_reconnect``; the resent frame carries the original id,
+        so the response matches as if nothing happened.
+        """
+        payload = dict(payload)
+        payload.setdefault("id", next(self._ids))
+        request_id = payload["id"]
+        frame = encode_message(payload)
+        attempts = (
+            max(1, self.reconnect_attempts) + 1 if self.auto_reconnect else 1
+        )
+        for attempt in range(attempts):
+            try:
+                self._sock.sendall(frame)
+                return self._wait_for(request_id)
+            except ConnectionError:
+                if attempt + 1 >= attempts:
+                    raise
+                self.reconnect()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one raw payload and return its response un-checked.
+
+        Structured error responses come back as dictionaries (``ok:
+        false``) instead of raising -- what the cluster router uses to
+        distinguish retryable codes from terminal ones.
+        """
+        return self._roundtrip(payload)
+
     # -- one-shot requests -------------------------------------------------
 
     def decide(
@@ -138,7 +224,7 @@ class ServeClient:
             tick=tick,
             context=context,
         )
-        return self._checked(self._wait_for(self._send(request)))
+        return self._checked(self._roundtrip(request))
 
     def apply(
         self,
@@ -161,17 +247,25 @@ class ServeClient:
             request["tag"] = [tag[0], tag[1]]
         if context:
             request["context"] = context
-        return self._checked(self._wait_for(self._send(request)))
+        return self._checked(self._roundtrip(request))
 
     def ping(self) -> Dict[str, object]:
-        return self._checked(self._wait_for(self._send({"op": "ping"})))
+        return self._checked(self._roundtrip({"op": "ping"}))
 
     def stats(self) -> Dict[str, object]:
-        return self._checked(self._wait_for(self._send({"op": "stats"})))
+        return self._checked(self._roundtrip({"op": "stats"}))
 
     def checkpoint(self) -> Dict[str, object]:
         """Ask the server to write a checkpoint for every shard now."""
-        return self._checked(self._wait_for(self._send({"op": "checkpoint"})))
+        return self._checked(self._roundtrip({"op": "checkpoint"}))
+
+    def gossip(self, peer: int, pollution: float) -> Dict[str, object]:
+        """Deliver one peer's pollution estimate to this server's shards."""
+        return self._checked(
+            self._roundtrip(
+                {"op": "gossip", "peer": peer, "pollution": pollution}
+            )
+        )
 
     # -- pipelined submission ---------------------------------------------
 
@@ -220,12 +314,39 @@ class ServeClient:
         return encode_message(dict(payload, id=request_id))
 
     def submit(self, payload: Dict[str, object]) -> object:
-        """Send a raw request payload without waiting; returns its id."""
-        return self._send(dict(payload))
+        """Send a raw request payload without waiting; returns its id.
+
+        With ``auto_reconnect`` a send that finds the connection dead
+        reopens it and resends this frame (earlier in-flight requests
+        on the dead connection are *not* replayed -- their ``collect``
+        surfaces the loss).
+        """
+        payload = dict(payload)
+        payload.setdefault("id", next(self._ids))
+        frame = encode_message(payload)
+        try:
+            self._sock.sendall(frame)
+        except ConnectionError:
+            if not self.auto_reconnect:
+                raise
+            self.reconnect()
+            self._sock.sendall(frame)
+        return payload["id"]
 
     def collect(self, request_id: object) -> Dict[str, object]:
-        """Block for the response to a previously submitted request."""
-        return self._checked(self._wait_for(request_id))
+        """Block for the response to a previously submitted request.
+
+        A connection lost while waiting means the outstanding response
+        is gone for good; with ``auto_reconnect`` the socket is
+        reopened (so the client stays usable) but the loss still
+        raises -- pipelined submissions are not transparently replayed.
+        """
+        try:
+            return self._checked(self._wait_for(request_id))
+        except ConnectionError:
+            if self.auto_reconnect:
+                self.reconnect()
+            raise
 
     def raw_roundtrip(self, line: bytes) -> Dict[str, object]:
         """Send pre-encoded bytes and return the next response (fuzzing aid).

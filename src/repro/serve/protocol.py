@@ -55,7 +55,7 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 1 << 20
 
 #: ops a request may carry
-REQUEST_OPS = ("decide", "apply", "ping", "stats", "checkpoint")
+REQUEST_OPS = ("decide", "apply", "ping", "stats", "checkpoint", "gossip")
 
 #: error codes a response may carry (documented in docs/SERVING.md)
 ERROR_CODES = (
@@ -78,6 +78,7 @@ _APPLY_KEYS = frozenset(
 )
 _CANDIDATE_KEYS = frozenset({"type", "index", "copies"})
 _BARE_KEYS = frozenset({"id", "op"})
+_GOSSIP_KEYS = frozenset({"id", "op", "peer", "pollution"})
 
 _INDIRECT_KINDS = frozenset({"address_dep", "control_dep"})
 
@@ -221,6 +222,26 @@ class ControlRequest:
     def __init__(self, id: object, op: str):
         self.id = id
         self.op = op
+
+
+class GossipRequest:
+    """One peer's pollution estimate, riding the serve protocol.
+
+    The cluster supervisor pumps these between live shard servers so
+    every shard's *believed* global pollution (its own plus the latest
+    value heard from each peer) tracks the fleet -- the multi-process
+    form of :class:`repro.distributed.gossip.PollutionGossip`.  Beliefs
+    are soft state: last-write-wins per peer, never checkpointed.
+    """
+
+    __slots__ = ("id", "peer", "pollution")
+
+    op = "gossip"
+
+    def __init__(self, id: object, peer: int, pollution: float):
+        self.id = id
+        self.peer = peer
+        self.pollution = pollution
 
 
 Request = "DecideRequest | ApplyRequest | ControlRequest"
@@ -388,6 +409,27 @@ def parse_request(line: "str | bytes") -> object:
     if op in ("ping", "stats", "checkpoint"):
         _check_keys(payload, _BARE_KEYS)
         return ControlRequest(id=request_id, op=op)
+    if op == "gossip":
+        _check_keys(payload, _GOSSIP_KEYS)
+        peer = _require(payload, "peer")
+        if isinstance(peer, bool) or not isinstance(peer, int) or peer < 0:
+            raise ProtocolError(
+                "bad-request",
+                f"peer must be a non-negative integer, got {peer!r}",
+            )
+        pollution = _require(payload, "pollution")
+        if (
+            isinstance(pollution, bool)
+            or not isinstance(pollution, (int, float))
+            or pollution < 0
+        ):
+            raise ProtocolError(
+                "bad-request",
+                f"pollution must be a non-negative number, got {pollution!r}",
+            )
+        return GossipRequest(
+            id=request_id, peer=peer, pollution=float(pollution)
+        )
     if op == "decide":
         # fast path mirrors _parse_candidates: exact-type checks inline,
         # with one slow path that diagnoses precisely what went wrong

@@ -71,6 +71,7 @@ from repro.serve.protocol import (
     ApplyRequest,
     ControlRequest,
     DecideRequest,
+    GossipRequest,
     ProtocolError,
     encode_message,
     error_response,
@@ -212,10 +213,7 @@ class MitosServer:
             shard.checkpoint_every = self.options.checkpoint_every
             self.shards.append(shard)
         self.restored_shards = 0
-        if self.options.resume:
-            for shard in self.shards:
-                if shard.restore():
-                    self.restored_shards += 1
+        self.gossip_received = 0
         self._ring = HashRing(self.options.shards)
         self._queues: List[asyncio.Queue] = []
         self._workers: List[asyncio.Task] = []
@@ -224,6 +222,9 @@ class MitosServer:
         self._stop = None  # type: Optional[asyncio.Event]
         self._draining = False
         self._abort = False
+        #: True once the data plane is serving (checkpoints restored,
+        #: workers running, data port bound); readiness, not liveness
+        self._ready = False
         self._started_at = time.monotonic()
         self.port: Optional[int] = None
         self.admin_port: Optional[int] = None
@@ -320,8 +321,35 @@ class MitosServer:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind sockets and start shard workers (non-blocking)."""
+        """Bind sockets and start shard workers (non-blocking).
+
+        Order matters for the liveness/readiness split: the admin
+        surface binds *first* so ``/livez`` (and a ready=false
+        ``/readyz``) answer while checkpoints are still restoring --
+        restore runs in an executor thread precisely so a probe can
+        observe the resuming state.  The data port binds last; only
+        then does the server report ready.
+        """
         self._stop = asyncio.Event()
+        if self.options.admin_port is not None:
+            self._admin = await asyncio.start_server(
+                self._handle_admin, self.options.host, self.options.admin_port
+            )
+            self.admin_port = self._admin.sockets[0].getsockname()[1]
+        if self.options.resume:
+            loop = asyncio.get_running_loop()
+            for shard in self.shards:
+                restored = await loop.run_in_executor(None, shard.restore)
+                if restored:
+                    self.restored_shards += 1
+                if shard.restore_fallback is not None:
+                    logger.warning(
+                        "checkpoint damaged; used fallback",
+                        extra={
+                            "shard": shard.index,
+                            "error": str(shard.restore_fallback),
+                        },
+                    )
         for shard in self.shards:
             queue: asyncio.Queue = asyncio.Queue(
                 maxsize=self.options.queue_depth
@@ -334,11 +362,7 @@ class MitosServer:
             self._handle_connection, self.options.host, self.options.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        if self.options.admin_port is not None:
-            self._admin = await asyncio.start_server(
-                self._handle_admin, self.options.host, self.options.admin_port
-            )
-            self.admin_port = self._admin.sockets[0].getsockname()[1]
+        self._ready = True
         logger.info(
             "serving",
             extra={
@@ -364,6 +388,11 @@ class MitosServer:
         self._abort = self._abort or abort
         if self._stop is not None:
             self._stop.set()
+
+    @property
+    def is_ready(self) -> bool:
+        """Readiness: serving and not draining (liveness is just 'up')."""
+        return self._ready and not self._draining
 
     async def run(self) -> None:
         """Start, serve until shutdown is requested, drain, and stop."""
@@ -475,6 +504,8 @@ class MitosServer:
             return self._safe_drain(writer)
         if isinstance(request, ControlRequest):
             return self._handle_control(request, writer)
+        if isinstance(request, GossipRequest):
+            return self._handle_gossip(request, writer)
         if len(self._queues) == 1:
             shard_index = 0
         else:
@@ -530,6 +561,31 @@ class MitosServer:
                         request.id, "internal", f"checkpoint failed: {error}"
                     )
         writer.write(encode_message(response))
+        self.responses_total += 1
+        if self._m_responses is not None:
+            self._m_responses.inc()
+        await self._safe_drain(writer)
+
+    async def _handle_gossip(
+        self, request: GossipRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """Apply one peer belief to every local shard.
+
+        Belief updates are last-write-wins scalars, so applying them
+        inline on the event loop (instead of through the shard queues)
+        cannot race the worker tasks -- nothing here awaits between
+        reads and writes of shard state.
+        """
+        for shard in self.shards:
+            shard.receive_gossip(request.peer, request.pollution)
+        self.gossip_received += 1
+        writer.write(
+            encode_message(
+                ok_response(
+                    request.id, peer=request.peer, shards=len(self.shards)
+                )
+            )
+        )
         self.responses_total += 1
         if self._m_responses is not None:
             self._m_responses.inc()
@@ -714,9 +770,12 @@ class MitosServer:
         content_type: str,
         body: bytes,
     ) -> None:
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
-            status, "OK"
-        )
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            503: "Service Unavailable",
+        }.get(status, "OK")
         writer.write(
             (
                 f"HTTP/1.0 {status} {reason}\r\n"
@@ -820,11 +879,25 @@ class MitosServer:
 
     def _admin_route(self, path: str) -> Tuple[int, Dict[str, object]]:
         if path == "/healthz":
+            # combined view: ``ok`` stays the liveness bit for existing
+            # probes; ``ready`` is the readiness split (false while
+            # restoring checkpoints or draining)
             return 200, {
                 "ok": True,
+                "live": True,
+                "ready": self.is_ready,
                 "version": PROTOCOL_VERSION,
                 "draining": self._draining,
                 "shards": len(self.shards),
+            }
+        if path == "/livez":
+            return 200, {"ok": True, "live": True}
+        if path == "/readyz":
+            ready = self.is_ready
+            return 200 if ready else 503, {
+                "ok": ready,
+                "ready": ready,
+                "draining": self._draining,
             }
         if path == "/stats":
             return 200, self.stats()
@@ -839,6 +912,7 @@ class MitosServer:
             "version": PROTOCOL_VERSION,
             "uptime_seconds": time.monotonic() - self._started_at,
             "draining": self._draining,
+            "ready": self.is_ready,
             "requests": self.requests_total,
             "responses": self.responses_total,
             "errors": self.errors_total,
@@ -846,6 +920,7 @@ class MitosServer:
             "retries": self.retries_total,
             "inflight": self.inflight,
             "restored_shards": self.restored_shards,
+            "gossip_received": self.gossip_received,
             "queue_depths": [q.qsize() for q in self._queues],
             "shards": [shard.stats_payload() for shard in self.shards],
         }

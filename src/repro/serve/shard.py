@@ -37,7 +37,9 @@ from repro.dift.flows import FlowEvent, FlowKind
 from repro.dift.tags import Tag
 from repro.dift.tracker import DIFTTracker, IfpObserver
 from repro.replay.checkpoint import (
+    CheckpointError,
     checkpoint_state,
+    previous_checkpoint_path,
     read_checkpoint,
     restore_checkpoint_state,
     write_checkpoint,
@@ -104,6 +106,13 @@ class DecisionShard:
         self._type_index: Optional[Dict[str, int]] = None
         #: True when the policy exposes the MITOS engine (batch kernel path)
         self._mitos = hasattr(self.policy, "engine")
+        #: latest pollution estimate heard from each peer shard server
+        #: (gossip over the serve protocol); soft state, never
+        #: checkpointed -- a restarted shard re-learns beliefs from the
+        #: next gossip round
+        self.peer_pollution: Dict[int, float] = {}
+        #: set when restore() had to fall back to the previous checkpoint
+        self.restore_fallback: Optional[CheckpointError] = None
         # interning caches for the hot decide path: the working set of
         # distinct tags is small while every request names several, so
         # frozen-dataclass construction and name formatting amortize away
@@ -122,6 +131,26 @@ class DecisionShard:
         if name is None:
             name = self._names[tag] = f"{tag.type}:{tag.index}"
         return name
+
+    # -- gossip beliefs ---------------------------------------------------
+
+    def receive_gossip(self, peer: int, pollution: float) -> None:
+        """Record one peer's latest pollution estimate (last-write-wins)."""
+        self.peer_pollution[int(peer)] = float(pollution)
+
+    def believed_pollution(self) -> float:
+        """Local pollution plus the latest value heard from each peer.
+
+        The believed *global* pollution a stateful decision uses -- the
+        multi-process analogue of
+        :meth:`repro.distributed.node.SubsystemNode.believed_pollution`.
+        With no peer beliefs this is exactly ``tracker.pollution()``, so
+        a single-server deployment is bit-for-bit unchanged.
+        """
+        local = self.tracker.pollution()
+        if not self.peer_pollution:
+            return local
+        return local + sum(self.peer_pollution.values())
 
     # -- Eq. 8 table management -----------------------------------------
 
@@ -184,7 +213,7 @@ class DecisionShard:
         pollution = (
             request.pollution
             if request.pollution is not None
-            else tracker.pollution()
+            else self.believed_pollution()
         )
         stats = tracker.stats
         if request.tick >= stats.ticks:
@@ -336,22 +365,47 @@ class DecisionShard:
                 "bad-request",
                 f"shard {self.index} has no checkpoint path configured",
             )
-        target = write_checkpoint(self.checkpoint_path, self.checkpoint_payload())
+        target = write_checkpoint(
+            self.checkpoint_path, self.checkpoint_payload(), keep_previous=True
+        )
         self.checkpoints_written += 1
         return target
 
     def restore(self) -> bool:
         """Restore state from this shard's checkpoint file, if it exists.
 
-        Returns True when a checkpoint was restored.  Gather tables and
-        the marginal cache are left to rebuild lazily -- they are pure
-        memos of the params and cannot change any decision.
+        Returns True when a checkpoint was restored.  A truncated or
+        corrupt latest checkpoint (typed :class:`CheckpointError` naming
+        path and offset) falls back to the ``.prev`` file the previous
+        write parked; the triggering error is kept on
+        ``restore_fallback`` either way.  When both files are damaged
+        the shard starts fresh and returns False -- a supervisor
+        restarting a crashed shard must never die on a bad file.
+        Gather tables and the marginal cache are left to rebuild
+        lazily -- they are pure memos of the params and cannot change
+        any decision.
         """
-        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+        if self.checkpoint_path is None:
             return False
-        payload = read_checkpoint(self.checkpoint_path)
-        self.requests_applied = restore_checkpoint_state(self.tracker, payload)
-        return True
+        candidates = [self.checkpoint_path]
+        previous = previous_checkpoint_path(self.checkpoint_path)
+        if previous.exists():
+            candidates.append(previous)
+        for position, candidate in enumerate(candidates):
+            if not candidate.exists():
+                continue
+            try:
+                payload = read_checkpoint(candidate)
+                restored_index = restore_checkpoint_state(
+                    self.tracker, payload
+                )
+            except CheckpointError as error:
+                if position == 0:
+                    self.restore_fallback = error
+                continue
+            self.requests_applied = restored_index
+            return True
+        return False
 
     # -- introspection ----------------------------------------------------
 
@@ -363,6 +417,8 @@ class DecisionShard:
             "decisions_served": self.decisions_served,
             "checkpoints_written": self.checkpoints_written,
             "pollution": tracker.pollution(),
+            "believed_pollution": self.believed_pollution(),
+            "peer_beliefs": len(self.peer_pollution),
             "live_tags": tracker.counter.live_tags(),
             "tainted_locations": tracker.shadow.tainted_count(),
             "tracker": tracker.stats.as_dict(),

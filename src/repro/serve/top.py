@@ -97,10 +97,17 @@ def render(
         return max(0.0, now - before) / elapsed
 
     lines: List[str] = []
-    draining = " DRAINING" if stats.get("draining") else ""
+    # liveness is the stream itself (a snapshot arrived => the process is
+    # up); readiness is the stats bit, absent on pre-split servers
+    if stats.get("draining"):
+        state = " DRAINING"
+    elif stats.get("ready") is False:
+        state = " NOT-READY"
+    else:
+        state = ""
     lines.append(
         f"mitos-repro top -- up {float(stats['uptime_seconds']):8.1f}s  "  # type: ignore[arg-type]
-        f"shards={len(stats['shards'])}{draining}"  # type: ignore[arg-type]
+        f"shards={len(stats['shards'])}{state}"  # type: ignore[arg-type]
     )
     lines.append(
         f"  req/s {rate('requests'):9.1f}   resp/s {rate('responses'):9.1f}   "

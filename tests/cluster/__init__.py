@@ -1,0 +1,1 @@
+"""Tests for the fault-tolerant multi-process cluster."""

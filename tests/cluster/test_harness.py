@@ -1,0 +1,146 @@
+"""Kill-and-recover harness tests (satellite: SIGKILL under loadgen).
+
+The scenario the issue pins: a shard is killed mid-load, the router
+degrades the dead shard's destinations instead of erroring, the
+supervisor restarts the shard from its checkpoint, and the re-issued
+decisions match the single-process oracle field-for-field.  The thread
+backend keeps the fast deterministic variant; one process-backend test
+does it with a real SIGKILL.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    ClusterSupervisor,
+    run_cluster_load,
+    spread_destinations,
+    write_cluster_bench,
+)
+from repro.experiments.common import experiment_params
+from repro.faults.crashes import CrashEvent, CrashSchedule
+from repro.options import ClusterOptions
+from repro.serve.loadgen import collect_offline_decisions
+from tests.serve.test_loadgen import ifp_recording
+
+
+@pytest.fixture(scope="module")
+def offline():
+    params = experiment_params(quick=True)
+    return spread_destinations(
+        collect_offline_decisions(ifp_recording(), params)
+    )
+
+
+class TestSpreadDestinations:
+    def test_destinations_become_unique(self, offline):
+        dests = [decision.request["dest"] for decision in offline]
+        assert len(set(dests)) == len(dests)
+
+    def test_expectations_survive_verbatim(self):
+        params = experiment_params(quick=True)
+        original = collect_offline_decisions(ifp_recording(), params)
+        spread = spread_destinations(original)
+        assert len(spread) == len(original)
+        for before, after in zip(original, spread):
+            assert after.expected == before.expected
+            untouched = {
+                k: v for k, v in after.request.items() if k != "dest"
+            }
+            assert untouched == {
+                k: v for k, v in before.request.items() if k != "dest"
+            }
+
+
+def targeted_schedule(router, offline, at_request):
+    """Kill the shard owning the traffic at ``at_request``."""
+    victim = router.shard_for(str(offline[at_request].request["dest"]))
+    return CrashSchedule([CrashEvent(at_request=at_request, shard=victim)])
+
+
+class TestKillAndRecover:
+    def test_degrade_then_recover_matches_oracle(self, offline, tmp_path):
+        # slow the failover (restart_backoff) past the router's retry
+        # budget so the outage window is observable as degraded answers
+        options = ClusterOptions(
+            shards=3,
+            quick_calibration=True,
+            checkpoint_every=4,
+            health_interval=0.05,
+            restart_backoff=0.4,
+            gossip_interval=None,
+        )
+        with ClusterSupervisor(options, backend="thread") as supervisor:
+            with ClusterRouter.for_supervisor(
+                supervisor, max_retries=2, backoff=0.01, backoff_max=0.02
+            ) as router:
+                crashes = targeted_schedule(router, offline, at_request=5)
+                result = run_cluster_load(
+                    supervisor, router, offline, crashes=crashes
+                )
+        assert result.requests == len(offline)
+        assert result.errors == 0
+        # the kill targeted the shard owning request 5: at least that
+        # request degraded, and only the killed shard's keys ever did
+        assert result.degraded >= 1
+        assert result.degraded_out_of_range == 0
+        assert result.unrecovered == 0
+        assert result.mismatches == []
+        assert result.matched
+        assert result.shards_killed == list(crashes.shards_hit())
+        assert result.restarts >= 1
+        assert result.failover_seconds
+        # final answers agree with the single-process oracle completely
+        assert result.tally.agreement == 1.0
+        assert result.tally.total > 0
+        report = write_cluster_bench(
+            tmp_path / "BENCH_cluster.json",
+            result,
+            shards=3,
+            backend="thread",
+            recording_events=len(ifp_recording()),
+        )
+        text = report.read_text()
+        assert '"benchmark": "cluster"' in text
+        assert '"agreement": 1.0' in text
+
+    def test_crash_free_run_is_pure_parity(self, offline):
+        options = ClusterOptions(
+            shards=2, quick_calibration=True, gossip_interval=None
+        )
+        with ClusterSupervisor(options, backend="thread") as supervisor:
+            with ClusterRouter.for_supervisor(supervisor) as router:
+                result = run_cluster_load(supervisor, router, offline)
+        assert result.matched
+        assert result.degraded == 0
+        assert result.restarts == 0
+        assert result.tally.agreement == 1.0
+
+
+class TestProcessBackendSigkill:
+    def test_real_sigkill_recovers_from_checkpoint(self, offline):
+        options = ClusterOptions(
+            shards=2,
+            quick_calibration=True,
+            checkpoint_every=4,
+            health_interval=0.1,
+            restart_backoff=0.05,
+        )
+        with ClusterSupervisor(options, backend="process") as supervisor:
+            with ClusterRouter.for_supervisor(supervisor) as router:
+                crashes = targeted_schedule(router, offline, at_request=5)
+                result = run_cluster_load(
+                    supervisor, router, offline, crashes=crashes
+                )
+            status = supervisor.status()
+        assert result.matched
+        assert result.errors == 0
+        assert result.unrecovered == 0
+        assert result.degraded_out_of_range == 0
+        assert result.tally.agreement == 1.0
+        assert result.restarts == 1
+        # a process respawn is never instant: the SIGKILLed shard's
+        # requests degraded during the interpreter restart
+        assert result.degraded >= 1
+        assert status["failed"] == 0
+        assert status["ready"] == 2

@@ -1,0 +1,268 @@
+"""ClusterRouter unit tests: retries, degradation, re-resolution.
+
+No sockets here: endpoints come from :class:`StaticEndpoints` (or a
+mutable fake), ``ServeClient`` is monkeypatched with an in-memory fake,
+and the backoff sleep is captured instead of slept -- the router's
+retry/degrade state machine is exercised deterministically.
+"""
+
+import pytest
+
+import repro.cluster.router as router_module
+from repro.cluster.router import (
+    RETRYABLE_CODES,
+    ClusterRouter,
+    StaticEndpoints,
+    degraded_clear,
+)
+from repro.cluster.supervisor import Endpoint
+from repro.serve.client import ServeClientError
+from repro.serve.protocol import format_location, parse_location
+from repro.serve.server import HashRing
+
+
+def endpoint(shard, generation=1, port=7000):
+    return Endpoint(
+        shard=shard,
+        host="127.0.0.1",
+        port=port + shard,
+        admin_port=port + 100 + shard,
+        generation=generation,
+    )
+
+
+class FakeClient:
+    """Scripted stand-in for ServeClient: pops one reply per request."""
+
+    def __init__(self, host, port, timeout=5.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.script = []
+        self.requests = []
+        self.closed = False
+
+    def request(self, payload):
+        self.requests.append(payload)
+        if self.script:
+            action = self.script.pop(0)
+            if isinstance(action, Exception):
+                raise action
+            return action
+        return {"ok": True, "id": payload.get("id")}
+
+    def close(self):
+        self.closed = True
+
+
+class MutableEndpoints:
+    """An endpoint table tests can edit mid-flight (failover stand-in)."""
+
+    def __init__(self, endpoints):
+        self.table = list(endpoints)
+
+    @property
+    def shards(self):
+        return len(self.table)
+
+    def endpoint(self, index):
+        return self.table[index]
+
+
+class ClientFactory:
+    """Builds FakeClients; can refuse connections like a dead server."""
+
+    def __init__(self):
+        self.created = []
+        self.fail_connect = False
+
+    def __call__(self, host, port, timeout=5.0):
+        if self.fail_connect:
+            raise OSError("connection refused")
+        client = FakeClient(host, port, timeout)
+        self.created.append(client)
+        return client
+
+
+@pytest.fixture
+def clients(monkeypatch):
+    factory = ClientFactory()
+    monkeypatch.setattr(router_module, "ServeClient", factory)
+    return factory
+
+
+def make_router(endpoints, **overrides):
+    sleeps = []
+    settings = dict(
+        timeout=1.0, max_retries=3, backoff=0.05, backoff_max=1.0,
+        sleep=sleeps.append,
+    )
+    settings.update(overrides)
+    router = ClusterRouter(endpoints, **settings)
+    return router, sleeps
+
+
+DECIDE = {
+    "op": "decide",
+    "dest": "mem:0x10",
+    "free_slots": 2,
+    "candidates": [
+        {"type": "netflow", "index": 1, "copies": 3},
+        {"type": "file", "index": 9, "copies": 1},
+    ],
+    "kind": "address_dep",
+    "tick": 0,
+    "id": 42,
+}
+
+
+class TestDegradedClear:
+    def test_decide_shape_mirrors_a_real_response(self):
+        response = degraded_clear(dict(DECIDE), shard=2)
+        assert response["ok"] is True
+        assert response["degraded"] is True
+        assert response["shard"] == 2
+        assert response["id"] == 42
+        assert response["propagated"] == []
+        rows = response["decisions"]
+        assert [row["tag"] for row in rows] == ["netflow:1", "file:9"]
+        for row in rows:
+            # CLEAR with null marginals: no policy state was consulted
+            assert row["propagate"] is False
+            assert row["marginal"] is None
+            assert row["under"] is None
+            assert row["over"] is None
+
+    def test_non_decide_marks_not_applied(self):
+        response = degraded_clear({"op": "apply", "id": 7}, shard=0)
+        assert response["degraded"] is True
+        assert response["applied"] is False
+        assert "decisions" not in response
+
+
+class TestRouting:
+    def test_shard_for_normalizes_like_the_server(self):
+        router, _ = make_router(StaticEndpoints([endpoint(0), endpoint(1)]))
+        ring = HashRing(2)
+        for dest in ("mem:0x10", "reg:r6", "mem:0xff"):
+            normalized = format_location(parse_location(dest))
+            assert router.shard_for(dest) == ring.shard_for(normalized)
+
+    def test_happy_path_returns_the_response(self, clients):
+        endpoints = StaticEndpoints([endpoint(0), endpoint(1)])
+        router, sleeps = make_router(endpoints)
+        response = router.request("mem:0x10", dict(DECIDE))
+        assert response == {"ok": True, "id": 42}
+        assert sleeps == []
+        assert router.stats()["retries"] == 0
+        assert len(clients.created) == 1
+
+    def test_retryable_code_retries_then_succeeds(self, clients):
+        endpoints = StaticEndpoints([endpoint(0)])
+        router, sleeps = make_router(endpoints)
+        router.request("mem:0x10", dict(DECIDE))
+        fake = clients.created[0]
+        fake.script = [
+            {"ok": False, "error": "overloaded", "id": 1},
+            {"ok": False, "error": "shutting-down", "id": 1},
+            {"ok": True, "id": 1},
+        ]
+        response = router.request("mem:0x10", {"op": "ping", "id": 1})
+        assert response["ok"] is True
+        # exponential backoff: 0.05, then 0.1
+        assert sleeps == [0.05, 0.1]
+        assert router.stats()["degraded"] == 0
+
+    def test_terminal_error_returned_without_retry(self, clients):
+        endpoints = StaticEndpoints([endpoint(0)])
+        router, sleeps = make_router(endpoints)
+        router.request("mem:0x10", dict(DECIDE))
+        fake = clients.created[0]
+        fake.script = [{"ok": False, "error": "bad-request", "id": 9}]
+        response = router.request("mem:0x10", {"op": "ping", "id": 9})
+        assert response["error"] == "bad-request"
+        assert sleeps == []
+
+    def test_connection_loss_drops_client_and_degrades(self, clients):
+        endpoints = StaticEndpoints([endpoint(0)])
+        router, sleeps = make_router(endpoints, max_retries=2)
+        router.request("mem:0x10", dict(DECIDE))
+        first = clients.created[0]
+        first.script = [ConnectionResetError()]
+        # the cached client dies and every reconnect is refused: the
+        # retry budget exhausts and the router degrades, never raises
+        clients.fail_connect = True
+        response = router.request("mem:0x10", dict(DECIDE))
+        assert response["degraded"] is True
+        assert response["ok"] is True
+        assert first.closed
+        assert len(sleeps) == 2
+        stats = router.stats()
+        assert stats["degraded"] == 1
+        assert stats["degraded_by_shard"] == {router.shard_for("mem:0x10"): 1}
+
+    def test_client_protocol_error_degrades(self, clients):
+        # ServeClientError is a RuntimeError, not an OSError: the router
+        # must treat it as a transport failure, not let it escape
+        router, _ = make_router(
+            StaticEndpoints([endpoint(0)]), max_retries=0
+        )
+        router.request("mem:0x10", dict(DECIDE))
+        clients.created[0].script = [
+            ServeClientError("bad-response", "oversized", {})
+        ]
+        clients.fail_connect = True
+        response = router.request("mem:0x10", dict(DECIDE))
+        assert response["degraded"] is True
+
+    def test_no_endpoint_degrades_without_raising(self):
+        router, sleeps = make_router(
+            StaticEndpoints([None, None]), max_retries=3
+        )
+        response = router.request("mem:0x10", dict(DECIDE))
+        assert response["degraded"] is True
+        assert len(sleeps) == 3  # every retry backed off
+
+    def test_backoff_is_capped(self):
+        router, sleeps = make_router(
+            StaticEndpoints([None]),
+            max_retries=6, backoff=0.1, backoff_max=0.4,
+        )
+        router.request("mem:0x10", dict(DECIDE))
+        assert sleeps == [0.1, 0.2, 0.4, 0.4, 0.4, 0.4]
+
+    def test_generation_bump_reconnects(self, clients):
+        table = MutableEndpoints([endpoint(0, generation=1)])
+        router, _ = make_router(table)
+        router.request("mem:0x10", dict(DECIDE))
+        old = clients.created[0]
+        # failover: same shard, new port, bumped generation
+        table.table[0] = endpoint(0, generation=2, port=8000)
+        router.request("mem:0x10", dict(DECIDE))
+        assert old.closed
+        fresh = clients.created[1]
+        assert fresh.port == 8000
+        assert len(clients.created) == 2
+
+    def test_mid_retry_recovery_uses_the_new_endpoint(self, clients):
+        table = MutableEndpoints([None])
+        recovered = endpoint(0, generation=2, port=9000)
+
+        def sleep(_delay):
+            table.table[0] = recovered  # shard comes back during backoff
+
+        router = ClusterRouter(
+            table, timeout=1.0, max_retries=2, backoff=0.01, sleep=sleep
+        )
+        response = router.request("mem:0x10", dict(DECIDE))
+        assert response == {"ok": True, "id": 42}
+        assert clients.created[0].port == 9000
+
+    def test_retryable_codes_are_the_documented_set(self):
+        assert RETRYABLE_CODES == {"overloaded", "shutting-down"}
+
+    def test_close_closes_cached_clients(self, clients):
+        router, _ = make_router(StaticEndpoints([endpoint(0)]))
+        router.request("mem:0x10", dict(DECIDE))
+        router.close()
+        assert all(client.closed for client in clients.created)

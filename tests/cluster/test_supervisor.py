@@ -1,0 +1,142 @@
+"""ClusterSupervisor tests on the thread backend.
+
+The thread backend runs real :class:`MitosServer` instances (real
+sockets, real admin plane, real checkpoints) inside this process, so
+supervision is exercised against the genuine article without process
+spawn latency.  The monitor interval is set high and ``check_once()``
+driven by hand wherever determinism matters.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.options import ClusterOptions
+from repro.serve.client import ServeClient
+
+
+def cluster_options(**overrides) -> ClusterOptions:
+    defaults = dict(
+        shards=2,
+        quick_calibration=True,
+        health_interval=30.0,  # monitor effectively off; tests drive it
+        restart_backoff=0.0,
+        gossip_interval=None,
+        boot_timeout=60.0,
+    )
+    defaults.update(overrides)
+    return ClusterOptions(**defaults)
+
+
+def admin_get(endpoint, path):
+    url = f"http://{endpoint.host}:{endpoint.admin_port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def supervisor():
+    with ClusterSupervisor(cluster_options(), backend="thread") as sup:
+        yield sup
+
+
+class TestLifecycle:
+    def test_start_publishes_every_endpoint(self, supervisor):
+        endpoints = supervisor.endpoints()
+        assert len(endpoints) == 2
+        for index, endpoint in enumerate(endpoints):
+            assert endpoint is not None
+            assert endpoint.shard == index
+            assert endpoint.generation == 1
+
+    def test_shards_answer_on_their_published_ports(self, supervisor):
+        for endpoint in supervisor.endpoints():
+            with ServeClient(endpoint.host, endpoint.port) as client:
+                assert client.ping()["pong"] is True
+
+    def test_probe_sees_ready(self, supervisor):
+        for handle in supervisor.handles:
+            assert supervisor.probe(handle) is True
+
+    def test_status_shape(self, supervisor):
+        status = supervisor.status()
+        assert status["backend"] == "thread"
+        assert status["shards"] == 2
+        assert status["ready"] == 2
+        assert status["failed"] == 0
+        assert len(status["endpoints"]) == 2
+
+    def test_wait_all_ready_when_already_ready(self, supervisor):
+        assert supervisor.wait_all_ready(timeout=5)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSupervisor(cluster_options(), backend="fork")
+
+
+class TestFailover:
+    def test_kill_then_check_once_recovers_with_new_generation(self):
+        options = cluster_options(shards=2)
+        with ClusterSupervisor(options, backend="thread") as sup:
+            before = sup.endpoint(1)
+            sup.kill_shard(1, hard=True)
+            # hard kill = abort: the server thread dies, check_once sees
+            # the "process" gone and restarts it from its checkpoint dir
+            sup.check_once()
+            after = sup.endpoint(1)
+            assert after is not None
+            assert after.generation == before.generation + 1
+            assert sup.restarts == [0, 1]
+            assert len(sup.failovers) == 1
+            assert sup.failovers[0] > 0
+            # untouched shard is untouched
+            assert sup.endpoint(0).generation == 1
+            with ServeClient(after.host, after.port) as client:
+                assert client.ping()["pong"] is True
+
+    def test_restart_budget_exhaustion_marks_failed(self):
+        options = cluster_options(shards=1, max_restarts=0)
+        with ClusterSupervisor(options, backend="thread") as sup:
+            sup.kill_shard(0, hard=True)
+            sup.check_once()
+            assert sup.failed == [True]
+            assert sup.endpoint(0) is None
+            assert sup.status()["failed"] == 1
+            # a failed shard is skipped thereafter, not respawned
+            sup.check_once()
+            assert sup.restarts == [1]
+
+
+class TestGossip:
+    def test_round_delivers_beliefs_to_every_peer(self):
+        options = cluster_options(shards=3)
+        with ClusterSupervisor(options, backend="thread") as sup:
+            delivered = sup.gossip_round()
+            # 3 live shards, each hears the 2 others
+            assert delivered == 6
+            assert sup.gossip_sent == 6
+            assert sup.gossip_dropped == 0
+            for endpoint in sup.endpoints():
+                stats = admin_get(endpoint, "/stats")
+                shard_stats = stats["shards"][0]
+                assert shard_stats["peer_beliefs"] == 2
+                assert stats["gossip_received"] == 2
+
+    def test_total_loss_drops_everything(self):
+        options = cluster_options(shards=2, gossip_loss_rate=1.0)
+        with ClusterSupervisor(options, backend="thread") as sup:
+            assert sup.gossip_round() == 0
+            assert sup.gossip_dropped == 2
+            assert sup.gossip_sent == 0
+
+    def test_seeded_loss_is_deterministic(self):
+        counts = []
+        for _ in range(2):
+            options = cluster_options(
+                shards=3, gossip_loss_rate=0.5, gossip_seed=11
+            )
+            with ClusterSupervisor(options, backend="thread") as sup:
+                counts.append((sup.gossip_round(), sup.gossip_dropped))
+        assert counts[0] == counts[1]

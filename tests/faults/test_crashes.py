@@ -1,0 +1,94 @@
+"""CrashSchedule tests: seeding, bounds, targeting, lookup."""
+
+import pytest
+
+from repro.faults.crashes import CrashEvent, CrashSchedule
+
+
+class TestValidation:
+    def test_negative_request_index_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule([CrashEvent(at_request=-1, shard=0)])
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule([CrashEvent(at_request=0, shard=-1)])
+
+    def test_seeded_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            CrashSchedule.seeded(0, shards=0, requests=100)
+        with pytest.raises(ValueError):
+            CrashSchedule.seeded(0, shards=3, requests=3)
+        with pytest.raises(ValueError):
+            CrashSchedule.seeded(0, shards=3, requests=100, crashes=-1)
+
+
+class TestSeeded:
+    def test_same_seed_same_schedule(self):
+        first = list(CrashSchedule.seeded(7, 3, 200, crashes=4))
+        second = list(CrashSchedule.seeded(7, 3, 200, crashes=4))
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = list(CrashSchedule.seeded(1, 3, 200, crashes=4))
+        second = list(CrashSchedule.seeded(2, 3, 200, crashes=4))
+        assert first != second
+
+    def test_crash_points_land_in_the_middle_half(self):
+        for seed in range(10):
+            for event in CrashSchedule.seeded(seed, 4, 100, crashes=5):
+                assert 25 <= event.at_request < 75
+                assert 0 <= event.shard < 4
+                assert event.hard
+
+    def test_crash_count_capped_by_span(self):
+        # requests=4 -> the middle half holds two indices; asking for
+        # many crashes yields only what the span can hold
+        schedule = CrashSchedule.seeded(0, 2, 4, crashes=10)
+        assert len(schedule) == 2
+        assert {event.at_request for event in schedule} == {1, 2}
+
+    def test_soft_flag_travels(self):
+        schedule = CrashSchedule.seeded(0, 2, 100, crashes=2, hard=False)
+        assert all(not event.hard for event in schedule)
+
+    def test_shard_of_targets_the_traffic_owner(self):
+        # the victim must be whatever shard owns the request at the
+        # crash index, not a uniform pick
+        schedule = CrashSchedule.seeded(
+            3, 8, 100, crashes=3, shard_of=lambda index: index % 8
+        )
+        for event in schedule:
+            assert event.shard == event.at_request % 8
+
+
+class TestLookup:
+    def test_due_returns_events_for_the_index(self):
+        events = [
+            CrashEvent(at_request=5, shard=0),
+            CrashEvent(at_request=5, shard=1),
+            CrashEvent(at_request=9, shard=2),
+        ]
+        schedule = CrashSchedule(events)
+        assert [e.shard for e in schedule.due(5)] == [0, 1]
+        assert list(schedule.due(6)) == []
+        assert len(schedule) == 3
+
+    def test_shards_hit_collects_every_victim(self):
+        schedule = CrashSchedule(
+            [
+                CrashEvent(at_request=1, shard=2),
+                CrashEvent(at_request=2, shard=2),
+                CrashEvent(at_request=3, shard=0),
+            ]
+        )
+        assert schedule.shards_hit() == {0, 2}
+
+    def test_iteration_is_ordered_by_request_index(self):
+        schedule = CrashSchedule(
+            [
+                CrashEvent(at_request=9, shard=0),
+                CrashEvent(at_request=2, shard=1),
+            ]
+        )
+        assert [e.at_request for e in schedule] == [2, 9]

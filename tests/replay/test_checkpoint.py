@@ -13,6 +13,7 @@ from repro.obs.decisions import read_decision_trace
 from repro.replay.checkpoint import (
     CheckpointError,
     CheckpointPlugin,
+    previous_checkpoint_path,
     read_checkpoint,
     restore_checkpoint_state,
     write_checkpoint,
@@ -262,3 +263,64 @@ class TestResumeWithFaults:
         resumed_result = resumed.replay(recording)
         assert resumed_result.tracker_stats == full_result.tracker_stats
         assert resumed_result.stage_counts == full_result.stage_counts
+
+
+class TestCheckpointHardening:
+    """Typed errors naming path+offset, and the .prev fallback layout."""
+
+    PAYLOAD = {"version": 1, "kind": "replay-checkpoint", "event_index": 3}
+
+    def test_truncated_gzip_names_path_and_offset(self, tmp_path):
+        path = tmp_path / "ckpt.json.gz"
+        write_checkpoint(path, self.PAYLOAD)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])  # torn mid-write
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(path)
+        error = excinfo.value
+        assert error.path == path
+        assert error.offset == len(whole) // 2
+        assert "truncated or corrupt gzip" in str(error)
+
+    def test_invalid_json_names_offset(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        text = '{"version": 1, "kind": !!!}'
+        path.write_text(text)
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(path)
+        error = excinfo.value
+        assert error.path == path
+        assert error.offset == text.index("!")
+
+    def test_non_utf8_names_offset(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_bytes(b'{"a": 1}\xff\xfe')
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(path)
+        assert excinfo.value.offset == 8
+
+    def test_keep_previous_parks_the_old_file(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        older = dict(self.PAYLOAD, event_index=1)
+        write_checkpoint(path, older, keep_previous=True)
+        write_checkpoint(path, self.PAYLOAD, keep_previous=True)
+        previous = previous_checkpoint_path(path)
+        assert read_checkpoint(path) == self.PAYLOAD
+        assert read_checkpoint(previous) == older
+
+    def test_prev_of_gzip_checkpoint_still_reads(self, tmp_path):
+        # the .prev suffix hides the .gz suffix; detection must go by
+        # magic bytes, not file name
+        path = tmp_path / "ckpt.json.gz"
+        older = dict(self.PAYLOAD, event_index=1)
+        write_checkpoint(path, older, keep_previous=True)
+        write_checkpoint(path, self.PAYLOAD, keep_previous=True)
+        previous = previous_checkpoint_path(path)
+        assert previous.name == "ckpt.json.gz.prev"
+        assert read_checkpoint(previous) == older
+
+    def test_without_keep_previous_no_prev_file(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, self.PAYLOAD)
+        write_checkpoint(path, dict(self.PAYLOAD, event_index=9))
+        assert not previous_checkpoint_path(path).exists()

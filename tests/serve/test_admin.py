@@ -116,6 +116,47 @@ class TestHealthz:
             observed_server.server._draining = False
 
 
+class TestLivenessReadinessSplit:
+    def test_livez_is_unconditionally_200(self, observed_server):
+        status, _, body = http_get(observed_server.admin_port, "/livez")
+        assert status == 200
+        assert json.loads(body) == {"ok": True, "live": True}
+
+    def test_readyz_is_200_while_serving(self, observed_server):
+        status, _, body = http_get(observed_server.admin_port, "/readyz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True and payload["draining"] is False
+
+    def test_readyz_goes_503_when_draining_livez_stays_200(
+        self, observed_server
+    ):
+        port = observed_server.admin_port
+        observed_server.server._draining = True
+        try:
+            status, _, body = http_get(port, "/readyz")
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["ok"] is False
+            assert payload["ready"] is False
+            assert payload["draining"] is True
+            # liveness is orthogonal: the process is up, so /livez holds
+            status, _, _ = http_get(port, "/livez")
+            assert status == 200
+        finally:
+            observed_server.server._draining = False
+
+    def test_healthz_carries_both_bits(self, observed_server):
+        _, _, body = http_get(observed_server.admin_port, "/healthz")
+        payload = json.loads(body)
+        assert payload["live"] is True
+        assert payload["ready"] is True
+
+    def test_stats_reports_readiness(self, observed_server):
+        _, _, body = http_get(observed_server.admin_port, "/stats")
+        assert json.loads(body)["ready"] is True
+
+
 class TestStatsShape:
     def test_stats_carries_server_counters(self, observed_server):
         _, _, body = http_get(observed_server.admin_port, "/stats")

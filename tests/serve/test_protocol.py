@@ -16,6 +16,7 @@ from repro.serve.protocol import (
     ApplyRequest,
     ControlRequest,
     DecideRequest,
+    GossipRequest,
     ProtocolError,
     encode_message,
     error_response,
@@ -68,6 +69,53 @@ class TestControlOps:
 
     def test_control_rejects_extra_fields(self):
         assert _code_of(_line(op="ping", shard=3)) == "unknown-field"
+
+
+class TestGossipParsing:
+    def test_valid_gossip_parses(self):
+        request = parse_request(
+            _line(op="gossip", id=4, peer=2, pollution=7.5)
+        )
+        assert isinstance(request, GossipRequest)
+        assert request.id == 4
+        assert request.peer == 2
+        assert request.pollution == 7.5
+
+    def test_integer_pollution_coerced_to_float(self):
+        request = parse_request(_line(op="gossip", peer=0, pollution=3))
+        assert request.pollution == 3.0
+        assert isinstance(request.pollution, float)
+
+    def test_missing_fields_rejected(self):
+        assert _code_of(_line(op="gossip", peer=1)) == "bad-request"
+        assert _code_of(_line(op="gossip", pollution=1.0)) == "bad-request"
+
+    def test_invalid_peer_rejected(self):
+        assert _code_of(
+            _line(op="gossip", peer=-1, pollution=1.0)
+        ) == "bad-request"
+        assert _code_of(
+            _line(op="gossip", peer=True, pollution=1.0)
+        ) == "bad-request"
+        assert _code_of(
+            _line(op="gossip", peer="2", pollution=1.0)
+        ) == "bad-request"
+
+    def test_invalid_pollution_rejected(self):
+        assert _code_of(
+            _line(op="gossip", peer=0, pollution=-0.5)
+        ) == "bad-request"
+        assert _code_of(
+            _line(op="gossip", peer=0, pollution=True)
+        ) == "bad-request"
+        assert _code_of(
+            _line(op="gossip", peer=0, pollution="high")
+        ) == "bad-request"
+
+    def test_extra_fields_rejected(self):
+        assert _code_of(
+            _line(op="gossip", peer=0, pollution=1.0, shard=2)
+        ) == "unknown-field"
 
 
 class TestDecideParsing:

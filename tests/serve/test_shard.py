@@ -268,3 +268,104 @@ class TestIntrospection:
         shard = make_shard(observer=observer)
         shard.decide(parse_request(decide_line()))
         assert seen == [("address_dep", 3, 10.0)]
+
+
+class TestGossipBeliefs:
+    def test_believed_pollution_sums_local_and_peers(self):
+        shard = make_shard()
+        local = shard.tracker.pollution()
+        assert shard.believed_pollution() == local
+        shard.receive_gossip(1, 4.0)
+        shard.receive_gossip(2, 2.5)
+        assert shard.believed_pollution() == local + 6.5
+
+    def test_last_write_wins_per_peer(self):
+        shard = make_shard()
+        shard.receive_gossip(1, 4.0)
+        shard.receive_gossip(1, 1.0)
+        assert shard.peer_pollution == {1: 1.0}
+
+    def test_stats_payload_reports_beliefs(self):
+        shard = make_shard()
+        shard.receive_gossip(5, 3.0)
+        payload = shard.stats_payload()
+        assert payload["peer_beliefs"] == 1
+        assert payload["believed_pollution"] == pytest.approx(
+            payload["pollution"] + 3.0
+        )
+
+    def test_stateful_decide_uses_believed_pollution(self):
+        # two identical shards; one believes a peer carries pollution --
+        # the explicit-pollution request must ignore the belief, the
+        # stateful request must consult it
+        isolated = make_shard()
+        believing = make_shard()
+        believing.receive_gossip(1, 50.0)
+        explicit = decide_line()
+        assert isolated.decide(parse_request(explicit)) == believing.decide(
+            parse_request(decide_line())
+        )
+        stateful = dict(
+            json.loads(decide_line()), pollution=None, id=2
+        )
+        isolated_response = isolated.decide(
+            parse_request(json.dumps(stateful))
+        )
+        believing_response = believing.decide(
+            parse_request(json.dumps(stateful))
+        )
+        # the belief shifts the Eq. 8 pollution term, so the marginals
+        # must differ (decisions may or may not flip)
+        assert isolated_response != believing_response
+
+    def test_beliefs_not_checkpointed(self, tmp_path):
+        path = tmp_path / "shard.ckpt.json"
+        shard = make_shard(checkpoint_path=path)
+        shard.receive_gossip(1, 9.0)
+        shard.decide(parse_request(decide_line()))
+        shard.write_checkpoint()
+        restored = make_shard(checkpoint_path=path)
+        assert restored.restore() is True
+        assert restored.peer_pollution == {}
+
+
+class TestRestoreFallback:
+    def _checkpoint_twice(self, path):
+        shard = make_shard(checkpoint_path=path)
+        shard.decide(parse_request(decide_line(dest="mem:0x10")))
+        shard.write_checkpoint()
+        shard.decide(parse_request(decide_line(dest="mem:0x20", id=2)))
+        shard.write_checkpoint()
+        return shard
+
+    def test_corrupt_latest_falls_back_to_prev(self, tmp_path):
+        path = tmp_path / "shard.ckpt.json"
+        self._checkpoint_twice(path)
+        path.write_text('{"torn')  # the crash landed mid-write
+        restored = make_shard(checkpoint_path=path)
+        assert restored.restore() is True
+        # the .prev file carries the state as of the first checkpoint
+        assert restored.requests_applied == 1
+        fallback = restored.restore_fallback
+        assert fallback is not None
+        assert fallback.path == path
+
+    def test_intact_latest_wins_and_keeps_no_fallback(self, tmp_path):
+        path = tmp_path / "shard.ckpt.json"
+        self._checkpoint_twice(path)
+        restored = make_shard(checkpoint_path=path)
+        assert restored.restore() is True
+        assert restored.requests_applied == 2
+        assert restored.restore_fallback is None
+
+    def test_both_damaged_starts_fresh(self, tmp_path):
+        from repro.replay.checkpoint import previous_checkpoint_path
+
+        path = tmp_path / "shard.ckpt.json"
+        self._checkpoint_twice(path)
+        path.write_text("not json")
+        previous_checkpoint_path(path).write_text("also not json")
+        restored = make_shard(checkpoint_path=path)
+        assert restored.restore() is False
+        assert restored.requests_applied == 0
+        assert restored.restore_fallback is not None

@@ -18,15 +18,17 @@ from repro.dift.tags import Tag
 from repro.replay.record import Recording
 
 PINNED_ALL = [
-    # the five entry points
+    # the six entry points
     "load_recording",
     "build_system",
     "replay",
     "decide",
     "serve",
+    "cluster",
     # typed configuration
     "ReplayOptions",
     "ServeOptions",
+    "ClusterOptions",
     # stable re-exported types
     "MitosParams",
     "FarosConfig",
@@ -42,6 +44,8 @@ PINNED_ALL = [
     "MitosServer",
     "ServerThread",
     "ServeClient",
+    "ClusterSupervisor",
+    "ClusterRouter",
     "POLICY_NAMES",
 ]
 
