@@ -273,6 +273,11 @@ def serve(
     ``background=True`` the server runs on its own event-loop thread and
     the started :class:`~repro.serve.server.ServerThread` is returned
     (its ``.port`` is the bound port; call ``.stop()`` to drain).
+
+    ``options.wire_format`` picks the decide/apply wire policy: the
+    default ``"ndjson"`` negotiates NDJSON or binary per connection
+    (clients opt into binary with the magic-byte hello), ``"binary"``
+    rejects NDJSON decide/apply while keeping control ops reachable.
     """
     if options is None:
         options = ServeOptions()

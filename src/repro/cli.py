@@ -312,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="max wait for queued requests on graceful shutdown",
     )
+    serve.add_argument(
+        "--wire-format", default="ndjson", choices=("ndjson", "binary"),
+        help="'ndjson' negotiates both formats per connection; 'binary' "
+             "rejects NDJSON decide/apply (control ops stay reachable)",
+    )
 
     cluster = subparsers.add_parser(
         "cluster",
@@ -359,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--status-interval", type=float, default=5.0, metavar="SECONDS",
         help="print a supervisor status line this often (0 = only on exit)",
+    )
+    cluster.add_argument(
+        "--wire-format", default="ndjson", choices=("ndjson", "binary"),
+        help="wire format each shard server enforces for decide/apply "
+             "(gossip and control ops always ride NDJSON)",
     )
 
     bench_cluster = subparsers.add_parser(
@@ -451,6 +461,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the server on a thread in this process instead of a "
              "subprocess (simpler, but the client contends with the "
              "server for the GIL, so throughput reads low)",
+    )
+    bench_serve.add_argument(
+        "--wire-format", default="both",
+        choices=("both", "ndjson", "binary"),
+        help="which wire format(s) to measure; 'both' runs each against "
+             "a fresh server and reports the speedup",
+    )
+    bench_serve.add_argument(
+        "--binary-window", type=int, default=64, metavar="N",
+        help="outstanding requests per connection on the binary runs "
+             "(smaller than --window: at binary throughput a deep "
+             "pipeline only inflates latency)",
+    )
+    bench_serve.add_argument(
+        "--profile", action="store_true",
+        help="run the server loop under cProfile (forces --in-process) "
+             "and write results/serve_profile.pstats plus a top-25 "
+             "cumulative table",
     )
 
     bench = subparsers.add_parser(
@@ -667,6 +695,7 @@ def _serve_options(args: argparse.Namespace):
         canary_alpha=args.canary_alpha,
         canary_policy=args.canary_policy,
         drain_timeout=args.drain_timeout,
+        wire_format=args.wire_format,
     )
 
 
@@ -713,6 +742,7 @@ def _cluster_options(args: argparse.Namespace):
             args.gossip_interval if args.gossip_interval > 0 else None
         ),
         gossip_loss_rate=args.gossip_loss_rate,
+        wire_format=args.wire_format,
     )
 
 
@@ -952,6 +982,15 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         write_bench_report,
     )
 
+    profile = None
+    in_process = args.in_process
+    if args.profile:
+        import cProfile
+
+        profile = cProfile.Profile()
+        if not in_process:
+            print("--profile runs the server in-process")
+            in_process = True
     recording = network_recording(seed=args.seed, quick=args.quick)
     params = experiment_params(quick=args.quick)
     print(
@@ -962,54 +1001,113 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     if not offline:
         print("error: the recording produced no IFP decisions", file=sys.stderr)
         return 2
-    print(
-        f"replaying {len(offline)} decisions against {args.shards} shard(s) "
-        f"({args.connections} connection(s), window {args.window})..."
+    formats = (
+        ("binary", "ndjson")
+        if args.wire_format == "both"
+        else (args.wire_format,)
     )
-    if args.in_process:
-        options = ServeOptions(
-            port=0, shards=args.shards, quick_calibration=args.quick
+    results = {}
+    windows = {}
+    for wire_format in formats:
+        window = (
+            args.binary_window if wire_format == "binary" else args.window
         )
-        with ServerThread(options) as server:
-            result = run_load(
-                server.host,
-                server.port,
-                offline,
-                connections=args.connections,
-                window=args.window,
-            )
-    else:
-        with _server_subprocess(args) as (host, port):
-            result = run_load(
-                host,
-                port,
-                offline,
-                connections=args.connections,
-                window=args.window,
-            )
-    summary = result.summary()
-    print(
-        f"\n{summary['requests']} decisions in "
-        f"{summary['elapsed_seconds']:.2f}s = "
-        f"{summary['decisions_per_second']:.0f}/s; "
-        f"p50 {result.latency_percentile(50) / 1000:.2f}ms, "
-        f"p99 {result.latency_percentile(99) / 1000:.2f}ms"
-    )
-    if result.matched:
-        print("parity: every served decision matched the offline replay")
-    else:
+        windows[wire_format] = window
         print(
-            f"PARITY FAILURE: {len(result.mismatches)} mismatch(es), "
-            f"{result.errors} error(s)",
-            file=sys.stderr,
+            f"\n[{wire_format}] replaying {len(offline)} decisions against "
+            f"{args.shards} shard(s) ({args.connections} connection(s), "
+            f"window {window})..."
         )
-        for mismatch in result.mismatches[:3]:
+        # fresh server per format: identical start state, so the two
+        # measurements (and their parity checks) are independent
+        if in_process:
+            options = ServeOptions(
+                port=0, shards=args.shards, quick_calibration=args.quick
+            )
+            with ServerThread(options, profile=profile) as server:
+                result = run_load(
+                    server.host,
+                    server.port,
+                    offline,
+                    connections=args.connections,
+                    window=window,
+                    wire_format=wire_format,
+                )
+        else:
+            with _server_subprocess(args) as (host, port):
+                result = run_load(
+                    host,
+                    port,
+                    offline,
+                    connections=args.connections,
+                    window=window,
+                    wire_format=wire_format,
+                )
+        results[wire_format] = result
+        summary = result.summary()
+        print(
+            f"[{wire_format}] {summary['requests']} decisions in "
+            f"{summary['elapsed_seconds']:.2f}s = "
+            f"{summary['decisions_per_second']:.0f}/s; "
+            f"p50 {result.latency_percentile(50) / 1000:.2f}ms, "
+            f"p99 {result.latency_percentile(99) / 1000:.2f}ms"
+        )
+        if result.matched:
             print(
-                f"  request {mismatch.index} field {mismatch.field_name}: "
-                f"expected {mismatch.expected!r}, got {mismatch.actual!r}",
+                f"[{wire_format}] parity: every served decision matched "
+                "the offline replay"
+            )
+        else:
+            print(
+                f"[{wire_format}] PARITY FAILURE: "
+                f"{len(result.mismatches)} mismatch(es), "
+                f"{result.errors} error(s)",
                 file=sys.stderr,
             )
+            for mismatch in result.mismatches[:3]:
+                print(
+                    f"  request {mismatch.index} field "
+                    f"{mismatch.field_name}: expected "
+                    f"{mismatch.expected!r}, got {mismatch.actual!r}",
+                    file=sys.stderr,
+                )
     repo_root = Path(__file__).resolve().parent.parent.parent
+    if profile is not None:
+        import io
+        import pstats
+
+        results_dir = repo_root / "results"
+        results_dir.mkdir(exist_ok=True)
+        pstats_path = results_dir / "serve_profile.pstats"
+        profile.dump_stats(pstats_path)
+        stream = io.StringIO()
+        pstats.Stats(profile, stream=stream).sort_stats(
+            "cumulative"
+        ).print_stats(25)
+        table_path = results_dir / "serve_profile_top25.txt"
+        table_path.write_text(stream.getvalue(), encoding="utf-8")
+        print(f"profile: {pstats_path}\nprofile table: {table_path}")
+    # the primary (top-level) result is the fastest configured path, so
+    # the BENCH_serve.json trendline tracks what the server can do
+    primary_format = "binary" if "binary" in results else formats[0]
+    primary = results[primary_format]
+    extra: dict = {
+        "quick": args.quick,
+        "seed": args.seed,
+        "wire_format": primary_format,
+        "formats": {
+            wire_format: dict(
+                result.summary(), window=windows[wire_format]
+            )
+            for wire_format, result in results.items()
+        },
+    }
+    if len(results) > 1 and results["ndjson"].decisions_per_second > 0:
+        extra["binary_speedup"] = (
+            results["binary"].decisions_per_second
+            / results["ndjson"].decisions_per_second
+        )
+        print(f"\nbinary speedup: {extra['binary_speedup']:.1f}x")
     json_out = (
         Path(args.json_out)
         if args.json_out is not None
@@ -1017,15 +1115,15 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     )
     write_bench_report(
         json_out,
-        result,
+        primary,
         shards=args.shards,
         connections=args.connections,
-        window=args.window,
+        window=windows[primary_format],
         recording_events=len(recording),
-        extra={"quick": args.quick, "seed": args.seed},
+        extra=extra,
     )
     print(f"written: {json_out}")
-    return 0 if result.matched else 1
+    return 0 if all(r.matched for r in results.values()) else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

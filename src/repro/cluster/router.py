@@ -116,12 +116,14 @@ class ClusterRouter:
         backoff: float = 0.05,
         backoff_max: float = 1.0,
         sleep: Callable[[float], None] = time.sleep,
+        wire_format: str = "ndjson",
     ):
         self.endpoints = endpoints
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
         self.backoff_max = backoff_max
+        self.wire_format = wire_format
         self._sleep = sleep
         self._ring = HashRing(endpoints.shards)
         self._clients: Dict[int, tuple] = {}  # shard -> (generation, client)
@@ -139,6 +141,7 @@ class ClusterRouter:
             max_retries=options.router_retries,
             backoff=options.router_backoff,
             backoff_max=options.router_backoff_max,
+            wire_format=options.wire_format,
         )
         settings.update(overrides)
         return cls(supervisor, **settings)
@@ -162,7 +165,10 @@ class ClusterRouter:
             del self._clients[shard]
         try:
             client = ServeClient(
-                endpoint.host, endpoint.port, timeout=self.timeout
+                endpoint.host,
+                endpoint.port,
+                timeout=self.timeout,
+                wire_format=self.wire_format,
             )
         except OSError:
             return None

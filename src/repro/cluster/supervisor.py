@@ -134,6 +134,7 @@ class ProcessShard:
             "--checkpoint-every", str(serve.checkpoint_every),
             "--resume",
             "--drain-timeout", str(serve.drain_timeout),
+            "--wire-format", serve.wire_format,
         ]
         if serve.quick_calibration:
             command.append("--quick-calibration")

@@ -63,7 +63,7 @@ class ProvenanceList:
     copy-count bookkeeping to :class:`repro.dift.shadow.ShadowMemory`.
     """
 
-    __slots__ = ("_capacity", "_scheduling", "_tags", "_value_fn")
+    __slots__ = ("_capacity", "_members", "_scheduling", "_tags", "_value_fn")
 
     def __init__(
         self,
@@ -79,6 +79,10 @@ class ProvenanceList:
         self._scheduling = scheduling
         self._value_fn = value_fn
         self._tags: List[Tag] = []
+        # membership mirror of _tags: the list keeps eviction order, the
+        # set answers "is this tag here?" without a linear __eq__ scan
+        # (the single hottest question on the serving path)
+        self._members: set = set()
 
     @property
     def capacity(self) -> int:
@@ -107,7 +111,8 @@ class ProvenanceList:
         REJECT; under LRU it refreshes the tag's recency.
         """
         tags = self._tags
-        if tag in tags:
+        members = self._members
+        if tag in members:
             if self._scheduling is SchedulingPolicy.LRU:
                 tags.remove(tag)
                 tags.append(tag)
@@ -123,14 +128,19 @@ class ProvenanceList:
                     # resident: admission refused
                     return _REFUSED
                 tags.remove(victim)
+                members.discard(victim)
                 tags.append(tag)
+                members.add(tag)
                 return AddOutcome(present=True, added=True, dropped=victim)
             # FIFO and LRU both evict the head: under FIFO the head is
             # the oldest insertion; under LRU the least recently touched.
             dropped = tags.pop(0)
+            members.discard(dropped)
             tags.append(tag)
+            members.add(tag)
             return AddOutcome(present=True, added=True, dropped=dropped)
         tags.append(tag)
+        members.add(tag)
         return _ADDED
 
     def remove(self, tag: Tag) -> bool:
@@ -139,22 +149,24 @@ class ProvenanceList:
             self._tags.remove(tag)
         except ValueError:
             return False
+        self._members.discard(tag)
         return True
 
     def clear(self) -> Tuple[Tag, ...]:
         """Empty the list, returning what was dropped."""
         dropped = tuple(self._tags)
         self._tags.clear()
+        self._members.clear()
         return dropped
 
     def touch(self, tag: Tag) -> None:
         """Refresh recency for LRU scheduling (no-op when absent or FIFO)."""
-        if self._scheduling is SchedulingPolicy.LRU and tag in self._tags:
+        if self._scheduling is SchedulingPolicy.LRU and tag in self._members:
             self._tags.remove(tag)
             self._tags.append(tag)
 
     def __contains__(self, tag: Tag) -> bool:
-        return tag in self._tags
+        return tag in self._members
 
     def __len__(self) -> int:
         return len(self._tags)

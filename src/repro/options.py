@@ -196,10 +196,19 @@ class ServeOptions:
     canary_policy: Optional[str] = None
     #: seconds to wait for queues to empty on graceful shutdown
     drain_timeout: float = 10.0
+    #: "ndjson" negotiates both wire formats (binary by magic-byte hello,
+    #: the default); "binary" additionally rejects NDJSON decide/apply so
+    #: the data plane is binary-only (control ops stay NDJSON-reachable)
+    wire_format: str = "ndjson"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.wire_format not in ("ndjson", "binary"):
+            raise ValueError(
+                "wire_format must be 'ndjson' or 'binary', "
+                f"got {self.wire_format!r}"
+            )
         if self.queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"
@@ -309,10 +318,19 @@ class ClusterOptions:
     #: exponential-backoff base / cap between router retries
     router_backoff: float = 0.05
     router_backoff_max: float = 1.0
+    #: wire format for the shard servers' data plane and the router's
+    #: client connections ("ndjson" | "binary"); gossip always rides
+    #: NDJSON control connections either way
+    wire_format: str = "ndjson"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.wire_format not in ("ndjson", "binary"):
+            raise ValueError(
+                "wire_format must be 'ndjson' or 'binary', "
+                f"got {self.wire_format!r}"
+            )
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
@@ -381,6 +399,7 @@ class ClusterOptions:
             checkpoint_every=self.checkpoint_every,
             resume=True,
             drain_timeout=self.drain_timeout,
+            wire_format=self.wire_format,
         )
 
 

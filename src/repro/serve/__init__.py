@@ -1,4 +1,9 @@
-"""Online MITOS decision service: NDJSON protocol, server, client, loadgen.
+"""Online MITOS decision service: wire protocols, server, client, loadgen.
+
+Two wire formats share every port: NDJSON (the default, one JSON object
+per line) and a length-prefixed binary frame format negotiated by a
+magic-byte hello (``docs/SERVING.md``), which serves the same decisions
+roughly an order of magnitude faster.
 
 The package turns the offline replay kernel into a long-running service:
 :class:`~repro.serve.server.MitosServer` shards the decision state,
@@ -24,19 +29,28 @@ from repro.serve.loadgen import (
     write_bench_report,
 )
 from repro.serve.protocol import (
+    BINARY_MAGIC,
+    BINARY_VERSION,
     ERROR_CODES,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     REQUEST_OPS,
     GossipRequest,
     ProtocolError,
+    decode_response_frame,
+    encode_decide_frame,
+    encode_hello,
+    encode_preamble,
     parse_request,
+    split_frames,
 )
 from repro.serve.server import HashRing, MitosServer, ServerThread
 from repro.serve.shard import DecisionShard
 from repro.serve.top import iter_events, render, run_top
 
 __all__ = [
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
@@ -55,6 +69,10 @@ __all__ = [
     "ServerThread",
     "build_snapshot",
     "collect_offline_decisions",
+    "decode_response_frame",
+    "encode_decide_frame",
+    "encode_hello",
+    "encode_preamble",
     "iter_events",
     "mirrors",
     "offline_decision_diff",
@@ -62,6 +80,7 @@ __all__ = [
     "render",
     "run_load",
     "run_top",
+    "split_frames",
     "stateful_stream",
     "write_bench_report",
 ]

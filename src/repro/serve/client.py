@@ -1,10 +1,25 @@
 """Blocking client for the MITOS decision service.
 
-A thin, dependency-free library over the NDJSON protocol: open a socket,
-send requests, match responses by ``id``.  Matching by id matters --
-shards answer independently, so responses for one connection are **not**
-guaranteed to come back in submission order once requests hash to
-different shards.
+A thin, dependency-free library over the serve wire protocols: open a
+socket, send requests, match responses by ``id``.  Matching by id
+matters -- shards answer independently, so responses for one connection
+are **not** guaranteed to come back in submission order once requests
+hash to different shards.
+
+Two wire formats (``wire_format=``):
+
+* ``"ndjson"`` (default): one JSON object per line, byte-identical to
+  every earlier release;
+* ``"binary"``: the length-prefixed frame format from
+  :mod:`repro.serve.protocol` -- the client sends the magic preamble and
+  an empty ``hello`` on connect, interns destination / tag-type /
+  context strings into per-connection tables (``STR_ADD`` frames ride
+  immediately before the first decide frame that uses a new string),
+  and packs decide requests with :func:`encode_decide_frame`.  Anything
+  that does not fit the packed ranges (non-integer ids, negative
+  copies, huge ticks) transparently falls back to a JSON envelope
+  frame, so every payload accepted on NDJSON is accepted here with the
+  exact same response.
 
 Two usage shapes:
 
@@ -32,10 +47,44 @@ import socket
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.serve.protocol import MAX_FRAME_BYTES, encode_message
+from repro.serve.protocol import (
+    CTX_NONE,
+    KIND_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    S_LEN,
+    TABLE_CONTEXTS,
+    TABLE_DESTS,
+    TABLE_TAG_TYPES,
+    decode_response_frame,
+    encode_decide_frame,
+    encode_hello,
+    encode_json_frame,
+    encode_message,
+    encode_preamble,
+    encode_str_add,
+)
 
 #: (tag_type, index) or (tag_type, index, copies)
 CandidateLike = Union[Tuple[str, int], Tuple[str, int, int], Sequence[object]]
+
+#: decide payloads with exactly these keys are eligible for binary packing;
+#: anything else rides a JSON envelope so server-side validation matches
+#: NDJSON field-for-field
+_DECIDE_KEYS = frozenset(
+    (
+        "op",
+        "id",
+        "dest",
+        "free_slots",
+        "candidates",
+        "kind",
+        "tick",
+        "context",
+        "pollution",
+    )
+)
+_CAND_KEYS = frozenset(("type", "index", "copies"))
 
 
 class ServeClientError(RuntimeError):
@@ -59,7 +108,12 @@ class ServeClient:
         auto_reconnect: bool = False,
         reconnect_attempts: int = 3,
         reconnect_backoff: float = 0.05,
+        wire_format: str = "ndjson",
     ):
+        if wire_format not in ("ndjson", "binary"):
+            raise ValueError(
+                f"wire_format must be 'ndjson' or 'binary', got {wire_format!r}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -67,15 +121,36 @@ class ServeClient:
         self.auto_reconnect = auto_reconnect
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_backoff = reconnect_backoff
+        self.wire_format = wire_format
+        self._binary = wire_format == "binary"
         #: successful reconnects performed over this client's lifetime
         self.reconnects = 0
+        #: shard count / binary-only flag reported by the hello ack
+        self.server_shards: Optional[int] = None
+        self.server_binary_only = False
         # the id counter and pending map live on the client, not the
         # connection: ids stay monotone across reconnects (id continuity)
         self._ids = itertools.count(1)
         #: responses that arrived while waiting for a different id
         self._pending: Dict[object, Dict[str, object]] = {}
         self._recv_buf = b""
+        # per-connection string tables (binary mode): the client owns
+        # them -- interned here, announced to the server via STR_ADD
+        self._tables: Tuple[List[str], List[str], List[str]] = ([], [], [])
+        self._table_ids: Tuple[
+            Dict[str, int], Dict[str, int], Dict[str, int]
+        ] = ({}, {}, {})
+        #: STR_ADD frames not yet on the wire (flushed before the next send)
+        self._table_frames: List[bytes] = []
+        #: strings interned since the last STR_ADD flush, per table
+        self._new_entries: Tuple[List[str], List[str], List[str]] = (
+            [],
+            [],
+            [],
+        )
         self._sock = self._connect()
+        if self._binary:
+            self._handshake()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -94,7 +169,10 @@ class ServeClient:
         Already-collected pending responses stay valid; a partially
         received line is discarded (the server never splits a response
         across connections).  The id counter is untouched, so requests
-        issued after the reconnect continue the same id sequence.
+        issued after the reconnect continue the same id sequence.  In
+        binary mode the string tables are per-connection state: they are
+        cleared and the hello handshake is redone, so later decide
+        frames re-intern their strings against the fresh tables.
         """
         self.close()
         self._recv_buf = b""
@@ -104,6 +182,8 @@ class ServeClient:
                 time.sleep(self.reconnect_backoff * (2 ** (attempt - 1)))
             try:
                 self._sock = self._connect()
+                if self._binary:
+                    self._handshake()
             except OSError as error:
                 last_error = error
                 continue
@@ -126,7 +206,161 @@ class ServeClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- binary wire format ------------------------------------------------
+
+    def _handshake(self) -> None:
+        """Send the magic preamble + an empty hello, consume the ack.
+
+        Tables always start empty on a fresh connection -- the server's
+        copy dies with the socket, so reconnects must not carry over
+        interned ids.
+        """
+        self._recv_buf = b""
+        for table in self._tables:
+            del table[:]
+        for ids in self._table_ids:
+            ids.clear()
+        del self._table_frames[:]
+        for entries in self._new_entries:
+            del entries[:]
+        self._sock.sendall(encode_preamble() + encode_hello())
+        ack = decode_response_frame(self._read_frame(), ())
+        if not ack.get("hello"):
+            raise ConnectionError(f"binary hello rejected: {ack!r}")
+        self.server_shards = int(ack["shards"])  # type: ignore[arg-type]
+        self.server_binary_only = bool(ack.get("binary_only"))
+
+    def _read_frame(self) -> bytes:
+        """One length-prefixed frame body off the socket (binary mode)."""
+        while True:
+            if len(self._recv_buf) >= 4:
+                (length,) = S_LEN.unpack_from(self._recv_buf)
+                if not 0 < length <= MAX_FRAME_BYTES:
+                    raise ServeClientError(
+                        "bad-response", f"bad frame length {length}", {}
+                    )
+                if len(self._recv_buf) >= 4 + length:
+                    body = self._recv_buf[4:4 + length]
+                    self._recv_buf = self._recv_buf[4 + length:]
+                    return body
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._recv_buf += chunk
+
+    def _intern(self, table: int, name: str) -> int:
+        ids = self._table_ids[table]
+        index = ids.get(name)
+        if index is None:
+            entries = self._tables[table]
+            index = len(entries)
+            entries.append(name)
+            ids[name] = index
+            self._new_entries[table].append(name)
+        return index
+
+    def _flush_new_entries(self) -> None:
+        """Turn freshly interned strings into pending STR_ADD frames."""
+        for table, entries in enumerate(self._new_entries):
+            if entries:
+                self._table_frames.append(encode_str_add(table, entries))
+                del entries[:]
+
+    def _encode_decide(self, payload: Dict[str, object]) -> Optional[bytes]:
+        """Pack a decide payload into a binary frame, or None to fall back.
+
+        Fallback (a JSON envelope frame) keeps the server's NDJSON
+        validation in the loop for anything the packed format cannot
+        express -- out-of-range ints, negative copies, stray keys --
+        so error responses stay field-for-field identical to NDJSON.
+        """
+        request_id = payload.get("id")
+        if (
+            type(request_id) is not int
+            or not 0 <= request_id < 1 << 64
+            or not _DECIDE_KEYS.issuperset(payload)
+        ):
+            return None
+        kind = payload.get("kind", "address_dep")
+        kind_code = KIND_CODES.get(kind)  # type: ignore[arg-type]
+        raw_candidates = payload.get("candidates")
+        if kind_code is None or type(raw_candidates) is not list:
+            return None
+        pollution = payload.get("pollution")
+        if pollution is not None and (
+            type(pollution) not in (int, float) or pollution < 0
+        ):
+            # a packed f64 would happily carry bools and negatives that
+            # NDJSON parse rejects; route them through the envelope
+            return None
+        try:
+            candidates: List[Tuple[int, int, int]] = []
+            for spec in raw_candidates:
+                if type(spec) is not dict or not _CAND_KEYS.issuperset(spec):
+                    return None
+                copies = spec.get("copies")
+                if copies is None:
+                    copies = -1
+                elif type(copies) is not int or copies < 0:
+                    return None
+                candidates.append(
+                    (
+                        self._intern(TABLE_TAG_TYPES, spec["type"]),
+                        spec["index"],
+                        copies,
+                    )
+                )
+            dest_index = self._intern(TABLE_DESTS, payload["dest"])
+            context = payload.get("context", "")
+            if context == "":
+                context_index = CTX_NONE
+            else:
+                context_index = self._intern(TABLE_CONTEXTS, context)
+            frame = encode_decide_frame(
+                request_id,
+                dest_index,
+                kind_code,
+                payload.get("tick", 0),  # type: ignore[arg-type]
+                context_index,
+                payload.get("free_slots", 0),  # type: ignore[arg-type]
+                payload.get("pollution"),  # type: ignore[arg-type]
+                candidates,
+            )
+        except (ProtocolError, KeyError, TypeError):
+            return None
+        finally:
+            # strings interned before a failure are already in the
+            # client tables; announce them regardless so table state
+            # never diverges from the server's
+            self._flush_new_entries()
+        return frame
+
+    def _encode_request(self, payload: Dict[str, object]) -> bytes:
+        """Payload -> wire bytes for this connection's format.
+
+        Called per send attempt (not once per request): after a
+        reconnect the string tables restart empty, so binary frames
+        must be re-packed against the fresh tables.
+        """
+        if not self._binary:
+            return encode_message(payload)
+        frame = None
+        if payload.get("op") == "decide":
+            frame = self._encode_decide(payload)
+        if frame is None:
+            frame = encode_json_frame(payload)
+        if self._table_frames:
+            frame = b"".join((*self._table_frames, frame))
+            del self._table_frames[:]
+        return frame
+
+    # -- response plumbing -------------------------------------------------
+
     def _read_response(self) -> Dict[str, object]:
+        if self._binary:
+            return decode_response_frame(
+                self._read_frame(), self._tables[TABLE_TAG_TYPES]
+            )
         while True:
             newline = self._recv_buf.find(b"\n")
             if newline >= 0:
@@ -172,13 +406,12 @@ class ServeClient:
         payload = dict(payload)
         payload.setdefault("id", next(self._ids))
         request_id = payload["id"]
-        frame = encode_message(payload)
         attempts = (
             max(1, self.reconnect_attempts) + 1 if self.auto_reconnect else 1
         )
         for attempt in range(attempts):
             try:
-                self._sock.sendall(frame)
+                self._sock.sendall(self._encode_request(payload))
                 return self._wait_for(request_id)
             except ConnectionError:
                 if attempt + 1 >= attempts:
@@ -323,14 +556,14 @@ class ServeClient:
         """
         payload = dict(payload)
         payload.setdefault("id", next(self._ids))
-        frame = encode_message(payload)
         try:
-            self._sock.sendall(frame)
+            self._sock.sendall(self._encode_request(payload))
         except ConnectionError:
             if not self.auto_reconnect:
                 raise
             self.reconnect()
-            self._sock.sendall(frame)
+            # re-encode: binary string tables restarted with the socket
+            self._sock.sendall(self._encode_request(payload))
         return payload["id"]
 
     def collect(self, request_id: object) -> Dict[str, object]:

@@ -29,20 +29,90 @@ it to drive a server that gets killed mid-load.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.params import MitosParams
 from repro.dift.tracker import DIFTTracker
 from repro.faros.config import FarosConfig
+from repro.obs.metrics import SERVE_LATENCY_BUCKETS_US
 from repro.replay.record import Recording
 from repro.serve.client import ServeClient
-from repro.serve.protocol import format_location
+from repro.serve.protocol import (
+    CTX_NONE,
+    FRAME_HELLO_ACK,
+    KIND_CODES,
+    ProtocolError,
+    S_LEN,
+    decode_response_frame,
+    encode_decide_frame,
+    encode_hello,
+    encode_json_frame,
+    encode_preamble,
+    format_location,
+)
 
 _INDIRECT_KINDS = frozenset({"address_dep", "control_dep"})
+
+
+def split_chunk_lines(
+    buffer: bytearray,
+    t_recv: float,
+    append: Callable[[Tuple[float, bytes]], None],
+) -> int:
+    """Split complete NDJSON lines out of ``buffer``; return how many.
+
+    ``t_recv`` must be taken once per received chunk, immediately after
+    ``recv`` returns and **before** this split loop runs -- every frame
+    completed by one chunk shares that chunk's arrival time, and a frame
+    split across chunks is stamped with the arrival of the chunk that
+    completed it.  Incomplete tail bytes stay in ``buffer`` for the next
+    chunk.
+    """
+    start = 0
+    count = 0
+    newline = buffer.find(b"\n")
+    while newline >= 0:
+        append((t_recv, bytes(buffer[start:newline])))
+        count += 1
+        start = newline + 1
+        newline = buffer.find(b"\n", start)
+    if start:
+        del buffer[:start]
+    return count
+
+
+def split_chunk_frames(
+    buffer: bytearray,
+    t_recv: float,
+    append: Callable[[Tuple[float, bytes]], None],
+) -> int:
+    """Binary twin of :func:`split_chunk_lines`: length-prefix hopping.
+
+    Walks u32-LE length prefixes instead of scanning for newlines; a
+    split prefix or body carries over in ``buffer`` until the chunk
+    that completes it arrives (and stamps it).
+    """
+    pos = 0
+    count = 0
+    end = len(buffer)
+    unpack_len = S_LEN.unpack_from
+    while end - pos >= 4:
+        (length,) = unpack_len(buffer, pos)
+        body = pos + 4
+        if end - body < length:
+            break
+        pos = body + length
+        append((t_recv, bytes(buffer[body:pos])))
+        count += 1
+    if pos:
+        del buffer[:pos]
+    return count
 
 
 @dataclass
@@ -200,6 +270,21 @@ class LoadResult:
         )
         return ordered[position]
 
+    def latency_histogram(
+        self, buckets: Sequence[float] = SERVE_LATENCY_BUCKETS_US
+    ) -> Dict[str, List[object]]:
+        """Latency distribution over the serve bucket boundaries.
+
+        Same boundaries as the server's ``serve.*_us`` metrics, so the
+        client-side and server-side views line up.  ``le_us[i]`` is the
+        inclusive upper bound of ``counts[i]``; the final ``"inf"``
+        bucket holds the overflow.
+        """
+        counts = [0] * (len(buckets) + 1)
+        for value in self.latencies_us:
+            counts[bisect_left(buckets, value)] += 1
+        return {"le_us": [*buckets, "inf"], "counts": counts}
+
     def summary(self) -> Dict[str, object]:
         return {
             "requests": self.requests,
@@ -213,6 +298,7 @@ class LoadResult:
                 "p95": self.latency_percentile(95),
                 "p99": self.latency_percentile(99),
             },
+            "latency_histogram_us": self.latency_histogram(),
         }
 
 
@@ -231,6 +317,62 @@ def _compare(
             mismatches.append(Mismatch(index, key, want, got))
 
 
+def _encode_binary_worker(
+    decisions: Sequence[OfflineDecision],
+    indices: Sequence[int],
+    encoded: List[bytes],
+) -> Tuple[bytes, List[str]]:
+    """Pre-encode one worker's slice as binary frames (off the clock).
+
+    String tables are per-connection, so each worker owns one set: all
+    three tables are built up front and seeded through the hello frame
+    -- no mid-stream ``STR_ADD`` traffic in the timed window.  Returns
+    the preamble+hello bytes and the worker's tag-type table (needed to
+    decode its responses); frames land in ``encoded`` by decision index.
+    A request the packed format cannot express falls back to a JSON
+    envelope frame, same as :class:`ServeClient`.
+    """
+    tables: Tuple[List[str], List[str], List[str]] = ([], [], [])
+    ids: Tuple[Dict[str, int], Dict[str, int], Dict[str, int]] = ({}, {}, {})
+
+    def intern(table: int, name: str) -> int:
+        index = ids[table].get(name)
+        if index is None:
+            index = len(tables[table])
+            tables[table].append(name)
+            ids[table][name] = index
+        return index
+
+    for index in indices:
+        request = decisions[index].request
+        try:
+            candidates = []
+            for spec in request["candidates"]:  # type: ignore[index]
+                copies = spec.get("copies")
+                candidates.append(
+                    (
+                        intern(1, spec["type"]),
+                        spec["index"],
+                        -1 if copies is None else copies,
+                    )
+                )
+            context = request.get("context", "")
+            encoded[index] = encode_decide_frame(
+                index,
+                intern(0, request["dest"]),  # type: ignore[arg-type]
+                KIND_CODES[request["kind"]],  # type: ignore[index]
+                request.get("tick", 0),  # type: ignore[arg-type]
+                CTX_NONE if context == "" else intern(2, context),
+                request["free_slots"],  # type: ignore[arg-type]
+                request.get("pollution"),  # type: ignore[arg-type]
+                candidates,
+            )
+        except (ProtocolError, KeyError, TypeError):
+            encoded[index] = encode_json_frame(dict(request, id=index))
+    hello = encode_preamble() + encode_hello(*tables)
+    return hello, tables[1]
+
+
 def run_load(
     host: str,
     port: int,
@@ -238,53 +380,103 @@ def run_load(
     connections: int = 1,
     window: int = 32,
     max_mismatches: int = 10,
+    wire_format: str = "ndjson",
 ) -> LoadResult:
     """Replay captured decisions against a live server, closed-loop.
 
     Each connection keeps up to ``window`` requests outstanding
     (pipelined on one socket, responses matched by id), which is what
     keeps multiple shards busy from a single client process.  Every
-    response is compared field-for-field against its offline outcome.
+    response is compared field-for-field against its offline outcome
+    -- on either wire format: ``wire_format="binary"`` pre-encodes
+    struct-packed decide frames against hello-seeded string tables and
+    decodes responses through :func:`decode_response_frame`, so the
+    parity comparison is bit-for-bit the same dict comparison NDJSON
+    gets.
 
     The timed window contains nothing but I/O: frames are pre-encoded
     with the decision index as id before the clock starts, and the
-    receive loop only timestamps raw response lines.  Decoding, id
-    matching, latency math and the parity comparison all happen after
-    the clock stops -- on a small machine the client shares cores with
-    the server, so any in-loop client work would directly depress the
-    measured serving throughput.
+    receive loop timestamps each received chunk exactly once --
+    immediately after ``recv`` returns, before the frame-split loop --
+    so every frame completed by a chunk shares that chunk's arrival
+    time.  Decoding, id matching, latency math and the parity
+    comparison all happen after the clock stops -- on a small machine
+    the client shares cores with the server, so any in-loop client work
+    would directly depress the measured serving throughput.
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
-    encoded = [
-        ServeClient.encode_with_id(decision.request, index)
-        for index, decision in enumerate(decisions)
-    ]
+    if wire_format not in ("ndjson", "binary"):
+        raise ValueError(
+            f"wire_format must be 'ndjson' or 'binary', got {wire_format!r}"
+        )
+    binary = wire_format == "binary"
     slices = [
         list(range(start, len(decisions), connections))
         for start in range(connections)
     ]
+    if binary:
+        # indices are globally unique, so one flat frame list serves all
+        # workers even though each worker packs against its own tables
+        encoded: List[bytes] = [b""] * len(decisions)
+        hellos: List[bytes] = []
+        worker_tag_types: List[List[str]] = []
+        for indices in slices:
+            hello, tag_types = _encode_binary_worker(
+                decisions, indices, encoded
+            )
+            hellos.append(hello)
+            worker_tag_types.append(tag_types)
+        split = split_chunk_frames
+    else:
+        encoded = [
+            ServeClient.encode_with_id(decision.request, index)
+            for index, decision in enumerate(decisions)
+        ]
+        hellos = []
+        worker_tag_types = []
+        split = split_chunk_lines
     results: List[LoadResult] = [LoadResult() for _ in slices]
     errors: List[BaseException] = []
 
-    #: per worker: burst send times by index, and (t_recv, raw line)
+    #: per worker: burst send times by index, and (t_recv, raw frame)
     sent_per_worker: List[Dict[int, float]] = [{} for _ in slices]
     received_per_worker: List[List[Tuple[float, bytes]]] = [
         [] for _ in slices
     ]
 
     def worker(
+        worker_index: int,
         indices: List[int],
         sent_at: Dict[int, float],
         received: List[Tuple[float, bytes]],
     ) -> None:
         timer = time.perf_counter
         try:
-            with ServeClient(host, port) as client:
-                sock = client._sock
+            sock = socket.create_connection((host, port), timeout=30.0)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 recv = sock.recv
                 append = received.append
                 buffer = bytearray()
+                if binary:
+                    # handshake before the pipelined loop: the ack is
+                    # the only unsolicited frame, so one split suffices
+                    sock.sendall(hellos[worker_index])
+                    ack: List[Tuple[float, bytes]] = []
+                    while not ack:
+                        chunk = recv(1 << 16)
+                        if not chunk:
+                            raise ConnectionError(
+                                "server closed during hello"
+                            )
+                        buffer += chunk
+                        split_chunk_frames(buffer, 0.0, ack.append)
+                    if ack[0][1][0] != FRAME_HELLO_ACK:
+                        raise ConnectionError(
+                            f"expected hello ack, got frame "
+                            f"{ack[0][1][0]:#x}"
+                        )
                 position = 0
                 outstanding = 0
                 total = len(indices)
@@ -301,36 +493,35 @@ def run_load(
                             sent_at[index] = now
                             burst.append(encoded[index])
                         sock.sendall(b"".join(burst))
-                    newline = buffer.find(b"\n")
-                    while newline < 0:
+                    # every response frame closes exactly one
+                    # outstanding request (the server answers each
+                    # request once), so the window advances without
+                    # decoding anything here
+                    completed = 0
+                    while not completed:
                         chunk = recv(1 << 16)
+                        t_recv = timer()
                         if not chunk:
                             raise ConnectionError(
                                 "server closed the connection"
                             )
                         buffer += chunk
-                        newline = buffer.find(b"\n")
-                    # every response line closes exactly one outstanding
-                    # request (the server answers each request once), so
-                    # the window advances without decoding anything here
-                    t_recv = timer()
-                    start = 0
-                    while newline >= 0:
-                        append((t_recv, bytes(buffer[start:newline])))
-                        outstanding -= 1
-                        start = newline + 1
-                        newline = buffer.find(b"\n", start)
-                    del buffer[:start]
+                        completed = split(buffer, t_recv, append)
+                    outstanding -= completed
+            finally:
+                sock.close()
         except BaseException as error:  # surfaced after join
             errors.append(error)
 
     started = time.perf_counter()
     if connections == 1:
-        worker(slices[0], sent_per_worker[0], received_per_worker[0])
+        worker(0, slices[0], sent_per_worker[0], received_per_worker[0])
     else:
         threads = [
-            threading.Thread(target=worker, args=args)
-            for args in zip(slices, sent_per_worker, received_per_worker)
+            threading.Thread(target=worker, args=(i, *args))
+            for i, args in enumerate(
+                zip(slices, sent_per_worker, received_per_worker)
+            )
         ]
         for thread in threads:
             thread.start()
@@ -341,11 +532,16 @@ def run_load(
         raise errors[0]
     # off-the-clock accounting: decode, match ids, compare against the
     # offline outcomes
-    for result, sent_at, received in zip(
-        results, sent_per_worker, received_per_worker
+    for worker_index, (result, sent_at, received) in enumerate(
+        zip(results, sent_per_worker, received_per_worker)
     ):
-        for t_recv, line in received:
-            response = json.loads(line)
+        for t_recv, raw in received:
+            if binary:
+                response = decode_response_frame(
+                    raw, worker_tag_types[worker_index]
+                )
+            else:
+                response = json.loads(raw)
             index = response.get("id")
             t_send = sent_at.pop(index, None)
             if t_send is None:

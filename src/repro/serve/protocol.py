@@ -43,7 +43,8 @@ error and the oversized line is discarded; the connection survives.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+import struct
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dift.flows import FlowKind
 from repro.dift.shadow import Location
@@ -67,6 +68,10 @@ ERROR_CODES = (
     "overloaded",
     "internal",
     "shutting-down",
+    # binary-framer codes ride at the end so the NDJSON numbering (and the
+    # u8 code index binary error frames carry) stays stable
+    "bad-frame",
+    "unsupported-version",
 )
 
 _DECIDE_KEYS = frozenset(
@@ -547,3 +552,344 @@ def ok_response(request_id: object, **fields: object) -> Dict[str, object]:
     payload: Dict[str, object] = {"id": request_id, "ok": True}
     payload.update(fields)
     return payload
+
+
+# -- binary wire format (negotiated per connection) ---------------------
+#
+# A connection opts in by making its very first byte BINARY_MAGIC (0xB7 --
+# never a legal NDJSON start, which is ``{`` or whitespace), followed by a
+# version byte.  Everything after the two-byte preamble, in both
+# directions, is length-prefixed frames::
+#
+#     u32le length | body            (length = len(body), body[0] = type)
+#
+# Frame types (byte layouts in docs/SERVING.md):
+#
+# ==========  ====  ====================================================
+# HELLO       0x01  three string tables (dests, tag types, contexts)
+# HELLO_ACK   0x02  version, shard count, binary-only flag
+# STR_ADD     0x03  append entries to one string table mid-connection
+# DECIDE      0x10  struct-packed decide columns against the tables
+# DECIDE_RESP 0x11  struct-packed verdict + marginal columns, rank order
+# ERROR       0x12  structured error (u8 index into ERROR_CODES)
+# JSON        0x30  one NDJSON request object, riding the binary framer
+# JSON_RESP   0x31  one NDJSON response object
+# ==========  ====  ====================================================
+#
+# String tables are client-owned, append-only, and per-connection: HELLO
+# seeds them, STR_ADD extends them (no ack -- TCP ordering makes the new
+# entries visible to every later frame), and a reconnect starts empty.
+# DECIDE/DECIDE_RESP refer to entries by index, so the per-request cost of
+# every string is one table lookup instead of a parse + intern.
+
+BINARY_MAGIC = 0xB7
+BINARY_VERSION = 1
+
+FRAME_HELLO = 0x01
+FRAME_HELLO_ACK = 0x02
+FRAME_STR_ADD = 0x03
+FRAME_DECIDE = 0x10
+FRAME_DECIDE_RESP = 0x11
+FRAME_ERROR = 0x12
+FRAME_JSON = 0x30
+FRAME_JSON_RESP = 0x31
+
+#: string-table ids for STR_ADD
+TABLE_DESTS = 0
+TABLE_TAG_TYPES = 1
+TABLE_CONTEXTS = 2
+
+#: ``context`` table index meaning "no context" (the NDJSON default "")
+CTX_NONE = 0xFFFFFFFF
+
+#: decide ``kind`` byte <-> NDJSON kind string
+KIND_NAMES = ("address_dep", "control_dep")
+KIND_CODES = {"address_dep": 0, "control_dep": 1}
+
+#: u8 code carried by ERROR frames = index into :data:`ERROR_CODES`
+ERROR_INDEX = {code: i for i, code in enumerate(ERROR_CODES)}
+
+#: DECIDE flags
+DECIDE_FLAG_POLLUTION = 0x01
+#: DECIDE_RESP per-row flags
+ROW_FLAG_PROPAGATE = 0x01
+ROW_FLAG_MARGINALS = 0x02
+#: ERROR flags
+ERROR_FLAG_ID = 0x01
+
+S_LEN = struct.Struct("<I")
+S_PREAMBLE = struct.Struct("<BB")
+S_HELLO_ACK = struct.Struct("<BBHB")
+S_U16 = struct.Struct("<H")
+S_U32 = struct.Struct("<I")
+S_F64 = struct.Struct("<d")
+#: DECIDE head after the type byte (``x`` pads over it on unpack):
+#: id u64 | dest u32 | kind u8 | tick u32 | ctx u32 | free u16 | flags u8
+S_DECIDE_HEAD = struct.Struct("<xQIBIIHB")
+#: one DECIDE candidate: type u16 | tag index u32 | copies i32 (-1 = live)
+S_CAND = struct.Struct("<HIi")
+#: DECIDE_RESP prefix incl. the length word, packed in one call:
+#: len u32 | type u8 | id u64 | shard u16 | nrows u16
+S_RESP_PREFIX = struct.Struct("<IBQHH")
+#: DECIDE_RESP head after the type byte: id u64 | shard u16 | nrows u16
+S_RESP_HEAD = struct.Struct("<xQHH")
+#: one DECIDE_RESP row:
+#: type u16 | tag index u32 | copies u32 | flags u8 | marginal/under/over f64
+S_RESP_ROW = struct.Struct("<HIIBddd")
+#: ERROR head after the type byte: flags u8 | id u64 | code u8 | msg-len u16
+S_ERROR_HEAD = struct.Struct("<xBQBH")
+
+
+def encode_preamble(version: int = BINARY_VERSION) -> bytes:
+    return S_PREAMBLE.pack(BINARY_MAGIC, version)
+
+
+def _encode_string_table(entries: Sequence[str]) -> bytes:
+    parts = [S_U32.pack(len(entries))]
+    for entry in entries:
+        raw = entry.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ProtocolError(
+                "bad-frame", f"string-table entry of {len(raw)} bytes"
+            )
+        parts.append(S_U16.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_string_table(
+    view: bytes, pos: int
+) -> Tuple[List[str], int]:
+    """Decode one table at ``pos``; returns ``(entries, new_pos)``."""
+    end = len(view)
+    if pos + 4 > end:
+        raise ProtocolError("bad-frame", "truncated string table")
+    (count,) = S_U32.unpack_from(view, pos)
+    pos += 4
+    entries: List[str] = []
+    append = entries.append
+    for _ in range(count):
+        if pos + 2 > end:
+            raise ProtocolError("bad-frame", "truncated string table")
+        (length,) = S_U16.unpack_from(view, pos)
+        pos += 2
+        if pos + length > end:
+            raise ProtocolError("bad-frame", "truncated string table")
+        try:
+            append(bytes(view[pos:pos + length]).decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise ProtocolError(
+                "bad-frame", f"string-table entry is not UTF-8: {error}"
+            ) from error
+        pos += length
+    return entries, pos
+
+
+def _with_length(body: bytes) -> bytes:
+    return S_LEN.pack(len(body)) + body
+
+
+def encode_hello(
+    dests: Sequence[str] = (),
+    tag_types: Sequence[str] = (),
+    contexts: Sequence[str] = (),
+) -> bytes:
+    body = b"".join(
+        (
+            bytes((FRAME_HELLO,)),
+            _encode_string_table(dests),
+            _encode_string_table(tag_types),
+            _encode_string_table(contexts),
+        )
+    )
+    return _with_length(body)
+
+
+def encode_hello_ack(shards: int, binary_only: bool = False) -> bytes:
+    return _with_length(
+        S_HELLO_ACK.pack(
+            FRAME_HELLO_ACK, BINARY_VERSION, shards, 1 if binary_only else 0
+        )
+    )
+
+
+def encode_str_add(table: int, entries: Sequence[str]) -> bytes:
+    return _with_length(
+        bytes((FRAME_STR_ADD, table)) + _encode_string_table(entries)
+    )
+
+
+def encode_decide_frame(
+    request_id: int,
+    dest_index: int,
+    kind_code: int,
+    tick: int,
+    context_index: int,
+    free_slots: int,
+    pollution: Optional[float],
+    candidates: Sequence[Tuple[int, int, int]],
+) -> bytes:
+    """Pack one DECIDE frame.
+
+    ``candidates`` entries are ``(type_index, tag_index, copies)`` with
+    ``copies = -1`` meaning "use the shard's live count" (the NDJSON
+    ``copies: null``).  Raises :class:`ProtocolError` when a field falls
+    outside the packed ranges; callers fall back to a JSON envelope frame.
+    """
+    flags = 0 if pollution is None else DECIDE_FLAG_POLLUTION
+    try:
+        head = struct.pack(
+            "<BQIBIIHB",
+            FRAME_DECIDE,
+            request_id,
+            dest_index,
+            kind_code,
+            tick,
+            context_index,
+            free_slots,
+            flags,
+        )
+        parts = [head]
+        if pollution is not None:
+            parts.append(S_F64.pack(pollution))
+        parts.append(S_U16.pack(len(candidates)))
+        pack_cand = S_CAND.pack
+        for type_index, tag_index, copies in candidates:
+            parts.append(pack_cand(type_index, tag_index, copies))
+    except struct.error as error:
+        raise ProtocolError(
+            "bad-frame", f"decide fields out of packed range: {error}"
+        ) from error
+    return _with_length(b"".join(parts))
+
+
+def encode_json_frame(payload: Dict[str, object]) -> bytes:
+    return _with_length(
+        bytes((FRAME_JSON,)) + _dumps(payload).encode("utf-8")
+    )
+
+
+def encode_json_response_frame(payload: Dict[str, object]) -> bytes:
+    return _with_length(
+        bytes((FRAME_JSON_RESP,)) + _dumps(payload).encode("utf-8")
+    )
+
+
+def encode_error_frame(
+    request_id: Optional[int], code: str, message: str
+) -> bytes:
+    raw = message.encode("utf-8")[:0xFFFF]
+    return _with_length(
+        struct.pack(
+            "<BBQBH",
+            FRAME_ERROR,
+            ERROR_FLAG_ID if request_id is not None else 0,
+            request_id if request_id is not None else 0,
+            ERROR_INDEX[code],
+            len(raw),
+        )
+        + raw
+    )
+
+
+def decode_response_frame(
+    body: bytes, tag_types: Sequence[str]
+) -> Dict[str, object]:
+    """One server->client frame body -> the equivalent NDJSON response dict.
+
+    The client (and the loadgen's parity check) uses this so binary
+    responses compare field-for-field against NDJSON and offline
+    decisions.  ``tag_types`` is the connection's tag-type table.
+    """
+    frame_type = body[0]
+    if frame_type == FRAME_DECIDE_RESP:
+        request_id, shard, nrows = S_RESP_HEAD.unpack_from(body, 0)
+        decisions: List[Dict[str, object]] = []
+        propagated: List[str] = []
+        pos = S_RESP_HEAD.size
+        row_size = S_RESP_ROW.size
+        unpack_row = S_RESP_ROW.unpack_from
+        for _ in range(nrows):
+            type_index, tag_index, copies, flags, marginal, under, over = (
+                unpack_row(body, pos)
+            )
+            pos += row_size
+            tag_type = tag_types[type_index]
+            name = f"{tag_type}:{tag_index}"
+            propagate = bool(flags & ROW_FLAG_PROPAGATE)
+            if flags & ROW_FLAG_MARGINALS:
+                decisions.append(
+                    {
+                        "tag": name,
+                        "type": tag_type,
+                        "copies": copies,
+                        "marginal": marginal,
+                        "under": under,
+                        "over": over,
+                        "propagate": propagate,
+                    }
+                )
+            else:
+                decisions.append(
+                    {
+                        "tag": name,
+                        "type": tag_type,
+                        "copies": copies,
+                        "marginal": None,
+                        "under": None,
+                        "over": None,
+                        "propagate": propagate,
+                    }
+                )
+            if propagate:
+                propagated.append(name)
+        return {
+            "id": request_id,
+            "ok": True,
+            "shard": shard,
+            "propagated": propagated,
+            "decisions": decisions,
+        }
+    if frame_type == FRAME_ERROR:
+        flags, request_id, code_index, msg_len = S_ERROR_HEAD.unpack_from(
+            body, 0
+        )
+        message = body[13:13 + msg_len].decode("utf-8", "replace")
+        return error_response(
+            request_id if flags & ERROR_FLAG_ID else None,
+            ERROR_CODES[code_index]
+            if code_index < len(ERROR_CODES)
+            else "internal",
+            message,
+        )
+    if frame_type == FRAME_JSON_RESP:
+        return json.loads(body[1:])
+    if frame_type == FRAME_HELLO_ACK:
+        _, version, shards, flags = S_HELLO_ACK.unpack(body[:5])
+        return {
+            "ok": True,
+            "hello": True,
+            "version": version,
+            "shards": shards,
+            "binary_only": bool(flags & 1),
+        }
+    raise ProtocolError("bad-frame", f"unknown frame type {frame_type:#x}")
+
+
+def split_frames(data: bytes) -> Iterator[bytes]:
+    """Split a byte run into frame bodies (offline decode aid).
+
+    Raises :class:`ProtocolError` on a truncated tail, so tests catch
+    framing bugs instead of silently dropping the last response.
+    """
+    pos = 0
+    end = len(data)
+    while pos < end:
+        if pos + 4 > end:
+            raise ProtocolError("bad-frame", "truncated length prefix")
+        (length,) = S_LEN.unpack_from(data, pos)
+        pos += 4
+        if pos + length > end:
+            raise ProtocolError("bad-frame", "truncated frame body")
+        yield data[pos:pos + length]
+        pos += length

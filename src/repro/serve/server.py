@@ -42,6 +42,8 @@ import hashlib
 import itertools
 import json
 import signal
+import socket
+import struct
 import threading
 import time
 import urllib.parse
@@ -66,17 +68,39 @@ from repro.serve.events import DecisionTail, build_snapshot
 # monkeypatch the server's view without touching the protocol module
 from repro.serve.protocol import parse_request as parse_request_cached
 from repro.serve.protocol import (
+    BINARY_MAGIC,
+    BINARY_VERSION,
+    CTX_NONE,
+    FRAME_DECIDE,
+    FRAME_HELLO,
+    FRAME_JSON,
+    FRAME_STR_ADD,
+    KIND_NAMES,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    S_DECIDE_HEAD,
+    S_CAND,
+    S_F64,
+    S_LEN,
+    S_U16,
+    TABLE_CONTEXTS,
+    TABLE_DESTS,
+    TABLE_TAG_TYPES,
     ApplyRequest,
+    CandidateSpec,
     ControlRequest,
     DecideRequest,
     GossipRequest,
     ProtocolError,
+    decode_string_table,
+    encode_error_frame,
+    encode_hello_ack,
+    encode_json_response_frame,
     encode_message,
     error_response,
     format_location,
     ok_response,
+    parse_location,
 )
 from repro.serve.shard import DecisionShard
 
@@ -124,10 +148,15 @@ class _LineReader:
     connection then keeps working -- one bad frame never tears it down.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, max_frame: int):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        max_frame: int,
+        initial: bytes = b"",
+    ):
         self._reader = reader
         self._max = max_frame
-        self._buf = bytearray()
+        self._buf = bytearray(initial)
         self._discarding = False
 
     async def next_line(self) -> Optional[bytes]:
@@ -165,6 +194,38 @@ def _request_id_of(line: bytes) -> object:
     if isinstance(payload, dict):
         return payload.get("id")
     return None
+
+
+class _BinaryConn:
+    """Per-connection state for the binary wire format.
+
+    Holds the client-owned string tables (destinations pre-parsed to
+    locations with their ring shard precomputed, so the per-request
+    routing cost is one list index) and the preallocated output buffer
+    response frames are struct-packed into.  ``out`` is shared by the
+    reader (errors, hello-ack) and the shard workers (decide responses);
+    both run on the one event loop and only ever append whole frames,
+    then flush-and-clear, so interleaving is frame-atomic.
+    """
+
+    __slots__ = (
+        "writer", "out", "dest_locs", "dest_shards", "tag_types",
+        "contexts", "preamble_done", "hello_done", "discard", "skip_line",
+    )
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.out = bytearray()
+        self.dest_locs: List[Tuple[str, object]] = []
+        self.dest_shards: List[int] = []
+        self.tag_types: List[str] = []
+        self.contexts: List[str] = []
+        self.preamble_done = False
+        self.hello_done = False
+        #: bytes of an oversized frame body still to skip
+        self.discard = 0
+        #: resynchronizing past an interleaved NDJSON line (to its LF)
+        self.skip_line = False
 
 
 class MitosServer:
@@ -235,6 +296,12 @@ class MitosServer:
         self.overloaded_total = 0
         self.retries_total = 0
         self.inflight = 0
+        self.binary_connections = 0
+        self.binary_requests = 0
+        #: "binary" restricts the data plane (decide/apply) to negotiated
+        #: binary connections; control ops stay available over NDJSON so
+        #: gossip and health checks keep working
+        self._binary_only = self.options.wire_format == "binary"
         # canary: shadow tracker+policy per shard, mirroring a fraction
         # of decide traffic under a second parameter set
         self.canaries: Optional[List[CanaryShard]] = None
@@ -270,6 +337,15 @@ class MitosServer:
                 )
                 for index in range(self.options.shards)
             ]
+        # binary decide rows skip DecideRequest construction and go
+        # straight to shard.decide_rows -- only sound when nothing needs
+        # the per-request objects: no decision observer (obs/events), no
+        # canary mirror, and the MITOS batch-kernel policy on every shard
+        self._fast_binary = (
+            observability is None
+            and self.canaries is None
+            and all(shard._mitos for shard in self.shards)
+        )
         if observability is not None:
             metrics = observability.metrics
             self._m_requests = metrics.counter("serve.requests")
@@ -283,6 +359,11 @@ class MitosServer:
             # in-memory decide latencies (DEFAULT_BUCKETS is second-scale)
             self._h_parse = metrics.histogram(
                 "serve.parse_us", SERVE_LATENCY_BUCKETS_US
+            )
+            # binary framing parses a whole read chunk at a time, so this
+            # histogram is per-chunk, not per-request (docs/OBSERVABILITY)
+            self._h_parse_binary = metrics.histogram(
+                "serve.parse_us.binary", SERVE_LATENCY_BUCKETS_US
             )
             self._h_queue_wait = metrics.histogram(
                 "serve.queue_wait_us", SERVE_LATENCY_BUCKETS_US
@@ -311,6 +392,7 @@ class MitosServer:
             self._m_decisions = None
             self._tracer = None
             self._h_parse = None
+            self._h_parse_binary = None
             self._h_queue_wait = None
             self._h_decide = None
             self._h_write = None
@@ -446,22 +528,20 @@ class MitosServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        frames = _LineReader(reader, MAX_FRAME_BYTES)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform quirk
+                pass
         try:
-            while True:
-                try:
-                    line = await frames.next_line()
-                except ProtocolError as err:
-                    self._send_error(writer, None, err)
-                    await self._safe_drain(writer)
-                    continue
-                if line is None:
-                    break
-                if not line.strip():
-                    continue
-                followup = self._dispatch(line, writer)
-                if followup is not None:
-                    await followup
+            # wire-format sniff: 0xB7 is never a legal NDJSON first byte
+            first = await reader.read(1 << 16)
+            if first and first[0] == BINARY_MAGIC:
+                self.binary_connections += 1
+                await self._binary_loop(reader, writer, first)
+            elif first:
+                await self._ndjson_loop(reader, writer, first)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -470,6 +550,437 @@ class MitosServer:
                 await writer.wait_closed()
             except Exception:
                 pass
+
+    async def _ndjson_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        initial: bytes,
+    ) -> None:
+        frames = _LineReader(reader, MAX_FRAME_BYTES, initial)
+        while True:
+            try:
+                line = await frames.next_line()
+            except ProtocolError as err:
+                self._send_error(writer, None, err)
+                await self._safe_drain(writer)
+                continue
+            if line is None:
+                break
+            if not line.strip():
+                continue
+            followup = self._dispatch(line, writer)
+            if followup is not None:
+                await followup
+
+    async def _binary_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        initial: bytes,
+    ) -> None:
+        """Chunked read loop for a negotiated binary connection.
+
+        One ``read()`` per wakeup, then a tight synchronous pass over
+        every complete frame in the buffer (:meth:`_parse_binary`), one
+        coalesced flush of whatever the pass produced.  No per-frame
+        awaits -- the asyncio overhead amortizes over the whole chunk.
+        """
+        conn = _BinaryConn(writer)
+        buf = bytearray(initial)
+        read = reader.read
+        parse = self._parse_binary
+        h_parse = self._h_parse_binary
+        safe_drain = self._safe_drain
+        while True:
+            if buf:
+                if h_parse is not None:
+                    started = time.perf_counter_ns()
+                    parse(conn, buf)
+                    h_parse.observe(
+                        (time.perf_counter_ns() - started) / 1e3
+                    )
+                else:
+                    parse(conn, buf)
+                out = conn.out
+                if out:
+                    data = bytes(out)
+                    del out[:]
+                    writer.write(data)
+                    await safe_drain(writer)
+            chunk = await read(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+
+    def _parse_binary(self, conn: _BinaryConn, buf: bytearray) -> None:
+        """One synchronous pass over every complete frame in ``buf``.
+
+        The cross-connection batch assembler: decide rows are grouped
+        into one bundle per shard and enqueued with a single ``put`` per
+        shard per chunk, so a shard worker drains rows from many sockets
+        into one ``decide_rows`` call.  Malformed input never tears the
+        connection: it is answered with a structured ERROR frame and
+        parsing resyncs (length skip for oversized frames, newline scan
+        for an interleaved NDJSON line, magic scan for a bad preamble).
+        """
+        pos = 0
+        end = len(buf)
+        out = conn.out
+        unpack_len = S_LEN.unpack_from
+        unpack_head = S_DECIDE_HEAD.unpack_from
+        unpack_f64 = S_F64.unpack_from
+        unpack_u16 = S_U16.unpack_from
+        unpack_cand = S_CAND.unpack_from
+        fast = self._fast_binary
+        single = len(self._queues) == 1
+        m_requests = self._m_requests
+        bundles: Dict[int, list] = {}
+        legacy: List[object] = []
+        while True:
+            if conn.discard:
+                available = end - pos
+                if available <= 0:
+                    break
+                if available < conn.discard:
+                    conn.discard -= available
+                    pos = end
+                    break
+                pos += conn.discard
+                conn.discard = 0
+            if conn.skip_line:
+                newline = buf.find(b"\n", pos)
+                if newline < 0:
+                    pos = end
+                    break
+                pos = newline + 1
+                conn.skip_line = False
+                continue
+            if not conn.preamble_done:
+                if end - pos < 2:
+                    break
+                if buf[pos] != BINARY_MAGIC:
+                    # a retried preamble went astray; scan to the magic
+                    pos += 1
+                    continue
+                version = buf[pos + 1]
+                pos += 2
+                if version != BINARY_VERSION:
+                    self.errors_total += 1
+                    out += encode_error_frame(
+                        None,
+                        "unsupported-version",
+                        f"binary version {version} unsupported; "
+                        f"this server speaks {BINARY_VERSION}",
+                    )
+                    continue
+                conn.preamble_done = True
+                continue
+            if end - pos < 4:
+                break
+            (length,) = unpack_len(buf, pos)
+            if length > MAX_FRAME_BYTES:
+                self.errors_total += 1
+                if buf[pos] == 0x7B:  # "{" -- an interleaved NDJSON line
+                    out += encode_error_frame(
+                        None,
+                        "bad-frame",
+                        "NDJSON line on a binary connection; "
+                        "resyncing to its newline",
+                    )
+                    conn.skip_line = True
+                    continue
+                out += encode_error_frame(
+                    None,
+                    "frame-too-large",
+                    f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}",
+                )
+                pos += 4
+                conn.discard = length
+                continue
+            if end - pos - 4 < length:
+                break
+            body = pos + 4
+            pos = body + length
+            if length == 0:
+                self.errors_total += 1
+                out += encode_error_frame(None, "bad-frame", "empty frame")
+                continue
+            ftype = buf[body]
+            if ftype == FRAME_DECIDE and conn.hello_done:
+                self.requests_total += 1
+                self.binary_requests += 1
+                if m_requests is not None:
+                    m_requests.inc()
+                rid = None
+                try:
+                    rid, dest_i, kind, tick, ctx_i, free, flags = (
+                        unpack_head(buf, body)
+                    )
+                    offset = body + 25
+                    if flags & 1:
+                        pollution = unpack_f64(buf, offset)[0]
+                        offset += 8
+                    else:
+                        pollution = None
+                    (ncand,) = unpack_u16(buf, offset)
+                    offset += 2
+                    tag_types = conn.tag_types
+                    dest_shards = conn.dest_shards
+                    if kind > 1 or dest_i >= len(dest_shards):
+                        raise IndexError(
+                            f"kind {kind} / dest {dest_i} out of range"
+                        )
+                    context = (
+                        "" if ctx_i == CTX_NONE else conn.contexts[ctx_i]
+                    )
+                    cands = []
+                    for _ in range(ncand):
+                        type_i, tag_i, copies = unpack_cand(buf, offset)
+                        offset += 10
+                        cands.append(
+                            (
+                                type_i,
+                                tag_types[type_i],
+                                tag_i,
+                                copies if copies >= 0 else None,
+                            )
+                        )
+                    if offset != pos:
+                        raise IndexError("frame length mismatch")
+                except (struct.error, IndexError, OverflowError) as err:
+                    self.errors_total += 1
+                    out += encode_error_frame(
+                        None if type(rid) is not int else rid,
+                        "bad-frame",
+                        f"malformed decide frame: {err}",
+                    )
+                    continue
+                if self._draining:
+                    self.errors_total += 1
+                    out += encode_error_frame(
+                        rid, "shutting-down", "server is draining"
+                    )
+                    continue
+                if fast:
+                    row = (
+                        conn, rid, conn.dest_locs[dest_i], kind, tick,
+                        context, free, pollution, cands,
+                    )
+                    shard_index = 0 if single else dest_shards[dest_i]
+                    bundle = bundles.get(shard_index)
+                    if bundle is None:
+                        bundles[shard_index] = [row]
+                    else:
+                        bundle.append(row)
+                else:
+                    legacy.append(
+                        DecideRequest(
+                            id=rid,
+                            destination=conn.dest_locs[dest_i],
+                            free_slots=free,
+                            candidates=tuple(
+                                CandidateSpec(c[1], c[2], c[3])
+                                for c in cands
+                            ),
+                            pollution=pollution,
+                            kind=KIND_NAMES[kind],
+                            tick=tick,
+                            context=context,
+                        )
+                    )
+                continue
+            if ftype == FRAME_HELLO:
+                self._handle_hello(conn, bytes(buf[body:pos]))
+                continue
+            if not conn.hello_done:
+                self.errors_total += 1
+                out += encode_error_frame(
+                    None, "bad-frame",
+                    f"hello required before frame type {ftype:#x}",
+                )
+                continue
+            if ftype == FRAME_STR_ADD:
+                self._handle_str_add(conn, bytes(buf[body:pos]))
+                continue
+            if ftype == FRAME_JSON:
+                self._dispatch_envelope(conn, bytes(buf[body + 1:pos]))
+                continue
+            self.errors_total += 1
+            out += encode_error_frame(
+                None, "bad-frame", f"unknown frame type {ftype:#x}"
+            )
+        del buf[:pos]
+        if bundles:
+            queues = self._queues
+            for shard_index, rows in bundles.items():
+                try:
+                    queues[shard_index].put_nowait(rows)
+                    self.inflight += len(rows)
+                except asyncio.QueueFull:
+                    count = len(rows)
+                    self.overloaded_total += count
+                    self.errors_total += count
+                    message = (
+                        f"shard {shard_index} queue is full "
+                        f"({self.options.queue_depth} deep); retry later"
+                    )
+                    for row in rows:
+                        out += encode_error_frame(
+                            row[1], "overloaded", message
+                        )
+        for request in legacy:
+            self._enqueue_binary(conn, request)
+
+    def _handle_hello(self, conn: _BinaryConn, body: bytes) -> None:
+        """Seed the connection's string tables and acknowledge."""
+        if conn.hello_done:
+            self.errors_total += 1
+            conn.out += encode_error_frame(
+                None, "bad-frame",
+                "duplicate hello; extend tables with STR_ADD",
+            )
+            return
+        try:
+            dests, position = decode_string_table(body, 1)
+            tag_types, position = decode_string_table(body, position)
+            contexts, position = decode_string_table(body, position)
+            if position != len(body):
+                raise ProtocolError(
+                    "bad-frame", "trailing bytes after hello tables"
+                )
+            locations = [parse_location(dest) for dest in dests]
+        except ProtocolError as err:
+            self.errors_total += 1
+            conn.out += encode_error_frame(None, err.code, err.message)
+            return
+        if len(self._queues) == 1:
+            shards = [0] * len(locations)
+        else:
+            ring = self._ring
+            shards = [
+                ring.shard_for(format_location(loc)) for loc in locations
+            ]
+        conn.dest_locs = locations
+        conn.dest_shards = shards
+        conn.tag_types = tag_types
+        conn.contexts = contexts
+        conn.hello_done = True
+        conn.out += encode_hello_ack(len(self.shards), self._binary_only)
+
+    def _handle_str_add(self, conn: _BinaryConn, body: bytes) -> None:
+        """Append entries to one table; atomic per frame, no ack."""
+        try:
+            if len(body) < 2:
+                raise ProtocolError("bad-frame", "truncated str_add frame")
+            table = body[1]
+            entries, position = decode_string_table(body, 2)
+            if position != len(body):
+                raise ProtocolError(
+                    "bad-frame", "trailing bytes after str_add entries"
+                )
+            if table == TABLE_DESTS:
+                locations = [parse_location(entry) for entry in entries]
+                if len(self._queues) == 1:
+                    conn.dest_shards.extend([0] * len(locations))
+                else:
+                    ring = self._ring
+                    conn.dest_shards.extend(
+                        ring.shard_for(format_location(loc))
+                        for loc in locations
+                    )
+                conn.dest_locs.extend(locations)
+            elif table == TABLE_TAG_TYPES:
+                conn.tag_types.extend(entries)
+            elif table == TABLE_CONTEXTS:
+                conn.contexts.extend(entries)
+            else:
+                raise ProtocolError(
+                    "bad-frame", f"unknown string table {table}"
+                )
+        except ProtocolError as err:
+            self.errors_total += 1
+            conn.out += encode_error_frame(None, err.code, err.message)
+
+    def _dispatch_envelope(self, conn: _BinaryConn, raw: bytes) -> None:
+        """One JSON envelope request through the NDJSON pipeline.
+
+        Every non-hot op (apply, ping, stats, checkpoint, gossip -- and
+        decide, when a client needs fields the packed frame cannot carry)
+        rides the binary framer as a JSON object; responses come back as
+        JSON_RESP frames with exactly the NDJSON dict shapes.
+        """
+        self.requests_total += 1
+        if self._m_requests is not None:
+            self._m_requests.inc()
+        try:
+            request = parse_request_cached(raw)
+        except ProtocolError as err:
+            self.errors_total += 1
+            if self._m_errors is not None:
+                self._m_errors.inc()
+            conn.out += encode_json_response_frame(
+                error_response(_request_id_of(raw), err.code, err.message)
+            )
+            return
+        if self._draining:
+            self.errors_total += 1
+            if self._m_errors is not None:
+                self._m_errors.inc()
+            conn.out += encode_json_response_frame(
+                error_response(
+                    request.id, "shutting-down", "server is draining"
+                )
+            )
+            return
+        if isinstance(request, ControlRequest):
+            conn.out += encode_json_response_frame(
+                self._control_payload(request)
+            )
+            self.responses_total += 1
+            if self._m_responses is not None:
+                self._m_responses.inc()
+            return
+        if isinstance(request, GossipRequest):
+            conn.out += encode_json_response_frame(
+                self._gossip_payload(request)
+            )
+            self.responses_total += 1
+            if self._m_responses is not None:
+                self._m_responses.inc()
+            return
+        self._enqueue_binary(conn, request)
+
+    def _enqueue_binary(self, conn: _BinaryConn, request: object) -> None:
+        """Queue a decide/apply from a binary connection (envelope reply)."""
+        if len(self._queues) == 1:
+            shard_index = 0
+        else:
+            shard_index = self._ring.shard_for(
+                format_location(request.destination)
+            )
+        enqueued = (
+            time.perf_counter_ns() if self._h_queue_wait is not None else 0
+        )
+        try:
+            self._queues[shard_index].put_nowait((request, conn, enqueued))
+        except asyncio.QueueFull:
+            self.overloaded_total += 1
+            if self._m_overloaded is not None:
+                self._m_overloaded.inc()
+            self.errors_total += 1
+            if self._m_errors is not None:
+                self._m_errors.inc()
+            conn.out += encode_json_response_frame(
+                error_response(
+                    request.id,
+                    "overloaded",
+                    f"shard {shard_index} queue is full "
+                    f"({self.options.queue_depth} deep); retry later",
+                )
+            )
+            return
+        self.inflight += 1
 
     def _dispatch(self, line: bytes, writer: asyncio.StreamWriter):
         """Route one frame; the happy path never creates a coroutine.
@@ -506,6 +1017,19 @@ class MitosServer:
             return self._handle_control(request, writer)
         if isinstance(request, GossipRequest):
             return self._handle_gossip(request, writer)
+        if self._binary_only:
+            # wire_format="binary": the data plane requires a negotiated
+            # binary connection; control ops above stay NDJSON-reachable
+            self._send_error(
+                writer,
+                request.id,
+                ProtocolError(
+                    "bad-request",
+                    "this server accepts decide/apply only on the binary "
+                    "wire format; send the 0xB7 preamble and a hello",
+                ),
+            )
+            return self._safe_drain(writer)
         if len(self._queues) == 1:
             shard_index = 0
         else:
@@ -535,40 +1059,31 @@ class MitosServer:
         self.inflight += 1
         return None
 
-    async def _handle_control(
-        self, request: ControlRequest, writer: asyncio.StreamWriter
-    ) -> None:
+    def _control_payload(self, request: ControlRequest) -> Dict[str, object]:
+        """The response dict for a control op (shared by both wire formats)."""
         if request.op == "ping":
-            response = ok_response(
+            return ok_response(
                 request.id, pong=True, version=PROTOCOL_VERSION
             )
-        elif request.op == "stats":
-            response = ok_response(request.id, **self.stats())
-        else:  # checkpoint
-            if self.options.checkpoint_dir is None:
-                response = error_response(
-                    request.id, "bad-request", "no checkpoint_dir configured"
-                )
-            else:
-                try:
-                    written = [
-                        str(shard.write_checkpoint()) for shard in self.shards
-                    ]
-                    response = ok_response(request.id, checkpoints=written)
-                except OSError as error:  # structured, never tears the
-                    self.errors_total += 1  # connection down
-                    response = error_response(
-                        request.id, "internal", f"checkpoint failed: {error}"
-                    )
-        writer.write(encode_message(response))
-        self.responses_total += 1
-        if self._m_responses is not None:
-            self._m_responses.inc()
-        await self._safe_drain(writer)
+        if request.op == "stats":
+            return ok_response(request.id, **self.stats())
+        # checkpoint
+        if self.options.checkpoint_dir is None:
+            return error_response(
+                request.id, "bad-request", "no checkpoint_dir configured"
+            )
+        try:
+            written = [
+                str(shard.write_checkpoint()) for shard in self.shards
+            ]
+            return ok_response(request.id, checkpoints=written)
+        except OSError as error:  # structured, never tears the
+            self.errors_total += 1  # connection down
+            return error_response(
+                request.id, "internal", f"checkpoint failed: {error}"
+            )
 
-    async def _handle_gossip(
-        self, request: GossipRequest, writer: asyncio.StreamWriter
-    ) -> None:
+    def _gossip_payload(self, request: GossipRequest) -> Dict[str, object]:
         """Apply one peer belief to every local shard.
 
         Belief updates are last-write-wins scalars, so applying them
@@ -579,13 +1094,23 @@ class MitosServer:
         for shard in self.shards:
             shard.receive_gossip(request.peer, request.pollution)
         self.gossip_received += 1
-        writer.write(
-            encode_message(
-                ok_response(
-                    request.id, peer=request.peer, shards=len(self.shards)
-                )
-            )
+        return ok_response(
+            request.id, peer=request.peer, shards=len(self.shards)
         )
+
+    async def _handle_control(
+        self, request: ControlRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(encode_message(self._control_payload(request)))
+        self.responses_total += 1
+        if self._m_responses is not None:
+            self._m_responses.inc()
+        await self._safe_drain(writer)
+
+    async def _handle_gossip(
+        self, request: GossipRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(encode_message(self._gossip_payload(request)))
         self.responses_total += 1
         if self._m_responses is not None:
             self._m_responses.inc()
@@ -598,6 +1123,8 @@ class MitosServer:
         canary = (
             self.canaries[shard.index] if self.canaries is not None else None
         )
+        decide_rows = shard.decide_rows
+        safe_drain = self._safe_drain
         while True:
             item = await queue.get()
             batch = [item]
@@ -606,55 +1133,101 @@ class MitosServer:
                     batch.append(queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            if self._h_batch is not None:
-                self._h_batch.observe(len(batch))
-                dequeued = time.perf_counter_ns()
-            # coalesce every response for a connection into one write:
-            # a socket send per response is the dominant cost at high
-            # request rates (measured ~4x the decision itself)
-            frames: Dict[asyncio.StreamWriter, List[bytes]] = {}
-            for request, writer, enqueued in batch:
-                if self._h_queue_wait is not None and enqueued:
-                    self._h_queue_wait.observe((dequeued - enqueued) / 1e3)
-                response = self._process(shard, request)
-                if (
-                    canary is not None
-                    and isinstance(request, DecideRequest)
-                    and response.get("ok")
-                ):
-                    flipped = canary.observe(
-                        request, response.get("propagated", ())
-                    )
-                    if flipped is not None:
-                        if self._m_canary_mirrored is not None:
-                            self._m_canary_mirrored.inc()
-                        if flipped and self._m_canary_flips is not None:
-                            self._m_canary_flips.inc()
-                frames.setdefault(writer, []).append(
-                    encode_message(response)
-                )
-                self.responses_total += 1
-                if self._m_responses is not None:
-                    self._m_responses.inc()
-                self.inflight -= 1
-                queue.task_done()
-            for writer, chunks in frames.items():
-                if self._h_write is not None:
-                    started = time.perf_counter_ns()
-                    try:
-                        writer.write(b"".join(chunks))
-                    except Exception:  # connection already gone
-                        continue
-                    await self._safe_drain(writer)
-                    self._h_write.observe(
-                        (time.perf_counter_ns() - started) / 1e3
-                    )
+            # a queue item is either one NDJSON-path (request, sink,
+            # enqueued) triple or a whole binary row bundle (list); a
+            # bundle counts as one item, so cross-connection batches can
+            # be much wider than batch_max requests
+            rows: Optional[list] = None
+            triples: Optional[list] = None
+            for item in batch:
+                if type(item) is list:
+                    rows = item if rows is None else rows + item
                 else:
+                    if triples is None:
+                        triples = [item]
+                    else:
+                        triples.append(item)
+            if self._h_batch is not None:
+                self._h_batch.observe(
+                    (len(rows) if rows else 0)
+                    + (len(triples) if triples else 0)
+                )
+                dequeued = time.perf_counter_ns()
+            if rows is not None:
+                # the zero-copy fast path: one kernel pass over every
+                # row this wakeup gathered, responses struct-packed into
+                # each connection's buffer by the shard itself
+                decide_rows(rows)
+                count = len(rows)
+                self.responses_total += count
+                self.inflight -= count
+                conns = dict.fromkeys(row[0] for row in rows)
+                for conn in conns:
+                    out = conn.out
+                    if not out:
+                        continue
+                    data = bytes(out)
+                    del out[:]
                     try:
-                        writer.write(b"".join(chunks))
+                        conn.writer.write(data)
                     except Exception:  # connection already gone
                         continue
-                    await self._safe_drain(writer)
+                    await safe_drain(conn.writer)
+            if triples is not None:
+                # coalesce every response for a connection into one
+                # write: a socket send per response is the dominant cost
+                # at high request rates (measured ~4x the decision)
+                frames: Dict[asyncio.StreamWriter, List[bytes]] = {}
+                for request, sink, enqueued in triples:
+                    if self._h_queue_wait is not None and enqueued:
+                        self._h_queue_wait.observe(
+                            (dequeued - enqueued) / 1e3
+                        )
+                    response = self._process(shard, request)
+                    if (
+                        canary is not None
+                        and isinstance(request, DecideRequest)
+                        and response.get("ok")
+                    ):
+                        flipped = canary.observe(
+                            request, response.get("propagated", ())
+                        )
+                        if flipped is not None:
+                            if self._m_canary_mirrored is not None:
+                                self._m_canary_mirrored.inc()
+                            if flipped and self._m_canary_flips is not None:
+                                self._m_canary_flips.inc()
+                    if type(sink) is _BinaryConn:
+                        frames.setdefault(sink.writer, []).append(
+                            encode_json_response_frame(response)
+                        )
+                    else:
+                        frames.setdefault(sink, []).append(
+                            encode_message(response)
+                        )
+                    self.responses_total += 1
+                    if self._m_responses is not None:
+                        self._m_responses.inc()
+                    self.inflight -= 1
+                for writer, chunks in frames.items():
+                    if self._h_write is not None:
+                        started = time.perf_counter_ns()
+                        try:
+                            writer.write(b"".join(chunks))
+                        except Exception:  # connection already gone
+                            continue
+                        await safe_drain(writer)
+                        self._h_write.observe(
+                            (time.perf_counter_ns() - started) / 1e3
+                        )
+                    else:
+                        try:
+                            writer.write(b"".join(chunks))
+                        except Exception:  # connection already gone
+                            continue
+                        await safe_drain(writer)
+            for _ in batch:
+                queue.task_done()
 
     def _process(self, shard: DecisionShard, request: object) -> Dict[str, object]:
         """One request through the shard under the bounded-retry barrier."""
@@ -921,6 +1494,9 @@ class MitosServer:
             "inflight": self.inflight,
             "restored_shards": self.restored_shards,
             "gossip_received": self.gossip_received,
+            "wire_format": self.options.wire_format,
+            "binary_connections": self.binary_connections,
+            "binary_requests": self.binary_requests,
             "queue_depths": [q.qsize() for q in self._queues],
             "shards": [shard.stats_payload() for shard in self.shards],
         }
@@ -1014,6 +1590,7 @@ class ServerThread:
         self,
         options: Optional[ServeOptions] = None,
         observability: Optional[Observability] = None,
+        profile: Optional[object] = None,
     ):
         self.server = MitosServer(options, observability)
         self._ready = threading.Event()
@@ -1022,6 +1599,10 @@ class ServerThread:
             target=self._run, name="mitos-serve", daemon=True
         )
         self._error: Optional[BaseException] = None
+        #: a cProfile.Profile to run the server loop under (bench-serve
+        #: --profile); enabled/disabled inside the server thread so the
+        #: dump covers exactly the serving work
+        self._profile = profile
 
     def _run(self) -> None:
         async def main() -> None:
@@ -1034,8 +1615,15 @@ class ServerThread:
             await self.server._stop.wait()
             await self.server._shutdown()
 
+        profile = self._profile
         try:
-            asyncio.run(main())
+            if profile is not None:
+                profile.enable()
+            try:
+                asyncio.run(main())
+            finally:
+                if profile is not None:
+                    profile.disable()
         except BaseException as error:  # surfaced by start()/stop()
             self._error = error
             self._ready.set()

@@ -45,9 +45,13 @@ from repro.replay.checkpoint import (
     write_checkpoint,
 )
 from repro.serve.protocol import (
+    FRAME_DECIDE_RESP,
+    S_RESP_PREFIX,
+    S_RESP_ROW,
     ApplyRequest,
     DecideRequest,
     ProtocolError,
+    encode_error_frame,
     error_response,
     ok_response,
 )
@@ -118,6 +122,11 @@ class DecisionShard:
         # frozen-dataclass construction and name formatting amortize away
         self._tags: Dict[Tuple[str, int], Tag] = {}
         self._names: Dict[Tag, str] = {}
+        # over_marginal memo for the batch decide path: the submarginal is
+        # a pure function of (pollution, params) and pollution values
+        # recur heavily (explicit-mode clients resend them, the feedback
+        # loop walks the same o_T increments); bounded in decide_rows
+        self._over_memo: Dict[float, float] = {}
 
     def _tag_for(self, tag_type: str, index: int) -> Tag:
         key = (tag_type, index)
@@ -154,14 +163,11 @@ class DecisionShard:
 
     # -- Eq. 8 table management -----------------------------------------
 
-    def _tables_for(
-        self, candidates: Sequence[TagCandidate]
-    ) -> Tuple[Optional[np.ndarray], Optional[Tuple[str, ...]]]:
-        """The shared gather tables covering ``candidates``, grown as needed."""
-        types = {c.tag_type for c in candidates}
-        max_copies = max(c.copies for c in candidates)
+    def _ensure_tables(self, types: set, max_copies: int) -> None:
+        """Grow the gather tables to cover ``types`` up to ``max_copies``."""
         rebuild = False
         if not types.issubset(self._tag_types):
+            types = set(types)
             types.update(self._tag_types)
             self._tag_types = tuple(sorted(types))
             rebuild = True
@@ -181,6 +187,15 @@ class DecisionShard:
                 seed_marginal_cache(
                     cache, self._tag_types, max_copies=self._max_table_copies
                 )
+
+    def _tables_for(
+        self, candidates: Sequence[TagCandidate]
+    ) -> Tuple[Optional[np.ndarray], Optional[Tuple[str, ...]]]:
+        """The shared gather tables covering ``candidates``, grown as needed."""
+        self._ensure_tables(
+            {c.tag_type for c in candidates},
+            max(c.copies for c in candidates),
+        )
         return self._table_stack, self._tag_types
 
     # -- request handlers -------------------------------------------------
@@ -320,6 +335,235 @@ class DecisionShard:
             propagated=selected_names,
             decisions=rows,
         )
+
+    def decide_rows(self, rows: Sequence[tuple]) -> None:
+        """Answer a batch of binary decide rows, packing responses directly.
+
+        The zero-copy fast path behind the binary wire format: each row is
+        ``(conn, id, destination, kind_code, tick, context, free_slots,
+        pollution, candidates)`` with candidates as ``(wire_type_index,
+        tag_type, tag_index, copies_or_None)`` tuples, exactly as the
+        server's frame parser unpacked them -- no :class:`DecideRequest` /
+        :class:`TagCandidate` / response-dict round trip.  DECIDE_RESP
+        frames are struct-packed straight into each row's per-connection
+        ``conn.out`` buffer.
+
+        Decisions, stats mutations, tag applications, and checkpoint
+        cadence are bit-identical to :meth:`decide`: the ranking and
+        sequential tail inline the exact small-batch path of
+        :func:`repro.vector.kernel.decide_multi_batch` (same gather
+        tables, same stable sort, same pollution feedback), and the
+        granted propagations apply ``shadow.add_tag``'s exact state
+        mutations in the same rank order (the plain-insert branch is
+        inlined when no counter hooks are set, like the vector engine's
+        bulk path; duplicates and evictions still go through
+        ``add_tag``).  Only callable for MITOS policies with no
+        ``ifp_observer`` -- the server routes everything else through
+        :meth:`decide`.  A row that fails validation is answered with the
+        same structured ``bad-request`` error the NDJSON path produces;
+        anything unexpected gets an ``internal`` error frame.  Either
+        way the batch continues.
+        """
+        tracker = self.tracker
+        stats = tracker.stats
+        counter = tracker.counter
+        counts = counter._counts
+        copies_of = counts.get
+        type_totals = counter._type_totals
+        shadow = tracker.shadow
+        lists = shadow._lists
+        add_tag = shadow.add_tag
+        # with birth/death hooks unset, a non-full non-duplicate insert is
+        # a plain append plus integer bookkeeping under every scheduling
+        # policy -- inline it (the same fast path vector/flows.py takes)
+        # and route duplicates/evictions/hooked counters through add_tag
+        hooks_off = counter.on_birth is None and counter.on_death is None
+        params = self.params
+        o_of = params.o_of
+        over_memo = self._over_memo
+        if len(over_memo) > 1 << 16:
+            # explicit-mode pollution is caller-chosen: keep the memo from
+            # growing without bound under adversarial value churn
+            over_memo.clear()
+        # bit-identical to costs.over_marginal: multiplication is
+        # left-associative, so hoisting tau_eff * beta preserves the
+        # exact float result of the three-factor product
+        tau_beta = params.effective_tau * params.beta
+        n_r = params.N_R
+        beta_exp = params.beta - 1.0
+
+        def over_of(p: float) -> float:
+            v = over_memo.get(p)
+            if v is None:
+                v = over_memo[p] = tau_beta * (p / n_r) ** beta_exp
+            return v
+
+        tags = self._tags
+        tag_cls = Tag
+        believed = self.believed_pollution
+        pack_prefix = S_RESP_PREFIX.pack
+        pack_row = S_RESP_ROW.pack
+        shard_index = self.index
+        head_size = S_RESP_PREFIX.size - 4
+        row_size = S_RESP_ROW.size
+        every = self.checkpoint_every
+        checkpointing = every is not None and self.checkpoint_path is not None
+        type_index = self._type_index
+        table_rows = self._table_rows
+        max_copies = self._max_table_copies if table_rows is not None else -1
+        for row in rows:
+            (
+                conn, rid, destination, kind_code, tick, _context,
+                free_slots, pollution, cands,
+            ) = row
+            out = conn.out
+            start = len(out)
+            try:
+                if pollution is not None and pollution < 0:
+                    # packed f64 can carry what NDJSON parse rejects:
+                    # answer with the same structured error
+                    raise ProtocolError(
+                        "bad-request",
+                        f"pollution must be >= 0, got {pollution}",
+                    )
+                n = len(cands)
+                resolved = cands
+                grow = False
+                for spec in cands:
+                    copies = spec[3]
+                    if copies is None:
+                        if resolved is cands:
+                            resolved = [
+                                (s[0], s[1], s[2],
+                                 s[3] if s[3] is not None
+                                 else copies_of((s[1], s[2]), 0))
+                                for s in cands
+                            ]
+                        break
+                for spec in resolved:
+                    # same candidate validation (and error wording) as
+                    # decide()'s eager Tag construction, hoisted before
+                    # any state mutation
+                    if spec[2] < 1:
+                        raise ProtocolError(
+                            "bad-request",
+                            f"tag index must be >= 1, got {spec[2]}",
+                        )
+                    if not spec[1]:
+                        raise ProtocolError(
+                            "bad-request",
+                            "tag type must be a non-empty string",
+                        )
+                    if spec[3] > max_copies or spec[1] not in type_index:
+                        grow = True
+                if grow and n:
+                    self._ensure_tables(
+                        {s[1] for s in resolved},
+                        max(s[3] for s in resolved),
+                    )
+                    type_index = self._type_index
+                    table_rows = self._table_rows
+                    max_copies = self._max_table_copies
+                if tick >= stats.ticks:
+                    stats.ticks = tick + 1
+                if kind_code:
+                    stats.ifp_control += 1
+                else:
+                    stats.ifp_address += 1
+                stats.ifp_candidates += n
+                pol = pollution if pollution is not None else believed()
+                over = over_of(pol)
+                out += pack_prefix(
+                    head_size + row_size * n,
+                    FRAME_DECIDE_RESP,
+                    rid,
+                    shard_index,
+                    n,
+                )
+                if n:
+                    unders = [
+                        table_rows[type_index[s[1]]][s[3]] for s in resolved
+                    ]
+                    if n == 1:
+                        order = (0,)
+                    elif n == 2:
+                        # two candidates: the stable sort is a single
+                        # comparison of the same float keys (adding over
+                        # to both sides can round ties differently, so
+                        # compare the sums, not the unders)
+                        order = (
+                            (0, 1)
+                            if unders[0] + over <= unders[1] + over
+                            else (1, 0)
+                        )
+                    else:
+                        over_base = over
+                        keys = [under + over_base for under in unders]
+                        order = sorted(range(n), key=keys.__getitem__)
+                    props = 0
+                    current_pollution = pol
+                    for i in order:
+                        spec = resolved[i]
+                        under = unders[i]
+                        marginal = under + over
+                        if props < free_slots and marginal <= 0:
+                            out += pack_row(
+                                spec[0], spec[2], spec[3], 3,
+                                marginal, under, over,
+                            )
+                            props += 1
+                            tag_type = spec[1]
+                            key = (tag_type, spec[2])
+                            tag = tags.get(key)
+                            if tag is None:
+                                tag = tags[key] = tag_cls(tag_type, spec[2])
+                            plist = lists.get(destination)
+                            if (
+                                hooks_off
+                                and plist is not None
+                                and tag not in plist._members
+                                and len(plist._tags) < plist._capacity
+                            ):
+                                # add_tag's plain-insert branch, inlined:
+                                # no duplicate, no eviction, hooks unset
+                                if not plist._tags:
+                                    shadow._tainted += 1
+                                plist._tags.append(tag)
+                                plist._members.add(tag)
+                                counts[key] = counts.get(key, 0) + 1
+                                type_totals[tag_type] = (
+                                    type_totals.get(tag_type, 0) + 1
+                                )
+                                counter._total_entries += 1
+                                counter._pollution_dirty = True
+                                shadow._entries += 1
+                                stats.propagation_ops += 1
+                            else:
+                                outcome = add_tag(destination, tag)
+                                if outcome.added:
+                                    stats.propagation_ops += 1
+                                if outcome.dropped is not None:
+                                    stats.drops += 1
+                                    stats.propagation_ops += 1
+                            current_pollution += o_of(tag_type)
+                            over = over_of(current_pollution)
+                        else:
+                            out += pack_row(
+                                spec[0], spec[2], spec[3], 2,
+                                marginal, under, over,
+                            )
+                    stats.ifp_propagated += props
+                    stats.ifp_blocked += n - props
+                self.requests_applied += 1
+                self.decisions_served += 1
+                if checkpointing and self.requests_applied % every == 0:
+                    self.write_checkpoint()
+            except ProtocolError as error:
+                del out[start:]
+                out += encode_error_frame(rid, error.code, error.message)
+            except Exception as error:  # noqa: BLE001 - batch must survive
+                del out[start:]
+                out += encode_error_frame(rid, "internal", str(error))
 
     def apply(self, request: ApplyRequest) -> Dict[str, object]:
         """Run one raw flow event through the shard's tracker (stateful mode)."""

@@ -131,6 +131,7 @@ def make_copy_flow(tracker: "DIFTTracker") -> FlowFn:
                 else:
                     totals[tag_type] = total - 1
             current._tags = replacement
+            current._members = set(replacement)
             del lists[destination]
             lists[destination] = current
             for tag in replacement:
@@ -150,6 +151,7 @@ def make_copy_flow(tracker: "DIFTTracker") -> FlowFn:
         replacement = list(tags)
         rebuilt = ProvenanceList(m_prov, scheduling, value_fn)
         rebuilt._tags = replacement
+        rebuilt._members = set(replacement)
         lists[destination] = rebuilt
         for tag in replacement:
             key = (tag.type, tag.index)
@@ -315,6 +317,7 @@ def make_policy_flow(tracker: "DIFTTracker", indirect: bool) -> FlowFn:
                 else:
                     was_empty = not dest_list._tags
                 dest_list._tags.extend(selected)
+                dest_list._members.update(selected)
                 counts = counter._counts
                 totals = counter._type_totals
                 for tag in selected:

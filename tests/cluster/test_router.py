@@ -76,7 +76,7 @@ class ClientFactory:
         self.created = []
         self.fail_connect = False
 
-    def __call__(self, host, port, timeout=5.0):
+    def __call__(self, host, port, timeout=5.0, wire_format="ndjson"):
         if self.fail_connect:
             raise OSError("connection refused")
         client = FakeClient(host, port, timeout)

@@ -1,0 +1,380 @@
+"""Binary wire format tests: codec, negotiation, fuzzing, parity.
+
+The binary framer's robustness promise mirrors the NDJSON one: any
+malformed input -- truncated prefixes, oversized frames, unknown
+versions, interleaved NDJSON, out-of-range table indices -- answers
+with a structured ERROR frame and the connection keeps serving.  The
+parity promise is stronger: a binary client replaying the identical
+request sequence as an NDJSON client must receive field-for-field
+identical responses *and* leave the server's shards in identical
+checkpoint state (decides mutate shard state, so parity is checked
+against fresh servers per format, never sequentially on one).
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro import api
+from repro.options import ClusterOptions, ServeOptions
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.protocol import (
+    CTX_NONE,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    S_LEN,
+    decode_response_frame,
+    encode_decide_frame,
+    encode_error_frame,
+    encode_hello,
+    encode_hello_ack,
+    encode_preamble,
+    split_frames,
+)
+from repro.serve.server import ServerThread
+
+
+def server_options(**overrides) -> ServeOptions:
+    defaults = dict(port=0, quick_calibration=True)
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    with ServerThread(server_options(shards=2)) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def binary_client(live_server):
+    with ServeClient(
+        live_server.host, live_server.port, wire_format="binary"
+    ) as c:
+        yield c
+
+
+class RawBinary:
+    """A hand-driven binary connection for framer fuzzing."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=5.0)
+        self.sock.settimeout(5.0)
+        self.buf = bytearray()
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def read_frame(self) -> bytes:
+        while True:
+            if len(self.buf) >= 4:
+                (length,) = S_LEN.unpack_from(self.buf, 0)
+                if len(self.buf) >= 4 + length:
+                    body = bytes(self.buf[4:4 + length])
+                    del self.buf[:4 + length]
+                    return body
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buf += chunk
+
+    def response(self, tag_types=()):
+        return decode_response_frame(self.read_frame(), tag_types)
+
+    def close(self):
+        self.sock.close()
+
+
+DESTS = ["mem:0x40", "mem:0x44"]
+TYPES = ["netflow", "file"]
+
+
+def handshake(raw: RawBinary) -> dict:
+    raw.send(encode_preamble() + encode_hello(DESTS, TYPES, []))
+    return raw.response()
+
+
+def decide_frame(
+    request_id=1, dest=0, tick=0, free=2, pollution=20.0,
+    candidates=((0, 1, 4),),
+):
+    return encode_decide_frame(
+        request_id, dest, 0, tick, CTX_NONE, free, pollution,
+        list(candidates),
+    )
+
+
+@pytest.fixture()
+def raw(live_server):
+    conn = RawBinary(live_server.host, live_server.port)
+    yield conn
+    conn.close()
+
+
+class TestCodec:
+    def test_error_frame_round_trip(self):
+        frame = encode_error_frame(77, "bad-request", "nope")
+        (body,) = split_frames(frame)
+        decoded = decode_response_frame(body, [])
+        assert decoded == {
+            "id": 77, "ok": False, "error": "bad-request", "message": "nope",
+        }
+
+    def test_error_frame_without_id(self):
+        (body,) = split_frames(encode_error_frame(None, "bad-frame", "x"))
+        assert decode_response_frame(body, [])["id"] is None
+
+    def test_hello_ack_round_trip(self):
+        (body,) = split_frames(encode_hello_ack(4, binary_only=True))
+        decoded = decode_response_frame(body, [])
+        assert decoded["hello"] and decoded["shards"] == 4
+        assert decoded["binary_only"] is True
+
+    def test_decide_frame_out_of_range_raises_bad_frame(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_decide_frame(
+                1, 0, 0, 1 << 32, CTX_NONE, 1, None, [(0, 1, 1)]
+            )
+        assert excinfo.value.code == "bad-frame"
+
+    def test_unknown_response_frame_type_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_response_frame(bytes([0x7F]), [])
+
+
+class TestNegotiation:
+    def test_hello_ack_reports_shards(self, binary_client):
+        assert binary_client.server_shards == 2
+        assert binary_client.server_binary_only is False
+
+    def test_raw_handshake(self, raw):
+        ack = handshake(raw)
+        assert ack["hello"] and ack["shards"] == 2
+
+    def test_wrong_version_then_retry_succeeds(self, raw):
+        raw.send(bytes([0xB7, 2]))
+        error = raw.response()
+        assert error["error"] == "unsupported-version"
+        # the connection survives: a correct preamble still negotiates
+        assert handshake(raw)["hello"]
+
+    def test_decide_before_hello_is_structured_error(self, raw):
+        raw.send(encode_preamble() + decide_frame())
+        error = raw.response()
+        assert error["error"] == "bad-frame"
+        assert "hello required" in error["message"]
+        # the preamble was already consumed; a bare hello now negotiates
+        raw.send(encode_hello(DESTS, TYPES, []))
+        assert raw.response()["hello"]
+
+
+class TestFramerFuzz:
+    """Every malformed input answers an ERROR frame; the same
+    connection then serves a well-formed decide."""
+
+    def _served_ok(self, raw, request_id=99):
+        raw.send(decide_frame(request_id=request_id))
+        response = raw.response(TYPES)
+        assert response["ok"] is True and response["id"] == request_id
+        return response
+
+    def test_truncated_length_prefix_waits_for_the_rest(self, raw):
+        handshake(raw)
+        frame = decide_frame(request_id=5)
+        raw.send(frame[:2])
+        time.sleep(0.05)
+        raw.send(frame[2:])
+        assert raw.response(TYPES)["id"] == 5
+
+    def test_oversized_frame_discarded_connection_survives(self, raw):
+        handshake(raw)
+        length = MAX_FRAME_BYTES + 1
+        raw.send(S_LEN.pack(length))
+        error = raw.response()
+        assert error["error"] == "frame-too-large"
+        # the declared body is discarded, then framing resyncs
+        raw.send(b"\x00" * length)
+        self._served_ok(raw)
+
+    def test_unknown_frame_type_is_structured_error(self, raw):
+        handshake(raw)
+        raw.send(S_LEN.pack(1) + bytes([0x7F]))
+        error = raw.response()
+        assert error["error"] == "bad-frame"
+        assert "unknown frame type" in error["message"]
+        self._served_ok(raw)
+
+    def test_empty_frame_is_structured_error(self, raw):
+        handshake(raw)
+        raw.send(S_LEN.pack(0))
+        assert raw.response()["error"] == "bad-frame"
+        self._served_ok(raw)
+
+    def test_ndjson_line_after_hello_resyncs(self, raw):
+        handshake(raw)
+        raw.send(b'{"op":"ping","id":3}\n')
+        error = raw.response()
+        assert error["error"] == "bad-frame"
+        assert "NDJSON" in error["message"]
+        self._served_ok(raw)
+
+    def test_bad_string_table_index_is_structured_error(self, raw):
+        handshake(raw)
+        raw.send(decide_frame(request_id=8, dest=57))
+        error = raw.response()
+        assert error["error"] == "bad-frame"
+        assert "malformed decide frame" in error["message"]
+        self._served_ok(raw)
+
+    def test_mid_frame_disconnect_leaves_server_alive(self, live_server):
+        victim = RawBinary(live_server.host, live_server.port)
+        handshake(victim)
+        victim.send(decide_frame(request_id=1)[:7])
+        victim.close()
+        survivor = RawBinary(live_server.host, live_server.port)
+        try:
+            handshake(survivor)
+            survivor.send(decide_frame(request_id=2))
+            assert survivor.response(TYPES)["ok"] is True
+        finally:
+            survivor.close()
+
+
+def mixed_workload(client: ServeClient):
+    """One representative request sequence; returns observable outcomes.
+
+    Covers explicit and stateful decides, growing string tables,
+    contexts, apply, validation errors, and an envelope fallback (a
+    tick the packed format cannot carry).  Each outcome is the response
+    dict (errors recorded as ``(code, message)``), so two clients on
+    different wire formats can be compared field-for-field.
+    """
+    out = []
+
+    def run(fn, *args, **kwargs):
+        try:
+            out.append(fn(*args, **kwargs))
+        except ServeClientError as error:
+            out.append((error.code, str(error)))
+
+    run(
+        client.decide, "mem:0x40", 2,
+        [("netflow", 1, 4), ("file", 2, 1)], pollution=20.0,
+    )
+    run(client.apply, "insert", "mem:0x900", tag=("demo", 7))
+    # stateful: copies and pollution resolved from live shard state
+    run(client.decide, "mem:0x904", 1, [("demo", 7)])
+    # new strings mid-connection (STR_ADD on the binary side)
+    run(
+        client.decide, "reg:r3", 1, [("env", 3, 2)],
+        pollution=5.0, kind="control_dep", context="loop_head",
+    )
+    # validation error: exact same code and message on both formats
+    run(client.decide, "mem:0x40", 1, [("netflow", 0, 1)], pollution=1.0)
+    # envelope fallback: tick exceeds the packed u32
+    payload = ServeClient.decide_payload(
+        "mem:0x40", 1, [("netflow", 1, 2)], pollution=3.0
+    )
+    payload["tick"] = 1 << 40
+    run(client.request, payload)
+    return out
+
+
+class TestCrossFormatParity:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_identical_responses_and_shard_state(self, shards):
+        outcomes = {}
+        checkpoints = {}
+        for wire_format in ("ndjson", "binary"):
+            with ServerThread(server_options(shards=shards)) as thread:
+                with ServeClient(
+                    thread.host, thread.port, wire_format=wire_format
+                ) as client:
+                    outcomes[wire_format] = mixed_workload(client)
+                checkpoints[wire_format] = [
+                    shard.checkpoint_payload()
+                    for shard in thread.server.shards
+                ]
+        assert outcomes["binary"] == outcomes["ndjson"]
+        assert checkpoints["binary"] == checkpoints["ndjson"]
+
+    def test_binary_decision_matches_offline_api(self, binary_client):
+        candidates = [("netflow", 1, 4), ("file", 2, 1)]
+        served = binary_client.decide(
+            "mem:0x80", free_slots=2, candidates=candidates, pollution=20.0
+        )
+        offline = api.decide(
+            candidates, free_slots=2, pollution=20.0, quick_calibration=True
+        )
+        assert len(served["decisions"]) == len(offline.decisions)
+        for row, decision in zip(served["decisions"], offline.decisions):
+            assert row["marginal"] == decision.marginal
+            assert row["under"] == decision.under_marginal
+            assert row["over"] == decision.over_marginal
+            assert row["propagate"] == decision.propagate
+
+    def test_control_ops_ride_the_envelope(self, binary_client):
+        assert binary_client.ping()["pong"] is True
+        stats = binary_client.stats()
+        assert stats["binary_connections"] >= 1
+
+    def test_binary_error_parity_for_bad_candidate(self, binary_client):
+        with pytest.raises(ServeClientError) as excinfo:
+            binary_client.decide(
+                "mem:0x40", 1, [("netflow", 0, 1)], pollution=1.0
+            )
+        assert excinfo.value.code == "bad-request"
+        assert "tag index must be >= 1, got 0" in str(excinfo.value)
+
+    def test_negative_pollution_rejected_like_ndjson(self, binary_client):
+        with pytest.raises(ServeClientError) as excinfo:
+            binary_client.decide(
+                "mem:0x40", 1, [("netflow", 1, 1)], pollution=-3.0
+            )
+        assert excinfo.value.code == "bad-request"
+        assert "pollution must be >= 0" in str(excinfo.value)
+
+
+class TestBinaryOnlyServer:
+    def test_ndjson_data_plane_rejected_control_allowed(self):
+        with ServerThread(
+            server_options(shards=1, wire_format="binary")
+        ) as thread:
+            with ServeClient(thread.host, thread.port) as ndjson:
+                # control ops stay reachable for health checks / gossip
+                assert ndjson.ping()["pong"] is True
+                with pytest.raises(ServeClientError) as excinfo:
+                    ndjson.decide(
+                        "mem:0x40", 1, [("netflow", 1, 2)], pollution=1.0
+                    )
+                assert excinfo.value.code == "bad-request"
+                assert "binary" in str(excinfo.value)
+            with ServeClient(
+                thread.host, thread.port, wire_format="binary"
+            ) as binary:
+                assert binary.server_binary_only is True
+                response = binary.decide(
+                    "mem:0x40", 1, [("netflow", 1, 2)], pollution=1.0
+                )
+                assert response["ok"] is True
+
+
+class TestWireFormatValidation:
+    def test_serve_options_reject_unknown_format(self):
+        with pytest.raises(ValueError):
+            ServeOptions(wire_format="carrier-pigeon")
+
+    def test_cluster_options_reject_unknown_format(self):
+        with pytest.raises(ValueError):
+            ClusterOptions(wire_format="carrier-pigeon")
+
+    def test_cluster_options_thread_format_to_shards(self, tmp_path):
+        options = ClusterOptions(
+            shards=2, wire_format="binary", checkpoint_root=tmp_path
+        )
+        assert options.shard_options(0).wire_format == "binary"
+
+    def test_client_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            ServeClient("127.0.0.1", 1, wire_format="carrier-pigeon")

@@ -18,14 +18,18 @@ from repro.dift.shadow import mem
 from repro.dift.tags import Tag
 from repro.options import ServeOptions
 from repro.replay.record import Recording
+from repro.obs.metrics import SERVE_LATENCY_BUCKETS_US
 from repro.serve.loadgen import (
     LoadResult,
     Mismatch,
     collect_offline_decisions,
     run_load,
+    split_chunk_frames,
+    split_chunk_lines,
     stateful_stream,
     write_bench_report,
 )
+from repro.serve.protocol import S_LEN
 from repro.serve.server import ServerThread
 
 PARAMS = MitosParams()
@@ -152,6 +156,113 @@ class TestClosedLoopParity:
     def test_rejects_zero_connections(self, offline):
         with pytest.raises(ValueError):
             run_load("127.0.0.1", 1, offline, connections=0)
+
+    def test_rejects_unknown_wire_format(self, offline):
+        with pytest.raises(ValueError):
+            run_load(
+                "127.0.0.1", 1, offline, wire_format="carrier-pigeon"
+            )
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_binary_parity_at_any_shard_count(self, offline, shards):
+        with ServerThread(self._serve_options(shards)) as thread:
+            result = run_load(
+                thread.host, thread.port, offline, connections=1,
+                window=8, wire_format="binary",
+            )
+        assert result.requests == len(offline)
+        assert result.errors == 0
+        assert result.mismatches == []
+        assert len(result.latencies_us) == len(offline)
+
+    def test_binary_parity_with_multiple_connections(self, offline):
+        with ServerThread(self._serve_options(2)) as thread:
+            result = run_load(
+                thread.host, thread.port, offline, connections=2,
+                window=4, wire_format="binary",
+            )
+        assert result.matched and result.requests == len(offline)
+
+    def test_binary_tampered_expectation_is_caught(self, offline):
+        import copy
+
+        tampered = copy.deepcopy(offline)
+        tampered[3].expected["propagated"] = ["netflow:999"]
+        with ServerThread(self._serve_options(1)) as thread:
+            result = run_load(
+                thread.host, thread.port, tampered, window=4,
+                wire_format="binary",
+            )
+        assert not result.matched
+        (mismatch,) = result.mismatches
+        assert mismatch.index == 3 and mismatch.field_name == "propagated"
+
+
+def frame(body: bytes) -> bytes:
+    return S_LEN.pack(len(body)) + body
+
+
+class TestChunkSplitTimestamps:
+    """The receive loop stamps once per chunk, before the split loop --
+    every frame a chunk completes carries that chunk's arrival time."""
+
+    def test_lines_completed_by_one_chunk_share_its_timestamp(self):
+        buffer = bytearray()
+        out = []
+        buffer += b"alpha\nbeta\ngam"
+        assert split_chunk_lines(buffer, 1.0, out.append) == 2
+        buffer += b"ma\n"
+        assert split_chunk_lines(buffer, 2.0, out.append) == 1
+        assert out == [(1.0, b"alpha"), (1.0, b"beta"), (2.0, b"gamma")]
+        assert buffer == b""
+
+    def test_line_split_across_chunks_gets_the_completing_time(self):
+        buffer = bytearray(b"partial")
+        out = []
+        assert split_chunk_lines(buffer, 1.0, out.append) == 0
+        assert buffer == b"partial"  # tail carried, untouched
+        buffer += b" line\n"
+        assert split_chunk_lines(buffer, 7.5, out.append) == 1
+        assert out == [(7.5, b"partial line")]
+
+    def test_frames_completed_by_one_chunk_share_its_timestamp(self):
+        buffer = bytearray()
+        out = []
+        buffer += frame(b"one") + frame(b"two") + frame(b"three")[:5]
+        assert split_chunk_frames(buffer, 3.0, out.append) == 2
+        buffer += frame(b"three")[5:]
+        assert split_chunk_frames(buffer, 4.0, out.append) == 1
+        assert out == [(3.0, b"one"), (3.0, b"two"), (4.0, b"three")]
+        assert buffer == b""
+
+    def test_partial_length_prefix_carries_over(self):
+        whole = frame(b"payload")
+        buffer = bytearray(whole[:2])  # half a length prefix
+        out = []
+        assert split_chunk_frames(buffer, 1.0, out.append) == 0
+        assert buffer == whole[:2]
+        buffer += whole[2:]
+        assert split_chunk_frames(buffer, 9.0, out.append) == 1
+        assert out == [(9.0, b"payload")]
+
+
+class TestLatencyHistogram:
+    def test_counts_land_in_serve_buckets(self):
+        buckets = [100.0, 1000.0]
+        result = LoadResult(latencies_us=[50.0, 100.0, 999.0, 5000.0])
+        histogram = result.latency_histogram(buckets)
+        assert histogram["le_us"] == [100.0, 1000.0, "inf"]
+        assert histogram["counts"] == [2, 1, 1]
+
+    def test_default_buckets_are_the_server_metric_buckets(self):
+        histogram = LoadResult(latencies_us=[1.0]).latency_histogram()
+        assert histogram["le_us"][:-1] == list(SERVE_LATENCY_BUCKETS_US)
+        assert sum(histogram["counts"]) == 1
+
+    def test_summary_carries_the_histogram(self):
+        summary = LoadResult(latencies_us=[10.0, 20.0]).summary()
+        histogram = summary["latency_histogram_us"]
+        assert sum(histogram["counts"]) == 2
 
 
 class TestLoadResult:
