@@ -1,0 +1,151 @@
+"""Decision-core bench: the fused columnar plane's single-core floor.
+
+This measures the serving decision core with the sockets, asyncio, and
+frame parsing stripped away: pre-parsed binary rows straight into
+``DecisionShard.decide_rows`` (the fused cross-request kernel) and into
+``_decide_rows_scalar`` (the sequential reference), over the full
+network recording's explicit-mode decisions.  Two guards:
+
+* **byte identity** -- the fused plane's response bytes and checkpoint
+  document must equal the sequential reference across batch-boundary
+  permutations (the miniature randomized version lives in
+  ``tests/serve/test_batch_plane.py``; this one runs the full workload);
+* **the floor** -- the fused plane must clear 101k decisions/s on one
+  core (the tracked local number is ~180-205k; the floor leaves room
+  for shared CI runners).
+
+Publishes the fused-vs-scalar table to ``results/decision_plane.txt``.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import publish
+
+from repro.experiments.common import experiment_params
+from repro.faros.config import FarosConfig
+from repro.serve.loadgen import collect_offline_decisions
+from repro.serve.protocol import parse_location
+from repro.serve.shard import DecisionShard
+
+#: decisions/s the fused plane must clear on one CI core
+DECISION_CORE_FLOOR = 101_000.0
+#: drain sizes measured (256 is the serving default's deep-pipeline case)
+BUNDLES = (64, 256, 1024)
+#: best-of rounds per configuration (noisy-host hygiene)
+ROUNDS = 5
+
+
+class _Conn:
+    __slots__ = ("out",)
+
+    def __init__(self):
+        self.out = bytearray()
+
+
+@pytest.fixture(scope="module")
+def workload(full_network_recording):
+    params = experiment_params(quick=False)
+    decisions = collect_offline_decisions(full_network_recording, params)
+    type_index = {}
+    rows = []
+    for rid, decision in enumerate(decisions):
+        request = decision.request
+        cands = tuple(
+            (
+                type_index.setdefault(c["type"], len(type_index)),
+                c["type"],
+                c["index"],
+                c["copies"],
+            )
+            for c in request["candidates"]
+        )
+        rows.append(
+            (
+                None, rid, parse_location(request["dest"]),
+                1 if request["kind"] == "control_dep" else 0,
+                request["tick"], request.get("context", ""),
+                request["free_slots"], request["pollution"], cands,
+            )
+        )
+    return params, rows
+
+
+def make_shard(params, fused):
+    config = FarosConfig(params=params, policy="mitos", label="bench")
+    shard = DecisionShard(
+        0, params=params, policy_factory=config.build_policy
+    )
+    if fused:
+        shard.columnar_min_cands = 0
+    return shard
+
+
+def drive(shard, rows, bundle, fused):
+    """Interleave rows over 7 connections in ``bundle``-sized drains."""
+    conns = [_Conn() for _ in range(7)]
+    fn = shard.decide_rows if fused else shard._decide_rows_scalar
+    for start in range(0, len(rows), bundle):
+        fn(
+            [
+                (conns[row[1] % 7],) + row[1:]
+                for row in rows[start:start + bundle]
+            ]
+        )
+    return b"".join(bytes(conn.out) for conn in conns)
+
+
+def checkpoint_text(shard):
+    return json.dumps(
+        shard.checkpoint_payload(), sort_keys=True, default=str
+    )
+
+
+def test_fused_plane_is_byte_identical(workload):
+    params, rows = workload
+    reference = make_shard(params, fused=False)
+    want = drive(reference, rows, 64, fused=False)
+    want_ckpt = checkpoint_text(reference)
+    for bundle in (1, 64, 256):
+        shard = make_shard(params, fused=True)
+        assert drive(shard, rows, bundle, fused=True) == want, (
+            f"fused response bytes diverged at bundle {bundle}"
+        )
+        assert checkpoint_text(shard) == want_ckpt, (
+            f"fused checkpoint state diverged at bundle {bundle}"
+        )
+
+
+def test_decision_core_floor(workload):
+    params, rows = workload
+    table = {}
+    for fused in (True, False):
+        for bundle in BUNDLES:
+            best = 0.0
+            for _ in range(ROUNDS):
+                shard = make_shard(params, fused=fused)
+                started = time.perf_counter()
+                drive(shard, rows, bundle, fused=fused)
+                elapsed = time.perf_counter() - started
+                best = max(best, len(rows) / elapsed)
+            table[(fused, bundle)] = best
+    lines = [
+        "decision core, one core "
+        f"({len(rows)} explicit rows, best of {ROUNDS}):",
+        f"{'drain':>8} {'fused/s':>12} {'scalar/s':>12} {'ratio':>7}",
+    ]
+    for bundle in BUNDLES:
+        fused_dps = table[(True, bundle)]
+        scalar_dps = table[(False, bundle)]
+        lines.append(
+            f"{bundle:>8} {fused_dps:>12.0f} {scalar_dps:>12.0f} "
+            f"{fused_dps / scalar_dps:>6.2f}x"
+        )
+    publish("decision_plane", "\n".join(lines))
+    fused_best = max(table[(True, bundle)] for bundle in BUNDLES)
+    assert fused_best > DECISION_CORE_FLOOR, (
+        f"fused decision core {fused_best:.0f}/s is under the "
+        f"{DECISION_CORE_FLOOR:.0f}/s floor"
+    )

@@ -16,8 +16,10 @@ client-side router that hides crashes from callers:
 from repro.cluster.harness import (
     ClusterLoadResult,
     run_cluster_load,
+    run_scale_sweep,
     spread_destinations,
     write_cluster_bench,
+    write_scale_bench,
 )
 from repro.cluster.router import (
     RETRYABLE_CODES,
@@ -43,6 +45,8 @@ __all__ = [
     "degraded_clear",
     "ClusterLoadResult",
     "run_cluster_load",
+    "run_scale_sweep",
     "spread_destinations",
     "write_cluster_bench",
+    "write_scale_bench",
 ]

@@ -223,6 +223,112 @@ def run_cluster_load(
     return result
 
 
+def run_scale_sweep(
+    decisions: Sequence[OfflineDecision],
+    shard_counts: Sequence[int],
+    options_factory,
+    *,
+    wire_format: str = "binary",
+    window: int = 256,
+    boot_timeout: float = 60.0,
+) -> List[Dict[str, object]]:
+    """Measure live aggregate throughput at each fleet size.
+
+    For each shard count this boots a fresh process fleet, partitions
+    the (pre-spread) decisions by the router's consistent-hash ring --
+    exactly the shard each request would reach in production -- and
+    drives every shard concurrently from its own loadgen worker process
+    (:func:`~repro.serve.loadgen.run_load_processes`: synchronized
+    start, ``sum(requests) / max(elapsed)`` aggregate).  Every response
+    is still compared field-for-field against the offline oracle, so
+    each sweep point carries parity and per-candidate oracle agreement
+    alongside its decisions/s.
+
+    Returns one summary dict per sweep point; the caller derives
+    scaling efficiency against the first point and writes
+    ``BENCH_scale.json`` via :func:`write_scale_bench`.
+    """
+    from repro.serve.loadgen import run_load_processes
+
+    sweep: List[Dict[str, object]] = []
+    for count in shard_counts:
+        if count < 1:
+            raise ValueError(f"shard counts must be >= 1, got {count}")
+        options = options_factory(count)
+        with ClusterSupervisor(options, backend="process") as supervisor:
+            with ClusterRouter.for_supervisor(supervisor) as router:
+                # partition by ring ownership (shard_for never opens a
+                # connection); explicit-mode answers are destination-
+                # independent, so the oracle expectations stay valid
+                slices: List[List[OfflineDecision]] = [
+                    [] for _ in range(count)
+                ]
+                for decision in decisions:
+                    shard = router.shard_for(str(decision.request["dest"]))
+                    slices[shard].append(decision)
+            supervisor.wait_all_ready(timeout=boot_timeout)
+            targets = []
+            for index in range(count):
+                endpoint = supervisor.endpoint(index)
+                if endpoint is None:
+                    raise RuntimeError(
+                        f"shard {index} never published an endpoint"
+                    )
+                if slices[index]:
+                    targets.append(
+                        (endpoint.host, endpoint.port, slices[index])
+                    )
+            merged, per_shard = run_load_processes(
+                targets, wire_format=wire_format, window=window
+            )
+        sweep.append(
+            {
+                "shards": count,
+                "driven_shards": len(targets),
+                **merged.summary(),
+                "per_shard": per_shard,
+            }
+        )
+    base = sweep[0]
+    base_dps = float(base["decisions_per_second"])  # type: ignore[arg-type]
+    base_shards = int(base["shards"])  # type: ignore[arg-type]
+    for entry in sweep:
+        dps = float(entry["decisions_per_second"])  # type: ignore[arg-type]
+        speedup = dps / base_dps if base_dps > 0 else 0.0
+        entry["speedup_vs_base"] = speedup
+        # 1.0 = perfect linear scaling from the first sweep point
+        entry["scaling_efficiency"] = (
+            speedup * base_shards / int(entry["shards"])  # type: ignore[arg-type]
+        )
+    return sweep
+
+
+def write_scale_bench(
+    path: Union[str, Path],
+    sweep: Sequence[Dict[str, object]],
+    *,
+    recording_events: int,
+    wire_format: str,
+    window: int,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the ``BENCH_scale.json`` document CI uploads."""
+    report: Dict[str, object] = {
+        "benchmark": "scale",
+        "recording_events": recording_events,
+        "wire_format": wire_format,
+        "window": window,
+        "shard_counts": [entry["shards"] for entry in sweep],
+        "matched": all(entry["matched"] for entry in sweep),
+        "sweep": list(sweep),
+    }
+    if extra:
+        report.update(extra)
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
 def write_cluster_bench(
     path: Union[str, Path],
     result: ClusterLoadResult,
@@ -250,6 +356,8 @@ def write_cluster_bench(
 __all__ = [
     "ClusterLoadResult",
     "run_cluster_load",
+    "run_scale_sweep",
     "spread_destinations",
     "write_cluster_bench",
+    "write_scale_bench",
 ]

@@ -127,6 +127,7 @@ class ProcessShard:
             "--shards", "1",
             "--queue-depth", str(serve.queue_depth),
             "--batch-max", str(serve.batch_max),
+            "--batch-deadline-us", str(serve.batch_deadline_us),
             "--policy", serve.policy,
             "--tau", str(serve.tau),
             "--alpha", str(serve.alpha),
@@ -138,6 +139,8 @@ class ProcessShard:
         ]
         if serve.quick_calibration:
             command.append("--quick-calibration")
+        if serve.gc_freeze:
+            command.append("--gc-freeze")
         return command
 
     def spawn(self) -> None:
@@ -159,6 +162,7 @@ class ProcessShard:
             text=True,
             env=env,
         )
+        self._pin_cpu(self._process.pid)
         reader = threading.Thread(
             target=self._read_output,
             args=(self._process,),
@@ -166,6 +170,28 @@ class ProcessShard:
             daemon=True,
         )
         reader.start()
+
+    def _pin_cpu(self, pid: int) -> None:
+        """Round-robin the shard onto one CPU (no-op where unsupported).
+
+        Process shards are single event loops; pinning shard ``i`` to
+        CPU ``i % cpu_count`` keeps each one's caches warm and stops the
+        scheduler from stacking two hot shards on one core while others
+        idle.  Best-effort: containers and non-Linux hosts without
+        ``sched_setaffinity`` just skip it.
+        """
+        if not self.options.pin_cpus:
+            return
+        if not hasattr(os, "sched_setaffinity"):  # pragma: no cover
+            return
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            # one CPU: pinning only removes scheduler freedom
+            return
+        try:
+            os.sched_setaffinity(pid, {self.index % cpus})
+        except OSError:  # pragma: no cover - permission-restricted env
+            pass
 
     def _read_output(self, process: subprocess.Popen) -> None:
         assert process.stdout is not None

@@ -167,6 +167,19 @@ class ServeOptions:
     queue_depth: int = 1024
     #: max requests a shard worker drains per wakeup (micro-batch size)
     batch_max: int = 64
+    #: adaptive batch-deadline cap in microseconds: under sustained load
+    #: a shard worker briefly yields (growing toward this cap) so the
+    #: frame parsers can top its queue up and the fused columnar kernel
+    #: sees wide cross-request drains; after any solo drain the window
+    #: collapses to zero, so idle-load p50 is untouched.  0 disables.
+    batch_deadline_us: float = 250.0
+    #: steady-state allocation hygiene: after the server binds, collect
+    #: once, ``gc.freeze()`` the warm-up survivors out of every future
+    #: scan, and raise the gen-0 threshold so the hot path stops paying
+    #: for collector sweeps of long-lived objects.  Off by default --
+    #: it mutates process-global GC state, so only standalone server
+    #: processes (CLI ``serve``, cluster shards, benches) opt in.
+    gc_freeze: bool = False
     #: bounded retries per request before an ``internal`` error response
     max_retries: int = 2
     #: propagation policy name (one of faros.config.POLICY_NAMES)
@@ -215,6 +228,11 @@ class ServeOptions:
             )
         if self.batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.batch_deadline_us < 0:
+            raise ValueError(
+                "batch_deadline_us must be >= 0, "
+                f"got {self.batch_deadline_us}"
+            )
         if self.max_retries < 0:
             raise ValueError(
                 f"max_retries must be >= 0, got {self.max_retries}"
@@ -286,6 +304,11 @@ class ClusterOptions:
     #: per-shard serve knobs (see :class:`ServeOptions`)
     queue_depth: int = 1024
     batch_max: int = 64
+    batch_deadline_us: float = 250.0
+    #: pin each shard process to one CPU (``os.sched_setaffinity``,
+    #: round-robin over the cores): keeps every shard's caches and GIL
+    #: to itself on multi-core hosts, no-op where unsupported
+    pin_cpus: bool = True
     #: checkpoint a shard every N applied requests, so a SIGKILL loses
     #: at most N-1 requests of state
     checkpoint_every: int = 64
@@ -391,6 +414,10 @@ class ClusterOptions:
             shards=1,
             queue_depth=self.queue_depth,
             batch_max=self.batch_max,
+            batch_deadline_us=self.batch_deadline_us,
+            # each shard owns its process, so process-global GC tuning
+            # is safe and free throughput
+            gc_freeze=True,
             policy=self.policy,
             tau=self.tau,
             alpha=self.alpha,

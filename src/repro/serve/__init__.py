@@ -23,8 +23,11 @@ from repro.serve.events import DecisionTail, build_snapshot
 from repro.serve.loadgen import (
     LoadResult,
     OfflineDecision,
+    append_bench_trend,
     collect_offline_decisions,
+    observe_agreement,
     run_load,
+    run_load_processes,
     stateful_stream,
     write_bench_report,
 )
@@ -67,6 +70,7 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServerThread",
+    "append_bench_trend",
     "build_snapshot",
     "collect_offline_decisions",
     "decode_response_frame",
@@ -75,10 +79,12 @@ __all__ = [
     "encode_preamble",
     "iter_events",
     "mirrors",
+    "observe_agreement",
     "offline_decision_diff",
     "parse_request",
     "render",
     "run_load",
+    "run_load_processes",
     "run_top",
     "split_frames",
     "stateful_stream",

@@ -249,10 +249,20 @@ class LoadResult:
     #: wall-clock microseconds per request, submit to response-read
     latencies_us: List[float] = field(default_factory=list)
     mismatches: List[Mismatch] = field(default_factory=list)
+    #: per-candidate oracle agreement: served propagate == offline
+    #: propagate (the live twin of the sim's oracle-agreement metric)
+    agreement_hits: int = 0
+    agreement_total: int = 0
 
     @property
     def matched(self) -> bool:
         return not self.mismatches and not self.errors
+
+    @property
+    def agreement(self) -> float:
+        if self.agreement_total <= 0:
+            return 1.0
+        return self.agreement_hits / self.agreement_total
 
     @property
     def decisions_per_second(self) -> float:
@@ -299,6 +309,8 @@ class LoadResult:
                 "p99": self.latency_percentile(99),
             },
             "latency_histogram_us": self.latency_histogram(),
+            "agreement": self.agreement,
+            "agreement_candidates": self.agreement_total,
         }
 
 
@@ -315,6 +327,28 @@ def _compare(
         got = response.get(key)
         if got != want:
             mismatches.append(Mismatch(index, key, want, got))
+
+
+def observe_agreement(
+    expected: Dict[str, object], response: Dict[str, object]
+) -> Tuple[int, int]:
+    """Per-candidate ``(hits, total)`` of served vs oracle propagate bits.
+
+    The live counterpart of the cluster sim's oracle-agreement metric:
+    for every candidate the offline replay ranked, does the served
+    decision propagate exactly when the oracle would?
+    """
+    hits = total = 0
+    got_rows = response.get("decisions") or []
+    by_tag = {
+        row.get("tag"): row for row in got_rows if isinstance(row, dict)
+    }
+    for row in expected.get("decisions") or []:
+        got = by_tag.get(row.get("tag"), {})
+        total += 1
+        if bool(row.get("propagate")) == bool(got.get("propagate")):
+            hits += 1
+    return hits, total
 
 
 def _encode_binary_worker(
@@ -381,6 +415,7 @@ def run_load(
     window: int = 32,
     max_mismatches: int = 10,
     wire_format: str = "ndjson",
+    start_gate: Optional[Callable[[], object]] = None,
 ) -> LoadResult:
     """Replay captured decisions against a live server, closed-loop.
 
@@ -513,6 +548,11 @@ def run_load(
         except BaseException as error:  # surfaced after join
             errors.append(error)
 
+    if start_gate is not None:
+        # multi-process aggregation: every worker process finishes its
+        # off-the-clock encoding, then meets the barrier, so the timed
+        # windows overlap and sum-of-requests / max-elapsed is honest
+        start_gate()
     started = time.perf_counter()
     if connections == 1:
         worker(0, slices[0], sent_per_worker[0], received_per_worker[0])
@@ -552,22 +592,166 @@ def run_load(
             if not response.get("ok", False):
                 result.errors += 1
                 continue
+            expected = decisions[index].expected
             _compare(
                 index,
-                decisions[index].expected,
+                expected,
                 response,
                 result.mismatches,
                 max_mismatches,
             )
+            hits, total = observe_agreement(expected, response)
+            result.agreement_hits += hits
+            result.agreement_total += total
     merged = LoadResult(elapsed_seconds=elapsed)
     for result in results:
         merged.requests += result.requests
         merged.errors += result.errors
         merged.latencies_us.extend(result.latencies_us)
         merged.mismatches.extend(result.mismatches)
+        merged.agreement_hits += result.agreement_hits
+        merged.agreement_total += result.agreement_total
     merged.mismatches.sort(key=lambda m: m.index)
     del merged.mismatches[max_mismatches:]
     return merged
+
+
+def _load_worker(
+    worker_index: int,
+    host: str,
+    port: int,
+    decisions: Sequence[OfflineDecision],
+    wire_format: str,
+    window: int,
+    open_loop: bool,
+    max_mismatches: int,
+    barrier,
+    out_queue,
+) -> None:
+    """One worker process: pre-encode, meet the barrier, drive, report.
+
+    Open-loop mode widens the window to the whole slice, so every frame
+    is submitted without waiting on any response -- arrivals no longer
+    gate on completions, which is what exposes server capacity a
+    closed-loop window understates.
+    """
+    try:
+        if open_loop:
+            window = max(window, len(decisions))
+        result = run_load(
+            host,
+            port,
+            decisions,
+            connections=1,
+            window=window,
+            max_mismatches=max_mismatches,
+            wire_format=wire_format,
+            start_gate=barrier.wait,
+        )
+        out_queue.put((worker_index, result, None))
+    except BaseException as error:  # noqa: BLE001 - surfaced in parent
+        try:
+            barrier.abort()
+        except Exception:  # pragma: no cover - barrier already broken
+            pass
+        out_queue.put((worker_index, None, repr(error)))
+
+
+def run_load_processes(
+    targets: Sequence[Tuple[str, int, Sequence[OfflineDecision]]],
+    *,
+    wire_format: str = "binary",
+    window: int = 256,
+    open_loop: bool = False,
+    max_mismatches: int = 10,
+) -> Tuple[LoadResult, List[Dict[str, object]]]:
+    """Drive each ``(host, port, decisions)`` target from its own process.
+
+    The multi-core face of :func:`run_load`: worker *processes* (no
+    shared GIL with each other or with an in-process server) each run
+    the single-connection pipeline over their slice.  All workers finish
+    pre-encoding and then meet a barrier before any clock starts, so the
+    timed windows overlap; the merged result's elapsed time is the
+    slowest worker's window and aggregate decisions/s is
+    ``sum(requests) / max(elapsed)`` -- the honest aggregate for
+    concurrently active workers.  Returns the merged
+    :class:`LoadResult` (latencies, mismatches, and oracle agreement
+    pooled across workers) plus each worker's own summary, so per-worker
+    parity is still visible after the merge.
+    """
+    if not targets:
+        raise ValueError("run_load_processes needs at least one target")
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(len(targets))
+    out_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_load_worker,
+            args=(
+                index, host, port, decisions, wire_format, window,
+                open_loop, max_mismatches, barrier, out_queue,
+            ),
+            name=f"loadgen-{index}",
+            daemon=True,
+        )
+        for index, (host, port, decisions) in enumerate(targets)
+    ]
+    for worker in workers:
+        worker.start()
+    reports: List[Tuple[int, Optional[LoadResult], Optional[str]]] = []
+    for _ in workers:
+        reports.append(out_queue.get())
+    for worker in workers:
+        worker.join()
+    failures = [
+        f"worker {index}: {error}"
+        for index, _, error in reports
+        if error is not None
+    ]
+    if failures:
+        raise RuntimeError(
+            "load worker process(es) failed: " + "; ".join(failures)
+        )
+    reports.sort(key=lambda item: item[0])
+    results: List[LoadResult] = [report[1] for report in reports]
+    merged = LoadResult(
+        elapsed_seconds=max(r.elapsed_seconds for r in results)
+    )
+    per_worker: List[Dict[str, object]] = []
+    for index, result in enumerate(results):
+        merged.requests += result.requests
+        merged.errors += result.errors
+        merged.latencies_us.extend(result.latencies_us)
+        merged.mismatches.extend(result.mismatches)
+        merged.agreement_hits += result.agreement_hits
+        merged.agreement_total += result.agreement_total
+        per_worker.append(dict(result.summary(), worker=index))
+    merged.mismatches.sort(key=lambda m: m.index)
+    del merged.mismatches[max_mismatches:]
+    return merged, per_worker
+
+
+def append_bench_trend(
+    path: Union[str, Path], record: Dict[str, object]
+) -> Path:
+    """Append one compact record to the cross-PR perf trendline.
+
+    ``results/bench_trend.jsonl`` accumulates one line per
+    ``bench-serve`` / ``bench-cluster`` run, so the throughput
+    trajectory is tracked in the repo itself rather than only in CI
+    artifacts.  Records are append-only and self-describing (each
+    carries its benchmark name and an ISO timestamp).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
 
 
 def write_bench_report(

@@ -46,6 +46,8 @@ import json
 import struct
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.dift.flows import FlowKind
 from repro.dift.shadow import Location
 
@@ -638,6 +640,35 @@ S_RESP_HEAD = struct.Struct("<xQHH")
 S_RESP_ROW = struct.Struct("<HIIBddd")
 #: ERROR head after the type byte: flags u8 | id u64 | code u8 | msg-len u16
 S_ERROR_HEAD = struct.Struct("<xBQBH")
+
+#: :data:`S_RESP_ROW` as a packed little-endian NumPy record: the fused
+#: decision kernel fills whole response columns and emits every row of a
+#: queue drain with one ``tobytes`` instead of a struct pack per row
+RESP_ROW_DTYPE = np.dtype(
+    {
+        "names": ["type", "index", "copies", "flags", "marginal", "under",
+                  "over"],
+        "formats": ["<u2", "<u4", "<u4", "u1", "<f8", "<f8", "<f8"],
+        "offsets": [0, 2, 6, 10, 11, 19, 27],
+        "itemsize": S_RESP_ROW.size,
+    }
+)
+assert RESP_ROW_DTYPE.itemsize == S_RESP_ROW.size
+
+#: hoisted multi-candidate structs: one ``unpack_from`` for a DECIDE
+#: frame's whole candidate block instead of one call per candidate
+_CAND_BLOCKS: Dict[int, struct.Struct] = {}
+_CAND_BLOCK_CACHE_MAX = 512
+
+
+def cand_block_struct(count: int) -> struct.Struct:
+    """The packed struct for ``count`` consecutive DECIDE candidates."""
+    block = _CAND_BLOCKS.get(count)
+    if block is None:
+        block = struct.Struct("<" + "HIi" * count)
+        if len(_CAND_BLOCKS) < _CAND_BLOCK_CACHE_MAX:
+            _CAND_BLOCKS[count] = block
+    return block
 
 
 def encode_preamble(version: int = BINARY_VERSION) -> bytes:

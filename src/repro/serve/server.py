@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import bisect
+import gc
 import hashlib
 import itertools
 import json
@@ -79,7 +80,6 @@ from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     S_DECIDE_HEAD,
-    S_CAND,
     S_F64,
     S_LEN,
     S_U16,
@@ -92,6 +92,7 @@ from repro.serve.protocol import (
     DecideRequest,
     GossipRequest,
     ProtocolError,
+    cand_block_struct,
     decode_string_table,
     encode_error_frame,
     encode_hello_ack,
@@ -286,6 +287,8 @@ class MitosServer:
         #: True once the data plane is serving (checkpoints restored,
         #: workers running, data port bound); readiness, not liveness
         self._ready = False
+        #: gc thresholds saved before the opt-in freeze, restored on stop
+        self._gc_thresholds: Optional[Tuple[int, int, int]] = None
         self._started_at = time.monotonic()
         self.port: Optional[int] = None
         self.admin_port: Optional[int] = None
@@ -445,6 +448,16 @@ class MitosServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._ready = True
+        if self.options.gc_freeze:
+            # opt-in allocation hygiene for dedicated serving processes:
+            # everything built during warmup (shards, tables, caches) is
+            # permanent, so move it out of the collector's view and make
+            # gen-0 sweeps rare -- the hot path allocates mostly
+            # short-lived tuples that die in the nursery anyway
+            self._gc_thresholds = gc.get_threshold()
+            gc.collect()
+            gc.freeze()
+            gc.set_threshold(50000, 25, 25)
         logger.info(
             "serving",
             extra={
@@ -485,6 +498,12 @@ class MitosServer:
 
     async def _shutdown(self) -> None:
         self._draining = True
+        if self._gc_thresholds is not None:
+            # undo the serving-time freeze so embedded uses (tests,
+            # ServerThread) leave the process GC exactly as they found it
+            gc.unfreeze()
+            gc.set_threshold(*self._gc_thresholds)
+            self._gc_thresholds = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -631,7 +650,6 @@ class MitosServer:
         unpack_head = S_DECIDE_HEAD.unpack_from
         unpack_f64 = S_F64.unpack_from
         unpack_u16 = S_U16.unpack_from
-        unpack_cand = S_CAND.unpack_from
         fast = self._fast_binary
         single = len(self._queues) == 1
         m_requests = self._m_requests
@@ -734,18 +752,27 @@ class MitosServer:
                     context = (
                         "" if ctx_i == CTX_NONE else conn.contexts[ctx_i]
                     )
-                    cands = []
-                    for _ in range(ncand):
-                        type_i, tag_i, copies = unpack_cand(buf, offset)
-                        offset += 10
-                        cands.append(
+                    if ncand:
+                        # one combined unpack for the whole candidate
+                        # block instead of ncand struct calls (the
+                        # cached per-count struct already exists after
+                        # the first frame of each width)
+                        fields = cand_block_struct(ncand).unpack_from(
+                            buf, offset
+                        )
+                        offset += 10 * ncand
+                        it = iter(fields)
+                        cands = [
                             (
                                 type_i,
                                 tag_types[type_i],
                                 tag_i,
                                 copies if copies >= 0 else None,
                             )
-                        )
+                            for type_i, tag_i, copies in zip(it, it, it)
+                        ]
+                    else:
+                        cands = []
                     if offset != pos:
                         raise IndexError("frame length mismatch")
                 except (struct.error, IndexError, OverflowError) as err:
@@ -1125,6 +1152,17 @@ class MitosServer:
         )
         decide_rows = shard.decide_rows
         safe_drain = self._safe_drain
+        # adaptive batch deadline: under open-loop load a short sleep
+        # after the first drain lets the connection readers parse and
+        # enqueue more frames, so the columnar kernel sees wider batches.
+        # The controller is gain-driven: the window doubles toward the
+        # cap only while sleeping keeps *finding* extra items, and
+        # collapses to zero the first time a sleep buys nothing -- a
+        # closed-loop client (requests only arrive after responses) or
+        # an idle queue therefore never pays the deadline, and p50 at
+        # light load stays at the no-batching floor.
+        max_wait = self.options.batch_deadline_us / 1e6
+        wait = 0.0
         while True:
             item = await queue.get()
             batch = [item]
@@ -1133,6 +1171,34 @@ class MitosServer:
                     batch.append(queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            gained = 0
+            if wait > 0.0 and len(batch) < batch_max and not self._draining:
+                # yield-don't-sleep: asyncio timers have ~1ms granularity
+                # on epoll, far coarser than a µs-scale deadline, so the
+                # window is spent yielding the loop (letting ready
+                # connection readers parse and enqueue) with the actual
+                # elapsed time checked against a monotonic deadline
+                drained = len(batch)
+                deadline = time.perf_counter() + wait
+                while len(batch) < batch_max:
+                    await asyncio.sleep(0)
+                    while len(batch) < batch_max:
+                        try:
+                            batch.append(queue.get_nowait())
+                        except asyncio.QueueEmpty:
+                            break
+                    if time.perf_counter() >= deadline:
+                        break
+                gained = len(batch) - drained
+            if max_wait > 0.0:
+                if gained:
+                    wait = min(max_wait, wait * 2.0)
+                elif wait == 0.0 and len(batch) > 1:
+                    # company without sleeping hints at sustained
+                    # arrivals: probe with a small window next wakeup
+                    wait = max_wait / 8.0
+                else:
+                    wait = 0.0
             # a queue item is either one NDJSON-path (request, sink,
             # enqueued) triple or a whole binary row bundle (list); a
             # bundle counts as one item, so cross-connection batches can

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.decision import MultiDecision, TagCandidate
 from repro.core.params import MitosParams
 from repro.dift.flows import FlowEvent, FlowKind
+from repro.dift.provenance import SchedulingPolicy
 from repro.dift.tags import Tag
 from repro.dift.tracker import DIFTTracker, IfpObserver
 from repro.replay.checkpoint import (
@@ -46,6 +47,9 @@ from repro.replay.checkpoint import (
 )
 from repro.serve.protocol import (
     FRAME_DECIDE_RESP,
+    RESP_ROW_DTYPE,
+    ROW_FLAG_MARGINALS,
+    ROW_FLAG_PROPAGATE,
     S_RESP_PREFIX,
     S_RESP_ROW,
     ApplyRequest,
@@ -58,6 +62,7 @@ from repro.serve.protocol import (
 from repro.vector.kernel import (
     DEFAULT_MAX_COPIES,
     decide_multi_batch,
+    decide_rows_batch,
     seed_marginal_cache,
     under_table_stack,
 )
@@ -108,6 +113,9 @@ class DecisionShard:
         #: plain-list view of the table stack for the small-batch gather
         self._table_rows: Optional[List[List[float]]] = None
         self._type_index: Optional[Dict[str, int]] = None
+        #: exact per-type o_t weights aligned with ``_tag_types`` -- the
+        #: fused kernel's pollution-feedback gather table
+        self._o_table: Optional[np.ndarray] = None
         #: True when the policy exposes the MITOS engine (batch kernel path)
         self._mitos = hasattr(self.policy, "engine")
         #: latest pollution estimate heard from each peer shard server
@@ -163,8 +171,30 @@ class DecisionShard:
 
     # -- Eq. 8 table management -----------------------------------------
 
+    def _rebind_params(self, params: MitosParams) -> None:
+        """Drop every params-derived memo after a parameter swap.
+
+        The analogue of :class:`repro.core.decision.MarginalCache`'s
+        identity binding (``cache.params is params``): when the policy
+        engine's params object changes -- a canary promotion, an adaptive
+        controller -- the flat under/over lookup planes and the over memo
+        are pure functions of the *old* params and must be rebuilt, which
+        happens lazily on the next request.  Tags and names are
+        params-independent and survive.
+        """
+        self.params = params
+        self._tag_types = ()
+        self._table_stack = None
+        self._table_rows = None
+        self._type_index = None
+        self._o_table = None
+        self._over_memo.clear()
+
     def _ensure_tables(self, types: set, max_copies: int) -> None:
         """Grow the gather tables to cover ``types`` up to ``max_copies``."""
+        engine = getattr(self.policy, "engine", None)
+        if engine is not None and engine.params is not self.params:
+            self._rebind_params(engine.params)
         rebuild = False
         if not types.issubset(self._tag_types):
             types = set(types)
@@ -182,6 +212,10 @@ class DecisionShard:
             self._type_index = {
                 tag_type: i for i, tag_type in enumerate(self._tag_types)
             }
+            self._o_table = np.array(
+                [self.params.o_of(tag_type) for tag_type in self._tag_types],
+                dtype=np.float64,
+            )
             cache = getattr(self.policy.engine, "marginal_cache", None)
             if cache is not None:
                 seed_marginal_cache(
@@ -336,6 +370,156 @@ class DecisionShard:
             decisions=rows,
         )
 
+    #: below this many gathered explicit candidates a queue drain skips
+    #: the columnar kernel: the fixed NumPy pass costs more than it saves
+    #: on tiny drains, and taking the scalar path keeps p50 flat at low
+    #: offered load (decisions are identical either way -- pinned by the
+    #: batch-permutation property tests, which force this to 0)
+    columnar_min_cands: int = 48
+
+    def _fuse_rows(
+        self,
+        rows: Sequence[tuple],
+        over_of: Callable[[float], float],
+        params: MitosParams,
+    ) -> Optional[tuple]:
+        """Scan + fuse a drain; ``None`` means take the sequential path.
+
+        Classifies rows, gathers every explicit candidate into flat
+        columns, runs **one** :func:`decide_rows_batch` pass, and packs
+        one :data:`RESP_ROW_DTYPE` response blob.  A row is batchable
+        when its decision is a pure function of the request: explicit
+        pollution and every candidate's copies on the wire.  Field
+        ranges are enforced by the column dtypes themselves
+        (``np.array`` raises ``OverflowError`` outside u16/u32), and
+        nothing in here mutates request-visible state -- only pure
+        memos (over memo, gather tables) -- so *any* failure bails
+        wholesale to the sequential path, which produces the exact
+        per-row error frames.  Returns ``(plans, flat, props, order,
+        blob)`` for the apply walk.
+        """
+        try:
+            plans: List[Optional[int]] = []
+            append_plan = plans.append
+            flat: List[tuple] = []
+            extend_flat = flat.extend
+            row_sizes_l: List[int] = []
+            free_l: List[int] = []
+            pol_l: List[float] = []
+            over0_l: List[float] = []
+            batch_cands = 0
+            for row in rows:
+                pollution = row[7]
+                # ``not >= 0`` (not ``< 0``) so NaN pollution also routes
+                # to the scalar path, whose NaN behavior is the reference
+                if pollution is None or not pollution >= 0:
+                    append_plan(None)
+                    continue
+                cands = row[8]
+                ok = True
+                for s in cands:
+                    if s[3] is None:
+                        ok = False
+                        break
+                if not ok:
+                    append_plan(None)
+                    continue
+                n = len(cands)
+                append_plan(n)
+                if n:
+                    extend_flat(cands)
+                    batch_cands += n
+                    row_sizes_l.append(n)
+                    free_l.append(row[6])
+                    # +0.0 canonicalizes a wire -0.0 so the over memo
+                    # (keyed by float equality, where -0.0 == 0.0) serves
+                    # the same value regardless of batching order
+                    pol = pollution + 0.0
+                    pol_l.append(pol)
+                    over0_l.append(over_of(pol))
+            if not batch_cands or batch_cands < self.columnar_min_cands:
+                return None
+            # -- one fused kernel pass over every explicit candidate row
+            m = batch_cands
+            wire_t, types_t, idx_t, cps_t = zip(*flat)
+            cps = np.array(cps_t, dtype=np.uint32)
+            # negatives and out-of-u32 values raise OverflowError (the
+            # wholesale bail); a tag index of 0 is invalid too, and the
+            # scalar path answers it with the exact bad-request error
+            idx = np.array(idx_t, dtype=np.uint32)
+            if not idx.all():
+                return None
+            type_index = self._type_index
+            max_copies = (
+                self._max_table_copies if self._table_rows is not None else -1
+            )
+            codes = None
+            if type_index is not None and int(cps.max()) <= max_copies:
+                try:
+                    codes = np.fromiter(
+                        map(type_index.__getitem__, types_t),
+                        dtype=np.intp,
+                        count=m,
+                    )
+                except KeyError:
+                    codes = None
+            if codes is None:
+                # new tag type or larger copy count: validate the way
+                # the scalar path does before growing shared tables, so
+                # an invalid type can never enter them
+                for s in flat:
+                    if not s[1]:
+                        return None
+                self._ensure_tables(set(types_t), int(cps.max()))
+                type_index = self._type_index
+                codes = np.fromiter(
+                    map(type_index.__getitem__, types_t),
+                    dtype=np.intp,
+                    count=m,
+                )
+            row_sizes = np.asarray(row_sizes_l, dtype=np.intp)
+            row_ids = np.repeat(
+                np.arange(row_sizes.shape[0], dtype=np.intp), row_sizes
+            )
+            result = decide_rows_batch(
+                codes,
+                cps,
+                row_ids,
+                row_sizes,
+                free_l,
+                pol_l,
+                np.asarray(over0_l, dtype=np.float64),
+                self._table_stack,
+                self._o_table,
+                over_of,
+                params=params,
+            )
+            if result is None:  # NaN rank keys; sorted() order is the law
+                return None
+            order = result.order
+            props_l = result.props
+            resp = np.empty(m, dtype=RESP_ROW_DTYPE)
+            resp["type"] = np.array(wire_t, dtype=np.uint16)[order]
+            resp["index"] = idx[order]
+            resp["copies"] = cps[order]
+            resp["flags"] = np.where(
+                result.propagated,
+                ROW_FLAG_PROPAGATE | ROW_FLAG_MARGINALS,
+                ROW_FLAG_MARGINALS,
+            )
+            resp["marginal"] = result.marginals
+            resp["under"] = result.unders
+            resp["over"] = result.overs
+            return (
+                plans,
+                flat,
+                props_l,
+                order.tolist(),
+                memoryview(resp.tobytes()),
+            )
+        except Exception:  # noqa: BLE001 - the bail must stay total
+            return None
+
     def decide_rows(self, rows: Sequence[tuple]) -> None:
         """Answer a batch of binary decide rows, packing responses directly.
 
@@ -345,25 +529,188 @@ class DecisionShard:
         tag_type, tag_index, copies_or_None)`` tuples, exactly as the
         server's frame parser unpacked them -- no :class:`DecideRequest` /
         :class:`TagCandidate` / response-dict round trip.  DECIDE_RESP
-        frames are struct-packed straight into each row's per-connection
-        ``conn.out`` buffer.
+        frames land directly in each row's per-connection ``conn.out``
+        buffer.
+
+        This is the *fused cross-request* path: every fully-explicit row
+        of the drain (pollution and all candidate copies on the wire --
+        the offline-equivalence traffic shape) is gathered into flat
+        NumPy columns across requests and connections, ranked and cut by
+        **one** :func:`repro.vector.kernel.decide_rows_batch` call
+        against the shared gather tables, and scattered back as one
+        :data:`~repro.serve.protocol.RESP_ROW_DTYPE` record blob sliced
+        per row.  Explicit decisions are pure functions of the request,
+        so batching them cannot observe (or miss) any state; everything
+        *stateful* -- live-copy resolution, ``believed_pollution``,
+        ``add_tag`` propagation effects, checkpoint cadence -- is still
+        applied strictly in row order by the apply walk, so post-batch
+        shard state is byte-identical to the sequential path.  Rows that
+        read live state (missing pollution/copies), fail validation, or
+        hit the NaN rank-key corner run through the scalar per-row path
+        at their exact position in the drain.
 
         Decisions, stats mutations, tag applications, and checkpoint
-        cadence are bit-identical to :meth:`decide`: the ranking and
-        sequential tail inline the exact small-batch path of
-        :func:`repro.vector.kernel.decide_multi_batch` (same gather
-        tables, same stable sort, same pollution feedback), and the
-        granted propagations apply ``shadow.add_tag``'s exact state
-        mutations in the same rank order (the plain-insert branch is
-        inlined when no counter hooks are set, like the vector engine's
-        bulk path; duplicates and evictions still go through
-        ``add_tag``).  Only callable for MITOS policies with no
+        cadence are bit-identical to :meth:`decide` and to
+        :meth:`_decide_rows_scalar` (the sequential reference): same
+        gather tables, same stable ranking, same left-associated
+        pollution feedback, same ``over_of`` memo, and the granted
+        propagations apply ``shadow.add_tag``'s exact state mutations in
+        the same rank order.  Only callable for MITOS policies with no
         ``ifp_observer`` -- the server routes everything else through
         :meth:`decide`.  A row that fails validation is answered with the
         same structured ``bad-request`` error the NDJSON path produces;
         anything unexpected gets an ``internal`` error frame.  Either
         way the batch continues.
         """
+        engine = getattr(self.policy, "engine", None)
+        if engine is not None and engine.params is not self.params:
+            self._rebind_params(engine.params)
+        over_memo = self._over_memo
+        if len(over_memo) > 1 << 16:
+            over_memo.clear()
+        params = self.params
+        tau_beta = params.effective_tau * params.beta
+        n_r = params.N_R
+        beta_exp = params.beta - 1.0
+
+        def over_of(p: float) -> float:
+            v = over_memo.get(p)
+            if v is None:
+                v = over_memo[p] = tau_beta * (p / n_r) ** beta_exp
+            return v
+
+        fused = self._fuse_rows(rows, over_of, params)
+        if fused is None:
+            self._decide_rows_scalar(rows)
+            return
+        plans, flat, props_l, order_l, blob = fused
+        # -- apply walk, strictly in row order: pack responses, apply the
+        # granted propagations, keep stats and checkpoint cadence -- the
+        # exact mutation sequence of the scalar path
+        tracker = self.tracker
+        stats = tracker.stats
+        counter = tracker.counter
+        counts = counter._counts
+        type_totals = counter._type_totals
+        shadow = tracker.shadow
+        lists = shadow._lists
+        add_tag = shadow.add_tag
+        hooks_off = counter.on_birth is None and counter.on_death is None
+        tags = self._tags
+        tag_cls = Tag
+        lru = SchedulingPolicy.LRU
+        pack_prefix = S_RESP_PREFIX.pack
+        shard_index = self.index
+        head_size = S_RESP_PREFIX.size - 4
+        row_size = S_RESP_ROW.size
+        every = self.checkpoint_every
+        checkpointing = every is not None and self.checkpoint_path is not None
+        scalar_rows = self._decide_rows_scalar
+        bi = 0
+        base = 0
+        off = 0
+        for plan, row in zip(plans, rows):
+            if plan is None:
+                scalar_rows((row,))
+                continue
+            conn = row[0]
+            rid = row[1]
+            out = conn.out
+            start = len(out)
+            n = plan
+            try:
+                tick = row[4]
+                if tick >= stats.ticks:
+                    stats.ticks = tick + 1
+                if row[3]:
+                    stats.ifp_control += 1
+                else:
+                    stats.ifp_address += 1
+                stats.ifp_candidates += n
+                out += pack_prefix(
+                    head_size + row_size * n,
+                    FRAME_DECIDE_RESP,
+                    rid,
+                    shard_index,
+                    n,
+                )
+                if n:
+                    k = props_l[bi]
+                    out += blob[off:off + row_size * n]
+                    if k:
+                        destination = row[2]
+                        for j in range(base, base + k):
+                            s = flat[order_l[j]]
+                            tag_type = s[1]
+                            key = (tag_type, s[2])
+                            tag = tags.get(key)
+                            if tag is None:
+                                tag = tags[key] = tag_cls(tag_type, s[2])
+                            plist = lists.get(destination)
+                            if (
+                                plist is not None
+                                and tag in plist._members
+                            ):
+                                # re-adding a present tag changes no
+                                # state except under LRU (recency
+                                # refresh); the overwhelmingly common
+                                # steady-state case, so skip the whole
+                                # add_tag call chain
+                                if plist._scheduling is lru:
+                                    add_tag(destination, tag)
+                            elif (
+                                hooks_off
+                                and plist is not None
+                                and len(plist._tags) < plist._capacity
+                            ):
+                                # add_tag's plain-insert branch, inlined
+                                if not plist._tags:
+                                    shadow._tainted += 1
+                                plist._tags.append(tag)
+                                plist._members.add(tag)
+                                counts[key] = counts.get(key, 0) + 1
+                                type_totals[tag_type] = (
+                                    type_totals.get(tag_type, 0) + 1
+                                )
+                                counter._total_entries += 1
+                                counter._pollution_dirty = True
+                                shadow._entries += 1
+                                stats.propagation_ops += 1
+                            else:
+                                outcome = add_tag(destination, tag)
+                                if outcome.added:
+                                    stats.propagation_ops += 1
+                                if outcome.dropped is not None:
+                                    stats.drops += 1
+                                    stats.propagation_ops += 1
+                    stats.ifp_propagated += k
+                    stats.ifp_blocked += n - k
+                self.requests_applied += 1
+                self.decisions_served += 1
+                if checkpointing and self.requests_applied % every == 0:
+                    self.write_checkpoint()
+            except ProtocolError as error:
+                del out[start:]
+                out += encode_error_frame(rid, error.code, error.message)
+            except Exception as error:  # noqa: BLE001 - batch must survive
+                del out[start:]
+                out += encode_error_frame(rid, "internal", str(error))
+            if n:
+                bi += 1
+                base += n
+                off += row_size * n
+
+    def _decide_rows_scalar(self, rows: Sequence[tuple]) -> None:
+        """The sequential per-row decide path (PR 8's loop).
+
+        :meth:`decide_rows` routes stateful, invalid, and corner-case
+        rows here at their exact drain position, and falls back wholesale
+        for small drains; the batch-permutation property tests drive it
+        directly as the parity reference for the fused kernel.
+        """
+        engine = getattr(self.policy, "engine", None)
+        if engine is not None and engine.params is not self.params:
+            self._rebind_params(engine.params)
         tracker = self.tracker
         stats = tracker.stats
         counter = tracker.counter
@@ -400,6 +747,7 @@ class DecisionShard:
 
         tags = self._tags
         tag_cls = Tag
+        lru = SchedulingPolicy.LRU
         believed = self.believed_pollution
         pack_prefix = S_RESP_PREFIX.pack
         pack_row = S_RESP_ROW.pack
@@ -471,7 +819,11 @@ class DecisionShard:
                 else:
                     stats.ifp_address += 1
                 stats.ifp_candidates += n
-                pol = pollution if pollution is not None else believed()
+                # +0.0 canonicalizes -0.0 (see decide_rows) so batched
+                # and sequential execution share memoized over values
+                pol = (
+                    pollution if pollution is not None else believed()
+                ) + 0.0
                 over = over_of(pol)
                 out += pack_prefix(
                     head_size + row_size * n,
@@ -519,9 +871,17 @@ class DecisionShard:
                                 tag = tags[key] = tag_cls(tag_type, spec[2])
                             plist = lists.get(destination)
                             if (
+                                plist is not None
+                                and tag in plist._members
+                            ):
+                                # re-adding a present tag changes no
+                                # state except under LRU (recency
+                                # refresh): skip the add_tag call chain
+                                if plist._scheduling is lru:
+                                    add_tag(destination, tag)
+                            elif (
                                 hooks_off
                                 and plist is not None
-                                and tag not in plist._members
                                 and len(plist._tags) < plist._capacity
                             ):
                                 # add_tag's plain-insert branch, inlined:

@@ -38,7 +38,7 @@ the kernel tests).  Two consequences shape this module:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -266,6 +266,189 @@ def decide_multi_batch(
             current_pollution += params.o_of(candidate.tag_type)
             over = costs.over_marginal(current_pollution, params)
     return result
+
+
+class RowBatchResult(NamedTuple):
+    """One cross-request columnar Algorithm 2 pass (see
+    :func:`decide_rows_batch`), everything in within-row rank order."""
+
+    #: permutation into the flat candidate arrays: rows stay contiguous,
+    #: candidates inside each row are in Alg. 2 rank order
+    order: np.ndarray
+    #: under submarginal per candidate (rank order)
+    unders: np.ndarray
+    #: over submarginal *as packed per candidate* (rank order): the
+    #: pollution-fed value at each propagation, frozen after the cut
+    overs: np.ndarray
+    #: ``unders + overs`` (rank order)
+    marginals: np.ndarray
+    #: propagation count per row -- candidates ``[0, props)`` of each
+    #: row's rank order propagate, the rest are blocked
+    props: List[int]
+    #: position of each candidate inside its row (rank order)
+    positions: np.ndarray
+    #: bool per candidate (rank order): True iff it propagates --
+    #: ``positions < props[row]``, precomputed so the caller packs
+    #: response flags with one ``np.where``
+    propagated: np.ndarray
+
+
+#: exponents where the row-batch over matrix is bit-equal to the scalar
+#: path: ``x**1.0 == x`` and ``x**2.0 == x*x`` hold for every float64
+#: under a correctly-rounded ``pow`` (pinned by the kernel tests), but
+#: ``x**3.0 != x*x*x`` for some inputs, so 3 stays on the memo path here
+_EXACT_ROW_OVER_EXPONENTS = (0.0, 1.0, 2.0)
+
+
+def decide_rows_batch(
+    type_codes: np.ndarray,
+    copies: np.ndarray,
+    row_ids: np.ndarray,
+    row_sizes: np.ndarray,
+    free_slots: Sequence[int],
+    pollution: Sequence[float],
+    over_base: np.ndarray,
+    table_stack: np.ndarray,
+    o_table: np.ndarray,
+    over_of: Callable[[float], float],
+    params: Optional[MitosParams] = None,
+) -> Optional[RowBatchResult]:
+    """Algorithm 2 over many independent rows in one columnar pass.
+
+    The cross-request fusion behind ``DecisionShard.decide_rows``: all
+    candidate rows of one queue drain (many requests, many connections)
+    land in flat columns and are ranked/cut together instead of one
+    ``sorted``-and-walk per request.  Bit-identical to running the
+    scalar per-row path on each row, by construction:
+
+    * unders come from the same exact gather ``table_stack[codes, copies]``;
+    * the rank keys are ``under + over_base`` per row, ordered by one
+      stable ``np.lexsort`` -- stable sort over bit-equal float keys
+      reproduces each row's ``sorted()`` permutation including ties;
+    * Alg. 2's propagation set is always a *prefix* of the rank order:
+      unders ascend along the order, and the pollution-fed over term is
+      non-decreasing (``beta >= 1``, ``o_t >= 0``), so the marginal
+      ``under_j + over(Q_j)`` is non-decreasing along the propagation
+      sequence and the first failure (or the free-slot budget) ends it;
+    * the pollution feedback sequence ``Q_0 = P, Q_j = Q_{j-1} + o_t``
+      is a row-wise ``np.cumsum`` -- a strictly left-associated
+      accumulation, the same float adds in the same order as the scalar
+      ``current_pollution += o_of(t)`` loop;
+    * packed over values are either the vectorized
+      :func:`over_marginals` matrix (exact multiplicative exponents,
+      where every element is bit-equal to the scalar fill -- see
+      :data:`_EXACT_ROW_OVER_EXPONENTS`) or the caller's ``over_of``
+      memo, so batched and sequential execution serve the same floats.
+
+    Returns ``None`` when any rank key is NaN (a ``-inf`` under meeting
+    an ``inf`` over): ``sorted()``'s behavior under NaN keys is not a
+    stable-sort contract, so the caller must fall back to the scalar
+    row path rather than risk a permutation mismatch.
+    """
+    unders = table_stack[type_codes, copies]
+    keys = unders + over_base[row_ids]
+    if np.isnan(keys).any():
+        return None
+    order = np.lexsort((keys, row_ids))
+    unders_sorted = unders[order]
+    o_sorted = o_table[type_codes[order]]
+    n_rows = row_sizes.shape[0]
+    n_max = int(row_sizes.max())
+    starts = np.zeros(n_rows, dtype=np.intp)
+    np.cumsum(row_sizes[:-1], out=starts[1:])
+    positions = np.arange(row_ids.shape[0], dtype=np.intp) - starts[row_ids]
+    # pollution feedback matrix: Q[r, j] = pollution_r after j propagations,
+    # built as a row-wise cumsum over [P_r, o_1, ..., o_{n-1}] (zero-padded
+    # tails past each row's length never feed a used entry)
+    feedback = np.zeros((n_rows, n_max), dtype=np.float64)
+    feedback[:, 0] = pollution
+    inner = positions < (row_sizes[row_ids] - 1)
+    feedback[row_ids[inner], positions[inner] + 1] = o_sorted[inner]
+    np.cumsum(feedback, axis=1, out=feedback)
+    if (
+        params is not None
+        and params.beta - 1.0 in _EXACT_ROW_OVER_EXPONENTS
+    ):
+        # Fully vectorized cut, no per-row Python tail.  For the exact
+        # multiplicative exponents the whole over matrix runs the same
+        # operations (and operation order) as the scalar memo fill, so
+        # every element is bit-equal.  The cut needs no monotonicity
+        # argument here: ``argmin`` over the propagate-eligibility mask
+        # finds the *first* failing position, which is exactly where the
+        # scalar walk stops -- entries past it are never read.
+        over_m = over_marginals(feedback, params)
+        free_arr = np.asarray(free_slots, dtype=np.intp)
+        # marginal grid in rank position, one pad column that is never
+        # propagatable so argmin always finds a False
+        marg = np.full((n_rows, n_max + 1), np.inf)
+        marg[row_ids, positions] = unders_sorted
+        marg[:, :n_max] += over_m
+        # NaN marginals compare False, i.e. blocked -- the scalar
+        # ``propagate iff marginal <= 0`` convention
+        ok = marg <= 0
+        ok[:, :n_max] &= np.arange(n_max) < free_arr[:, None]
+        # the first ineligible position is the cut: the scalar walk
+        # freezes ``over`` there, and with unders ascending along the
+        # rank order nothing after it can propagate
+        props_arr = ok.argmin(axis=1)
+        props_flat = props_arr[row_ids]
+        propagated = positions < props_flat
+        # propagated positions pack their own over; blocked positions
+        # pack the value frozen after the last propagation
+        overs = over_m[row_ids, np.minimum(positions, props_flat)]
+        return RowBatchResult(
+            order=order,
+            unders=unders_sorted,
+            overs=overs,
+            marginals=unders_sorted + overs,
+            props=props_arr.tolist(),
+            positions=positions,
+            propagated=propagated,
+        )
+    # the sequential tail, per row: find the propagation prefix and the
+    # packed over value per position, walking the caller's over memo so
+    # batched and sequential execution serve the very same float
+    # objects; plain-list indexing beats per-element ndarray access
+    feedback_rows = feedback.tolist()
+    unders_list = unders_sorted.tolist()
+    sizes_list = row_sizes.tolist()
+    overs_list: List[float] = []
+    append_over = overs_list.append
+    extend_overs = overs_list.extend
+    props: List[int] = []
+    append_props = props.append
+    base = 0
+    for row in range(n_rows):
+        size = sizes_list[row]
+        limit = free_slots[row]
+        if limit > size:
+            limit = size
+        q_row = feedback_rows[row]
+        j = 0
+        while j < limit:
+            over = over_of(q_row[j])
+            # ``not <= 0`` (not ``> 0``) so a NaN marginal blocks, the
+            # same convention as the scalar propagate test
+            if not unders_list[base + j] + over <= 0:
+                break
+            append_over(over)
+            j += 1
+        if j < size:
+            # blocked candidates all carry the over value frozen after
+            # the j-th propagation, exactly as the scalar loop packs it
+            extend_overs([over_of(q_row[j])] * (size - j))
+        append_props(j)
+        base += size
+    overs = np.array(overs_list, dtype=np.float64)
+    return RowBatchResult(
+        order=order,
+        unders=unders_sorted,
+        overs=overs,
+        marginals=unders_sorted + overs,
+        props=props,
+        positions=positions,
+        propagated=positions < np.asarray(props, dtype=np.intp)[row_ids],
+    )
 
 
 def seed_marginal_cache(

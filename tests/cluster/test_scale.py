@@ -1,0 +1,173 @@
+"""Scale sweep tests: ring partitioning, efficiency math, CPU pinning.
+
+``run_scale_sweep`` is what ``mitos-repro bench-cluster --sweep-shards``
+runs at full size: boot a process fleet per shard count, drive every
+shard concurrently from its own loadgen worker, and record aggregate
+decisions/s with parity and oracle agreement attached.  The smoke test
+here runs the real thing at the smallest useful size (one process
+shard); the rest pins the report document, the validation, and the
+best-effort affinity helper without booting anything.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.harness import (
+    run_scale_sweep,
+    spread_destinations,
+    write_scale_bench,
+)
+from repro.cluster.supervisor import ProcessShard
+from repro.options import ClusterOptions
+from repro.serve.loadgen import collect_offline_decisions
+
+from tests.serve.test_loadgen import ifp_recording
+
+
+@pytest.fixture(scope="module")
+def offline():
+    from repro.experiments.common import experiment_params
+
+    return spread_destinations(
+        collect_offline_decisions(
+            ifp_recording(), experiment_params(quick=True)
+        )
+    )
+
+
+class TestRunScaleSweep:
+    def test_rejects_non_positive_counts(self, offline):
+        with pytest.raises(ValueError):
+            run_scale_sweep(
+                offline, [0], lambda count: ClusterOptions(shards=count)
+            )
+
+    def test_single_shard_smoke(self, offline):
+        # the real pipeline at the smallest size: one process shard,
+        # one loadgen worker, full parity + agreement accounting
+        sweep = run_scale_sweep(
+            offline,
+            [1],
+            lambda count: ClusterOptions(
+                shards=count,
+                quick_calibration=True,
+                gossip_interval=None,
+                pin_cpus=False,
+            ),
+            window=8,
+        )
+        (entry,) = sweep
+        assert entry["shards"] == 1
+        assert entry["driven_shards"] == 1
+        assert entry["requests"] == len(offline)
+        assert entry["matched"] is True
+        assert entry["agreement"] == 1.0
+        assert entry["speedup_vs_base"] == 1.0
+        assert entry["scaling_efficiency"] == 1.0
+        assert entry["per_shard"][0]["worker"] == 0
+
+
+class TestWriteScaleBench:
+    def _sweep(self):
+        return [
+            {
+                "shards": 1,
+                "matched": True,
+                "decisions_per_second": 100.0,
+                "speedup_vs_base": 1.0,
+                "scaling_efficiency": 1.0,
+            },
+            {
+                "shards": 4,
+                "matched": True,
+                "decisions_per_second": 300.0,
+                "speedup_vs_base": 3.0,
+                "scaling_efficiency": 0.75,
+            },
+        ]
+
+    def test_report_document(self, tmp_path):
+        path = write_scale_bench(
+            tmp_path / "BENCH_scale.json",
+            self._sweep(),
+            recording_events=50,
+            wire_format="binary",
+            window=256,
+            extra={"quick": True},
+        )
+        report = json.loads(path.read_text())
+        assert report["benchmark"] == "scale"
+        assert report["shard_counts"] == [1, 4]
+        assert report["matched"] is True
+        assert report["recording_events"] == 50
+        assert report["wire_format"] == "binary"
+        assert report["window"] == 256
+        assert report["quick"] is True
+        assert report["sweep"][1]["scaling_efficiency"] == 0.75
+
+    def test_any_unmatched_point_fails_the_report(self, tmp_path):
+        sweep = self._sweep()
+        sweep[1]["matched"] = False
+        path = write_scale_bench(
+            tmp_path / "scale.json",
+            sweep,
+            recording_events=50,
+            wire_format="binary",
+            window=64,
+        )
+        assert json.loads(path.read_text())["matched"] is False
+
+
+class TestCpuPinning:
+    def _shard(self, index=0, pin=True):
+        return ProcessShard(index, ClusterOptions(shards=4, pin_cpus=pin))
+
+    @pytest.mark.skipif(
+        not hasattr(os, "sched_setaffinity"),
+        reason="no sched_setaffinity on this platform",
+    )
+    def test_round_robin_over_available_cpus(self, monkeypatch):
+        pinned = {}
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(
+            os,
+            "sched_setaffinity",
+            lambda pid, cpus: pinned.setdefault(pid, set(cpus)),
+        )
+        for index in range(6):
+            self._shard(index)._pin_cpu(1000 + index)
+        assert pinned == {
+            1000: {0}, 1001: {1}, 1002: {2},
+            1003: {3}, 1004: {0}, 1005: {1},
+        }
+
+    @pytest.mark.skipif(
+        not hasattr(os, "sched_setaffinity"),
+        reason="no sched_setaffinity on this platform",
+    )
+    def test_disabled_and_single_cpu_are_noops(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            os, "sched_setaffinity", lambda *a: calls.append(a)
+        )
+        self._shard(pin=False)._pin_cpu(1)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        self._shard(pin=True)._pin_cpu(1)
+        assert calls == []
+
+    @pytest.mark.skipif(
+        not hasattr(os, "sched_setaffinity"),
+        reason="no sched_setaffinity on this platform",
+    )
+    def test_oserror_is_swallowed(self, monkeypatch):
+        # the child can exit (or the container can forbid affinity)
+        # between spawn and pin; startup must not care
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
+        def boom(pid, cpus):
+            raise OSError("no such process")
+
+        monkeypatch.setattr(os, "sched_setaffinity", boom)
+        self._shard()._pin_cpu(424242)

@@ -1,0 +1,288 @@
+"""Fused columnar decision-plane property tests.
+
+``DecisionShard.decide_rows`` gathers every explicit row of a drain --
+across requests and connections -- into one
+:func:`repro.vector.kernel.decide_rows_batch` call;
+``_decide_rows_scalar`` is the sequential per-row reference.  The
+batching is only legal if it is *invisible*: same response bytes, same
+post-batch tracker state, same checkpoint document, no matter where the
+batch boundaries land or how connections interleave.  These tests
+generate randomized request streams and require exactly that, for both
+the exact-exponent kernel (beta = 2.0) and the memo tail (beta = 2.5),
+and cross-check the binary frames field-for-field against the NDJSON
+``decide`` path.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import MitosParams
+from repro.dift.snapshot import snapshot_tracker
+from repro.faros.config import FarosConfig
+from repro.serve.protocol import (
+    S_LEN,
+    decode_response_frame,
+    parse_location,
+    parse_request,
+)
+from repro.serve.shard import DecisionShard
+
+TAG_TYPES = ("netflow", "file")
+DESTS = ("mem:0x40", "mem:0x41", "mem:0x80", "reg:rax")
+KINDS = ("address_dep", "control_dep")
+
+
+def make_shard(params, columnar_min_cands=None, checkpoint_path=None):
+    config = FarosConfig(params=params, policy="mitos", label="prop")
+    shard = DecisionShard(
+        0,
+        params=params,
+        policy_factory=config.build_policy,
+        checkpoint_path=checkpoint_path,
+    )
+    if columnar_min_cands is not None:
+        shard.columnar_min_cands = columnar_min_cands
+    return shard
+
+
+def build_rows(specs, conns):
+    """Row tuples in the binary parser's shape, one conn per stream."""
+    rows = []
+    for rid, (conn_i, dest, control, free, pollution, cands) in enumerate(
+        specs
+    ):
+        row_cands = tuple(
+            (ti, TAG_TYPES[ti], index, copies) for ti, index, copies in cands
+        )
+        rows.append(
+            (
+                conns[conn_i], rid, parse_location(dest),
+                1 if control else 0, rid, "prop", free, pollution, row_cands,
+            )
+        )
+    return rows
+
+
+def drive(shard, specs, bundles, fused):
+    """Feed the stream through the shard in ``bundles``-sized drains."""
+    conns = [SimpleNamespace(out=bytearray()) for _ in range(3)]
+    rows = build_rows(specs, conns)
+    start = 0
+    turn = 0
+    while start < len(rows):
+        size = bundles[turn % len(bundles)]
+        turn += 1
+        batch = rows[start:start + size]
+        start += size
+        if fused:
+            shard.decide_rows(batch)
+        else:
+            shard._decide_rows_scalar(batch)
+    return [bytes(conn.out) for conn in conns]
+
+
+def tracker_state(shard):
+    return json.dumps(snapshot_tracker(shard.tracker), sort_keys=True)
+
+
+def decode_frames(buffer):
+    """Split one connection's output buffer into decoded response dicts."""
+    responses = []
+    pos = 0
+    while pos < len(buffer):
+        (length,) = S_LEN.unpack_from(buffer, pos)
+        pos += S_LEN.size
+        responses.append(
+            decode_response_frame(buffer[pos:pos + length], TAG_TYPES)
+        )
+        pos += length
+    return responses
+
+
+# one row: (connection, destination, control-dep?, free_slots,
+#           pollution-or-None, [(type index, tag index, copies-or-None)])
+candidates = st.lists(
+    st.tuples(
+        st.integers(0, len(TAG_TYPES) - 1),
+        st.integers(1, 5),
+        st.one_of(st.none(), st.integers(0, 8)),
+    ),
+    max_size=6,
+)
+row_specs = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.sampled_from(DESTS),
+        st.booleans(),
+        st.integers(0, 4),
+        st.one_of(
+            st.none(),
+            st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+        ),
+        candidates,
+    ),
+    min_size=1,
+    max_size=40,
+)
+bundle_specs = st.lists(st.integers(1, 7), min_size=1, max_size=8)
+
+
+class TestFusedEqualsSequential:
+    """The tentpole invariant: batching is bit-invisible."""
+
+    @pytest.mark.parametrize("beta", [2.0, 2.5])
+    @settings(max_examples=30, deadline=None)
+    @given(specs=row_specs, bundles=bundle_specs)
+    def test_bytes_and_state_identical(self, beta, specs, bundles):
+        params = MitosParams(beta=beta)
+        fused = make_shard(params, columnar_min_cands=0)
+        scalar = make_shard(params)
+        fused_out = drive(fused, specs, bundles, fused=True)
+        scalar_out = drive(scalar, specs, bundles, fused=False)
+        assert fused_out == scalar_out
+        assert tracker_state(fused) == tracker_state(scalar)
+        assert (
+            fused.tracker.stats.to_payload()
+            == scalar.tracker.stats.to_payload()
+        )
+        assert fused.requests_applied == scalar.requests_applied
+        assert fused.decisions_served == scalar.decisions_served
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=row_specs, bundles=bundle_specs)
+    def test_batch_boundaries_never_matter(self, specs, bundles):
+        # same fused path, two different drain partitions: one request
+        # per drain vs the drawn bundle sizes
+        params = MitosParams()
+        one_by_one = make_shard(params, columnar_min_cands=0)
+        bundled = make_shard(params, columnar_min_cands=0)
+        single = drive(one_by_one, specs, [1], fused=True)
+        batched = drive(bundled, specs, bundles, fused=True)
+        assert single == batched
+        assert tracker_state(one_by_one) == tracker_state(bundled)
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=row_specs, bundles=bundle_specs)
+    def test_checkpoints_identical_across_partitions(
+        self, tmp_path_factory, specs, bundles
+    ):
+        tmp_path = tmp_path_factory.mktemp("ckpt")
+        params = MitosParams()
+        fused = make_shard(
+            params,
+            columnar_min_cands=0,
+            checkpoint_path=tmp_path / "fused.json",
+        )
+        scalar = make_shard(
+            params, checkpoint_path=tmp_path / "scalar.json"
+        )
+        # a cadence that lands mid-drain for most drawn bundle sizes
+        fused.checkpoint_every = 3
+        scalar.checkpoint_every = 3
+        drive(fused, specs, bundles, fused=True)
+        drive(scalar, specs, bundles, fused=False)
+        assert fused.checkpoints_written == scalar.checkpoints_written
+        if fused.checkpoints_written:
+            assert (
+                (tmp_path / "fused.json").read_text()
+                == (tmp_path / "scalar.json").read_text()
+            )
+
+
+class TestFormatParity:
+    """Binary fused frames decode to the NDJSON path's exact response."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=row_specs, bundles=bundle_specs)
+    def test_fused_frames_match_ndjson_decide(self, specs, bundles):
+        params = MitosParams()
+        fused = make_shard(params, columnar_min_cands=0)
+        ndjson = make_shard(params)
+        fused_out = drive(fused, specs, bundles, fused=True)
+        decoded = {}
+        for buffer in fused_out:
+            for response in decode_frames(buffer):
+                decoded[response["id"]] = response
+        for rid, (_, dest, control, free, pollution, cands) in enumerate(
+            specs
+        ):
+            payload = {
+                "op": "decide",
+                "id": rid,
+                "dest": dest,
+                "kind": KINDS[1 if control else 0],
+                "tick": rid,
+                "context": "prop",
+                "free_slots": free,
+                "pollution": pollution,
+                "candidates": [
+                    {"type": TAG_TYPES[ti], "index": index}
+                    if copies is None
+                    else {
+                        "type": TAG_TYPES[ti],
+                        "index": index,
+                        "copies": copies,
+                    }
+                    for ti, index, copies in cands
+                ],
+            }
+            response = ndjson.decide(parse_request(json.dumps(payload)))
+            got = decoded[rid]
+            assert got["propagated"] == response["propagated"]
+            assert got["decisions"] == response["decisions"]
+        assert tracker_state(fused) == tracker_state(ndjson)
+
+
+class TestScalarRouting:
+    """Rows the kernel cannot batch run per-row at their drain position."""
+
+    def _specs(self):
+        return [
+            (0, "mem:0x40", False, 2, 10.0, [(0, 1, 4), (1, 2, 1)]),
+            # stateful: pollution read from the live tracker
+            (1, "mem:0x41", True, 2, None, [(0, 1, None)]),
+            (0, "mem:0x40", False, 1, 3.5, [(0, 3, 0), (1, 2, 2)]),
+        ]
+
+    def test_mixed_drain_matches_reference(self):
+        params = MitosParams()
+        fused = make_shard(params, columnar_min_cands=0)
+        scalar = make_shard(params)
+        assert drive(fused, self._specs(), [3], fused=True) == drive(
+            scalar, self._specs(), [3], fused=False
+        )
+        assert tracker_state(fused) == tracker_state(scalar)
+
+    def test_invalid_tag_index_bails_wholesale(self):
+        # tag index 0 is invalid on the wire; the fused scan must hand
+        # the whole drain to the scalar path, which answers that row
+        # with the structured bad-request error and the rest normally
+        specs = self._specs() + [(2, "mem:0x80", False, 2, 1.0, [(0, 0, 1)])]
+        params = MitosParams()
+        fused = make_shard(params, columnar_min_cands=0)
+        scalar = make_shard(params)
+        assert drive(fused, specs, [4], fused=True) == drive(
+            scalar, specs, [4], fused=False
+        )
+        assert tracker_state(fused) == tracker_state(scalar)
+
+    def test_small_drains_skip_the_kernel(self, monkeypatch):
+        params = MitosParams()
+        shard = make_shard(params)  # default columnar_min_cands = 48
+        calls = []
+        original = DecisionShard._decide_rows_scalar
+        monkeypatch.setattr(
+            DecisionShard,
+            "_decide_rows_scalar",
+            lambda self, rows: calls.append(len(rows))
+            or original(self, rows),
+        )
+        drive(shard, self._specs(), [3], fused=False)
+        calls.clear()
+        drive(shard, self._specs(), [3], fused=True)
+        # 5 explicit candidates < 48: the whole drain went sequential
+        assert calls == [3]

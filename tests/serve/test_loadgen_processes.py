@@ -1,0 +1,176 @@
+"""Multi-process load generation: merged accounting, agreement, trend.
+
+``run_load_processes`` is the multi-core face of the load generator --
+one worker process per target, a barrier before any clock starts, and
+``sum(requests) / max(elapsed)`` as the honest aggregate.  These tests
+drive miniature fleets (two workers against one in-process server) and
+pin the merge arithmetic, the per-worker parity reporting, the live
+oracle-agreement tally, and the ``results/bench_trend.jsonl`` appender.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    LoadResult,
+    append_bench_trend,
+    collect_offline_decisions,
+    observe_agreement,
+    run_load,
+    run_load_processes,
+)
+from repro.serve.server import ServerThread
+
+from tests.serve.test_loadgen import ifp_recording
+
+
+@pytest.fixture(scope="module")
+def offline():
+    from repro.experiments.common import experiment_params
+
+    return collect_offline_decisions(
+        ifp_recording(), experiment_params(quick=True)
+    )
+
+
+def serve_options(shards=1):
+    from repro.options import ServeOptions
+
+    return ServeOptions(port=0, shards=shards, quick_calibration=True)
+
+
+class TestObserveAgreement:
+    def _expected(self):
+        return {
+            "decisions": [
+                {"tag": "netflow:1", "propagate": True},
+                {"tag": "file:2", "propagate": False},
+            ]
+        }
+
+    def test_perfect_agreement(self):
+        assert observe_agreement(self._expected(), self._expected()) == (2, 2)
+
+    def test_flipped_bit_counts_against(self):
+        response = {
+            "decisions": [
+                {"tag": "netflow:1", "propagate": False},
+                {"tag": "file:2", "propagate": False},
+            ]
+        }
+        assert observe_agreement(self._expected(), response) == (1, 2)
+
+    def test_missing_tag_agrees_only_with_block(self):
+        # an absent row reads as propagate=False: it agrees with an
+        # oracle block and disagrees with an oracle propagate
+        assert observe_agreement(self._expected(), {"decisions": []}) == (
+            1,
+            2,
+        )
+
+    def test_empty_expectation_is_vacuous(self):
+        assert observe_agreement({}, {"decisions": []}) == (0, 0)
+
+
+class TestAgreementAccounting:
+    def test_run_load_tallies_agreement(self, offline):
+        with ServerThread(serve_options()) as thread:
+            result = run_load(
+                thread.host, thread.port, offline, window=8
+            )
+        assert result.matched
+        candidates = sum(
+            len(d.expected["decisions"]) for d in offline
+        )
+        assert result.agreement_total == candidates
+        assert result.agreement_hits == candidates
+        assert result.agreement == 1.0
+        assert result.summary()["agreement"] == 1.0
+        assert result.summary()["agreement_candidates"] == candidates
+
+    def test_empty_result_agreement_is_vacuously_one(self):
+        assert LoadResult().agreement == 1.0
+
+
+class TestRunLoadProcesses:
+    def test_rejects_empty_targets(self):
+        with pytest.raises(ValueError):
+            run_load_processes([])
+
+    @pytest.mark.parametrize("wire_format", ["ndjson", "binary"])
+    def test_two_workers_one_server(self, offline, wire_format):
+        slices = [offline[0::2], offline[1::2]]
+        with ServerThread(serve_options(shards=2)) as thread:
+            merged, per_worker = run_load_processes(
+                [
+                    (thread.host, thread.port, slices[0]),
+                    (thread.host, thread.port, slices[1]),
+                ],
+                wire_format=wire_format,
+                window=4,
+            )
+        assert merged.requests == len(offline)
+        assert merged.matched
+        assert merged.agreement == 1.0
+        assert len(merged.latencies_us) == len(offline)
+        # aggregate rate is sum(requests) / slowest window: it can never
+        # exceed the sum of the per-worker rates
+        assert merged.decisions_per_second <= sum(
+            report["decisions_per_second"] for report in per_worker
+        ) * (1.0 + 1e-9)
+        assert [report["worker"] for report in per_worker] == [0, 1]
+        for report, expect in zip(per_worker, slices):
+            assert report["requests"] == len(expect)
+            assert report["matched"] is True
+
+    def test_worker_mismatches_surface_in_merge(self, offline):
+        import copy
+
+        tampered = copy.deepcopy(list(offline))
+        tampered[1].expected["propagated"] = ["netflow:999"]
+        with ServerThread(serve_options()) as thread:
+            merged, per_worker = run_load_processes(
+                [
+                    (thread.host, thread.port, tampered[0::2]),
+                    (thread.host, thread.port, tampered[1::2]),
+                ],
+                window=4,
+            )
+        assert not merged.matched
+        assert per_worker[1]["matched"] is False
+        assert per_worker[0]["matched"] is True
+
+    def test_worker_failure_raises(self, offline):
+        # port 1 refuses connections: the worker must abort the barrier
+        # and the parent must surface the failure instead of hanging
+        with pytest.raises(RuntimeError, match="worker"):
+            run_load_processes(
+                [("127.0.0.1", 1, offline[:2])], window=2
+            )
+
+    def test_open_loop_widens_the_window(self, offline):
+        with ServerThread(serve_options()) as thread:
+            merged, _ = run_load_processes(
+                [(thread.host, thread.port, offline)],
+                window=1,
+                open_loop=True,
+            )
+        assert merged.matched and merged.requests == len(offline)
+
+
+class TestBenchTrend:
+    def test_appends_jsonl_records(self, tmp_path):
+        path = tmp_path / "results" / "bench_trend.jsonl"
+        append_bench_trend(path, {"benchmark": "serve", "dps": 1.0})
+        append_bench_trend(path, {"benchmark": "scale", "dps": 2.0})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["benchmark"] for line in lines] == [
+            "serve",
+            "scale",
+        ]
+
+    def test_records_are_sorted_and_self_describing(self, tmp_path):
+        path = tmp_path / "trend.jsonl"
+        append_bench_trend(path, {"b": 1, "a": 2})
+        assert path.read_text() == '{"a": 2, "b": 1}\n'

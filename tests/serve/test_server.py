@@ -434,3 +434,48 @@ class TestObsByteIdentity:
         )
         assert bare == observed
         assert bare == canaried
+
+
+class TestAllocationHygiene:
+    """gc freeze/restore and the batch-deadline knob's validation."""
+
+    def test_negative_batch_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            ServeOptions(batch_deadline_us=-1.0)
+
+    def test_gc_frozen_while_serving_and_restored_after(self):
+        import gc
+
+        before = gc.get_threshold()
+        with ServerThread(server_options(gc_freeze=True)) as thread:
+            assert gc.get_threshold() == (50000, 25, 25)
+            assert gc.get_freeze_count() > 0
+            with ServeClient(thread.host, thread.port) as c:
+                assert c.ping()["pong"] is True
+        assert gc.get_threshold() == before
+
+    def test_gc_untouched_by_default(self):
+        import gc
+
+        frozen = gc.get_freeze_count()
+        with ServerThread(server_options()):
+            assert gc.get_freeze_count() == frozen
+
+    @pytest.mark.parametrize("deadline_us", [0.0, 500.0])
+    def test_deadline_controller_preserves_parity(self, deadline_us):
+        # the adaptive drain window must be invisible to correctness:
+        # pipelined traffic at any deadline yields the offline decisions
+        from repro.experiments.common import experiment_params
+        from repro.serve.loadgen import collect_offline_decisions, run_load
+        from tests.serve.test_loadgen import ifp_recording
+
+        offline = collect_offline_decisions(
+            ifp_recording(), experiment_params(quick=True)
+        )
+        options = server_options(batch_deadline_us=deadline_us)
+        with ServerThread(options) as thread:
+            result = run_load(
+                thread.host, thread.port, offline, window=8,
+                wire_format="binary",
+            )
+        assert result.matched and result.requests == len(offline)

@@ -346,10 +346,12 @@ class TestServeCli:
 
     def test_bench_serve_in_process_quick_runs(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
+        trend = tmp_path / "trend.jsonl"
         code = main(
             [
                 "bench-serve", "--quick", "--in-process",
                 "--window", "16", "--json-out", str(out),
+                "--trend-out", str(trend),
             ]
         )
         assert code == 0
@@ -359,3 +361,33 @@ class TestServeCli:
 
         report = _json.loads(out.read_text())
         assert report["matched"] is True and report["quick"] is True
+        (line,) = trend.read_text().splitlines()
+        record = _json.loads(line)
+        assert record["benchmark"] == "serve" and record["matched"] is True
+
+    def test_bench_serve_new_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "bench-serve", "--open-loop", "--repeat", "3",
+                "--batch-deadline-us", "500", "--connections", "2",
+            ]
+        )
+        assert args.open_loop and args.repeat == 3
+        assert args.batch_deadline_us == 500.0
+        assert args.connections == 2 and args.trend_out is None
+
+    def test_bench_cluster_sweep_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench-cluster", "--sweep-shards", "1,2,4",
+                "--window", "128", "--no-pin-cpus",
+            ]
+        )
+        assert args.sweep_shards == "1,2,4"
+        assert args.window == 128 and args.no_pin_cpus
+
+    def test_bench_cluster_sweep_rejects_garbage(self, capsys):
+        assert main(
+            ["bench-cluster", "--quick", "--sweep-shards", "two"]
+        ) == 2
+        assert "--sweep-shards" in capsys.readouterr().err
