@@ -16,19 +16,27 @@ Everything else under ``repro.*`` remains importable, but this module is
 the *stable* surface: its names, their keyword-only signatures, and the
 re-exported types are the compatibility contract
 (``tests/test_api.py`` pins ``__all__``).  Configuration travels in the
-typed option bundles of :mod:`repro.options`; the old flat keyword
-arguments of ``replay()`` keep working for one release behind a
-:class:`DeprecationWarning`.
+typed option bundles of :mod:`repro.options` only: the PR-5 shim that
+accepted ``replay()`` execution knobs flat has completed its one
+deprecation release, and flat keyword arguments now raise ``TypeError``
+(see docs/CONTROL.md's migration note).
 """
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro.builders import (
+    build_faros_system,
+    build_params,
+    build_replay_system,
+    finish_observability,
+    vector_conflict,
+)
 from repro.cluster.router import ClusterRouter
 from repro.cluster.supervisor import ClusterSupervisor
+from repro.control import AdaptiveController, ParamUpdate
 from repro.core.decision import (
     Decision,
     MultiDecision,
@@ -42,8 +50,8 @@ from repro.faros.system import FarosRunResult, FarosSystem
 from repro.faults.resilience import Resilience
 from repro.obs.bundle import Observability
 from repro.options import (
-    REPLAY_OPTION_NAMES,
     ClusterOptions,
+    ControlOptions,
     ReplayOptions,
     ServeOptions,
 )
@@ -64,6 +72,7 @@ __all__ = [
     "ReplayOptions",
     "ServeOptions",
     "ClusterOptions",
+    "ControlOptions",
     # stable re-exported types
     "MitosParams",
     "FarosConfig",
@@ -73,6 +82,8 @@ __all__ = [
     "Replayer",
     "Observability",
     "Resilience",
+    "AdaptiveController",
+    "ParamUpdate",
     "TagCandidate",
     "Decision",
     "MultiDecision",
@@ -92,19 +103,6 @@ def load_recording(path: PathLike) -> Recording:
     return Recording.load(str(path))
 
 
-def _params_for(
-    params: Optional[MitosParams],
-    tau: float,
-    alpha: float,
-    quick_calibration: bool,
-) -> MitosParams:
-    if params is not None:
-        return params
-    from repro.experiments.common import experiment_params
-
-    return experiment_params(quick=quick_calibration, tau=tau, alpha=alpha)
-
-
 def build_system(
     *,
     params: Optional[MitosParams] = None,
@@ -118,23 +116,30 @@ def build_system(
     label: Optional[str] = None,
     observability: Optional[Observability] = None,
     resilience: Optional[Resilience] = None,
+    control: Optional[ControlOptions] = None,
 ) -> FarosSystem:
     """Wire one complete DIFT stack (tracker, policy, pipeline, replayer).
 
     Either pass ``params`` explicitly or let the benchmark calibration
     derive them from ``tau``/``alpha`` (``quick_calibration`` anchors
-    the decision boundary to test-sized workloads).
+    the decision boundary to test-sized workloads).  A
+    :class:`~repro.options.ControlOptions` with ``enabled=True`` closes
+    the adaptation loop: the system's ``.controller`` re-estimates the
+    decision boundary on its cadence during replay.
     """
-    config = FarosConfig(
-        params=_params_for(params, tau, alpha, quick_calibration),
+    return build_faros_system(
+        params=params,
         policy=policy,
-        direct_via_policy=all_flows,
-        label=label if label is not None else policy,
-        degrade_at=degrade_at,
+        tau=tau,
+        alpha=alpha,
+        quick_calibration=quick_calibration,
+        all_flows=all_flows,
         engine=engine,
-    )
-    return FarosSystem(
-        config, observability=observability, resilience=resilience
+        degrade_at=degrade_at,
+        label=label,
+        observability=observability,
+        resilience=resilience,
+        control=control,
     )
 
 
@@ -148,72 +153,43 @@ def replay(
     alpha: float = 1.5,
     quick_calibration: bool = False,
     all_flows: bool = False,
-    **legacy: object,
+    **removed: object,
 ) -> FarosRunResult:
     """Replay a recording (or its path) and return the run result.
 
     Execution knobs travel in ``options`` (a
     :class:`~repro.options.ReplayOptions`); the *what* -- params, policy,
-    calibration -- stays flat.  Passing execution knobs flat
-    (``replay(rec, engine="vector", limit=100)``) still works for one
-    release and emits a :class:`DeprecationWarning`.
+    calibration -- stays flat.  The PR-5 shim that accepted execution
+    knobs flat (``replay(rec, engine="vector")``) is gone: any extra
+    keyword argument raises ``TypeError``.
     """
-    options = _coerce_replay_options(options, legacy)
-    blockers = options.vector_blockers()
-    if blockers:
-        raise ValueError(
-            "engine='vector' is incompatible with option(s) "
-            + ", ".join(blockers)
-            + " (per-event plugin/supervision contracts); use the scalar "
-            "engine"
+    if removed:
+        raise TypeError(
+            "replay() got unexpected keyword argument(s) "
+            f"{sorted(removed)}; execution options travel in "
+            "options=ReplayOptions(...) (the flat-kwargs shim was "
+            "removed after its deprecation release)"
         )
+    if options is None:
+        options = ReplayOptions()
+    conflict = vector_conflict(options)
+    if conflict:
+        raise ValueError(conflict)
     if not isinstance(recording, Recording):
         recording = load_recording(recording)
-    observability = options.observability()
-    system = build_system(
+    system, observability = build_replay_system(
+        options,
         params=params,
         policy=policy,
         tau=tau,
         alpha=alpha,
         quick_calibration=quick_calibration,
         all_flows=all_flows,
-        engine=options.engine,
-        degrade_at=options.degrade_at,
-        observability=observability,
-        resilience=options.resilience(),
     )
     try:
         return system.replay(recording, limit=options.limit)
     finally:
-        if observability is not None:
-            observability.close()
-            if options.metrics_out is not None:
-                observability.write_metrics(options.metrics_out)
-
-
-def _coerce_replay_options(
-    options: Optional[ReplayOptions], legacy: dict
-) -> ReplayOptions:
-    unknown = [name for name in legacy if name not in REPLAY_OPTION_NAMES]
-    if unknown:
-        raise TypeError(
-            f"replay() got unexpected keyword argument(s) {sorted(unknown)}"
-        )
-    if not legacy:
-        return options if options is not None else ReplayOptions()
-    if options is not None:
-        raise TypeError(
-            "pass execution knobs either in options=ReplayOptions(...) or "
-            f"flat, not both (flat: {sorted(legacy)})"
-        )
-    warnings.warn(
-        "passing replay execution options as flat keyword arguments "
-        f"({sorted(legacy)}) is deprecated; use "
-        "replay(recording, options=ReplayOptions(...)) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return ReplayOptions(**legacy)
+        finish_observability(options, observability)
 
 
 CandidateLike = Union[TagCandidate, Sequence[object]]
@@ -238,7 +214,7 @@ def decide(
     same outcome the online service returns for an explicit-mode
     request.
     """
-    resolved = _params_for(params, tau, alpha, quick_calibration)
+    resolved = build_params(params, tau, alpha, quick_calibration)
     specs: list = []
     for candidate in candidates:
         if isinstance(candidate, TagCandidate):

@@ -1,0 +1,154 @@
+"""Shared options -> subsystem builders for the CLI and the api facade.
+
+``repro.cli`` and :mod:`repro.api` used to each wire a replay stack from
+a :class:`~repro.options.ReplayOptions` by hand -- the same
+observability/resilience/system construction, duplicated, which is
+exactly how the two surfaces drift apart.  This module is the single
+home for that wiring: the CLI formats flags and prints, the facade
+exposes signatures, and both call down here for the actual build.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.params import MitosParams
+from repro.faros.config import FarosConfig
+from repro.faros.system import FarosSystem
+from repro.faults.resilience import Resilience
+from repro.obs.bundle import Observability
+from repro.options import ControlOptions, ReplayOptions
+
+
+def build_params(
+    params: Optional[MitosParams],
+    tau: float,
+    alpha: float,
+    quick_calibration: bool,
+) -> MitosParams:
+    """Explicit params, or the benchmark calibration for ``tau``/``alpha``."""
+    if params is not None:
+        return params
+    from repro.experiments.common import experiment_params
+
+    return experiment_params(quick=quick_calibration, tau=tau, alpha=alpha)
+
+
+def build_faros_system(
+    *,
+    params: Optional[MitosParams] = None,
+    policy: str = "mitos",
+    tau: float = 1.0,
+    alpha: float = 1.5,
+    quick_calibration: bool = False,
+    all_flows: bool = False,
+    engine: str = "scalar",
+    degrade_at: Optional[float] = None,
+    label: Optional[str] = None,
+    observability: Optional[Observability] = None,
+    resilience: Optional[Resilience] = None,
+    control: Optional[ControlOptions] = None,
+) -> FarosSystem:
+    """One complete DIFT stack (tracker, policy, pipeline, replayer)."""
+    config = FarosConfig(
+        params=build_params(params, tau, alpha, quick_calibration),
+        policy=policy,
+        direct_via_policy=all_flows,
+        label=label if label is not None else policy,
+        degrade_at=degrade_at,
+        engine=engine,
+    )
+    return FarosSystem(
+        config,
+        observability=observability,
+        resilience=resilience,
+        control=control,
+    )
+
+
+def vector_conflict(options: ReplayOptions, *, as_flags: bool = False) -> str:
+    """The shared refusal message for vector-incompatible options.
+
+    Empty string when the options are fine.  ``as_flags`` renders the
+    offending option names the way the user typed them on the CLI.
+    """
+    blockers = options.vector_blockers()
+    if not blockers:
+        return ""
+    if as_flags:
+        # option names map 1:1 onto CLI flags except the control bundle,
+        # which the CLI spells --adapt
+        flag_names = {"control": "adapt"}
+        names = [
+            "--" + flag_names.get(name, name).replace("_", "-")
+            for name in blockers
+        ]
+        tail = "use --engine scalar"
+    else:
+        names = blockers
+        tail = "use the scalar engine"
+    return (
+        ("--engine vector" if as_flags else "engine='vector'")
+        + " is incompatible with "
+        + ("" if as_flags else "option(s) ")
+        + ", ".join(names)
+        + f" (per-event plugin/supervision contracts); {tail}"
+    )
+
+
+def build_replay_system(
+    options: ReplayOptions,
+    *,
+    params: Optional[MitosParams] = None,
+    policy: str = "mitos",
+    tau: float = 1.0,
+    alpha: float = 1.5,
+    quick_calibration: bool = False,
+    all_flows: bool = False,
+    label: Optional[str] = None,
+    observability: Optional[Observability] = None,
+) -> Tuple[FarosSystem, Optional[Observability]]:
+    """The replay stack a :class:`ReplayOptions` bundle calls for.
+
+    Builds (or adopts) the observability bundle, the resilience bundle
+    and the adaptive controller the options describe, and returns
+    ``(system, observability)`` -- hand the bundle to
+    :func:`finish_observability` once the run is done.
+    """
+    if observability is None:
+        observability = options.observability()
+    system = build_faros_system(
+        params=params,
+        policy=policy,
+        tau=tau,
+        alpha=alpha,
+        quick_calibration=quick_calibration,
+        all_flows=all_flows,
+        engine=options.engine,
+        degrade_at=options.degrade_at,
+        label=label,
+        observability=observability,
+        resilience=options.resilience(),
+        control=options.control,
+    )
+    return system, observability
+
+
+def finish_observability(
+    options: ReplayOptions, observability: Optional[Observability]
+) -> None:
+    """Close the bundle and write the metrics file the options name."""
+    if observability is None:
+        return
+    observability.close()
+    if options.metrics_out is not None:
+        observability.write_metrics(options.metrics_out)
+
+
+__all__ = [
+    "build_params",
+    "build_faros_system",
+    "build_replay_system",
+    "finish_observability",
+    "vector_conflict",
+]

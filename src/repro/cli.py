@@ -124,6 +124,64 @@ def _parse_tag(text: str):
         ) from error
 
 
+def _add_adapt_flags(sub: argparse.ArgumentParser) -> None:
+    """The online parameter-adaptation flag group (replay/serve/cluster).
+
+    One spelling everywhere; ``_control_options`` turns the namespace
+    back into a :class:`~repro.options.ControlOptions` (or ``None`` when
+    ``--adapt`` was not given, the provably-inert path).
+    """
+    sub.add_argument(
+        "--adapt", action="store_true",
+        help="enable online parameter adaptation: re-estimate the "
+             "decision boundary from the live pollution signal every "
+             "--adapt-every decisions (see docs/CONTROL.md)",
+    )
+    sub.add_argument(
+        "--adapt-mode", default="ewma", choices=("ewma", "bandit"),
+        help="estimator: EWMA/gradient baseline or seeded epsilon-greedy "
+             "bandit over a discretized tau_scale grid",
+    )
+    sub.add_argument(
+        "--adapt-every", type=int, default=256, metavar="N",
+        help="decisions between controller steps",
+    )
+    sub.add_argument(
+        "--adapt-target", type=float, default=0.05, metavar="FRACTION",
+        help="pollution budget (fraction of N_R) the controller steers to",
+    )
+    sub.add_argument(
+        "--adapt-step", type=float, default=0.15, metavar="STEP",
+        help="multiplicative tau_scale step per update (ewma mode)",
+    )
+    sub.add_argument(
+        "--adapt-seed", type=int, default=0,
+        help="seed for the bandit's exploration draws",
+    )
+    sub.add_argument(
+        "--no-adapt-weights", action="store_true",
+        help="freeze the per-tag-type utility/over-taint weights "
+             "(adapt only the boundary scale)",
+    )
+
+
+def _control_options(args: argparse.Namespace):
+    """``ControlOptions`` for the ``--adapt*`` flags, or ``None``."""
+    if not getattr(args, "adapt", False):
+        return None
+    from repro.options import ControlOptions
+
+    return ControlOptions(
+        enabled=True,
+        mode=args.adapt_mode,
+        every=args.adapt_every,
+        target_pollution=args.adapt_target,
+        step=args.adapt_step,
+        seed=args.adapt_seed,
+        adapt_weights=not args.no_adapt_weights,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mitos-repro",
@@ -232,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
              "~2x throughput; incompatible with per-event plugins, see "
              "docs/PERFORMANCE.md)",
     )
+    _add_adapt_flags(replay)
 
     serve = subparsers.add_parser(
         "serve",
@@ -329,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="'ndjson' negotiates both formats per connection; 'binary' "
              "rejects NDJSON decide/apply (control ops stay reachable)",
     )
+    _add_adapt_flags(serve)
 
     cluster = subparsers.add_parser(
         "cluster",
@@ -382,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire format each shard server enforces for decide/apply "
              "(gossip and control ops always ride NDJSON)",
     )
+    _add_adapt_flags(cluster)
 
     bench_cluster = subparsers.add_parser(
         "bench-cluster",
@@ -433,6 +494,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip pinning each process shard to its own CPU",
     )
     bench_cluster.add_argument(
+        "--trend-out", default=None, metavar="PATH",
+        help="perf trendline to append to "
+             "(default: results/bench_trend.jsonl at the repo root)",
+    )
+    bench_cluster.add_argument(
+        "--sweep-gossip", default=None, metavar="N,N,...",
+        help="comma-separated gossip intervals in decisions (e.g. "
+             "8,32,128): instead of the crash bench, boot a fresh fleet "
+             "per interval, drive the offline decisions with believed "
+             "(local + gossiped) pollution, and record oracle agreement "
+             "and propagate-recall per point -- the live-fleet mirror of "
+             "the simulation's gossip sweep (writes BENCH_cluster.json)",
+    )
+    bench_cluster.add_argument(
+        "--gossip-loss-rate", type=float, default=0.0, metavar="RATE",
+        help="seeded per-message gossip drop probability (sweep only)",
+    )
+
+    bench_adapt = subparsers.add_parser(
+        "bench-adapt",
+        help="replay a drifting workload under fixed vs adaptive MITOS "
+             "parameters and report recall/pollution/decision flips "
+             "(writes BENCH_adapt.json; see docs/CONTROL.md)",
+    )
+    bench_adapt.add_argument("--quick", action="store_true",
+                             help="small drifting recording (smoke test)")
+    bench_adapt.add_argument("--seed", type=int, default=0)
+    bench_adapt.add_argument(
+        "--mode", default="ewma", choices=("ewma", "bandit"),
+        help="adaptive estimator to benchmark",
+    )
+    bench_adapt.add_argument(
+        "--every", type=int, default=None, metavar="N",
+        help="controller cadence in decisions (default: workload-scaled)",
+    )
+    bench_adapt.add_argument(
+        "--target", type=float, default=None, metavar="FRACTION",
+        help="pollution budget as a fraction of N_R "
+             "(default: calibrated to the workload's clean phase)",
+    )
+    bench_adapt.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="report path (default: BENCH_adapt.json at the repo root)",
+    )
+    bench_adapt.add_argument(
         "--trend-out", default=None, metavar="PATH",
         help="perf trendline to append to "
              "(default: results/bench_trend.jsonl at the repo root)",
@@ -641,44 +747,38 @@ def _replay_options(args: argparse.Namespace):
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
         sample_every=args.sample_every,
+        control=_control_options(args),
     )
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_mapping, format_table
-    from repro.api import build_system, load_recording
+    from repro.api import load_recording
+    from repro.builders import build_replay_system, vector_conflict
     from repro.obs import get_logger
 
     logger = get_logger("repro.cli")
-    options = _replay_options(args)
+    try:
+        options = _replay_options(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     # fail on configurations the vector engine rejects (inherently
     # per-event contracts) before doing any work, with the flag names
     # the user typed; --inject-faults, --limit, --trace-out and
     # --metrics-out remain fully supported
-    blockers = [
-        "--" + name.replace("_", "-") for name in options.vector_blockers()
-    ]
-    if blockers:
-        print(
-            "error: --engine vector is incompatible with "
-            + ", ".join(blockers)
-            + " (per-event plugin/supervision contracts); "
-            "use --engine scalar",
-            file=sys.stderr,
-        )
+    conflict = vector_conflict(options, as_flags=True)
+    if conflict:
+        print(f"error: {conflict}", file=sys.stderr)
         return 2
     recording = load_recording(args.trace)
-    obs = options.observability()
-    system = build_system(
+    system, obs = build_replay_system(
+        options,
         policy=args.policy,
         tau=args.tau,
         alpha=args.alpha,
         quick_calibration=args.quick_calibration,
         all_flows=args.all_flows,
-        engine=options.engine,
-        degrade_at=options.degrade_at,
-        observability=obs,
-        resilience=options.resilience(),
     )
     logger.debug(
         "replay starting",
@@ -752,6 +852,7 @@ def _serve_options(args: argparse.Namespace):
         canary_policy=args.canary_policy,
         drain_timeout=args.drain_timeout,
         wire_format=args.wire_format,
+        control=_control_options(args),
     )
 
 
@@ -799,6 +900,7 @@ def _cluster_options(args: argparse.Namespace):
         ),
         gossip_loss_rate=args.gossip_loss_rate,
         wire_format=args.wire_format,
+        control=_control_options(args),
     )
 
 
@@ -964,6 +1066,104 @@ def _bench_cluster_sweep(args, recording, offline) -> int:
     return 0 if matched else 1
 
 
+def _bench_cluster_gossip(args, recording, offline) -> int:
+    from pathlib import Path
+
+    from repro.cluster import run_gossip_sweep, write_gossip_bench
+    from repro.options import ClusterOptions
+
+    try:
+        intervals = [
+            int(part) for part in args.sweep_gossip.split(",") if part.strip()
+        ]
+    except ValueError:
+        print(
+            f"error: --sweep-gossip must be a comma-separated list of "
+            f"integers, got {args.sweep_gossip!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not intervals or any(interval < 1 for interval in intervals):
+        print(
+            f"error: --sweep-gossip needs intervals >= 1, "
+            f"got {args.sweep_gossip!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def options_factory(interval: int) -> ClusterOptions:
+        return ClusterOptions(
+            shards=args.shards,
+            quick_calibration=args.quick,
+            pin_cpus=not args.no_pin_cpus,
+            # the sweep drives gossip_round() on its own decision-count
+            # schedule; a background time-based pump would race it
+            gossip_interval=None,
+            gossip_loss_rate=args.gossip_loss_rate,
+            gossip_seed=args.seed,
+            checkpoint_every=1 << 30,
+        )
+
+    print(
+        f"sweeping gossip intervals {intervals} (decisions between "
+        f"rounds) over {len(offline)} decisions on {args.shards} "
+        f"shard(s), believed pollution only..."
+    )
+    sweep = run_gossip_sweep(
+        offline, intervals, options_factory, backend=args.backend
+    )
+    for entry in sweep:
+        print(
+            f"  every {entry['gossip_every']:>5} decisions: "
+            f"agreement {entry['agreement']:.4f}, "
+            f"recall {entry['recall']:.4f} "
+            f"({entry['recalled']}/{entry['oracle_positives']} oracle "
+            f"keeps), {entry['gossip_rounds']} round(s), "
+            f"{entry['gossip_dropped']} dropped"
+        )
+    clean = all(not entry["errors"] for entry in sweep)
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    json_out = (
+        Path(args.json_out)
+        if args.json_out is not None
+        else repo_root / "BENCH_cluster.json"
+    )
+    write_gossip_bench(
+        json_out,
+        sweep,
+        shards=args.shards,
+        backend=args.backend,
+        recording_events=len(recording),
+        extra={
+            "quick": args.quick,
+            "seed": args.seed,
+            "gossip_loss_rate": args.gossip_loss_rate,
+        },
+    )
+    print(f"written: {json_out}")
+    from datetime import datetime, timezone
+
+    from repro.serve import append_bench_trend
+
+    trend_path = append_bench_trend(
+        args.trend_out
+        if args.trend_out is not None
+        else repo_root / "results" / "bench_trend.jsonl",
+        {
+            "at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "benchmark": "cluster-gossip",
+            "backend": args.backend,
+            "shards": args.shards,
+            "quick": args.quick,
+            "intervals": intervals,
+            "agreement": [entry["agreement"] for entry in sweep],
+            "recall": [entry["recall"] for entry in sweep],
+        },
+    )
+    print(f"trend: {trend_path}")
+    return 0 if clean else 1
+
+
 def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -990,6 +1190,8 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     )
     if args.sweep_shards is not None:
         return _bench_cluster_sweep(args, recording, offline)
+    if args.sweep_gossip is not None:
+        return _bench_cluster_gossip(args, recording, offline)
     if len(offline) < 4:
         print(
             "error: the recording produced too few IFP decisions "
@@ -1105,6 +1307,81 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     )
     print(f"trend: {trend_path}")
     return 0 if result.matched else 1
+
+
+def _cmd_bench_adapt(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.control.bench import run_adapt_bench, write_adapt_bench
+
+    report = run_adapt_bench(
+        quick=args.quick,
+        seed=args.seed,
+        mode=args.mode,
+        every=args.every,
+        target=args.target,
+    )
+    print(
+        f"workload drift ({report['recording_events']} events)  "
+        f"mode {report['mode']}  every {report['every']}  "
+        f"target {report['target_pollution']:.3g}"
+    )
+    for name in ("baseline", "fixed", "adaptive"):
+        arm = report[name]
+        print(
+            f"{name:>8}: detected {arm['detected_bytes']:>6} B  "
+            f"pollution mean {arm['mean_pollution_fraction']:.3g} "
+            f"peak {arm['peak_pollution_fraction']:.3g}  "
+            f"updates {arm['param_updates']}  "
+            f"tau_scale {arm['tau_scale_final']:.3g}"
+        )
+    recall = report["recall"]
+    wins = report["adaptive_wins"]
+    print(
+        f"recall fixed {recall['fixed']:.3f} adaptive "
+        f"{recall['adaptive']:.3f}  decision flips "
+        f"{report['decision_flips']}"
+    )
+    print(
+        f"adaptive wins: pollution={wins['pollution']} "
+        f"recall={wins['recall']} any={wins['any']}"
+    )
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    json_out = (
+        Path(args.json_out)
+        if args.json_out is not None
+        else repo_root / "BENCH_adapt.json"
+    )
+    write_adapt_bench(json_out, report)
+    print(f"written: {json_out}")
+    from datetime import datetime, timezone
+
+    from repro.serve import append_bench_trend
+
+    trend_path = append_bench_trend(
+        args.trend_out
+        if args.trend_out is not None
+        else repo_root / "results" / "bench_trend.jsonl",
+        {
+            "at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "benchmark": "adapt",
+            "mode": report["mode"],
+            "quick": args.quick,
+            "seed": args.seed,
+            "mean_pollution_fixed": report["fixed"][
+                "mean_pollution_fraction"
+            ],
+            "mean_pollution_adaptive": report["adaptive"][
+                "mean_pollution_fraction"
+            ],
+            "recall_fixed": recall["fixed"],
+            "recall_adaptive": recall["adaptive"],
+            "decision_flips": report["decision_flips"],
+            "adaptive_wins": wins["any"],
+        },
+    )
+    print(f"trend: {trend_path}")
+    return 0 if wins["any"] else 1
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -1537,6 +1814,7 @@ def main(argv=None) -> int:
         "top": _cmd_top,
         "bench-serve": _cmd_bench_serve,
         "bench-cluster": _cmd_bench_cluster,
+        "bench-adapt": _cmd_bench_adapt,
         "bench": _cmd_bench,
         "inspect": _cmd_inspect,
         "lineage": _cmd_lineage,

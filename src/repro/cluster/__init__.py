@@ -16,9 +16,11 @@ client-side router that hides crashes from callers:
 from repro.cluster.harness import (
     ClusterLoadResult,
     run_cluster_load,
+    run_gossip_sweep,
     run_scale_sweep,
     spread_destinations,
     write_cluster_bench,
+    write_gossip_bench,
     write_scale_bench,
 )
 from repro.cluster.router import (
@@ -45,8 +47,10 @@ __all__ = [
     "degraded_clear",
     "ClusterLoadResult",
     "run_cluster_load",
+    "run_gossip_sweep",
     "run_scale_sweep",
     "spread_destinations",
     "write_cluster_bench",
+    "write_gossip_bench",
     "write_scale_bench",
 ]

@@ -303,6 +303,132 @@ def run_scale_sweep(
     return sweep
 
 
+def run_gossip_sweep(
+    decisions: Sequence[OfflineDecision],
+    intervals: Sequence[int],
+    options_factory,
+    *,
+    backend: str = "thread",
+) -> List[Dict[str, object]]:
+    """Oracle agreement/recall vs gossip cadence on a live fleet.
+
+    The live-fleet mirror of the simulation's gossip-interval sweep
+    (:func:`repro.distributed.cluster.run_cluster_sim` swept over
+    ``gossip_every``): each offline decision's explicit ``pollution`` is
+    *stripped* from the request, so every shard decides with its
+    **believed** pollution -- local propagation state plus whatever peer
+    estimates gossip has delivered -- while the offline expectation still
+    encodes what the exact-pollution oracle would do.  The supervisor's
+    gossip pump is driven manually every ``interval`` decisions (boot
+    the fleet with ``gossip_interval=None`` so the background thread
+    does not race the schedule), which makes a sweep point deterministic
+    for a fixed loss seed.
+
+    Per sweep point: per-candidate oracle agreement, plus *recall* over
+    the oracle-propagate candidates (the fraction of tags the oracle
+    would keep that the stale fleet also kept -- the detection-loss side
+    of staleness, which agreement alone hides when blocks dominate).
+    """
+    sweep: List[Dict[str, object]] = []
+    for interval in intervals:
+        if interval < 1:
+            raise ValueError(
+                f"gossip intervals must be >= 1 decision, got {interval}"
+            )
+        options = options_factory(interval)
+        if options.gossip_interval is not None:
+            raise ValueError(
+                "gossip sweep drives gossip_round() manually; build the "
+                "fleet with gossip_interval=None"
+            )
+        tally = AgreementTally()
+        oracle_positives = 0
+        recalled = 0
+        degraded = 0
+        errors = 0
+        rounds = 0
+        with ClusterSupervisor(options, backend=backend) as supervisor:
+            with ClusterRouter.for_supervisor(supervisor) as router:
+                for index, decision in enumerate(decisions):
+                    if index and index % interval == 0:
+                        supervisor.gossip_round()
+                        rounds += 1
+                    payload = dict(decision.request, id=index)
+                    payload.pop("pollution", None)
+                    response = router.request(str(payload["dest"]), payload)
+                    if response.get("degraded"):
+                        degraded += 1
+                        continue
+                    if not response.get("ok", False):
+                        errors += 1
+                        continue
+                    want_rows = decision.expected.get("decisions") or []
+                    got_rows = response.get("decisions") or []
+                    by_tag = {
+                        row.get("tag"): row
+                        for row in got_rows
+                        if isinstance(row, dict)
+                    }
+                    for row in want_rows:
+                        oracle = bool(row.get("propagate"))
+                        actual = bool(
+                            by_tag.get(row.get("tag"), {}).get("propagate")
+                        )
+                        tally.observe(oracle, actual)
+                        if oracle:
+                            oracle_positives += 1
+                            if actual:
+                                recalled += 1
+            gossip_sent = supervisor.gossip_sent
+            gossip_dropped = supervisor.gossip_dropped
+        sweep.append(
+            {
+                "gossip_every": interval,
+                "gossip_rounds": rounds,
+                "gossip_sent": gossip_sent,
+                "gossip_dropped": gossip_dropped,
+                "decisions": len(decisions),
+                "degraded": degraded,
+                "errors": errors,
+                "agreement": tally.agreement,
+                "agreement_detail": tally.as_dict(),
+                "oracle_positives": oracle_positives,
+                "recalled": recalled,
+                "recall": (
+                    recalled / oracle_positives if oracle_positives else 1.0
+                ),
+            }
+        )
+    return sweep
+
+
+def write_gossip_bench(
+    path: Union[str, Path],
+    sweep: Sequence[Dict[str, object]],
+    *,
+    shards: int,
+    backend: str,
+    recording_events: int,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the gossip-sweep ``BENCH_cluster.json`` document."""
+    report: Dict[str, object] = {
+        "benchmark": "cluster-gossip",
+        "shards": shards,
+        "backend": backend,
+        "recording_events": recording_events,
+        "intervals": [entry["gossip_every"] for entry in sweep],
+        "agreement": [entry["agreement"] for entry in sweep],
+        "recall": [entry["recall"] for entry in sweep],
+        "sweep": list(sweep),
+    }
+    if extra:
+        report.update(extra)
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
 def write_scale_bench(
     path: Union[str, Path],
     sweep: Sequence[Dict[str, object]],
@@ -356,8 +482,10 @@ def write_cluster_bench(
 __all__ = [
     "ClusterLoadResult",
     "run_cluster_load",
+    "run_gossip_sweep",
     "run_scale_sweep",
     "spread_destinations",
     "write_cluster_bench",
+    "write_gossip_bench",
     "write_scale_bench",
 ]

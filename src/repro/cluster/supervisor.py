@@ -141,6 +141,20 @@ class ProcessShard:
             command.append("--quick-calibration")
         if serve.gc_freeze:
             command.append("--gc-freeze")
+        control = serve.control
+        if control is not None and control.enabled:
+            command.extend(
+                [
+                    "--adapt",
+                    "--adapt-mode", control.mode,
+                    "--adapt-every", str(control.every),
+                    "--adapt-target", str(control.target_pollution),
+                    "--adapt-step", str(control.step),
+                    "--adapt-seed", str(control.seed),
+                ]
+            )
+            if not control.adapt_weights:
+                command.append("--no-adapt-weights")
         return command
 
     def spawn(self) -> None:

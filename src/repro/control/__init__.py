@@ -1,0 +1,54 @@
+"""Online parameter adaptation: closing the loop on tau, u_t, o_t.
+
+MITOS (the paper) fixes its cost parameters offline; production traffic
+drifts.  This package is the feedback layer that re-estimates the
+decision boundary from the live signals the rest of the repo already
+emits -- the weighted pollution (Eq. 8's shared cost signal), the
+per-tag-type copy mix, and the propagate/block outcome counts -- and
+applies new :class:`~repro.core.params.MitosParams` atomically to a
+running policy.  The MarginalCache and the serve shard's decision
+tables are identity-bound to their params, so a swap invalidates
+everything derived without any kernel surgery.
+
+Two estimators, both deterministic given the observed trace:
+
+* :class:`~repro.control.estimator.EwmaEstimator` -- the EWMA/gradient
+  baseline: track the pollution fraction with an EWMA, take bounded
+  multiplicative steps on ``tau_scale`` (and optionally on the per-type
+  ``u_t``/``o_t`` weights) toward a configured pollution budget;
+* :class:`~repro.control.estimator.TauBandit` -- the RL-flavored
+  variant grounded in the Sahabandu et al. RL-for-DIFT-games line: a
+  seeded epsilon-greedy bandit over a discretized ``tau_scale`` grid,
+  rewarded per window for staying inside the budget without blocking.
+
+See docs/CONTROL.md for the estimator math, cadence, safety bounds and
+the bench methodology behind ``mitos-repro bench-adapt``.
+"""
+
+from repro.control.bench import (
+    count_decision_flips,
+    run_adapt_bench,
+    run_arm,
+    write_adapt_bench,
+)
+from repro.control.controller import (
+    AdaptiveController,
+    ParamUpdate,
+    type_copy_totals,
+)
+from repro.control.estimator import ControlSignal, EwmaEstimator, TauBandit
+from repro.control.plugin import ControlPlugin
+
+__all__ = [
+    "AdaptiveController",
+    "ControlPlugin",
+    "ControlSignal",
+    "EwmaEstimator",
+    "ParamUpdate",
+    "TauBandit",
+    "count_decision_flips",
+    "run_adapt_bench",
+    "run_arm",
+    "type_copy_totals",
+    "write_adapt_bench",
+]

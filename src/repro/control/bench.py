@@ -1,0 +1,226 @@
+"""``mitos-repro bench-adapt``: fixed vs adaptive MITOS under drift.
+
+Three replays of the same drifting recording
+(:func:`~repro.workloads.drift.drifting_recording`):
+
+1. **baseline** -- ``propagate-all``, the recall denominator (what a
+   cost-blind tracker detects, and the pollution ceiling);
+2. **fixed** -- MITOS with the calibrated parameters, never updated:
+   the boundary that was right for the calm phase over-pollutes once
+   the flood phase ramps tag copies;
+3. **adaptive** -- the same parameters plus an
+   :class:`~repro.control.AdaptiveController` steering ``tau_scale``
+   (and optionally the per-type weights) toward a pollution budget.
+
+Every replay records its per-decision propagated tag sets through the
+tracker's ``ifp_observer`` hook, so the report can count *decision
+flips* -- IFP decisions where the adaptive run kept/blocked a different
+tag set than the fixed run -- alongside detection recall (attack bytes
+detected relative to the baseline) and the pollution trajectory (mean /
+peak / final weighted pollution as a fraction of ``N_R``).
+
+The headline number is ``adaptive_wins``: on a drifting workload the
+adaptive run must beat the fixed run on pollution or on recall (it
+typically wins pollution -- that is the budget it steers to -- while
+giving up little or no recall).  Defaults for the cadence and budget
+are derived from the fixed run when not given: cadence ~24 updates over
+the trace, budget at half the fixed run's mean pollution, so the bench
+stays meaningful across workload sizes.  ``BENCH_adapt.json`` plus a
+``results/bench_trend.jsonl`` line are the artifacts CI tracks; see
+docs/CONTROL.md for the methodology.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.params import MitosParams
+from repro.options import ControlOptions
+from repro.replay.record import Recording
+
+#: per-decision capture: (propagated tag names, candidate count, pollution)
+ArmRecord = Tuple[frozenset, int, float]
+
+
+def run_arm(
+    recording: Recording,
+    params: MitosParams,
+    *,
+    policy: str = "mitos",
+    control: Optional[ControlOptions] = None,
+    label: str = "",
+) -> Tuple[Dict[str, object], List[ArmRecord]]:
+    """One replay arm; returns its summary and per-decision records.
+
+    The observer fires once per policy-routed flow event in recording
+    order, so two arms over the same recording yield index-aligned
+    record streams -- which is what makes the flip count well-defined.
+    """
+    from repro.builders import build_faros_system
+
+    system = build_faros_system(
+        params=params, policy=policy, control=control, label=label or policy
+    )
+    records: List[ArmRecord] = []
+    tracker = system.tracker
+    base_o = params.o  # the arms are only comparable in ONE cost model:
+    # the adaptive arm re-weights o_t at runtime, so the observer
+    # re-measures pollution under the base weights instead of taking the
+    # (current-weight) value the hook passes.  Read the counter through
+    # the tracker -- reset() swaps in a fresh one.
+
+    def observer(event, candidates, details, selected, pollution) -> None:
+        records.append(
+            (
+                frozenset(f"{tag.type}:{tag.index}" for tag in selected),
+                len(candidates),
+                tracker.counter.weighted_pollution(base_o),
+            )
+        )
+
+    system.tracker.ifp_observer = observer
+    result = system.replay(recording)
+    metrics = result.metrics
+    stats = result.tracker_stats
+    pollution_series = [record[2] for record in records]
+    n_r = params.N_R
+    summary: Dict[str, object] = {
+        "label": label or policy,
+        "policy": policy,
+        "decisions": len(records),
+        "ifp_decisions": int(stats.get("ifp_address", 0))
+        + int(stats.get("ifp_control", 0)),
+        "detected_bytes": metrics.detected_bytes,
+        "ifp_candidates": metrics.ifp_candidates,
+        "ifp_propagated": metrics.ifp_propagated,
+        "ifp_blocked": metrics.ifp_blocked,
+        "final_pollution_fraction": (
+            tracker.counter.weighted_pollution(base_o) / n_r
+        ),
+        "mean_pollution_fraction": (
+            sum(pollution_series) / len(pollution_series) / n_r
+            if pollution_series
+            else 0.0
+        ),
+        "peak_pollution_fraction": (
+            max(pollution_series) / n_r if pollution_series else 0.0
+        ),
+        "param_updates": (
+            system.controller.update_seq if system.controller else 0
+        ),
+        "tau_scale_final": system.tracker.params.tau_scale,
+    }
+    return summary, records
+
+
+def count_decision_flips(
+    fixed: List[ArmRecord], adaptive: List[ArmRecord]
+) -> int:
+    """IFP decisions whose propagated tag set differs between the arms."""
+    flips = sum(
+        1 for (a, _, _), (b, _, _) in zip(fixed, adaptive) if a != b
+    )
+    # streams are index-aligned over the same recording; a length skew
+    # would itself be a divergence, count every unpaired decision
+    return flips + abs(len(fixed) - len(adaptive))
+
+
+def run_adapt_bench(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    mode: str = "ewma",
+    every: Optional[int] = None,
+    target: Optional[float] = None,
+) -> Dict[str, object]:
+    """The full fixed-vs-adaptive comparison; returns the report dict."""
+    from repro.experiments.common import experiment_params
+    from repro.workloads.drift import drifting_recording
+
+    recording = drifting_recording(seed=seed, quick=quick)
+    params = experiment_params(quick=quick)
+
+    baseline, _ = run_arm(
+        recording, params, policy="propagate-all", label="baseline"
+    )
+    fixed, fixed_records = run_arm(
+        recording, params, policy="mitos", label="fixed"
+    )
+
+    if every is None:
+        # ~24 controller steps across the trace regardless of its size;
+        # the cadence counts the tracker's IFP decision total, not the
+        # (sparser) policy-routed observer events
+        every = max(8, int(fixed["ifp_decisions"]) // 24)  # type: ignore[arg-type]
+    if target is None:
+        # budget at half the fixed run's mean pollution: tight enough
+        # that the fixed boundary is provably over it during the flood
+        # phase, loose enough that steering there costs little recall
+        target = max(
+            1e-9, float(fixed["mean_pollution_fraction"]) / 2  # type: ignore[arg-type]
+        )
+    control = ControlOptions(
+        enabled=True,
+        mode=mode,
+        every=every,
+        target_pollution=target,
+        seed=seed,
+    )
+    adaptive, adaptive_records = run_arm(
+        recording, params, policy="mitos", control=control, label="adaptive"
+    )
+
+    base_detected = int(baseline["detected_bytes"])  # type: ignore[arg-type]
+
+    def recall(arm: Dict[str, object]) -> float:
+        if base_detected == 0:
+            return 1.0
+        return int(arm["detected_bytes"]) / base_detected  # type: ignore[arg-type]
+
+    fixed_recall = recall(fixed)
+    adaptive_recall = recall(adaptive)
+    pollution_win = float(adaptive["mean_pollution_fraction"]) < float(  # type: ignore[arg-type]
+        fixed["mean_pollution_fraction"]  # type: ignore[arg-type]
+    )
+    recall_win = adaptive_recall > fixed_recall
+    return {
+        "benchmark": "adapt",
+        "workload": "drift",
+        "quick": quick,
+        "seed": seed,
+        "recording_events": len(recording),
+        "mode": mode,
+        "every": every,
+        "target_pollution": target,
+        "baseline": baseline,
+        "fixed": fixed,
+        "adaptive": adaptive,
+        "recall": {"fixed": fixed_recall, "adaptive": adaptive_recall},
+        "decision_flips": count_decision_flips(
+            fixed_records, adaptive_records
+        ),
+        "adaptive_wins": {
+            "pollution": pollution_win,
+            "recall": recall_win,
+            "any": pollution_win or recall_win,
+        },
+    }
+
+
+def write_adapt_bench(
+    path: Union[str, Path], report: Dict[str, object]
+) -> Path:
+    """Write the ``BENCH_adapt.json`` document CI uploads."""
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+__all__ = [
+    "count_decision_flips",
+    "run_adapt_bench",
+    "run_arm",
+    "write_adapt_bench",
+]

@@ -1,0 +1,247 @@
+"""The adaptive controller: cadence, atomic apply, update history.
+
+:class:`AdaptiveController` owns one estimator and one *apply* target.
+Every ``options.every`` decisions it folds the window's observations
+into a :class:`~repro.control.estimator.ControlSignal`, asks the
+estimator for a proposal, and -- when one comes back -- applies it
+**atomically**: the new frozen :class:`~repro.core.params.MitosParams`
+is bound in a single reference swap.  Consumers notice lazily through
+identity checks (``cache.params is not self.params`` in
+:class:`~repro.core.engine.MitosEngine`, ``engine.params is not
+self.params`` at the top of every
+:meth:`~repro.serve.shard.DecisionShard` decide entry point), so a
+decision computed mid-swap sees either the old point or the new one,
+never a mix.
+
+Each applied update is recorded as a :class:`ParamUpdate` in a bounded
+ring (the ``control.param_update`` event the serve ``/events`` stream
+and ``top`` render) and handed to an optional ``on_update`` callback
+for plane-specific plumbing (obs counters, decision tails).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.control.estimator import ControlSignal, make_estimator
+from repro.core.params import MitosParams
+from repro.options import ControlOptions
+
+
+def type_copy_totals(counter) -> Dict[str, int]:
+    """Live copies per tag type, off a tracker's TagCopyCounter.
+
+    O(number of live tags); run on the controller cadence, never per
+    decision.
+    """
+    totals: Dict[str, int] = {}
+    for (tag_type, _), count in counter._counts.items():
+        if count:
+            totals[tag_type] = totals.get(tag_type, 0) + count
+    return totals
+
+
+@dataclass(frozen=True)
+class ParamUpdate:
+    """One applied parameter swap (the ``control.param_update`` event)."""
+
+    seq: int
+    decisions: int
+    mode: str
+    reason: str
+    pollution_fraction: float
+    tau_scale_before: float
+    tau_scale_after: float
+    u: Dict[str, float]
+    o: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": "control.param_update",
+            "seq": self.seq,
+            "decisions": self.decisions,
+            "mode": self.mode,
+            "reason": self.reason,
+            "pollution_fraction": self.pollution_fraction,
+            "tau_scale_before": self.tau_scale_before,
+            "tau_scale_after": self.tau_scale_after,
+            "u": dict(self.u),
+            "o": dict(self.o),
+        }
+
+
+class AdaptiveController:
+    """Re-estimates MITOS parameters on a fixed decision cadence.
+
+    ``apply`` is the atomic swap target -- a callable taking the new
+    :class:`MitosParams`; ``None`` keeps the swap local (``.params`` is
+    still updated, which is what the unit tests and the bench's offline
+    loop read).  The controller itself is plane-agnostic: replay feeds
+    it through :class:`~repro.control.plugin.ControlPlugin`, the serve
+    drain loop calls :meth:`step_tracker` between batches.
+    """
+
+    def __init__(
+        self,
+        params: MitosParams,
+        options: ControlOptions,
+        *,
+        apply: Optional[Callable[[MitosParams], None]] = None,
+        on_update: Optional[Callable[[ParamUpdate], None]] = None,
+    ):
+        self.options = options
+        self.params = params
+        #: the configured operating point: clamp anchor for the
+        #: estimator AND the cost model the steering signal is measured
+        #: in (see :meth:`base_pollution`)
+        self.base_params = params
+        self.estimator = make_estimator(options, params)
+        self.updates: Deque[ParamUpdate] = deque(maxlen=options.history)
+        self.update_seq = 0
+        self._apply = apply
+        self._on_update = on_update
+        self._last_decisions = 0
+        self._last_propagated = 0
+        self._last_blocked = 0
+
+    # -- cadence -----------------------------------------------------------
+
+    def due(self, decisions: int) -> bool:
+        """Has a full cadence window elapsed since the last step?"""
+        return decisions - self._last_decisions >= self.options.every
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(
+        self,
+        *,
+        decisions: int,
+        pollution_fraction: float,
+        propagated: int = 0,
+        blocked: int = 0,
+        type_copies: Optional[Dict[str, int]] = None,
+    ) -> Optional[ParamUpdate]:
+        """One cadence-checked controller step; ``None`` = held.
+
+        ``propagated``/``blocked`` are *cumulative* totals -- the
+        controller differences them into window deltas itself.
+        """
+        if not self.due(decisions):
+            return None
+        signal = ControlSignal(
+            decisions=decisions,
+            pollution_fraction=pollution_fraction,
+            propagated=propagated - self._last_propagated,
+            blocked=blocked - self._last_blocked,
+            type_copies=type_copies or {},
+        )
+        self._last_decisions = decisions
+        self._last_propagated = propagated
+        self._last_blocked = blocked
+        proposal = self.estimator.propose(self.params, signal)
+        if proposal is None:
+            return None
+        new_params, reason = proposal
+        update = ParamUpdate(
+            seq=self.update_seq + 1,
+            decisions=decisions,
+            mode=self.estimator.mode,
+            reason=reason,
+            pollution_fraction=pollution_fraction,
+            tau_scale_before=self.params.tau_scale,
+            tau_scale_after=new_params.tau_scale,
+            u=dict(new_params.u),
+            o=dict(new_params.o),
+        )
+        self.update_seq = update.seq
+        self.params = new_params
+        if self._apply is not None:
+            self._apply(new_params)
+        self.updates.append(update)
+        if self._on_update is not None:
+            self._on_update(update)
+        return update
+
+    def base_pollution(self, tracker) -> float:
+        """A tracker's weighted pollution under the *base* o weights.
+
+        The steering signal is always measured in the configured cost
+        model, never the adapted one: if the controller measured with
+        the weights it is itself raising, an o_t increase would inflate
+        its own over-budget signal -- a self-reinforcing loop that never
+        converges.  Adapted weights still shape *decisions* (the policy
+        charges the over-taint term with them); the budget they steer
+        toward stays fixed.
+        """
+        return tracker.counter.weighted_pollution(self.base_params.o)
+
+    def step_tracker(
+        self, tracker, *, extra_pollution: float = 0.0
+    ) -> Optional[ParamUpdate]:
+        """Step from a live DIFT tracker's own counters.
+
+        ``extra_pollution`` adds to the tracker-local base-weighted
+        pollution -- the serve/cluster path passes the shard's summed
+        gossip beliefs so every shard controller steers by the fleet
+        estimate, not just its slice.
+        """
+        stats = tracker.stats
+        decisions = stats.ifp_address + stats.ifp_control
+        if not self.due(decisions):
+            return None
+        observed = self.base_pollution(tracker) + extra_pollution
+        return self.step(
+            decisions=decisions,
+            pollution_fraction=observed / self.base_params.N_R,
+            propagated=stats.ifp_propagated,
+            blocked=stats.ifp_blocked,
+            type_copies=type_copy_totals(tracker.counter),
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def updates_since(self, seq: int) -> List[Dict[str, object]]:
+        """Update records newer than ``seq`` (the /events cursor read)."""
+        return [u.as_dict() for u in self.updates if u.seq > seq]
+
+    def stats_payload(self) -> Dict[str, object]:
+        """What ``/stats`` and the bench report embed."""
+        return {
+            "mode": self.options.mode,
+            "every": self.options.every,
+            "target_pollution": self.options.target_pollution,
+            "updates": self.update_seq,
+            "tau_scale": self.params.tau_scale,
+        }
+
+
+def bind_policy(controller: AdaptiveController, tracker) -> None:
+    """Point a controller's atomic swap at a live tracker + MITOS policy.
+
+    The single-reference swap: the tracker (pollution weighting, tag
+    retention) and the policy engine (Eq. 8 + MarginalCache) both move
+    to the new frozen params; everything derived rebinds itself on the
+    next identity check.
+    """
+    engine = getattr(tracker.policy, "engine", None)
+    if engine is None:
+        raise ValueError(
+            "online parameter adaptation requires the mitos policy "
+            f"(got {type(tracker.policy).__name__})"
+        )
+
+    def apply(params: MitosParams) -> None:
+        tracker.params = params
+        engine.params = params
+
+    controller._apply = apply
+
+
+__all__ = [
+    "AdaptiveController",
+    "ParamUpdate",
+    "bind_policy",
+    "type_copy_totals",
+]

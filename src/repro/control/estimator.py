@@ -1,0 +1,227 @@
+"""Parameter estimators: the pure decision rules behind the controller.
+
+Both estimators map a window's :class:`ControlSignal` to a proposed
+:class:`~repro.core.params.MitosParams` (or ``None`` for "hold").  They
+carry no clock, no I/O and no randomness beyond a seeded
+``random.Random``, so a given observation sequence always produces the
+same parameter trajectory -- which is what the canned-trace unit tests
+pin and what makes ``bench-adapt`` reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.params import MitosParams
+from repro.options import ControlOptions
+
+#: relative hysteresis band around the pollution target inside which the
+#: EWMA estimator holds (avoids flapping on a converged loop)
+DEADBAND = 0.1
+
+
+@dataclass(frozen=True)
+class ControlSignal:
+    """One cadence window's observed state.
+
+    ``propagated``/``blocked`` are window deltas; ``pollution_fraction``
+    is the weighted pollution over ``N_R`` at the window's end;
+    ``type_copies`` is the live per-tag-type copy census.
+    """
+
+    decisions: int
+    pollution_fraction: float
+    propagated: int = 0
+    blocked: int = 0
+    type_copies: Mapping[str, int] = field(default_factory=dict)
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(high, max(low, value))
+
+
+class EwmaEstimator:
+    """EWMA/gradient baseline: steer pollution to a budget.
+
+    The observed pollution fraction is smoothed with an EWMA; when the
+    smoothed value leaves the ``+-DEADBAND`` band around
+    ``target_pollution`` the estimator takes one bounded multiplicative
+    step:
+
+    * **over budget** -- ``tau_scale *= (1 + step)`` (a global brake:
+      Eq. 8's overtainting marginal scales with ``tau * tau_scale``),
+      and, with ``adapt_weights``, the tag types whose weighted copy
+      share exceeds the uniform share get ``u_t *= (1 - weight_step)``
+      (their flows are what pollutes) and ``o_t *= (1 + weight_step)``
+      (the pollution estimate prices their copies up);
+    * **under budget** -- ``tau_scale /= (1 + step)``, and the types
+      *below* the uniform share get ``u_t *= (1 + weight_step)`` to
+      recover recall on rare flows first.
+
+    Every quantity is clamped to the options' safety bounds relative to
+    the initial parameter point.
+    """
+
+    mode = "ewma"
+
+    def __init__(self, options: ControlOptions, params: MitosParams):
+        self.options = options
+        self.ewma: Optional[float] = None
+        self._base_scale = params.tau_scale
+        #: per-type anchors the weight clamps are relative to
+        self._base_u: Dict[str, float] = dict(params.u)
+        self._base_o: Dict[str, float] = dict(params.o)
+
+    def _bounds(self, base: float) -> Tuple[float, float]:
+        options = self.options
+        return base * options.weight_min, base * options.weight_max
+
+    def propose(
+        self, params: MitosParams, signal: ControlSignal
+    ) -> Optional[Tuple[MitosParams, str]]:
+        options = self.options
+        observed = signal.pollution_fraction
+        self.ewma = (
+            observed
+            if self.ewma is None
+            else options.ewma_alpha * observed
+            + (1.0 - options.ewma_alpha) * self.ewma
+        )
+        ratio = self.ewma / options.target_pollution
+        if 1.0 - DEADBAND <= ratio <= 1.0 + DEADBAND:
+            return None
+        over = ratio > 1.0
+        scale = _clamp(
+            params.tau_scale * (1.0 + options.step)
+            if over
+            else params.tau_scale / (1.0 + options.step),
+            self._base_scale * options.scale_min,
+            self._base_scale * options.scale_max,
+        )
+        new_u: Dict[str, float] = dict(params.u)
+        new_o: Dict[str, float] = dict(params.o)
+        if options.adapt_weights and signal.type_copies:
+            weighted = {
+                tag_type: params.o_of(tag_type) * count
+                for tag_type, count in signal.type_copies.items()
+            }
+            total = sum(weighted.values())
+            if total > 0.0:
+                uniform = 1.0 / len(weighted)
+                for tag_type, mass in sorted(weighted.items()):
+                    share = mass / total
+                    base_u = self._base_u.get(tag_type, 1.0)
+                    base_o = self._base_o.get(tag_type, 1.0)
+                    if over and share > uniform:
+                        new_u[tag_type] = _clamp(
+                            params.u_of(tag_type) * (1.0 - options.weight_step),
+                            *self._bounds(base_u),
+                        )
+                        new_o[tag_type] = _clamp(
+                            params.o_of(tag_type) * (1.0 + options.weight_step),
+                            *self._bounds(base_o),
+                        )
+                    elif not over and share < uniform:
+                        new_u[tag_type] = _clamp(
+                            params.u_of(tag_type) * (1.0 + options.weight_step),
+                            *self._bounds(base_u),
+                        )
+        changed = (
+            scale != params.tau_scale
+            or new_u != dict(params.u)
+            or new_o != dict(params.o)
+        )
+        if not changed:
+            return None
+        proposal = params.with_updates(tau_scale=scale, u=new_u, o=new_o)
+        return proposal, ("over-budget" if over else "under-budget")
+
+
+class TauBandit:
+    """Seeded epsilon-greedy bandit over a discretized ``tau_scale`` grid.
+
+    The RL-flavored variant: ``grid`` arms log-spaced over
+    ``[scale_min, scale_max] * tau_scale``.  At each cadence step the
+    arm in force is rewarded for the window just observed --
+    ``-overshoot`` past the pollution budget, minus a block-rate
+    penalty while under budget (blocking with headroom is pure recall
+    loss) -- then the next arm is drawn epsilon-greedily from a seeded
+    ``random.Random``, so the whole trajectory is a deterministic
+    function of the trace.
+    """
+
+    mode = "bandit"
+
+    #: weight of the under-budget block-rate penalty in the reward
+    BLOCK_PENALTY = 0.5
+
+    def __init__(self, options: ControlOptions, params: MitosParams):
+        self.options = options
+        self._rng = random.Random(options.seed)
+        low = math.log(options.scale_min)
+        high = math.log(options.scale_max)
+        count = options.grid
+        self.arms: List[float] = [
+            params.tau_scale
+            * math.exp(low + (high - low) * index / (count - 1))
+            for index in range(count)
+        ]
+        self.pulls = [0] * count
+        self.mean_reward = [0.0] * count
+        #: arm currently in force (starts nearest the configured scale)
+        self.active = min(
+            range(count),
+            key=lambda i: abs(self.arms[i] - params.tau_scale),
+        )
+
+    def _reward(self, signal: ControlSignal) -> float:
+        target = self.options.target_pollution
+        overshoot = max(0.0, signal.pollution_fraction / target - 1.0)
+        reward = -overshoot
+        total = signal.propagated + signal.blocked
+        if overshoot == 0.0 and total > 0:
+            reward -= self.BLOCK_PENALTY * (signal.blocked / total)
+        return reward
+
+    def propose(
+        self, params: MitosParams, signal: ControlSignal
+    ) -> Optional[Tuple[MitosParams, str]]:
+        arm = self.active
+        self.pulls[arm] += 1
+        self.mean_reward[arm] += (
+            self._reward(signal) - self.mean_reward[arm]
+        ) / self.pulls[arm]
+        unplayed = [i for i, pulls in enumerate(self.pulls) if pulls == 0]
+        if unplayed:
+            chosen = unplayed[0]
+        elif self._rng.random() < self.options.epsilon:
+            chosen = self._rng.randrange(len(self.arms))
+        else:
+            chosen = max(
+                range(len(self.arms)),
+                key=lambda i: (self.mean_reward[i], -i),
+            )
+        self.active = chosen
+        scale = self.arms[chosen]
+        if scale == params.tau_scale:
+            return None
+        return params.with_updates(tau_scale=scale), f"bandit-arm-{chosen}"
+
+
+def make_estimator(options: ControlOptions, params: MitosParams):
+    """The estimator the options name (shared by every plane)."""
+    if options.mode == "bandit":
+        return TauBandit(options, params)
+    return EwmaEstimator(options, params)
+
+
+__all__ = [
+    "ControlSignal",
+    "EwmaEstimator",
+    "TauBandit",
+    "make_estimator",
+    "DEADBAND",
+]

@@ -1,0 +1,39 @@
+"""Replay-plane wiring: the controller as a replay plugin.
+
+:class:`ControlPlugin` steps an :class:`AdaptiveController` from the
+replay loop: after every event it checks (two integer adds and a
+compare) whether a full decision-cadence window elapsed and, when it
+did, runs one controller step off the tracker's own counters.  The
+plugin is deliberately **unsupervised** -- injected plugin faults
+retrying a controller step would fork the parameter trajectory, and the
+controller is part of the harness, not the workload under test.
+
+Disabled control builds no plugin at all, so the replay fast path --
+the <5% overhead gate -- never sees this module.
+"""
+
+from __future__ import annotations
+
+from repro.control.controller import AdaptiveController, bind_policy
+from repro.replay.replayer import Plugin
+
+
+class ControlPlugin(Plugin):
+    """Steps the adaptive controller on the replay decision cadence."""
+
+    name = "control"
+    #: controller steps must not be retried/quarantined as event faults
+    supervised = False
+
+    def __init__(self, controller: AdaptiveController, tracker):
+        self.controller = controller
+        self.tracker = tracker
+        bind_policy(controller, tracker)
+
+    def on_event(self, event) -> None:
+        stats = self.tracker.stats
+        if self.controller.due(stats.ifp_address + stats.ifp_control):
+            self.controller.step_tracker(self.tracker)
+
+
+__all__ = ["ControlPlugin"]

@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # type hints only; control stays lazily imported
+    from repro.control import AdaptiveController
+    from repro.options import ControlOptions
 
 from repro.analysis.metrics import RunMetrics, collect_run_metrics
 from repro.analysis.timeline import DecisionTimeline
@@ -62,6 +66,7 @@ class FarosSystem:
         config: FarosConfig,
         observability: Optional[Observability] = None,
         resilience: Optional[Resilience] = None,
+        control: Optional["ControlOptions"] = None,
     ):
         self.config = config
         self.obs = observability
@@ -96,6 +101,20 @@ class FarosSystem:
             sampler = observability.make_sampler(self.tracker)
             if sampler is not None:
                 plugins.append(sampler)
+        self.controller: Optional["AdaptiveController"] = None
+        if control is not None and control.enabled:
+            # imported lazily: disabled control must not even load the
+            # package, keeping the inert path's import graph unchanged
+            from repro.control import AdaptiveController, ControlPlugin
+
+            on_update = None
+            if observability is not None:
+                counter = observability.metrics.counter("control.param_updates")
+                on_update = lambda update: counter.inc()  # noqa: E731
+            self.controller = AdaptiveController(
+                config.params, control, on_update=on_update
+            )
+            plugins.append(ControlPlugin(self.controller, self.tracker))
         self.checkpoint_plugin: Optional[CheckpointPlugin] = None
         supervisor = None
         if resilience is not None:
@@ -214,6 +233,8 @@ class FarosSystem:
         if self.config.degrade_at is not None:
             robustness["degradations"] = self.tracker.stats.degradations
             robustness["shed_entries"] = self.tracker.stats.shed_entries
+        if self.controller is not None:
+            robustness["control.param_updates"] = self.controller.update_seq
         return FarosRunResult(
             label=self.label,
             metrics=collect_run_metrics(self.tracker, wall_seconds=elapsed),

@@ -9,24 +9,110 @@ the single typed home for those knobs:
 * :class:`ReplayOptions` -- everything about *how* a replay runs (the
   *what* -- params, policy, recording -- stays on
   :class:`~repro.faros.config.FarosConfig` / the ``repro.api`` calls);
-* :class:`ServeOptions` -- the online decision service's full surface.
+* :class:`ServeOptions` -- the online decision service's full surface;
+* :class:`ControlOptions` -- the online parameter-adaptation loop
+  (:mod:`repro.control`), hung off all three surfaces above.
 
-Both are keyword-only: every field is named at the call site, so adding
+All are keyword-only: every field is named at the call site, so adding
 a knob can never silently shift a positional argument.  The CLI builds
-them from its flags and :mod:`repro.api` accepts them directly; the old
-flat keyword arguments still work for one release through the
-``DeprecationWarning`` shim in :func:`repro.api.replay`.
+them from its flags and :mod:`repro.api` accepts them directly; flat
+keyword arguments to :func:`repro.api.replay` (the PR-5 shim) are gone
+and raise ``TypeError``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
 if TYPE_CHECKING:  # pure type hints; avoid import cycles at module load
     from repro.faults.resilience import Resilience
     from repro.obs.bundle import Observability
+
+
+@dataclass(kw_only=True)
+class ControlOptions:
+    """The online parameter-adaptation loop's configuration surface.
+
+    Consumed by :class:`repro.control.AdaptiveController`: every
+    ``every`` decisions the controller re-estimates the decision
+    boundary from the live pollution signal and per-type tag mix, and
+    atomically swaps a new :class:`~repro.core.params.MitosParams` onto
+    the policy.  ``enabled=False`` (the default) is the provably-inert
+    path: no controller is built anywhere, outputs stay byte-identical.
+    """
+
+    #: master switch; False builds no controller at all
+    enabled: bool = False
+    #: "ewma" (EWMA/gradient baseline) or "bandit" (seeded
+    #: epsilon-greedy over a discretized tau_scale grid)
+    mode: str = "ewma"
+    #: decisions between controller steps (the update cadence)
+    every: int = 256
+    #: pollution budget as a fraction of N_R the controller steers to
+    target_pollution: float = 0.05
+    #: EWMA smoothing factor for the observed pollution fraction
+    ewma_alpha: float = 0.3
+    #: multiplicative tau_scale step per update (ewma mode)
+    step: float = 0.15
+    #: safety bounds on tau_scale (both modes clamp into this band)
+    scale_min: float = 0.25
+    scale_max: float = 4.0
+    #: also re-estimate per-type utilities u_t / over-taint weights o_t
+    adapt_weights: bool = True
+    #: multiplicative u_t/o_t step per update
+    weight_step: float = 0.1
+    #: safety bounds on u_t/o_t relative to their configured values
+    weight_min: float = 0.25
+    weight_max: float = 4.0
+    #: bandit arms (log-spaced tau_scale grid over [scale_min, scale_max])
+    grid: int = 7
+    #: bandit exploration rate (seeded, deterministic given the trace)
+    epsilon: float = 0.1
+    seed: int = 0
+    #: bounded param-update history kept for /events, top and reports
+    history: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("ewma", "bandit"):
+            raise ValueError(
+                f"mode must be 'ewma' or 'bandit', got {self.mode!r}"
+            )
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.target_pollution <= 0.0:
+            raise ValueError(
+                f"target_pollution must be > 0, got {self.target_pollution}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.step <= 0.0:
+            raise ValueError(f"step must be > 0, got {self.step}")
+        if self.weight_step <= 0.0:
+            raise ValueError(
+                f"weight_step must be > 0, got {self.weight_step}"
+            )
+        if not 0.0 < self.scale_min <= self.scale_max:
+            raise ValueError(
+                "scale bounds must satisfy 0 < scale_min <= scale_max, "
+                f"got [{self.scale_min}, {self.scale_max}]"
+            )
+        if not 0.0 < self.weight_min <= self.weight_max:
+            raise ValueError(
+                "weight bounds must satisfy 0 < weight_min <= weight_max, "
+                f"got [{self.weight_min}, {self.weight_max}]"
+            )
+        if self.grid < 2:
+            raise ValueError(f"grid must be >= 2, got {self.grid}")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError(
+                f"epsilon must be in [0, 1], got {self.epsilon}"
+            )
+        if self.history < 1:
+            raise ValueError(f"history must be >= 1, got {self.history}")
 
 
 @dataclass(kw_only=True)
@@ -64,6 +150,8 @@ class ReplayOptions:
     metrics_out: Optional[Union[str, Path]] = None
     #: sample pollution/footprint every N ticks
     sample_every: Optional[int] = None
+    #: online parameter adaptation (None or enabled=False = inert)
+    control: Optional[ControlOptions] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("scalar", "vector"):
@@ -131,6 +219,10 @@ class ReplayOptions:
             resume_from=self.resume_from,
         )
 
+    @property
+    def wants_control(self) -> bool:
+        return self.control is not None and self.control.enabled
+
     def vector_blockers(self) -> list:
         """Flag-level reasons the vector engine would refuse these options."""
         if self.engine != "vector":
@@ -143,13 +235,11 @@ class ReplayOptions:
                 ("checkpoint_every", self.checkpoint_every is not None),
                 ("sample_every", self.sample_every is not None),
                 ("degrade_at", self.degrade_at is not None),
+                # the controller is a per-event plugin contract
+                ("control", self.wants_control),
             )
             if is_set
         ]
-
-
-#: the option names api.replay still accepts flat (deprecated shim)
-REPLAY_OPTION_NAMES = tuple(f.name for f in fields(ReplayOptions))
 
 
 @dataclass(kw_only=True)
@@ -213,6 +303,8 @@ class ServeOptions:
     #: the default); "binary" additionally rejects NDJSON decide/apply so
     #: the data plane is binary-only (control ops stay NDJSON-reachable)
     wire_format: str = "ndjson"
+    #: per-shard online parameter adaptation (None / disabled = inert)
+    control: Optional[ControlOptions] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -259,6 +351,10 @@ class ServeOptions:
             raise ValueError(
                 "canary parameter overrides require canary_fraction > 0"
             )
+
+    @property
+    def wants_control(self) -> bool:
+        return self.control is not None and self.control.enabled
 
     def shard_checkpoint_path(self, index: int) -> Optional[Path]:
         if self.checkpoint_dir is None:
@@ -345,6 +441,10 @@ class ClusterOptions:
     #: client connections ("ndjson" | "binary"); gossip always rides
     #: NDJSON control connections either way
     wire_format: str = "ndjson"
+    #: per-shard online parameter adaptation: each shard runs its own
+    #: controller against its *believed* (local + gossiped) pollution,
+    #: so gossip spreads the estimates the controllers steer by
+    control: Optional[ControlOptions] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -427,12 +527,13 @@ class ClusterOptions:
             resume=True,
             drain_timeout=self.drain_timeout,
             wire_format=self.wire_format,
+            control=self.control,
         )
 
 
 __all__ = [
+    "ControlOptions",
     "ReplayOptions",
     "ServeOptions",
     "ClusterOptions",
-    "REPLAY_OPTION_NAMES",
 ]

@@ -14,7 +14,10 @@ self-contained snapshot per interval, each carrying
   (``decisions`` -- only records newer than the previous snapshot, so
   the stream is a delta feed over the ring buffer),
 * canary decision-flip records (``canary_flips``), when a canary is
-  configured.
+  configured,
+* ``control.param_update`` records (``control_updates``), when online
+  parameter adaptation is enabled -- each atomic parameter swap a shard
+  controller applied since the previous snapshot.
 
 :class:`DecisionTail` is the ring buffer behind the decision feed: an
 ``ifp_observer`` the server composes with the decision-trace recorder,
@@ -98,13 +101,15 @@ def build_snapshot(
     seq: int,
     decision_cursor: int = 0,
     flip_cursor: int = 0,
+    control_cursor: int = 0,
 ) -> Dict[str, object]:
     """One self-contained ``/events`` snapshot for ``server``.
 
-    ``decision_cursor`` / ``flip_cursor`` are the highest record
-    sequence numbers the consumer has already seen; the snapshot carries
-    only newer records plus updated cursors (``decision_seq`` /
-    ``flip_seq``), so per-connection state stays on the connection.
+    ``decision_cursor`` / ``flip_cursor`` / ``control_cursor`` are the
+    highest record sequence numbers the consumer has already seen; the
+    snapshot carries only newer records plus updated cursors
+    (``decision_seq`` / ``flip_seq`` / ``control_seq``), so
+    per-connection state stays on the connection.
     """
     stats = server.stats()
     snapshot: Dict[str, object] = {
@@ -131,4 +136,9 @@ def build_snapshot(
         flips.sort(key=lambda r: r["seq"])  # type: ignore[arg-type,return-value]
         snapshot["canary_flips"] = flips
         snapshot["flip_seq"] = flip_seq
+    if getattr(server, "controllers", None) is not None:
+        snapshot["control_updates"] = server.control_records_since(
+            control_cursor
+        )
+        snapshot["control_seq"] = server._control_seq
     return snapshot

@@ -48,8 +48,12 @@ import struct
 import threading
 import time
 import urllib.parse
+from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # control stays lazily imported on the serving path
+    from repro.control import AdaptiveController
 
 from repro.experiments.common import experiment_params
 from repro.faros.config import FarosConfig
@@ -112,6 +116,9 @@ RING_REPLICAS = 64
 
 #: floor for the /events snapshot interval (seconds)
 MIN_EVENTS_INTERVAL = 0.05
+
+#: bounded server-global ring of control.param_update records (/events)
+CONTROL_TAIL_MAXLEN = 128
 
 
 def _ring_point(label: str) -> int:
@@ -340,6 +347,30 @@ class MitosServer:
                 )
                 for index in range(self.options.shards)
             ]
+        # online parameter adaptation: one controller per shard, stepped
+        # from the drain loop *between* batches -- no per-request hooks,
+        # so the fast binary path stays eligible with control on.  A
+        # swap lands as one reference rebind; the shard notices through
+        # its `engine.params is not self.params` identity checks at the
+        # top of the next decide entry point.
+        self.controllers: Optional[List["AdaptiveController"]] = None
+        self.control_tail: Optional[Deque[Dict[str, object]]] = None
+        self._control_seq = 0
+        if self.options.wants_control:
+            from repro.control import AdaptiveController
+            from repro.control.controller import bind_policy
+
+            control = self.options.control
+            assert control is not None
+            self.control_tail = deque(maxlen=CONTROL_TAIL_MAXLEN)
+            self.controllers = []
+            for shard in self.shards:
+                controller = AdaptiveController(params, control)
+                bind_policy(controller, shard.tracker)
+                controller._on_update = self._control_update_hook(
+                    shard.index, controller
+                )
+                self.controllers.append(controller)
         # binary decide rows skip DecideRequest construction and go
         # straight to shard.decide_rows -- only sound when nothing needs
         # the per-request objects: no decision observer (obs/events), no
@@ -386,6 +417,11 @@ class MitosServer:
             else:
                 self._m_canary_mirrored = None
                 self._m_canary_flips = None
+            self._m_control_updates = (
+                metrics.counter("control.param_updates")
+                if self.controllers is not None
+                else None
+            )
         else:
             self._m_requests = None
             self._m_responses = None
@@ -402,6 +438,41 @@ class MitosServer:
             self._h_batch = None
             self._m_canary_mirrored = None
             self._m_canary_flips = None
+            self._m_control_updates = None
+
+    # -- online parameter adaptation ---------------------------------------
+
+    def _control_update_hook(self, shard_index: int, controller):
+        """The per-shard ``control.param_update`` fan-in.
+
+        Runs on the event loop (shard workers are tasks, not threads),
+        so appending to the server-global tail needs no locking.  The
+        server-global ``seq`` is the /events cursor; the controller's
+        own ``seq`` stays visible as ``shard_seq``.
+        """
+
+        def on_update(update) -> None:
+            self._control_seq += 1
+            record = update.as_dict()
+            record["shard"] = shard_index
+            record["shard_seq"] = update.seq
+            record["seq"] = self._control_seq
+            assert self.control_tail is not None
+            self.control_tail.append(record)
+            if self._m_control_updates is not None:
+                self._m_control_updates.inc()
+
+        return on_update
+
+    def control_records_since(self, seq: int) -> List[Dict[str, object]]:
+        """Param-update records newer than ``seq`` (the /events feed)."""
+        if self.control_tail is None:
+            return []
+        return [
+            record
+            for record in self.control_tail
+            if record["seq"] > seq  # type: ignore[operator]
+        ]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -1150,6 +1221,11 @@ class MitosServer:
         canary = (
             self.canaries[shard.index] if self.canaries is not None else None
         )
+        controller = (
+            self.controllers[shard.index]
+            if self.controllers is not None
+            else None
+        )
         decide_rows = shard.decide_rows
         safe_drain = self._safe_drain
         # adaptive batch deadline: under open-loop load a short sleep
@@ -1292,6 +1368,19 @@ class MitosServer:
                         except Exception:  # connection already gone
                             continue
                         await safe_drain(writer)
+            if controller is not None:
+                # between drains, never per request: one cheap cadence
+                # check; a due step reads the tracker census and may
+                # atomically swap this shard's params.  Adding the
+                # gossiped peer sum to the base-weighted local value
+                # steers by the *believed* fleet pollution, not just
+                # this shard's slice.
+                stats = shard.tracker.stats
+                if controller.due(stats.ifp_address + stats.ifp_control):
+                    controller.step_tracker(
+                        shard.tracker,
+                        extra_pollution=sum(shard.peer_pollution.values()),
+                    )
             for _ in batch:
                 queue.task_done()
 
@@ -1487,6 +1576,7 @@ class MitosServer:
         seq = 0
         decision_cursor = 0
         flip_cursor = 0
+        control_cursor = 0
         while not writer.is_closing():
             seq += 1
             snapshot = build_snapshot(
@@ -1494,9 +1584,11 @@ class MitosServer:
                 seq,
                 decision_cursor=decision_cursor,
                 flip_cursor=flip_cursor,
+                control_cursor=control_cursor,
             )
             decision_cursor = snapshot.get("decision_seq", decision_cursor)
             flip_cursor = snapshot.get("flip_seq", flip_cursor)
+            control_cursor = snapshot.get("control_seq", control_cursor)
             writer.write(
                 json.dumps(snapshot, separators=(",", ":")).encode("utf-8")
                 + b"\n"
@@ -1569,6 +1661,10 @@ class MitosServer:
         if self.canaries is not None:
             payload["canary"] = [
                 canary.stats_payload() for canary in self.canaries
+            ]
+        if self.controllers is not None:
+            payload["control"] = [
+                controller.stats_payload() for controller in self.controllers
             ]
         return payload
 

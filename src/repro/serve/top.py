@@ -161,6 +161,24 @@ def render(
                 f"{record['dest']}: {record['primary']} -> {record['canary']}"
             )
 
+    control = stats.get("control")
+    if control:
+        updates = sum(entry["updates"] for entry in control)  # type: ignore[union-attr,index]
+        scales = " ".join(
+            f"{entry['tau_scale']:.3g}" for entry in control  # type: ignore[union-attr,index]
+        )
+        lines.append(
+            f"control mode={control[0]['mode']}   updates {updates}   "  # type: ignore[index]
+            f"tau_scale [{scales}]"
+        )
+        for record in list(snapshot.get("control_updates", []))[-3:]:  # type: ignore[call-overload]
+            lines.append(
+                f"  update #{record['seq']} shard {record['shard']} "
+                f"{record['reason']}: tau_scale "
+                f"{record['tau_scale_before']:.3g} -> "
+                f"{record['tau_scale_after']:.3g}"
+            )
+
     decisions = snapshot.get("decisions")
     if decisions is not None:
         lines.append(f"decisions in window: {len(decisions)}")  # type: ignore[arg-type]

@@ -1,0 +1,69 @@
+"""Drifting composite workload: the adaptation benchmark's input.
+
+A fixed decision boundary is calibrated for one operating point; the
+controller exists for traces whose taint mix *drifts* away from it.
+This module builds such a trace from the existing workloads:
+
+* a short in-memory **attack** (the detection target -- recall against
+  it is what over-aggressive blocking would cost),
+* a modest **calm** network phase (the operating point a fixed boundary
+  is comfortable at),
+* a long **flood** phase -- a heavy-hitter network benchmark several
+  times the size of the others, ramping tag copies (and with them the
+  pollution the over-taint term charges for) well past the calm phase.
+
+The three are merged with :func:`~repro.workloads.composite.interleave`,
+whose chunked round-robin exhausts the short components first: the head
+of the trace mixes attack + calm + flood, the long tail is flood-only.
+The result is a single recording whose pollution pressure *rises over
+replay time* -- exactly the shape where a fixed boundary over-pollutes
+and an online controller (:mod:`repro.control`) can steer back to
+budget.  Deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+from repro.replay.record import Recording
+from repro.workloads.composite import interleave
+
+
+def drifting_recording(seed: int = 0, quick: bool = False) -> Recording:
+    """One drifting trace: attack + calm network head, flood tail."""
+    from repro.workloads.attack import InMemoryAttack
+    from repro.workloads.network import NetworkBenchmark
+
+    if quick:
+        attack = InMemoryAttack(
+            variant="reverse_tcp", seed=seed,
+            payload_bytes=96, imports=12, noise_bytes=192, noise_rounds=4,
+        )
+        calm = NetworkBenchmark(
+            seed=seed + 1, connections=2, bytes_per_connection=48, rounds=1,
+            config_files=1, bytes_per_file=24, heavy_hitter=False,
+        )
+        flood = NetworkBenchmark(
+            seed=seed + 2, connections=5, bytes_per_connection=96, rounds=1,
+            config_files=1, bytes_per_file=48, heavy_hitter=True,
+        )
+        chunk = 64
+    else:
+        attack = InMemoryAttack(variant="reverse_tcp", seed=seed)
+        calm = NetworkBenchmark(
+            seed=seed + 1, connections=4, bytes_per_connection=512, rounds=1,
+            config_files=2, bytes_per_file=128, heavy_hitter=False,
+        )
+        flood = NetworkBenchmark(
+            seed=seed + 2, connections=16, bytes_per_connection=2048,
+            rounds=4, config_files=4, bytes_per_file=512, heavy_hitter=True,
+        )
+        chunk = 256
+    recording = interleave(
+        [attack.record(), calm.record(), flood.record()], chunk_size=chunk
+    )
+    recording.meta["workload"] = "drift"
+    recording.meta["seed"] = seed
+    recording.meta["quick"] = quick
+    return recording
+
+
+__all__ = ["drifting_recording"]

@@ -1,0 +1,101 @@
+"""Live-fleet gossip-interval sweep (``bench-cluster --sweep-gossip``).
+
+The sweep mirrors the simulation's agreement-vs-gossip-interval curve on
+a real fleet: per interval it boots fresh shards with the background
+gossip pump off, strips the explicit pollution from every offline
+decision (so shards decide from their *believed* local + gossiped
+estimate), and pumps ``gossip_round()`` manually every N decisions.
+"""
+
+import pytest
+
+from repro.cluster import run_gossip_sweep, write_gossip_bench
+from repro.experiments.common import experiment_params
+from repro.options import ClusterOptions
+from repro.serve.loadgen import collect_offline_decisions
+from repro.cluster.harness import spread_destinations
+from tests.serve.test_loadgen import ifp_recording
+
+
+@pytest.fixture(scope="module")
+def offline():
+    params = experiment_params(quick=True)
+    return spread_destinations(
+        collect_offline_decisions(ifp_recording(), params)
+    )
+
+
+def options_factory(interval):
+    return ClusterOptions(
+        shards=2,
+        quick_calibration=True,
+        gossip_interval=None,  # the sweep pumps rounds manually
+        gossip_seed=0,
+        checkpoint_every=1 << 30,
+    )
+
+
+class TestGossipSweep:
+    def test_sweep_records_agreement_and_recall(self, offline):
+        sweep = run_gossip_sweep(
+            offline, [2, 8], options_factory, backend="thread"
+        )
+        assert [point["gossip_every"] for point in sweep] == [2, 8]
+        for point in sweep:
+            assert point["errors"] == 0
+            assert point["decisions"] == len(offline)
+            assert 0.0 <= point["agreement"] <= 1.0
+            assert 0.0 <= point["recall"] <= 1.0
+            assert point["gossip_rounds"] > 0
+            assert point["recalled"] <= point["oracle_positives"]
+        # a tighter cadence can never run fewer rounds
+        assert sweep[0]["gossip_rounds"] >= sweep[1]["gossip_rounds"]
+
+    def test_lossy_gossip_drops_are_counted(self, offline):
+        def lossy(interval):
+            options = options_factory(interval)
+            options.gossip_loss_rate = 1.0  # fully partitioned
+            return options
+
+        sweep = run_gossip_sweep(
+            offline[:32], [4], lossy, backend="thread"
+        )
+        # gossip_sent counts deliveries: a fully-partitioned fleet
+        # delivers nothing and charges every message to the drop counter
+        assert sweep[0]["gossip_dropped"] > 0
+        assert sweep[0]["gossip_sent"] == 0
+
+    def test_interval_must_be_positive(self, offline):
+        with pytest.raises(ValueError, match="interval"):
+            run_gossip_sweep(offline, [0], options_factory)
+
+    def test_factory_must_disable_background_gossip(self, offline):
+        with pytest.raises(ValueError, match="gossip_interval"):
+            run_gossip_sweep(
+                offline,
+                [4],
+                lambda interval: ClusterOptions(
+                    shards=2, quick_calibration=True, gossip_interval=0.5
+                ),
+            )
+
+    def test_write_gossip_bench_document(self, offline, tmp_path):
+        import json
+
+        sweep = run_gossip_sweep(
+            offline[:32], [8], options_factory, backend="thread"
+        )
+        path = write_gossip_bench(
+            tmp_path / "BENCH_cluster.json",
+            sweep,
+            shards=2,
+            backend="thread",
+            recording_events=123,
+            extra={"quick": True},
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["benchmark"] == "cluster-gossip"
+        assert document["intervals"] == [8]
+        assert document["agreement"] == [sweep[0]["agreement"]]
+        assert document["recall"] == [sweep[0]["recall"]]
+        assert document["quick"] is True

@@ -1,0 +1,260 @@
+"""AdaptiveController: cadence, differencing, atomic swap, base weights.
+
+The swap contract under test is the one the serving planes rely on: one
+reference assignment moves the tracker and the MITOS engine to the new
+params, and every derived structure (MarginalCache, the shard's fused
+gather tables) rebinds itself on its next identity check.
+"""
+
+import json
+
+import pytest
+
+from repro.control import AdaptiveController, ParamUpdate
+from repro.control.controller import bind_policy, type_copy_totals
+from repro.core.params import MitosParams
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.dift.tracker import DIFTTracker
+from repro.faros.config import FarosConfig
+from repro.options import ControlOptions
+from repro.serve.protocol import parse_request
+from repro.serve.shard import DecisionShard
+
+PARAMS = MitosParams(tau_scale=1.0)
+
+
+def make_tracker(params=PARAMS, policy="mitos"):
+    config = FarosConfig(params=params, policy=policy, label="control-test")
+    return DIFTTracker(params=params, policy=config.build_policy())
+
+
+def make_controller(**overrides):
+    defaults = dict(
+        enabled=True,
+        mode="ewma",
+        every=10,
+        target_pollution=0.01,
+        step=0.15,
+        adapt_weights=False,
+    )
+    defaults.update(overrides)
+    return AdaptiveController(PARAMS, ControlOptions(**defaults))
+
+
+class TestCadence:
+    def test_holds_until_window_elapses(self):
+        controller = make_controller(every=10)
+        assert controller.due(9) is False
+        assert (
+            controller.step(decisions=9, pollution_fraction=0.5) is None
+        )
+        assert controller.due(10) is True
+
+    def test_window_anchors_to_last_step(self):
+        controller = make_controller(every=10)
+        controller.step(decisions=10, pollution_fraction=0.5)
+        assert controller.due(19) is False
+        assert controller.due(20) is True
+
+
+class TestStep:
+    def test_deterministic_update_sequence_from_canned_trace(self):
+        trace = [(10, 0.05), (20, 0.04), (30, 0.0001), (40, 0.05)]
+
+        def run():
+            controller = make_controller(every=10)
+            applied = []
+            for decisions, fraction in trace:
+                update = controller.step(
+                    decisions=decisions, pollution_fraction=fraction
+                )
+                if update is not None:
+                    applied.append(
+                        (update.seq, update.reason, update.tau_scale_after)
+                    )
+            return applied
+
+        first, second = run(), run()
+        assert first == second
+        assert [seq for seq, _, _ in first] == list(
+            range(1, len(first) + 1)
+        )
+        assert first[0][1] == "over-budget"
+        assert first[0][2] == pytest.approx(1.15)
+
+    def test_cumulative_outcomes_are_differenced(self):
+        seen = []
+
+        class Probe:
+            mode = "probe"
+
+            def propose(self, params, signal):
+                seen.append((signal.propagated, signal.blocked))
+                return None
+
+        controller = make_controller(every=10)
+        controller.estimator = Probe()
+        controller.step(
+            decisions=10, pollution_fraction=0.5, propagated=7, blocked=3
+        )
+        controller.step(
+            decisions=20, pollution_fraction=0.5, propagated=12, blocked=8
+        )
+        assert seen == [(7, 3), (5, 5)]
+
+    def test_apply_and_on_update_fire_with_new_params(self):
+        applied, notified = [], []
+        controller = AdaptiveController(
+            PARAMS,
+            ControlOptions(
+                enabled=True, every=10, target_pollution=0.01,
+                adapt_weights=False,
+            ),
+            apply=applied.append,
+            on_update=notified.append,
+        )
+        update = controller.step(decisions=10, pollution_fraction=0.5)
+        assert update is not None
+        assert applied and applied[0] is controller.params
+        assert notified == [update]
+        assert controller.params.tau_scale == update.tau_scale_after
+
+    def test_update_record_is_json_ready(self):
+        controller = make_controller(every=10)
+        update = controller.step(decisions=10, pollution_fraction=0.5)
+        payload = json.loads(json.dumps(update.as_dict()))
+        assert payload["event"] == "control.param_update"
+        assert payload["seq"] == 1
+
+    def test_updates_since_cursor(self):
+        controller = make_controller(every=10)
+        for index in range(1, 4):
+            controller.step(
+                decisions=10 * index, pollution_fraction=0.5
+            )
+        assert [u["seq"] for u in controller.updates_since(1)] == [2, 3]
+
+
+class TestBaseWeights:
+    def test_steering_signal_ignores_adapted_o(self):
+        tracker = make_tracker()
+        tracker.process(
+            flows.insert(mem(0), Tag("netflow", 1), tick=0)
+        )
+        tracker.process(flows.copy(mem(0), mem(1), tick=1))
+        controller = make_controller()
+        bind_policy(controller, tracker)
+        base = controller.base_pollution(tracker)
+        # an adapted (inflated) o must not move the steering signal:
+        # otherwise raising o_t inflates the controller's own over-budget
+        # evidence and the loop never converges
+        controller._apply(
+            controller.params.with_updates(o={"netflow": 100.0})
+        )
+        assert tracker.pollution() == pytest.approx(100.0 * base)
+        assert controller.base_pollution(tracker) == pytest.approx(base)
+
+    def test_step_tracker_adds_extra_pollution(self):
+        tracker = make_tracker()
+        tracker.stats.ifp_address = 10
+        seen = []
+
+        class Probe:
+            mode = "probe"
+
+            def propose(self, params, signal):
+                seen.append(signal.pollution_fraction)
+                return None
+
+        controller = make_controller(every=10)
+        controller.estimator = Probe()
+        controller.step_tracker(tracker, extra_pollution=PARAMS.N_R / 2)
+        assert seen == [pytest.approx(0.5)]
+
+
+class TestAtomicSwap:
+    def test_bind_policy_requires_the_mitos_engine(self):
+        tracker = make_tracker(policy="propagate-all")
+        with pytest.raises(ValueError, match="mitos"):
+            bind_policy(make_controller(), tracker)
+
+    def test_swap_moves_tracker_and_engine_together(self):
+        tracker = make_tracker()
+        controller = make_controller(every=10)
+        bind_policy(controller, tracker)
+        tracker.stats.ifp_address = 10
+        update = controller.step_tracker(
+            tracker, extra_pollution=PARAMS.N_R
+        )
+        assert update is not None
+        assert tracker.params is controller.params
+        assert tracker.policy.engine.params is controller.params
+
+    def test_marginal_cache_rebinds_after_swap(self):
+        tracker = make_tracker()
+        engine = tracker.policy.engine
+        stale = engine.marginal_cache
+        stale.under(4, "netflow")  # warm an entry under the old params
+        controller = make_controller(every=10, step=1.0)
+        bind_policy(controller, tracker)
+        tracker.stats.ifp_address = 10
+        # force a big over-budget step so the boundary visibly moves
+        update = controller.step_tracker(
+            tracker, extra_pollution=PARAMS.N_R
+        )
+        assert update is not None
+        # the identity check replaced the memo: stale entries can never
+        # leak across parameterizations
+        assert engine.marginal_cache is not stale
+        assert engine.marginal_cache.params is engine.params
+
+    def test_fused_batch_plane_rebinds_after_swap(self):
+        shard = DecisionShard(
+            0,
+            params=PARAMS,
+            policy_factory=FarosConfig(
+                params=PARAMS, policy="mitos", label="swap-test"
+            ).build_policy,
+        )
+        line = json.dumps(
+            {
+                "op": "decide",
+                "id": 1,
+                "dest": "mem:0x40",
+                "kind": "address_dep",
+                "free_slots": 1,
+                "pollution": 10.0,
+                "candidates": [
+                    {"type": "netflow", "index": 1, "copies": 4}
+                ],
+            }
+        )
+        first = shard.decide(parse_request(line))
+        assert first["decisions"][0]["propagate"] is True
+        controller = make_controller(every=10)
+        bind_policy(controller, shard.tracker)
+        shard.tracker.stats.ifp_address = 10
+        update = controller.step_tracker(
+            shard.tracker, extra_pollution=PARAMS.N_R
+        )
+        assert update is not None
+        # the next decide sees the swap through the identity check and
+        # rebuilds its gather tables around the new params
+        second = shard.decide(parse_request(line))
+        assert shard.params is controller.params
+        assert shard.tracker.policy.engine.params is controller.params
+        assert second["decisions"][0]["marginal"] != pytest.approx(
+            first["decisions"][0]["marginal"]
+        )
+
+
+class TestTypeCopyTotals:
+    def test_counts_live_copies_by_type(self):
+        tracker = make_tracker()
+        tracker.process(flows.insert(mem(0), Tag("netflow", 1), tick=0))
+        tracker.process(flows.insert(mem(1), Tag("file", 2), tick=0))
+        tracker.process(flows.copy(mem(0), mem(2), tick=1))
+        totals = type_copy_totals(tracker.counter)
+        assert totals == {"netflow": 2, "file": 1}

@@ -1,0 +1,80 @@
+"""The bench-adapt acceptance pin: adaptive beats fixed under drift.
+
+One quick end-to-end run of the full benchmark -- three replays of the
+drifting recording (propagate-all baseline, fixed MITOS, adaptive
+MITOS) -- asserting the headline claim CI gates on: the adaptive run
+wins on pollution or on recall.  Everything is seeded, so the outcome
+is a deterministic property of the code, not a flaky benchmark.
+"""
+
+import json
+
+import pytest
+
+from repro.control.bench import (
+    count_decision_flips,
+    run_adapt_bench,
+    write_adapt_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_adapt_bench(quick=True, seed=0)
+
+
+class TestDriftBench:
+    def test_adaptive_beats_fixed_on_pollution_or_recall(self, report):
+        wins = report["adaptive_wins"]
+        assert wins["any"] is True
+        assert wins["any"] == (wins["pollution"] or wins["recall"])
+
+    def test_controller_actually_ran(self, report):
+        assert report["adaptive"]["param_updates"] > 0
+        assert report["fixed"]["param_updates"] == 0
+        assert report["baseline"]["param_updates"] == 0
+        assert report["decision_flips"] > 0
+
+    def test_arms_share_the_recording(self, report):
+        # every arm replays the same drifting trace (the candidate
+        # streams can diverge in the tail -- blocking changes what gets
+        # tainted downstream -- which the flip count charges as skew)
+        assert report["recording_events"] > 0
+        for arm in ("baseline", "fixed", "adaptive"):
+            assert report[arm]["decisions"] > 0
+            assert report[arm]["ifp_decisions"] >= report[arm]["decisions"]
+
+    def test_pollution_measured_in_one_cost_model(self, report):
+        # the adaptive arm inflates o_t at runtime; the report's
+        # pollution numbers must still be base-weighted, so the fixed
+        # arm (which never over-taints more) can never read higher than
+        # the propagate-all ceiling
+        assert (
+            report["fixed"]["mean_pollution_fraction"]
+            <= report["baseline"]["mean_pollution_fraction"]
+        )
+        assert (
+            report["adaptive"]["peak_pollution_fraction"]
+            <= report["baseline"]["peak_pollution_fraction"]
+        )
+
+    def test_report_is_json_serializable(self, report, tmp_path):
+        path = write_adapt_bench(tmp_path / "BENCH_adapt.json", report)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["benchmark"] == "adapt"
+        assert loaded["adaptive_wins"]["any"] is True
+
+
+class TestDecisionFlips:
+    def test_identical_streams_have_no_flips(self):
+        records = [(frozenset({"netflow:1"}), 1, 0.0)] * 4
+        assert count_decision_flips(records, list(records)) == 0
+
+    def test_divergent_sets_and_length_skew_count(self):
+        fixed = [
+            (frozenset({"netflow:1"}), 1, 0.0),
+            (frozenset({"file:2"}), 1, 0.0),
+        ]
+        adaptive = [(frozenset(), 1, 0.0)]
+        # one differing pair + one unpaired trailing decision
+        assert count_decision_flips(fixed, adaptive) == 2

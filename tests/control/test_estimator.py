@@ -1,0 +1,202 @@
+"""Estimator unit tests: deterministic trajectories from canned signals.
+
+Both estimators are pure decision rules (no clock, no I/O, randomness
+only from a seeded ``random.Random``), so a fixed observation sequence
+must always produce the same parameter trajectory.
+"""
+
+import pytest
+
+from repro.control.estimator import (
+    DEADBAND,
+    ControlSignal,
+    EwmaEstimator,
+    TauBandit,
+    make_estimator,
+)
+from repro.core.params import MitosParams
+from repro.options import ControlOptions
+
+PARAMS = MitosParams(tau_scale=1.0)
+
+
+def signal(fraction, **kwargs):
+    return ControlSignal(
+        decisions=kwargs.pop("decisions", 100),
+        pollution_fraction=fraction,
+        **kwargs,
+    )
+
+
+class TestEwma:
+    def options(self, **overrides):
+        defaults = dict(
+            enabled=True,
+            mode="ewma",
+            target_pollution=0.01,
+            step=0.15,
+            adapt_weights=False,
+        )
+        defaults.update(overrides)
+        return ControlOptions(**defaults)
+
+    def test_over_budget_raises_tau_scale(self):
+        estimator = EwmaEstimator(self.options(), PARAMS)
+        proposal = estimator.propose(PARAMS, signal(0.05))
+        assert proposal is not None
+        params, reason = proposal
+        assert reason == "over-budget"
+        assert params.tau_scale == pytest.approx(1.15)
+
+    def test_under_budget_lowers_tau_scale(self):
+        estimator = EwmaEstimator(self.options(), PARAMS)
+        proposal = estimator.propose(PARAMS, signal(0.0001))
+        assert proposal is not None
+        params, reason = proposal
+        assert reason == "under-budget"
+        assert params.tau_scale == pytest.approx(1.0 / 1.15)
+
+    def test_deadband_holds(self):
+        estimator = EwmaEstimator(self.options(), PARAMS)
+        inside = 0.01 * (1.0 + DEADBAND / 2)
+        assert estimator.propose(PARAMS, signal(inside)) is None
+
+    def test_trajectory_is_deterministic(self):
+        def run():
+            estimator = EwmaEstimator(self.options(), PARAMS)
+            params = PARAMS
+            scales = []
+            for fraction in (0.05, 0.04, 0.0001, 0.05, 0.009):
+                proposal = estimator.propose(params, signal(fraction))
+                if proposal is not None:
+                    params = proposal[0]
+                scales.append(params.tau_scale)
+            return scales
+
+        assert run() == run()
+
+    def test_tau_scale_clamped_to_safety_band(self):
+        options = self.options(scale_min=0.5, scale_max=2.0)
+        estimator = EwmaEstimator(options, PARAMS)
+        params = PARAMS
+        for _ in range(20):  # far more steps than the band allows
+            proposal = estimator.propose(params, signal(0.5))
+            if proposal is not None:
+                params = proposal[0]
+        assert params.tau_scale == pytest.approx(2.0)
+
+    def test_over_budget_reweights_dominant_type(self):
+        options = self.options(adapt_weights=True, weight_step=0.1)
+        estimator = EwmaEstimator(options, PARAMS)
+        proposal = estimator.propose(
+            PARAMS,
+            signal(0.05, type_copies={"netflow": 90, "file": 10}),
+        )
+        assert proposal is not None
+        params, _ = proposal
+        # the over-represented type loses utility and gets pricier
+        assert params.u_of("netflow") == pytest.approx(0.9)
+        assert params.o_of("netflow") == pytest.approx(1.1)
+        # the under-represented type keeps its configured weights
+        assert params.u_of("file") == pytest.approx(1.0)
+        assert params.o_of("file") == pytest.approx(1.0)
+
+    def test_under_budget_recovers_rare_type_utility(self):
+        options = self.options(adapt_weights=True, weight_step=0.1)
+        estimator = EwmaEstimator(options, PARAMS)
+        proposal = estimator.propose(
+            PARAMS,
+            signal(0.0001, type_copies={"netflow": 90, "file": 10}),
+        )
+        assert proposal is not None
+        params, _ = proposal
+        assert params.u_of("file") == pytest.approx(1.1)
+        assert params.u_of("netflow") == pytest.approx(1.0)
+
+    def test_weights_clamped_relative_to_base(self):
+        options = self.options(
+            adapt_weights=True,
+            weight_step=0.5,
+            weight_min=0.5,
+            weight_max=2.0,
+        )
+        estimator = EwmaEstimator(options, PARAMS)
+        params = PARAMS
+        for _ in range(10):
+            proposal = estimator.propose(
+                params, signal(0.5, type_copies={"netflow": 99, "file": 1})
+            )
+            if proposal is not None:
+                params = proposal[0]
+        assert params.u_of("netflow") == pytest.approx(0.5)
+        assert params.o_of("netflow") == pytest.approx(2.0)
+
+
+class TestBandit:
+    def options(self, **overrides):
+        defaults = dict(
+            enabled=True,
+            mode="bandit",
+            target_pollution=0.01,
+            grid=5,
+            epsilon=0.1,
+            seed=7,
+        )
+        defaults.update(overrides)
+        return ControlOptions(**defaults)
+
+    def test_arms_span_the_safety_band(self):
+        bandit = TauBandit(self.options(), PARAMS)
+        assert len(bandit.arms) == 5
+        assert bandit.arms[0] == pytest.approx(PARAMS.tau_scale * 0.25)
+        assert bandit.arms[-1] == pytest.approx(PARAMS.tau_scale * 4.0)
+
+    def test_unplayed_arms_explored_first(self):
+        bandit = TauBandit(self.options(), PARAMS)
+        seen = set()
+        params = PARAMS
+        for _ in range(len(bandit.arms)):
+            seen.add(bandit.active)
+            proposal = bandit.propose(params, signal(0.05))
+            if proposal is not None:
+                params = proposal[0]
+        assert seen == set(range(len(bandit.arms)))
+
+    def test_same_seed_same_trajectory(self):
+        def run():
+            bandit = TauBandit(self.options(), PARAMS)
+            params = PARAMS
+            scales = []
+            for index in range(30):
+                fraction = 0.05 if index % 3 else 0.001
+                proposal = bandit.propose(params, signal(fraction))
+                if proposal is not None:
+                    params = proposal[0]
+                scales.append(params.tau_scale)
+            return scales
+
+        assert run() == run()
+
+    def test_reward_penalizes_overshoot(self):
+        bandit = TauBandit(self.options(), PARAMS)
+        over = bandit._reward(signal(0.02))
+        under = bandit._reward(signal(0.005))
+        assert over < under
+
+    def test_reward_penalizes_blocking_with_headroom(self):
+        bandit = TauBandit(self.options(), PARAMS)
+        blocking = bandit._reward(signal(0.005, propagated=1, blocked=9))
+        permissive = bandit._reward(signal(0.005, propagated=9, blocked=1))
+        assert blocking < permissive
+
+
+class TestFactory:
+    def test_mode_selects_estimator(self):
+        assert isinstance(
+            make_estimator(ControlOptions(mode="ewma"), PARAMS),
+            EwmaEstimator,
+        )
+        assert isinstance(
+            make_estimator(ControlOptions(mode="bandit"), PARAMS),
+            TauBandit,
+        )

@@ -1,0 +1,153 @@
+"""The disabled-control path must be provably inert.
+
+``control=None`` and ``control=ControlOptions(enabled=False)`` build no
+controller anywhere -- same objects, same outputs, byte-identical
+serialized results.  This is the correctness half of the <5% overhead
+gate in ``benchmarks/test_bench_control_overhead.py``.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.dift import flows
+from repro.dift.shadow import mem
+from repro.dift.tags import Tag
+from repro.options import ControlOptions, ReplayOptions, ServeOptions
+from repro.replay.record import Recording
+
+
+def small_recording() -> Recording:
+    events = []
+    for index in range(1, 9):
+        events.append(
+            flows.insert(
+                mem(index), Tag("netflow", index), tick=index, context="read"
+            )
+        )
+        events.append(
+            flows.copy(mem(index), mem(index + 32), tick=index + 1)
+        )
+        events.append(
+            flows.address_dep(
+                mem(index + 32), mem(index + 64), tick=index + 2
+            )
+        )
+    return Recording(events=events, meta={"name": "inert-mini"})
+
+
+def result_fingerprint(result) -> str:
+    """A canonical byte serialization of everything a replay reports."""
+    return json.dumps(
+        {
+            "tracker_stats": result.tracker_stats,
+            "stage_counts": result.stage_counts,
+            "robustness": result.robustness,
+            "detected_bytes": result.metrics.detected_bytes,
+            "ifp_candidates": result.metrics.ifp_candidates,
+            "ifp_propagated": result.metrics.ifp_propagated,
+            "ifp_blocked": result.metrics.ifp_blocked,
+            "propagation_ops": result.metrics.propagation_ops,
+        },
+        sort_keys=True,
+    )
+
+
+class TestReplayInert:
+    def test_no_controller_is_built(self):
+        system = api.build_system(quick_calibration=True)
+        assert system.controller is None
+        disabled = api.build_system(
+            quick_calibration=True, control=ControlOptions(enabled=False)
+        )
+        assert disabled.controller is None
+
+    def test_disabled_replay_is_byte_identical(self):
+        baseline = api.replay(
+            small_recording(), options=ReplayOptions(),
+            quick_calibration=True,
+        )
+        fingerprints = set()
+        for control in (None, ControlOptions(), ControlOptions(enabled=False)):
+            result = api.replay(
+                small_recording(),
+                options=ReplayOptions(control=control),
+                quick_calibration=True,
+            )
+            fingerprints.add(result_fingerprint(result))
+        assert fingerprints == {result_fingerprint(baseline)}
+
+    def test_disabled_robustness_has_no_control_counter(self):
+        result = api.replay(
+            small_recording(),
+            options=ReplayOptions(control=ControlOptions(enabled=False)),
+            quick_calibration=True,
+        )
+        assert "control.param_updates" not in result.robustness
+
+    def test_enabled_replay_reports_updates(self):
+        result = api.replay(
+            small_recording(),
+            options=ReplayOptions(
+                control=ControlOptions(
+                    enabled=True, every=2, target_pollution=1e-9
+                )
+            ),
+            quick_calibration=True,
+        )
+        assert result.robustness["control.param_updates"] > 0
+
+
+def drive(client, count=24):
+    responses = []
+    for index in range(count):
+        responses.append(
+            client.decide(
+                f"mem:{index % 8 + 1}",
+                free_slots=1,
+                candidates=[("netflow", index % 5 + 1, index % 4 + 1)],
+                pollution=float(index),
+                tick=index,
+            )
+        )
+    return responses
+
+
+class TestServeInert:
+    @pytest.mark.parametrize(
+        "control", [None, ControlOptions(enabled=False)]
+    )
+    def test_disabled_serving_matches_no_control(self, control):
+        def boot(control_options):
+            return api.serve(
+                ServeOptions(
+                    port=0, shards=2, quick_calibration=True,
+                    control=control_options,
+                ),
+                background=True,
+            )
+
+        baseline_thread = boot(None)
+        try:
+            with api.ServeClient(
+                baseline_thread.host, baseline_thread.port
+            ) as client:
+                baseline = drive(client)
+                baseline_stats = client.stats()
+        finally:
+            baseline_thread.stop()
+
+        thread = boot(control)
+        try:
+            with api.ServeClient(thread.host, thread.port) as client:
+                responses = drive(client)
+                stats = client.stats()
+        finally:
+            thread.stop()
+
+        assert json.dumps(responses, sort_keys=True) == json.dumps(
+            baseline, sort_keys=True
+        )
+        assert "control" not in stats
+        assert "control" not in baseline_stats

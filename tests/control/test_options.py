@@ -1,0 +1,83 @@
+"""ControlOptions: validation and how the other bundles carry it."""
+
+import pytest
+
+from repro.options import (
+    ClusterOptions,
+    ControlOptions,
+    ReplayOptions,
+    ServeOptions,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid_and_disabled(self):
+        options = ControlOptions()
+        assert options.enabled is False
+        assert options.mode == "ewma"
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"mode": "oracle"}, "mode"),
+            ({"every": 0}, "every"),
+            ({"target_pollution": 0.0}, "target_pollution"),
+            ({"target_pollution": -0.1}, "target_pollution"),
+            ({"ewma_alpha": 0.0}, "ewma_alpha"),
+            ({"ewma_alpha": 1.5}, "ewma_alpha"),
+            ({"step": 0.0}, "step"),
+            ({"weight_step": -1.0}, "weight_step"),
+            ({"scale_min": 0.0}, "scale"),
+            ({"scale_min": 2.0, "scale_max": 1.0}, "scale"),
+            ({"weight_min": 2.0, "weight_max": 1.0}, "weight"),
+            ({"grid": 1}, "grid"),
+            ({"epsilon": 1.5}, "epsilon"),
+            ({"history": 0}, "history"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ControlOptions(**kwargs)
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            ControlOptions(True)  # noqa: FBT003 -- positional must fail
+
+
+class TestCarriers:
+    def test_replay_wants_control_needs_enabled(self):
+        assert ReplayOptions().wants_control is False
+        assert (
+            ReplayOptions(control=ControlOptions()).wants_control is False
+        )
+        assert (
+            ReplayOptions(
+                control=ControlOptions(enabled=True)
+            ).wants_control
+            is True
+        )
+
+    def test_vector_engine_blocks_enabled_control_only(self):
+        enabled = ReplayOptions(
+            engine="vector", control=ControlOptions(enabled=True)
+        )
+        assert "control" in enabled.vector_blockers()
+        disabled = ReplayOptions(
+            engine="vector", control=ControlOptions(enabled=False)
+        )
+        assert "control" not in disabled.vector_blockers()
+
+    def test_serve_wants_control(self):
+        assert ServeOptions().wants_control is False
+        assert (
+            ServeOptions(control=ControlOptions(enabled=True)).wants_control
+            is True
+        )
+
+    def test_cluster_control_reaches_shard_options(self):
+        control = ControlOptions(enabled=True, every=32)
+        options = ClusterOptions(
+            shards=2, control=control, checkpoint_root="/tmp/unused"
+        )
+        shard = options.shard_options(0)
+        assert shard.control is control

@@ -1,0 +1,72 @@
+"""Per-shard controllers on the live serving plane.
+
+The drain loop steps each shard's controller between batches; applied
+updates must show up in ``/stats`` (the ``control`` block), in the
+snapshot's ``control_updates`` tail, and keep serving decisions flowing
+(the atomic swap never wedges a shard).
+"""
+
+import pytest
+
+from repro import api
+from repro.options import ControlOptions, ServeOptions
+from repro.serve.events import build_snapshot
+
+
+@pytest.fixture(scope="module")
+def server_thread():
+    thread = api.serve(
+        ServeOptions(
+            port=0,
+            shards=2,
+            quick_calibration=True,
+            control=ControlOptions(
+                enabled=True, every=8, target_pollution=1e-7
+            ),
+        ),
+        background=True,
+    )
+    yield thread
+    thread.stop()
+
+
+def drive(client, count=120):
+    for index in range(count):
+        response = client.decide(
+            f"mem:{index % 16 + 1}",
+            free_slots=1,
+            candidates=[("netflow", index % 7 + 1, index % 5 + 1)],
+            pollution=float(index),
+            tick=index,
+        )
+        assert response["decisions"]
+
+
+class TestServeControl:
+    def test_updates_reach_stats_and_snapshot(self, server_thread):
+        with api.ServeClient(
+            server_thread.host, server_thread.port
+        ) as client:
+            drive(client)
+            stats = client.stats()
+        control = stats["control"]
+        assert len(control) == 2  # one controller per shard
+        assert {entry["mode"] for entry in control} == {"ewma"}
+        assert sum(entry["updates"] for entry in control) > 0
+        snapshot = build_snapshot(server_thread.server, seq=1)
+        records = snapshot["control_updates"]
+        assert records
+        assert records[0]["event"] == "control.param_update"
+        assert {record["shard"] for record in records} <= {0, 1}
+        # server-global seq is the /events cursor: strictly increasing
+        seqs = [record["seq"] for record in records]
+        assert seqs == sorted(seqs)
+        assert snapshot["control_seq"] == seqs[-1]
+
+    def test_snapshot_cursor_skips_seen_updates(self, server_thread):
+        snapshot = build_snapshot(server_thread.server, seq=1)
+        cursor = snapshot["control_seq"]
+        again = build_snapshot(
+            server_thread.server, seq=2, control_cursor=cursor
+        )
+        assert again["control_updates"] == []

@@ -2,12 +2,12 @@
 
 ``repro.api`` is the one supported import surface; this module pins its
 ``__all__`` (additions are deliberate API growth, removals are breaking
-changes), the typed-options signatures, and the one-release
-``DeprecationWarning`` shim that keeps the old flat keyword arguments of
-``replay()`` working.
+changes), the typed-options signatures, and the post-shim behavior of
+``replay()``: the one-release ``DeprecationWarning`` shim for flat
+keyword arguments is gone, so flat kwargs are now ``TypeError``s that
+point at :class:`~repro.options.ReplayOptions` (see docs/CONTROL.md's
+migration note).
 """
-
-import warnings
 
 import pytest
 
@@ -29,6 +29,7 @@ PINNED_ALL = [
     "ReplayOptions",
     "ServeOptions",
     "ClusterOptions",
+    "ControlOptions",
     # stable re-exported types
     "MitosParams",
     "FarosConfig",
@@ -38,6 +39,8 @@ PINNED_ALL = [
     "Replayer",
     "Observability",
     "Resilience",
+    "AdaptiveController",
+    "ParamUpdate",
     "TagCandidate",
     "Decision",
     "MultiDecision",
@@ -110,30 +113,28 @@ class TestReplay:
         result = api.replay(path, quick_calibration=True)
         assert result.tracker_stats["inserts"] == 2
 
-    def test_flat_kwargs_deprecated_but_equivalent(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # no stray warnings
-            via_options = api.replay(
-                small_recording(),
-                options=api.ReplayOptions(engine="vector", limit=5),
-                quick_calibration=True,
-            )
-        with pytest.warns(DeprecationWarning, match="ReplayOptions"):
-            via_flat = api.replay(
+    def test_flat_kwargs_shim_removed(self):
+        # the PR-5 DeprecationWarning shim is gone: once-supported flat
+        # execution kwargs are plain TypeErrors pointing at ReplayOptions
+        with pytest.raises(TypeError, match="ReplayOptions"):
+            api.replay(
                 small_recording(),
                 engine="vector",
                 limit=5,
                 quick_calibration=True,
             )
-        assert via_flat.tracker_stats == via_options.tracker_stats
-        assert via_flat.stage_counts == via_options.stage_counts
+
+    def test_flat_kwargs_error_names_the_offenders(self):
+        with pytest.raises(TypeError, match="engine") as excinfo:
+            api.replay(small_recording(), engine="vector", limit=5)
+        assert "limit" in str(excinfo.value)
 
     def test_unknown_kwargs_are_type_errors(self):
         with pytest.raises(TypeError, match="warp_factor"):
             api.replay(small_recording(), warp_factor=9)
 
-    def test_options_and_flat_together_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
+    def test_options_plus_flat_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="ReplayOptions"):
             api.replay(
                 small_recording(),
                 options=api.ReplayOptions(),
